@@ -1,0 +1,50 @@
+// Ablation: the Iterative algorithm's step-6 join under each of the four
+// join strategies the paper's optimizer simulation chooses between, plus
+// the auto (optimizer) choice. Not a paper table — it substantiates the
+// optimizer design decision of Section 4.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: join strategies",
+              "Iterative algorithm, 20x20 grid, 20% variance, diagonal "
+              "query.\nSame iterations under every strategy; execution "
+              "cost varies with the join.");
+
+  const graph::Graph g = MakeGrid(20, graph::GridCostModel::kVariance20);
+  const auto q = graph::GridGraphGenerator::DiagonalQuery(20);
+
+  struct S {
+    const char* name;
+    relational::JoinStrategy strategy;
+  };
+  const S strategies[] = {
+      {"auto (optimizer)", relational::JoinStrategy::kAuto},
+      {"nested-loop", relational::JoinStrategy::kNestedLoop},
+      {"hash", relational::JoinStrategy::kHash},
+      {"sort-merge", relational::JoinStrategy::kSortMerge},
+      {"primary-key", relational::JoinStrategy::kPrimaryKey},
+  };
+
+  PrintRow("Join strategy", {"iterations", "cost (units)"});
+  for (const S& s : strategies) {
+    core::DbSearchOptions opt;
+    opt.join_strategy = s.strategy;
+    DbInstance db(g, opt);
+    const Cell c =
+        RunDb(db, core::Algorithm::kIterative, q.source, q.destination);
+    char cost[32];
+    std::snprintf(cost, sizeof(cost), "%.1f", c.cost_units);
+    PrintRow(s.name, {std::to_string(c.iterations), cost});
+  }
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

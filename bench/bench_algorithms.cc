@@ -1,0 +1,154 @@
+// Wall-clock microbenchmarks (google-benchmark) of the in-memory
+// algorithm implementations. The paper's metric is block I/O on a
+// database-resident graph (see the per-table benches); this binary shows
+// the same algorithmic shapes in CPU time on the plain adjacency-list
+// substrate, at sizes well beyond the paper's.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/advanced_search.h"
+#include "core/hierarchy.h"
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+
+namespace atis {
+namespace {
+
+using core::AStarSearch;
+using core::DijkstraSearch;
+using core::EstimatorKind;
+using core::IterativeBfsSearch;
+using core::MakeEstimator;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+
+const graph::Graph& GridFor(int k) {
+  static std::map<int, graph::Graph>* cache = new std::map<int, graph::Graph>;
+  auto it = cache->find(k);
+  if (it == cache->end()) {
+    auto g = GridGraphGenerator::Generate({k, GridCostModel::kVariance20});
+    it = cache->emplace(k, std::move(g).value()).first;
+  }
+  return it->second;
+}
+
+void BM_Dijkstra_GridDiagonal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  const auto q = GridGraphGenerator::DiagonalQuery(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DijkstraSearch(g, q.source, q.destination));
+  }
+  state.SetLabel(std::to_string(k * k) + " nodes");
+}
+BENCHMARK(BM_Dijkstra_GridDiagonal)->Arg(10)->Arg(20)->Arg(30)->Arg(60)->Arg(100);
+
+void BM_AStarManhattan_GridDiagonal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  const auto q = GridGraphGenerator::DiagonalQuery(k);
+  const auto man = MakeEstimator(EstimatorKind::kManhattan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AStarSearch(g, q.source, q.destination, *man));
+  }
+}
+BENCHMARK(BM_AStarManhattan_GridDiagonal)->Arg(10)->Arg(20)->Arg(30)->Arg(60)->Arg(100);
+
+void BM_AStarManhattan_GridHorizontal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  const auto q = GridGraphGenerator::HorizontalQuery(k);
+  const auto man = MakeEstimator(EstimatorKind::kManhattan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AStarSearch(g, q.source, q.destination, *man));
+  }
+}
+BENCHMARK(BM_AStarManhattan_GridHorizontal)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_Iterative_GridDiagonal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  const auto q = GridGraphGenerator::DiagonalQuery(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IterativeBfsSearch(g, q.source, q.destination));
+  }
+}
+BENCHMARK(BM_Iterative_GridDiagonal)->Arg(10)->Arg(20)->Arg(30)->Arg(60)->Arg(100);
+
+void BM_RoadMap_LongTrip(benchmark::State& state) {
+  static const graph::RoadMap* rm = [] {
+    auto r = graph::GenerateMinneapolisLike();
+    return new graph::RoadMap(std::move(r).value());
+  }();
+  const auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AStarSearch(rm->graph, rm->a, rm->b, *eu));
+  }
+}
+BENCHMARK(BM_RoadMap_LongTrip);
+
+void BM_RoadMap_ShortTrip(benchmark::State& state) {
+  static const graph::RoadMap* rm = [] {
+    auto r = graph::GenerateMinneapolisLike();
+    return new graph::RoadMap(std::move(r).value());
+  }();
+  const auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AStarSearch(rm->graph, rm->g, rm->d, *eu));
+  }
+}
+BENCHMARK(BM_RoadMap_ShortTrip);
+
+void BM_BidirectionalDijkstra_GridDiagonal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  const graph::Graph rev = core::ReverseOf(g);
+  const auto q = GridGraphGenerator::DiagonalQuery(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BidirectionalDijkstra(g, rev, q.source, q.destination));
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstra_GridDiagonal)->Arg(30)->Arg(100);
+
+void BM_HierarchicalRoute_GridDiagonal(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const graph::Graph& g = GridFor(k);
+  core::HierarchyOptions opt;
+  opt.cell_size = k / 4.0;
+  static std::map<int, core::HierarchicalRouter>* routers =
+      new std::map<int, core::HierarchicalRouter>;
+  auto it = routers->find(k);
+  if (it == routers->end()) {
+    auto built = core::HierarchicalRouter::Build(&g, opt);
+    it = routers->emplace(k, std::move(built).value()).first;
+  }
+  const auto q = GridGraphGenerator::DiagonalQuery(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(it->second.Route(q.source, q.destination));
+  }
+}
+BENCHMARK(BM_HierarchicalRoute_GridDiagonal)->Arg(30)->Arg(100);
+
+void BM_DuplicatePolicy_Dijkstra(benchmark::State& state) {
+  const graph::Graph& g = GridFor(30);
+  const auto q = GridGraphGenerator::DiagonalQuery(30);
+  core::MemorySearchOptions opt;
+  opt.duplicate_policy =
+      static_cast<core::DuplicatePolicy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DijkstraSearch(g, q.source, q.destination, opt));
+  }
+  state.SetLabel(std::string(
+      core::DuplicatePolicyName(opt.duplicate_policy)));
+}
+BENCHMARK(BM_DuplicatePolicy_Dijkstra)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace atis
+
+BENCHMARK_MAIN();

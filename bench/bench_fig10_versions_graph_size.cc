@@ -1,0 +1,65 @@
+// Reproduces Figure 10: effect of graph size on the execution time of the
+// three A* implementation versions (Section 5.3). Diagonal query, 20%
+// edge-cost variance.
+//   v1: separate frontier relation (APPEND/DELETE), Euclidean estimator
+//   v2: status-attribute frontier (REPLACE), Euclidean estimator
+//   v3: status-attribute frontier, Manhattan estimator
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 10",
+              "A* versions vs graph size. Diagonal query, 20% variance.\n"
+              "Paper shape: v1 falls behind v2 as graphs grow "
+              "(APPEND/DELETE + index maintenance\nvs REPLACE); v3 beats "
+              "v2 (better estimator => fewer iterations).");
+
+  const int sizes[] = {10, 20, 30};
+  std::vector<std::string> labels, v1_c, v2_c, v3_c, v1_i, v2_i, v3_i;
+  for (const int k : sizes) {
+    const graph::Graph g =
+        MakeGrid(k, graph::GridCostModel::kVariance20);
+    DbInstance db(g);
+    const auto q = graph::GridGraphGenerator::DiagonalQuery(k);
+    const Cell v1 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV1);
+    const Cell v2 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV2);
+    const Cell v3 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV3);
+    labels.push_back(std::to_string(k) + "x" + std::to_string(k));
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    v1_c.push_back(fmt(v1.cost_units));
+    v2_c.push_back(fmt(v2.cost_units));
+    v3_c.push_back(fmt(v3.cost_units));
+    v1_i.push_back(std::to_string(v1.iterations));
+    v2_i.push_back(std::to_string(v2.iterations));
+    v3_i.push_back(std::to_string(v3.iterations));
+  }
+
+  std::printf("Figure 10 series: simulated execution cost (units)\n");
+  PrintRow("Version / Size", labels);
+  PrintRow("A* v1 (rel., eucl.)", v1_c);
+  PrintRow("A* v2 (attr., eucl.)", v2_c);
+  PrintRow("A* v3 (attr., manh.)", v3_c);
+
+  std::printf("\niterations\n");
+  PrintRow("Version / Size", labels);
+  PrintRow("A* v1", v1_i);
+  PrintRow("A* v2", v2_i);
+  PrintRow("A* v3", v3_i);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

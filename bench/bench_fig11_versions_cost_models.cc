@@ -1,0 +1,64 @@
+// Reproduces Figure 11: effect of the edge-cost model on the execution
+// time of the three A* implementation versions. 20x20 grid, diagonal
+// query.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11",
+              "A* versions vs edge-cost model. 20x20 grid, diagonal "
+              "query.\nPaper shape: every version is worst under 20% "
+              "variance; v1 beats v2 on the skewed\ngraph (v2 pays full "
+              "initialisation of R while v1 grows its relation lazily).");
+
+  struct M {
+    const char* name;
+    graph::GridCostModel model;
+  };
+  const M models[] = {
+      {"Uniform", graph::GridCostModel::kUniform},
+      {"20% Variance", graph::GridCostModel::kVariance20},
+      {"Skewed", graph::GridCostModel::kSkewed},
+  };
+  const auto q = graph::GridGraphGenerator::DiagonalQuery(20);
+
+  std::vector<std::string> labels, v1_c, v2_c, v3_c;
+  for (const M& m : models) {
+    const graph::Graph g = MakeGrid(20, m.model);
+    core::DbSearchOptions opt;
+    opt.estimator_known_admissible =
+        m.model != graph::GridCostModel::kSkewed;
+    DbInstance db(g, opt);
+    const Cell v1 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV1);
+    const Cell v2 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV2);
+    const Cell v3 = RunDb(db, core::Algorithm::kAStar, q.source,
+                          q.destination, core::AStarVersion::kV3);
+    labels.push_back(m.name);
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    v1_c.push_back(fmt(v1.cost_units));
+    v2_c.push_back(fmt(v2.cost_units));
+    v3_c.push_back(fmt(v3.cost_units));
+  }
+
+  std::printf("Figure 11 series: simulated execution cost (units)\n");
+  PrintRow("Version / Cost model", labels);
+  PrintRow("A* v1 (rel., eucl.)", v1_c);
+  PrintRow("A* v2 (attr., eucl.)", v2_c);
+  PrintRow("A* v3 (attr., manh.)", v3_c);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 12: effect of path length on the execution time of
+// the three A* implementation versions. 30x30 grid, 20% variance.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 12",
+              "A* versions vs path length. 30x30 grid, 20% variance.\n"
+              "Paper shape: v1 starts ahead on short paths (no full-R "
+              "initialisation) but falls\nbehind for long ones; v3 grows "
+              "almost linearly with path length.");
+
+  struct Q {
+    const char* name;
+    graph::GridQuery q;
+  };
+  const Q queries[] = {
+      {"Horizontal", graph::GridGraphGenerator::HorizontalQuery(30)},
+      {"Semi-Diagonal", graph::GridGraphGenerator::SemiDiagonalQuery(30)},
+      {"Diagonal", graph::GridGraphGenerator::DiagonalQuery(30)},
+  };
+
+  const graph::Graph g = MakeGrid(30, graph::GridCostModel::kVariance20);
+  DbInstance db(g);
+
+  std::vector<std::string> labels, v1_c, v2_c, v3_c;
+  for (const Q& e : queries) {
+    const Cell v1 = RunDb(db, core::Algorithm::kAStar, e.q.source,
+                          e.q.destination, core::AStarVersion::kV1);
+    const Cell v2 = RunDb(db, core::Algorithm::kAStar, e.q.source,
+                          e.q.destination, core::AStarVersion::kV2);
+    const Cell v3 = RunDb(db, core::Algorithm::kAStar, e.q.source,
+                          e.q.destination, core::AStarVersion::kV3);
+    labels.push_back(e.name);
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    v1_c.push_back(fmt(v1.cost_units));
+    v2_c.push_back(fmt(v2.cost_units));
+    v3_c.push_back(fmt(v3.cost_units));
+  }
+
+  std::printf("Figure 12 series: simulated execution cost (units)\n");
+  PrintRow("Version / Path", labels);
+  PrintRow("A* v1 (rel., eucl.)", v1_c);
+  PrintRow("A* v2 (attr., eucl.)", v2_c);
+  PrintRow("A* v3 (attr., manh.)", v3_c);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

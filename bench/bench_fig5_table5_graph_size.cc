@@ -1,0 +1,67 @@
+// Reproduces Figure 5 (execution time vs graph size) and Table 5
+// (iterations vs graph size): diagonal path, 20% edge-cost variance,
+// grids 10x10 / 20x20 / 30x30.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 5 + Table 5",
+              "Effect of graph size. Diagonal query, 20% edge-cost "
+              "variance.\nPaper shape: A*/Dijkstra grow linearly in node "
+              "count; Iterative grows sublinearly.");
+
+  // Table 5 published iteration counts.
+  const uint64_t paper_dij[] = {99, 399, 899};
+  const uint64_t paper_a3[] = {85, 360, 838};
+  const uint64_t paper_it[] = {19, 39, 59};
+
+  const int sizes[] = {10, 20, 30};
+  std::vector<std::string> dij_iters, a3_iters, it_iters;
+  std::vector<std::string> dij_cost, a3_cost, it_cost;
+  for (int i = 0; i < 3; ++i) {
+    const int k = sizes[i];
+    const graph::Graph g =
+        MakeGrid(k, graph::GridCostModel::kVariance20);
+    DbInstance db(g);
+    const auto q = graph::GridGraphGenerator::DiagonalQuery(k);
+    const Cell dij = RunDb(db, core::Algorithm::kDijkstra, q.source,
+                           q.destination);
+    const Cell a3 =
+        RunDb(db, core::Algorithm::kAStar, q.source, q.destination);
+    const Cell it = RunDb(db, core::Algorithm::kIterative, q.source,
+                          q.destination);
+    dij_iters.push_back(VsPaper(dij.iterations, paper_dij[i]));
+    a3_iters.push_back(VsPaper(a3.iterations, paper_a3[i]));
+    it_iters.push_back(VsPaper(it.iterations, paper_it[i]));
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    dij_cost.push_back(fmt(dij.cost_units));
+    a3_cost.push_back(fmt(a3.cost_units));
+    it_cost.push_back(fmt(it.cost_units));
+  }
+
+  std::printf("Table 5: iterations, measured (paper)\n");
+  PrintRow("Algorithm / Size", {"10x10", "20x20", "30x30"});
+  PrintRow("Dijkstra", dij_iters);
+  PrintRow("A* (version 3)", a3_iters);
+  PrintRow("Iterative", it_iters);
+
+  std::printf("\nFigure 5 series: simulated execution cost (units)\n");
+  PrintRow("Algorithm / Size", {"10x10", "20x20", "30x30"});
+  PrintRow("Dijkstra", dij_cost);
+  PrintRow("A* (version 3)", a3_cost);
+  PrintRow("Iterative", it_cost);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 6 (execution time vs path length) and Table 6
+// (iterations vs path length): 30x30 grid, 20% edge-cost variance,
+// horizontal / semi-diagonal / diagonal queries.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 6 + Table 6",
+              "Effect of path length. 30x30 grid, 20% edge-cost variance."
+              "\nPaper shape: A* wins for short (horizontal) paths; "
+              "Iterative wins for diagonal paths;\nIterative iteration "
+              "count is insensitive to the query.");
+
+  const graph::Graph g = MakeGrid(30, graph::GridCostModel::kVariance20);
+  DbInstance db(g);
+
+  struct Q {
+    const char* name;
+    graph::GridQuery q;
+    uint64_t paper_dij, paper_a3, paper_it;
+  };
+  const Q queries[] = {
+      {"Horizontal", graph::GridGraphGenerator::HorizontalQuery(30), 488,
+       29, 59},
+      {"Semi-Diagonal", graph::GridGraphGenerator::SemiDiagonalQuery(30),
+       767, 407, 59},
+      {"Diagonal", graph::GridGraphGenerator::DiagonalQuery(30), 899, 838,
+       59},
+  };
+
+  std::vector<std::string> labels, dij_i, a3_i, it_i, dij_c, a3_c, it_c;
+  for (const Q& e : queries) {
+    const Cell dij = RunDb(db, core::Algorithm::kDijkstra, e.q.source,
+                           e.q.destination);
+    const Cell a3 =
+        RunDb(db, core::Algorithm::kAStar, e.q.source, e.q.destination);
+    const Cell it = RunDb(db, core::Algorithm::kIterative, e.q.source,
+                          e.q.destination);
+    labels.push_back(e.name);
+    dij_i.push_back(VsPaper(dij.iterations, e.paper_dij));
+    a3_i.push_back(VsPaper(a3.iterations, e.paper_a3));
+    it_i.push_back(VsPaper(it.iterations, e.paper_it));
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    dij_c.push_back(fmt(dij.cost_units));
+    a3_c.push_back(fmt(a3.cost_units));
+    it_c.push_back(fmt(it.cost_units));
+  }
+
+  std::printf("Table 6: iterations, measured (paper)\n");
+  PrintRow("Algorithm / Path", labels);
+  PrintRow("Dijkstra", dij_i);
+  PrintRow("A* (version 3)", a3_i);
+  PrintRow("Iterative", it_i);
+
+  std::printf("\nFigure 6 series: simulated execution cost (units)\n");
+  PrintRow("Algorithm / Path", labels);
+  PrintRow("Dijkstra", dij_c);
+  PrintRow("A* (version 3)", a3_c);
+  PrintRow("Iterative", it_c);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

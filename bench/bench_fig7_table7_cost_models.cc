@@ -1,0 +1,80 @@
+// Reproduces Figure 7 (execution time vs edge-cost model) and Table 7
+// (iterations vs edge-cost model): 20x20 grid, diagonal query, cost models
+// uniform / 20% variance / skewed.
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7 + Table 7",
+              "Effect of edge-cost models. 20x20 grid, diagonal query.\n"
+              "Paper shape: skewed costs eliminate backtracking for the "
+              "estimator-based algorithms\n(A*/Dijkstra collapse to the "
+              "cheap corridor) but *increase* Iterative's rounds;\n20% "
+              "variance is A* v3's worst case.");
+
+  struct M {
+    const char* name;
+    graph::GridCostModel model;
+    uint64_t paper_dij, paper_a3, paper_it;
+  };
+  const M models[] = {
+      {"Uniform", graph::GridCostModel::kUniform, 399, 189, 39},
+      {"20% Variance", graph::GridCostModel::kVariance20, 399, 360, 39},
+      {"Skewed", graph::GridCostModel::kSkewed, 48, 38, 56},
+  };
+  const auto q = graph::GridGraphGenerator::DiagonalQuery(20);
+
+  std::vector<std::string> labels, dij_i, a3_i, it_i, dij_c, a3_c, it_c;
+  for (const M& m : models) {
+    const graph::Graph g = MakeGrid(20, m.model);
+    core::DbSearchOptions opt;
+    // The skewed model breaks Manhattan admissibility (cheap corridors).
+    opt.estimator_known_admissible =
+        m.model != graph::GridCostModel::kSkewed;
+    DbInstance db(g, opt);
+    const Cell dij =
+        RunDb(db, core::Algorithm::kDijkstra, q.source, q.destination);
+    const Cell a3 =
+        RunDb(db, core::Algorithm::kAStar, q.source, q.destination);
+    const Cell it =
+        RunDb(db, core::Algorithm::kIterative, q.source, q.destination);
+    labels.push_back(m.name);
+    dij_i.push_back(VsPaper(dij.iterations, m.paper_dij));
+    a3_i.push_back(VsPaper(a3.iterations, m.paper_a3));
+    it_i.push_back(VsPaper(it.iterations, m.paper_it));
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    dij_c.push_back(fmt(dij.cost_units));
+    a3_c.push_back(fmt(a3.cost_units));
+    it_c.push_back(fmt(it.cost_units));
+  }
+
+  std::printf("Table 7: iterations, measured (paper)\n");
+  PrintRow("Algorithm / Cost", labels);
+  PrintRow("Dijkstra", dij_i);
+  PrintRow("A* (version 3)", a3_i);
+  PrintRow("Iterative", it_i);
+
+  std::printf(
+      "\nFigure 7 series: simulated execution cost (units)\n"
+      "note: with depth-preferring tie-breaking, A* v3 on the uniform "
+      "grid dives straight\n(38 expansions); the paper's QUEL scan order "
+      "gave 189 — same direction, stronger here.\n");
+  PrintRow("Algorithm / Cost", labels);
+  PrintRow("Dijkstra", dij_c);
+  PrintRow("A* (version 3)", a3_c);
+  PrintRow("Iterative", it_c);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 9 and Table 8: the Minneapolis road-map experiment.
+// The map itself is a synthetic stand-in reproducing the published
+// statistics (1089 nodes, ~3300 directed edges, rotated downtown, lakes,
+// river, one-way freeways); see DESIGN.md for the substitution argument.
+// Queries: two long diagonals (A->B against the downtown slope, C->D along
+// it) and two short trips (G->D, E->F).
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9 + Table 8",
+              "Minneapolis road map (synthetic stand-in; distance edge "
+              "costs, directed).\nPaper shape: Iterative's rounds are "
+              "insensitive to the query; estimator-based\nalgorithms win "
+              "decisively on short trips (paper: G->D cost 95% below "
+              "Iterative).");
+
+  auto rm_or = graph::GenerateMinneapolisLike();
+  if (!rm_or.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", rm_or.status().ToString().c_str());
+    return;
+  }
+  const graph::RoadMap rm = std::move(rm_or).value();
+  std::printf("map: %zu nodes, %zu directed edges (paper: 1089 / 3300)\n\n",
+              rm.graph.num_nodes(), rm.graph.num_edges());
+
+  core::DbSearchOptions opt;
+  opt.estimator_known_admissible = false;  // Manhattan over-estimates here
+  DbInstance db(rm.graph, opt);
+
+  struct Q {
+    const char* name;
+    graph::NodeId s, d;
+    uint64_t paper_it, paper_a3, paper_dij;
+  };
+  const Q queries[] = {
+      {"A to B", rm.a, rm.b, 55, 453, 1058},
+      {"C to D", rm.c, rm.d, 51, 266, 1006},
+      {"G to D", rm.g, rm.d, 55, 17, 105},
+      {"E to F", rm.e, rm.f, 41, 64, 307},
+  };
+
+  std::vector<std::string> labels, it_i, a3_i, dij_i, it_c, a3_c, dij_c;
+  for (const Q& e : queries) {
+    const Cell it = RunDb(db, core::Algorithm::kIterative, e.s, e.d);
+    const Cell a3 = RunDb(db, core::Algorithm::kAStar, e.s, e.d);
+    const Cell dij = RunDb(db, core::Algorithm::kDijkstra, e.s, e.d);
+    labels.push_back(e.name);
+    it_i.push_back(VsPaper(it.iterations, e.paper_it));
+    a3_i.push_back(VsPaper(a3.iterations, e.paper_a3));
+    dij_i.push_back(VsPaper(dij.iterations, e.paper_dij));
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    it_c.push_back(fmt(it.cost_units));
+    a3_c.push_back(fmt(a3.cost_units));
+    dij_c.push_back(fmt(dij.cost_units));
+  }
+
+  std::printf("Table 8: iterations, measured (paper)\n");
+  PrintRow("Algorithm / Path", labels);
+  PrintRow("Iterative", it_i);
+  PrintRow("A* (version 3)", a3_i);
+  PrintRow("Dijkstra", dij_i);
+
+  std::printf(
+      "\nFigure 9 series: simulated execution cost (units)\n"
+      "note: on this synthetic map A* v3 backtracks less on the long "
+      "diagonals than on the\npaper's digitised map (Manhattan "
+      "over-estimation keeps it focused); the short-trip\nadvantage and "
+      "the Iterative-beats-Dijkstra ordering reproduce (EXPERIMENTS.md).\n");
+  PrintRow("Algorithm / Path", labels);
+  PrintRow("Iterative", it_c);
+  PrintRow("A* (version 3)", a3_c);
+  PrintRow("Dijkstra", dij_c);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Hierarchical path view vs flat single-pair search: the precompute/query
+// tradeoff that the single-pair results of the paper motivate (its
+// authors' follow-up research line). Sweeps the cell size on the 30x30
+// grid and the road map.
+#include <cstdio>
+
+#include "core/hierarchy.h"
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void Sweep(const graph::Graph& g, graph::NodeId s, graph::NodeId d,
+           const std::vector<double>& cell_sizes) {
+  const auto flat = core::DijkstraSearch(g, s, d);
+  std::printf("flat Dijkstra: %llu expansions (cost %.3f)\n\n",
+              (unsigned long long)flat.stats.nodes_expanded, flat.cost);
+  PrintRow("cell size",
+           {"cells", "boundary", "shortcuts", "expansions", "cost"}, 11);
+  for (const double cell : cell_sizes) {
+    core::HierarchyOptions opt;
+    opt.cell_size = cell;
+    auto router = core::HierarchicalRouter::Build(&g, opt);
+    if (!router.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   router.status().ToString().c_str());
+      continue;
+    }
+    const auto r = router->Route(s, d);
+    char cellbuf[16], costbuf[24];
+    std::snprintf(cellbuf, sizeof(cellbuf), "%.1f", cell);
+    std::snprintf(costbuf, sizeof(costbuf), "%.3f", r.cost);
+    PrintRow(cellbuf,
+             {std::to_string(router->num_cells()),
+              std::to_string(router->num_boundary_nodes()),
+              std::to_string(router->num_shortcuts()),
+              std::to_string(r.stats.nodes_expanded), costbuf},
+             11);
+  }
+}
+
+void Run() {
+  PrintHeader("Hierarchical path view (extension)",
+              "Two-level precomputed routing vs flat Dijkstra. Exact "
+              "costs; query-time\nexpansions shrink as precomputed "
+              "structure grows.");
+
+  {
+    const graph::Graph g =
+        MakeGrid(30, graph::GridCostModel::kVariance20);
+    const auto q = graph::GridGraphGenerator::DiagonalQuery(30);
+    std::printf("30x30 grid, 20%% variance, diagonal query:\n");
+    Sweep(g, q.source, q.destination, {4.0, 6.0, 10.0, 15.0});
+  }
+  {
+    auto rm = graph::GenerateMinneapolisLike();
+    if (!rm.ok()) return;
+    std::printf("\nroad map, long diagonal A->B:\n");
+    Sweep(rm->graph, rm->a, rm->b, {4.0, 8.0, 12.0});
+  }
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

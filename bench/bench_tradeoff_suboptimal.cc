@@ -1,0 +1,91 @@
+// The paper's stated future work (Section 6): "the tradeoff between
+// optimality and speed may allow for sub-optimal algorithms to speed the
+// processing. Our future work will include analyzing the algorithms to
+// find a way to characterize the tradeoff."
+//
+// This bench characterises it two ways on the 30x30 / 20%-variance grid
+// and the road map:
+//   * weighted A* — estimator inflated by w: the returned cost is bounded
+//     by w x optimal, the search shrinks sharply with w;
+//   * bidirectional Dijkstra — the exact single-pair speedup that needs
+//     no estimator at all.
+#include <cstdio>
+
+#include "core/advanced_search.h"
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+void WeightSweep(const graph::Graph& g, graph::NodeId s, graph::NodeId d,
+                 const core::Estimator& estimator, double optimal) {
+  PrintRow("weight", {"expanded", "cost", "vs optimal"});
+  for (const double w : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0}) {
+    core::MemorySearchOptions opt;
+    opt.estimator_known_admissible = false;
+    const auto r = core::WeightedAStarSearch(g, s, d, estimator, w, opt);
+    char wbuf[16], cbuf[24], gap[24];
+    std::snprintf(wbuf, sizeof(wbuf), "%.2f", w);
+    std::snprintf(cbuf, sizeof(cbuf), "%.3f", r.cost);
+    std::snprintf(gap, sizeof(gap), "+%.2f%%",
+                  100.0 * (r.cost - optimal) / optimal);
+    PrintRow(wbuf, {std::to_string(r.stats.nodes_expanded), cbuf, gap});
+  }
+}
+
+void Run() {
+  PrintHeader("Tradeoff: optimality vs speed (paper Section 6 future "
+              "work)",
+              "Weighted A* (estimator inflated by w; cost bounded by w x "
+              "optimal) and\nbidirectional Dijkstra (exact).");
+
+  {
+    const graph::Graph g =
+        MakeGrid(30, graph::GridCostModel::kVariance20);
+    const auto q = graph::GridGraphGenerator::DiagonalQuery(30);
+    const auto man =
+        core::MakeEstimator(core::EstimatorKind::kManhattan);
+    const double optimal =
+        core::DijkstraSearch(g, q.source, q.destination).cost;
+    std::printf("30x30 grid, 20%% variance, diagonal query "
+                "(optimal cost %.3f):\n",
+                optimal);
+    WeightSweep(g, q.source, q.destination, *man, optimal);
+
+    const auto uni = core::DijkstraSearch(g, q.source, q.destination);
+    const auto bi =
+        core::BidirectionalDijkstra(g, q.source, q.destination);
+    std::printf("\nbidirectional Dijkstra: %llu expansions vs %llu "
+                "unidirectional (exact, cost %.3f)\n",
+                (unsigned long long)bi.stats.nodes_expanded,
+                (unsigned long long)uni.stats.nodes_expanded, bi.cost);
+  }
+
+  {
+    auto rm_or = graph::GenerateMinneapolisLike();
+    if (!rm_or.ok()) return;
+    const graph::RoadMap rm = std::move(rm_or).value();
+    const auto eu =
+        core::MakeEstimator(core::EstimatorKind::kEuclidean);
+    const double optimal =
+        core::DijkstraSearch(rm.graph, rm.a, rm.b).cost;
+    std::printf("\nroad map, long diagonal A->B (optimal cost %.3f):\n",
+                optimal);
+    WeightSweep(rm.graph, rm.a, rm.b, *eu, optimal);
+
+    const auto uni = core::DijkstraSearch(rm.graph, rm.a, rm.b);
+    const auto bi = core::BidirectionalDijkstra(rm.graph, rm.a, rm.b);
+    std::printf("\nbidirectional Dijkstra: %llu expansions vs %llu "
+                "unidirectional (exact, cost %.3f)\n",
+                (unsigned long long)bi.stats.nodes_expanded,
+                (unsigned long long)uni.stats.nodes_expanded, bi.cost);
+  }
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main() {
+  atis::bench::Run();
+  return 0;
+}

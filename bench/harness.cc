@@ -1,0 +1,97 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace atis::bench {
+
+DbInstance::DbInstance(const graph::Graph& g, core::DbSearchOptions options,
+                       size_t pool_frames) {
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, pool_frames);
+  store_ = std::make_unique<graph::RelationalGraphStore>(pool_.get());
+  const Status st = store_->Load(g);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: store load failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  engine_ =
+      std::make_unique<core::DbSearchEngine>(store_.get(), pool_.get(),
+                                             options);
+}
+
+Cell ToCell(const core::PathResult& r) {
+  Cell c;
+  c.iterations = r.stats.iterations;
+  c.cost_units = r.stats.cost_units;
+  c.path_cost = r.cost;
+  c.found = r.found;
+  return c;
+}
+
+Cell RunDb(DbInstance& db, core::Algorithm algorithm, graph::NodeId s,
+           graph::NodeId d, core::AStarVersion version) {
+  Result<core::PathResult> r = [&]() -> Result<core::PathResult> {
+    switch (algorithm) {
+      case core::Algorithm::kIterative:
+        return db.engine().Iterative(s, d);
+      case core::Algorithm::kDijkstra:
+        return db.engine().Dijkstra(s, d);
+      case core::Algorithm::kAStar:
+        return db.engine().AStar(s, d, version);
+    }
+    return Status::Internal("bad algorithm");
+  }();
+  if (!r.ok()) {
+    std::fprintf(stderr, "fatal: %s failed: %s\n",
+                 std::string(core::AlgorithmName(algorithm)).c_str(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return ToCell(*r);
+}
+
+graph::Graph MakeGrid(int k, graph::GridCostModel model) {
+  graph::GridGraphGenerator::Options opt;
+  opt.k = k;
+  opt.cost_model = model;
+  auto g = graph::GridGraphGenerator::Generate(opt);
+  if (!g.ok()) {
+    std::fprintf(stderr, "fatal: grid generation failed: %s\n",
+                 g.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+void PrintHeader(const std::string& experiment, const std::string& detail) {
+  std::printf("\n=== %s ===\n%s\n", experiment.c_str(), detail.c_str());
+  std::printf("(cells show: measured (paper); execution cost in Table 4A "
+              "units)\n\n");
+}
+
+void PrintRow(const std::string& label,
+              const std::vector<std::string>& cols, int width) {
+  std::printf("%-22s", label.c_str());
+  for (const std::string& c : cols) {
+    std::printf(" | %*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string VsPaper(double measured, double published, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << measured << " (" << published << ")";
+  return out.str();
+}
+
+std::string VsPaper(uint64_t measured, uint64_t published) {
+  std::ostringstream out;
+  out << measured << " (" << published << ")";
+  return out.str();
+}
+
+}  // namespace atis::bench

@@ -1,0 +1,73 @@
+// Shared experiment harness for the per-table/per-figure benchmark
+// binaries. Each binary regenerates one table or figure of the paper's
+// evaluation (Section 5), printing measured values next to the published
+// ones so the reproduction can be eyeballed row by row.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db_search.h"
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "graph/road_map_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::bench {
+
+/// A database-resident copy of a graph plus a search engine over it.
+/// Bundles the storage stack so experiment code stays declarative.
+class DbInstance {
+ public:
+  /// `options.cost_params` also drives reported cost units.
+  explicit DbInstance(const graph::Graph& g,
+                      core::DbSearchOptions options = {},
+                      size_t pool_frames = 64);
+
+  core::DbSearchEngine& engine() { return *engine_; }
+  graph::RelationalGraphStore& store() { return *store_; }
+  storage::DiskManager& disk() { return disk_; }
+
+ private:
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<graph::RelationalGraphStore> store_;
+  std::unique_ptr<core::DbSearchEngine> engine_;
+};
+
+/// One measured cell: iterations + simulated execution cost.
+struct Cell {
+  uint64_t iterations = 0;
+  double cost_units = 0.0;
+  double path_cost = 0.0;
+  bool found = false;
+};
+
+Cell ToCell(const core::PathResult& r);
+
+/// Runs `algorithm` on the db instance; aborts with a message on error
+/// (benchmark binaries fail loudly rather than reporting bogus rows).
+Cell RunDb(DbInstance& db, core::Algorithm algorithm, graph::NodeId s,
+           graph::NodeId d,
+           core::AStarVersion version = core::AStarVersion::kV3);
+
+/// Builds the paper's grid for a given size / cost model (seed 1993).
+graph::Graph MakeGrid(int k, graph::GridCostModel model);
+
+// -- Table formatting -------------------------------------------------------
+
+/// Prints a header box: experiment id + description.
+void PrintHeader(const std::string& experiment, const std::string& detail);
+
+/// Prints one row: label + columns, aligned. `width` is the column width.
+void PrintRow(const std::string& label, const std::vector<std::string>& cols,
+              int width = 14);
+
+/// Formats "measured (paper published)" for quick comparison.
+std::string VsPaper(double measured, double published, int precision = 1);
+std::string VsPaper(uint64_t measured, uint64_t published);
+
+}  // namespace atis::bench

@@ -1,0 +1,211 @@
+// atis_cli — command-line front end to the library: generate maps, inspect
+// them, and answer route queries.
+//
+//   atis_cli generate grid <k> <uniform|variance|skewed> <file>
+//   atis_cli generate roadmap <file>
+//   atis_cli info <file>
+//   atis_cli route <file> <src> <dst> [astar|dijkstra|iterative|bidir]
+//                  [manhattan|euclidean] [weight]
+//   atis_cli alternates <file> <src> <dst> <k>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/advanced_search.h"
+#include "core/k_shortest.h"
+#include "core/memory_search.h"
+#include "core/route_service.h"
+#include "core/sssp.h"
+#include "graph/graph_io.h"
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+#include "graph/svg_export.h"
+
+namespace {
+
+using namespace atis;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s generate grid <k> <uniform|variance|skewed> <file>\n"
+      "  %s generate roadmap <file>\n"
+      "  %s info <file>\n"
+      "  %s route <file> <src> <dst> [astar|dijkstra|iterative|bidir]"
+      " [manhattan|euclidean] [weight]\n"
+      "  %s alternates <file> <src> <dst> <k>\n"
+      "  %s svg <file> <src> <dst> <out.svg>\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+Result<graph::Graph> Load(const std::string& path) {
+  return graph::LoadGraphFile(path);
+}
+
+int CmdGenerate(int argc, char** argv, const char* argv0) {
+  if (argc >= 2 && std::strcmp(argv[0], "roadmap") == 0) {
+    auto rm = graph::GenerateMinneapolisLike();
+    if (!rm.ok()) {
+      std::fprintf(stderr, "%s\n", rm.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = graph::SaveGraphFile(rm->graph, argv[1]); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu nodes, %zu edges); landmarks A=%d B=%d "
+                "C=%d D=%d E=%d F=%d G=%d\n",
+                argv[1], rm->graph.num_nodes(), rm->graph.num_edges(),
+                rm->a, rm->b, rm->c, rm->d, rm->e, rm->f, rm->g);
+    return 0;
+  }
+  if (argc >= 4 && std::strcmp(argv[0], "grid") == 0) {
+    graph::GridGraphGenerator::Options opt;
+    opt.k = std::atoi(argv[1]);
+    const std::string model = argv[2];
+    if (model == "uniform") {
+      opt.cost_model = graph::GridCostModel::kUniform;
+    } else if (model == "variance") {
+      opt.cost_model = graph::GridCostModel::kVariance20;
+    } else if (model == "skewed") {
+      opt.cost_model = graph::GridCostModel::kSkewed;
+    } else {
+      return Usage(argv0);
+    }
+    auto g = graph::GridGraphGenerator::Generate(opt);
+    if (!g.ok()) {
+      std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = graph::SaveGraphFile(*g, argv[3]); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu nodes, %zu edges)\n", argv[3],
+                g->num_nodes(), g->num_edges());
+    return 0;
+  }
+  return Usage(argv0);
+}
+
+int CmdInfo(const std::string& path) {
+  auto g = Load(path);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu nodes, %zu directed edges, average degree %.2f\n",
+              path.c_str(), g->num_nodes(), g->num_edges(),
+              g->AverageDegree());
+  if (g->num_nodes() <= 2500) {
+    auto diameter = core::GraphDiameter(*g);
+    if (diameter.ok()) {
+      std::printf("cost diameter: %.3f\n", *diameter);
+    }
+  } else {
+    std::printf("cost diameter: skipped (graph too large for exact "
+                "all-pairs)\n");
+  }
+  return 0;
+}
+
+int CmdRoute(int argc, char** argv) {
+  auto g = Load(argv[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const auto src = static_cast<graph::NodeId>(std::atoi(argv[1]));
+  const auto dst = static_cast<graph::NodeId>(std::atoi(argv[2]));
+  const std::string algo = argc > 3 ? argv[3] : "astar";
+  const std::string est = argc > 4 ? argv[4] : "euclidean";
+  const double weight = argc > 5 ? std::atof(argv[5]) : 1.0;
+
+  auto estimator = core::MakeEstimator(
+      est == "manhattan" ? core::EstimatorKind::kManhattan
+                         : core::EstimatorKind::kEuclidean);
+  core::MemorySearchOptions opt;
+  opt.estimator_known_admissible = false;  // unknown user graph
+
+  core::PathResult r;
+  if (algo == "dijkstra") {
+    r = core::DijkstraSearch(*g, src, dst);
+  } else if (algo == "iterative") {
+    r = core::IterativeBfsSearch(*g, src, dst);
+  } else if (algo == "bidir") {
+    r = core::BidirectionalDijkstra(*g, src, dst);
+  } else {
+    r = core::WeightedAStarSearch(*g, src, dst, *estimator, weight, opt);
+  }
+  if (!r.found) {
+    std::printf("no route from %d to %d\n", src, dst);
+    return 1;
+  }
+  std::printf("cost %.4f over %zu segments (%llu nodes examined%s)\n",
+              r.cost, r.path.size() - 1,
+              (unsigned long long)r.stats.nodes_expanded,
+              r.optimality_guaranteed ? ", optimal" : "");
+  std::printf("%s", core::RenderDirections(*g, r.path).c_str());
+  return 0;
+}
+
+int CmdSvg(char** argv) {
+  auto g = Load(argv[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const auto src = static_cast<graph::NodeId>(std::atoi(argv[1]));
+  const auto dst = static_cast<graph::NodeId>(std::atoi(argv[2]));
+  const auto r = core::DijkstraSearch(*g, src, dst);
+  if (!r.found) {
+    std::fprintf(stderr, "no route from %d to %d\n", src, dst);
+    return 1;
+  }
+  if (auto st = graph::SaveSvgFile(*g, r.path, argv[3]); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (route cost %.4f, %zu segments)\n", argv[3],
+              r.cost, r.path.size() - 1);
+  return 0;
+}
+
+int CmdAlternates(char** argv) {
+  auto g = Load(argv[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const auto src = static_cast<graph::NodeId>(std::atoi(argv[1]));
+  const auto dst = static_cast<graph::NodeId>(std::atoi(argv[2]));
+  const auto k = static_cast<size_t>(std::atoi(argv[3]));
+  auto routes = core::KShortestPaths(*g, src, dst, k);
+  if (!routes.ok()) {
+    std::fprintf(stderr, "%s\n", routes.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < routes->size(); ++i) {
+    std::printf("#%zu cost %.4f, %zu segments\n", i + 1,
+                (*routes)[i].cost, (*routes)[i].path.size() - 1);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "generate" && argc >= 4) {
+    return CmdGenerate(argc - 2, argv + 2, argv[0]);
+  }
+  if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
+  if (cmd == "route" && argc >= 5) return CmdRoute(argc - 2, argv + 2);
+  if (cmd == "alternates" && argc == 6) return CmdAlternates(argv + 2);
+  if (cmd == "svg" && argc == 6) return CmdSvg(argv + 2);
+  return Usage(argv[0]);
+}

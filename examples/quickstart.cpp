@@ -1,0 +1,61 @@
+// Quickstart: build a small city grid, compute a route with each of the
+// three algorithms, and display it.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/memory_search.h"
+#include "core/route_service.h"
+#include "graph/grid_generator.h"
+
+int main() {
+  using namespace atis;
+
+  // 1. A synthetic 12x12 street grid with mildly varying segment costs.
+  graph::GridGraphGenerator::Options opt;
+  opt.k = 12;
+  opt.cost_model = graph::GridCostModel::kVariance20;
+  auto city = graph::GridGraphGenerator::Generate(opt);
+  if (!city.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 city.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A trip from the southwest corner to the northeast corner.
+  const auto trip = graph::GridGraphGenerator::DiagonalQuery(opt.k);
+
+  // 3. Compute it three ways.
+  const auto manhattan =
+      core::MakeEstimator(core::EstimatorKind::kManhattan);
+  const core::PathResult astar =
+      core::AStarSearch(*city, trip.source, trip.destination, *manhattan);
+  const core::PathResult dijkstra =
+      core::DijkstraSearch(*city, trip.source, trip.destination);
+  const core::PathResult iterative =
+      core::IterativeBfsSearch(*city, trip.source, trip.destination);
+
+  std::printf("Route %d -> %d on a %dx%d grid\n\n", trip.source,
+              trip.destination, opt.k, opt.k);
+  std::printf("%-12s %12s %10s %12s\n", "algorithm", "iterations",
+              "expanded", "route cost");
+  std::printf("%-12s %12llu %10llu %12.3f\n", "A* (manh.)",
+              (unsigned long long)astar.stats.iterations,
+              (unsigned long long)astar.stats.nodes_expanded, astar.cost);
+  std::printf("%-12s %12llu %10llu %12.3f\n", "Dijkstra",
+              (unsigned long long)dijkstra.stats.iterations,
+              (unsigned long long)dijkstra.stats.nodes_expanded,
+              dijkstra.cost);
+  std::printf("%-12s %12llu %10llu %12.3f\n", "Iterative",
+              (unsigned long long)iterative.stats.iterations,
+              (unsigned long long)iterative.stats.nodes_expanded,
+              iterative.cost);
+
+  // 4. Display the A* route.
+  std::printf("\n%s\n",
+              core::RenderAsciiMap(*city, astar.path, 48, 24).c_str());
+  const auto eval = core::EvaluateRoute(*city, astar.path);
+  std::printf("route: %zu segments, total cost %.3f, directness %.2f\n",
+              eval.num_segments, eval.total_cost, eval.directness);
+  return 0;
+}

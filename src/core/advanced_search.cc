@@ -1,0 +1,174 @@
+#include "core/advanced_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Estimator adaptor multiplying a base estimate by a constant weight.
+class ScaledEstimator final : public Estimator {
+ public:
+  ScaledEstimator(const Estimator& base, double weight)
+      : base_(base), weight_(weight) {}
+  double Estimate(const graph::Point& a,
+                  const graph::Point& b) const override {
+    return weight_ * base_.Estimate(a, b);
+  }
+  EstimatorKind kind() const override { return base_.kind(); }
+
+ private:
+  const Estimator& base_;
+  double weight_;
+};
+
+}  // namespace
+
+PathResult WeightedAStarSearch(const Graph& g, NodeId source,
+                               NodeId destination,
+                               const Estimator& estimator, double weight,
+                               const MemorySearchOptions& options) {
+  const ScaledEstimator scaled(estimator, std::max(weight, 0.0));
+  PathResult result =
+      AStarSearch(g, source, destination, scaled, options);
+  result.optimality_guaranteed =
+      weight <= 1.0 && options.estimator_known_admissible;
+  return result;
+}
+
+graph::Graph ReverseOf(const Graph& g) {
+  Graph rev;
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    const graph::Point& p = g.point(u);
+    rev.AddNode(p.x, p.y);
+  }
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    for (const graph::Edge& e : g.Neighbors(u)) {
+      // Costs are non-negative by Graph's invariant; AddEdge cannot fail.
+      (void)rev.AddEdge(e.to, u, e.cost);
+    }
+  }
+  return rev;
+}
+
+PathResult BidirectionalDijkstra(const Graph& g, const Graph& reverse,
+                                 NodeId source, NodeId destination) {
+  PathResult result;
+  if (!g.HasNode(source) || !g.HasNode(destination) ||
+      reverse.num_nodes() != g.num_nodes()) {
+    return result;
+  }
+  if (source == destination) {
+    result.found = true;
+    result.cost = 0.0;
+    result.path = {source};
+    return result;
+  }
+
+  const size_t n = g.num_nodes();
+  struct Side {
+    std::vector<double> dist;
+    std::vector<NodeId> pred;
+    std::vector<uint8_t> settled;
+    std::priority_queue<std::pair<double, NodeId>,
+                        std::vector<std::pair<double, NodeId>>,
+                        std::greater<>>
+        pq;
+  };
+  Side fwd{std::vector<double>(n, kInf), std::vector<NodeId>(n, graph::kInvalidNode),
+           std::vector<uint8_t>(n, 0), {}};
+  Side bwd{std::vector<double>(n, kInf), std::vector<NodeId>(n, graph::kInvalidNode),
+           std::vector<uint8_t>(n, 0), {}};
+  fwd.dist[static_cast<size_t>(source)] = 0.0;
+  fwd.pq.emplace(0.0, source);
+  bwd.dist[static_cast<size_t>(destination)] = 0.0;
+  bwd.pq.emplace(0.0, destination);
+
+  double best = kInf;
+  NodeId meet = graph::kInvalidNode;
+
+  auto scan_top = [](Side& side) {
+    while (!side.pq.empty() &&
+           side.pq.top().first >
+               side.dist[static_cast<size_t>(side.pq.top().second)]) {
+      side.pq.pop();  // stale
+    }
+    return side.pq.empty() ? kInf : side.pq.top().first;
+  };
+
+  while (true) {
+    const double top_f = scan_top(fwd);
+    const double top_b = scan_top(bwd);
+    if (top_f + top_b >= best) break;  // no shorter meeting possible
+    if (top_f == kInf && top_b == kInf) break;
+
+    const bool expand_forward = top_f <= top_b;
+    Side& side = expand_forward ? fwd : bwd;
+    Side& other = expand_forward ? bwd : fwd;
+    const Graph& edges = expand_forward ? g : reverse;
+
+    const auto [du, u] = side.pq.top();
+    side.pq.pop();
+    if (side.settled[static_cast<size_t>(u)]) continue;
+    side.settled[static_cast<size_t>(u)] = 1;
+    ++result.stats.iterations;
+    ++result.stats.nodes_expanded;
+
+    for (const graph::Edge& e : edges.Neighbors(u)) {
+      ++result.stats.nodes_generated;
+      const double nd = du + e.cost;
+      if (nd < side.dist[static_cast<size_t>(e.to)]) {
+        ++result.stats.nodes_improved;
+        side.dist[static_cast<size_t>(e.to)] = nd;
+        side.pred[static_cast<size_t>(e.to)] = u;
+        side.pq.emplace(nd, e.to);
+      }
+      // Meeting-point bookkeeping uses the relaxed label plus the other
+      // side's best-known label.
+      const double through =
+          side.dist[static_cast<size_t>(e.to)] +
+          other.dist[static_cast<size_t>(e.to)];
+      if (through < best) {
+        best = through;
+        meet = e.to;
+      }
+    }
+  }
+
+  if (meet == graph::kInvalidNode) return result;  // disconnected
+
+  result.found = true;
+  result.cost = best;
+  // Forward half: source..meet.
+  std::vector<NodeId> path;
+  for (NodeId at = meet; at != graph::kInvalidNode;
+       at = fwd.pred[static_cast<size_t>(at)]) {
+    path.push_back(at);
+    if (at == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  // Backward half: meet..destination (backward preds are g-successors).
+  for (NodeId at = bwd.pred[static_cast<size_t>(meet)];
+       at != graph::kInvalidNode;
+       at = bwd.pred[static_cast<size_t>(at)]) {
+    path.push_back(at);
+    if (at == destination) break;
+  }
+  result.path = std::move(path);
+  return result;
+}
+
+PathResult BidirectionalDijkstra(const Graph& g, NodeId source,
+                                 NodeId destination) {
+  return BidirectionalDijkstra(g, ReverseOf(g), source, destination);
+}
+
+}  // namespace atis::core

@@ -1,0 +1,88 @@
+#include "core/db_route_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace atis::core {
+
+using graph::NodeId;
+using graph::RelationalGraphStore;
+
+Result<DbRouteEvaluation> DbEvaluateRoute(
+    const RelationalGraphStore& store, const std::vector<NodeId>& path,
+    const storage::CostParams& params) {
+  storage::IoMeter& meter =
+      store.node_relation().pool()->disk()->meter();
+  const storage::IoCounters start = meter.counters();
+
+  DbRouteEvaluation out;
+  auto finish = [&]() {
+    out.io = meter.counters() - start;
+    out.cost_units = out.io.Cost(params);
+    return out;
+  };
+
+  if (path.empty()) return finish();
+  if (path.size() == 1) {
+    out.evaluation.valid = store.GetNode(path.front()).ok();
+    out.evaluation.directness = 1.0;
+    return finish();
+  }
+
+  out.evaluation.valid = true;
+  double cumulative = 0.0;
+  double polyline = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    // Segment lookup: hash-index probe on S.begin_node.
+    auto adjacency = store.FetchAdjacency(path[i]);
+    if (!adjacency.ok()) {
+      out.evaluation.valid = false;
+      break;
+    }
+    double seg_cost = std::numeric_limits<double>::infinity();
+    for (const auto& e : *adjacency) {
+      if (e.end == path[i + 1]) seg_cost = std::min(seg_cost, e.cost);
+    }
+    if (!std::isfinite(seg_cost)) {
+      out.evaluation.valid = false;
+      break;
+    }
+    // Endpoint geometry: ISAM probes on R.node_id.
+    auto from = store.GetNode(path[i]);
+    auto to = store.GetNode(path[i + 1]);
+    if (!from.ok() || !to.ok()) {
+      out.evaluation.valid = false;
+      break;
+    }
+    cumulative += seg_cost;
+    const double dx = to->second.x - from->second.x;
+    const double dy = to->second.y - from->second.y;
+    polyline += std::hypot(dx, dy);
+    SegmentReport seg;
+    seg.from = path[i];
+    seg.to = path[i + 1];
+    seg.cost = seg_cost;
+    seg.cumulative_cost = cumulative;
+    seg.heading_deg = std::atan2(dy, dx) * 180.0 / std::numbers::pi;
+    out.evaluation.segments.push_back(seg);
+  }
+  out.evaluation.total_cost = cumulative;
+  out.evaluation.num_segments = out.evaluation.segments.size();
+
+  auto first = store.GetNode(path.front());
+  auto last = store.GetNode(path.back());
+  if (first.ok() && last.ok()) {
+    out.evaluation.straight_line_distance =
+        std::hypot(last->second.x - first->second.x,
+                   last->second.y - first->second.y);
+    out.evaluation.directness =
+        out.evaluation.straight_line_distance > 0.0
+            ? polyline / out.evaluation.straight_line_distance
+            : 1.0;
+  }
+  return finish();
+}
+
+}  // namespace atis::core

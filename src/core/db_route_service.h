@@ -1,0 +1,33 @@
+// Route evaluation against the database-resident map.
+//
+// Section 1.1 names route *evaluation* — "find the attributes of a given
+// route between two points" — as the second ATIS service next to route
+// computation. For a database-resident map this is a sequence of indexed
+// probes of the edge relation S, one per segment, so it has a block-I/O
+// cost of its own; this module performs the evaluation through the
+// metered engine and reports that cost.
+#pragma once
+
+#include <vector>
+
+#include "core/route_service.h"
+#include "graph/relational_graph.h"
+
+namespace atis::core {
+
+struct DbRouteEvaluation {
+  RouteEvaluation evaluation;
+  storage::IoCounters io;   ///< block I/O spent evaluating
+  double cost_units = 0.0;  ///< io in cost-parameter units
+};
+
+/// Evaluates `path` against the store: each consecutive pair is resolved
+/// through S's hash index (cheapest parallel segment wins) and node
+/// coordinates through R's ISAM index. A missing segment yields
+/// evaluation.valid == false, mirroring the in-memory EvaluateRoute.
+Result<DbRouteEvaluation> DbEvaluateRoute(
+    const graph::RelationalGraphStore& store,
+    const std::vector<graph::NodeId>& path,
+    const storage::CostParams& params = {});
+
+}  // namespace atis::core

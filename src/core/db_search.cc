@@ -1,0 +1,570 @@
+#include "core/db_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace atis::core {
+
+using graph::NodeId;
+using graph::NodeStatus;
+using graph::RelationalGraphStore;
+using relational::AsDouble;
+using relational::AsInt;
+using relational::Relation;
+using relational::Tuple;
+using storage::RecordId;
+
+using NodeRow = RelationalGraphStore::NodeRow;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Accumulates per-statement I/O deltas into SearchStats::IoBreakdown
+/// buckets (sum of buckets == total metered I/O of the run).
+class PhaseMeter {
+ public:
+  explicit PhaseMeter(storage::IoMeter& meter)
+      : meter_(meter), last_(meter.counters()) {}
+  void Charge(storage::IoCounters* bucket) {
+    const storage::IoCounters now = meter_.counters();
+    *bucket += now - last_;
+    last_ = now;
+  }
+
+ private:
+  storage::IoMeter& meter_;
+  storage::IoCounters last_;
+};
+
+/// Deterministic selection order shared with the in-memory engine:
+/// smaller f first; ties prefer larger g, then smaller node id.
+bool BetterCandidate(double f_a, double g_a, NodeId a, double f_b,
+                     double g_b, NodeId b) {
+  if (f_a != f_b) return f_a < f_b;
+  if (g_a != g_b) return g_a > g_b;
+  return a < b;
+}
+
+}  // namespace
+
+std::string_view AStarVersionName(AStarVersion v) {
+  switch (v) {
+    case AStarVersion::kV1:
+      return "A* version 1";
+    case AStarVersion::kV2:
+      return "A* version 2";
+    case AStarVersion::kV3:
+      return "A* version 3";
+  }
+  return "?";
+}
+
+DbSearchEngine::DbSearchEngine(RelationalGraphStore* store,
+                               storage::BufferPool* pool,
+                               DbSearchOptions options)
+    : store_(store), pool_(pool), options_(options) {}
+
+Status DbSearchEngine::EndStatement() {
+  if (options_.statement_at_a_time) return pool_->EvictAll();
+  return Status::OK();
+}
+
+Result<std::vector<NodeId>> DbSearchEngine::ReconstructFromStore(
+    NodeId source, NodeId destination) {
+  std::vector<NodeId> path;
+  NodeId at = destination;
+  const size_t guard = store_->num_nodes() + 2;
+  for (size_t hops = 0; hops < guard; ++hops) {
+    path.push_back(at);
+    if (at == source) {
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    ATIS_ASSIGN_OR_RETURN(auto node, store_->GetNode(at));
+    if (node.second.pred == graph::kInvalidNode) break;
+    at = node.second.pred;
+  }
+  return Status::Corruption("predecessor chain does not reach the source");
+}
+
+Result<PathResult> DbSearchEngine::Dijkstra(NodeId source,
+                                            NodeId destination) {
+  return BestFirstStatusAttribute(source, destination, /*estimator=*/nullptr);
+}
+
+Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
+                                         AStarVersion version) {
+  const auto estimator =
+      MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
+                                                 : EstimatorKind::kEuclidean);
+  const FrontierImpl frontier = version == AStarVersion::kV1
+                                    ? FrontierImpl::kSeparateRelation
+                                    : FrontierImpl::kStatusAttribute;
+  return AStarCustom(source, destination, *estimator, frontier);
+}
+
+Result<PathResult> DbSearchEngine::AStarCustom(NodeId source,
+                                               NodeId destination,
+                                               const Estimator& estimator,
+                                               FrontierImpl frontier) {
+  switch (frontier) {
+    case FrontierImpl::kStatusAttribute:
+      return BestFirstStatusAttribute(source, destination, &estimator);
+    case FrontierImpl::kSeparateRelation:
+      return AStarSeparateRelation(source, destination, estimator);
+  }
+  return Status::Internal("unreachable frontier implementation");
+}
+
+Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
+    NodeId source, NodeId destination, const Estimator* estimator) {
+  const bool allow_reopen = estimator != nullptr;  // A* yes, Dijkstra no
+  storage::IoMeter& meter = pool_->disk()->meter();
+  const storage::IoCounters start_io = meter.counters();
+  PhaseMeter phase(meter);
+
+  PathResult result;
+  result.optimality_guaranteed =
+      (estimator == nullptr) || options_.estimator_known_admissible;
+
+  // -- Initialisation (cost-model steps 1-4): reset R's working fields and
+  //    open the source with path cost 0.
+  ATIS_RETURN_NOT_OK(store_->ResetSearchState());
+  ATIS_RETURN_NOT_OK(EndStatement());
+  ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
+  const graph::Point dest_pt{dest_node.second.x, dest_node.second.y};
+  ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+  src.second.path_cost = 0.0;
+  src.second.status = NodeStatus::kOpen;
+  ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
+  ATIS_RETURN_NOT_OK(EndStatement());
+  phase.Charge(&result.stats.breakdown.init);
+
+  auto h = [&](const NodeRow& row) {
+    return estimator == nullptr
+               ? 0.0
+               : estimator->Estimate({row.x, row.y}, dest_pt);
+  };
+
+  while (true) {
+    // -- Statement: select u from frontierSet with minimum
+    //    C(s,u) [+ f(u,d)] — a scan of R over status = open.
+    std::optional<std::pair<RecordId, NodeRow>> best;
+    double best_f = kInf;
+    for (Relation::Cursor c = store_->node_relation().Scan(); c.Valid();
+         c.Next()) {
+      const NodeRow row = RelationalGraphStore::NodeFromTuple(c.tuple());
+      if (row.status != NodeStatus::kOpen) continue;
+      const double f = row.path_cost + h(row);
+      if (!best || BetterCandidate(f, row.path_cost, row.id, best_f,
+                                   best->second.path_cost,
+                                   best->second.id)) {
+        best = std::make_pair(c.rid(), row);
+        best_f = f;
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.selection);
+
+    if (!best) break;  // frontier empty: destination unreachable
+
+    if (best->second.id == destination) {
+      // Terminating selection (not counted as an iteration).
+      result.found = true;
+      result.cost = best->second.path_cost;
+      break;
+    }
+
+    // -- Statement: move u out of the frontier (REPLACE status=current).
+    NodeRow u = best->second;
+    u.status = NodeStatus::kCurrent;
+    ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.marking);
+    ++result.stats.iterations;
+    ++result.stats.nodes_expanded;
+
+    // -- Statement: fetch u.adjacencyList via the hash index on S.
+    ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(u.id));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.adjacency);
+
+    // -- Statement: relax every <v, C(u,v)>; REPLACE improved nodes.
+    for (const auto& e : edges) {
+      ++result.stats.nodes_generated;
+      ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(e.end));
+      const double nd = u.path_cost + e.cost;
+      if (nd < vn.second.path_cost) {
+        ++result.stats.nodes_improved;
+        if (vn.second.status == NodeStatus::kClosed && !allow_reopen) {
+          continue;  // Dijkstra: explored nodes are final
+        }
+        if (vn.second.status == NodeStatus::kClosed) {
+          ++result.stats.reopenings;
+        }
+        vn.second.path_cost = nd;
+        vn.second.pred = u.id;
+        vn.second.status = NodeStatus::kOpen;
+        ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.relaxation);
+
+    // -- Statement: close u (REPLACE status=closed).
+    u.status = NodeStatus::kClosed;
+    ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.marking);
+  }
+
+  result.stats.io = meter.counters() - start_io;
+  result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
+  if (result.found) {
+    ATIS_ASSIGN_OR_RETURN(result.path,
+                          ReconstructFromStore(source, destination));
+  }
+  return result;
+}
+
+Result<PathResult> DbSearchEngine::AStarSeparateRelation(
+    NodeId source, NodeId destination, const Estimator& estimator) {
+  storage::IoMeter& meter = pool_->disk()->meter();
+  const storage::IoCounters start_io = meter.counters();
+  PhaseMeter phase(meter);
+
+  PathResult result;
+  result.optimality_guaranteed = options_.estimator_known_admissible;
+
+  // Version 1 grows a private resultant relation R1 (same schema as R)
+  // incrementally and keeps the frontier in a separate relation F. Both
+  // carry hash indexes on node_id whose maintenance is exactly the
+  // APPEND/DELETE overhead the paper attributes to this version.
+  Relation r1("R1", RelationalGraphStore::NodeSchema(), pool_,
+              /*charge_create=*/true);
+  ATIS_RETURN_NOT_OK(r1.CreateHashIndex(RelationalGraphStore::kNodeIdField,
+                                        /*num_buckets=*/64));
+  const relational::Schema f_schema(
+      {{"node_id", relational::FieldType::kInt16},
+       {"g_cost", relational::FieldType::kFloat},
+       {"f_cost", relational::FieldType::kFloat}});
+  Relation frontier("F", f_schema, pool_, /*charge_create=*/true);
+  ATIS_RETURN_NOT_OK(
+      frontier.CreateHashIndex("node_id", /*num_buckets=*/64));
+  ATIS_RETURN_NOT_OK(EndStatement());
+
+  ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
+  const graph::Point dest_pt{dest_node.second.x, dest_node.second.y};
+  auto h = [&](const NodeRow& row) {
+    return estimator.Estimate({row.x, row.y}, dest_pt);
+  };
+
+  // Seed with the source (master coordinates come from the store's R).
+  ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+  NodeRow srow = src.second;
+  srow.path_cost = 0.0;
+  srow.status = NodeStatus::kOpen;
+  ATIS_RETURN_NOT_OK(
+      r1.Insert(RelationalGraphStore::ToTuple(srow)).status());
+  ATIS_RETURN_NOT_OK(relational::Append(
+      &frontier, Tuple{static_cast<int64_t>(source), 0.0, h(srow)}));
+  ATIS_RETURN_NOT_OK(EndStatement());
+  phase.Charge(&result.stats.breakdown.init);
+
+  auto r1_get = [&](NodeId v) -> Result<std::optional<
+                                  std::pair<RecordId, NodeRow>>> {
+    ATIS_ASSIGN_OR_RETURN(
+        auto rids, r1.IndexLookup(RelationalGraphStore::kNodeIdField, v));
+    if (rids.empty()) {
+      return std::optional<std::pair<RecordId, NodeRow>>{};
+    }
+    ATIS_ASSIGN_OR_RETURN(Tuple t, r1.Get(rids.front()));
+    return std::optional<std::pair<RecordId, NodeRow>>(
+        std::make_pair(rids.front(),
+                       RelationalGraphStore::NodeFromTuple(t)));
+  };
+
+  while (true) {
+    // -- Statement: scan F for the minimum f entry.
+    std::optional<std::pair<RecordId, Tuple>> best;
+    for (Relation::Cursor c = frontier.Scan(); c.Valid(); c.Next()) {
+      Tuple t = c.tuple();
+      if (!best ||
+          BetterCandidate(AsDouble(t[2]), AsDouble(t[1]),
+                          static_cast<NodeId>(AsInt(t[0])),
+                          AsDouble(best->second[2]),
+                          AsDouble(best->second[1]),
+                          static_cast<NodeId>(AsInt(best->second[0])))) {
+        best = std::make_pair(c.rid(), std::move(t));
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.selection);
+    if (!best) break;
+
+    const NodeId uid = static_cast<NodeId>(AsInt(best->second[0]));
+    const double ug = AsDouble(best->second[1]);
+
+    // -- Statement: DELETE the selected tuple from F.
+    ATIS_RETURN_NOT_OK(frontier.Delete(best->first));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.marking);
+
+    // Stale frontier tuples (duplicates-allowed policy) surface here: the
+    // R1 row already records a cheaper path, so this selection is a
+    // redundant iteration.
+    ATIS_ASSIGN_OR_RETURN(auto ru, r1_get(uid));
+    if (!ru) return Status::Corruption("frontier node missing from R1");
+    if (options_.duplicate_policy == DuplicatePolicy::kAllow &&
+        (ug > ru->second.path_cost ||
+         ru->second.status == NodeStatus::kClosed)) {
+      ++result.stats.iterations;
+      continue;
+    }
+
+    if (uid == destination) {
+      result.found = true;
+      result.cost = ru->second.path_cost;
+      break;
+    }
+
+    NodeRow u = ru->second;
+    ++result.stats.iterations;
+    ++result.stats.nodes_expanded;
+
+    // -- Statement: fetch adjacency from S.
+    ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(uid));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.adjacency);
+
+    // -- Statement: relax neighbours into R1 / F.
+    for (const auto& e : edges) {
+      ++result.stats.nodes_generated;
+      const double nd = u.path_cost + e.cost;
+      ATIS_ASSIGN_OR_RETURN(auto rv, r1_get(e.end));
+      if (!rv) {
+        // First sight of v: pull its coordinates from the master R,
+        // APPEND a row to R1 and a frontier tuple to F.
+        ++result.stats.nodes_improved;
+        ATIS_ASSIGN_OR_RETURN(auto master, store_->GetNode(e.end));
+        NodeRow vrow = master.second;
+        vrow.path_cost = nd;
+        vrow.pred = uid;
+        vrow.status = NodeStatus::kOpen;
+        ATIS_RETURN_NOT_OK(
+            r1.Insert(RelationalGraphStore::ToTuple(vrow)).status());
+        ATIS_RETURN_NOT_OK(relational::Append(
+            &frontier,
+            Tuple{static_cast<int64_t>(e.end), nd, nd + h(vrow)}));
+        continue;
+      }
+      if (nd >= rv->second.path_cost) continue;
+      ++result.stats.nodes_improved;
+      NodeRow vrow = rv->second;
+      const NodeStatus prev = vrow.status;
+      vrow.path_cost = nd;
+      vrow.pred = uid;
+      vrow.status = NodeStatus::kOpen;
+      ATIS_RETURN_NOT_OK(
+          r1.Update(rv->first, RelationalGraphStore::ToTuple(vrow)));
+      if (prev == NodeStatus::kClosed) ++result.stats.reopenings;
+
+      const Tuple fresh{static_cast<int64_t>(e.end), nd, nd + h(vrow)};
+      switch (options_.duplicate_policy) {
+        case DuplicatePolicy::kAvoid: {
+          // Membership check via F's index; DELETE the old tuple first.
+          ATIS_ASSIGN_OR_RETURN(auto frids,
+                                frontier.IndexLookup("node_id", e.end));
+          for (const RecordId frid : frids) {
+            ATIS_RETURN_NOT_OK(frontier.Delete(frid));
+          }
+          ATIS_RETURN_NOT_OK(relational::Append(&frontier, fresh));
+          break;
+        }
+        case DuplicatePolicy::kEliminate: {
+          // Insert first, then purge older duplicates.
+          ATIS_RETURN_NOT_OK(relational::Append(&frontier, fresh));
+          ATIS_ASSIGN_OR_RETURN(auto frids,
+                                frontier.IndexLookup("node_id", e.end));
+          for (const RecordId frid : frids) {
+            ATIS_ASSIGN_OR_RETURN(Tuple t, frontier.Get(frid));
+            if (AsDouble(t[1]) > nd) {
+              ATIS_RETURN_NOT_OK(frontier.Delete(frid));
+            }
+          }
+          break;
+        }
+        case DuplicatePolicy::kAllow:
+          ATIS_RETURN_NOT_OK(relational::Append(&frontier, fresh));
+          break;
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.relaxation);
+
+    // -- Statement: close u in R1.
+    u.path_cost = ru->second.path_cost;
+    u.status = NodeStatus::kClosed;
+    ATIS_RETURN_NOT_OK(
+        r1.Update(ru->first, RelationalGraphStore::ToTuple(u)));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.marking);
+
+    result.stats.frontier_peak = std::max<uint64_t>(
+        result.stats.frontier_peak, frontier.num_tuples());
+  }
+
+  // Drop the temporaries (charged), then snapshot stats.
+  ATIS_RETURN_NOT_OK(EndStatement());
+
+  // Reconstruct before dropping R1 but snapshot the meter first: route
+  // assembly is not part of the search cost.
+  std::vector<NodeId> path;
+  if (result.found) {
+    NodeId at = destination;
+    const size_t limit = store_->num_nodes() + 2;
+    for (size_t i = 0; i < limit; ++i) {
+      path.push_back(at);
+      if (at == source) break;
+      ATIS_ASSIGN_OR_RETURN(auto rn, r1_get(at));
+      if (!rn || rn->second.pred == graph::kInvalidNode) {
+        return Status::Corruption("broken predecessor chain in R1");
+      }
+      at = rn->second.pred;
+    }
+    std::reverse(path.begin(), path.end());
+  }
+
+  ATIS_RETURN_NOT_OK(r1.Clear(/*charge=*/true));
+  ATIS_RETURN_NOT_OK(frontier.Clear(/*charge=*/true));
+  ATIS_RETURN_NOT_OK(EndStatement());
+  phase.Charge(&result.stats.breakdown.cleanup);
+
+  result.stats.io = meter.counters() - start_io;
+  result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
+  result.path = std::move(path);
+  return result;
+}
+
+Result<PathResult> DbSearchEngine::Iterative(NodeId source,
+                                             NodeId destination) {
+  storage::IoMeter& meter = pool_->disk()->meter();
+  const storage::IoCounters start_io = meter.counters();
+  PhaseMeter phase(meter);
+
+  PathResult result;
+
+  // -- Initialisation (Table 2, steps 1-4): reset R, mark source current.
+  ATIS_RETURN_NOT_OK(store_->ResetSearchState());
+  ATIS_RETURN_NOT_OK(EndStatement());
+  ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+  src.second.path_cost = 0.0;
+  src.second.status = NodeStatus::kCurrent;
+  ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
+  ATIS_RETURN_NOT_OK(EndStatement());
+  phase.Charge(&result.stats.breakdown.init);
+
+  Relation& r = store_->node_relation();
+  Relation& s = store_->edge_relation();
+
+  while (true) {
+    // -- Step 5: fetch all current nodes from R (scan).
+    ATIS_ASSIGN_OR_RETURN(
+        auto current,
+        relational::SelectScan(r, [](const Tuple& t) {
+          return AsInt(t[3]) == static_cast<int64_t>(NodeStatus::kCurrent);
+        }));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.selection);
+    if (current.empty()) break;
+
+    ++result.stats.iterations;
+    result.stats.frontier_peak =
+        std::max<uint64_t>(result.stats.frontier_peak, current.size());
+    result.stats.nodes_expanded += current.size();
+
+    // -- Step 6: join current nodes with S to reach their neighbours.
+    //    The current nodes are materialised as a temporary relation, as in
+    //    the relational formulation.
+    Relation cur("C", RelationalGraphStore::NodeSchema(), pool_,
+                 /*charge_create=*/true);
+    for (const auto& m : current) {
+      ATIS_RETURN_NOT_OK(cur.Insert(m.tuple).status());
+    }
+    ATIS_ASSIGN_OR_RETURN(
+        auto join,
+        relational::Join(cur, s,
+                         {RelationalGraphStore::kNodeIdField,
+                          RelationalGraphStore::kBeginField},
+                         options_.join_strategy, options_.cost_params,
+                         "JOIN"));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.adjacency);
+
+    // -- Step 7: update status/path of improved neighbours in R.
+    //    Join tuple layout: fields 0..5 from C (node row), 6..8 from S.
+    for (Relation::Cursor c = join->Scan(); c.Valid(); c.Next()) {
+      const Tuple t = c.tuple();
+      ++result.stats.nodes_generated;
+      const double nd = AsDouble(t[5]) + AsDouble(t[8]);
+      const NodeId v = static_cast<NodeId>(AsInt(t[7]));
+      ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(v));
+      if (nd < vn.second.path_cost) {
+        ++result.stats.nodes_improved;
+        if (vn.second.status == NodeStatus::kClosed) {
+          ++result.stats.reopenings;
+        }
+        vn.second.path_cost = nd;
+        vn.second.pred = static_cast<NodeId>(AsInt(t[0]));
+        vn.second.status = NodeStatus::kOpen;
+        ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.relaxation);
+
+    // Drop the temporaries.
+    ATIS_RETURN_NOT_OK(cur.Clear(/*charge=*/true));
+    ATIS_RETURN_NOT_OK(join->Clear(/*charge=*/true));
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.cleanup);
+
+    // -- Step 7b/8: REPLACE current -> closed, open -> current, then the
+    //    count of current nodes decides termination (next round's step 5
+    //    doubles as the count scan).
+    ATIS_RETURN_NOT_OK(
+        relational::Replace(
+            &r,
+            [](const Tuple& t) {
+              const auto st = static_cast<NodeStatus>(AsInt(t[3]));
+              return st == NodeStatus::kCurrent || st == NodeStatus::kOpen;
+            },
+            [](Tuple* t) {
+              const auto st = static_cast<NodeStatus>(AsInt((*t)[3]));
+              (*t)[3] = static_cast<int64_t>(st == NodeStatus::kCurrent
+                                                 ? NodeStatus::kClosed
+                                                 : NodeStatus::kCurrent);
+            })
+            .status());
+    ATIS_RETURN_NOT_OK(EndStatement());
+    phase.Charge(&result.stats.breakdown.marking);
+  }
+
+  ATIS_ASSIGN_OR_RETURN(auto dest, store_->GetNode(destination));
+  phase.Charge(&result.stats.breakdown.cleanup);
+  result.stats.io = meter.counters() - start_io;
+  result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
+  if (dest.second.path_cost != kInf) {
+    result.found = true;
+    result.cost = dest.second.path_cost;
+    ATIS_ASSIGN_OR_RETURN(result.path,
+                          ReconstructFromStore(source, destination));
+  }
+  return result;
+}
+
+}  // namespace atis::core

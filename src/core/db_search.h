@@ -1,0 +1,105 @@
+// Database-resident path computation (the paper's EQUEL programs).
+//
+// Each algorithm runs against the relation pair (S, R) of a
+// RelationalGraphStore through QUEL-style statements — RETRIEVE scans,
+// REPLACE updates, APPEND/DELETE on auxiliary relations, and relational
+// joins — with the buffer pool evicted at statement boundaries
+// (statement-at-a-time, INGRES single-user mode). Every block access is
+// metered, so a run reports both the paper's iteration count and its
+// execution cost in Table 4A units.
+//
+// A* implementation versions (Section 5.3):
+//   version 1: frontierSet as a separate relation (APPEND/DELETE, hash
+//              index maintenance), Euclidean estimator, and a resultant
+//              node relation grown incrementally as nodes are discovered;
+//   version 2: frontierSet as R's status attribute (REPLACE), Euclidean;
+//   version 3: status attribute, Manhattan estimator.
+#pragma once
+
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/search_types.h"
+#include "graph/relational_graph.h"
+#include "relational/join.h"
+#include "storage/buffer_pool.h"
+
+namespace atis::core {
+
+enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3 };
+std::string_view AStarVersionName(AStarVersion v);
+
+enum class FrontierImpl {
+  kSeparateRelation,  ///< APPEND/DELETE on a dedicated frontier relation
+  kStatusAttribute,   ///< REPLACE of R.status (the paper's preference)
+};
+
+struct DbSearchOptions {
+  /// Frontier duplicate management (only observable with
+  /// kSeparateRelation; the status attribute is duplicate-free by
+  /// construction).
+  DuplicatePolicy duplicate_policy = DuplicatePolicy::kAvoid;
+  /// Evict the buffer pool between statements (the paper's execution
+  /// model). Turning this off lets statements share cached blocks.
+  bool statement_at_a_time = true;
+  /// Join strategy for the Iterative algorithm's step-6 join.
+  relational::JoinStrategy join_strategy = relational::JoinStrategy::kAuto;
+  /// Cost parameters used both by the auto join optimizer and to convert
+  /// metered I/O into reported cost units.
+  storage::CostParams cost_params;
+  /// Propagated to PathResult::optimality_guaranteed for A*.
+  bool estimator_known_admissible = true;
+};
+
+class DbSearchEngine {
+ public:
+  /// `store` must be loaded; `pool` is the buffer pool all statements run
+  /// through (shared with the store's relations).
+  DbSearchEngine(graph::RelationalGraphStore* store,
+                 storage::BufferPool* pool, DbSearchOptions options = {});
+
+  /// Iterative breadth-first algorithm (Figure 1 / Table 2).
+  Result<PathResult> Iterative(graph::NodeId source,
+                               graph::NodeId destination);
+
+  /// Dijkstra's algorithm (Figure 2 / Table 3).
+  Result<PathResult> Dijkstra(graph::NodeId source,
+                              graph::NodeId destination);
+
+  /// A* in one of the paper's three implementation versions.
+  Result<PathResult> AStar(graph::NodeId source, graph::NodeId destination,
+                           AStarVersion version);
+
+  /// A* with an explicit estimator/frontier combination (the versions
+  /// above are canned configurations of this).
+  Result<PathResult> AStarCustom(graph::NodeId source,
+                                 graph::NodeId destination,
+                                 const Estimator& estimator,
+                                 FrontierImpl frontier);
+
+  const DbSearchOptions& options() const { return options_; }
+
+ private:
+  /// Shared status-attribute best-first engine; Dijkstra when `estimator`
+  /// is null (then closed nodes are never reopened).
+  Result<PathResult> BestFirstStatusAttribute(graph::NodeId source,
+                                              graph::NodeId destination,
+                                              const Estimator* estimator);
+
+  Result<PathResult> AStarSeparateRelation(graph::NodeId source,
+                                           graph::NodeId destination,
+                                           const Estimator& estimator);
+
+  /// Follows R.pred from the destination. Charged reads, but performed
+  /// after the run's stats snapshot (route assembly, not route search).
+  Result<std::vector<graph::NodeId>> ReconstructFromStore(
+      graph::NodeId source, graph::NodeId destination);
+
+  Status EndStatement();
+
+  graph::RelationalGraphStore* store_;
+  storage::BufferPool* pool_;
+  DbSearchOptions options_;
+};
+
+}  // namespace atis::core

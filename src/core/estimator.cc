@@ -1,0 +1,91 @@
+#include "core/estimator.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/sssp.h"
+
+namespace atis::core {
+
+std::string_view EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kZero:
+      return "zero";
+    case EstimatorKind::kEuclidean:
+      return "euclidean";
+    case EstimatorKind::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+namespace {
+
+class ZeroEstimator final : public Estimator {
+ public:
+  double Estimate(const graph::Point&, const graph::Point&) const override {
+    return 0.0;
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kZero; }
+};
+
+class EuclideanEstimator final : public Estimator {
+ public:
+  explicit EuclideanEstimator(double scale) : scale_(scale) {}
+  double Estimate(const graph::Point& a,
+                  const graph::Point& b) const override {
+    return scale_ * std::hypot(a.x - b.x, a.y - b.y);
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kEuclidean; }
+
+ private:
+  double scale_;
+};
+
+class ManhattanEstimator final : public Estimator {
+ public:
+  explicit ManhattanEstimator(double scale) : scale_(scale) {}
+  double Estimate(const graph::Point& a,
+                  const graph::Point& b) const override {
+    return scale_ * (std::abs(a.x - b.x) + std::abs(a.y - b.y));
+  }
+  EstimatorKind kind() const override { return EstimatorKind::kManhattan; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace
+
+std::unique_ptr<Estimator> MakeEstimator(EstimatorKind kind,
+                                         double cost_per_unit_distance) {
+  switch (kind) {
+    case EstimatorKind::kZero:
+      return std::make_unique<ZeroEstimator>();
+    case EstimatorKind::kEuclidean:
+      return std::make_unique<EuclideanEstimator>(cost_per_unit_distance);
+    case EstimatorKind::kManhattan:
+      return std::make_unique<ManhattanEstimator>(cost_per_unit_distance);
+  }
+  return nullptr;
+}
+
+bool EstimatorIsAdmissibleOn(const Estimator& estimator,
+                             const graph::Graph& g) {
+  constexpr double kSlack = 1e-9;  // float noise tolerance
+  for (graph::NodeId s = 0; s < static_cast<graph::NodeId>(g.num_nodes());
+       ++s) {
+    const auto tree = SingleSourceDijkstra(g, s);
+    if (!tree.ok()) return false;
+    for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes());
+         ++v) {
+      if (!tree->Reaches(v)) continue;
+      const double h = estimator.Estimate(g.point(s), g.point(v));
+      if (h > tree->Distance(v) + kSlack) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace atis::core

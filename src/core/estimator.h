@@ -1,0 +1,51 @@
+// Estimator (heuristic) functions for best-first search (Section 5.3.2).
+//
+// An estimator f(u, d) approximates the cost of the cheapest path from u to
+// the destination d from their coordinates. A* is optimal when the
+// estimator never overestimates (Lemma 3). On unit-cost grid graphs the
+// Manhattan distance is a *perfect* estimate; on real road maps with
+// non-distance costs it can overestimate, trading optimality for speed —
+// the paper's closing discussion.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace atis::core {
+
+enum class EstimatorKind {
+  kZero,       ///< best-first without information: degenerates to Dijkstra
+  kEuclidean,  ///< straight-line distance (admissible for distance costs)
+  kManhattan,  ///< L1 distance (perfect on uniform grids; can overestimate)
+};
+
+std::string_view EstimatorKindName(EstimatorKind kind);
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Estimated cheapest-path cost between two coordinates.
+  virtual double Estimate(const graph::Point& from,
+                          const graph::Point& to) const = 0;
+
+  virtual EstimatorKind kind() const = 0;
+  std::string_view name() const { return EstimatorKindName(kind()); }
+};
+
+/// Creates an estimator. `cost_per_unit_distance` rescales geometric
+/// distance into edge-cost units (e.g. travel-time costs with a known
+/// maximum speed); use a value that *under*-states cost to keep the
+/// estimator admissible.
+std::unique_ptr<Estimator> MakeEstimator(EstimatorKind kind,
+                                         double cost_per_unit_distance = 1.0);
+
+/// True if `estimator` never overestimates the true shortest-path cost
+/// between any node pair of `g`. Exact (runs one Dijkstra per node), so
+/// intended for tests and offline analysis, not hot paths.
+bool EstimatorIsAdmissibleOn(const Estimator& estimator,
+                             const graph::Graph& g);
+
+}  // namespace atis::core

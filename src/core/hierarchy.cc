@@ -1,0 +1,301 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra over an arbitrary local adjacency map keyed by global node
+/// ids. Returns dist/pred maps.
+struct LocalSearch {
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> pred;
+};
+
+LocalSearch LocalDijkstra(
+    const std::unordered_map<NodeId, std::vector<graph::Edge>>& adj,
+    NodeId from) {
+  LocalSearch out;
+  out.dist[from] = 0.0;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    const auto it = out.dist.find(u);
+    if (it == out.dist.end() || du > it->second) continue;
+    const auto au = adj.find(u);
+    if (au == adj.end()) continue;
+    for (const graph::Edge& e : au->second) {
+      const double nd = du + e.cost;
+      const auto dv = out.dist.find(e.to);
+      if (dv == out.dist.end() || nd < dv->second) {
+        out.dist[e.to] = nd;
+        out.pred[e.to] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> LocalPath(const LocalSearch& search, NodeId from,
+                              NodeId to) {
+  std::vector<NodeId> path;
+  NodeId at = to;
+  while (true) {
+    path.push_back(at);
+    if (at == from) break;
+    const auto it = search.pred.find(at);
+    if (it == search.pred.end()) return {};
+    at = it->second;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+Result<HierarchicalRouter> HierarchicalRouter::Build(
+    const Graph* g, const HierarchyOptions& options) {
+  if (g == nullptr || g->num_nodes() == 0) {
+    return Status::InvalidArgument("hierarchy needs a non-empty graph");
+  }
+  if (options.cell_size <= 0.0) {
+    return Status::InvalidArgument("cell size must be positive");
+  }
+
+  HierarchicalRouter router;
+  router.g_ = g;
+  const size_t n = g->num_nodes();
+
+  // 1. Assign nodes to rectangular cells over the bounding box.
+  double min_x = g->point(0).x;
+  double min_y = g->point(0).y;
+  double max_x = min_x;
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    min_x = std::min(min_x, g->point(u).x);
+    min_y = std::min(min_y, g->point(u).y);
+    max_x = std::max(max_x, g->point(u).x);
+  }
+  const int cols = std::max(
+      1, static_cast<int>(std::floor((max_x - min_x) / options.cell_size)) +
+             1);
+  std::map<std::pair<int, int>, int> cell_ids;  // (row, col) -> dense id
+  router.cell_of_.resize(n, -1);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    const int col = static_cast<int>(
+        std::floor((g->point(u).x - min_x) / options.cell_size));
+    const int row = static_cast<int>(
+        std::floor((g->point(u).y - min_y) / options.cell_size));
+    auto [it, inserted] =
+        cell_ids.emplace(std::make_pair(row, col),
+                         static_cast<int>(router.cells_.size()));
+    if (inserted) router.cells_.emplace_back();
+    router.cell_of_[static_cast<size_t>(u)] = it->second;
+    router.cells_[static_cast<size_t>(it->second)].members.push_back(u);
+  }
+  (void)cols;
+
+  // 2. Boundary nodes: endpoints of cell-crossing edges.
+  router.is_boundary_.assign(n, 0);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    for (const graph::Edge& e : g->Neighbors(u)) {
+      if (router.cell_of_[static_cast<size_t>(u)] !=
+          router.cell_of_[static_cast<size_t>(e.to)]) {
+        router.is_boundary_[static_cast<size_t>(u)] = 1;
+        router.is_boundary_[static_cast<size_t>(e.to)] = 1;
+      }
+    }
+  }
+  for (Cell& cell : router.cells_) {
+    for (const NodeId u : cell.members) {
+      if (router.is_boundary_[static_cast<size_t>(u)]) {
+        cell.boundary.push_back(u);
+      }
+    }
+    router.num_boundary_ += cell.boundary.size();
+  }
+
+  // 3. Per-cell boundary-to-boundary shortcut tables.
+  for (size_t c = 0; c < router.cells_.size(); ++c) {
+    Cell& cell = router.cells_[c];
+    for (const NodeId b : cell.boundary) {
+      std::vector<Shortcut> shortcuts = router.IntraCellPaths(
+          static_cast<int>(c), b, cell.boundary);
+      router.num_shortcuts_ += shortcuts.size();
+      cell.shortcuts.emplace(b, std::move(shortcuts));
+    }
+  }
+  return router;
+}
+
+std::vector<HierarchicalRouter::Shortcut>
+HierarchicalRouter::IntraCellPaths(
+    int cell, NodeId from, const std::vector<NodeId>& targets) const {
+  // Local adjacency restricted to intra-cell edges.
+  std::unordered_map<NodeId, std::vector<graph::Edge>> adj;
+  for (const NodeId u : cells_[static_cast<size_t>(cell)].members) {
+    for (const graph::Edge& e : g_->Neighbors(u)) {
+      if (cell_of_[static_cast<size_t>(e.to)] == cell) {
+        adj[u].push_back(e);
+      }
+    }
+  }
+  const LocalSearch search = LocalDijkstra(adj, from);
+  std::vector<Shortcut> out;
+  for (const NodeId t : targets) {
+    if (t == from) continue;
+    const auto it = search.dist.find(t);
+    if (it == search.dist.end()) continue;
+    Shortcut sc;
+    sc.to = t;
+    sc.cost = it->second;
+    sc.path = LocalPath(search, from, t);
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+PathResult HierarchicalRouter::Route(NodeId source,
+                                     NodeId destination) const {
+  PathResult result;
+  if (!g_->HasNode(source) || !g_->HasNode(destination)) return result;
+  if (source == destination) {
+    result.found = true;
+    result.path = {source};
+    return result;
+  }
+
+  // Overlay adjacency: every edge carries the expanded node sequence.
+  struct OverlayEdge {
+    NodeId to;
+    double cost;
+    std::vector<NodeId> path;  // from..to inclusive
+  };
+  std::unordered_map<NodeId, std::vector<OverlayEdge>> overlay;
+
+  // (a) Precomputed intra-cell boundary shortcuts.
+  for (const Cell& cell : cells_) {
+    for (const auto& [b, shortcuts] : cell.shortcuts) {
+      for (const Shortcut& sc : shortcuts) {
+        overlay[b].push_back({sc.to, sc.cost, sc.path});
+      }
+    }
+  }
+  // (b) Original cross-cell edges (both endpoints are boundary nodes).
+  for (NodeId u = 0; u < static_cast<NodeId>(g_->num_nodes()); ++u) {
+    for (const graph::Edge& e : g_->Neighbors(u)) {
+      if (cell_of_[static_cast<size_t>(u)] !=
+          cell_of_[static_cast<size_t>(e.to)]) {
+        overlay[u].push_back({e.to, e.cost, {u, e.to}});
+      }
+    }
+  }
+  // (c) Source-cell interior: source to its cell's boundary nodes (and
+  //     directly to the destination when they share a cell).
+  const int s_cell = cell_of_[static_cast<size_t>(source)];
+  const int d_cell = cell_of_[static_cast<size_t>(destination)];
+  {
+    std::vector<NodeId> targets =
+        cells_[static_cast<size_t>(s_cell)].boundary;
+    if (d_cell == s_cell) targets.push_back(destination);
+    for (Shortcut& sc : [&] {
+           auto v = IntraCellPaths(s_cell, source, targets);
+           return v;
+         }()) {
+      overlay[source].push_back(
+          {sc.to, sc.cost, std::move(sc.path)});
+    }
+  }
+  // (d) Destination-cell interior: boundary nodes to the destination,
+  //     via a reversed intra-cell search from the destination.
+  {
+    std::unordered_map<NodeId, std::vector<graph::Edge>> radj;
+    for (const NodeId u : cells_[static_cast<size_t>(d_cell)].members) {
+      for (const graph::Edge& e : g_->Neighbors(u)) {
+        if (cell_of_[static_cast<size_t>(e.to)] == d_cell) {
+          radj[e.to].push_back({u, e.cost});
+        }
+      }
+    }
+    const LocalSearch back = LocalDijkstra(radj, destination);
+    for (const NodeId b : cells_[static_cast<size_t>(d_cell)].boundary) {
+      if (b == destination) continue;
+      const auto it = back.dist.find(b);
+      if (it == back.dist.end()) continue;
+      // Reversed-tree chain b -> ... -> destination.
+      std::vector<NodeId> path;
+      NodeId at = b;
+      while (true) {
+        path.push_back(at);
+        if (at == destination) break;
+        at = back.pred.at(at);
+      }
+      overlay[b].push_back({destination, it->second, std::move(path)});
+    }
+  }
+
+  // Overlay Dijkstra with stale-skip; record the incoming overlay edge
+  // for expansion.
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, std::pair<NodeId, const std::vector<NodeId>*>>
+      via;  // node -> (pred overlay node, expanded segment)
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    if (du > dist[u]) continue;
+    if (u == destination) break;
+    ++result.stats.iterations;
+    ++result.stats.nodes_expanded;
+    const auto au = overlay.find(u);
+    if (au == overlay.end()) continue;
+    for (const OverlayEdge& e : au->second) {
+      ++result.stats.nodes_generated;
+      const double nd = du + e.cost;
+      const auto dv = dist.find(e.to);
+      if (dv == dist.end() || nd < dv->second) {
+        ++result.stats.nodes_improved;
+        dist[e.to] = nd;
+        via[e.to] = {u, &e.path};
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+
+  const auto dd = dist.find(destination);
+  if (dd == dist.end()) return result;
+  result.found = true;
+  result.cost = dd->second;
+
+  // Expand: walk overlay predecessors, splicing each segment.
+  std::vector<const std::vector<NodeId>*> segments;
+  NodeId at = destination;
+  while (at != source) {
+    const auto& [prev, seg] = via.at(at);
+    segments.push_back(seg);
+    at = prev;
+  }
+  std::reverse(segments.begin(), segments.end());
+  result.path.push_back(source);
+  for (const auto* seg : segments) {
+    result.path.insert(result.path.end(), seg->begin() + 1, seg->end());
+  }
+  return result;
+}
+
+}  // namespace atis::core

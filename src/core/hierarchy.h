@@ -1,0 +1,95 @@
+// Hierarchical path view: precomputed two-level routing.
+//
+// The paper closes by noting single-pair computation must avoid examining
+// whole maps; the authors' follow-up research line (hierarchical
+// encoded path views) pushes that further by *precomputing* structure.
+// This module implements the flat two-level scheme:
+//
+//   1. Partition the embedded graph into rectangular cells (fragments).
+//   2. A node is a *boundary* node if one of its edges crosses cells.
+//   3. Per cell, precompute exact shortest paths between its boundary
+//      nodes using only intra-cell edges.
+//   4. A query (s, d) searches a small overlay graph: s's cell interior,
+//      d's cell interior, the precomputed boundary-to-boundary shortcuts,
+//      and the original cross-cell edges.
+//
+// Exactness: any path decomposes at its cell-boundary crossings; every
+// crossing node is in the overlay, intra-cell segments are represented by
+// the precomputed (exact) shortcuts, and inter-cell segments by the
+// original edges — so the overlay search returns true shortest costs.
+// Expanded paths are reconstructed by splicing the stored shortcut paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/search_types.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::core {
+
+struct HierarchyOptions {
+  /// Cell side length in coordinate units. Smaller cells mean more
+  /// boundary nodes but smaller per-cell tables.
+  double cell_size = 8.0;
+};
+
+class HierarchicalRouter {
+ public:
+  /// Builds the partition and all per-cell boundary tables. The base
+  /// graph must outlive the router. InvalidArgument on an empty graph or
+  /// non-positive cell size.
+  static Result<HierarchicalRouter> Build(const graph::Graph* g,
+                                          const HierarchyOptions& options);
+
+  /// Exact single-pair query via the overlay graph. stats.iterations
+  /// counts overlay node expansions (compare against flat Dijkstra's
+  /// expansions to see the speedup).
+  PathResult Route(graph::NodeId source, graph::NodeId destination) const;
+
+  // -- Introspection (benchmarks / tests) -----------------------------------
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_boundary_nodes() const { return num_boundary_; }
+  /// Total precomputed shortcut entries across all cells.
+  size_t num_shortcuts() const { return num_shortcuts_; }
+  int CellOf(graph::NodeId u) const {
+    return cell_of_[static_cast<size_t>(u)];
+  }
+  bool IsBoundary(graph::NodeId u) const {
+    return is_boundary_[static_cast<size_t>(u)] != 0;
+  }
+
+ private:
+  HierarchicalRouter() = default;
+
+  struct Shortcut {
+    graph::NodeId to = graph::kInvalidNode;
+    double cost = 0.0;
+    /// Full intra-cell node sequence from..to (inclusive).
+    std::vector<graph::NodeId> path;
+  };
+
+  struct Cell {
+    std::vector<graph::NodeId> members;
+    std::vector<graph::NodeId> boundary;
+    /// Shortcuts from each boundary node of this cell.
+    std::map<graph::NodeId, std::vector<Shortcut>> shortcuts;
+  };
+
+  /// Dijkstra restricted to one cell's members, from `from` to all its
+  /// boundary nodes (also used at query time for s/d cell interiors).
+  std::vector<Shortcut> IntraCellPaths(
+      int cell, graph::NodeId from,
+      const std::vector<graph::NodeId>& targets) const;
+
+  const graph::Graph* g_ = nullptr;
+  std::vector<int> cell_of_;
+  std::vector<uint8_t> is_boundary_;
+  std::vector<Cell> cells_;
+  size_t num_boundary_ = 0;
+  size_t num_shortcuts_ = 0;
+};
+
+}  // namespace atis::core

@@ -1,0 +1,145 @@
+#include "core/incremental.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/advanced_search.h"
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Item = std::pair<double, NodeId>;
+using MinQueue =
+    std::priority_queue<Item, std::vector<Item>, std::greater<>>;
+
+/// Dijkstra continuation: pops until empty, relaxing over `g`, with
+/// stale-skip against `dist`. Counts pops in `rescanned`.
+void RunQueue(const Graph& g, MinQueue* pq, std::vector<double>* dist,
+              std::vector<NodeId>* pred, size_t* rescanned) {
+  while (!pq->empty()) {
+    const auto [du, x] = pq->top();
+    pq->pop();
+    if (du > (*dist)[static_cast<size_t>(x)]) continue;
+    ++*rescanned;
+    for (const graph::Edge& e : g.Neighbors(x)) {
+      const double nd = du + e.cost;
+      if (nd < (*dist)[static_cast<size_t>(e.to)]) {
+        (*dist)[static_cast<size_t>(e.to)] = nd;
+        (*pred)[static_cast<size_t>(e.to)] = x;
+        pq->emplace(nd, e.to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<ShortestPathTree> RepairAfterEdgeChange(
+    const Graph& updated_graph, const ShortestPathTree& old_tree,
+    NodeId u, NodeId v, const Graph* reverse, IncrementalStats* stats) {
+  const size_t n = updated_graph.num_nodes();
+  if (old_tree.num_nodes() != n) {
+    return Status::InvalidArgument(
+        "tree and graph disagree on node count");
+  }
+  if (!updated_graph.HasNode(u) || !updated_graph.HasNode(v)) {
+    return Status::InvalidArgument("unknown edge endpoint");
+  }
+
+  IncrementalStats local;
+  std::vector<double> dist(n);
+  std::vector<NodeId> pred(n);
+  for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+    dist[static_cast<size_t>(x)] = old_tree.Distance(x);
+    pred[static_cast<size_t>(x)] = old_tree.Predecessor(x);
+  }
+  const NodeId source = old_tree.source();
+
+  // Cheapest surviving u -> v cost in the updated graph (+inf if removed).
+  double new_cost = kInf;
+  for (const graph::Edge& e : updated_graph.Neighbors(u)) {
+    if (e.to == v) new_cost = std::min(new_cost, e.cost);
+  }
+
+  MinQueue pq;
+
+  // -- Decrease side: the new edge may open cheaper paths through v.
+  if (dist[static_cast<size_t>(u)] != kInf &&
+      dist[static_cast<size_t>(u)] + new_cost <
+          dist[static_cast<size_t>(v)]) {
+    dist[static_cast<size_t>(v)] =
+        dist[static_cast<size_t>(u)] + new_cost;
+    pred[static_cast<size_t>(v)] = u;
+    pq.emplace(dist[static_cast<size_t>(v)], v);
+    RunQueue(updated_graph, &pq, &dist, &pred, &local.nodes_rescanned);
+    if (stats != nullptr) *stats = local;
+    return ShortestPathTree(source, std::move(dist), std::move(pred));
+  }
+
+  // -- Increase side: invalidate every node whose tree path crossed
+  //    u -> v (v and its tree descendants, if v hung off u).
+  if (pred[static_cast<size_t>(v)] == u && v != source) {
+    // affected(x): x routes through v in the predecessor tree.
+    std::vector<int8_t> affected(n, -1);  // -1 unknown, 0 no, 1 yes
+    affected[static_cast<size_t>(v)] = 1;
+    affected[static_cast<size_t>(source)] = 0;
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      // Chase predecessors until a memoised node, then back-fill.
+      std::vector<NodeId> chain;
+      NodeId at = x;
+      while (at != graph::kInvalidNode &&
+             affected[static_cast<size_t>(at)] == -1) {
+        chain.push_back(at);
+        at = pred[static_cast<size_t>(at)];
+      }
+      const int8_t verdict =
+          (at == graph::kInvalidNode) ? 0 : affected[static_cast<size_t>(at)];
+      for (const NodeId c : chain) {
+        affected[static_cast<size_t>(c)] = verdict;
+      }
+    }
+
+    // Drop affected labels, then re-seed each affected node from its best
+    // unaffected in-neighbour.
+    const Graph local_reverse =
+        reverse == nullptr ? ReverseOf(updated_graph) : Graph();
+    const Graph& rev = reverse == nullptr ? local_reverse : *reverse;
+    if (rev.num_nodes() != n) {
+      return Status::InvalidArgument("reverse graph does not match");
+    }
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      if (affected[static_cast<size_t>(x)] != 1) continue;
+      ++local.nodes_invalidated;
+      dist[static_cast<size_t>(x)] = kInf;
+      pred[static_cast<size_t>(x)] = graph::kInvalidNode;
+    }
+    for (NodeId x = 0; x < static_cast<NodeId>(n); ++x) {
+      if (affected[static_cast<size_t>(x)] != 1) continue;
+      for (const graph::Edge& in : rev.Neighbors(x)) {
+        if (affected[static_cast<size_t>(in.to)] == 1) continue;
+        const double via = dist[static_cast<size_t>(in.to)] + in.cost;
+        if (via < dist[static_cast<size_t>(x)]) {
+          dist[static_cast<size_t>(x)] = via;
+          pred[static_cast<size_t>(x)] = in.to;
+        }
+      }
+      if (dist[static_cast<size_t>(x)] != kInf) {
+        pq.emplace(dist[static_cast<size_t>(x)], x);
+      }
+    }
+    RunQueue(updated_graph, &pq, &dist, &pred, &local.nodes_rescanned);
+  }
+  // else: the changed edge was not on any tree path and did not improve
+  // anything — the old tree is already exact.
+
+  if (stats != nullptr) *stats = local;
+  return ShortestPathTree(source, std::move(dist), std::move(pred));
+}
+
+}  // namespace atis::core

@@ -1,0 +1,45 @@
+// Incremental shortest-path maintenance under traffic changes.
+//
+// An ATIS server holds shortest-path trees that must track real-time cost
+// updates (Section 1.1's "coupled with real-time traffic information").
+// Recomputing from scratch on every incident wastes exactly the work the
+// paper is trying to avoid; this module repairs an existing tree after a
+// single edge's cost changes, touching only the affected region
+// (Ramalingam–Reps style):
+//
+//   * cost decrease  — relax outward from the edge's head; only nodes
+//     that actually improve are re-labelled;
+//   * cost increase / removal — invalidate the tree descendants that
+//     routed through the edge, re-seed them from their unaffected
+//     neighbours, and run a bounded Dijkstra over the affected set only.
+#pragma once
+
+#include "core/sssp.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::core {
+
+struct IncrementalStats {
+  /// Nodes whose label was invalidated by the change.
+  size_t nodes_invalidated = 0;
+  /// Nodes popped from the repair queue (compare against a from-scratch
+  /// run's n expansions).
+  size_t nodes_rescanned = 0;
+};
+
+/// Repairs `old_tree` (computed on the pre-change graph) into the exact
+/// shortest-path tree of `updated_graph`, given that the only difference
+/// is the cost of edges u -> v (changed, added, or removed; with parallel
+/// edges the cheapest survivor counts).
+///
+/// `reverse` must be ReverseOf(updated_graph) when provided (repeated
+/// repairs should share it); pass nullptr to have it built internally.
+/// InvalidArgument when the node counts disagree or u/v are unknown.
+Result<ShortestPathTree> RepairAfterEdgeChange(
+    const graph::Graph& updated_graph, const ShortestPathTree& old_tree,
+    graph::NodeId u, graph::NodeId v,
+    const graph::Graph* reverse = nullptr,
+    IncrementalStats* stats = nullptr);
+
+}  // namespace atis::core

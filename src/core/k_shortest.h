@@ -1,0 +1,34 @@
+// Alternate-route computation: the K shortest loopless paths (Yen's
+// algorithm) between a single pair.
+//
+// ATIS route planning needs more than one answer — travellers weigh
+// alternatives by criteria the cost function does not capture (the
+// paper's Section 1: distance, time, "and other criteria"). This module
+// produces ranked loopless alternatives on top of the Dijkstra core.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::core {
+
+struct RankedPath {
+  double cost = 0.0;
+  std::vector<graph::NodeId> path;
+};
+
+/// The up-to-`k` cheapest loopless paths from source to destination,
+/// sorted by cost (ties broken deterministically by node sequence).
+/// Returns fewer than `k` when the graph does not contain that many
+/// distinct loopless paths, and an empty vector when unreachable.
+/// With parallel edges, paths are distinguished by node sequence only
+/// (each sequence is costed with its cheapest edges).
+/// InvalidArgument on unknown endpoints or k == 0.
+Result<std::vector<RankedPath>> KShortestPaths(const graph::Graph& g,
+                                               graph::NodeId source,
+                                               graph::NodeId destination,
+                                               size_t k);
+
+}  // namespace atis::core

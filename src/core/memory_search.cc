@@ -1,0 +1,217 @@
+#include "core/memory_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<NodeId> ReconstructPath(const std::vector<NodeId>& pred,
+                                    NodeId source, NodeId destination) {
+  std::vector<NodeId> path;
+  for (NodeId at = destination; at != graph::kInvalidNode;
+       at = pred[static_cast<size_t>(at)]) {
+    path.push_back(at);
+    if (at == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Frontier entry for the best-first algorithms. Ordering: smaller f first;
+/// ties prefer larger g (deeper nodes), then smaller node id — fully
+/// deterministic, and mirrored by the database implementations.
+struct HeapEntry {
+  double f;
+  double g;
+  NodeId node;
+  uint64_t version;  // stale-entry detection for kAvoid / kEliminate
+
+  bool operator>(const HeapEntry& o) const {
+    if (f != o.f) return f > o.f;
+    if (g != o.g) return g < o.g;
+    return node > o.node;
+  }
+};
+
+enum class NodeState : uint8_t { kNull, kOpen, kClosed };
+
+/// Shared best-first engine: Dijkstra when `estimator` is null.
+PathResult BestFirst(const Graph& g, NodeId source, NodeId destination,
+                     const Estimator* estimator,
+                     const MemorySearchOptions& options, bool allow_reopen) {
+  PathResult result;
+  if (!g.HasNode(source) || !g.HasNode(destination)) return result;
+
+  const size_t n = g.num_nodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> pred(n, graph::kInvalidNode);
+  std::vector<NodeState> state(n, NodeState::kNull);
+  std::vector<uint64_t> version(n, 0);
+
+  auto h = [&](NodeId u) {
+    return estimator == nullptr
+               ? 0.0
+               : estimator->Estimate(g.point(u), g.point(destination));
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> open;
+  size_t open_size = 0;  // live (non-stale) entries
+
+  auto push_open = [&](NodeId u) {
+    switch (options.duplicate_policy) {
+      case DuplicatePolicy::kAvoid:
+      case DuplicatePolicy::kEliminate:
+        // Membership check / post-insert elimination: at most one live
+        // entry per node; older entries are invalidated by the version.
+        if (state[static_cast<size_t>(u)] != NodeState::kOpen) ++open_size;
+        ++version[static_cast<size_t>(u)];
+        break;
+      case DuplicatePolicy::kAllow:
+        ++open_size;
+        break;
+    }
+    state[static_cast<size_t>(u)] = NodeState::kOpen;
+    open.push({dist[static_cast<size_t>(u)] + h(u),
+               dist[static_cast<size_t>(u)], u,
+               version[static_cast<size_t>(u)]});
+  };
+
+  dist[static_cast<size_t>(source)] = 0.0;
+  push_open(source);
+  result.stats.frontier_peak = 1;
+
+  while (!open.empty()) {
+    const HeapEntry top = open.top();
+    open.pop();
+    const NodeId u = top.node;
+    const bool stale =
+        options.duplicate_policy == DuplicatePolicy::kAllow
+            ? (state[static_cast<size_t>(u)] != NodeState::kOpen ||
+               top.g > dist[static_cast<size_t>(u)])
+            : (top.version != version[static_cast<size_t>(u)] ||
+               state[static_cast<size_t>(u)] != NodeState::kOpen);
+    if (stale) {
+      // With duplicates allowed, selecting a stale tuple is a (redundant)
+      // iteration of the algorithm; with avoidance it never surfaces.
+      if (options.duplicate_policy == DuplicatePolicy::kAllow) {
+        ++result.stats.iterations;
+      }
+      continue;
+    }
+    --open_size;
+
+    if (u == destination) {
+      // Terminating selection: not counted (Lemma 2 / Lemma 3 traces).
+      result.found = true;
+      result.cost = dist[static_cast<size_t>(u)];
+      result.path = ReconstructPath(pred, source, destination);
+      break;
+    }
+
+    state[static_cast<size_t>(u)] = NodeState::kClosed;
+    ++result.stats.iterations;
+    ++result.stats.nodes_expanded;
+
+    for (const graph::Edge& e : g.Neighbors(u)) {
+      ++result.stats.nodes_generated;
+      const double nd = dist[static_cast<size_t>(u)] + e.cost;
+      if (nd < dist[static_cast<size_t>(e.to)]) {
+        ++result.stats.nodes_improved;
+        const NodeState prev = state[static_cast<size_t>(e.to)];
+        if (prev == NodeState::kClosed && !allow_reopen) {
+          // Dijkstra (Figure 2) never reinserts explored nodes; with
+          // non-negative costs this branch is unreachable anyway.
+          continue;
+        }
+        dist[static_cast<size_t>(e.to)] = nd;
+        pred[static_cast<size_t>(e.to)] = u;
+        if (prev == NodeState::kClosed) ++result.stats.reopenings;
+        push_open(e.to);
+        result.stats.frontier_peak =
+            std::max<uint64_t>(result.stats.frontier_peak, open_size);
+      }
+    }
+  }
+
+  result.optimality_guaranteed =
+      (estimator == nullptr) || options.estimator_known_admissible;
+  return result;
+}
+
+}  // namespace
+
+PathResult IterativeBfsSearch(const Graph& g, NodeId source,
+                              NodeId destination,
+                              const MemorySearchOptions& options) {
+  (void)options;  // frontier rounds make duplicate policy moot here
+  PathResult result;
+  if (!g.HasNode(source) || !g.HasNode(destination)) return result;
+
+  const size_t n = g.num_nodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> pred(n, graph::kInvalidNode);
+  std::vector<uint8_t> in_next(n, 0);
+  dist[static_cast<size_t>(source)] = 0.0;
+
+  std::vector<NodeId> current{source};
+  std::vector<NodeId> next;
+  while (!current.empty()) {
+    ++result.stats.iterations;
+    result.stats.frontier_peak =
+        std::max<uint64_t>(result.stats.frontier_peak, current.size());
+    next.clear();
+    for (const NodeId u : current) {
+      ++result.stats.nodes_expanded;
+      for (const graph::Edge& e : g.Neighbors(u)) {
+        ++result.stats.nodes_generated;
+        const double nd = dist[static_cast<size_t>(u)] + e.cost;
+        if (nd < dist[static_cast<size_t>(e.to)]) {
+          ++result.stats.nodes_improved;
+          if (dist[static_cast<size_t>(e.to)] != kInf &&
+              !in_next[static_cast<size_t>(e.to)]) {
+            ++result.stats.reopenings;  // relabelled in a later round
+          }
+          dist[static_cast<size_t>(e.to)] = nd;
+          pred[static_cast<size_t>(e.to)] = u;
+          if (!in_next[static_cast<size_t>(e.to)]) {
+            in_next[static_cast<size_t>(e.to)] = 1;
+            next.push_back(e.to);
+          }
+        }
+      }
+    }
+    for (const NodeId v : next) in_next[static_cast<size_t>(v)] = 0;
+    current.swap(next);
+  }
+
+  if (dist[static_cast<size_t>(destination)] != kInf) {
+    result.found = true;
+    result.cost = dist[static_cast<size_t>(destination)];
+    result.path = ReconstructPath(pred, source, destination);
+  }
+  return result;
+}
+
+PathResult DijkstraSearch(const Graph& g, NodeId source, NodeId destination,
+                          const MemorySearchOptions& options) {
+  return BestFirst(g, source, destination, /*estimator=*/nullptr, options,
+                   /*allow_reopen=*/false);
+}
+
+PathResult AStarSearch(const Graph& g, NodeId source, NodeId destination,
+                       const Estimator& estimator,
+                       const MemorySearchOptions& options) {
+  return BestFirst(g, source, destination, &estimator, options,
+                   /*allow_reopen=*/true);
+}
+
+}  // namespace atis::core

@@ -1,0 +1,45 @@
+// In-memory implementations of the three path-computation algorithms
+// (Section 3), sharing the paper's iteration-counting rules with the
+// database-resident implementations in db_search.h.
+//
+// These run on the plain adjacency-list Graph and report zero I/O; they are
+// the wall-clock benchmark substrate and the reference oracle the
+// database-resident versions are tested against (iteration counts and path
+// costs must agree).
+#pragma once
+
+#include "core/estimator.h"
+#include "core/search_types.h"
+#include "graph/graph.h"
+
+namespace atis::core {
+
+struct MemorySearchOptions {
+  DuplicatePolicy duplicate_policy = DuplicatePolicy::kAvoid;
+  /// Treat the estimator as known-admissible (controls the result's
+  /// optimality_guaranteed flag for A*; verify with
+  /// EstimatorIsAdmissibleOn when unsure).
+  bool estimator_known_admissible = true;
+};
+
+/// Iterative (breadth-first, label-correcting) algorithm — Figure 1.
+/// One iteration = one frontier round; runs until the frontier empties,
+/// regardless of how early the destination is labelled.
+PathResult IterativeBfsSearch(const graph::Graph& g, graph::NodeId source,
+                              graph::NodeId destination,
+                              const MemorySearchOptions& options = {});
+
+/// Dijkstra's algorithm — Figure 2. One iteration = one node expansion;
+/// terminates when the destination is selected (that selection is not
+/// counted, matching the paper's traces).
+PathResult DijkstraSearch(const graph::Graph& g, graph::NodeId source,
+                          graph::NodeId destination,
+                          const MemorySearchOptions& options = {});
+
+/// A* — Figure 3. Like Dijkstra but expands by C(s,u) + f(u,d) and may
+/// reopen closed nodes when a cheaper path to them appears.
+PathResult AStarSearch(const graph::Graph& g, graph::NodeId source,
+                       graph::NodeId destination, const Estimator& estimator,
+                       const MemorySearchOptions& options = {});
+
+}  // namespace atis::core

@@ -1,0 +1,85 @@
+#include "core/route_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atis::core {
+
+size_t CountTurns(const graph::Graph& g,
+                  const std::vector<graph::NodeId>& path,
+                  double threshold_deg) {
+  const RouteEvaluation eval = EvaluateRoute(g, path);
+  size_t turns = 0;
+  for (size_t i = 1; i < eval.segments.size(); ++i) {
+    double delta = eval.segments[i].heading_deg -
+                   eval.segments[i - 1].heading_deg;
+    while (delta > 180.0) delta -= 360.0;
+    while (delta < -180.0) delta += 360.0;
+    if (std::abs(delta) >= threshold_deg) ++turns;
+  }
+  return turns;
+}
+
+Result<std::vector<RankedRoute>> RankRoutes(
+    const graph::Graph& g,
+    const std::vector<std::vector<graph::NodeId>>& candidates,
+    const RankingWeights& weights) {
+  const double total_weight =
+      weights.cost + weights.directness + weights.turns;
+  if (weights.cost < 0.0 || weights.directness < 0.0 ||
+      weights.turns < 0.0 || total_weight <= 0.0) {
+    return Status::InvalidArgument(
+        "ranking weights must be non-negative with a positive sum");
+  }
+
+  std::vector<RankedRoute> routes;
+  for (const auto& path : candidates) {
+    const RouteEvaluation eval = EvaluateRoute(g, path);
+    if (!eval.valid) continue;
+    RankedRoute r;
+    r.path = path;
+    r.cost = eval.total_cost;
+    r.directness = eval.directness;
+    r.turns = CountTurns(g, path);
+    routes.push_back(std::move(r));
+  }
+  if (routes.empty()) return routes;
+
+  // Min-max normalise each criterion over the candidate set.
+  auto normalise = [&](auto getter) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const RankedRoute& r : routes) {
+      lo = std::min(lo, getter(r));
+      hi = std::max(hi, getter(r));
+    }
+    const double span = hi - lo;
+    std::vector<double> out;
+    out.reserve(routes.size());
+    for (const RankedRoute& r : routes) {
+      out.push_back(span > 0.0 ? (getter(r) - lo) / span : 0.0);
+    }
+    return out;
+  };
+  const auto n_cost =
+      normalise([](const RankedRoute& r) { return r.cost; });
+  const auto n_direct =
+      normalise([](const RankedRoute& r) { return r.directness; });
+  const auto n_turns = normalise(
+      [](const RankedRoute& r) { return static_cast<double>(r.turns); });
+
+  for (size_t i = 0; i < routes.size(); ++i) {
+    routes[i].score = (weights.cost * n_cost[i] +
+                       weights.directness * n_direct[i] +
+                       weights.turns * n_turns[i]) /
+                      total_weight;
+  }
+  std::stable_sort(routes.begin(), routes.end(),
+                   [](const RankedRoute& a, const RankedRoute& b) {
+                     return a.score < b.score;
+                   });
+  return routes;
+}
+
+}  // namespace atis::core

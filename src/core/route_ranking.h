@@ -1,0 +1,49 @@
+// Multi-criteria route ranking.
+//
+// Section 1.1: routes are chosen "in terms of travel distance, travel
+// time and other criteria". Given alternate routes (e.g. from
+// KShortestPaths), this service scores each against a weighted criteria
+// profile — cost, geometric directness, and turn count — and ranks them,
+// so an ATIS can present "fastest", "simplest", or blended orderings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/route_service.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::core {
+
+/// Relative importance of each criterion (>= 0; they are normalised).
+struct RankingWeights {
+  double cost = 1.0;        ///< total route cost (lower is better)
+  double directness = 0.0;  ///< polyline/straight-line ratio (lower better)
+  double turns = 0.0;       ///< number of >=30 degree turns (lower better)
+};
+
+struct RankedRoute {
+  std::vector<graph::NodeId> path;
+  double cost = 0.0;
+  double directness = 0.0;
+  size_t turns = 0;
+  /// Blended score in [0, 1] per criterion-normalised units; lower wins.
+  double score = 0.0;
+};
+
+/// Number of direction changes of at least `threshold_deg` along a route.
+size_t CountTurns(const graph::Graph& g,
+                  const std::vector<graph::NodeId>& path,
+                  double threshold_deg = 30.0);
+
+/// Scores and sorts candidate routes (best first). Criteria are min-max
+/// normalised across the candidate set, then blended with `weights`.
+/// Invalid (non-drivable) candidates are dropped. InvalidArgument when
+/// all weights are zero or negative.
+Result<std::vector<RankedRoute>> RankRoutes(
+    const graph::Graph& g,
+    const std::vector<std::vector<graph::NodeId>>& candidates,
+    const RankingWeights& weights);
+
+}  // namespace atis::core

@@ -1,0 +1,145 @@
+#include "core/route_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+RouteEvaluation EvaluateRoute(const Graph& g,
+                              const std::vector<NodeId>& path) {
+  RouteEvaluation eval;
+  if (path.empty()) return eval;
+  if (path.size() == 1) {
+    eval.valid = g.HasNode(path.front());
+    eval.directness = 1.0;
+    return eval;
+  }
+  eval.valid = true;
+  double cumulative = 0.0;
+  double polyline = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId u = path[i];
+    const NodeId v = path[i + 1];
+    if (!g.HasNode(u) || !g.HasNode(v)) {
+      eval.valid = false;
+      break;
+    }
+    const auto cost = g.EdgeCost(u, v);
+    if (!cost.ok()) {
+      eval.valid = false;
+      break;
+    }
+    cumulative += *cost;
+    polyline += g.EuclideanDistance(u, v);
+    SegmentReport seg;
+    seg.from = u;
+    seg.to = v;
+    seg.cost = *cost;
+    seg.cumulative_cost = cumulative;
+    const graph::Point& a = g.point(u);
+    const graph::Point& b = g.point(v);
+    seg.heading_deg =
+        std::atan2(b.y - a.y, b.x - a.x) * 180.0 / std::numbers::pi;
+    eval.segments.push_back(seg);
+  }
+  eval.total_cost = cumulative;
+  eval.num_segments = eval.segments.size();
+  if (g.HasNode(path.front()) && g.HasNode(path.back())) {
+    eval.straight_line_distance =
+        g.EuclideanDistance(path.front(), path.back());
+    eval.directness = eval.straight_line_distance > 0.0
+                          ? polyline / eval.straight_line_distance
+                          : 1.0;
+  }
+  return eval;
+}
+
+std::string RenderDirections(const Graph& g,
+                             const std::vector<NodeId>& path) {
+  const RouteEvaluation eval = EvaluateRoute(g, path);
+  std::ostringstream out;
+  if (!eval.valid || eval.segments.empty()) {
+    out << "(no drivable route)\n";
+    return out.str();
+  }
+  out << "Depart node " << path.front() << "\n";
+  double leg_cost = eval.segments.front().cost;
+  for (size_t i = 1; i < eval.segments.size(); ++i) {
+    double turn = eval.segments[i].heading_deg -
+                  eval.segments[i - 1].heading_deg;
+    while (turn > 180.0) turn -= 360.0;
+    while (turn < -180.0) turn += 360.0;
+    const char* action = nullptr;
+    if (std::abs(turn) < 30.0) {
+      action = nullptr;  // continue straight: merge into the current leg
+    } else if (turn >= 30.0 && turn < 150.0) {
+      action = "Turn left";
+    } else if (turn <= -30.0 && turn > -150.0) {
+      action = "Turn right";
+    } else {
+      action = "Make a U-turn";
+    }
+    if (action == nullptr) {
+      leg_cost += eval.segments[i].cost;
+      continue;
+    }
+    out << "  drive " << leg_cost << " cost units\n";
+    out << action << " at node " << eval.segments[i].from << "\n";
+    leg_cost = eval.segments[i].cost;
+  }
+  out << "  drive " << leg_cost << " cost units\n";
+  out << "Arrive at node " << path.back() << " (total cost "
+      << eval.total_cost << ", " << eval.num_segments << " segments)\n";
+  return out.str();
+}
+
+std::string RenderAsciiMap(const Graph& g, const std::vector<NodeId>& path,
+                           int width, int height) {
+  width = std::max(width, 2);
+  height = std::max(height, 2);
+  double min_x = 0.0;
+  double max_x = 1.0;
+  double min_y = 0.0;
+  double max_y = 1.0;
+  if (g.num_nodes() > 0) {
+    min_x = max_x = g.point(0).x;
+    min_y = max_y = g.point(0).y;
+    for (NodeId u = 1; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+      min_x = std::min(min_x, g.point(u).x);
+      max_x = std::max(max_x, g.point(u).x);
+      min_y = std::min(min_y, g.point(u).y);
+      max_y = std::max(max_y, g.point(u).y);
+    }
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  std::vector<std::string> canvas(static_cast<size_t>(height),
+                                  std::string(static_cast<size_t>(width),
+                                              '.'));
+  auto plot = [&](const graph::Point& p, char ch) {
+    const int col = static_cast<int>(
+        std::lround((p.x - min_x) / span_x * (width - 1)));
+    const int row = static_cast<int>(
+        std::lround((p.y - min_y) / span_y * (height - 1)));
+    // y grows upward on the map; rows grow downward on screen.
+    canvas[static_cast<size_t>(height - 1 - row)]
+          [static_cast<size_t>(col)] = ch;
+  };
+  for (const NodeId u : path) {
+    if (g.HasNode(u)) plot(g.point(u), '*');
+  }
+  if (!path.empty()) {
+    if (g.HasNode(path.front())) plot(g.point(path.front()), 'S');
+    if (g.HasNode(path.back())) plot(g.point(path.back()), 'D');
+  }
+  std::ostringstream out;
+  for (const std::string& line : canvas) out << line << "\n";
+  return out.str();
+}
+
+}  // namespace atis::core

@@ -1,0 +1,51 @@
+// Route evaluation and route display — the other two ATIS route-planning
+// services named in Section 1.1 (route computation being the algorithms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/search_types.h"
+#include "graph/graph.h"
+
+namespace atis::core {
+
+/// Attributes of one segment of an evaluated route.
+struct SegmentReport {
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  double cost = 0.0;
+  double cumulative_cost = 0.0;
+  double heading_deg = 0.0;  ///< compass heading, 0 = east, CCW positive
+};
+
+/// Attributes of a whole route between two points.
+struct RouteEvaluation {
+  bool valid = false;  ///< every consecutive pair is an edge of the graph
+  double total_cost = 0.0;
+  size_t num_segments = 0;
+  double straight_line_distance = 0.0;
+  /// total geometric length of the polyline / straight-line distance
+  /// (1.0 = perfectly direct).
+  double directness = 0.0;
+  std::vector<SegmentReport> segments;
+};
+
+/// Evaluates a node sequence against a graph: per-segment and total costs.
+/// A path that uses a non-existent edge yields valid = false (segments up
+/// to the break are still reported).
+RouteEvaluation EvaluateRoute(const graph::Graph& g,
+                              const std::vector<graph::NodeId>& path);
+
+/// Turn-by-turn text directions ("continue", "turn left", ...), derived
+/// from segment headings.
+std::string RenderDirections(const graph::Graph& g,
+                             const std::vector<graph::NodeId>& path);
+
+/// ASCII map of a route on a `width` x `height` canvas scaled to the
+/// graph's bounding box: '.' empty, '*' route, 'S' source, 'D' destination.
+std::string RenderAsciiMap(const graph::Graph& g,
+                           const std::vector<graph::NodeId>& path,
+                           int width = 60, int height = 24);
+
+}  // namespace atis::core

@@ -1,0 +1,29 @@
+#include "core/search_types.h"
+
+namespace atis::core {
+
+std::string_view AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kIterative:
+      return "iterative";
+    case Algorithm::kDijkstra:
+      return "dijkstra";
+    case Algorithm::kAStar:
+      return "a-star";
+  }
+  return "?";
+}
+
+std::string_view DuplicatePolicyName(DuplicatePolicy p) {
+  switch (p) {
+    case DuplicatePolicy::kAvoid:
+      return "avoid";
+    case DuplicatePolicy::kEliminate:
+      return "eliminate";
+    case DuplicatePolicy::kAllow:
+      return "allow";
+  }
+  return "?";
+}
+
+}  // namespace atis::core

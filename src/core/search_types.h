@@ -1,0 +1,73 @@
+// Common result and statistics types for all path-computation algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/io_meter.h"
+
+namespace atis::core {
+
+/// Which algorithm produced a result (for reporting).
+enum class Algorithm {
+  kIterative,  ///< breadth-first / transitive-closure representative
+  kDijkstra,   ///< partial-transitive-closure representative
+  kAStar,      ///< estimator-based single-pair representative
+};
+
+std::string_view AlgorithmName(Algorithm a);
+
+/// Duplicate management policy for the frontier set (Section 4): the paper
+/// prefers avoidance; the alternatives are kept for the ablation study.
+enum class DuplicatePolicy {
+  kAvoid,      ///< check membership before insert (paper's choice)
+  kEliminate,  ///< insert, then purge duplicates of the same node
+  kAllow,      ///< insert blindly; stale entries cause redundant iterations
+};
+
+std::string_view DuplicatePolicyName(DuplicatePolicy p);
+
+struct SearchStats {
+  /// Algorithm iterations under the paper's counting rules: frontier
+  /// *rounds* for Iterative; node *expansions* (excluding the terminating
+  /// selection of the destination) for Dijkstra and A*.
+  uint64_t iterations = 0;
+  uint64_t nodes_expanded = 0;   ///< nodes moved current->closed
+  uint64_t nodes_generated = 0;  ///< successor relaxations attempted
+  uint64_t nodes_improved = 0;   ///< relaxations that lowered a path cost
+  uint64_t reopenings = 0;       ///< closed nodes moved back to open
+  uint64_t frontier_peak = 0;
+
+  /// Block-I/O work (database-resident runs only; zero for in-memory).
+  storage::IoCounters io;
+  /// io converted to paper cost units (database-resident runs only).
+  double cost_units = 0.0;
+
+  /// Per-statement-kind decomposition of `io`, mirroring the cost-model
+  /// steps of Tables 2 and 3 (database-resident runs only). The sum of
+  /// all parts equals `io`.
+  struct IoBreakdown {
+    storage::IoCounters init;        ///< C1-C4: reset/populate R, seed s
+    storage::IoCounters selection;   ///< C5: scan for the minimum-f node
+    storage::IoCounters marking;     ///< C6/C9: status REPLACE of u
+    storage::IoCounters adjacency;   ///< C7: fetch u.adjacencyList from S
+    storage::IoCounters relaxation;  ///< C8: probe + update neighbours
+    storage::IoCounters cleanup;     ///< temp-relation drops, reconstruction
+  };
+  IoBreakdown breakdown;
+};
+
+struct PathResult {
+  bool found = false;
+  double cost = 0.0;
+  /// Node sequence source..destination (empty when !found).
+  std::vector<graph::NodeId> path;
+  /// False when the configuration cannot guarantee optimality (e.g. A*
+  /// with an estimator that may overestimate on this graph).
+  bool optimality_guaranteed = true;
+  SearchStats stats;
+};
+
+}  // namespace atis::core

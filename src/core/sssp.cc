@@ -1,0 +1,77 @@
+#include "core/sssp.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace atis::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<NodeId> ShortestPathTree::PathTo(NodeId v) const {
+  std::vector<NodeId> path;
+  if (!Reaches(v)) return path;
+  for (NodeId at = v; at != graph::kInvalidNode;
+       at = pred_[static_cast<size_t>(at)]) {
+    path.push_back(at);
+    if (at == source_) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<ShortestPathTree> SingleSourceDijkstra(const Graph& g,
+                                              NodeId source) {
+  if (!g.HasNode(source)) {
+    return Status::InvalidArgument("unknown source node");
+  }
+  const size_t n = g.num_nodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> pred(n, graph::kInvalidNode);
+  dist[static_cast<size_t>(source)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [du, u] = pq.top();
+    pq.pop();
+    if (du > dist[static_cast<size_t>(u)]) continue;  // stale entry
+    for (const graph::Edge& e : g.Neighbors(u)) {
+      const double nd = du + e.cost;
+      if (nd < dist[static_cast<size_t>(e.to)]) {
+        dist[static_cast<size_t>(e.to)] = nd;
+        pred[static_cast<size_t>(e.to)] = u;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return ShortestPathTree(source, std::move(dist), std::move(pred));
+}
+
+Result<std::vector<std::vector<double>>> AllPairsDistances(const Graph& g) {
+  std::vector<std::vector<double>> out;
+  out.reserve(g.num_nodes());
+  for (NodeId s = 0; s < static_cast<NodeId>(g.num_nodes()); ++s) {
+    ATIS_ASSIGN_OR_RETURN(ShortestPathTree tree, SingleSourceDijkstra(g, s));
+    out.push_back(tree.distances());
+  }
+  return out;
+}
+
+Result<double> GraphDiameter(const Graph& g) {
+  double diameter = 0.0;
+  for (NodeId s = 0; s < static_cast<NodeId>(g.num_nodes()); ++s) {
+    ATIS_ASSIGN_OR_RETURN(ShortestPathTree tree, SingleSourceDijkstra(g, s));
+    for (const double d : tree.distances()) {
+      if (d != kInf) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace atis::core

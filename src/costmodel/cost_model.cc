@@ -1,0 +1,102 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace atis::costmodel {
+
+double JoinCostF(double b1, double b2, double b3, const ModelParams& p,
+                 bool nested_loop_only) {
+  if (nested_loop_only) {
+    return b1 * p.t_read + (b1 * b2) * p.t_read + b3 * p.t_write;
+  }
+  relational::JoinStats stats;
+  stats.left_blocks = static_cast<size_t>(std::ceil(std::max(b1, 0.0)));
+  stats.right_blocks = static_cast<size_t>(std::ceil(std::max(b2, 0.0)));
+  stats.result_blocks = static_cast<size_t>(std::ceil(std::max(b3, 0.0)));
+  // The outer side's tuple count, needed by the primary-key strategy:
+  // b1 blocks of R tuples.
+  stats.left_tuples = static_cast<size_t>(
+      std::ceil(std::max(b1, 0.0) * p.blocking_factor_r()));
+  stats.right_has_index = true;  // S carries its primary hash index
+  stats.right_index_levels = 1;
+  return relational::ChooseJoinStrategy(stats, p.AsCostParams()).cost;
+}
+
+namespace {
+
+/// C1..C4, shared by both models.
+double InitCost(const ModelParams& p) {
+  const double br = p.blocks_r();
+  const double bs = p.blocks_s();
+  const double c1 = p.create_relation;
+  const double c2 = bs * p.t_read + br * p.t_write;
+  const double c3 = 2.0 * (br * std::log2(std::max(br, 2.0)) + br) *
+                    p.t_update();
+  const double c4 = (p.isam_levels + p.selection_cardinality) *
+                        p.t_update() +
+                    br * p.t_read;
+  return c1 + c2 + c3 + c4;
+}
+
+}  // namespace
+
+CostPrediction PredictIterative(const ModelParams& p, double iterations,
+                                bool nested_loop_only) {
+  CostPrediction pred;
+  pred.iterations = std::max(iterations, 1.0);
+  pred.init_cost = InitCost(p);
+
+  const double br = p.blocks_r();
+  const double bs = p.blocks_s();
+  // Average current-node count per iteration: |C| = |R| / B(L).
+  const double current_nodes =
+      static_cast<double>(p.num_nodes) / pred.iterations;
+  const double bc =
+      std::max(1.0, current_nodes / p.blocking_factor_r());
+  const double b_join = std::max(
+      1.0, static_cast<double>(p.num_edges) /
+               (pred.iterations * p.blocking_factor_rs()));
+
+  const double c5 = br * p.t_read;
+  const double c6 = p.create_relation +
+                    JoinCostF(bc, bs, b_join, p, nested_loop_only) +
+                    p.delete_relation;
+  const double c7 = 2.0 * br * p.t_update();
+  const double c8 = br * p.t_read;
+  pred.per_iteration_cost = c5 + c6 + c7 + c8;
+  return pred;
+}
+
+CostPrediction PredictBestFirst(const ModelParams& p, double iterations,
+                                bool nested_loop_only) {
+  CostPrediction pred;
+  pred.iterations = std::max(iterations, 1.0);
+  pred.init_cost = InitCost(p);
+
+  const double br = p.blocks_r();
+  const double bs = p.blocks_s();
+  const double probe = p.isam_levels + p.selection_cardinality;
+  const double b_join =
+      std::max(1.0, p.avg_degree / p.blocking_factor_rs());
+
+  const double c5 = br * p.t_read;
+  const double c6 = probe * p.t_update();
+  const double c7 = JoinCostF(1.0, bs, b_join, p, nested_loop_only);
+  const double c8 = br * p.t_read + p.t_write;
+  const double c9 = probe * p.t_update();
+  const double c10 = p.t_update();
+  pred.per_iteration_cost = c5 + c6 + c7 + c8 + c9 + c10;
+  return pred;
+}
+
+std::string FormatPrediction(const CostPrediction& pred) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << pred.total();
+  return out.str();
+}
+
+}  // namespace atis::costmodel

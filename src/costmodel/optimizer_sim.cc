@@ -1,0 +1,71 @@
+#include "costmodel/optimizer_sim.h"
+
+#include <cmath>
+
+namespace atis::costmodel {
+
+CostPrediction OptimizerSimulation::Predict(core::Algorithm algorithm,
+                                            double iterations,
+                                            bool nested_loop_only) const {
+  switch (algorithm) {
+    case core::Algorithm::kIterative:
+      return PredictIterative(params_, iterations, nested_loop_only);
+    case core::Algorithm::kDijkstra:
+    case core::Algorithm::kAStar:
+      return PredictBestFirst(params_, iterations, nested_loop_only);
+  }
+  return CostPrediction{};
+}
+
+SimulationReport OptimizerSimulation::Validate(
+    core::Algorithm algorithm, const core::PathResult& measured) const {
+  SimulationReport report;
+  report.algorithm = algorithm;
+  report.iterations = static_cast<double>(measured.stats.iterations);
+  report.predicted_cost =
+      Predict(algorithm, report.iterations).total();
+  report.measured_cost = measured.stats.cost_units;
+  report.relative_error =
+      report.measured_cost > 0.0
+          ? (report.predicted_cost - report.measured_cost) /
+                report.measured_cost
+          : 0.0;
+  return report;
+}
+
+relational::JoinCostEstimate OptimizerSimulation::ChooseAdjacencyJoin()
+    const {
+  relational::JoinStats stats;
+  stats.left_blocks = 1;  // one current node
+  stats.left_tuples = 1;
+  stats.right_blocks = static_cast<size_t>(std::ceil(params_.blocks_s()));
+  stats.result_blocks = 1;
+  stats.right_has_index = true;
+  stats.right_index_levels = 1;  // hash primary index on S.begin_node
+  return relational::ChooseJoinStrategy(stats, params_.AsCostParams());
+}
+
+Result<EngineCalibration> CalibrateFromRuns(const core::PathResult& run_a,
+                                            const core::PathResult& run_b) {
+  const double ia = static_cast<double>(run_a.stats.iterations);
+  const double ib = static_cast<double>(run_b.stats.iterations);
+  if (ia == ib) {
+    return Status::InvalidArgument(
+        "calibration runs must have distinct iteration counts");
+  }
+  EngineCalibration cal;
+  cal.per_iteration_cost =
+      (run_a.stats.cost_units - run_b.stats.cost_units) / (ia - ib);
+  cal.init_cost = run_a.stats.cost_units - ia * cal.per_iteration_cost;
+  return cal;
+}
+
+ModelParams ParamsForGraph(const graph::Graph& g, const ModelParams& base) {
+  ModelParams p = base;
+  p.num_nodes = static_cast<int64_t>(g.num_nodes());
+  p.num_edges = static_cast<int64_t>(g.num_edges());
+  p.avg_degree = g.AverageDegree();
+  return p;
+}
+
+}  // namespace atis::costmodel

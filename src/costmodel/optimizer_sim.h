@@ -1,0 +1,71 @@
+// The paper's "query optimizer simulation in C" (Section 4/5): predicts an
+// algorithm's execution cost from the algebraic model plus the iteration
+// count observed in an execution trace, choosing the cheapest join strategy
+// per step, and validates predictions against metered runs.
+#pragma once
+
+#include "core/search_types.h"
+#include "costmodel/cost_model.h"
+#include "graph/graph.h"
+
+namespace atis::costmodel {
+
+/// Prediction-vs-measurement comparison for one run.
+struct SimulationReport {
+  core::Algorithm algorithm;
+  double iterations = 0.0;
+  double predicted_cost = 0.0;
+  double measured_cost = 0.0;
+  /// (predicted - measured) / measured.
+  double relative_error = 0.0;
+};
+
+class OptimizerSimulation {
+ public:
+  explicit OptimizerSimulation(ModelParams params) : params_(params) {}
+
+  const ModelParams& params() const { return params_; }
+
+  /// Cost prediction given an iteration count from a trace.
+  /// `nested_loop_only` fixes the Section 4.3 illustration's join choice.
+  CostPrediction Predict(core::Algorithm algorithm, double iterations,
+                         bool nested_loop_only = false) const;
+
+  /// Compares a prediction against a metered database run.
+  SimulationReport Validate(core::Algorithm algorithm,
+                            const core::PathResult& measured) const;
+
+  /// The join strategy the simulated optimizer picks for the per-iteration
+  /// adjacency join of the best-first algorithms.
+  relational::JoinCostEstimate ChooseAdjacencyJoin() const;
+
+ private:
+  ModelParams params_;
+};
+
+/// Trace-driven calibration, the paper's actual validation method: "the
+/// simulation took the number of iterations from the execution trace of the
+/// EQUEL programs to predict the execution-time". Two metered runs of the
+/// same algorithm on the same graph determine the (init, per-iteration)
+/// cost split; further runs are then predicted from their iteration counts
+/// alone.
+struct EngineCalibration {
+  double init_cost = 0.0;
+  double per_iteration_cost = 0.0;
+
+  double Predict(double iterations) const {
+    return init_cost + iterations * per_iteration_cost;
+  }
+};
+
+/// Solves the 2x2 system from two runs with distinct iteration counts.
+/// InvalidArgument when the counts coincide (the system is singular).
+Result<EngineCalibration> CalibrateFromRuns(const core::PathResult& run_a,
+                                            const core::PathResult& run_b);
+
+/// Fills the graph-dependent fields of a parameter set (|S|, |R|, |A|)
+/// from an in-memory graph, keeping Table 4A physical parameters.
+ModelParams ParamsForGraph(const graph::Graph& g,
+                           const ModelParams& base = Table4ADefaults());
+
+}  // namespace atis::costmodel

@@ -1,0 +1,62 @@
+// Parameters of the algebraic cost model (Table 1 notation, Table 4A
+// defaults).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "storage/io_meter.h"
+
+namespace atis::costmodel {
+
+/// Everything Table 4A fixes, plus the graph-dependent inputs |S| and |R|.
+struct ModelParams {
+  // Fixed charges and index shape.
+  double create_relation = 0.5;  ///< I: creating a temporary relation
+  double delete_relation = 0.5;  ///< D_t
+  int isam_levels = 3;           ///< I_l
+  int selection_cardinality = 1; ///< S_r: tuples matched by a node-id select
+  double avg_degree = 4.0;       ///< |A|: mean adjacency-list length
+
+  // Relation sizes (graph-dependent; Table 4A uses the 30x30 grid).
+  int64_t num_edges = 3480;      ///< |S|
+  int64_t num_nodes = 900;       ///< |R|
+
+  // Physical layout.
+  int block_size = 4096;         ///< B
+  int edge_tuple_size = 32;      ///< T_s
+  int node_tuple_size = 16;      ///< T_r
+
+  // Device times (abstract units).
+  double t_read = 0.035;
+  double t_write = 0.05;
+
+  double t_update() const { return t_read + t_write; }
+
+  // Derived blocking factors and block counts.
+  int blocking_factor_s() const { return block_size / edge_tuple_size; }
+  int blocking_factor_r() const { return block_size / node_tuple_size; }
+  int blocking_factor_rs() const {
+    return block_size / (edge_tuple_size + node_tuple_size);
+  }
+  double blocks_s() const {
+    return std::ceil(static_cast<double>(num_edges) / blocking_factor_s());
+  }
+  double blocks_r() const {
+    return std::ceil(static_cast<double>(num_nodes) / blocking_factor_r());
+  }
+
+  storage::CostParams AsCostParams() const {
+    storage::CostParams p;
+    p.t_read = t_read;
+    p.t_write = t_write;
+    p.create_relation = create_relation;
+    p.delete_relation = delete_relation;
+    return p;
+  }
+};
+
+/// The exact parameter values of Table 4A (30x30 grid graph).
+inline ModelParams Table4ADefaults() { return ModelParams{}; }
+
+}  // namespace atis::costmodel

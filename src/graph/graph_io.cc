@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace atis::graph {
+
+namespace {
+constexpr char kMagic[] = "ATISG1";
+}
+
+Status WriteGraphText(const Graph& g, std::ostream& out) {
+  out << kMagic << "\n" << g.num_nodes() << "\n";
+  out << std::setprecision(17);
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    const Point& p = g.point(u);
+    out << p.x << " " << p.y << "\n";
+  }
+  out << g.num_edges() << "\n";
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      out << u << " " << e.to << " " << e.cost << "\n";
+    }
+  }
+  if (!out) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphText(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    return Status::Corruption("bad magic: expected ATISG1");
+  }
+  size_t num_nodes = 0;
+  in >> num_nodes;
+  if (!in) return Status::Corruption("truncated node count");
+  Graph g;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    double x = 0.0;
+    double y = 0.0;
+    in >> x >> y;
+    if (!in) return Status::Corruption("truncated node list");
+    g.AddNode(x, y);
+  }
+  size_t num_edges = 0;
+  in >> num_edges;
+  if (!in) return Status::Corruption("truncated edge count");
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    double cost = 0.0;
+    in >> u >> v >> cost;
+    if (!in) return Status::Corruption("truncated edge list");
+    ATIS_RETURN_NOT_OK(g.AddEdge(u, v, cost));
+  }
+  return g;
+}
+
+Status SaveGraphFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return WriteGraphText(g, out);
+}
+
+Result<Graph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadGraphText(in);
+}
+
+}  // namespace atis::graph

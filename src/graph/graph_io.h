@@ -1,0 +1,24 @@
+// Text serialisation of graphs, for examples and offline tooling.
+//
+// Format ("ATISG1"):
+//   ATISG1
+//   <num_nodes>
+//   <x> <y>                 (one line per node, id = line order)
+//   <num_directed_edges>
+//   <u> <v> <cost>          (one line per directed edge)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace atis::graph {
+
+Status WriteGraphText(const Graph& g, std::ostream& out);
+Result<Graph> ReadGraphText(std::istream& in);
+
+Status SaveGraphFile(const Graph& g, const std::string& path);
+Result<Graph> LoadGraphFile(const std::string& path);
+
+}  // namespace atis::graph

@@ -1,0 +1,164 @@
+#include "graph/relational_graph.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace atis::graph {
+
+using relational::Field;
+using relational::FieldType;
+using relational::Schema;
+using relational::Tuple;
+
+namespace {
+// Field positions in the packed tuples (see EdgeSchema / NodeSchema).
+constexpr size_t kEBegin = 0;
+constexpr size_t kEEnd = 1;
+constexpr size_t kECost = 2;
+constexpr size_t kNId = 0;
+constexpr size_t kNX = 1;
+constexpr size_t kNY = 2;
+constexpr size_t kNStatus = 3;
+constexpr size_t kNPred = 4;
+constexpr size_t kNCost = 5;
+
+int64_t FixedPoint(double coord) {
+  return static_cast<int64_t>(
+      std::llround(coord * RelationalGraphStore::kCoordScale));
+}
+}  // namespace
+
+Schema RelationalGraphStore::EdgeSchema() {
+  // Packed size 12 bytes; padded to the paper's T_s = 32 (the original
+  // stored additional per-segment attributes: speed, occupancy, road type).
+  return Schema({{"begin_node", FieldType::kInt32},
+                 {"end_node", FieldType::kInt32},
+                 {"edge_cost", FieldType::kFloat}},
+                /*tuple_size_override=*/32);
+}
+
+Schema RelationalGraphStore::NodeSchema() {
+  // Packed size 13 bytes; padded to the paper's T_r = 16.
+  return Schema({{"node_id", FieldType::kInt16},
+                 {"x", FieldType::kInt16},
+                 {"y", FieldType::kInt16},
+                 {"status", FieldType::kInt8},
+                 {"pred", FieldType::kInt16},
+                 {"path_cost", FieldType::kFloat}},
+                /*tuple_size_override=*/16);
+}
+
+RelationalGraphStore::RelationalGraphStore(storage::BufferPool* pool)
+    : s_("S", EdgeSchema(), pool), r_("R", NodeSchema(), pool) {}
+
+Status RelationalGraphStore::Load(const Graph& g) {
+  if (loaded_) {
+    return Status::FailedPrecondition("graph store already loaded");
+  }
+  if (g.num_nodes() > 32767) {
+    return Status::InvalidArgument(
+        "R's 16-bit node ids limit the store to 32767 nodes");
+  }
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    const Point& p = g.point(u);
+    if (std::abs(FixedPoint(p.x)) > 32767 ||
+        std::abs(FixedPoint(p.y)) > 32767) {
+      return Status::OutOfRange("coordinate exceeds fixed-point range");
+    }
+    NodeRow row;
+    row.id = u;
+    row.x = p.x;
+    row.y = p.y;
+    row.status = NodeStatus::kNull;
+    row.pred = kInvalidNode;
+    row.path_cost = std::numeric_limits<double>::infinity();
+    ATIS_RETURN_NOT_OK(r_.Insert(ToTuple(row)).status());
+  }
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      ATIS_RETURN_NOT_OK(
+          s_.Insert(ToTuple(EdgeRow{u, e.to, e.cost})).status());
+    }
+  }
+  ATIS_RETURN_NOT_OK(s_.CreateHashIndex(
+      kBeginField, std::max<size_t>(16, g.num_nodes() / 8)));
+  ATIS_RETURN_NOT_OK(r_.BuildIsamIndex(kNodeIdField));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<RelationalGraphStore::EdgeRow>>
+RelationalGraphStore::FetchAdjacency(NodeId u) const {
+  ATIS_ASSIGN_OR_RETURN(auto matches,
+                        relational::SelectIndex(s_, kBeginField, u));
+  std::vector<EdgeRow> out;
+  out.reserve(matches.size());
+  for (const auto& m : matches) {
+    out.push_back(EdgeFromTuple(m.tuple));
+  }
+  return out;
+}
+
+Result<std::pair<storage::RecordId, RelationalGraphStore::NodeRow>>
+RelationalGraphStore::GetNode(NodeId u) const {
+  ATIS_ASSIGN_OR_RETURN(auto rids, r_.IndexLookup(kNodeIdField, u));
+  if (rids.empty()) {
+    return Status::NotFound("node " + std::to_string(u) + " not in R");
+  }
+  ATIS_ASSIGN_OR_RETURN(Tuple t, r_.Get(rids.front()));
+  return std::make_pair(rids.front(), NodeFromTuple(t));
+}
+
+Status RelationalGraphStore::UpdateNode(storage::RecordId rid,
+                                        const NodeRow& row) {
+  return r_.Update(rid, ToTuple(row));
+}
+
+Status RelationalGraphStore::ResetSearchState() {
+  return relational::Replace(
+             &r_, /*pred=*/{},
+             [](Tuple* t) {
+               (*t)[kNStatus] = static_cast<int64_t>(NodeStatus::kNull);
+               (*t)[kNPred] = static_cast<int64_t>(kInvalidNode);
+               (*t)[kNCost] = std::numeric_limits<double>::infinity();
+             })
+      .status();
+}
+
+Tuple RelationalGraphStore::ToTuple(const NodeRow& row) {
+  return Tuple{static_cast<int64_t>(row.id),
+               FixedPoint(row.x),
+               FixedPoint(row.y),
+               static_cast<int64_t>(row.status),
+               static_cast<int64_t>(row.pred),
+               row.path_cost};
+}
+
+RelationalGraphStore::NodeRow RelationalGraphStore::NodeFromTuple(
+    const Tuple& t) {
+  NodeRow row;
+  row.id = static_cast<NodeId>(relational::AsInt(t[kNId]));
+  row.x = static_cast<double>(relational::AsInt(t[kNX])) / kCoordScale;
+  row.y = static_cast<double>(relational::AsInt(t[kNY])) / kCoordScale;
+  row.status = static_cast<NodeStatus>(relational::AsInt(t[kNStatus]));
+  row.pred = static_cast<NodeId>(relational::AsInt(t[kNPred]));
+  row.path_cost = relational::AsDouble(t[kNCost]);
+  return row;
+}
+
+Tuple RelationalGraphStore::ToTuple(const EdgeRow& row) {
+  return Tuple{static_cast<int64_t>(row.begin),
+               static_cast<int64_t>(row.end), row.cost};
+}
+
+RelationalGraphStore::EdgeRow RelationalGraphStore::EdgeFromTuple(
+    const Tuple& t) {
+  EdgeRow row;
+  row.begin = static_cast<NodeId>(relational::AsInt(t[kEBegin]));
+  row.end = static_cast<NodeId>(relational::AsInt(t[kEEnd]));
+  row.cost = relational::AsDouble(t[kECost]);
+  return row;
+}
+
+}  // namespace atis::graph

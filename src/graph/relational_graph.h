@@ -1,0 +1,109 @@
+// Database-resident graph: the paper's pair of relations.
+//
+//   S (edge relation, read-only):  <begin_node, end_node, edge_cost>
+//     - primary random-hash index on begin_node
+//     - T_s = 32 bytes  =>  Bf_s = 128 tuples/block (Table 4A)
+//   R (node relation, working set): <node_id, x, y, status, path, path_cost>
+//     - primary ISAM index on node_id
+//     - T_r = 16 bytes  =>  Bf_r = 256 tuples/block (Table 4A)
+//
+// The `status` field implements the node lists: null (untouched), open
+// (frontierSet), closed (exploredSet), current. The `path` field points to
+// the predecessor node on the best known path; following it from the
+// destination reconstructs the route. Coordinates are stored as 1/16-unit
+// fixed point so R's tuple fits the paper's 16 bytes; edge costs in S are
+// computed by callers from the same quantised coordinates, keeping the
+// geometric estimators consistent with stored geometry.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace atis::graph {
+
+enum class NodeStatus : int8_t {
+  kNull = 0,
+  kOpen = 1,     ///< in frontierSet
+  kClosed = 2,   ///< in exploredSet
+  kCurrent = 3,  ///< being expanded this iteration
+};
+
+class RelationalGraphStore {
+ public:
+  /// Fixed-point scale for stored coordinates.
+  static constexpr double kCoordScale = 16.0;
+
+  struct NodeRow {
+    NodeId id = kInvalidNode;
+    double x = 0.0;
+    double y = 0.0;
+    NodeStatus status = NodeStatus::kNull;
+    NodeId pred = kInvalidNode;  ///< the "path" field
+    double path_cost = 0.0;      ///< C(s, id); +inf when unreached
+  };
+
+  struct EdgeRow {
+    NodeId begin = kInvalidNode;
+    NodeId end = kInvalidNode;
+    double cost = 0.0;
+  };
+
+  explicit RelationalGraphStore(storage::BufferPool* pool);
+
+  /// Populates S and R from an in-memory graph and builds both primary
+  /// indexes. Node coordinates are quantised to kCoordScale. May be called
+  /// once per store. Node count is limited to 32767 by R's 16-bit node ids.
+  Status Load(const Graph& g);
+
+  relational::Relation& edge_relation() { return s_; }
+  const relational::Relation& edge_relation() const { return s_; }
+  relational::Relation& node_relation() { return r_; }
+  const relational::Relation& node_relation() const { return r_; }
+
+  size_t num_nodes() const { return r_.num_tuples(); }
+  size_t num_edges() const { return s_.num_tuples(); }
+
+  /// Adjacency list of u: index lookup on S.begin_node.
+  Result<std::vector<EdgeRow>> FetchAdjacency(NodeId u) const;
+
+  /// Node row via the ISAM index (returns the record id for updates).
+  Result<std::pair<storage::RecordId, NodeRow>> GetNode(NodeId u) const;
+
+  Status UpdateNode(storage::RecordId rid, const NodeRow& row);
+
+  /// One REPLACE over R: status := null, path := none, path_cost := +inf.
+  /// (The algorithms' initialisation step.)
+  Status ResetSearchState();
+
+  /// Quantised coordinate of a node as stored (used by estimators so the
+  /// heuristic sees exactly the stored geometry).
+  static double Quantise(double coord) {
+    return std::round(coord * kCoordScale) / kCoordScale;
+  }
+
+  // Tuple conversions (schemas below are fixed for the store's lifetime).
+  static relational::Tuple ToTuple(const NodeRow& row);
+  static NodeRow NodeFromTuple(const relational::Tuple& t);
+  static relational::Tuple ToTuple(const EdgeRow& row);
+  static EdgeRow EdgeFromTuple(const relational::Tuple& t);
+
+  static relational::Schema EdgeSchema();
+  static relational::Schema NodeSchema();
+
+  /// Field names (indexable keys).
+  static constexpr const char* kBeginField = "begin_node";
+  static constexpr const char* kNodeIdField = "node_id";
+
+ private:
+  relational::Relation s_;
+  relational::Relation r_;
+  bool loaded_ = false;
+};
+
+}  // namespace atis::graph

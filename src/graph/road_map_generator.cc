@@ -1,0 +1,253 @@
+#include "graph/road_map_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <vector>
+
+#include "util/random.h"
+
+namespace atis::graph {
+
+namespace {
+
+struct UEdge {
+  int u;
+  int v;
+  bool tree = false;     // spanning-tree edge: must stay two-way
+  bool freeway = false;  // one-way candidate
+  bool removed = false;
+  bool one_way = false;  // keep only u -> v
+};
+
+bool InLake(double x, double y) {
+  // Two elliptical lakes in the lower-left corner (Lake of the Isles /
+  // Calhoun stand-ins).
+  auto in_ellipse = [&](double cx, double cy, double rx, double ry) {
+    const double dx = (x - cx) / rx;
+    const double dy = (y - cy) / ry;
+    return dx * dx + dy * dy < 1.0;
+  };
+  return in_ellipse(6.0, 6.5, 3.4, 2.4) || in_ellipse(4.5, 11.5, 2.4, 1.9);
+}
+
+// The river runs from the top edge (x ~ 20, y = 32) toward the southeast
+// (x = 32, y ~ 20) as a band of width ~0.9. Bridges pierce it at three
+// points along its course.
+bool InRiver(double x, double y) {
+  // Centerline: x + y = 52 within the upper-right quadrant.
+  if (x < 14.0 || y < 14.0) return false;
+  const double dist = std::abs(x + y - 52.0) / std::numbers::sqrt2;
+  if (dist >= 0.9) return false;
+  // Bridge gaps (projection onto the centerline direction).
+  const double along = (x - y);  // varies along the river course
+  for (double bridge : {-10.0, 0.0, 9.0}) {
+    if (std::abs(along - bridge) < 1.2) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RoadMap> GenerateMinneapolisLike(const RoadMapOptions& options) {
+  const int k = options.base_k;
+  if (k < 8) {
+    return Status::InvalidArgument("road map lattice must be at least 8x8");
+  }
+  Rng rng(options.seed);
+  const int n = k * k;
+  auto id_at = [k](int row, int col) { return row * k + col; };
+
+  // 1. Intersection coordinates: jittered lattice, with the downtown core
+  //    rotated and densified around the map centre.
+  const double cx = (k - 1) / 2.0;
+  const double cy = (k - 1) / 2.0;
+  const double theta =
+      options.downtown_rotation_deg * std::numbers::pi / 180.0;
+  const double core_radius = k / 5.5;
+  std::vector<Point> pts(static_cast<size_t>(n));
+  for (int row = 0; row < k; ++row) {
+    for (int col = 0; col < k; ++col) {
+      double x = col + rng.UniformDouble(-options.perturbation,
+                                         options.perturbation);
+      double y = row + rng.UniformDouble(-options.perturbation,
+                                         options.perturbation);
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double r = std::hypot(dx, dy);
+      if (r < core_radius * 1.6) {
+        // Blend toward the rotated, compressed downtown frame; full
+        // strength inside the core, fading to zero at 1.6 * radius.
+        const double w =
+            std::clamp(1.0 - (r - core_radius) / (0.6 * core_radius), 0.0,
+                       1.0);
+        const double rot_x =
+            cx + (dx * std::cos(theta) - dy * std::sin(theta)) *
+                     options.downtown_scale;
+        const double rot_y =
+            cy + (dx * std::sin(theta) + dy * std::cos(theta)) *
+                     options.downtown_scale;
+        x = (1.0 - w) * x + w * rot_x;
+        y = (1.0 - w) * y + w * rot_y;
+      }
+      pts[static_cast<size_t>(id_at(row, col))] = {x, y};
+    }
+  }
+
+  // 2. Candidate street segments: lattice adjacency minus water crossings.
+  std::vector<UEdge> edges;
+  edges.reserve(static_cast<size_t>(2 * k * (k - 1)));
+  auto try_edge = [&](int u, int v) {
+    const double mx = (pts[static_cast<size_t>(u)].x +
+                       pts[static_cast<size_t>(v)].x) / 2.0;
+    const double my = (pts[static_cast<size_t>(u)].y +
+                       pts[static_cast<size_t>(v)].y) / 2.0;
+    if (InLake(mx, my) || InRiver(mx, my)) return;
+    edges.push_back({u, v});
+  };
+  for (int row = 0; row < k; ++row) {
+    for (int col = 0; col < k; ++col) {
+      if (col + 1 < k) try_edge(id_at(row, col), id_at(row, col + 1));
+      if (row + 1 < k) try_edge(id_at(row, col), id_at(row + 1, col));
+    }
+  }
+
+  // 3. Largest connected component; edges outside it are dropped and its
+  //    spanning tree is protected from one-way conversion and thinning so
+  //    the drivable map stays strongly connected.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj[static_cast<size_t>(edges[i].u)].push_back(static_cast<int>(i));
+    adj[static_cast<size_t>(edges[i].v)].push_back(static_cast<int>(i));
+  }
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int num_comps = 0;
+  std::vector<int> comp_size;
+  for (int s = 0; s < n; ++s) {
+    if (comp[static_cast<size_t>(s)] != -1 ||
+        adj[static_cast<size_t>(s)].empty()) {
+      continue;
+    }
+    std::queue<int> q;
+    q.push(s);
+    comp[static_cast<size_t>(s)] = num_comps;
+    int size = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      ++size;
+      for (const int ei : adj[static_cast<size_t>(u)]) {
+        UEdge& e = edges[static_cast<size_t>(ei)];
+        const int w = (e.u == u) ? e.v : e.u;
+        if (comp[static_cast<size_t>(w)] == -1) {
+          comp[static_cast<size_t>(w)] = num_comps;
+          // First tree-discovery edge into w is protected.
+          e.tree = true;
+          q.push(w);
+        }
+      }
+    }
+    comp_size.push_back(size);
+    ++num_comps;
+  }
+  const int main_comp = static_cast<int>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+  for (UEdge& e : edges) {
+    if (comp[static_cast<size_t>(e.u)] != main_comp) {
+      e.removed = true;
+      e.tree = false;
+    }
+  }
+
+  // 4. Freeways: one horizontal corridor south of downtown and one vertical
+  //    corridor west of it. Non-tree segments on them become one-way
+  //    (direction alternates by corridor, like a divided highway pair).
+  const int freeway_row = k / 4;
+  const int freeway_col = 3 * k / 4;
+  for (UEdge& e : edges) {
+    if (e.removed || e.tree) continue;
+    const int ur = e.u / k;
+    const int uc = e.u % k;
+    const int vr = e.v / k;
+    const int vc = e.v % k;
+    if (ur == freeway_row && vr == freeway_row) {
+      e.freeway = true;
+      e.one_way = true;  // eastbound: u -> v (u has the smaller col)
+      if (uc > vc) std::swap(e.u, e.v);
+    } else if (uc == freeway_col && vc == freeway_col) {
+      e.freeway = true;
+      e.one_way = true;  // southbound (toward row 0)
+      if (ur < vr) std::swap(e.u, e.v);
+    }
+  }
+
+  // 5. Thin surplus local streets (random, non-tree, non-freeway) until the
+  //    directed edge count reaches the target.
+  auto directed_count = [&]() {
+    size_t c = 0;
+    for (const UEdge& e : edges) {
+      if (e.removed) continue;
+      c += e.one_way ? 1 : 2;
+    }
+    return c;
+  };
+  std::vector<size_t> removable;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const UEdge& e = edges[i];
+    if (!e.removed && !e.tree && !e.freeway) removable.push_back(i);
+  }
+  // Deterministic shuffle (Fisher-Yates with the seeded RNG).
+  for (size_t i = removable.size(); i > 1; --i) {
+    std::swap(removable[i - 1], removable[rng.UniformInt(i)]);
+  }
+  size_t next_victim = 0;
+  while (directed_count() > options.target_directed_edges &&
+         next_victim < removable.size()) {
+    edges[removable[next_victim++]].removed = true;
+  }
+
+  // 6. Materialise the graph with distance costs.
+  RoadMap map;
+  for (int i = 0; i < n; ++i) {
+    map.graph.AddNode(pts[static_cast<size_t>(i)].x,
+                      pts[static_cast<size_t>(i)].y);
+  }
+  for (const UEdge& e : edges) {
+    if (e.removed) continue;
+    const double cost = map.graph.EuclideanDistance(e.u, e.v);
+    if (e.one_way) {
+      ATIS_RETURN_NOT_OK(map.graph.AddEdge(e.u, e.v, cost));
+    } else {
+      ATIS_RETURN_NOT_OK(map.graph.AddUndirectedEdge(e.u, e.v, cost));
+    }
+  }
+
+  // 7. Landmarks: nearest main-component intersection to each target spot.
+  auto nearest = [&](double x, double y) {
+    NodeId best = kInvalidNode;
+    double best_d = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (comp[static_cast<size_t>(i)] != main_comp) continue;
+      const Point& p = pts[static_cast<size_t>(i)];
+      const double d = std::hypot(p.x - x, p.y - y);
+      if (best == kInvalidNode || d < best_d) {
+        best = i;
+        best_d = d;
+      }
+    }
+    return best;
+  };
+  const double m = k - 1;
+  map.a = nearest(0.08 * m, 0.92 * m);  // northwest
+  map.b = nearest(0.92 * m, 0.08 * m);  // southeast: A->B fights the core
+  map.c = nearest(0.10 * m, 0.10 * m);  // southwest (beyond the lakes)
+  map.d = nearest(0.90 * m, 0.90 * m);  // northeast: C->D rides the slope
+  map.g = nearest(0.78 * m, 0.78 * m);  // short hop from D
+  map.e = nearest(0.45 * m, 0.30 * m);  // mid-town pair
+  map.f = nearest(0.62 * m, 0.42 * m);
+  return map;
+}
+
+}  // namespace atis::graph

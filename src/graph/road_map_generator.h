@@ -1,0 +1,55 @@
+// Synthetic "Minneapolis-like" road map (Section 5.2 substitution).
+//
+// The paper's map was digitised from imagery and is not available, so this
+// generator rebuilds a map with the same published statistics and the
+// topological features the paper's analysis depends on:
+//   * 1089 nodes (a 33x33 lattice with perturbed positions) and
+//     approximately 3300 directed edges;
+//   * a dense downtown core whose street grid is rotated against the
+//     outer grid (the reason the A-to-B diagonal backtracks more than
+//     C-to-D in Table 8);
+//   * lakes interrupting the lower-left corner and a river flowing from
+//     the north edge to the southeast in the upper-right quadrant, crossed
+//     only at bridges;
+//   * one-way freeway segments, making the graph directed;
+//   * edge costs equal to the Euclidean distance between endpoints.
+//
+// The generator also exports the seven landmark nodes (A..G) used by the
+// paper's four benchmark queries: two long diagonals (A->B against the
+// downtown slope, C->D along it) and two short trips (G->D, E->F).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace atis::graph {
+
+struct RoadMapOptions {
+  int base_k = 33;                     ///< lattice side; 33*33 = 1089 nodes
+  uint64_t seed = 1993;
+  size_t target_directed_edges = 3300;
+  double perturbation = 0.15;          ///< jitter of street intersections
+  double downtown_rotation_deg = 28.0; ///< core grid rotation
+  double downtown_scale = 0.72;        ///< core densification factor
+};
+
+struct RoadMap {
+  Graph graph;
+  // Landmarks (see Table 8): A->B and C->D are long diagonal trips,
+  // G->D and E->F short trips.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  NodeId c = kInvalidNode;
+  NodeId d = kInvalidNode;
+  NodeId e = kInvalidNode;
+  NodeId f = kInvalidNode;
+  NodeId g = kInvalidNode;
+};
+
+/// Generates the map. Guarantees: exactly base_k^2 nodes; every non-isolated
+/// node is strongly connected to every other (one-way conversions never
+/// touch spanning-tree edges); all landmark nodes lie in the connected core.
+Result<RoadMap> GenerateMinneapolisLike(const RoadMapOptions& options = {});
+
+}  // namespace atis::graph

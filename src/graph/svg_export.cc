@@ -1,0 +1,96 @@
+#include "graph/svg_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace atis::graph {
+
+Status WriteSvg(const Graph& g, const std::vector<NodeId>& route,
+                std::ostream& out, const SvgOptions& options) {
+  if (options.width_px <= 0 || options.height_px <= 0) {
+    return Status::InvalidArgument("SVG canvas must be positive");
+  }
+  double min_x = 0.0;
+  double max_x = 1.0;
+  double min_y = 0.0;
+  double max_y = 1.0;
+  if (g.num_nodes() > 0) {
+    min_x = max_x = g.point(0).x;
+    min_y = max_y = g.point(0).y;
+    for (NodeId u = 1; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+      min_x = std::min(min_x, g.point(u).x);
+      max_x = std::max(max_x, g.point(u).x);
+      min_y = std::min(min_y, g.point(u).y);
+      max_y = std::max(max_y, g.point(u).y);
+    }
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const double inner_w = options.width_px - 2.0 * options.margin_px;
+  const double inner_h = options.height_px - 2.0 * options.margin_px;
+  auto px = [&](const Point& p) {
+    return options.margin_px + (p.x - min_x) / span_x * inner_w;
+  };
+  auto py = [&](const Point& p) {
+    // y grows upward in map space, downward in SVG space.
+    return options.margin_px + (max_y - p.y) / span_y * inner_h;
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << options.height_px
+      << "\" viewBox=\"0 0 " << options.width_px << " "
+      << options.height_px << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Road segments; each undirected pair is drawn once, one-way segments
+  // optionally dashed.
+  out << "<g stroke=\"" << options.road_color << "\" stroke-width=\""
+      << options.road_width << "\" stroke-linecap=\"round\">\n";
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    for (const Edge& e : g.Neighbors(u)) {
+      const bool two_way = g.EdgeCost(e.to, u).ok();
+      if (two_way && e.to < u) continue;  // draw each pair once
+      out << "<line x1=\"" << px(g.point(u)) << "\" y1=\""
+          << py(g.point(u)) << "\" x2=\"" << px(g.point(e.to))
+          << "\" y2=\"" << py(g.point(e.to)) << "\"";
+      if (!two_way && options.draw_one_way_as_dashed) {
+        out << " stroke-dasharray=\"4 3\"";
+      }
+      out << "/>\n";
+    }
+  }
+  out << "</g>\n";
+
+  if (route.size() >= 2) {
+    out << "<polyline fill=\"none\" stroke=\"" << options.route_color
+        << "\" stroke-width=\"" << options.route_width
+        << "\" stroke-linejoin=\"round\" stroke-linecap=\"round\" "
+           "points=\"";
+    for (const NodeId u : route) {
+      if (!g.HasNode(u)) continue;
+      out << px(g.point(u)) << "," << py(g.point(u)) << " ";
+    }
+    out << "\"/>\n";
+  }
+  if (!route.empty() && options.node_radius > 0.0) {
+    for (const NodeId u : {route.front(), route.back()}) {
+      if (!g.HasNode(u)) continue;
+      out << "<circle cx=\"" << px(g.point(u)) << "\" cy=\""
+          << py(g.point(u)) << "\" r=\"" << options.node_radius * 2.0
+          << "\" fill=\"" << options.endpoint_color << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+  if (!out) return Status::Internal("SVG stream write failed");
+  return Status::OK();
+}
+
+Status SaveSvgFile(const Graph& g, const std::vector<NodeId>& route,
+                   const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path);
+  return WriteSvg(g, route, out, options);
+}
+
+}  // namespace atis::graph

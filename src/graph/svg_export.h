@@ -1,0 +1,37 @@
+// SVG rendering of maps and routes — the route *display* service of
+// Section 1.1 in a form a release can actually ship (the ASCII renderer
+// in core/route_service.h is its terminal sibling).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::graph {
+
+struct SvgOptions {
+  int width_px = 800;
+  int height_px = 800;
+  double margin_px = 20.0;
+  std::string road_color = "#b8b8b8";
+  std::string route_color = "#d4572a";
+  std::string endpoint_color = "#1c5d99";
+  double road_width = 1.0;
+  double route_width = 3.0;
+  double node_radius = 2.5;   ///< endpoints only; 0 draws no markers
+  bool draw_one_way_as_dashed = true;
+};
+
+/// Writes an SVG of the whole graph with an optional route highlighted.
+/// The route need not be valid; segments are drawn between consecutive
+/// node coordinates regardless.
+Status WriteSvg(const Graph& g, const std::vector<NodeId>& route,
+                std::ostream& out, const SvgOptions& options = {});
+
+Status SaveSvgFile(const Graph& g, const std::vector<NodeId>& route,
+                   const std::string& path, const SvgOptions& options = {});
+
+}  // namespace atis::graph

@@ -1,0 +1,107 @@
+#include "graph/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace atis::graph {
+
+Status TrafficOverlay::ValidateSegment(NodeId u, NodeId v) const {
+  if (!base_->HasNode(u) || !base_->HasNode(v)) {
+    return Status::InvalidArgument("unknown node in segment");
+  }
+  if (!base_->EdgeCost(u, v).ok()) {
+    return Status::NotFound("no segment " + std::to_string(u) + " -> " +
+                            std::to_string(v));
+  }
+  return Status::OK();
+}
+
+Status TrafficOverlay::SetCongestion(NodeId u, NodeId v, double factor) {
+  ATIS_RETURN_NOT_OK(ValidateSegment(u, v));
+  if (factor < 1.0) {
+    return Status::InvalidArgument("congestion factor must be >= 1");
+  }
+  if (factor == 1.0) {
+    congestion_.erase({u, v});
+  } else {
+    congestion_[{u, v}] = factor;
+  }
+  return Status::OK();
+}
+
+Status TrafficOverlay::SetCongestionBothWays(NodeId u, NodeId v,
+                                             double factor) {
+  ATIS_RETURN_NOT_OK(SetCongestion(u, v, factor));
+  return SetCongestion(v, u, factor);
+}
+
+Status TrafficOverlay::CloseSegment(NodeId u, NodeId v) {
+  ATIS_RETURN_NOT_OK(ValidateSegment(u, v));
+  closed_[{u, v}] = true;
+  return Status::OK();
+}
+
+Status TrafficOverlay::ReopenSegment(NodeId u, NodeId v) {
+  if (closed_.erase({u, v}) == 0) {
+    return Status::NotFound("segment was not closed");
+  }
+  return Status::OK();
+}
+
+Status TrafficOverlay::SetTimeProfile(
+    std::vector<std::pair<double, double>> breakpoints) {
+  for (const auto& [hour, factor] : breakpoints) {
+    if (hour < 0.0 || hour >= 24.0) {
+      return Status::InvalidArgument("profile hour outside [0, 24)");
+    }
+    if (factor < 1.0) {
+      return Status::InvalidArgument("profile factor must be >= 1");
+    }
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  for (size_t i = 1; i < breakpoints.size(); ++i) {
+    if (breakpoints[i].first == breakpoints[i - 1].first) {
+      return Status::InvalidArgument("duplicate profile hour");
+    }
+  }
+  profile_ = std::move(breakpoints);
+  return Status::OK();
+}
+
+double TrafficOverlay::ProfileFactor(double hour) const {
+  if (profile_.empty() || hour < 0.0) return 1.0;
+  hour = hour - 24.0 * std::floor(hour / 24.0);  // wrap into [0, 24)
+  // Largest breakpoint hour <= hour; wraps to the last entry of the
+  // previous day when `hour` precedes the first breakpoint.
+  double factor = profile_.back().second;
+  for (const auto& [h, f] : profile_) {
+    if (h <= hour) {
+      factor = f;
+    } else {
+      break;
+    }
+  }
+  return factor;
+}
+
+Result<Graph> TrafficOverlay::Snapshot(double hour) const {
+  Graph out;
+  for (NodeId u = 0; u < static_cast<NodeId>(base_->num_nodes()); ++u) {
+    const Point& p = base_->point(u);
+    out.AddNode(p.x, p.y);
+  }
+  const double time_factor = ProfileFactor(hour);
+  for (NodeId u = 0; u < static_cast<NodeId>(base_->num_nodes()); ++u) {
+    for (const Edge& e : base_->Neighbors(u)) {
+      if (closed_.count({u, e.to}) != 0) continue;
+      double factor = time_factor;
+      const auto it = congestion_.find({u, e.to});
+      if (it != congestion_.end()) factor *= it->second;
+      ATIS_RETURN_NOT_OK(out.AddEdge(u, e.to, e.cost * factor));
+    }
+  }
+  return out;
+}
+
+}  // namespace atis::graph

@@ -1,0 +1,66 @@
+// Real-time traffic overlay: the "coupled with real-time traffic
+// information" half of the ATIS motivation (Section 1.1).
+//
+// A TrafficOverlay layers mutable conditions over an immutable base map:
+// per-segment congestion factors, incident closures, and a time-of-day
+// profile (rush-hour curve). Snapshot() materialises the effective graph
+// for a given clock time, which any of the path-computation algorithms
+// then run on unchanged.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace atis::graph {
+
+class TrafficOverlay {
+ public:
+  /// The overlay observes but never mutates the base map. The base graph
+  /// must outlive the overlay.
+  explicit TrafficOverlay(const Graph* base) : base_(base) {}
+
+  /// Multiplies the travel cost of directed segment u -> v by `factor`
+  /// (>= 1: congestion; exactly 1 clears). With parallel edges the factor
+  /// applies to all of them. InvalidArgument on unknown segment or
+  /// factor < 1.
+  Status SetCongestion(NodeId u, NodeId v, double factor);
+
+  /// Congestion on both directions of an undirected segment.
+  Status SetCongestionBothWays(NodeId u, NodeId v, double factor);
+
+  /// Incident: removes the directed segment from snapshots entirely.
+  Status CloseSegment(NodeId u, NodeId v);
+  Status ReopenSegment(NodeId u, NodeId v);
+
+  /// Time-of-day multiplier: piecewise-constant breakpoints
+  /// (hour in [0, 24), factor >= 1), applied to every segment. The factor
+  /// at hour h is the entry with the largest hour <= h (wrapping to the
+  /// last entry before hour 0). An empty profile means factor 1.
+  Status SetTimeProfile(std::vector<std::pair<double, double>> breakpoints);
+  double ProfileFactor(double hour) const;
+
+  /// The effective drivable graph at clock time `hour`; pass a negative
+  /// hour to ignore the time profile. Closed segments are absent; all
+  /// other costs are base * congestion * profile.
+  Result<Graph> Snapshot(double hour = -1.0) const;
+
+  size_t num_congested() const { return congestion_.size(); }
+  size_t num_closed() const { return closed_.size(); }
+  const Graph& base() const { return *base_; }
+
+ private:
+  using SegmentKey = std::pair<NodeId, NodeId>;
+
+  Status ValidateSegment(NodeId u, NodeId v) const;
+
+  const Graph* base_;
+  std::map<SegmentKey, double> congestion_;
+  std::map<SegmentKey, bool> closed_;
+  std::vector<std::pair<double, double>> profile_;  // sorted by hour
+};
+
+}  // namespace atis::graph

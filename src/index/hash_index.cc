@@ -1,0 +1,129 @@
+#include "index/hash_index.h"
+
+#include <cassert>
+
+namespace atis::index {
+
+using storage::kInvalidPageId;
+using storage::PageGuard;
+using storage::PageId;
+using storage::RecordId;
+
+namespace {
+
+struct Entry {
+  int64_t key;
+  PageId page;
+  uint16_t slot;
+};
+
+Entry ReadEntry(const storage::Page& p, size_t i) {
+  const size_t base = 8 + 16 * i;
+  Entry e;
+  e.key = p.ReadAt<int64_t>(base);
+  e.page = p.ReadAt<uint32_t>(base + 8);
+  e.slot = p.ReadAt<uint16_t>(base + 12);
+  return e;
+}
+
+void WriteEntry(storage::Page* p, size_t i, int64_t key, RecordId rid) {
+  const size_t base = 8 + 16 * i;
+  p->WriteAt<int64_t>(base, key);
+  p->WriteAt<uint32_t>(base + 8, rid.page);
+  p->WriteAt<uint16_t>(base + 12, rid.slot);
+  p->WriteAt<uint16_t>(base + 14, 0);
+}
+
+// Fibonacci hashing: spreads consecutive node ids uniformly, which models
+// the paper's "random hash" primary index.
+uint64_t HashKey(int64_t key) {
+  return static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+StaticHashIndex::StaticHashIndex(storage::BufferPool* pool, size_t num_buckets)
+    : pool_(pool), buckets_(num_buckets == 0 ? 1 : num_buckets,
+                            kInvalidPageId) {}
+
+size_t StaticHashIndex::BucketOf(int64_t key) const {
+  return static_cast<size_t>(HashKey(key) % buckets_.size());
+}
+
+Result<PageId> StaticHashIndex::NewBucketPage() {
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  storage::Page& p = guard.MutablePage();
+  p.WriteAt<uint32_t>(kOffNext, kInvalidPageId);
+  p.WriteAt<uint16_t>(kOffCount, 0);
+  return guard.id();
+}
+
+Status StaticHashIndex::Insert(int64_t key, RecordId rid) {
+  const size_t b = BucketOf(key);
+  if (buckets_[b] == kInvalidPageId) {
+    ATIS_ASSIGN_OR_RETURN(buckets_[b], NewBucketPage());
+  }
+  // Walk the chain to its tail, inserting into the first page with room.
+  PageId id = buckets_[b];
+  while (true) {
+    ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+    const uint16_t count = guard.page().ReadAt<uint16_t>(kOffCount);
+    if (count < kEntriesPerPage) {
+      storage::Page& p = guard.MutablePage();
+      WriteEntry(&p, count, key, rid);
+      p.WriteAt<uint16_t>(kOffCount, static_cast<uint16_t>(count + 1));
+      ++num_entries_;
+      return Status::OK();
+    }
+    const PageId next = guard.page().ReadAt<uint32_t>(kOffNext);
+    if (next == kInvalidPageId) {
+      ATIS_ASSIGN_OR_RETURN(PageId fresh, NewBucketPage());
+      guard.MutablePage().WriteAt<uint32_t>(kOffNext, fresh);
+      id = fresh;
+    } else {
+      id = next;
+    }
+  }
+}
+
+Result<std::vector<RecordId>> StaticHashIndex::Lookup(int64_t key) const {
+  std::vector<RecordId> out;
+  PageId id = buckets_[BucketOf(key)];
+  while (id != kInvalidPageId) {
+    ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+    const storage::Page& p = guard.page();
+    const uint16_t count = p.ReadAt<uint16_t>(kOffCount);
+    for (uint16_t i = 0; i < count; ++i) {
+      const Entry e = ReadEntry(p, i);
+      if (e.key == key) out.push_back(RecordId{e.page, e.slot});
+    }
+    id = p.ReadAt<uint32_t>(kOffNext);
+  }
+  return out;
+}
+
+Status StaticHashIndex::Erase(int64_t key, RecordId rid) {
+  PageId id = buckets_[BucketOf(key)];
+  while (id != kInvalidPageId) {
+    ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+    const uint16_t count = guard.page().ReadAt<uint16_t>(kOffCount);
+    for (uint16_t i = 0; i < count; ++i) {
+      const Entry e = ReadEntry(guard.page(), i);
+      if (e.key == key && e.page == rid.page && e.slot == rid.slot) {
+        storage::Page& p = guard.MutablePage();
+        // Swap-with-last keeps entries dense.
+        if (i + 1 < count) {
+          const Entry last = ReadEntry(p, count - 1);
+          WriteEntry(&p, i, last.key, RecordId{last.page, last.slot});
+        }
+        p.WriteAt<uint16_t>(kOffCount, static_cast<uint16_t>(count - 1));
+        --num_entries_;
+        return Status::OK();
+      }
+    }
+    id = guard.page().ReadAt<uint32_t>(kOffNext);
+  }
+  return Status::NotFound("hash index entry not found");
+}
+
+}  // namespace atis::index

@@ -1,0 +1,59 @@
+// Static (random) hash index, the paper's primary index on S.begin_node.
+//
+// A fixed directory of bucket chains; each bucket is a linked list of index
+// pages holding (key, RecordId) entries. A point lookup costs one block read
+// per bucket page in the chain (typically 1), which is exactly what the
+// paper's cost model charges for fetching a node's adjacency list.
+//
+// Bucket page layout:
+//   [0..4)  next overflow page id (uint32; kInvalidPageId == none)
+//   [4..6)  entry count (uint16)
+//   [8..)   entries, 16 bytes each: {key i64, page u32, slot u16, pad u16}
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace atis::index {
+
+class StaticHashIndex {
+ public:
+  /// `num_buckets` fixes the directory size for the index's lifetime.
+  StaticHashIndex(storage::BufferPool* pool, size_t num_buckets);
+
+  StaticHashIndex(const StaticHashIndex&) = delete;
+  StaticHashIndex& operator=(const StaticHashIndex&) = delete;
+
+  /// Adds an entry. Duplicate keys are allowed (multi-map semantics).
+  Status Insert(int64_t key, storage::RecordId rid);
+
+  /// Returns all record ids stored under `key` (possibly empty).
+  Result<std::vector<storage::RecordId>> Lookup(int64_t key) const;
+
+  /// Removes one entry matching (key, rid). NotFound if absent.
+  Status Erase(int64_t key, storage::RecordId rid);
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  static constexpr size_t kOffNext = 0;
+  static constexpr size_t kOffCount = 4;
+  static constexpr size_t kEntriesStart = 8;
+  static constexpr size_t kEntrySize = 16;
+  static constexpr size_t kEntriesPerPage =
+      (storage::kPageSize - kEntriesStart) / kEntrySize;
+
+  size_t BucketOf(int64_t key) const;
+  Result<storage::PageId> NewBucketPage();
+
+  storage::BufferPool* pool_;
+  std::vector<storage::PageId> buckets_;  // head page of each chain
+  size_t num_entries_ = 0;
+};
+
+}  // namespace atis::index

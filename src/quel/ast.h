@@ -1,0 +1,92 @@
+// Abstract syntax for the QUEL subset (the paper's implementation
+// language: its algorithms are EQUEL programs issuing RANGE / RETRIEVE /
+// APPEND / DELETE / REPLACE statements against INGRES).
+//
+// Supported grammar:
+//   RANGE OF var IS relation
+//   RETRIEVE (var.field [, var.field ...]) [WHERE qual]
+//   RETRIEVE (var.all) [WHERE qual]
+//   APPEND TO relation (field = expr [, ...])
+//   DELETE var [WHERE qual]
+//   REPLACE var (field = expr [, ...]) [WHERE qual]
+// qual: comparison (AND comparison)* ; comparison: expr OP expr with
+// OP in { =, !=, <, <=, >, >= }.
+// expr: number | var.field | expr (+|-|*|/) expr | ( expr )
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atis::quel {
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Expr {
+  enum class Kind { kNumber, kFieldRef, kBinary } kind;
+  // kNumber
+  double number = 0.0;
+  // kFieldRef
+  std::string var;
+  std::string field;
+  // kBinary
+  BinaryOp op = BinaryOp::kAdd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+struct Comparison {
+  std::unique_ptr<Expr> lhs;
+  CompareOp op = CompareOp::kEq;
+  std::unique_ptr<Expr> rhs;
+};
+
+/// Conjunction of comparisons (empty = always true).
+struct Qualification {
+  std::vector<Comparison> terms;
+};
+
+struct Assignment {
+  std::string field;
+  std::unique_ptr<Expr> value;
+};
+
+struct RangeStatement {
+  std::string var;
+  std::string relation;
+};
+
+struct RetrieveStatement {
+  std::string var;                  ///< single range variable per query
+  bool all = false;                 ///< RETRIEVE (v.all)
+  std::vector<std::string> fields;  ///< when !all
+  Qualification where;
+};
+
+struct AppendStatement {
+  std::string relation;
+  std::vector<Assignment> values;
+};
+
+struct DeleteStatement {
+  std::string var;
+  Qualification where;
+};
+
+struct ReplaceStatement {
+  std::string var;
+  std::vector<Assignment> values;
+  Qualification where;
+};
+
+struct Statement {
+  enum class Kind { kRange, kRetrieve, kAppend, kDelete, kReplace } kind;
+  RangeStatement range;
+  RetrieveStatement retrieve;
+  AppendStatement append;
+  DeleteStatement del;
+  ReplaceStatement replace;
+};
+
+}  // namespace atis::quel

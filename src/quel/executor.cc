@@ -1,0 +1,280 @@
+#include "quel/executor.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "quel/parser.h"
+#include "relational/operators.h"
+
+namespace atis::quel {
+
+using relational::AsDouble;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+
+namespace {
+
+/// Evaluates an expression against one tuple of the bound relation.
+Result<double> Eval(const Expr& e, const std::string& bound_var,
+                    const Schema& schema, const Tuple& tuple) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kFieldRef: {
+      if (e.var != bound_var) {
+        return Status::InvalidArgument("unbound range variable '" + e.var +
+                                       "'");
+      }
+      const int idx = schema.FieldIndex(e.field);
+      if (idx < 0) {
+        return Status::InvalidArgument("no field '" + e.field + "'");
+      }
+      return AsDouble(tuple[static_cast<size_t>(idx)]);
+    }
+    case Expr::Kind::kBinary: {
+      ATIS_ASSIGN_OR_RETURN(double l,
+                            Eval(*e.lhs, bound_var, schema, tuple));
+      ATIS_ASSIGN_OR_RETURN(double r,
+                            Eval(*e.rhs, bound_var, schema, tuple));
+      switch (e.op) {
+        case BinaryOp::kAdd:
+          return l + r;
+        case BinaryOp::kSub:
+          return l - r;
+        case BinaryOp::kMul:
+          return l * r;
+        case BinaryOp::kDiv:
+          if (r == 0.0) return Status::InvalidArgument("division by zero");
+          return l / r;
+      }
+      return Status::Internal("bad binary op");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<bool> Matches(const Qualification& where,
+                     const std::string& bound_var, const Schema& schema,
+                     const Tuple& tuple) {
+  for (const Comparison& cmp : where.terms) {
+    ATIS_ASSIGN_OR_RETURN(double l,
+                          Eval(*cmp.lhs, bound_var, schema, tuple));
+    ATIS_ASSIGN_OR_RETURN(double r,
+                          Eval(*cmp.rhs, bound_var, schema, tuple));
+    bool ok = false;
+    switch (cmp.op) {
+      case CompareOp::kEq:
+        ok = l == r;
+        break;
+      case CompareOp::kNe:
+        ok = l != r;
+        break;
+      case CompareOp::kLt:
+        ok = l < r;
+        break;
+      case CompareOp::kLe:
+        ok = l <= r;
+        break;
+      case CompareOp::kGt:
+        ok = l > r;
+        break;
+      case CompareOp::kGe:
+        ok = l >= r;
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Applies assignments to one tuple (integer fields are rounded).
+Status Apply(const std::vector<Assignment>& values,
+             const std::string& bound_var, const Schema& schema,
+             Tuple* tuple) {
+  for (const Assignment& a : values) {
+    const int idx = schema.FieldIndex(a.field);
+    if (idx < 0) {
+      return Status::InvalidArgument("no field '" + a.field + "'");
+    }
+    ATIS_ASSIGN_OR_RETURN(double v,
+                          Eval(*a.value, bound_var, schema, *tuple));
+    if (relational::IsIntegerType(
+            schema.field(static_cast<size_t>(idx)).type)) {
+      (*tuple)[static_cast<size_t>(idx)] =
+          static_cast<int64_t>(std::llround(v));
+    } else {
+      (*tuple)[static_cast<size_t>(idx)] = v;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string QueryResult::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << (i ? " | " : "") << std::setw(12) << columns[i];
+  }
+  out << "\n";
+  for (const Tuple& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i ? " | " : "") << std::setw(12);
+      if (const int64_t* v = std::get_if<int64_t>(&row[i])) {
+        out << *v;
+      } else {
+        out << AsDouble(row[i]);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void QuelSession::RegisterRelation(const std::string& name,
+                                   Relation* relation) {
+  relations_[name] = relation;
+}
+
+Result<Relation*> QuelSession::Resolve(const std::string& var) const {
+  const auto range = ranges_.find(var);
+  if (range == ranges_.end()) {
+    return Status::InvalidArgument("no RANGE declared for '" + var + "'");
+  }
+  const auto rel = relations_.find(range->second);
+  if (rel == relations_.end()) {
+    return Status::NotFound("relation '" + range->second +
+                            "' is not registered");
+  }
+  return rel->second;
+}
+
+Result<QueryResult> QuelSession::Execute(const std::string& statement) {
+  ATIS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return Execute(stmt);
+}
+
+Result<QueryResult> QuelSession::Execute(const Statement& stmt) {
+  QueryResult out;
+  out.kind = stmt.kind;
+  switch (stmt.kind) {
+    case Statement::Kind::kRange: {
+      if (relations_.count(stmt.range.relation) == 0) {
+        return Status::NotFound("relation '" + stmt.range.relation +
+                                "' is not registered");
+      }
+      ranges_[stmt.range.var] = stmt.range.relation;
+      return out;
+    }
+    case Statement::Kind::kRetrieve: {
+      ATIS_ASSIGN_OR_RETURN(Relation * rel, Resolve(stmt.retrieve.var));
+      const Schema& schema = rel->schema();
+      std::vector<int> projection;
+      if (stmt.retrieve.all) {
+        for (size_t i = 0; i < schema.num_fields(); ++i) {
+          projection.push_back(static_cast<int>(i));
+          out.columns.push_back(schema.field(i).name);
+        }
+      } else {
+        for (const std::string& f : stmt.retrieve.fields) {
+          const int idx = schema.FieldIndex(f);
+          if (idx < 0) {
+            return Status::InvalidArgument("no field '" + f + "'");
+          }
+          projection.push_back(idx);
+          out.columns.push_back(f);
+        }
+      }
+      Status eval_error = Status::OK();
+      ATIS_ASSIGN_OR_RETURN(
+          auto matches,
+          relational::SelectScan(
+              *rel, [&](const Tuple& t) {
+                auto m = Matches(stmt.retrieve.where, stmt.retrieve.var,
+                                 schema, t);
+                if (!m.ok()) {
+                  eval_error = m.status();
+                  return false;
+                }
+                return *m;
+              }));
+      ATIS_RETURN_NOT_OK(eval_error);
+      for (const auto& m : matches) {
+        Tuple row;
+        row.reserve(projection.size());
+        for (const int idx : projection) {
+          row.push_back(m.tuple[static_cast<size_t>(idx)]);
+        }
+        out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case Statement::Kind::kAppend: {
+      const auto rel = relations_.find(stmt.append.relation);
+      if (rel == relations_.end()) {
+        return Status::NotFound("relation '" + stmt.append.relation +
+                                "' is not registered");
+      }
+      const Schema& schema = rel->second->schema();
+      // Unassigned fields default to zero.
+      Tuple tuple(schema.num_fields(), int64_t{0});
+      for (size_t i = 0; i < schema.num_fields(); ++i) {
+        if (!relational::IsIntegerType(schema.field(i).type)) {
+          tuple[i] = 0.0;
+        }
+      }
+      ATIS_RETURN_NOT_OK(Apply(stmt.append.values, /*bound_var=*/"",
+                               schema, &tuple));
+      ATIS_RETURN_NOT_OK(relational::Append(rel->second, tuple));
+      out.affected = 1;
+      return out;
+    }
+    case Statement::Kind::kDelete: {
+      ATIS_ASSIGN_OR_RETURN(Relation * rel, Resolve(stmt.del.var));
+      const Schema& schema = rel->schema();
+      Status eval_error = Status::OK();
+      ATIS_ASSIGN_OR_RETURN(
+          out.affected,
+          relational::DeleteWhere(rel, [&](const Tuple& t) {
+            auto m = Matches(stmt.del.where, stmt.del.var, schema, t);
+            if (!m.ok()) {
+              eval_error = m.status();
+              return false;
+            }
+            return *m;
+          }));
+      ATIS_RETURN_NOT_OK(eval_error);
+      return out;
+    }
+    case Statement::Kind::kReplace: {
+      ATIS_ASSIGN_OR_RETURN(Relation * rel, Resolve(stmt.replace.var));
+      const Schema& schema = rel->schema();
+      Status eval_error = Status::OK();
+      ATIS_ASSIGN_OR_RETURN(
+          out.affected,
+          relational::Replace(
+              rel,
+              [&](const Tuple& t) {
+                auto m = Matches(stmt.replace.where, stmt.replace.var,
+                                 schema, t);
+                if (!m.ok()) {
+                  eval_error = m.status();
+                  return false;
+                }
+                return *m;
+              },
+              [&](Tuple* t) {
+                const Status st = Apply(stmt.replace.values,
+                                        stmt.replace.var, schema, t);
+                if (!st.ok()) eval_error = st;
+              }));
+      ATIS_RETURN_NOT_OK(eval_error);
+      return out;
+    }
+  }
+  return Status::Internal("bad statement kind");
+}
+
+}  // namespace atis::quel

@@ -1,0 +1,48 @@
+// QUEL session: binds range variables to relations and executes parsed
+// statements through the relational operators (so every statement is
+// metered like the paper's EQUEL programs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "quel/ast.h"
+#include "relational/relation.h"
+
+namespace atis::quel {
+
+/// Result of one executed statement.
+struct QueryResult {
+  Statement::Kind kind = Statement::Kind::kRange;
+  /// RETRIEVE: projected column names and rows.
+  std::vector<std::string> columns;
+  std::vector<relational::Tuple> rows;
+  /// APPEND / DELETE / REPLACE: tuples affected.
+  size_t affected = 0;
+
+  /// Renders a RETRIEVE result as an aligned text table.
+  std::string ToString() const;
+};
+
+class QuelSession {
+ public:
+  /// Registers a relation under its query-visible name. The relation must
+  /// outlive the session.
+  void RegisterRelation(const std::string& name,
+                        relational::Relation* relation);
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& statement);
+
+  /// Executes an already-parsed statement.
+  Result<QueryResult> Execute(const Statement& statement);
+
+ private:
+  Result<relational::Relation*> Resolve(const std::string& var) const;
+
+  std::map<std::string, relational::Relation*> relations_;
+  std::map<std::string, std::string> ranges_;  // var -> relation name
+};
+
+}  // namespace atis::quel

@@ -1,0 +1,329 @@
+#include "quel/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace atis::quel {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kSymbol,  // ( ) , . = != < <= > >= + - * /
+    kEnd,
+  } kind = Kind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, "", pos_};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kIdent, text_.substr(start, pos_ - start),
+                  start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kNumber, text_.substr(start, pos_ - start),
+                  start};
+      return;
+    }
+    // Two-character operators first.
+    if (pos_ + 1 < text_.size()) {
+      const std::string two = text_.substr(pos_, 2);
+      if (two == "!=" || two == "<=" || two == ">=") {
+        pos_ += 2;
+        current_ = {Token::Kind::kSymbol, two, pos_ - 2};
+        return;
+      }
+    }
+    ++pos_;
+    current_ = {Token::Kind::kSymbol, std::string(1, c), pos_ - 1};
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  Result<Statement> Parse() {
+    ATIS_ASSIGN_OR_RETURN(std::string kw, ExpectKeyword());
+    Statement stmt;
+    if (kw == "range") {
+      stmt.kind = Statement::Kind::kRange;
+      ATIS_RETURN_NOT_OK(Keyword("of"));
+      ATIS_ASSIGN_OR_RETURN(stmt.range.var, Ident());
+      ATIS_RETURN_NOT_OK(Keyword("is"));
+      ATIS_ASSIGN_OR_RETURN(stmt.range.relation, Ident());
+    } else if (kw == "retrieve") {
+      stmt.kind = Statement::Kind::kRetrieve;
+      ATIS_RETURN_NOT_OK(Symbol("("));
+      ATIS_ASSIGN_OR_RETURN(stmt.retrieve.var, Ident());
+      ATIS_RETURN_NOT_OK(Symbol("."));
+      ATIS_ASSIGN_OR_RETURN(std::string first, Ident());
+      if (Lower(first) == "all") {
+        stmt.retrieve.all = true;
+      } else {
+        stmt.retrieve.fields.push_back(first);
+        while (TrySymbol(",")) {
+          ATIS_ASSIGN_OR_RETURN(std::string var, Ident());
+          if (var != stmt.retrieve.var) {
+            return Error("single range variable per RETRIEVE");
+          }
+          ATIS_RETURN_NOT_OK(Symbol("."));
+          ATIS_ASSIGN_OR_RETURN(std::string f, Ident());
+          stmt.retrieve.fields.push_back(std::move(f));
+        }
+      }
+      ATIS_RETURN_NOT_OK(Symbol(")"));
+      ATIS_RETURN_NOT_OK(OptionalWhere(&stmt.retrieve.where));
+    } else if (kw == "append") {
+      stmt.kind = Statement::Kind::kAppend;
+      ATIS_RETURN_NOT_OK(Keyword("to"));
+      ATIS_ASSIGN_OR_RETURN(stmt.append.relation, Ident());
+      ATIS_ASSIGN_OR_RETURN(stmt.append.values, AssignmentList());
+    } else if (kw == "delete") {
+      stmt.kind = Statement::Kind::kDelete;
+      ATIS_ASSIGN_OR_RETURN(stmt.del.var, Ident());
+      ATIS_RETURN_NOT_OK(OptionalWhere(&stmt.del.where));
+    } else if (kw == "replace") {
+      stmt.kind = Statement::Kind::kReplace;
+      ATIS_ASSIGN_OR_RETURN(stmt.replace.var, Ident());
+      ATIS_ASSIGN_OR_RETURN(stmt.replace.values, AssignmentList());
+      ATIS_RETURN_NOT_OK(OptionalWhere(&stmt.replace.where));
+    } else {
+      return Error("unknown statement '" + kw + "'");
+    }
+    if (lexer_.current().kind != Token::Kind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        msg + " (at position " + std::to_string(lexer_.current().pos) +
+        ")");
+  }
+
+  Result<std::string> ExpectKeyword() {
+    if (lexer_.current().kind != Token::Kind::kIdent) {
+      return Error("expected a keyword");
+    }
+    std::string kw = Lower(lexer_.current().text);
+    lexer_.Advance();
+    return kw;
+  }
+
+  Status Keyword(const std::string& expected) {
+    if (lexer_.current().kind != Token::Kind::kIdent ||
+        Lower(lexer_.current().text) != expected) {
+      return Error("expected '" + expected + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> Ident() {
+    if (lexer_.current().kind != Token::Kind::kIdent) {
+      return Error("expected an identifier");
+    }
+    std::string name = lexer_.current().text;
+    lexer_.Advance();
+    return name;
+  }
+
+  Status Symbol(const std::string& sym) {
+    if (lexer_.current().kind != Token::Kind::kSymbol ||
+        lexer_.current().text != sym) {
+      return Error("expected '" + sym + "'");
+    }
+    lexer_.Advance();
+    return Status::OK();
+  }
+
+  bool TrySymbol(const std::string& sym) {
+    if (lexer_.current().kind == Token::Kind::kSymbol &&
+        lexer_.current().text == sym) {
+      lexer_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool TryKeyword(const std::string& kw) {
+    if (lexer_.current().kind == Token::Kind::kIdent &&
+        Lower(lexer_.current().text) == kw) {
+      lexer_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::vector<Assignment>> AssignmentList() {
+    ATIS_RETURN_NOT_OK(Symbol("("));
+    std::vector<Assignment> out;
+    do {
+      Assignment a;
+      ATIS_ASSIGN_OR_RETURN(a.field, Ident());
+      ATIS_RETURN_NOT_OK(Symbol("="));
+      ATIS_ASSIGN_OR_RETURN(a.value, ParseExpr());
+      out.push_back(std::move(a));
+    } while (TrySymbol(","));
+    ATIS_RETURN_NOT_OK(Symbol(")"));
+    return out;
+  }
+
+  Status OptionalWhere(Qualification* where) {
+    if (!TryKeyword("where")) return Status::OK();
+    do {
+      Comparison cmp;
+      ATIS_ASSIGN_OR_RETURN(cmp.lhs, ParseExpr());
+      ATIS_ASSIGN_OR_RETURN(cmp.op, ParseCompareOp());
+      ATIS_ASSIGN_OR_RETURN(cmp.rhs, ParseExpr());
+      where->terms.push_back(std::move(cmp));
+    } while (TryKeyword("and"));
+    return Status::OK();
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    if (lexer_.current().kind != Token::Kind::kSymbol) {
+      return Error("expected a comparison operator");
+    }
+    const std::string sym = lexer_.current().text;
+    lexer_.Advance();
+    if (sym == "=") return CompareOp::kEq;
+    if (sym == "!=") return CompareOp::kNe;
+    if (sym == "<") return CompareOp::kLt;
+    if (sym == "<=") return CompareOp::kLe;
+    if (sym == ">") return CompareOp::kGt;
+    if (sym == ">=") return CompareOp::kGe;
+    return Error("unknown comparison '" + sym + "'");
+  }
+
+  // expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    ATIS_ASSIGN_OR_RETURN(auto lhs, ParseTerm());
+    while (lexer_.current().kind == Token::Kind::kSymbol &&
+           (lexer_.current().text == "+" || lexer_.current().text == "-")) {
+      const BinaryOp op = lexer_.current().text == "+" ? BinaryOp::kAdd
+                                                       : BinaryOp::kSub;
+      lexer_.Advance();
+      ATIS_ASSIGN_OR_RETURN(auto rhs, ParseTerm());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseTerm() {
+    ATIS_ASSIGN_OR_RETURN(auto lhs, ParseFactor());
+    while (lexer_.current().kind == Token::Kind::kSymbol &&
+           (lexer_.current().text == "*" || lexer_.current().text == "/")) {
+      const BinaryOp op = lexer_.current().text == "*" ? BinaryOp::kMul
+                                                       : BinaryOp::kDiv;
+      lexer_.Advance();
+      ATIS_ASSIGN_OR_RETURN(auto rhs, ParseFactor());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFactor() {
+    if (TrySymbol("(")) {
+      ATIS_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      ATIS_RETURN_NOT_OK(Symbol(")"));
+      return inner;
+    }
+    if (TrySymbol("-")) {  // unary minus: 0 - factor
+      ATIS_ASSIGN_OR_RETURN(auto inner, ParseFactor());
+      auto zero = std::make_unique<Expr>();
+      zero->kind = Expr::Kind::kNumber;
+      zero->number = 0.0;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = BinaryOp::kSub;
+      node->lhs = std::move(zero);
+      node->rhs = std::move(inner);
+      return node;
+    }
+    if (lexer_.current().kind == Token::Kind::kNumber) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->number = std::strtod(lexer_.current().text.c_str(), nullptr);
+      lexer_.Advance();
+      return node;
+    }
+    if (lexer_.current().kind == Token::Kind::kIdent) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kFieldRef;
+      node->var = lexer_.current().text;
+      lexer_.Advance();
+      ATIS_RETURN_NOT_OK(Symbol("."));
+      ATIS_ASSIGN_OR_RETURN(node->field, Ident());
+      return node;
+    }
+    return Error("expected a number, field reference, or '('");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace atis::quel

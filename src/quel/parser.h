@@ -1,0 +1,16 @@
+// Recursive-descent parser for the QUEL subset (see ast.h).
+#pragma once
+
+#include <string>
+
+#include "quel/ast.h"
+#include "util/status.h"
+
+namespace atis::quel {
+
+/// Parses one statement. Keywords are case-insensitive; identifiers are
+/// case-sensitive. InvalidArgument with a position-annotated message on
+/// syntax errors.
+Result<Statement> ParseStatement(const std::string& text);
+
+}  // namespace atis::quel

@@ -1,0 +1,131 @@
+#include "relational/external_sort.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace atis::relational {
+
+namespace {
+
+/// Streaming cursor over one sorted run.
+class RunCursor {
+ public:
+  explicit RunCursor(Relation* run, int key_field)
+      : cursor_(run->Scan()), key_field_(key_field) {}
+
+  bool Valid() const { return cursor_.Valid(); }
+  int64_t key() const {
+    return AsInt(cursor_.tuple()[static_cast<size_t>(key_field_)]);
+  }
+  Tuple Take() {
+    Tuple t = cursor_.tuple();
+    cursor_.Next();
+    return t;
+  }
+
+ private:
+  Relation::Cursor cursor_;
+  int key_field_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Relation>> ExternalSort(
+    const Relation& input, std::string_view key_field,
+    std::string result_name, const SortOptions& options,
+    SortMetrics* metrics) {
+  const int key = input.schema().FieldIndex(key_field);
+  if (key < 0) {
+    return Status::InvalidArgument("no sort key field '" +
+                                   std::string(key_field) + "'");
+  }
+  if (!IsIntegerType(input.schema().field(static_cast<size_t>(key)).type)) {
+    return Status::InvalidArgument("sort key must be integer-typed");
+  }
+  if (options.memory_frames < 3) {
+    return Status::InvalidArgument(
+        "external sort needs at least 3 memory frames");
+  }
+  const size_t run_capacity = std::max<size_t>(
+      1, options.memory_frames * input.schema().blocking_factor());
+
+  SortMetrics local;
+  // -- Pass 0: run formation.
+  std::vector<std::unique_ptr<Relation>> runs;
+  std::vector<std::pair<int64_t, Tuple>> buffer;
+  buffer.reserve(run_capacity);
+  auto flush_run = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    std::stable_sort(
+        buffer.begin(), buffer.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    auto run = std::make_unique<Relation>(
+        result_name + ".run" + std::to_string(runs.size()),
+        input.schema(), input.pool(), /*charge_create=*/true);
+    for (auto& [k, t] : buffer) {
+      (void)k;
+      ATIS_RETURN_NOT_OK(run->Insert(t).status());
+    }
+    buffer.clear();
+    runs.push_back(std::move(run));
+    return Status::OK();
+  };
+  for (Relation::Cursor c = input.Scan(); c.Valid(); c.Next()) {
+    Tuple t = c.tuple();
+    const int64_t k = AsInt(t[static_cast<size_t>(key)]);
+    buffer.emplace_back(k, std::move(t));
+    if (buffer.size() >= run_capacity) {
+      ATIS_RETURN_NOT_OK(flush_run());
+    }
+  }
+  ATIS_RETURN_NOT_OK(flush_run());
+  local.initial_runs = runs.size();
+
+  if (runs.empty()) {
+    // Empty input: an empty (but valid) result.
+    auto out = std::make_unique<Relation>(std::move(result_name),
+                                          input.schema(), input.pool(),
+                                          /*charge_create=*/true);
+    if (metrics != nullptr) *metrics = local;
+    return out;
+  }
+
+  // -- Merge passes: fan-in = frames - 1 (one output frame).
+  const size_t fan_in = options.memory_frames - 1;
+  while (runs.size() > 1) {
+    ++local.merge_passes;
+    std::vector<std::unique_ptr<Relation>> next;
+    for (size_t group = 0; group < runs.size(); group += fan_in) {
+      const size_t end = std::min(group + fan_in, runs.size());
+      auto merged = std::make_unique<Relation>(
+          result_name + ".merge" + std::to_string(local.merge_passes) +
+              "." + std::to_string(next.size()),
+          input.schema(), input.pool(), /*charge_create=*/true);
+      std::vector<RunCursor> cursors;
+      cursors.reserve(end - group);
+      for (size_t i = group; i < end; ++i) {
+        cursors.emplace_back(runs[i].get(), key);
+      }
+      while (true) {
+        // Lowest key; ties prefer the earliest run (stability).
+        std::optional<size_t> pick;
+        for (size_t i = 0; i < cursors.size(); ++i) {
+          if (!cursors[i].Valid()) continue;
+          if (!pick || cursors[i].key() < cursors[*pick].key()) pick = i;
+        }
+        if (!pick) break;
+        ATIS_RETURN_NOT_OK(merged->Insert(cursors[*pick].Take()).status());
+      }
+      for (size_t i = group; i < end; ++i) {
+        ATIS_RETURN_NOT_OK(runs[i]->Clear(/*charge=*/true));
+      }
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+  if (metrics != nullptr) *metrics = local;
+  return std::move(runs.front());
+}
+
+}  // namespace atis::relational

@@ -1,0 +1,37 @@
+// External merge sort over relations.
+//
+// The optimizer's sort-merge strategy (Section 4's F function) assumes a
+// real external sort: run formation over a bounded set of buffer frames,
+// then multiway merging, with every pass reading and writing each block.
+// This operator performs exactly that against the metered storage engine,
+// so sort costs are *measured*, not modelled.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "relational/relation.h"
+
+namespace atis::relational {
+
+struct SortOptions {
+  /// Frames of memory available for run formation and merging (>= 3:
+  /// two inputs + one output during merge). The paper-scale default keeps
+  /// multi-pass behaviour observable on small relations.
+  size_t memory_frames = 4;
+};
+
+struct SortMetrics {
+  size_t initial_runs = 0;
+  size_t merge_passes = 0;
+};
+
+/// Sorts `input` by the integer field `key_field` (ascending, stable for
+/// equal keys) into a fresh temporary relation (charged as a relation
+/// create). The input relation is left untouched.
+Result<std::unique_ptr<Relation>> ExternalSort(
+    const Relation& input, std::string_view key_field,
+    std::string result_name, const SortOptions& options = {},
+    SortMetrics* metrics = nullptr);
+
+}  // namespace atis::relational

@@ -1,0 +1,77 @@
+// Equality-join operators and the join-strategy chooser.
+//
+// The paper's optimizer simulation "was able to choose between several
+// Select and Join strategies": (1) hash join, (2) nested-loop join,
+// (3) sort-merge join, (4) primary-key (index) join. All four are
+// implemented here over the metered storage engine; ChooseJoinStrategy is
+// the cost function F(B1, B2, B3) of Section 4.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "relational/operators.h"
+#include "relational/relation.h"
+#include "storage/io_meter.h"
+
+namespace atis::relational {
+
+enum class JoinStrategy {
+  kNestedLoop,
+  kHash,
+  kSortMerge,
+  kPrimaryKey,  ///< index lookup on the inner relation's join field
+  kAuto,        ///< let ChooseJoinStrategy pick
+};
+
+std::string_view JoinStrategyName(JoinStrategy s);
+
+/// Equi-join condition: left.field == right.field (both integer-typed).
+struct JoinSpec {
+  std::string left_field;
+  std::string right_field;
+};
+
+/// Inputs to the cost function F. Block counts are the paper's B1 (outer),
+/// B2 (inner), B3 (estimated result).
+struct JoinStats {
+  size_t left_blocks = 0;
+  size_t right_blocks = 0;
+  size_t result_blocks = 0;
+  size_t left_tuples = 0;
+  bool right_has_index = false;
+  size_t right_index_levels = 0;  ///< I_l for ISAM; 1 for hash
+};
+
+struct JoinCostEstimate {
+  JoinStrategy strategy;
+  double cost;  ///< in paper cost units
+};
+
+/// Cost of one strategy under the block-I/O model. PrimaryKey returns +inf
+/// when the inner relation has no index on the join field.
+double EstimateJoinCost(JoinStrategy strategy, const JoinStats& stats,
+                        const storage::CostParams& params);
+
+/// The paper's F(B1, B2, B3): cheapest viable strategy.
+JoinCostEstimate ChooseJoinStrategy(const JoinStats& stats,
+                                    const storage::CostParams& params);
+
+/// Executes `left JOIN right ON spec` and materializes the result into a new
+/// temporary relation (charged as a relation create). With kAuto the
+/// strategy is chosen by ChooseJoinStrategy from actual relation stats.
+Result<std::unique_ptr<Relation>> Join(const Relation& left,
+                                       const Relation& right,
+                                       const JoinSpec& spec,
+                                       JoinStrategy strategy,
+                                       const storage::CostParams& params,
+                                       std::string result_name);
+
+/// Derives JoinStats from two concrete relations and a join spec, estimating
+/// result size from join selectivity JS = |result| / (|left| * |right|).
+/// `join_selectivity` <= 0 means "assume one match per left tuple".
+JoinStats ComputeJoinStats(const Relation& left, const Relation& right,
+                           const JoinSpec& spec,
+                           double join_selectivity = -1.0);
+
+}  // namespace atis::relational

@@ -1,0 +1,91 @@
+#include "relational/operators.h"
+
+namespace atis::relational {
+
+Result<std::vector<MatchedTuple>> SelectScan(const Relation& rel,
+                                             const Predicate& pred) {
+  std::vector<MatchedTuple> out;
+  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
+    Tuple t = c.tuple();
+    if (!pred || pred(t)) {
+      out.push_back({c.rid(), std::move(t)});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<MatchedTuple>> SelectIndex(const Relation& rel,
+                                              std::string_view field,
+                                              int64_t key,
+                                              const Predicate& pred) {
+  ATIS_ASSIGN_OR_RETURN(auto rids, rel.IndexLookup(field, key));
+  std::vector<MatchedTuple> out;
+  out.reserve(rids.size());
+  for (const storage::RecordId rid : rids) {
+    ATIS_ASSIGN_OR_RETURN(Tuple t, rel.Get(rid));
+    if (!pred || pred(t)) {
+      out.push_back({rid, std::move(t)});
+    }
+  }
+  return out;
+}
+
+Result<size_t> Replace(Relation* rel, const Predicate& pred,
+                       const Updater& update) {
+  // Two-phase: match first, then write. A single-pass scan-and-update is
+  // unsound if updates relocate tuples the scan has not reached yet.
+  std::vector<MatchedTuple> matches;
+  for (Relation::Cursor c = rel->Scan(); c.Valid(); c.Next()) {
+    Tuple t = c.tuple();
+    if (!pred || pred(t)) {
+      matches.push_back({c.rid(), std::move(t)});
+    }
+  }
+  for (MatchedTuple& m : matches) {
+    update(&m.tuple);
+    ATIS_RETURN_NOT_OK(rel->Update(m.rid, m.tuple));
+  }
+  return matches.size();
+}
+
+Status Append(Relation* rel, const Tuple& tuple) {
+  return rel->Insert(tuple).status();
+}
+
+Result<size_t> DeleteWhere(Relation* rel, const Predicate& pred) {
+  std::vector<storage::RecordId> victims;
+  for (Relation::Cursor c = rel->Scan(); c.Valid(); c.Next()) {
+    if (!pred || pred(c.tuple())) victims.push_back(c.rid());
+  }
+  for (const storage::RecordId rid : victims) {
+    ATIS_RETURN_NOT_OK(rel->Delete(rid));
+  }
+  return victims.size();
+}
+
+Result<size_t> CountWhere(const Relation& rel, const Predicate& pred) {
+  size_t n = 0;
+  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
+    if (!pred || pred(c.tuple())) ++n;
+  }
+  return n;
+}
+
+Result<std::optional<MatchedTuple>> MinBy(
+    const Relation& rel, const Predicate& pred,
+    const std::function<double(const Tuple&)>& key) {
+  std::optional<MatchedTuple> best;
+  double best_key = 0.0;
+  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
+    Tuple t = c.tuple();
+    if (pred && !pred(t)) continue;
+    const double k = key(t);
+    if (!best || k < best_key) {
+      best = MatchedTuple{c.rid(), std::move(t)};
+      best_key = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace atis::relational

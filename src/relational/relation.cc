@@ -1,0 +1,157 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace atis::relational {
+
+using storage::RecordId;
+
+Relation::Relation(std::string name, Schema schema,
+                   storage::BufferPool* pool, bool charge_create)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pool_(pool),
+      file_(pool) {
+  if (charge_create) {
+    pool_->disk()->meter().RecordRelationCreate();
+  }
+}
+
+Status Relation::ValidateIndexedField(std::string_view field,
+                                      int* out_index) const {
+  const int idx = schema_.FieldIndex(field);
+  if (idx < 0) {
+    return Status::InvalidArgument("no field named '" + std::string(field) +
+                                   "' in relation " + name_);
+  }
+  if (!IsIntegerType(schema_.field(static_cast<size_t>(idx)).type)) {
+    return Status::InvalidArgument("index key field must be integer-typed");
+  }
+  *out_index = idx;
+  return Status::OK();
+}
+
+Status Relation::CreateHashIndex(std::string_view field, size_t num_buckets) {
+  if (hash_index_) return Status::FailedPrecondition("hash index exists");
+  int idx = -1;
+  ATIS_RETURN_NOT_OK(ValidateIndexedField(field, &idx));
+  hash_index_ = std::make_unique<index::StaticHashIndex>(pool_, num_buckets);
+  hash_field_ = idx;
+  for (Cursor c = Scan(); c.Valid(); c.Next()) {
+    ATIS_RETURN_NOT_OK(hash_index_->Insert(KeyOf(c.tuple(), idx), c.rid()));
+  }
+  return Status::OK();
+}
+
+Status Relation::BuildIsamIndex(std::string_view field,
+                                double fill_fraction) {
+  if (isam_index_) return Status::FailedPrecondition("ISAM index exists");
+  int idx = -1;
+  ATIS_RETURN_NOT_OK(ValidateIndexedField(field, &idx));
+  std::vector<index::IsamIndex::Entry> entries;
+  entries.reserve(num_tuples());
+  for (Cursor c = Scan(); c.Valid(); c.Next()) {
+    entries.push_back({KeyOf(c.tuple(), idx), c.rid()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  auto isam = std::make_unique<index::IsamIndex>(pool_);
+  ATIS_RETURN_NOT_OK(isam->Build(std::move(entries), fill_fraction));
+  isam_index_ = std::move(isam);
+  isam_field_ = idx;
+  return Status::OK();
+}
+
+Result<RecordId> Relation::Insert(const Tuple& tuple) {
+  std::vector<uint8_t> buf(schema_.tuple_size());
+  ATIS_RETURN_NOT_OK(schema_.Pack(tuple, buf.data()));
+  ATIS_ASSIGN_OR_RETURN(RecordId rid, file_.Insert(buf));
+  if (hash_index_) {
+    ATIS_RETURN_NOT_OK(hash_index_->Insert(KeyOf(tuple, hash_field_), rid));
+  }
+  if (isam_index_) {
+    ATIS_RETURN_NOT_OK(isam_index_->Insert(KeyOf(tuple, isam_field_), rid));
+  }
+  return rid;
+}
+
+Result<Tuple> Relation::Get(RecordId rid) const {
+  ATIS_ASSIGN_OR_RETURN(auto bytes, file_.Get(rid));
+  if (bytes.size() != schema_.tuple_size()) {
+    return Status::Corruption("tuple size mismatch in relation " + name_);
+  }
+  return schema_.Unpack(bytes.data());
+}
+
+Status Relation::Update(RecordId rid, const Tuple& tuple) {
+  // Keep indexes consistent if a key field changes.
+  Tuple old;
+  if (hash_index_ || isam_index_) {
+    ATIS_ASSIGN_OR_RETURN(old, Get(rid));
+  }
+  std::vector<uint8_t> buf(schema_.tuple_size());
+  ATIS_RETURN_NOT_OK(schema_.Pack(tuple, buf.data()));
+  ATIS_RETURN_NOT_OK(file_.Update(rid, buf));
+  if (hash_index_) {
+    const int64_t old_key = KeyOf(old, hash_field_);
+    const int64_t new_key = KeyOf(tuple, hash_field_);
+    if (old_key != new_key) {
+      ATIS_RETURN_NOT_OK(hash_index_->Erase(old_key, rid));
+      ATIS_RETURN_NOT_OK(hash_index_->Insert(new_key, rid));
+    }
+  }
+  if (isam_index_) {
+    const int64_t old_key = KeyOf(old, isam_field_);
+    const int64_t new_key = KeyOf(tuple, isam_field_);
+    if (old_key != new_key) {
+      ATIS_RETURN_NOT_OK(isam_index_->Erase(old_key, rid));
+      ATIS_RETURN_NOT_OK(isam_index_->Insert(new_key, rid));
+    }
+  }
+  return Status::OK();
+}
+
+Status Relation::Delete(RecordId rid) {
+  Tuple old;
+  if (hash_index_ || isam_index_) {
+    ATIS_ASSIGN_OR_RETURN(old, Get(rid));
+  }
+  ATIS_RETURN_NOT_OK(file_.Delete(rid));
+  if (hash_index_) {
+    ATIS_RETURN_NOT_OK(hash_index_->Erase(KeyOf(old, hash_field_), rid));
+  }
+  if (isam_index_) {
+    ATIS_RETURN_NOT_OK(isam_index_->Erase(KeyOf(old, isam_field_), rid));
+  }
+  return Status::OK();
+}
+
+Status Relation::Clear(bool charge) {
+  ATIS_RETURN_NOT_OK(file_.Clear());
+  // Indexes are rebuilt from scratch if needed after a clear.
+  hash_index_.reset();
+  isam_index_.reset();
+  hash_field_ = -1;
+  isam_field_ = -1;
+  if (charge) {
+    pool_->disk()->meter().RecordRelationDelete();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> Relation::IndexLookup(std::string_view field,
+                                                    int64_t key) const {
+  const int idx = schema_.FieldIndex(field);
+  if (idx >= 0 && idx == hash_field_ && hash_index_) {
+    return hash_index_->Lookup(key);
+  }
+  if (idx >= 0 && idx == isam_field_ && isam_index_) {
+    return isam_index_->LookupAll(key);
+  }
+  return Status::FailedPrecondition("no index on field '" +
+                                    std::string(field) + "' of relation " +
+                                    name_);
+}
+
+}  // namespace atis::relational

@@ -1,0 +1,100 @@
+// A relation: named schema + heap file + optional primary indexes.
+//
+// The paper's storage layout is two relations: the edge relation S with a
+// random-hash primary index on begin_node, and the node relation R with an
+// ISAM primary index on node_id. This class supports both shapes, keeps any
+// indexes consistent with tuple mutations, and charges the paper's fixed
+// relation-create/delete costs to the I/O meter.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "index/hash_index.h"
+#include "index/isam_index.h"
+#include "relational/schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace atis::relational {
+
+class Relation {
+ public:
+  /// Creates an empty relation. Charges the create-relation cost I when
+  /// `charge_create` is set (temporary relations in the paper's model).
+  Relation(std::string name, Schema schema, storage::BufferPool* pool,
+           bool charge_create = false);
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  storage::BufferPool* pool() const { return pool_; }
+
+  /// Attaches a static hash index on an integer field. Existing tuples are
+  /// indexed immediately.
+  Status CreateHashIndex(std::string_view field, size_t num_buckets);
+
+  /// Bulk-builds an ISAM index on an integer field from current contents.
+  Status BuildIsamIndex(std::string_view field, double fill_fraction = 1.0);
+
+  Result<storage::RecordId> Insert(const Tuple& tuple);
+  Result<Tuple> Get(storage::RecordId rid) const;
+  Status Update(storage::RecordId rid, const Tuple& tuple);
+  Status Delete(storage::RecordId rid);
+
+  /// Deletes all tuples, releasing pages. Charges D_t when `charge` is set.
+  Status Clear(bool charge = true);
+
+  /// All record ids whose indexed field equals `key`, via whichever index
+  /// covers `field`. FailedPrecondition if no index on that field.
+  Result<std::vector<storage::RecordId>> IndexLookup(std::string_view field,
+                                                     int64_t key) const;
+
+  size_t num_tuples() const { return file_.num_records(); }
+  /// Block count of the heap file (the paper's B_r / B_s).
+  size_t num_blocks() const { return file_.num_pages(); }
+
+  const index::StaticHashIndex* hash_index() const {
+    return hash_index_.get();
+  }
+  const index::IsamIndex* isam_index() const { return isam_index_.get(); }
+  int hash_field() const { return hash_field_; }
+  int isam_field() const { return isam_field_; }
+
+  /// Forward scan of live tuples.
+  class Cursor {
+   public:
+    Cursor(const Relation* rel) : rel_(rel), it_(rel->file_.Begin()) {}
+    bool Valid() const { return it_.Valid(); }
+    storage::RecordId rid() const { return it_.rid(); }
+    Tuple tuple() const { return rel_->schema_.Unpack(it_.record().data()); }
+    void Next() { it_.Next(); }
+
+   private:
+    const Relation* rel_;
+    storage::HeapFile::Iterator it_;
+  };
+
+  Cursor Scan() const { return Cursor(this); }
+
+ private:
+  Status ValidateIndexedField(std::string_view field, int* out_index) const;
+  int64_t KeyOf(const Tuple& tuple, int field) const {
+    return AsInt(tuple[static_cast<size_t>(field)]);
+  }
+
+  std::string name_;
+  Schema schema_;
+  storage::BufferPool* pool_;
+  storage::HeapFile file_;
+  std::unique_ptr<index::StaticHashIndex> hash_index_;
+  std::unique_ptr<index::IsamIndex> isam_index_;
+  int hash_field_ = -1;
+  int isam_field_ = -1;
+};
+
+}  // namespace atis::relational

@@ -1,0 +1,90 @@
+// Schemas, typed values, and fixed-width tuple (de)serialisation.
+//
+// All relations in this system have fixed-size tuples of numeric fields
+// (node ids, coordinates, costs, status flags). Field widths are explicit so
+// the paper's tuple sizes — T_s = 32 bytes for the edge relation S and
+// T_r = 16 bytes for the node relation R (Table 4A) — and hence its blocking
+// factors Bf_s = 128 and Bf_r = 256 are reproduced exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atis::relational {
+
+enum class FieldType : uint8_t {
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+/// Width in bytes of a serialized field.
+size_t FieldWidth(FieldType type);
+bool IsIntegerType(FieldType type);
+std::string_view FieldTypeName(FieldType type);
+
+/// A runtime value: integers of any width are held as int64, floats of any
+/// width as double. Narrowing happens at pack time.
+using Value = std::variant<int64_t, double>;
+
+/// Tuple = one value per schema field.
+using Tuple = std::vector<Value>;
+
+/// Reads a value as int64 (floors doubles).
+int64_t AsInt(const Value& v);
+/// Reads a value as double.
+double AsDouble(const Value& v);
+
+struct Field {
+  std::string name;
+  FieldType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  /// `tuple_size_override`, if nonzero, pads each serialized tuple to that
+  /// many bytes (must be >= the packed field size). This is how R's
+  /// 16-byte and S's 32-byte tuples are declared.
+  explicit Schema(std::vector<Field> fields, size_t tuple_size_override = 0);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  /// Index of the named field, or -1.
+  int FieldIndex(std::string_view name) const;
+  /// Serialized byte offset of field i.
+  size_t FieldOffset(size_t i) const { return offsets_[i]; }
+  /// Serialized tuple size in bytes (including any override padding).
+  size_t tuple_size() const { return tuple_size_; }
+  /// Tuples per 4096-byte block (the paper's blocking factor Bf).
+  size_t blocking_factor() const;
+
+  /// Serializes `tuple` into `dest` (must have tuple_size() bytes).
+  /// InvalidArgument on arity mismatch; integer fields narrow with
+  /// wrap-around semantics (caller-validated ranges in this system).
+  Status Pack(const Tuple& tuple, uint8_t* dest) const;
+
+  /// Deserializes a tuple from `src` (tuple_size() bytes).
+  Tuple Unpack(const uint8_t* src) const;
+
+  bool SameLayout(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<size_t> offsets_;
+  size_t tuple_size_ = 0;
+};
+
+/// Concatenation of two schemas, used for join results. Field names are
+/// prefixed ("left.x", "right.y") to stay unambiguous.
+Schema JoinSchema(const Schema& left, const Schema& right,
+                  std::string_view left_prefix, std::string_view right_prefix);
+
+}  // namespace atis::relational

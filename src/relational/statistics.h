@@ -1,0 +1,47 @@
+// Relation statistics and selectivity estimation — the inputs the paper's
+// optimizer simulation needs for its join-selectivity terms (JS = |JOIN| /
+// (|S| * |R|), Table 1). ANALYZE-style scans gather per-field summaries;
+// the System R uniformity assumption turns them into selectivities.
+#pragma once
+
+#include <cstdint>
+
+#include "relational/join.h"
+#include "relational/relation.h"
+
+namespace atis::relational {
+
+/// Summary of one integer field of a relation.
+struct FieldStats {
+  size_t num_tuples = 0;
+  size_t num_distinct = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+
+  /// Average tuples per key (the paper's |A| when applied to
+  /// S.begin_node).
+  double AvgTuplesPerKey() const {
+    return num_distinct == 0
+               ? 0.0
+               : static_cast<double>(num_tuples) /
+                     static_cast<double>(num_distinct);
+  }
+};
+
+/// Full-scan ANALYZE of one integer field. InvalidArgument for unknown or
+/// non-integer fields.
+Result<FieldStats> AnalyzeField(const Relation& rel,
+                                std::string_view field);
+
+/// System R equi-join selectivity: 1 / max(distinct(left), distinct(right));
+/// zero when either side is empty.
+double EstimateJoinSelectivity(const FieldStats& left,
+                               const FieldStats& right);
+
+/// ComputeJoinStats with an ANALYZE-derived selectivity instead of the
+/// one-match-per-left-tuple default.
+Result<JoinStats> ComputeJoinStatsAnalyzed(const Relation& left,
+                                           const Relation& right,
+                                           const JoinSpec& spec);
+
+}  // namespace atis::relational

@@ -1,0 +1,200 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <string>
+
+namespace atis::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    page_ = o.page_;
+    o.pool_ = nullptr;
+    o.id_ = kInvalidPageId;
+    o.page_ = nullptr;
+  }
+  return *this;
+}
+
+Page& PageGuard::MutablePage() {
+  assert(valid());
+  pool_->MarkDirty(id_);
+  return *page_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+  id_ = kInvalidPageId;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: persist dirty pages. Errors are ignored in a destructor.
+  (void)FlushAll();
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, id, &f.page);
+  }
+
+  ++stats_.misses;
+  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  ATIS_RETURN_NOT_OK(disk_->ReadPage(id, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  const PageId id = disk_->AllocatePage();
+  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  f.page.Zero();
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // must reach disk even if never modified again
+  f.in_lru = false;
+  table_[id] = idx;
+  return PageGuard(this, id, &f.page);
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
+    f.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [id, idx] : table_) {
+    Frame& f = frames_[idx];
+    if (f.dirty) {
+      ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  for (const Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.pin_count > 0) {
+      return Status::FailedPrecondition(
+          "EvictAll with pinned page " + std::to_string(f.id));
+    }
+  }
+  ATIS_RETURN_NOT_OK(FlushAll());
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId) continue;
+    table_.erase(f.id);
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.id = kInvalidPageId;
+    free_frames_.push_back(static_cast<size_t>(&f - frames_.data()));
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::FailedPrecondition("DeletePage on pinned page " +
+                                        std::to_string(id));
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    table_.erase(it);
+  }
+  return disk_->DeallocatePage(id);
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = table_.find(id);
+  assert(it != table_.end());
+  Frame& f = frames_[it->second];
+  assert(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    lru_.push_front(it->second);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  auto it = table_.find(id);
+  assert(it != table_.end());
+  frames_[it->second].dirty = true;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  const size_t idx = lru_.back();
+  ATIS_RETURN_NOT_OK(EvictFrame(idx));
+  return idx;
+}
+
+Status BufferPool::EvictFrame(size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  assert(f.pin_count == 0 && f.in_lru);
+  if (f.dirty) {
+    ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
+    ++stats_.dirty_writebacks;
+  }
+  lru_.erase(f.lru_pos);
+  f.in_lru = false;
+  table_.erase(f.id);
+  f.id = kInvalidPageId;
+  f.dirty = false;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+}  // namespace atis::storage

@@ -1,0 +1,58 @@
+#include "storage/disk_manager.h"
+
+#include <string>
+
+namespace atis::storage {
+
+PageId DiskManager::AllocatePage() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id] = std::make_unique<Page>();
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskManager::DeallocatePage(PageId id) {
+  ATIS_RETURN_NOT_OK(Validate(id));
+  pages_[id].reset();
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, Page* dest) {
+  ATIS_RETURN_NOT_OK(Validate(id));
+  ATIS_RETURN_NOT_OK(CheckFault());
+  *dest = *pages_[id];
+  meter_.RecordRead();
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& src) {
+  ATIS_RETURN_NOT_OK(Validate(id));
+  ATIS_RETURN_NOT_OK(CheckFault());
+  *pages_[id] = src;
+  meter_.RecordWrite();
+  return Status::OK();
+}
+
+Status DiskManager::CheckFault() {
+  if (!fault_armed_) return Status::OK();
+  if (fault_countdown_ == 0) {
+    return Status::Internal("injected disk fault");
+  }
+  --fault_countdown_;
+  return Status::OK();
+}
+
+Status DiskManager::Validate(PageId id) const {
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    return Status::NotFound("page " + std::to_string(id) +
+                            " is not allocated");
+  }
+  return Status::OK();
+}
+
+}  // namespace atis::storage

@@ -1,0 +1,68 @@
+// Simulated disk: a page store whose every block access is metered.
+//
+// The simulation holds pages in memory (this is a laptop-scale reproduction
+// of a 1993 I/O cost study — the *accounting* is what matters, not physical
+// seeks), but the interface is exactly that of a paged disk file: allocate,
+// read, write, deallocate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/io_meter.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace atis::storage {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a zeroed page and returns its id. Reuses freed ids.
+  PageId AllocatePage();
+
+  /// Releases a page. Its id may be recycled by future allocations.
+  Status DeallocatePage(PageId id);
+
+  /// Copies the page's contents into *dest, charging one block read.
+  Status ReadPage(PageId id, Page* dest);
+
+  /// Overwrites the page from *src, charging one block write.
+  Status WritePage(PageId id, const Page& src);
+
+  /// Number of live (allocated, not freed) pages.
+  size_t num_allocated() const { return pages_.size() - free_list_.size(); }
+
+  IoMeter& meter() { return meter_; }
+  const IoMeter& meter() const { return meter_; }
+
+  /// Fault injection for tests: after `ops` further successful block
+  /// reads/writes, every subsequent I/O fails with an Internal error
+  /// until ClearFaultInjection() is called (modelling a device that went
+  /// bad, RocksDB background-error style). Failed I/O is not metered.
+  void FailAfter(uint64_t ops) {
+    fault_armed_ = true;
+    fault_countdown_ = ops;
+  }
+  void ClearFaultInjection() { fault_armed_ = false; }
+  bool fault_active() const {
+    return fault_armed_ && fault_countdown_ == 0;
+  }
+
+ private:
+  Status Validate(PageId id) const;
+  /// Consumes one unit of the fault countdown; error when exhausted.
+  Status CheckFault();
+
+  std::vector<std::unique_ptr<Page>> pages_;  // nullptr == freed slot
+  std::vector<PageId> free_list_;
+  IoMeter meter_;
+  bool fault_armed_ = false;
+  uint64_t fault_countdown_ = 0;
+};
+
+}  // namespace atis::storage

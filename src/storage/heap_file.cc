@@ -1,0 +1,254 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+
+namespace atis::storage {
+
+namespace {
+constexpr size_t kMaxRecordSize =
+    kPageSize - 8 /*header*/ - 4 /*one slot*/;
+}  // namespace
+
+Result<PageId> HeapFile::AllocateDataPage() {
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  Page& p = guard.MutablePage();
+  p.WriteAt<uint32_t>(kOffNext, kInvalidPageId);
+  p.WriteAt<uint16_t>(kOffSlotCount, 0);
+  p.WriteAt<uint16_t>(kOffFreeEnd, static_cast<uint16_t>(kPageSize));
+  if (!pages_.empty()) {
+    // Link from the previous tail so the file is reconstructible from disk.
+    ATIS_ASSIGN_OR_RETURN(PageGuard prev, pool_->FetchPage(pages_.back().id));
+    prev.MutablePage().WriteAt<uint32_t>(kOffNext, guard.id());
+  }
+  pages_.push_back(
+      {guard.id(), static_cast<uint16_t>(kPageSize - kHeaderSize), 0});
+  return guard.id();
+}
+
+Result<RecordId> HeapFile::Insert(std::span<const uint8_t> record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record of " +
+                                   std::to_string(record.size()) +
+                                   " bytes exceeds page capacity");
+  }
+  const size_t need = record.size() + kSlotSize;
+  // First-fit over the in-memory free-space map (catalog metadata: no I/O).
+  size_t target = pages_.size();
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i].free_bytes >= need) {
+      target = i;
+      break;
+    }
+  }
+  if (target == pages_.size()) {
+    // Second pass: a page whose dead space, once compacted, fits the record.
+    for (size_t i = 0; i < pages_.size(); ++i) {
+      if (static_cast<size_t>(pages_[i].free_bytes) + pages_[i].dead_bytes >=
+          need) {
+        target = i;
+        break;
+      }
+    }
+  }
+  if (target == pages_.size()) {
+    ATIS_RETURN_NOT_OK(AllocateDataPage().status());
+  }
+
+  PageInfo& info = pages_[target];
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(info.id));
+  Page& p = guard.MutablePage();
+  if (ContiguousFree(p) < need) {
+    CompactPage(&p);
+  }
+  assert(ContiguousFree(p) >= need);
+
+  const uint16_t slot_count = SlotCount(p);
+  // Reuse a tombstone slot if one exists (keeps the directory compact).
+  uint16_t slot = slot_count;
+  for (uint16_t s = 0; s < slot_count; ++s) {
+    if (ReadSlot(p, s).first == 0) {
+      slot = s;
+      break;
+    }
+  }
+  const uint16_t new_free_end =
+      static_cast<uint16_t>(FreeEnd(p) - record.size());
+  p.WriteBytes(new_free_end, record.data(), record.size());
+  p.WriteAt<uint16_t>(kOffFreeEnd, new_free_end);
+  WriteSlot(&p, slot, new_free_end, static_cast<uint16_t>(record.size()));
+  if (slot == slot_count) {
+    p.WriteAt<uint16_t>(kOffSlotCount, static_cast<uint16_t>(slot_count + 1));
+  }
+  RefreshPageInfo(info.id, p);
+  ++num_records_;
+  return RecordId{info.id, slot};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Get(RecordId rid) const {
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  const Page& p = guard.page();
+  if (rid.slot >= SlotCount(p)) {
+    return Status::NotFound("slot out of range");
+  }
+  const auto [offset, size] = ReadSlot(p, rid.slot);
+  if (offset == 0) return Status::NotFound("record deleted");
+  std::vector<uint8_t> out(size);
+  p.ReadBytes(offset, out.data(), size);
+  return out;
+}
+
+Status HeapFile::Update(RecordId rid, std::span<const uint8_t> record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  Page& p = guard.MutablePage();
+  if (rid.slot >= SlotCount(p)) return Status::NotFound("slot out of range");
+  auto [offset, size] = ReadSlot(p, rid.slot);
+  if (offset == 0) return Status::NotFound("record deleted");
+
+  if (record.size() <= size) {
+    p.WriteBytes(offset, record.data(), record.size());
+    WriteSlot(&p, rid.slot, offset, static_cast<uint16_t>(record.size()));
+  } else {
+    // Relocate within the page.
+    if (ContiguousFree(p) < record.size()) {
+      // Free the old copy first, then compact to coalesce space. Keep the
+      // old payload so the record can be restored if the new one does not
+      // fit even then.
+      std::vector<uint8_t> old_payload(size);
+      p.ReadBytes(offset, old_payload.data(), size);
+      WriteSlot(&p, rid.slot, 0, 0);
+      CompactPage(&p);
+      if (ContiguousFree(p) < record.size()) {
+        const uint16_t restore_end =
+            static_cast<uint16_t>(FreeEnd(p) - old_payload.size());
+        p.WriteBytes(restore_end, old_payload.data(), old_payload.size());
+        p.WriteAt<uint16_t>(kOffFreeEnd, restore_end);
+        WriteSlot(&p, rid.slot, restore_end,
+                  static_cast<uint16_t>(old_payload.size()));
+        RefreshPageInfo(rid.page, p);
+        return Status::ResourceExhausted("page full: cannot grow record");
+      }
+    }
+    const uint16_t new_free_end =
+        static_cast<uint16_t>(FreeEnd(p) - record.size());
+    p.WriteBytes(new_free_end, record.data(), record.size());
+    p.WriteAt<uint16_t>(kOffFreeEnd, new_free_end);
+    WriteSlot(&p, rid.slot, new_free_end,
+              static_cast<uint16_t>(record.size()));
+  }
+  RefreshPageInfo(rid.page, p);
+  return Status::OK();
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  ATIS_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  Page& p = guard.MutablePage();
+  if (rid.slot >= SlotCount(p)) return Status::NotFound("slot out of range");
+  const auto [offset, size] = ReadSlot(p, rid.slot);
+  (void)size;
+  if (offset == 0) return Status::NotFound("record already deleted");
+  WriteSlot(&p, rid.slot, 0, 0);
+  RefreshPageInfo(rid.page, p);
+  --num_records_;
+  return Status::OK();
+}
+
+Status HeapFile::Clear() {
+  for (const PageInfo& info : pages_) {
+    ATIS_RETURN_NOT_OK(pool_->DeletePage(info.id));
+  }
+  pages_.clear();
+  num_records_ = 0;
+  return Status::OK();
+}
+
+void HeapFile::CompactPage(Page* p) {
+  const uint16_t slot_count = SlotCount(*p);
+  // Collect live records, then rewrite payloads from the page's high end.
+  struct Live {
+    uint16_t slot;
+    std::vector<uint8_t> data;
+  };
+  std::vector<Live> live;
+  live.reserve(slot_count);
+  for (uint16_t s = 0; s < slot_count; ++s) {
+    const auto [offset, size] = ReadSlot(*p, s);
+    if (offset == 0) continue;
+    Live l;
+    l.slot = s;
+    l.data.resize(size);
+    p->ReadBytes(offset, l.data.data(), size);
+    live.push_back(std::move(l));
+  }
+  uint16_t free_end = static_cast<uint16_t>(kPageSize);
+  for (const Live& l : live) {
+    free_end = static_cast<uint16_t>(free_end - l.data.size());
+    p->WriteBytes(free_end, l.data.data(), l.data.size());
+    WriteSlot(p, l.slot, free_end, static_cast<uint16_t>(l.data.size()));
+  }
+  p->WriteAt<uint16_t>(kOffFreeEnd, free_end);
+}
+
+void HeapFile::RefreshPageInfo(PageId id, const Page& p) {
+  for (PageInfo& info : pages_) {
+    if (info.id != id) continue;
+    const uint16_t slot_count = SlotCount(p);
+    size_t live = 0;
+    for (uint16_t s = 0; s < slot_count; ++s) {
+      live += ReadSlot(p, s).second;
+    }
+    const size_t contiguous = ContiguousFree(p);
+    const size_t used =
+        kHeaderSize + kSlotSize * slot_count + live + contiguous;
+    info.free_bytes = static_cast<uint16_t>(contiguous);
+    info.dead_bytes = static_cast<uint16_t>(kPageSize - used);
+    return;
+  }
+}
+
+HeapFile::Iterator::Iterator(const HeapFile* file, size_t page_index)
+    : file_(file), page_index_(page_index) {
+  LoadPage();
+  AdvanceToLive();
+}
+
+void HeapFile::Iterator::LoadPage() {
+  guard_.Release();
+  valid_ = false;
+  if (page_index_ >= file_->pages_.size()) return;
+  auto result = file_->pool_->FetchPage(file_->pages_[page_index_].id);
+  if (!result.ok()) return;  // unreachable for live pages; treat as end
+  guard_ = std::move(result).value();
+  slot_ = 0;
+  slot_count_ = SlotCount(guard_.page());
+  valid_ = true;
+}
+
+void HeapFile::Iterator::AdvanceToLive() {
+  while (valid_) {
+    while (slot_ < slot_count_) {
+      const auto [offset, size] = ReadSlot(guard_.page(), slot_);
+      if (offset != 0) {
+        rid_ = RecordId{guard_.id(), slot_};
+        record_.resize(size);
+        guard_.page().ReadBytes(offset, record_.data(), size);
+        return;
+      }
+      ++slot_;
+    }
+    ++page_index_;
+    LoadPage();
+  }
+}
+
+void HeapFile::Iterator::Next() {
+  assert(valid_);
+  ++slot_;
+  AdvanceToLive();
+}
+
+}  // namespace atis::storage

@@ -1,0 +1,141 @@
+// Slotted-page heap file: unordered collection of variable-length records.
+//
+// Page layout:
+//   [0..4)   next_page_id (uint32)
+//   [4..6)   slot_count   (uint16)
+//   [6..8)   free_end     (uint16)  -- low end of the record area
+//   [8..)    slot directory, 4 bytes per slot: {offset u16, size u16}
+//   ...free space...
+//   [free_end..kPageSize) record payloads (grow downward)
+// A slot with offset == 0 is a tombstone (page offsets of live records are
+// always >= the header size, so 0 is unambiguous).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace atis::storage {
+
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+};
+
+class HeapFile {
+ public:
+  /// Creates an empty heap file; pages are allocated on demand.
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record. Record size must fit on one page.
+  Result<RecordId> Insert(std::span<const uint8_t> record);
+
+  /// Reads a record. NotFound if the slot is a tombstone or out of range.
+  Result<std::vector<uint8_t>> Get(RecordId rid) const;
+
+  /// Rewrites a record in place. The new payload may be any size that fits
+  /// in the page (larger payloads are relocated within the page).
+  Status Update(RecordId rid, std::span<const uint8_t> record);
+
+  /// Tombstones a record.
+  Status Delete(RecordId rid);
+
+  /// Deletes every record and releases all pages back to the disk manager.
+  Status Clear();
+
+  size_t num_records() const { return num_records_; }
+  size_t num_pages() const { return pages_.size(); }
+  /// Ids of the file's data pages, in link order.
+  std::vector<PageId> page_ids() const {
+    std::vector<PageId> ids;
+    ids.reserve(pages_.size());
+    for (const PageInfo& info : pages_) ids.push_back(info.id);
+    return ids;
+  }
+
+  /// Forward scan over live records.
+  class Iterator {
+   public:
+    Iterator(const HeapFile* file, size_t page_index);
+
+    bool Valid() const { return valid_; }
+    RecordId rid() const { return rid_; }
+    /// Payload of the current record. Precondition: Valid().
+    const std::vector<uint8_t>& record() const { return record_; }
+    void Next();
+
+   private:
+    void LoadPage();
+    void AdvanceToLive();
+
+    const HeapFile* file_;
+    size_t page_index_;
+    uint16_t slot_ = 0;
+    uint16_t slot_count_ = 0;
+    PageGuard guard_;
+    bool valid_ = false;
+    RecordId rid_;
+    std::vector<uint8_t> record_;
+  };
+
+  Iterator Begin() const { return Iterator(this, 0); }
+
+ private:
+  friend class Iterator;
+
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kSlotSize = 4;
+  static constexpr size_t kOffNext = 0;
+  static constexpr size_t kOffSlotCount = 4;
+  static constexpr size_t kOffFreeEnd = 6;
+
+  struct PageInfo {
+    PageId id;
+    uint16_t free_bytes;  // contiguous free space
+    uint16_t dead_bytes;  // reclaimable-by-compaction space
+  };
+
+  static uint16_t SlotCount(const Page& p) {
+    return p.ReadAt<uint16_t>(kOffSlotCount);
+  }
+  static uint16_t FreeEnd(const Page& p) {
+    return p.ReadAt<uint16_t>(kOffFreeEnd);
+  }
+  static std::pair<uint16_t, uint16_t> ReadSlot(const Page& p, uint16_t slot) {
+    const size_t base = kHeaderSize + kSlotSize * slot;
+    return {p.ReadAt<uint16_t>(base), p.ReadAt<uint16_t>(base + 2)};
+  }
+  static void WriteSlot(Page* p, uint16_t slot, uint16_t offset,
+                        uint16_t size) {
+    const size_t base = kHeaderSize + kSlotSize * slot;
+    p->WriteAt<uint16_t>(base, offset);
+    p->WriteAt<uint16_t>(base + 2, size);
+  }
+  static size_t ContiguousFree(const Page& p) {
+    const size_t dir_end = kHeaderSize + kSlotSize * SlotCount(p);
+    const size_t free_end = FreeEnd(p);
+    return free_end > dir_end ? free_end - dir_end : 0;
+  }
+
+  Result<PageId> AllocateDataPage();
+  /// Rewrites the page with live records packed at the high end.
+  static void CompactPage(Page* p);
+  /// Recomputes a page's free/dead byte accounting from its slot directory.
+  void RefreshPageInfo(PageId id, const Page& p);
+
+  BufferPool* pool_;
+  std::vector<PageInfo> pages_;
+  size_t num_records_ = 0;
+};
+
+}  // namespace atis::storage

@@ -1,0 +1,15 @@
+#include "storage/io_meter.h"
+
+#include <sstream>
+
+namespace atis::storage {
+
+std::string IoCounters::ToString() const {
+  std::ostringstream out;
+  out << "reads=" << blocks_read << " writes=" << blocks_written
+      << " rel_create=" << relations_created
+      << " rel_delete=" << relations_deleted;
+  return out.str();
+}
+
+}  // namespace atis::storage

@@ -1,0 +1,141 @@
+#include "costmodel/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/optimizer_sim.h"
+#include "graph/grid_generator.h"
+
+namespace atis::costmodel {
+namespace {
+
+TEST(ModelParamsTest, Table4ADerivedValues) {
+  const ModelParams p = Table4ADefaults();
+  EXPECT_EQ(p.blocking_factor_s(), 128);   // Bf_s
+  EXPECT_EQ(p.blocking_factor_r(), 256);   // Bf_r
+  EXPECT_EQ(p.blocking_factor_rs(), 85);   // B / (T_r + T_s) = 4096/48
+  EXPECT_NEAR(p.t_update(), 0.085, 1e-12);
+  EXPECT_DOUBLE_EQ(p.blocks_r(), 4.0);     // ceil(900/256)
+  EXPECT_DOUBLE_EQ(p.blocks_s(), 28.0);    // ceil(3480/128)
+}
+
+TEST(JoinCostFTest, NestedLoopOnlyMatchesSection43Formula) {
+  const ModelParams p = Table4ADefaults();
+  // F(B1,B2,B3) = B1*t_read + B1*B2*t_read + B3*t_write.
+  EXPECT_NEAR(JoinCostF(1, 28, 1, p, /*nested_loop_only=*/true),
+              0.035 + 28 * 0.035 + 0.05, 1e-12);
+  EXPECT_NEAR(JoinCostF(2, 10, 3, p, true),
+              2 * 0.035 + 20 * 0.035 + 3 * 0.05, 1e-12);
+}
+
+TEST(JoinCostFTest, OptimizedFNeverWorseThanNestedLoop) {
+  const ModelParams p = Table4ADefaults();
+  for (double b1 : {1.0, 2.0, 10.0}) {
+    for (double b2 : {1.0, 28.0, 100.0}) {
+      EXPECT_LE(JoinCostF(b1, b2, 1, p, false),
+                JoinCostF(b1, b2, 1, p, true) + 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4B reproduction: predictions with trace iteration counts from
+// Table 6 must land close to the published estimates.
+
+struct Table4BCase {
+  core::Algorithm algorithm;
+  double iterations;  // from the paper's Table 6 trace
+  double published;   // Table 4B cell
+};
+
+class Table4BTest : public ::testing::TestWithParam<Table4BCase> {};
+
+TEST_P(Table4BTest, PredictionWithinFivePercentOfPaper) {
+  const Table4BCase c = GetParam();
+  OptimizerSimulation sim(Table4ADefaults());
+  const double predicted =
+      sim.Predict(c.algorithm, c.iterations, /*nested_loop_only=*/true)
+          .total();
+  EXPECT_NEAR(predicted, c.published, 0.05 * c.published)
+      << "predicted " << predicted << " vs paper " << c.published;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCells, Table4BTest,
+    ::testing::Values(
+        Table4BCase{core::Algorithm::kDijkstra, 488, 1055.6},
+        Table4BCase{core::Algorithm::kDijkstra, 767, 1656.8},
+        Table4BCase{core::Algorithm::kDijkstra, 899, 1941.2},
+        Table4BCase{core::Algorithm::kAStar, 29, 66.7},
+        Table4BCase{core::Algorithm::kAStar, 407, 881.2},
+        Table4BCase{core::Algorithm::kAStar, 838, 1809.8},
+        Table4BCase{core::Algorithm::kIterative, 59, 176.9}));
+
+TEST(CostPredictionTest, TotalDecomposes) {
+  CostPrediction pred;
+  pred.init_cost = 4.0;
+  pred.per_iteration_cost = 2.0;
+  pred.iterations = 100;
+  EXPECT_DOUBLE_EQ(pred.total(), 204.0);
+}
+
+TEST(CostPredictionTest, MonotoneInIterations) {
+  const ModelParams p = Table4ADefaults();
+  EXPECT_LT(PredictBestFirst(p, 10).total(),
+            PredictBestFirst(p, 100).total());
+  EXPECT_LT(PredictIterative(p, 10).total(),
+            PredictIterative(p, 50).total());
+}
+
+TEST(CostPredictionTest, BestFirstPerIterationIndependentOfCount) {
+  const ModelParams p = Table4ADefaults();
+  EXPECT_DOUBLE_EQ(PredictBestFirst(p, 10).per_iteration_cost,
+                   PredictBestFirst(p, 500).per_iteration_cost);
+}
+
+TEST(CostPredictionTest, IterativePerIterationShrinksWithMoreRounds) {
+  // |C| = |R|/B(L): more rounds means fewer current nodes per round.
+  const ModelParams p = Table4ADefaults();
+  EXPECT_GE(PredictIterative(p, 10).per_iteration_cost,
+            PredictIterative(p, 59).per_iteration_cost);
+}
+
+TEST(CostPredictionTest, FormatLooksLikeTableCell) {
+  CostPrediction pred;
+  pred.init_cost = 4.0;
+  pred.per_iteration_cost = 2.16;
+  pred.iterations = 899;
+  EXPECT_EQ(FormatPrediction(pred), "1945.8");
+}
+
+TEST(OptimizerSimTest, ChoosesPrimaryKeyJoinForAdjacency) {
+  OptimizerSimulation sim(Table4ADefaults());
+  const auto choice = sim.ChooseAdjacencyJoin();
+  EXPECT_EQ(choice.strategy, relational::JoinStrategy::kPrimaryKey);
+  EXPECT_GT(choice.cost, 0.0);
+}
+
+TEST(OptimizerSimTest, ParamsForGraphFillsCounts) {
+  auto g = graph::GridGraphGenerator::Generate(
+      {30, graph::GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const ModelParams p = ParamsForGraph(*g);
+  EXPECT_EQ(p.num_nodes, 900);
+  EXPECT_EQ(p.num_edges, 3480);  // Table 4A's |S|
+  EXPECT_NEAR(p.avg_degree, 3480.0 / 900.0, 1e-9);
+  // Physical parameters stay at Table 4A values.
+  EXPECT_EQ(p.block_size, 4096);
+}
+
+TEST(OptimizerSimTest, ValidateComputesRelativeError) {
+  OptimizerSimulation sim(Table4ADefaults());
+  core::PathResult measured;
+  measured.stats.iterations = 899;
+  measured.stats.cost_units =
+      sim.Predict(core::Algorithm::kDijkstra, 899).total();
+  const auto report = sim.Validate(core::Algorithm::kDijkstra, measured);
+  EXPECT_NEAR(report.relative_error, 0.0, 1e-9);
+  EXPECT_EQ(report.iterations, 899.0);
+}
+
+}  // namespace
+}  // namespace atis::costmodel

@@ -1,0 +1,100 @@
+#include "core/db_route_service.h"
+
+#include <gtest/gtest.h>
+
+#include "core/db_search.h"
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+using graph::RelationalGraphStore;
+
+class DbRouteServiceTest : public ::testing::Test {
+ protected:
+  DbRouteServiceTest() : pool_(&disk_, 64), store_(&pool_) {
+    auto g = GridGraphGenerator::Generate({6, GridCostModel::kVariance20});
+    EXPECT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    EXPECT_TRUE(store_.Load(graph_).ok());
+  }
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  graph::Graph graph_;
+  RelationalGraphStore store_;
+};
+
+TEST_F(DbRouteServiceTest, MatchesInMemoryEvaluation) {
+  const auto r = DijkstraSearch(graph_, 0, 35);
+  ASSERT_TRUE(r.found);
+  auto db = DbEvaluateRoute(store_, r.path);
+  ASSERT_TRUE(db.ok());
+  const auto mem = EvaluateRoute(graph_, r.path);
+  EXPECT_TRUE(db->evaluation.valid);
+  EXPECT_EQ(db->evaluation.num_segments, mem.num_segments);
+  EXPECT_NEAR(db->evaluation.total_cost, mem.total_cost, 1e-4);
+  EXPECT_NEAR(db->evaluation.directness, mem.directness, 1e-6);
+}
+
+TEST_F(DbRouteServiceTest, ChargesIndexProbes) {
+  const auto r = DijkstraSearch(graph_, 0, 35);
+  ASSERT_TRUE(r.found);
+  ASSERT_TRUE(pool_.EvictAll().ok());
+  auto db = DbEvaluateRoute(store_, r.path);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(db->io.blocks_read, 0u);
+  EXPECT_GT(db->cost_units, 0.0);
+  // Route evaluation is much cheaper than route computation (the point of
+  // the paper's service split: evaluating a familiar path is cheap).
+  storage::DiskManager disk2;
+  storage::BufferPool pool2(&disk2, 64);
+  RelationalGraphStore store2(&pool2);
+  ASSERT_TRUE(store2.Load(graph_).ok());
+  DbSearchEngine engine(&store2, &pool2);
+  auto computed = engine.Dijkstra(0, 35);
+  ASSERT_TRUE(computed.ok());
+  EXPECT_LT(db->cost_units, 0.5 * computed->stats.cost_units);
+}
+
+TEST_F(DbRouteServiceTest, InvalidSegmentDetected) {
+  auto db = DbEvaluateRoute(store_, {0, 7});  // diagonal: no such edge
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db->evaluation.valid);
+}
+
+TEST_F(DbRouteServiceTest, UnknownNodeDetected) {
+  auto db = DbEvaluateRoute(store_, {0, 999});
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db->evaluation.valid);
+}
+
+TEST_F(DbRouteServiceTest, EmptyAndSingleton) {
+  auto empty = DbEvaluateRoute(store_, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->evaluation.valid);
+  auto one = DbEvaluateRoute(store_, {4});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->evaluation.valid);
+  EXPECT_EQ(one->evaluation.num_segments, 0u);
+}
+
+TEST_F(DbRouteServiceTest, SegmentsCarryCumulativeCosts) {
+  const auto r = DijkstraSearch(graph_, 0, 5);
+  ASSERT_TRUE(r.found);
+  auto db = DbEvaluateRoute(store_, r.path);
+  ASSERT_TRUE(db.ok());
+  ASSERT_GE(db->evaluation.segments.size(), 2u);
+  for (size_t i = 1; i < db->evaluation.segments.size(); ++i) {
+    EXPECT_GT(db->evaluation.segments[i].cumulative_cost,
+              db->evaluation.segments[i - 1].cumulative_cost);
+  }
+  EXPECT_NEAR(db->evaluation.segments.back().cumulative_cost,
+              db->evaluation.total_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -1,0 +1,376 @@
+#include "core/db_search.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::GridQuery;
+using graph::NodeId;
+using graph::RelationalGraphStore;
+
+enum class QueryKind { kHorizontal, kSemiDiagonal, kDiagonal };
+
+GridQuery MakeQuery(QueryKind kind, int k) {
+  switch (kind) {
+    case QueryKind::kHorizontal:
+      return GridGraphGenerator::HorizontalQuery(k);
+    case QueryKind::kSemiDiagonal:
+      return GridGraphGenerator::SemiDiagonalQuery(k);
+    case QueryKind::kDiagonal:
+      return GridGraphGenerator::DiagonalQuery(k);
+  }
+  return {0, 0};
+}
+
+/// Owns one database-resident copy of a grid graph.
+struct DbFixture {
+  explicit DbFixture(const graph::Graph& g, DbSearchOptions options = {})
+      : pool(&disk, 64), store(&pool) {
+    EXPECT_TRUE(store.Load(g).ok());
+    engine = std::make_unique<DbSearchEngine>(&store, &pool, options);
+  }
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  RelationalGraphStore store;
+  std::unique_ptr<DbSearchEngine> engine;
+};
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep: the database-resident implementations must agree with
+// the in-memory reference on both path cost and iteration count, across
+// grid sizes, cost models, and query shapes.
+
+class DbEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, GridCostModel, QueryKind>> {};
+
+TEST_P(DbEquivalenceTest, DijkstraMatchesMemory) {
+  const auto [k, model, kind] = GetParam();
+  auto g = GridGraphGenerator::Generate({k, model});
+  ASSERT_TRUE(g.ok());
+  const GridQuery q = MakeQuery(kind, k);
+  DbFixture db(*g);
+  auto db_r = db.engine->Dijkstra(q.source, q.destination);
+  ASSERT_TRUE(db_r.ok());
+  const auto mem_r = DijkstraSearch(*g, q.source, q.destination);
+  EXPECT_EQ(db_r->stats.iterations, mem_r.stats.iterations);
+  EXPECT_NEAR(db_r->cost, mem_r.cost, 1e-4);  // f32 storage rounding
+  EXPECT_EQ(db_r->path, mem_r.path);
+}
+
+TEST_P(DbEquivalenceTest, AStarV3MatchesMemoryManhattan) {
+  const auto [k, model, kind] = GetParam();
+  auto g = GridGraphGenerator::Generate({k, model});
+  ASSERT_TRUE(g.ok());
+  const GridQuery q = MakeQuery(kind, k);
+  DbFixture db(*g);
+  auto db_r = db.engine->AStar(q.source, q.destination, AStarVersion::kV3);
+  ASSERT_TRUE(db_r.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  const auto mem_r = AStarSearch(*g, q.source, q.destination, *man);
+  EXPECT_EQ(db_r->stats.iterations, mem_r.stats.iterations);
+  EXPECT_NEAR(db_r->cost, mem_r.cost, 1e-4);
+}
+
+TEST_P(DbEquivalenceTest, IterativeMatchesMemory) {
+  const auto [k, model, kind] = GetParam();
+  auto g = GridGraphGenerator::Generate({k, model});
+  ASSERT_TRUE(g.ok());
+  const GridQuery q = MakeQuery(kind, k);
+  DbFixture db(*g);
+  auto db_r = db.engine->Iterative(q.source, q.destination);
+  ASSERT_TRUE(db_r.ok());
+  const auto mem_r = IterativeBfsSearch(*g, q.source, q.destination);
+  EXPECT_EQ(db_r->stats.iterations, mem_r.stats.iterations);
+  EXPECT_NEAR(db_r->cost, mem_r.cost, 1e-4);
+}
+
+TEST_P(DbEquivalenceTest, AStarV1AndV2MatchMemoryEuclidean) {
+  // Same Euclidean estimator, two frontier implementations: both must
+  // expand the same node sequence as the in-memory engine (costs are
+  // f32 in the store, so comparisons carry a small tolerance).
+  const auto [k, model, kind] = GetParam();
+  auto g = GridGraphGenerator::Generate({k, model});
+  ASSERT_TRUE(g.ok());
+  const GridQuery q = MakeQuery(kind, k);
+  DbFixture db(*g);
+  auto v1 = db.engine->AStar(q.source, q.destination, AStarVersion::kV1);
+  auto v2 = db.engine->AStar(q.source, q.destination, AStarVersion::kV2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  const auto mem_r = AStarSearch(*g, q.source, q.destination, *eu);
+  EXPECT_EQ(v1->stats.iterations, mem_r.stats.iterations);
+  EXPECT_EQ(v2->stats.iterations, mem_r.stats.iterations);
+  EXPECT_NEAR(v1->cost, mem_r.cost, 1e-4);
+  EXPECT_NEAR(v2->cost, mem_r.cost, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, DbEquivalenceTest,
+    ::testing::Combine(::testing::Values(6, 10),
+                       ::testing::Values(GridCostModel::kUniform,
+                                         GridCostModel::kVariance20,
+                                         GridCostModel::kSkewed),
+                       ::testing::Values(QueryKind::kHorizontal,
+                                         QueryKind::kSemiDiagonal,
+                                         QueryKind::kDiagonal)));
+
+// ---------------------------------------------------------------------------
+// A* version behaviour (Section 5.3).
+
+TEST(DbAStarVersionsTest, AllVersionsAgreeOnOptimalCost) {
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  DbFixture db(*g);
+  auto v1 = db.engine->AStar(q.source, q.destination, AStarVersion::kV1);
+  auto v2 = db.engine->AStar(q.source, q.destination, AStarVersion::kV2);
+  auto v3 = db.engine->AStar(q.source, q.destination, AStarVersion::kV3);
+  ASSERT_TRUE(v1.ok() && v2.ok() && v3.ok());
+  EXPECT_NEAR(v1->cost, v2->cost, 1e-4);
+  EXPECT_NEAR(v2->cost, v3->cost, 1e-4);
+}
+
+TEST(DbAStarVersionsTest, V1AndV2SameIterationsDifferentCost) {
+  // Same estimator (Euclidean), different frontier implementation: the
+  // node expansion order is identical but version 1 pays APPEND/DELETE
+  // and index maintenance on its separate relations.
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  DbFixture db(*g);
+  auto v1 = db.engine->AStar(q.source, q.destination, AStarVersion::kV1);
+  auto v2 = db.engine->AStar(q.source, q.destination, AStarVersion::kV2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(v1->stats.iterations, v2->stats.iterations);
+  EXPECT_NE(v1->stats.cost_units, v2->stats.cost_units);
+}
+
+TEST(DbAStarVersionsTest, V3BeatsV2OnGrids) {
+  // Figure 10: the Manhattan estimator (v3) explores no more than the
+  // Euclidean one (v2) on grid graphs, and costs no more.
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  DbFixture db(*g);
+  auto v2 = db.engine->AStar(q.source, q.destination, AStarVersion::kV2);
+  auto v3 = db.engine->AStar(q.source, q.destination, AStarVersion::kV3);
+  ASSERT_TRUE(v2.ok() && v3.ok());
+  EXPECT_LE(v3->stats.iterations, v2->stats.iterations);
+  EXPECT_LT(v3->stats.cost_units, v2->stats.cost_units);
+}
+
+TEST(DbAStarVersionsTest, CustomConfigurationRuns) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto zero = MakeEstimator(EstimatorKind::kZero);
+  auto r = db.engine->AStarCustom(0, 35, *zero,
+                                  FrontierImpl::kSeparateRelation);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  // Zero estimator best-first == Dijkstra's expansion count.
+  auto dj = db.engine->Dijkstra(0, 35);
+  ASSERT_TRUE(dj.ok());
+  EXPECT_EQ(r->stats.iterations, dj->stats.iterations);
+}
+
+TEST(DbAStarVersionsTest, V1DuplicatePoliciesAgreeOnCost) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(8);
+  double cost_avoid = -1;
+  uint64_t iters_avoid = 0;
+  for (DuplicatePolicy policy :
+       {DuplicatePolicy::kAvoid, DuplicatePolicy::kEliminate,
+        DuplicatePolicy::kAllow}) {
+    DbSearchOptions opt;
+    opt.duplicate_policy = policy;
+    DbFixture db(*g, opt);
+    auto r = db.engine->AStar(q.source, q.destination, AStarVersion::kV1);
+    ASSERT_TRUE(r.ok());
+    if (policy == DuplicatePolicy::kAvoid) {
+      cost_avoid = r->cost;
+      iters_avoid = r->stats.iterations;
+    } else {
+      EXPECT_NEAR(r->cost, cost_avoid, 1e-6);
+      if (policy == DuplicatePolicy::kAllow) {
+        // Duplicates cause redundant iterations (Section 4).
+        EXPECT_GE(r->stats.iterations, iters_avoid);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost accounting.
+
+TEST(DbCostAccountingTest, IoAndCostUnitsPopulated) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto r = db.engine->Dijkstra(0, 63);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.io.blocks_read, 0u);
+  EXPECT_GT(r->stats.io.blocks_written, 0u);
+  EXPECT_GT(r->stats.cost_units, 0.0);
+  EXPECT_NEAR(r->stats.cost_units,
+              r->stats.io.Cost(db.engine->options().cost_params), 1e-9);
+}
+
+TEST(DbCostAccountingTest, CachedModeIsCheaperThanStatementAtATime) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DbSearchOptions cached;
+  cached.statement_at_a_time = false;
+  DbFixture strict_db(*g);
+  DbFixture cached_db(*g, cached);
+  auto strict = strict_db.engine->Dijkstra(0, 63);
+  auto relaxed = cached_db.engine->Dijkstra(0, 63);
+  ASSERT_TRUE(strict.ok() && relaxed.ok());
+  EXPECT_EQ(strict->stats.iterations, relaxed->stats.iterations);
+  EXPECT_LT(relaxed->stats.cost_units, strict->stats.cost_units);
+}
+
+TEST(DbCostAccountingTest, LongerPathsCostMore) {
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto near = db.engine->AStar(0, 1, AStarVersion::kV3);
+  auto far = db.engine->AStar(
+      0, GridGraphGenerator::DiagonalQuery(10).destination,
+      AStarVersion::kV3);
+  ASSERT_TRUE(near.ok() && far.ok());
+  EXPECT_LT(near->stats.cost_units, far->stats.cost_units);
+}
+
+TEST(DbCostAccountingTest, V1ChargesTemporaryRelationLifecycle) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto r = db.engine->AStar(0, 35, AStarVersion::kV1);
+  ASSERT_TRUE(r.ok());
+  // R1 + F created and dropped.
+  EXPECT_GE(r->stats.io.relations_created, 2u);
+  EXPECT_GE(r->stats.io.relations_deleted, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Iterative-specific behaviour.
+
+TEST(DbIterativeTest, ForcedJoinStrategiesAgree) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(8);
+  uint64_t auto_iters = 0;
+  double auto_cost = -1;
+  for (auto strategy :
+       {relational::JoinStrategy::kAuto, relational::JoinStrategy::kHash,
+        relational::JoinStrategy::kNestedLoop,
+        relational::JoinStrategy::kSortMerge,
+        relational::JoinStrategy::kPrimaryKey}) {
+    DbSearchOptions opt;
+    opt.join_strategy = strategy;
+    DbFixture db(*g, opt);
+    auto r = db.engine->Iterative(q.source, q.destination);
+    ASSERT_TRUE(r.ok());
+    if (strategy == relational::JoinStrategy::kAuto) {
+      auto_iters = r->stats.iterations;
+      auto_cost = r->cost;
+    } else {
+      EXPECT_EQ(r->stats.iterations, auto_iters);
+      EXPECT_NEAR(r->cost, auto_cost, 1e-6);
+    }
+  }
+}
+
+TEST(DbIterativeTest, IterationCountInsensitiveToQuery) {
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto a = db.engine->Iterative(0, 9);
+  auto b = db.engine->Iterative(0, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->stats.iterations, b->stats.iterations);
+  EXPECT_EQ(a->stats.iterations, 19u);  // Table 5, 10x10
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases on the database substrate.
+
+TEST(DbEdgeCaseTest, SourceEqualsDestination) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  for (auto r : {db.engine->Dijkstra(7, 7),
+                 db.engine->AStar(7, 7, AStarVersion::kV3),
+                 db.engine->AStar(7, 7, AStarVersion::kV1),
+                 db.engine->Iterative(7, 7)}) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->found);
+    EXPECT_EQ(r->cost, 0.0);
+  }
+}
+
+TEST(DbEdgeCaseTest, UnreachableDestination) {
+  graph::Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(5, 5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 1.0).ok());
+  DbFixture db(g);
+  for (auto r : {db.engine->Dijkstra(0, 2),
+                 db.engine->AStar(0, 2, AStarVersion::kV3),
+                 db.engine->AStar(0, 2, AStarVersion::kV1),
+                 db.engine->Iterative(0, 2)}) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->found);
+    EXPECT_TRUE(r->path.empty());
+  }
+}
+
+TEST(DbEdgeCaseTest, MissingNodeIsError) {
+  auto g = GridGraphGenerator::Generate({4, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  EXPECT_FALSE(db.engine->Dijkstra(0, 999).ok());
+}
+
+TEST(DbEdgeCaseTest, BackToBackSearchesAreIndependent) {
+  // ResetSearchState must fully isolate consecutive runs.
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DbFixture db(*g);
+  auto first = db.engine->Dijkstra(0, 35);
+  auto second = db.engine->Dijkstra(0, 35);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->stats.iterations, second->stats.iterations);
+  EXPECT_NEAR(first->cost, second->cost, 1e-9);
+  EXPECT_EQ(first->path, second->path);
+}
+
+TEST(DbEdgeCaseTest, OptimalityFlagForV3) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  DbSearchOptions opt;
+  opt.estimator_known_admissible = false;
+  DbFixture db(*g, opt);
+  auto r = db.engine->AStar(0, 24, AStarVersion::kV3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->optimality_guaranteed);
+  auto dj = db.engine->Dijkstra(0, 24);
+  ASSERT_TRUE(dj.ok());
+  EXPECT_TRUE(dj->optimality_guaranteed);
+}
+
+}  // namespace
+}  // namespace atis::core

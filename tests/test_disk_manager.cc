@@ -1,0 +1,128 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace atis::storage {
+namespace {
+
+TEST(DiskManagerTest, AllocateGivesDistinctIds) {
+  DiskManager dm;
+  const PageId a = dm.AllocatePage();
+  const PageId b = dm.AllocatePage();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dm.num_allocated(), 2u);
+}
+
+TEST(DiskManagerTest, WriteThenReadRoundTrips) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  Page p;
+  p.WriteAt<uint64_t>(0, 0xabcdef);
+  ASSERT_TRUE(dm.WritePage(id, p).ok());
+  Page q;
+  ASSERT_TRUE(dm.ReadPage(id, &q).ok());
+  EXPECT_EQ(q.ReadAt<uint64_t>(0), 0xabcdefu);
+}
+
+TEST(DiskManagerTest, FreshPageIsZeroed) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  Page p;
+  ASSERT_TRUE(dm.ReadPage(id, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint64_t>(0), 0u);
+}
+
+TEST(DiskManagerTest, ReadUnallocatedFails) {
+  DiskManager dm;
+  Page p;
+  EXPECT_TRUE(dm.ReadPage(5, &p).IsNotFound());
+}
+
+TEST(DiskManagerTest, DeallocateThenAccessFails) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  ASSERT_TRUE(dm.DeallocatePage(id).ok());
+  Page p;
+  EXPECT_TRUE(dm.ReadPage(id, &p).IsNotFound());
+  EXPECT_TRUE(dm.WritePage(id, p).IsNotFound());
+  EXPECT_EQ(dm.num_allocated(), 0u);
+}
+
+TEST(DiskManagerTest, DeallocateTwiceFails) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  ASSERT_TRUE(dm.DeallocatePage(id).ok());
+  EXPECT_FALSE(dm.DeallocatePage(id).ok());
+}
+
+TEST(DiskManagerTest, FreedIdsAreRecycledZeroed) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  Page p;
+  p.WriteAt<uint32_t>(0, 7);
+  ASSERT_TRUE(dm.WritePage(id, p).ok());
+  ASSERT_TRUE(dm.DeallocatePage(id).ok());
+  const PageId id2 = dm.AllocatePage();
+  EXPECT_EQ(id2, id);
+  Page q;
+  ASSERT_TRUE(dm.ReadPage(id2, &q).ok());
+  EXPECT_EQ(q.ReadAt<uint32_t>(0), 0u);
+}
+
+TEST(DiskManagerTest, MeterCountsBlockIo) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  Page p;
+  EXPECT_EQ(dm.meter().counters().blocks_read, 0u);
+  ASSERT_TRUE(dm.WritePage(id, p).ok());
+  ASSERT_TRUE(dm.ReadPage(id, &p).ok());
+  ASSERT_TRUE(dm.ReadPage(id, &p).ok());
+  EXPECT_EQ(dm.meter().counters().blocks_written, 1u);
+  EXPECT_EQ(dm.meter().counters().blocks_read, 2u);
+}
+
+TEST(DiskManagerTest, FailedIoIsNotMetered) {
+  DiskManager dm;
+  Page p;
+  (void)dm.ReadPage(99, &p);
+  EXPECT_EQ(dm.meter().counters().blocks_read, 0u);
+}
+
+TEST(IoMeterTest, CostUsesTable4AUnits) {
+  IoMeter meter;
+  meter.RecordRead(2);
+  meter.RecordWrite(3);
+  meter.RecordRelationCreate();
+  meter.RecordRelationDelete();
+  const CostParams p;  // defaults: 0.035 / 0.05 / 0.5 / 0.5
+  EXPECT_NEAR(meter.Cost(p), 2 * 0.035 + 3 * 0.05 + 0.5 + 0.5, 1e-12);
+  EXPECT_NEAR(p.t_update(), 0.085, 1e-12);
+}
+
+TEST(IoMeterTest, CounterDeltaAndReset) {
+  IoMeter meter;
+  meter.RecordRead(5);
+  const IoCounters before = meter.counters();
+  meter.RecordRead(2);
+  meter.RecordWrite(1);
+  const IoCounters delta = meter.counters() - before;
+  EXPECT_EQ(delta.blocks_read, 2u);
+  EXPECT_EQ(delta.blocks_written, 1u);
+  meter.Reset();
+  EXPECT_EQ(meter.counters().blocks_read, 0u);
+}
+
+TEST(IoMeterTest, CountersAccumulate) {
+  IoCounters a;
+  a.blocks_read = 1;
+  IoCounters b;
+  b.blocks_read = 2;
+  b.blocks_written = 3;
+  a += b;
+  EXPECT_EQ(a.blocks_read, 3u);
+  EXPECT_EQ(a.blocks_written, 3u);
+  EXPECT_NE(a.ToString().find("reads=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atis::storage

@@ -1,0 +1,125 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::Point;
+
+TEST(EstimatorTest, ZeroIsAlwaysZero) {
+  auto e = MakeEstimator(EstimatorKind::kZero);
+  EXPECT_EQ(e->Estimate({0, 0}, {100, 100}), 0.0);
+  EXPECT_EQ(e->kind(), EstimatorKind::kZero);
+  EXPECT_EQ(e->name(), "zero");
+}
+
+TEST(EstimatorTest, EuclideanValue) {
+  auto e = MakeEstimator(EstimatorKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(e->Estimate({0, 0}, {3, 4}), 5.0);
+  EXPECT_EQ(e->name(), "euclidean");
+}
+
+TEST(EstimatorTest, ManhattanValue) {
+  auto e = MakeEstimator(EstimatorKind::kManhattan);
+  EXPECT_DOUBLE_EQ(e->Estimate({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(e->Estimate({-1, -1}, {1, 1}), 4.0);
+  EXPECT_EQ(e->name(), "manhattan");
+}
+
+TEST(EstimatorTest, ScaleMultiplies) {
+  auto e = MakeEstimator(EstimatorKind::kEuclidean, 0.5);
+  EXPECT_DOUBLE_EQ(e->Estimate({0, 0}, {3, 4}), 2.5);
+  auto m = MakeEstimator(EstimatorKind::kManhattan, 2.0);
+  EXPECT_DOUBLE_EQ(m->Estimate({0, 0}, {3, 4}), 14.0);
+}
+
+TEST(EstimatorTest, SymmetricInArguments) {
+  for (EstimatorKind kind :
+       {EstimatorKind::kEuclidean, EstimatorKind::kManhattan}) {
+    auto e = MakeEstimator(kind);
+    const Point a{1.5, -2.0};
+    const Point b{-3.0, 7.25};
+    EXPECT_DOUBLE_EQ(e->Estimate(a, b), e->Estimate(b, a));
+  }
+}
+
+TEST(EstimatorTest, ManhattanDominatesEuclidean) {
+  auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  const Point a{0, 0};
+  for (const Point b : {Point{3, 4}, Point{1, 0}, Point{-5, 2}}) {
+    EXPECT_GE(man->Estimate(a, b), eu->Estimate(a, b));
+  }
+}
+
+TEST(AdmissibilityTest, BothAdmissibleOnUniformGrid) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kEuclidean), *g));
+  // Manhattan is a *perfect* estimator on uniform grids (still admissible).
+  EXPECT_TRUE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kManhattan), *g));
+  EXPECT_TRUE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kZero), *g));
+}
+
+TEST(AdmissibilityTest, AdmissibleOnVarianceGrid) {
+  // Costs are >= 1 per unit step, so geometric distance underestimates.
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kManhattan), *g));
+}
+
+TEST(AdmissibilityTest, ManhattanNotAdmissibleOnSkewedGrid) {
+  // Cheap corridor edges (0.1) make true path costs smaller than the
+  // Manhattan hop count: the estimator overestimates.
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kSkewed});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kManhattan), *g));
+  EXPECT_FALSE(
+      EstimatorIsAdmissibleOn(*MakeEstimator(EstimatorKind::kEuclidean), *g));
+}
+
+TEST(AdmissibilityTest, ScaledDownEstimatorBecomesAdmissible) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kSkewed});
+  ASSERT_TRUE(g.ok());
+  // Scaling by the cheapest per-unit cost restores admissibility.
+  EXPECT_TRUE(EstimatorIsAdmissibleOn(
+      *MakeEstimator(EstimatorKind::kEuclidean, 0.03125), *g));
+}
+
+TEST(AdmissibilityTest, EuclideanAdmissibleOnDistanceCostRoadMap) {
+  // Edge costs equal geometric length, so the straight-line distance can
+  // never exceed any path's cost (triangle inequality).
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  EXPECT_TRUE(EstimatorIsAdmissibleOn(
+      *MakeEstimator(EstimatorKind::kEuclidean), rm->graph));
+}
+
+TEST(AdmissibilityTest, ManhattanNotAdmissibleOnRoadMap) {
+  // Section 5.3.2: "the manhattan distance on the Minneapolis data set is
+  // not always an underestimate".
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  EXPECT_FALSE(EstimatorIsAdmissibleOn(
+      *MakeEstimator(EstimatorKind::kManhattan), rm->graph));
+}
+
+TEST(EstimatorTest, KindNames) {
+  EXPECT_EQ(EstimatorKindName(EstimatorKind::kZero), "zero");
+  EXPECT_EQ(EstimatorKindName(EstimatorKind::kEuclidean), "euclidean");
+  EXPECT_EQ(EstimatorKindName(EstimatorKind::kManhattan), "manhattan");
+}
+
+}  // namespace
+}  // namespace atis::core

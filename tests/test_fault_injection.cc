@@ -1,0 +1,150 @@
+// Failure-injection tests: a disk that starts erroring mid-run must
+// surface Status errors through every layer — buffer pool, heap file,
+// relation, and the database-resident search engine — without crashing,
+// and the stack must work again once the fault clears.
+#include <gtest/gtest.h>
+
+#include "core/db_search.h"
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "relational/relation.h"
+#include "storage/buffer_pool.h"
+
+namespace atis {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using relational::FieldType;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using storage::BufferPool;
+using storage::DiskManager;
+
+TEST(FaultInjectionTest, DiskFailsAfterCountdown) {
+  DiskManager dm;
+  const auto id = dm.AllocatePage();
+  storage::Page p;
+  dm.FailAfter(2);
+  EXPECT_TRUE(dm.ReadPage(id, &p).ok());
+  EXPECT_TRUE(dm.WritePage(id, p).ok());
+  EXPECT_EQ(dm.ReadPage(id, &p).code(), StatusCode::kInternal);
+  EXPECT_EQ(dm.WritePage(id, p).code(), StatusCode::kInternal);
+  EXPECT_TRUE(dm.fault_active());
+  dm.ClearFaultInjection();
+  EXPECT_TRUE(dm.ReadPage(id, &p).ok());
+}
+
+TEST(FaultInjectionTest, FailedIoIsNotMetered) {
+  DiskManager dm;
+  const auto id = dm.AllocatePage();
+  storage::Page p;
+  dm.FailAfter(0);
+  const auto before = dm.meter().counters();
+  EXPECT_FALSE(dm.ReadPage(id, &p).ok());
+  EXPECT_EQ(dm.meter().counters().blocks_read, before.blocks_read);
+}
+
+TEST(FaultInjectionTest, BufferPoolPropagatesFetchError) {
+  DiskManager dm;
+  BufferPool pool(&dm, 2);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  const auto id = g->id();
+  g->Release();
+  ASSERT_TRUE(pool.EvictAll().ok());
+  dm.FailAfter(0);
+  auto refetch = pool.FetchPage(id);
+  EXPECT_FALSE(refetch.ok());
+  EXPECT_EQ(refetch.status().code(), StatusCode::kInternal);
+  dm.ClearFaultInjection();
+  EXPECT_TRUE(pool.FetchPage(id).ok());
+}
+
+TEST(FaultInjectionTest, BufferPoolPropagatesWritebackError) {
+  DiskManager dm;
+  BufferPool pool(&dm, 2);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  g->MutablePage().WriteAt<int32_t>(0, 1);
+  g->Release();
+  dm.FailAfter(0);
+  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kInternal);
+  dm.ClearFaultInjection();
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+TEST(FaultInjectionTest, RelationSurfacesErrorsOnScanAndInsert) {
+  DiskManager dm;
+  BufferPool pool(&dm, 4);
+  Relation rel("t", Schema({{"id", FieldType::kInt32}}), &pool);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(rel.Insert(Tuple{int64_t{i}}).ok());
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  dm.FailAfter(1);
+  // The scan needs several block reads; it must stop rather than crash.
+  size_t visited = 0;
+  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) ++visited;
+  EXPECT_LT(visited, 2000u);
+  dm.ClearFaultInjection();
+  visited = 0;
+  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) ++visited;
+  EXPECT_EQ(visited, 2000u);
+}
+
+TEST(FaultInjectionTest, DbSearchReturnsErrorNotCrash) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  DiskManager dm;
+  BufferPool pool(&dm, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(*g).ok());
+  core::DbSearchEngine engine(&store, &pool);
+
+  dm.FailAfter(50);  // dies mid-search
+  auto r = engine.Dijkstra(0, 63);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+
+  // Recovery: clear the fault and the same engine answers correctly.
+  dm.ClearFaultInjection();
+  // EvictAll may have been skipped mid-failure; reset the pool state.
+  ASSERT_TRUE(pool.EvictAll().ok());
+  auto ok = engine.Dijkstra(0, 63);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->found);
+  const auto mem = core::DijkstraSearch(*g, 0, 63);
+  EXPECT_EQ(ok->stats.iterations, mem.stats.iterations);
+}
+
+TEST(FaultInjectionTest, EverySearchAlgorithmSurvivesInjectedFaults) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  for (int variant = 0; variant < 4; ++variant) {
+    DiskManager dm;
+    BufferPool pool(&dm, 64);
+    graph::RelationalGraphStore store(&pool);
+    ASSERT_TRUE(store.Load(*g).ok());
+    core::DbSearchEngine engine(&store, &pool);
+    dm.FailAfter(30);
+    Result<core::PathResult> r = [&]() -> Result<core::PathResult> {
+      switch (variant) {
+        case 0:
+          return engine.Dijkstra(0, 35);
+        case 1:
+          return engine.AStar(0, 35, core::AStarVersion::kV1);
+        case 2:
+          return engine.AStar(0, 35, core::AStarVersion::kV3);
+        default:
+          return engine.Iterative(0, 35);
+      }
+    }();
+    EXPECT_FALSE(r.ok()) << "variant " << variant;
+    EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  }
+}
+
+}  // namespace
+}  // namespace atis

@@ -1,0 +1,151 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace atis::graph {
+namespace {
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(0, 0), 0);
+  EXPECT_EQ(g.AddNode(1, 2), 1);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(g.point(1).x, 1.0);
+  EXPECT_DOUBLE_EQ(g.point(1).y, 2.0);
+}
+
+TEST(GraphTest, HasNodeBounds) {
+  Graph g;
+  g.AddNode(0, 0);
+  EXPECT_TRUE(g.HasNode(0));
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_FALSE(g.HasNode(-1));
+  EXPECT_FALSE(g.HasNode(kInvalidNode));
+}
+
+TEST(GraphTest, DirectedEdgeOnlyOneWay) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(0, 1), 2.0);
+  EXPECT_TRUE(g.EdgeCost(1, 0).status().IsNotFound());
+}
+
+TEST(GraphTest, UndirectedEdgeAddsBoth) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 1, 3.0).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(1, 0), 3.0);
+}
+
+TEST(GraphTest, NegativeCostRejected) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  EXPECT_TRUE(g.AddEdge(0, 1, -1.0).IsInvalidArgument());
+}
+
+TEST(GraphTest, EdgeToUnknownNodeRejected) {
+  Graph g;
+  g.AddNode(0, 0);
+  EXPECT_TRUE(g.AddEdge(0, 5, 1.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(5, 0, 1.0).IsInvalidArgument());
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(i, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 1).ok());
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.Neighbors(0).size(), 3u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 3.0 / 4.0);
+}
+
+TEST(GraphTest, Distances) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(3, 4);
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.ManhattanDistance(0, 1), 7.0);
+}
+
+TEST(GraphTest, ScaleEdgeCosts) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(g.ScaleEdgeCosts(2.5).ok());
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(1, 0), 5.0);
+  EXPECT_TRUE(g.ScaleEdgeCosts(0.0).IsInvalidArgument());
+}
+
+TEST(GraphTest, SetEdgeCost) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdgeCost(0, 1, 7.5).ok());
+  EXPECT_DOUBLE_EQ(*g.EdgeCost(0, 1), 7.5);
+  EXPECT_TRUE(g.SetEdgeCost(1, 0, 1.0).IsNotFound());
+  EXPECT_TRUE(g.SetEdgeCost(0, 1, -1.0).IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RoundTripThroughText) {
+  Graph g;
+  g.AddNode(0.5, 1.5);
+  g.AddNode(2.25, -3.0);
+  g.AddNode(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.25).ok());
+  ASSERT_TRUE(g.AddUndirectedEdge(1, 2, 0.5).ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraphText(g, ss).ok());
+  auto back = ReadGraphText(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 3u);
+  EXPECT_EQ(back->num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(back->point(0).x, 0.5);
+  EXPECT_DOUBLE_EQ(back->point(1).y, -3.0);
+  EXPECT_DOUBLE_EQ(*back->EdgeCost(0, 1), 1.25);
+  EXPECT_DOUBLE_EQ(*back->EdgeCost(2, 1), 0.5);
+}
+
+TEST(GraphIoTest, BadMagicRejected) {
+  std::stringstream ss("NOTAGRAPH\n1\n0 0\n0\n");
+  EXPECT_TRUE(ReadGraphText(ss).status().IsCorruption());
+}
+
+TEST(GraphIoTest, TruncatedInputRejected) {
+  std::stringstream ss("ATISG1\n2\n0 0\n");
+  EXPECT_TRUE(ReadGraphText(ss).status().IsCorruption());
+}
+
+TEST(GraphIoTest, FileSaveLoad) {
+  Graph g;
+  g.AddNode(1, 2);
+  const std::string path = ::testing::TempDir() + "/atis_graph_io_test.txt";
+  ASSERT_TRUE(SaveGraphFile(g, path).ok());
+  auto back = LoadGraphFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 1u);
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_TRUE(LoadGraphFile("/nonexistent/nope.txt").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace atis::graph

@@ -1,0 +1,165 @@
+#include "graph/grid_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace atis::graph {
+namespace {
+
+GridGraphGenerator::Options Opts(int k, GridCostModel m,
+                                 uint64_t seed = 1993) {
+  GridGraphGenerator::Options o;
+  o.k = k;
+  o.cost_model = m;
+  o.seed = seed;
+  return o;
+}
+
+/// Grid structure holds for every size and cost model.
+class GridSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, GridCostModel>> {};
+
+TEST_P(GridSweepTest, NodeAndEdgeCounts) {
+  const auto [k, model] = GetParam();
+  auto g = GridGraphGenerator::Generate(Opts(k, model));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), static_cast<size_t>(k * k));
+  // 2*k*(k-1) undirected segments, stored as two directed edges each.
+  EXPECT_EQ(g->num_edges(), static_cast<size_t>(4 * k * (k - 1)));
+}
+
+TEST_P(GridSweepTest, DegreesAreGridLike) {
+  const auto [k, model] = GetParam();
+  auto g = GridGraphGenerator::Generate(Opts(k, model));
+  ASSERT_TRUE(g.ok());
+  // Corners always have degree 2.
+  EXPECT_EQ(g->OutDegree(GridGraphGenerator::NodeAt(k, 0, 0)), 2u);
+  if (k >= 3) {
+    // Non-corner border nodes 3, interior nodes 4.
+    EXPECT_EQ(g->OutDegree(GridGraphGenerator::NodeAt(k, 0, 1)), 3u);
+    EXPECT_EQ(g->OutDegree(GridGraphGenerator::NodeAt(k, 1, 1)), 4u);
+  }
+}
+
+TEST_P(GridSweepTest, CoordinatesMatchRowCol) {
+  const auto [k, model] = GetParam();
+  auto g = GridGraphGenerator::Generate(Opts(k, model));
+  ASSERT_TRUE(g.ok());
+  const NodeId n = GridGraphGenerator::NodeAt(k, k - 1, k - 2);
+  EXPECT_DOUBLE_EQ(g->point(n).x, static_cast<double>(k - 2));
+  EXPECT_DOUBLE_EQ(g->point(n).y, static_cast<double>(k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModels, GridSweepTest,
+    ::testing::Combine(::testing::Values(2, 5, 10, 20, 30),
+                       ::testing::Values(GridCostModel::kUniform,
+                                         GridCostModel::kVariance20,
+                                         GridCostModel::kSkewed)));
+
+TEST(GridGeneratorTest, UniformCostsAreOne) {
+  auto g = GridGraphGenerator::Generate(Opts(5, GridCostModel::kUniform));
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < 25; ++u) {
+    for (const Edge& e : g->Neighbors(u)) {
+      EXPECT_DOUBLE_EQ(e.cost, 1.0);
+    }
+  }
+}
+
+TEST(GridGeneratorTest, VarianceCostsInBand) {
+  auto g = GridGraphGenerator::Generate(Opts(10, GridCostModel::kVariance20));
+  ASSERT_TRUE(g.ok());
+  bool any_above_one = false;
+  for (NodeId u = 0; u < 100; ++u) {
+    for (const Edge& e : g->Neighbors(u)) {
+      EXPECT_GE(e.cost, 1.0);
+      EXPECT_LT(e.cost, 1.2);
+      if (e.cost > 1.0) any_above_one = true;
+    }
+  }
+  EXPECT_TRUE(any_above_one);
+}
+
+TEST(GridGeneratorTest, VarianceSymmetricAcrossDirections) {
+  // Undirected edges must carry one cost in both directions.
+  auto g = GridGraphGenerator::Generate(Opts(6, GridCostModel::kVariance20));
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < 36; ++u) {
+    for (const Edge& e : g->Neighbors(u)) {
+      EXPECT_DOUBLE_EQ(*g->EdgeCost(e.to, u), e.cost);
+    }
+  }
+}
+
+TEST(GridGeneratorTest, SkewedCheapCorridor) {
+  const int k = 8;
+  auto g = GridGraphGenerator::Generate(Opts(k, GridCostModel::kSkewed));
+  ASSERT_TRUE(g.ok());
+  // Bottom row (row 0) horizontal edges are cheap.
+  EXPECT_DOUBLE_EQ(*g->EdgeCost(GridGraphGenerator::NodeAt(k, 0, 0),
+                                GridGraphGenerator::NodeAt(k, 0, 1)),
+                   0.03125);
+  // Right column (col k-1) vertical edges are cheap.
+  EXPECT_DOUBLE_EQ(*g->EdgeCost(GridGraphGenerator::NodeAt(k, 0, k - 1),
+                                GridGraphGenerator::NodeAt(k, 1, k - 1)),
+                   0.03125);
+  // Interior edges are not.
+  EXPECT_DOUBLE_EQ(*g->EdgeCost(GridGraphGenerator::NodeAt(k, 3, 3),
+                                GridGraphGenerator::NodeAt(k, 3, 4)),
+                   1.0);
+  // Vertical edges leaving the bottom row are full price.
+  EXPECT_DOUBLE_EQ(*g->EdgeCost(GridGraphGenerator::NodeAt(k, 0, 0),
+                                GridGraphGenerator::NodeAt(k, 1, 0)),
+                   1.0);
+}
+
+TEST(GridGeneratorTest, DeterministicForSeed) {
+  auto a = GridGraphGenerator::Generate(Opts(10, GridCostModel::kVariance20, 7));
+  auto b = GridGraphGenerator::Generate(Opts(10, GridCostModel::kVariance20, 7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (NodeId u = 0; u < 100; ++u) {
+    const auto na = a->Neighbors(u);
+    const auto nb = b->Neighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].to, nb[i].to);
+      EXPECT_DOUBLE_EQ(na[i].cost, nb[i].cost);
+    }
+  }
+}
+
+TEST(GridGeneratorTest, SeedsDiffer) {
+  auto a = GridGraphGenerator::Generate(Opts(10, GridCostModel::kVariance20, 1));
+  auto b = GridGraphGenerator::Generate(Opts(10, GridCostModel::kVariance20, 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (const Edge& e : a->Neighbors(45)) {
+    if (*b->EdgeCost(45, e.to) != e.cost) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GridGeneratorTest, TooSmallRejected) {
+  EXPECT_TRUE(GridGraphGenerator::Generate(Opts(1, GridCostModel::kUniform))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GridGeneratorTest, QueriesAndHops) {
+  const int k = 30;
+  const auto h = GridGraphGenerator::HorizontalQuery(k);
+  const auto s = GridGraphGenerator::SemiDiagonalQuery(k);
+  const auto d = GridGraphGenerator::DiagonalQuery(k);
+  EXPECT_EQ(h.source, 0);
+  EXPECT_EQ(h.destination, 29);
+  EXPECT_EQ(d.destination, 899);
+  EXPECT_EQ(GridGraphGenerator::QueryHops(h, k), 29);
+  EXPECT_EQ(GridGraphGenerator::QueryHops(d, k), 58);
+  EXPECT_GT(GridGraphGenerator::QueryHops(s, k),
+            GridGraphGenerator::QueryHops(h, k));
+  EXPECT_LT(GridGraphGenerator::QueryHops(s, k),
+            GridGraphGenerator::QueryHops(d, k));
+}
+
+}  // namespace
+}  // namespace atis::graph

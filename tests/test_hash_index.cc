@@ -1,0 +1,151 @@
+#include "index/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace atis::index {
+namespace {
+
+using storage::BufferPool;
+using storage::DiskManager;
+using storage::RecordId;
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest() : pool_(&disk_, 16), idx_(&pool_, 8) {}
+  RecordId Rid(uint32_t page, uint16_t slot) { return RecordId{page, slot}; }
+  DiskManager disk_;
+  BufferPool pool_;
+  StaticHashIndex idx_;
+};
+
+TEST_F(HashIndexTest, LookupMissingIsEmpty) {
+  auto r = idx_.Lookup(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(HashIndexTest, InsertThenLookup) {
+  ASSERT_TRUE(idx_.Insert(5, Rid(1, 2)).ok());
+  auto r = idx_.Lookup(5);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], Rid(1, 2));
+}
+
+TEST_F(HashIndexTest, MultiMapSemantics) {
+  for (uint16_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(idx_.Insert(7, Rid(1, i)).ok());
+  }
+  auto r = idx_.Lookup(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+  EXPECT_EQ(idx_.num_entries(), 5u);
+}
+
+TEST_F(HashIndexTest, DistinctKeysDoNotCollideLogically) {
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(idx_.Insert(k, Rid(0, static_cast<uint16_t>(k))).ok());
+  }
+  for (int64_t k = 0; k < 100; ++k) {
+    auto r = idx_.Lookup(k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 1u);
+    EXPECT_EQ((*r)[0].slot, static_cast<uint16_t>(k));
+  }
+}
+
+TEST_F(HashIndexTest, EraseRemovesExactEntry) {
+  ASSERT_TRUE(idx_.Insert(3, Rid(1, 1)).ok());
+  ASSERT_TRUE(idx_.Insert(3, Rid(1, 2)).ok());
+  ASSERT_TRUE(idx_.Erase(3, Rid(1, 1)).ok());
+  auto r = idx_.Lookup(3);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], Rid(1, 2));
+  EXPECT_EQ(idx_.num_entries(), 1u);
+}
+
+TEST_F(HashIndexTest, EraseMissingFails) {
+  EXPECT_TRUE(idx_.Erase(3, Rid(1, 1)).IsNotFound());
+  ASSERT_TRUE(idx_.Insert(3, Rid(1, 1)).ok());
+  EXPECT_TRUE(idx_.Erase(3, Rid(9, 9)).IsNotFound());
+}
+
+TEST_F(HashIndexTest, OverflowChainsBeyondOnePage) {
+  // 255 entries fit per bucket page; force one bucket to overflow.
+  StaticHashIndex one(&pool_, 1);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(one.Insert(i, Rid(0, static_cast<uint16_t>(i % 1000))).ok());
+  }
+  EXPECT_EQ(one.num_entries(), 600u);
+  for (int i = 0; i < 600; i += 37) {
+    auto r = one.Lookup(i);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 1u);
+  }
+}
+
+TEST_F(HashIndexTest, EraseFromOverflowPage) {
+  StaticHashIndex one(&pool_, 1);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(one.Insert(i, Rid(0, static_cast<uint16_t>(i))).ok());
+  }
+  ASSERT_TRUE(one.Erase(299, Rid(0, 299)).ok());
+  auto r = one.Lookup(299);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(HashIndexTest, LookupChargesBlockReads) {
+  ASSERT_TRUE(idx_.Insert(1, Rid(0, 0)).ok());
+  ASSERT_TRUE(pool_.EvictAll().ok());
+  const uint64_t reads = disk_.meter().counters().blocks_read;
+  ASSERT_TRUE(idx_.Lookup(1).ok());
+  // One bucket-page read: the paper's single-block adjacency fetch.
+  EXPECT_EQ(disk_.meter().counters().blocks_read, reads + 1);
+}
+
+TEST_F(HashIndexTest, NegativeKeysWork) {
+  ASSERT_TRUE(idx_.Insert(-12345, Rid(2, 3)).ok());
+  auto r = idx_.Lookup(-12345);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(HashIndexTest, RandomizedAgainstReference) {
+  Rng rng(7);
+  std::vector<std::pair<int64_t, RecordId>> reference;
+  StaticHashIndex idx(&pool_, 4);
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.NextDouble() < 0.7 || reference.empty()) {
+      const int64_t key = static_cast<int64_t>(rng.UniformInt(uint64_t{50}));
+      const RecordId rid =
+          Rid(static_cast<uint32_t>(rng.UniformInt(uint64_t{10})),
+              static_cast<uint16_t>(rng.UniformInt(uint64_t{100})));
+      ASSERT_TRUE(idx.Insert(key, rid).ok());
+      reference.emplace_back(key, rid);
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(reference.size())));
+      ASSERT_TRUE(
+          idx.Erase(reference[pick].first, reference[pick].second).ok());
+      reference.erase(reference.begin() + static_cast<long>(pick));
+    }
+  }
+  EXPECT_EQ(idx.num_entries(), reference.size());
+  for (int64_t key = 0; key < 50; ++key) {
+    auto got = idx.Lookup(key);
+    ASSERT_TRUE(got.ok());
+    const size_t expected = static_cast<size_t>(
+        std::count_if(reference.begin(), reference.end(),
+                      [&](const auto& e) { return e.first == key; }));
+    EXPECT_EQ(got->size(), expected) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace atis::index

@@ -1,0 +1,214 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace atis::storage {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string Str(const std::vector<uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : pool_(&disk_, 8), file_(&pool_) {}
+  DiskManager disk_;
+  BufferPool pool_;
+  HeapFile file_;
+};
+
+TEST_F(HeapFileTest, InsertAndGet) {
+  auto rid = file_.Insert(Bytes("hello"));
+  ASSERT_TRUE(rid.ok());
+  auto got = file_.Get(*rid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Str(*got), "hello");
+  EXPECT_EQ(file_.num_records(), 1u);
+}
+
+TEST_F(HeapFileTest, GetMissingSlotFails) {
+  auto rid = file_.Insert(Bytes("x"));
+  ASSERT_TRUE(rid.ok());
+  RecordId bogus = *rid;
+  bogus.slot = 99;
+  EXPECT_TRUE(file_.Get(bogus).status().IsNotFound());
+}
+
+TEST_F(HeapFileTest, DeleteTombstones) {
+  auto rid = file_.Insert(Bytes("bye"));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(file_.Delete(*rid).ok());
+  EXPECT_TRUE(file_.Get(*rid).status().IsNotFound());
+  EXPECT_TRUE(file_.Delete(*rid).IsNotFound());
+  EXPECT_EQ(file_.num_records(), 0u);
+}
+
+TEST_F(HeapFileTest, UpdateSameSizeInPlace) {
+  auto rid = file_.Insert(Bytes("abcde"));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(file_.Update(*rid, Bytes("ABCDE")).ok());
+  EXPECT_EQ(Str(*file_.Get(*rid)), "ABCDE");
+}
+
+TEST_F(HeapFileTest, UpdateSmallerShrinks) {
+  auto rid = file_.Insert(Bytes("abcdef"));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(file_.Update(*rid, Bytes("xy")).ok());
+  EXPECT_EQ(Str(*file_.Get(*rid)), "xy");
+}
+
+TEST_F(HeapFileTest, UpdateLargerRelocates) {
+  auto rid = file_.Insert(Bytes("ab"));
+  ASSERT_TRUE(rid.ok());
+  const std::string big(300, 'z');
+  ASSERT_TRUE(file_.Update(*rid, Bytes(big)).ok());
+  EXPECT_EQ(Str(*file_.Get(*rid)), big);
+}
+
+TEST_F(HeapFileTest, RecordTooLargeRejected) {
+  const std::string huge(kPageSize, 'x');
+  EXPECT_TRUE(file_.Insert(Bytes(huge)).status().IsInvalidArgument());
+}
+
+TEST_F(HeapFileTest, SpillsToMultiplePages) {
+  const std::string rec(1000, 'r');
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file_.Insert(Bytes(rec)).ok());
+  }
+  EXPECT_GT(file_.num_pages(), 1u);
+  EXPECT_EQ(file_.num_records(), 10u);
+}
+
+TEST_F(HeapFileTest, TombstoneSlotReused) {
+  auto r1 = file_.Insert(Bytes("one"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(file_.Insert(Bytes("two")).ok());
+  ASSERT_TRUE(file_.Delete(*r1).ok());
+  auto r3 = file_.Insert(Bytes("three"));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->slot, r1->slot);
+  EXPECT_EQ(r3->page, r1->page);
+}
+
+TEST_F(HeapFileTest, CompactionReclaimsSpace) {
+  // Fill a page, delete everything, and verify the space is reusable.
+  std::vector<RecordId> rids;
+  const std::string rec(500, 'c');
+  for (int i = 0; i < 8; ++i) {
+    auto rid = file_.Insert(Bytes(rec));
+    ASSERT_TRUE(rid.ok());
+    if (rids.empty() || rid->page == rids[0].page) {
+      rids.push_back(*rid);
+    }
+  }
+  const size_t pages_before = file_.num_pages();
+  for (const RecordId rid : rids) ASSERT_TRUE(file_.Delete(rid).ok());
+  for (size_t i = 0; i < rids.size(); ++i) {
+    ASSERT_TRUE(file_.Insert(Bytes(rec)).ok());
+  }
+  EXPECT_EQ(file_.num_pages(), pages_before);
+}
+
+TEST_F(HeapFileTest, IteratorVisitsAllLiveRecords) {
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 20; ++i) {
+    auto rid = file_.Insert(Bytes("rec" + std::to_string(i)));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_TRUE(file_.Delete(rids[3]).ok());
+  ASSERT_TRUE(file_.Delete(rids[17]).ok());
+  size_t seen = 0;
+  for (auto it = file_.Begin(); it.Valid(); it.Next()) {
+    const std::string s = Str(it.record());
+    EXPECT_NE(s, "rec3");
+    EXPECT_NE(s, "rec17");
+    ++seen;
+  }
+  EXPECT_EQ(seen, 18u);
+}
+
+TEST_F(HeapFileTest, IteratorOnEmptyFile) {
+  auto it = file_.Begin();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(HeapFileTest, ClearReleasesPages) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file_.Insert(Bytes(std::string(100, 'a'))).ok());
+  }
+  ASSERT_TRUE(file_.Clear().ok());
+  EXPECT_EQ(file_.num_records(), 0u);
+  EXPECT_EQ(file_.num_pages(), 0u);
+  EXPECT_EQ(disk_.num_allocated(), 0u);
+  // File remains usable.
+  EXPECT_TRUE(file_.Insert(Bytes("again")).ok());
+}
+
+TEST_F(HeapFileTest, EmptyRecordSupported) {
+  auto rid = file_.Insert({});
+  ASSERT_TRUE(rid.ok());
+  auto got = file_.Get(*rid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+// Property test: a long random op sequence stays consistent with an
+// in-memory reference map.
+TEST_F(HeapFileTest, RandomOpsMatchReferenceModel) {
+  Rng rng(2024);
+  std::map<uint64_t, std::pair<RecordId, std::string>> model;
+  uint64_t next_key = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.5 || model.empty()) {
+      const size_t len = rng.UniformInt(uint64_t{200});
+      std::string payload(len, static_cast<char>('a' + (step % 26)));
+      auto rid = file_.Insert(Bytes(payload));
+      ASSERT_TRUE(rid.ok());
+      model[next_key++] = {*rid, payload};
+    } else if (roll < 0.75) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(
+                           static_cast<uint64_t>(model.size()))));
+      const size_t len = rng.UniformInt(uint64_t{200});
+      std::string payload(len, static_cast<char>('A' + (step % 26)));
+      const Status st = file_.Update(it->second.first, Bytes(payload));
+      if (st.ok()) {
+        it->second.second = payload;
+      } else {
+        // Documented contract: growth beyond the record's page can fail
+        // with ResourceExhausted, leaving the old record intact.
+        ASSERT_EQ(st.code(), StatusCode::kResourceExhausted);
+        auto old = file_.Get(it->second.first);
+        ASSERT_TRUE(old.ok());
+        EXPECT_EQ(Str(*old), it->second.second);
+      }
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(
+                           static_cast<uint64_t>(model.size()))));
+      ASSERT_TRUE(file_.Delete(it->second.first).ok());
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(file_.num_records(), model.size());
+  for (const auto& [key, entry] : model) {
+    auto got = file_.Get(entry.first);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(Str(*got), entry.second);
+  }
+}
+
+}  // namespace
+}  // namespace atis::storage

@@ -1,0 +1,189 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+#include "util/random.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+TEST(HierarchyTest, BuildRejectsBadInput) {
+  graph::Graph empty;
+  EXPECT_TRUE(HierarchicalRouter::Build(&empty, {}).status()
+                  .IsInvalidArgument());
+  graph::Graph one;
+  one.AddNode(0, 0);
+  HierarchyOptions bad;
+  bad.cell_size = 0.0;
+  EXPECT_TRUE(
+      HierarchicalRouter::Build(&one, bad).status().IsInvalidArgument());
+}
+
+TEST(HierarchyTest, PartitionCoversAllNodes) {
+  auto g = GridGraphGenerator::Generate({12, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 4.0;
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  EXPECT_EQ(router->num_cells(), 9u);  // 12/4 = 3 per axis
+  for (NodeId u = 0; u < 144; ++u) {
+    EXPECT_GE(router->CellOf(u), 0);
+    EXPECT_LT(router->CellOf(u), 9);
+  }
+  EXPECT_GT(router->num_boundary_nodes(), 0u);
+  EXPECT_LT(router->num_boundary_nodes(), 144u);
+}
+
+TEST(HierarchyTest, BoundaryNodesAreExactlyCrossingEndpoints) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 4.0;
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  for (NodeId u = 0; u < 64; ++u) {
+    bool crosses = false;
+    for (const graph::Edge& e : g->Neighbors(u)) {
+      if (router->CellOf(u) != router->CellOf(e.to)) crosses = true;
+    }
+    EXPECT_EQ(router->IsBoundary(u), crosses) << "node " << u;
+  }
+}
+
+class HierarchyExactness
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HierarchyExactness, MatchesDijkstraEverywhere) {
+  const auto [k, cell] = GetParam();
+  auto g = GridGraphGenerator::Generate({k, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = cell;
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    const NodeId d = static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    const auto flat = DijkstraSearch(*g, s, d);
+    const auto hier = router->Route(s, d);
+    ASSERT_EQ(hier.found, flat.found);
+    if (!flat.found) continue;
+    EXPECT_NEAR(hier.cost, flat.cost, 1e-9)
+        << "s=" << s << " d=" << d << " cell=" << cell;
+    // Expanded path must be drivable and cost what it claims.
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < hier.path.size(); ++i) {
+      auto c = g->EdgeCost(hier.path[i], hier.path[i + 1]);
+      ASSERT_TRUE(c.ok());
+      total += *c;
+    }
+    EXPECT_NEAR(total, hier.cost, 1e-9);
+    EXPECT_EQ(hier.path.front(), s);
+    EXPECT_EQ(hier.path.back(), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridAndCellSizes, HierarchyExactness,
+    ::testing::Combine(::testing::Values(8, 12, 20),
+                       ::testing::Values(3.0, 5.0, 8.0)));
+
+TEST(HierarchyTest, SameCellQueriesThatShouldLeaveTheCellDo) {
+  // A skewed grid where the best route between two same-cell nodes runs
+  // along the cheap border corridor *outside* their cell.
+  auto g = GridGraphGenerator::Generate({12, GridCostModel::kSkewed});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 6.0;
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  // Two nodes in the top-right cell area, far from the cheap corridor.
+  const NodeId s = GridGraphGenerator::NodeAt(12, 7, 1);
+  const NodeId d = GridGraphGenerator::NodeAt(12, 7, 10);
+  const auto flat = DijkstraSearch(*g, s, d);
+  const auto hier = router->Route(s, d);
+  ASSERT_TRUE(hier.found);
+  EXPECT_NEAR(hier.cost, flat.cost, 1e-9);
+}
+
+TEST(HierarchyTest, ExactOnDirectedRoadMap) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 8.0;
+  auto router = HierarchicalRouter::Build(&rm->graph, opt);
+  ASSERT_TRUE(router.ok());
+  const std::pair<NodeId, NodeId> trips[] = {
+      {rm->a, rm->b}, {rm->c, rm->d}, {rm->g, rm->d}, {rm->e, rm->f}};
+  for (const auto& [s, d] : trips) {
+    const auto flat = DijkstraSearch(rm->graph, s, d);
+    const auto hier = router->Route(s, d);
+    ASSERT_TRUE(hier.found);
+    EXPECT_NEAR(hier.cost, flat.cost, 1e-9);
+  }
+}
+
+TEST(HierarchyTest, OverlaySearchExpandsFewerNodesOnLongQueries) {
+  auto g = GridGraphGenerator::Generate({30, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 6.0;
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(30);
+  const auto flat = DijkstraSearch(*g, q.source, q.destination);
+  const auto hier = router->Route(q.source, q.destination);
+  ASSERT_TRUE(hier.found);
+  EXPECT_NEAR(hier.cost, flat.cost, 1e-9);
+  // The overlay has only boundary nodes (~a third of this grid) to expand.
+  EXPECT_LT(hier.stats.nodes_expanded, flat.stats.nodes_expanded);
+}
+
+TEST(HierarchyTest, TrivialAndInvalidQueries) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  auto router = HierarchicalRouter::Build(&*g, {});
+  ASSERT_TRUE(router.ok());
+  const auto same = router->Route(5, 5);
+  EXPECT_TRUE(same.found);
+  EXPECT_EQ(same.cost, 0.0);
+  EXPECT_FALSE(router->Route(0, 999).found);
+}
+
+TEST(HierarchyTest, UnreachableDestination) {
+  graph::Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(20, 20);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  auto router = HierarchicalRouter::Build(&g, {});
+  ASSERT_TRUE(router.ok());
+  EXPECT_FALSE(router->Route(0, 2).found);
+}
+
+TEST(HierarchyTest, SingleCellDegeneratesToPlainSearch) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  HierarchyOptions opt;
+  opt.cell_size = 100.0;  // whole graph in one cell
+  auto router = HierarchicalRouter::Build(&*g, opt);
+  ASSERT_TRUE(router.ok());
+  EXPECT_EQ(router->num_cells(), 1u);
+  EXPECT_EQ(router->num_boundary_nodes(), 0u);
+  const auto flat = DijkstraSearch(*g, 0, 24);
+  const auto hier = router->Route(0, 24);
+  ASSERT_TRUE(hier.found);
+  EXPECT_NEAR(hier.cost, flat.cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -1,0 +1,207 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/advanced_search.h"
+#include "graph/grid_generator.h"
+#include "util/random.h"
+
+namespace atis::core {
+namespace {
+
+using graph::Graph;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+void ExpectTreesEqual(const Graph& g, const ShortestPathTree& repaired,
+                      NodeId source) {
+  auto fresh = SingleSourceDijkstra(g, source);
+  ASSERT_TRUE(fresh.ok());
+  for (NodeId x = 0; x < static_cast<NodeId>(g.num_nodes()); ++x) {
+    if (fresh->Reaches(x)) {
+      ASSERT_TRUE(repaired.Reaches(x)) << "node " << x;
+      EXPECT_NEAR(repaired.Distance(x), fresh->Distance(x), 1e-9)
+          << "node " << x;
+      // The repaired predecessor chain must realise the distance.
+      const auto path = repaired.PathTo(x);
+      double total = 0.0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        double best = 1e300;
+        for (const graph::Edge& e : g.Neighbors(path[i])) {
+          if (e.to == path[i + 1]) best = std::min(best, e.cost);
+        }
+        ASSERT_LT(best, 1e299);
+        total += best;
+      }
+      EXPECT_NEAR(total, repaired.Distance(x), 1e-9);
+    } else {
+      EXPECT_FALSE(repaired.Reaches(x)) << "node " << x;
+    }
+  }
+}
+
+TEST(IncrementalTest, NoOpWhenEdgeOffTreeAndNotImproving) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto tree = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree.ok());
+  // Find an edge not used by the tree and make it worse.
+  NodeId u = graph::kInvalidNode;
+  NodeId v = graph::kInvalidNode;
+  for (NodeId x = 0; x < 64 && u == graph::kInvalidNode; ++x) {
+    for (const graph::Edge& e : g->Neighbors(x)) {
+      if (tree->Predecessor(e.to) != x) {
+        u = x;
+        v = e.to;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, graph::kInvalidNode);
+  ASSERT_TRUE(g->SetEdgeCost(u, v, 50.0).ok());
+  IncrementalStats stats;
+  auto repaired = RepairAfterEdgeChange(*g, *tree, u, v, nullptr, &stats);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(stats.nodes_invalidated, 0u);
+  EXPECT_EQ(stats.nodes_rescanned, 0u);
+  ExpectTreesEqual(*g, *repaired, 0);
+}
+
+TEST(IncrementalTest, DecreaseOpensShortcut) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  auto tree = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree.ok());
+  // A near-free edge in the middle of the grid pulls many labels down.
+  const NodeId u = GridGraphGenerator::NodeAt(8, 0, 1);
+  const NodeId v = GridGraphGenerator::NodeAt(8, 1, 1);
+  ASSERT_TRUE(g->SetEdgeCost(u, v, 0.01).ok());
+  IncrementalStats stats;
+  auto repaired = RepairAfterEdgeChange(*g, *tree, u, v, nullptr, &stats);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_GT(stats.nodes_rescanned, 0u);
+  ExpectTreesEqual(*g, *repaired, 0);
+}
+
+TEST(IncrementalTest, IncreaseRepairsDescendants) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto tree = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree.ok());
+  // Break the very first tree edge out of the source.
+  NodeId v = graph::kInvalidNode;
+  for (NodeId x = 1; x < 64; ++x) {
+    if (tree->Predecessor(x) == 0) {
+      v = x;
+      break;
+    }
+  }
+  ASSERT_NE(v, graph::kInvalidNode);
+  ASSERT_TRUE(g->SetEdgeCost(0, v, 40.0).ok());
+  IncrementalStats stats;
+  auto repaired = RepairAfterEdgeChange(*g, *tree, 0, v, nullptr, &stats);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_GT(stats.nodes_invalidated, 0u);
+  ExpectTreesEqual(*g, *repaired, 0);
+}
+
+TEST(IncrementalTest, EdgeRemovalCanDisconnect) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1).ok());
+  auto tree = SingleSourceDijkstra(g, 0);
+  ASSERT_TRUE(tree.ok());
+  // Remove 1 -> 2 by rebuilding the graph without it.
+  Graph cut;
+  cut.AddNode(0, 0);
+  cut.AddNode(1, 0);
+  cut.AddNode(2, 0);
+  ASSERT_TRUE(cut.AddEdge(0, 1, 1).ok());
+  auto repaired = RepairAfterEdgeChange(cut, *tree, 1, 2);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired->Reaches(1));
+  EXPECT_FALSE(repaired->Reaches(2));
+}
+
+TEST(IncrementalTest, MismatchedInputsRejected) {
+  auto g = GridGraphGenerator::Generate({4, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  auto tree = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree.ok());
+  Graph other;
+  other.AddNode(0, 0);
+  EXPECT_TRUE(RepairAfterEdgeChange(other, *tree, 0, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RepairAfterEdgeChange(*g, *tree, 0, 999).status()
+                  .IsInvalidArgument());
+}
+
+/// Property: random single-edge changes (increase, decrease, or removal)
+/// always repair to the from-scratch tree.
+class IncrementalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalProperty, RepairMatchesFromScratch) {
+  graph::GridGraphGenerator::Options gopt;
+  gopt.k = 10;
+  gopt.cost_model = GridCostModel::kVariance20;
+  gopt.seed = GetParam();
+  auto g = GridGraphGenerator::Generate(gopt);
+  ASSERT_TRUE(g.ok());
+  Rng rng(GetParam() * 131);
+  auto tree_or = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree_or.ok());
+  ShortestPathTree tree = std::move(tree_or).value();
+
+  for (int change = 0; change < 15; ++change) {
+    // Pick a random existing edge and rescale its cost.
+    const NodeId u =
+        static_cast<NodeId>(rng.UniformInt(g->num_nodes()));
+    const auto edges = g->Neighbors(u);
+    if (edges.empty()) continue;
+    const NodeId v =
+        edges[rng.UniformInt(static_cast<uint64_t>(edges.size()))].to;
+    const double factor = rng.NextDouble() < 0.5
+                              ? rng.UniformDouble(0.05, 0.9)   // decrease
+                              : rng.UniformDouble(1.2, 20.0);  // increase
+    const double old_cost = *g->EdgeCost(u, v);
+    ASSERT_TRUE(g->SetEdgeCost(u, v, old_cost * factor).ok());
+
+    auto repaired = RepairAfterEdgeChange(*g, tree, u, v);
+    ASSERT_TRUE(repaired.ok());
+    ExpectTreesEqual(*g, *repaired, 0);
+    tree = std::move(repaired).value();  // chain repairs
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(IncrementalTest, RepairTouchesFewerNodesThanFromScratch) {
+  auto g = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto tree = SingleSourceDijkstra(*g, 0);
+  ASSERT_TRUE(tree.ok());
+  // Perturb one far-corner edge: the affected region is tiny.
+  const NodeId u = GridGraphGenerator::NodeAt(20, 19, 18);
+  const NodeId v = GridGraphGenerator::NodeAt(20, 19, 19);
+  ASSERT_TRUE(g->SetEdgeCost(u, v, 5.0).ok());
+  ASSERT_TRUE(g->SetEdgeCost(v, u, 5.0).ok());
+  IncrementalStats stats;
+  auto repaired = RepairAfterEdgeChange(*g, *tree, u, v, nullptr, &stats);
+  ASSERT_TRUE(repaired.ok());
+  // Note: (v, u) also changed; repair for it too, then compare.
+  auto repaired2 =
+      RepairAfterEdgeChange(*g, *repaired, v, u, nullptr, nullptr);
+  ASSERT_TRUE(repaired2.ok());
+  ExpectTreesEqual(*g, *repaired2, 0);
+  EXPECT_LT(stats.nodes_rescanned, g->num_nodes() / 4);
+}
+
+}  // namespace
+}  // namespace atis::core

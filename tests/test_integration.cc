@@ -1,0 +1,201 @@
+// End-to-end integration: synthetic map generation -> relational load ->
+// all three algorithms on both substrates -> route services -> cost-model
+// validation. This is the full pipeline a paper experiment runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/db_search.h"
+#include "core/memory_search.h"
+#include "core/route_service.h"
+#include "costmodel/optimizer_sim.h"
+#include "graph/graph_io.h"
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+
+namespace atis {
+namespace {
+
+using core::AStarVersion;
+using core::DbSearchEngine;
+using core::EstimatorKind;
+using core::MakeEstimator;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::RelationalGraphStore;
+
+TEST(IntegrationTest, MinneapolisWorkflowEndToEnd) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(rm->graph).ok());
+  core::DbSearchOptions opt;
+  opt.estimator_known_admissible = false;  // Manhattan on a road map
+  DbSearchEngine engine(&store, &pool, opt);
+
+  // The paper's four queries, on the database substrate.
+  const std::pair<graph::NodeId, graph::NodeId> trips[] = {
+      {rm->a, rm->b}, {rm->c, rm->d}, {rm->g, rm->d}, {rm->e, rm->f}};
+  for (const auto& [s, d] : trips) {
+    auto dj = engine.Dijkstra(s, d);
+    ASSERT_TRUE(dj.ok());
+    ASSERT_TRUE(dj->found);
+    auto a3 = engine.AStar(s, d, AStarVersion::kV3);
+    ASSERT_TRUE(a3.ok());
+    ASSERT_TRUE(a3->found);
+    auto it = engine.Iterative(s, d);
+    ASSERT_TRUE(it.ok());
+    ASSERT_TRUE(it->found);
+    // Dijkstra and Iterative are exact and must agree; A*+Manhattan may be
+    // suboptimal but never better than optimal, and close in practice.
+    EXPECT_NEAR(dj->cost, it->cost, 1e-3);
+    EXPECT_GE(a3->cost, dj->cost - 1e-3);
+    EXPECT_LE(a3->cost, dj->cost * 1.3);
+    // The computed route is drivable and its evaluated cost matches.
+    const auto eval = core::EvaluateRoute(rm->graph, dj->path);
+    EXPECT_TRUE(eval.valid);
+    EXPECT_NEAR(eval.total_cost, dj->cost, 1e-2);
+  }
+}
+
+TEST(IntegrationTest, ShortTripsFavourAStarOnRoadMap) {
+  // Section 5.2: "With a smaller number of iterations ... the
+  // estimator-based algorithms clearly outperform the iterative
+  // algorithm" (the G->D trip cost 95% less).
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(rm->graph).ok());
+  core::DbSearchOptions opt;
+  opt.estimator_known_admissible = false;
+  DbSearchEngine engine(&store, &pool, opt);
+
+  auto a3 = engine.AStar(rm->g, rm->d, AStarVersion::kV3);
+  auto it = engine.Iterative(rm->g, rm->d);
+  ASSERT_TRUE(a3.ok() && it.ok());
+  EXPECT_LT(a3->stats.cost_units, 0.35 * it->stats.cost_units);
+
+  // On the long diagonal the iterative algorithm beats Dijkstra (the
+  // paper's Figure 9 ordering). Note a documented deviation: on this
+  // synthetic map A* v3 stays cheap even on long trips because the
+  // over-estimating Manhattan heuristic focuses it hard (see
+  // EXPERIMENTS.md); the published digitised map forced ~8x more A*
+  // backtracking on A->B.
+  auto dj_long = engine.Dijkstra(rm->a, rm->b);
+  auto it_long = engine.Iterative(rm->a, rm->b);
+  auto a3_long = engine.AStar(rm->a, rm->b, AStarVersion::kV3);
+  ASSERT_TRUE(dj_long.ok() && it_long.ok() && a3_long.ok());
+  EXPECT_LT(it_long->stats.cost_units, dj_long->stats.cost_units);
+  // Long trips cost A* more than short trips (direction of the effect).
+  EXPECT_GT(a3_long->stats.cost_units, a3->stats.cost_units);
+}
+
+TEST(IntegrationTest, MemoryAndDbAgreeOnRoadMapCosts) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(rm->graph).ok());
+  DbSearchEngine engine(&store, &pool);
+
+  auto db = engine.Dijkstra(rm->e, rm->f);
+  ASSERT_TRUE(db.ok());
+  const auto mem = core::DijkstraSearch(rm->graph, rm->e, rm->f);
+  // Coordinates are quantised and costs stored as f32 in the database, so
+  // costs agree to float precision (not bit-exactly).
+  EXPECT_NEAR(db->cost, mem.cost, 1e-3);
+}
+
+TEST(IntegrationTest, TraceDrivenPredictionWithinTenPercent) {
+  // The paper: "With our algebraic cost models and simulation we were able
+  // to predict actual execution time within ten percent." Calibrate the
+  // per-iteration cost from two traces, predict a third run.
+  auto g = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(*g).ok());
+  DbSearchEngine engine(&store, &pool);
+
+  auto run_h = engine.Dijkstra(0, GridGraphGenerator::HorizontalQuery(20).destination);
+  auto run_d = engine.Dijkstra(0, GridGraphGenerator::DiagonalQuery(20).destination);
+  auto run_s = engine.Dijkstra(0, GridGraphGenerator::SemiDiagonalQuery(20).destination);
+  ASSERT_TRUE(run_h.ok() && run_d.ok() && run_s.ok());
+
+  auto cal = costmodel::CalibrateFromRuns(*run_h, *run_d);
+  ASSERT_TRUE(cal.ok());
+  const double predicted =
+      cal->Predict(static_cast<double>(run_s->stats.iterations));
+  const double measured = run_s->stats.cost_units;
+  EXPECT_NEAR(predicted, measured, 0.10 * measured)
+      << "predicted " << predicted << " measured " << measured;
+}
+
+TEST(IntegrationTest, CalibrationRejectsDegenerateRuns) {
+  core::PathResult a;
+  a.stats.iterations = 10;
+  a.stats.cost_units = 5;
+  EXPECT_FALSE(costmodel::CalibrateFromRuns(a, a).ok());
+}
+
+TEST(IntegrationTest, AlgebraicModelTracksEngineOrdering) {
+  // Absolute constants differ (INGRES vs this engine), but the model's
+  // *ordering* of configurations must match the metered engine: A* short
+  // path < A* long path < Dijkstra long path; iterative flat.
+  auto g = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(*g).ok());
+  DbSearchEngine engine(&store, &pool);
+  costmodel::OptimizerSimulation sim(
+      costmodel::ParamsForGraph(*g));
+
+  const auto q_h = GridGraphGenerator::HorizontalQuery(20);
+  const auto q_d = GridGraphGenerator::DiagonalQuery(20);
+  auto a_h = engine.AStar(q_h.source, q_h.destination, AStarVersion::kV3);
+  auto a_d = engine.AStar(q_d.source, q_d.destination, AStarVersion::kV3);
+  auto dj_d = engine.Dijkstra(q_d.source, q_d.destination);
+  ASSERT_TRUE(a_h.ok() && a_d.ok() && dj_d.ok());
+
+  const double p_ah = sim.Predict(core::Algorithm::kAStar,
+                                  static_cast<double>(a_h->stats.iterations))
+                          .total();
+  const double p_ad = sim.Predict(core::Algorithm::kAStar,
+                                  static_cast<double>(a_d->stats.iterations))
+                          .total();
+  const double p_dd =
+      sim.Predict(core::Algorithm::kDijkstra,
+                  static_cast<double>(dj_d->stats.iterations))
+          .total();
+  // Ordering agreement between model and measurement.
+  EXPECT_LT(p_ah, p_ad);
+  EXPECT_LE(p_ad, p_dd);
+  EXPECT_LT(a_h->stats.cost_units, a_d->stats.cost_units);
+  EXPECT_LE(a_d->stats.cost_units, dj_d->stats.cost_units);
+}
+
+TEST(IntegrationTest, GraphSurvivesFileRoundTripWithSameSearchResults) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  const std::string path = ::testing::TempDir() + "/mpls_roundtrip.atisg";
+  ASSERT_TRUE(graph::SaveGraphFile(rm->graph, path).ok());
+  auto back = graph::LoadGraphFile(path);
+  ASSERT_TRUE(back.ok());
+  const auto before = core::DijkstraSearch(rm->graph, rm->a, rm->b);
+  const auto after = core::DijkstraSearch(*back, rm->a, rm->b);
+  EXPECT_EQ(before.stats.iterations, after.stats.iterations);
+  EXPECT_NEAR(before.cost, after.cost, 1e-12);
+  EXPECT_EQ(before.path, after.path);
+}
+
+}  // namespace
+}  // namespace atis

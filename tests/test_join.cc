@@ -1,0 +1,220 @@
+#include "relational/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace atis::relational {
+namespace {
+
+using storage::BufferPool;
+using storage::CostParams;
+using storage::DiskManager;
+
+/// Join tests run parameterised over all four concrete strategies: every
+/// strategy must produce the same multiset of result rows.
+class JoinStrategyTest : public ::testing::TestWithParam<JoinStrategy> {
+ protected:
+  JoinStrategyTest()
+      : pool_(&disk_, 64),
+        left_("L",
+              Schema({{"id", FieldType::kInt32},
+                      {"lv", FieldType::kDouble}}),
+              &pool_),
+        right_("R",
+               Schema({{"key", FieldType::kInt32},
+                       {"rv", FieldType::kDouble}}),
+               &pool_) {}
+
+  void Fill() {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(left_.Insert(Tuple{int64_t{i}, double(i)}).ok());
+    }
+    // Right: keys 5..14, with key 5 duplicated.
+    for (int i = 5; i < 15; ++i) {
+      ASSERT_TRUE(right_.Insert(Tuple{int64_t{i}, double(i) * 10}).ok());
+    }
+    ASSERT_TRUE(right_.Insert(Tuple{int64_t{5}, 999.0}).ok());
+    // The primary-key strategy needs an index on the inner join field.
+    ASSERT_TRUE(right_.CreateHashIndex("key", 8).ok());
+  }
+
+  std::multiset<std::pair<int64_t, double>> Rows(const Relation& rel) {
+    std::multiset<std::pair<int64_t, double>> rows;
+    for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
+      const Tuple t = c.tuple();
+      rows.insert({AsInt(t[0]), AsDouble(t[3])});
+    }
+    return rows;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Relation left_;
+  Relation right_;
+  CostParams params_;
+};
+
+TEST_P(JoinStrategyTest, ProducesExpectedRows) {
+  Fill();
+  auto out = Join(left_, right_, {"id", "key"}, GetParam(), params_, "J");
+  ASSERT_TRUE(out.ok());
+  // Matches: keys 5..9, key 5 twice => 6 rows.
+  EXPECT_EQ((*out)->num_tuples(), 6u);
+  const auto rows = Rows(**out);
+  EXPECT_EQ(rows.count({5, 50.0}), 1u);
+  EXPECT_EQ(rows.count({5, 999.0}), 1u);
+  EXPECT_EQ(rows.count({9, 90.0}), 1u);
+  EXPECT_EQ(rows.count({4, 40.0}), 0u);
+}
+
+TEST_P(JoinStrategyTest, EmptyInputsYieldEmptyResult) {
+  ASSERT_TRUE(right_.CreateHashIndex("key", 8).ok());
+  auto out = Join(left_, right_, {"id", "key"}, GetParam(), params_, "J");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_tuples(), 0u);
+}
+
+TEST_P(JoinStrategyTest, ResultSchemaIsPrefixedConcatenation) {
+  Fill();
+  auto out = Join(left_, right_, {"id", "key"}, GetParam(), params_, "J");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->schema().FieldIndex("L.id"), 0);
+  EXPECT_EQ((*out)->schema().FieldIndex("R.rv"), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, JoinStrategyTest,
+    ::testing::Values(JoinStrategy::kNestedLoop, JoinStrategy::kHash,
+                      JoinStrategy::kSortMerge, JoinStrategy::kPrimaryKey),
+    [](const auto& info) {
+      return std::string(JoinStrategyName(info.param)) == "nested-loop"
+                 ? "NestedLoop"
+             : std::string(JoinStrategyName(info.param)) == "hash" ? "Hash"
+             : std::string(JoinStrategyName(info.param)) == "sort-merge"
+                 ? "SortMerge"
+                 : "PrimaryKey";
+    });
+
+TEST(JoinTest, AutoPicksAStrategyAndRuns) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Relation l("L", Schema({{"id", FieldType::kInt32}}), &pool);
+  Relation r("R", Schema({{"key", FieldType::kInt32}}), &pool);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(l.Insert(Tuple{int64_t{i}}).ok());
+    ASSERT_TRUE(r.Insert(Tuple{int64_t{i}}).ok());
+  }
+  auto out = Join(l, r, {"id", "key"}, JoinStrategy::kAuto, CostParams{},
+                  "J");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_tuples(), 5u);
+}
+
+TEST(JoinTest, UnknownFieldRejected) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Relation l("L", Schema({{"id", FieldType::kInt32}}), &pool);
+  Relation r("R", Schema({{"key", FieldType::kInt32}}), &pool);
+  EXPECT_TRUE(Join(l, r, {"nope", "key"}, JoinStrategy::kHash, CostParams{},
+                   "J")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(JoinOptimizerTest, NestedLoopFormulaMatchesPaper) {
+  // Section 4.3: F = B1*t_read + (B1*B2)*t_read + B3*t_write.
+  CostParams p;
+  JoinStats s;
+  s.left_blocks = 2;
+  s.right_blocks = 28;
+  s.result_blocks = 1;
+  const double expected = 2 * 0.035 + 2 * 28 * 0.035 + 1 * 0.05;
+  EXPECT_NEAR(EstimateJoinCost(JoinStrategy::kNestedLoop, s, p), expected,
+              1e-12);
+}
+
+TEST(JoinOptimizerTest, PrimaryKeyRequiresIndex) {
+  CostParams p;
+  JoinStats s;
+  s.left_blocks = 1;
+  s.right_blocks = 10;
+  s.result_blocks = 1;
+  s.right_has_index = false;
+  EXPECT_TRUE(std::isinf(EstimateJoinCost(JoinStrategy::kPrimaryKey, s, p)));
+}
+
+TEST(JoinOptimizerTest, PrimaryKeyWinsForTinyOuter) {
+  // One current node joining against the edge relation: the adjacency
+  // fetch of the best-first algorithms.
+  CostParams p;
+  JoinStats s;
+  s.left_blocks = 1;
+  s.left_tuples = 1;
+  s.right_blocks = 28;
+  s.result_blocks = 1;
+  s.right_has_index = true;
+  s.right_index_levels = 1;
+  EXPECT_EQ(ChooseJoinStrategy(s, p).strategy, JoinStrategy::kPrimaryKey);
+}
+
+TEST(JoinOptimizerTest, HashBeatsNestedLoopForLargeInputs) {
+  CostParams p;
+  JoinStats s;
+  s.left_blocks = 100;
+  s.left_tuples = 25600;
+  s.right_blocks = 100;
+  s.result_blocks = 10;
+  s.right_has_index = false;
+  const auto choice = ChooseJoinStrategy(s, p);
+  EXPECT_EQ(choice.strategy, JoinStrategy::kHash);
+  EXPECT_LT(choice.cost,
+            EstimateJoinCost(JoinStrategy::kNestedLoop, s, p));
+}
+
+TEST(JoinOptimizerTest, SortMergeCostIncludesSortPasses) {
+  CostParams p;
+  JoinStats s;
+  s.left_blocks = 64;
+  s.right_blocks = 64;
+  s.result_blocks = 8;
+  const double merge_only = (64 + 64) * p.t_read + 8 * p.t_write;
+  EXPECT_GT(EstimateJoinCost(JoinStrategy::kSortMerge, s, p), merge_only);
+}
+
+TEST(JoinOptimizerTest, ComputeJoinStatsDerivesBlocksAndIndex) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Relation l("L", Schema({{"id", FieldType::kInt32}}), &pool);
+  Relation r("R", Schema({{"key", FieldType::kInt32}}), &pool);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(l.Insert(Tuple{int64_t{i}}).ok());
+    ASSERT_TRUE(r.Insert(Tuple{int64_t{i}}).ok());
+  }
+  ASSERT_TRUE(r.BuildIsamIndex("key").ok());
+  const JoinStats s = ComputeJoinStats(l, r, {"id", "key"});
+  EXPECT_EQ(s.left_blocks, l.num_blocks());
+  EXPECT_EQ(s.left_tuples, 100u);
+  EXPECT_TRUE(s.right_has_index);
+  EXPECT_EQ(s.right_index_levels, r.isam_index()->num_levels());
+  EXPECT_GE(s.result_blocks, 1u);
+}
+
+TEST(JoinTest, MaterializedResultChargesRelationCreate) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  Relation l("L", Schema({{"id", FieldType::kInt32}}), &pool);
+  Relation r("R", Schema({{"key", FieldType::kInt32}}), &pool);
+  ASSERT_TRUE(l.Insert(Tuple{int64_t{1}}).ok());
+  ASSERT_TRUE(r.Insert(Tuple{int64_t{1}}).ok());
+  const uint64_t creates = disk.meter().counters().relations_created;
+  auto out =
+      Join(l, r, {"id", "key"}, JoinStrategy::kHash, CostParams{}, "J");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(disk.meter().counters().relations_created, creates + 1);
+}
+
+}  // namespace
+}  // namespace atis::relational

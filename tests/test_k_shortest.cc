@@ -1,0 +1,150 @@
+#include "core/k_shortest.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::Graph;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+/// The classic Yen example topology: two short parallel corridors.
+Graph DiamondGraph() {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(i, 0);
+  // 0 -> 1 -> 3 -> 5 cost 3; 0 -> 2 -> 4 -> 5 cost 4; cross links.
+  EXPECT_TRUE(g.AddEdge(0, 1, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 1).ok());
+  EXPECT_TRUE(g.AddEdge(3, 5, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 1.5).ok());
+  EXPECT_TRUE(g.AddEdge(2, 4, 1.5).ok());
+  EXPECT_TRUE(g.AddEdge(4, 5, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 4, 2).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.5).ok());
+  return g;
+}
+
+TEST(KShortestTest, InvalidArguments) {
+  const Graph g = DiamondGraph();
+  EXPECT_TRUE(KShortestPaths(g, 0, 99, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KShortestPaths(g, 99, 0, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KShortestPaths(g, 0, 5, 0).status().IsInvalidArgument());
+}
+
+TEST(KShortestTest, FirstPathIsDijkstraOptimal) {
+  const Graph g = DiamondGraph();
+  auto paths = KShortestPaths(g, 0, 5, 1);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  const auto dj = DijkstraSearch(g, 0, 5);
+  EXPECT_NEAR((*paths)[0].cost, dj.cost, 1e-12);
+  EXPECT_EQ((*paths)[0].path, dj.path);
+}
+
+TEST(KShortestTest, RanksAlternativesByCost) {
+  const Graph g = DiamondGraph();
+  auto paths = KShortestPaths(g, 0, 5, 4);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_GE(paths->size(), 3u);
+  // Hand-checked ranking: 0-1-3-5 (3.0), then 0-2-3-5 (3.0), 0-2-4-5 (4)...
+  for (size_t i = 0; i + 1 < paths->size(); ++i) {
+    EXPECT_LE((*paths)[i].cost, (*paths)[i + 1].cost + 1e-12);
+  }
+  EXPECT_NEAR((*paths)[0].cost, 3.0, 1e-12);
+  EXPECT_EQ((*paths)[0].path, (std::vector<NodeId>{0, 1, 3, 5}));
+  EXPECT_NEAR((*paths)[1].cost, 3.0, 1e-12);
+  EXPECT_EQ((*paths)[1].path, (std::vector<NodeId>{0, 2, 3, 5}));
+  EXPECT_NEAR((*paths)[2].cost, 4.0, 1e-12);
+}
+
+TEST(KShortestTest, PathsAreDistinctAndLoopless) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto paths = KShortestPaths(*g, 0, 35, 8);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 8u);
+  std::set<std::vector<NodeId>> unique;
+  for (const RankedPath& p : *paths) {
+    EXPECT_TRUE(unique.insert(p.path).second) << "duplicate path";
+    std::set<NodeId> nodes(p.path.begin(), p.path.end());
+    EXPECT_EQ(nodes.size(), p.path.size()) << "path contains a loop";
+    EXPECT_EQ(p.path.front(), 0);
+    EXPECT_EQ(p.path.back(), 35);
+  }
+}
+
+TEST(KShortestTest, CostsMatchEvaluatedRoutes) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto paths = KShortestPaths(*g, 0, 35, 5);
+  ASSERT_TRUE(paths.ok());
+  for (const RankedPath& p : *paths) {
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < p.path.size(); ++i) {
+      total += *g->EdgeCost(p.path[i], p.path[i + 1]);
+    }
+    EXPECT_NEAR(total, p.cost, 1e-9);
+  }
+}
+
+TEST(KShortestTest, ExhaustsSmallGraphs) {
+  // A 2x2 grid has exactly 2 loopless corner-to-corner paths.
+  auto g = GridGraphGenerator::Generate({2, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  auto paths = KShortestPaths(*g, 0, 3, 10);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST(KShortestTest, UnreachableGivesEmpty) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(5, 5);
+  auto paths = KShortestPaths(g, 0, 1, 3);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(paths->empty());
+}
+
+TEST(KShortestTest, SourceEqualsDestination) {
+  const Graph g = DiamondGraph();
+  auto paths = KShortestPaths(g, 0, 0, 3);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);  // the trivial empty route only
+  EXPECT_EQ((*paths)[0].cost, 0.0);
+  EXPECT_EQ((*paths)[0].path, std::vector<NodeId>{0});
+}
+
+TEST(KShortestTest, AlternatesOnRoadMapAreReasonable) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  auto paths = KShortestPaths(rm->graph, rm->e, rm->f, 3);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 3u);
+  // Alternatives are near the optimum (dense street grid).
+  EXPECT_LE((*paths)[2].cost, 1.5 * (*paths)[0].cost);
+}
+
+TEST(KShortestTest, SecondPathStrictlyDifferentEvenWithParallelEdges) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());  // parallel, more expensive
+  auto paths = KShortestPaths(g, 0, 1, 5);
+  ASSERT_TRUE(paths.ok());
+  // Node-sequence semantics: one distinct path, costed with the cheaper
+  // parallel edge.
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_NEAR((*paths)[0].cost, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -1,0 +1,374 @@
+#include "core/memory_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
+#include "util/random.h"
+
+namespace atis::core {
+namespace {
+
+using graph::Graph;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reference oracle: Bellman-Ford (no early exit, no heuristics).
+std::vector<double> BellmanFord(const Graph& g, NodeId s) {
+  std::vector<double> dist(g.num_nodes(), kInf);
+  dist[static_cast<size_t>(s)] = 0.0;
+  for (size_t round = 0; round + 1 < g.num_nodes(); ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+      if (dist[static_cast<size_t>(u)] == kInf) continue;
+      for (const graph::Edge& e : g.Neighbors(u)) {
+        const double nd = dist[static_cast<size_t>(u)] + e.cost;
+        if (nd < dist[static_cast<size_t>(e.to)]) {
+          dist[static_cast<size_t>(e.to)] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+/// Random strongly-connected-ish geometric graph for property tests.
+Graph RandomGraph(uint64_t seed, size_t n = 60) {
+  Rng rng(seed);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+  }
+  // A ring guarantees reachability; extra random chords add structure.
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    const NodeId v = static_cast<NodeId>((i + 1) % n);
+    EXPECT_TRUE(g.AddEdge(u, v, g.EuclideanDistance(u, v) + 0.01).ok());
+  }
+  for (size_t i = 0; i < 3 * n; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+    if (u == v) continue;
+    EXPECT_TRUE(
+        g.AddEdge(u, v, g.EuclideanDistance(u, v) + 0.01 +
+                            rng.UniformDouble(0, 2))
+            .ok());
+  }
+  return g;
+}
+
+/// Path checks: starts/ends right, every hop is an edge, costs sum to cost.
+void ExpectValidPath(const Graph& g, const PathResult& r, NodeId s,
+                     NodeId d) {
+  ASSERT_TRUE(r.found);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_EQ(r.path.front(), s);
+  EXPECT_EQ(r.path.back(), d);
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < r.path.size(); ++i) {
+    // An optimal route always relaxes the cheapest of any parallel edges.
+    double best = kInf;
+    for (const graph::Edge& e : g.Neighbors(r.path[i])) {
+      if (e.to == r.path[i + 1]) best = std::min(best, e.cost);
+    }
+    ASSERT_LT(best, kInf) << "missing edge " << r.path[i] << "->"
+                          << r.path[i + 1];
+    total += best;
+  }
+  EXPECT_NEAR(total, r.cost, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over random graphs: all algorithms find optimal costs.
+
+class RandomGraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphProperty, AllAlgorithmsMatchBellmanFord) {
+  const Graph g = RandomGraph(GetParam());
+  const auto ref = BellmanFord(g, 0);
+  auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  for (NodeId d : {NodeId{1}, NodeId{20}, NodeId{40},
+                   static_cast<NodeId>(g.num_nodes() - 1)}) {
+    const double want = ref[static_cast<size_t>(d)];
+    const auto it = IterativeBfsSearch(g, 0, d);
+    const auto dj = DijkstraSearch(g, 0, d);
+    const auto as = AStarSearch(g, 0, d, *eu);
+    EXPECT_NEAR(it.cost, want, 1e-9);
+    EXPECT_NEAR(dj.cost, want, 1e-9);
+    EXPECT_NEAR(as.cost, want, 1e-9);
+    ExpectValidPath(g, it, 0, d);
+    ExpectValidPath(g, dj, 0, d);
+    ExpectValidPath(g, as, 0, d);
+  }
+}
+
+TEST_P(RandomGraphProperty, AStarNeverExpandsMoreThanDijkstra) {
+  // With an admissible, consistent estimator (Euclidean on
+  // distance-plus-epsilon costs) A* expands a subset of Dijkstra's nodes.
+  const Graph g = RandomGraph(GetParam());
+  auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  const NodeId d = static_cast<NodeId>(g.num_nodes() / 2);
+  const auto dj = DijkstraSearch(g, 0, d);
+  const auto as = AStarSearch(g, 0, d, *eu);
+  EXPECT_LE(as.stats.nodes_expanded, dj.stats.nodes_expanded);
+}
+
+TEST_P(RandomGraphProperty, DuplicatePoliciesAgreeOnCost) {
+  const Graph g = RandomGraph(GetParam());
+  const NodeId d = static_cast<NodeId>(g.num_nodes() - 1);
+  MemorySearchOptions avoid;
+  avoid.duplicate_policy = DuplicatePolicy::kAvoid;
+  MemorySearchOptions allow;
+  allow.duplicate_policy = DuplicatePolicy::kAllow;
+  MemorySearchOptions eliminate;
+  eliminate.duplicate_policy = DuplicatePolicy::kEliminate;
+  const auto a = DijkstraSearch(g, 0, d, avoid);
+  const auto b = DijkstraSearch(g, 0, d, allow);
+  const auto c = DijkstraSearch(g, 0, d, eliminate);
+  EXPECT_NEAR(a.cost, b.cost, 1e-9);
+  EXPECT_NEAR(a.cost, c.cost, 1e-9);
+  // Allowing duplicates can only add redundant iterations (Section 4).
+  EXPECT_GE(b.stats.iterations, a.stats.iterations);
+  EXPECT_EQ(c.stats.iterations, a.stats.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// ---------------------------------------------------------------------------
+// Paper iteration counts (Tables 5 and 6).
+
+TEST(PaperCountsTest, Table5IterationsAcrossGraphSizes) {
+  // 20% edge-cost variance, diagonal path. Paper: Iterative 19/39/59,
+  // Dijkstra 99/399/899.
+  const int sizes[] = {10, 20, 30};
+  const uint64_t want_iterative[] = {19, 39, 59};
+  const uint64_t want_dijkstra[] = {99, 399, 899};
+  for (int i = 0; i < 3; ++i) {
+    const int k = sizes[i];
+    auto g = GridGraphGenerator::Generate({k, GridCostModel::kVariance20});
+    ASSERT_TRUE(g.ok());
+    const auto q = GridGraphGenerator::DiagonalQuery(k);
+    EXPECT_EQ(IterativeBfsSearch(*g, q.source, q.destination).stats.iterations,
+              want_iterative[i]);
+    EXPECT_EQ(DijkstraSearch(*g, q.source, q.destination).stats.iterations,
+              want_dijkstra[i]);
+  }
+}
+
+TEST(PaperCountsTest, IterativeInsensitiveToPathLength) {
+  // Table 6: the iterative algorithm does the same number of rounds for
+  // every query on the same graph.
+  auto g = GridGraphGenerator::Generate({30, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  for (const auto q : {GridGraphGenerator::HorizontalQuery(30),
+                       GridGraphGenerator::SemiDiagonalQuery(30),
+                       GridGraphGenerator::DiagonalQuery(30)}) {
+    EXPECT_EQ(IterativeBfsSearch(*g, q.source, q.destination).stats.iterations,
+              59u);
+  }
+}
+
+TEST(PaperCountsTest, BestFirstIterationsGrowWithPathLength) {
+  auto g = GridGraphGenerator::Generate({30, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  const auto h = GridGraphGenerator::HorizontalQuery(30);
+  const auto s = GridGraphGenerator::SemiDiagonalQuery(30);
+  const auto d = GridGraphGenerator::DiagonalQuery(30);
+  const auto ah = AStarSearch(*g, h.source, h.destination, *man);
+  const auto as = AStarSearch(*g, s.source, s.destination, *man);
+  const auto ad = AStarSearch(*g, d.source, d.destination, *man);
+  EXPECT_LT(ah.stats.iterations, as.stats.iterations);
+  EXPECT_LT(as.stats.iterations, ad.stats.iterations);
+  // Horizontal path: A* stays near the hop count (paper: 29).
+  EXPECT_LE(ah.stats.iterations, 60u);
+  const auto dh = DijkstraSearch(*g, h.source, h.destination);
+  EXPECT_GT(dh.stats.iterations, 5 * ah.stats.iterations);
+}
+
+TEST(PaperCountsTest, SkewedCostsEliminateAStarBacktracking) {
+  // Table 7, 20x20 diagonal: skewed costs collapse A* (v3) to the cheap
+  // corridor (paper: 38 iterations = exactly the hop count).
+  auto g = GridGraphGenerator::Generate({20, GridCostModel::kSkewed});
+  ASSERT_TRUE(g.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  const auto q = GridGraphGenerator::DiagonalQuery(20);
+  MemorySearchOptions opt;
+  opt.estimator_known_admissible = false;  // skewed breaks admissibility
+  const auto a = AStarSearch(*g, q.source, q.destination, *man, opt);
+  EXPECT_EQ(a.stats.iterations, 38u);
+  EXPECT_FALSE(a.optimality_guaranteed);
+  // ... and Dijkstra explores far less than on a variance grid.
+  auto gv = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(gv.ok());
+  const auto dj_skew = DijkstraSearch(*g, q.source, q.destination);
+  const auto dj_var = DijkstraSearch(*gv, q.source, q.destination);
+  EXPECT_LT(dj_skew.stats.iterations, dj_var.stats.iterations / 2);
+}
+
+TEST(PaperCountsTest, IterativeReopensOnSkewedGrid) {
+  // Table 7: iterative needs *more* rounds under skewed costs (56 vs 39 on
+  // 20x20) because cheap corridor paths relabel already-visited nodes.
+  auto skew = GridGraphGenerator::Generate({20, GridCostModel::kSkewed});
+  auto var = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(skew.ok() && var.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(20);
+  const auto r_skew = IterativeBfsSearch(*skew, q.source, q.destination);
+  const auto r_var = IterativeBfsSearch(*var, q.source, q.destination);
+  EXPECT_EQ(r_var.stats.iterations, 39u);
+  EXPECT_GT(r_skew.stats.iterations, r_var.stats.iterations);
+  EXPECT_GT(r_skew.stats.reopenings, 0u);
+}
+
+TEST(PaperCountsTest, UniformGridAStarIsFasterThanVariance) {
+  // Figure 7 shape: A* v3 does more work under 20% variance than under
+  // uniform costs.
+  auto uni = GridGraphGenerator::Generate({20, GridCostModel::kUniform});
+  auto var = GridGraphGenerator::Generate({20, GridCostModel::kVariance20});
+  ASSERT_TRUE(uni.ok() && var.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  const auto q = GridGraphGenerator::DiagonalQuery(20);
+  const auto a_uni = AStarSearch(*uni, q.source, q.destination, *man);
+  const auto a_var = AStarSearch(*var, q.source, q.destination, *man);
+  EXPECT_LT(a_uni.stats.iterations, a_var.stats.iterations);
+  // Perfect estimator on the uniform grid: exactly the hop count.
+  EXPECT_EQ(a_uni.stats.iterations, 38u);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+
+TEST(EdgeCaseTest, SourceEqualsDestination) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  for (const PathResult& r :
+       {DijkstraSearch(*g, 7, 7), IterativeBfsSearch(*g, 7, 7),
+        AStarSearch(*g, 7, 7, *MakeEstimator(EstimatorKind::kManhattan))}) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.cost, 0.0);
+    ASSERT_EQ(r.path.size(), 1u);
+    EXPECT_EQ(r.path.front(), 7);
+  }
+  // Selecting the destination terminates before any expansion.
+  EXPECT_EQ(DijkstraSearch(*g, 7, 7).stats.iterations, 0u);
+}
+
+TEST(EdgeCaseTest, UnreachableDestination) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(5, 5);  // isolated
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  for (const PathResult& r : {DijkstraSearch(g, 0, 2), IterativeBfsSearch(g, 0, 2),
+                       AStarSearch(g, 0, 2, *man)}) {
+    EXPECT_FALSE(r.found);
+    EXPECT_TRUE(r.path.empty());
+  }
+}
+
+TEST(EdgeCaseTest, InvalidNodesReturnNotFound) {
+  Graph g;
+  g.AddNode(0, 0);
+  EXPECT_FALSE(DijkstraSearch(g, 0, 99).found);
+  EXPECT_FALSE(DijkstraSearch(g, 99, 0).found);
+  EXPECT_FALSE(IterativeBfsSearch(g, -1, 0).found);
+}
+
+TEST(EdgeCaseTest, DirectedOneWayRespected) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(DijkstraSearch(g, 0, 1).found);
+  EXPECT_FALSE(DijkstraSearch(g, 1, 0).found);
+}
+
+TEST(EdgeCaseTest, ZeroEstimatorMatchesDijkstraExactly) {
+  auto g = GridGraphGenerator::Generate({12, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto zero = MakeEstimator(EstimatorKind::kZero);
+  const auto q = GridGraphGenerator::DiagonalQuery(12);
+  const auto dj = DijkstraSearch(*g, q.source, q.destination);
+  const auto bf = AStarSearch(*g, q.source, q.destination, *zero);
+  EXPECT_EQ(bf.stats.iterations, dj.stats.iterations);
+  EXPECT_NEAR(bf.cost, dj.cost, 1e-12);
+}
+
+TEST(EdgeCaseTest, ParallelEdgesUseCheapest) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  EXPECT_DOUBLE_EQ(DijkstraSearch(g, 0, 1).cost, 2.0);
+  EXPECT_DOUBLE_EQ(IterativeBfsSearch(g, 0, 1).cost, 2.0);
+}
+
+TEST(EdgeCaseTest, ZeroCostEdgesHandled) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  EXPECT_DOUBLE_EQ(DijkstraSearch(g, 0, 2).cost, 1.0);
+}
+
+TEST(EdgeCaseTest, OptimalityFlagReflectsOptions) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  MemorySearchOptions trusted;
+  EXPECT_TRUE(AStarSearch(*g, 0, 24, *man, trusted).optimality_guaranteed);
+  MemorySearchOptions untrusted;
+  untrusted.estimator_known_admissible = false;
+  EXPECT_FALSE(AStarSearch(*g, 0, 24, *man, untrusted).optimality_guaranteed);
+  // Dijkstra and Iterative are always exact.
+  EXPECT_TRUE(DijkstraSearch(*g, 0, 24, untrusted).optimality_guaranteed);
+  EXPECT_TRUE(IterativeBfsSearch(*g, 0, 24).optimality_guaranteed);
+}
+
+TEST(EdgeCaseTest, StatsArePopulated) {
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  const auto r = DijkstraSearch(*g, q.source, q.destination);
+  EXPECT_GT(r.stats.nodes_expanded, 0u);
+  EXPECT_GT(r.stats.nodes_generated, r.stats.nodes_expanded);
+  EXPECT_GT(r.stats.nodes_improved, 0u);
+  EXPECT_GT(r.stats.frontier_peak, 1u);
+  EXPECT_EQ(r.stats.io.blocks_read, 0u);  // in-memory: no block I/O
+  EXPECT_EQ(r.stats.cost_units, 0.0);
+}
+
+TEST(RoadMapSearchTest, SuboptimalityOfManhattanIsBounded) {
+  // The paper accepts A*+Manhattan finding "a good path very quickly" on
+  // the road map despite losing the optimality guarantee. Quantify it.
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  auto man = MakeEstimator(EstimatorKind::kManhattan);
+  MemorySearchOptions opt;
+  opt.estimator_known_admissible = false;
+  const auto exact = DijkstraSearch(rm->graph, rm->a, rm->b);
+  const auto approx = AStarSearch(rm->graph, rm->a, rm->b, *man, opt);
+  ASSERT_TRUE(exact.found);
+  ASSERT_TRUE(approx.found);
+  EXPECT_GE(approx.cost, exact.cost - 1e-9);
+  EXPECT_LE(approx.cost, exact.cost * 1.25);  // good, near-optimal path
+  EXPECT_LT(approx.stats.iterations, exact.stats.iterations);
+}
+
+}  // namespace
+}  // namespace atis::core

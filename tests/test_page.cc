@@ -1,0 +1,67 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace atis::storage {
+namespace {
+
+TEST(PageTest, StartsZeroed) {
+  Page p;
+  for (size_t i = 0; i < kPageSize; i += 97) {
+    EXPECT_EQ(p.data()[i], 0);
+  }
+}
+
+TEST(PageTest, TypedRoundTrip) {
+  Page p;
+  p.WriteAt<uint32_t>(0, 0xdeadbeef);
+  p.WriteAt<uint16_t>(4, 12345);
+  p.WriteAt<int64_t>(8, -42);
+  p.WriteAt<double>(16, 3.25);
+  p.WriteAt<float>(24, -1.5f);
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 0xdeadbeefu);
+  EXPECT_EQ(p.ReadAt<uint16_t>(4), 12345);
+  EXPECT_EQ(p.ReadAt<int64_t>(8), -42);
+  EXPECT_EQ(p.ReadAt<double>(16), 3.25);
+  EXPECT_EQ(p.ReadAt<float>(24), -1.5f);
+}
+
+TEST(PageTest, ByteBlockRoundTrip) {
+  Page p;
+  const char msg[] = "hello, blocks";
+  p.WriteBytes(100, msg, sizeof(msg));
+  char out[sizeof(msg)];
+  p.ReadBytes(100, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(PageTest, ZeroClears) {
+  Page p;
+  p.WriteAt<uint64_t>(0, ~0ULL);
+  p.Zero();
+  EXPECT_EQ(p.ReadAt<uint64_t>(0), 0ULL);
+}
+
+TEST(PageTest, LastBytesAddressable) {
+  Page p;
+  p.WriteAt<uint32_t>(kPageSize - 4, 77);
+  EXPECT_EQ(p.ReadAt<uint32_t>(kPageSize - 4), 77u);
+}
+
+TEST(PageTest, CopySemantics) {
+  Page a;
+  a.WriteAt<int32_t>(8, 99);
+  Page b = a;
+  a.WriteAt<int32_t>(8, 1);
+  EXPECT_EQ(b.ReadAt<int32_t>(8), 99);
+}
+
+TEST(PageTest, SizeConstantMatchesPaper) {
+  // Table 4A: disk block size B = 4096 bytes.
+  EXPECT_EQ(kPageSize, 4096u);
+}
+
+}  // namespace
+}  // namespace atis::storage

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "quel/executor.h"
+#include "quel/parser.h"
+
+namespace atis::quel {
+namespace {
+
+using relational::AsDouble;
+using relational::AsInt;
+using relational::FieldType;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+TEST(QuelParserTest, RangeStatement) {
+  auto s = ParseStatement("RANGE OF r IS nodes");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, Statement::Kind::kRange);
+  EXPECT_EQ(s->range.var, "r");
+  EXPECT_EQ(s->range.relation, "nodes");
+}
+
+TEST(QuelParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("range of r is nodes").ok());
+  EXPECT_TRUE(ParseStatement("Range Of r Is nodes").ok());
+}
+
+TEST(QuelParserTest, RetrieveFieldsAndAll) {
+  auto s = ParseStatement("RETRIEVE (r.id, r.cost) WHERE r.id = 3");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, Statement::Kind::kRetrieve);
+  EXPECT_FALSE(s->retrieve.all);
+  ASSERT_EQ(s->retrieve.fields.size(), 2u);
+  EXPECT_EQ(s->retrieve.fields[1], "cost");
+  ASSERT_EQ(s->retrieve.where.terms.size(), 1u);
+
+  auto all = ParseStatement("RETRIEVE (r.all)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->retrieve.all);
+  EXPECT_TRUE(all->retrieve.where.terms.empty());
+}
+
+TEST(QuelParserTest, ReplaceWithArithmetic) {
+  auto s = ParseStatement(
+      "REPLACE r (cost = r.cost * 2 + 1, status = 2) WHERE r.status = 1 "
+      "AND r.cost < 10");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, Statement::Kind::kReplace);
+  ASSERT_EQ(s->replace.values.size(), 2u);
+  EXPECT_EQ(s->replace.values[0].field, "cost");
+  EXPECT_EQ(s->replace.values[0].value->kind, Expr::Kind::kBinary);
+  ASSERT_EQ(s->replace.where.terms.size(), 2u);
+  EXPECT_EQ(s->replace.where.terms[1].op, CompareOp::kLt);
+}
+
+TEST(QuelParserTest, AppendAndDelete) {
+  auto a = ParseStatement("APPEND TO edges (u = 1, v = 2, cost = 1.5)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->kind, Statement::Kind::kAppend);
+  EXPECT_EQ(a->append.relation, "edges");
+  ASSERT_EQ(a->append.values.size(), 3u);
+
+  auto d = ParseStatement("DELETE r WHERE r.id != 0");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->kind, Statement::Kind::kDelete);
+  EXPECT_EQ(d->del.where.terms[0].op, CompareOp::kNe);
+}
+
+TEST(QuelParserTest, UnaryMinusAndParentheses) {
+  auto s = ParseStatement("REPLACE r (x = -(r.x + 2) * 3)");
+  ASSERT_TRUE(s.ok());
+}
+
+TEST(QuelParserTest, SyntaxErrorsAreReported) {
+  EXPECT_TRUE(ParseStatement("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("FROBNICATE x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("RANGE r IS t").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseStatement("RETRIEVE r.all").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("RETRIEVE (r.a) WHERE r.a ==")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("RANGE OF r IS t garbage")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("RETRIEVE (r.a, s.b)")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Executor.
+
+class QuelExecutorTest : public ::testing::Test {
+ protected:
+  QuelExecutorTest()
+      : pool_(&disk_, 32),
+        nodes_("nodes",
+               Schema({{"id", FieldType::kInt32},
+                       {"status", FieldType::kInt8},
+                       {"cost", FieldType::kDouble}}),
+               &pool_) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(
+          nodes_.Insert(Tuple{int64_t{i}, int64_t{0}, double(i) * 1.5})
+              .ok());
+    }
+    session_.RegisterRelation("nodes", &nodes_);
+    EXPECT_TRUE(session_.Execute("RANGE OF n IS nodes").ok());
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  Relation nodes_;
+  QuelSession session_;
+};
+
+TEST_F(QuelExecutorTest, RetrieveAll) {
+  auto r = session_.Execute("RETRIEVE (n.all)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 10u);
+  EXPECT_EQ(r->columns,
+            (std::vector<std::string>{"id", "status", "cost"}));
+}
+
+TEST_F(QuelExecutorTest, RetrieveProjectionAndFilter) {
+  auto r = session_.Execute(
+      "RETRIEVE (n.id) WHERE n.cost > 6 AND n.cost < 12");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);  // costs 7.5, 9.0, 10.5 (ids 5, 6, 7)
+  EXPECT_EQ(AsInt(r->rows[0][0]), 5);
+  EXPECT_EQ(AsInt(r->rows[2][0]), 7);
+}
+
+TEST_F(QuelExecutorTest, ArithmeticInQualification) {
+  auto r = session_.Execute("RETRIEVE (n.id) WHERE n.cost = n.id * 1.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 10u);
+}
+
+TEST_F(QuelExecutorTest, ReplaceUpdatesMatching) {
+  auto r = session_.Execute(
+      "REPLACE n (status = 1, cost = n.cost + 100) WHERE n.id < 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 3u);
+  auto check = session_.Execute("RETRIEVE (n.cost) WHERE n.status = 1");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(AsDouble(check->rows[0][0]), 100.0);
+}
+
+TEST_F(QuelExecutorTest, AppendDefaultsUnassignedFields) {
+  auto r = session_.Execute("APPEND TO nodes (id = 42, cost = 7.25)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 1u);
+  auto check = session_.Execute("RETRIEVE (n.all) WHERE n.id = 42");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->rows.size(), 1u);
+  EXPECT_EQ(AsInt(check->rows[0][1]), 0);  // status defaulted
+  EXPECT_DOUBLE_EQ(AsDouble(check->rows[0][2]), 7.25);
+}
+
+TEST_F(QuelExecutorTest, DeleteWhere) {
+  auto r = session_.Execute("DELETE n WHERE n.id >= 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected, 5u);
+  EXPECT_EQ(nodes_.num_tuples(), 5u);
+}
+
+TEST_F(QuelExecutorTest, IntegerAssignmentRounds) {
+  ASSERT_TRUE(session_.Execute("REPLACE n (status = 1.6) WHERE n.id = 0")
+                  .ok());
+  auto check = session_.Execute("RETRIEVE (n.status) WHERE n.id = 0");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(AsInt(check->rows[0][0]), 2);  // llround(1.6)
+}
+
+TEST_F(QuelExecutorTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(session_.Execute("RETRIEVE (x.all)")
+                  .status()
+                  .IsInvalidArgument());  // no RANGE for x
+  EXPECT_TRUE(session_.Execute("RANGE OF q IS missing")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(session_.Execute("RETRIEVE (n.nope)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("REPLACE n (cost = n.cost / 0)")
+                  .status()
+                  .IsInvalidArgument());
+  // Failed statements must not change data.
+  EXPECT_EQ(nodes_.num_tuples(), 10u);
+}
+
+TEST_F(QuelExecutorTest, TheFrontierSelectionIdiom) {
+  // The paper's frontier bookkeeping, written as QUEL: open two nodes,
+  // then mark the cheaper one current (status: 0=null 1=open 3=current).
+  ASSERT_TRUE(session_.Execute("REPLACE n (status = 1) WHERE n.id = 4")
+                  .ok());
+  ASSERT_TRUE(session_.Execute("REPLACE n (status = 1) WHERE n.id = 8")
+                  .ok());
+  auto open = session_.Execute(
+      "RETRIEVE (n.id, n.cost) WHERE n.status = 1");
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open->rows.size(), 2u);
+  // Select minimum cost client-side (as EQUEL host code would), then
+  // REPLACE it to current.
+  const int64_t pick = AsDouble(open->rows[0][1]) <=
+                               AsDouble(open->rows[1][1])
+                           ? AsInt(open->rows[0][0])
+                           : AsInt(open->rows[1][0]);
+  auto mark = session_.Execute("REPLACE n (status = 3) WHERE n.id = " +
+                               std::to_string(pick));
+  ASSERT_TRUE(mark.ok());
+  EXPECT_EQ(mark->affected, 1u);
+  auto current =
+      session_.Execute("RETRIEVE (n.id) WHERE n.status = 3");
+  ASSERT_TRUE(current.ok());
+  ASSERT_EQ(current->rows.size(), 1u);
+  EXPECT_EQ(AsInt(current->rows[0][0]), 4);
+}
+
+TEST_F(QuelExecutorTest, ToStringRendersTable) {
+  auto r = session_.Execute("RETRIEVE (n.id) WHERE n.id = 1");
+  ASSERT_TRUE(r.ok());
+  const std::string text = r->ToString();
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atis::quel

@@ -1,0 +1,174 @@
+#include "graph/road_map_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace atis::graph {
+namespace {
+
+/// Nodes reachable from `s` following directed edges.
+size_t ReachableFrom(const Graph& g, NodeId s) {
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  std::queue<NodeId> q;
+  q.push(s);
+  seen[static_cast<size_t>(s)] = 1;
+  size_t count = 0;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    ++count;
+    for (const Edge& e : g.Neighbors(u)) {
+      if (!seen[static_cast<size_t>(e.to)]) {
+        seen[static_cast<size_t>(e.to)] = 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return count;
+}
+
+class RoadMapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto rm = GenerateMinneapolisLike();
+    ASSERT_TRUE(rm.ok());
+    map_ = new RoadMap(std::move(rm).value());
+  }
+  static void TearDownTestSuite() {
+    delete map_;
+    map_ = nullptr;
+  }
+  static RoadMap* map_;
+};
+
+RoadMap* RoadMapTest::map_ = nullptr;
+
+TEST_F(RoadMapTest, PublishedNodeCount) {
+  // Section 5.2: 1089 nodes.
+  EXPECT_EQ(map_->graph.num_nodes(), 1089u);
+}
+
+TEST_F(RoadMapTest, PublishedEdgeCount) {
+  // Section 5.2: ~3300 directed edges.
+  EXPECT_GE(map_->graph.num_edges(), 3200u);
+  EXPECT_LE(map_->graph.num_edges(), 3300u);
+}
+
+TEST_F(RoadMapTest, GraphIsDirected) {
+  // One-way freeway segments: some edges lack a reverse edge.
+  size_t one_way = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(map_->graph.num_nodes()); ++u) {
+    for (const Edge& e : map_->graph.Neighbors(u)) {
+      if (!map_->graph.EdgeCost(e.to, u).ok()) ++one_way;
+    }
+  }
+  EXPECT_GT(one_way, 10u);
+}
+
+TEST_F(RoadMapTest, EdgeCostsAreDistances) {
+  for (NodeId u = 0; u < static_cast<NodeId>(map_->graph.num_nodes()); ++u) {
+    for (const Edge& e : map_->graph.Neighbors(u)) {
+      EXPECT_NEAR(e.cost, map_->graph.EuclideanDistance(u, e.to), 1e-9);
+      EXPECT_GT(e.cost, 0.0);
+    }
+  }
+}
+
+TEST_F(RoadMapTest, LandmarksAreValidAndDistinct) {
+  const std::vector<NodeId> lm = {map_->a, map_->b, map_->c, map_->d,
+                                  map_->e, map_->f, map_->g};
+  for (const NodeId n : lm) {
+    ASSERT_TRUE(map_->graph.HasNode(n));
+    EXPECT_GT(map_->graph.OutDegree(n), 0u);
+  }
+  for (size_t i = 0; i < lm.size(); ++i) {
+    for (size_t j = i + 1; j < lm.size(); ++j) {
+      EXPECT_NE(lm[i], lm[j]);
+    }
+  }
+}
+
+TEST_F(RoadMapTest, LandmarkGeometryMatchesRoles) {
+  const Graph& g = map_->graph;
+  // A->B and C->D are long trips; G->D and E->F short ones.
+  EXPECT_GT(g.EuclideanDistance(map_->a, map_->b), 25.0);
+  EXPECT_GT(g.EuclideanDistance(map_->c, map_->d), 25.0);
+  EXPECT_LT(g.EuclideanDistance(map_->g, map_->d), 10.0);
+  EXPECT_LT(g.EuclideanDistance(map_->e, map_->f), 10.0);
+}
+
+TEST_F(RoadMapTest, DrivableCoreIsStronglyConnected) {
+  // Every landmark reaches the same large node set (spanning-tree edges
+  // are never one-way, so the main component is strongly connected).
+  const size_t from_a = ReachableFrom(map_->graph, map_->a);
+  EXPECT_GT(from_a, 900u);
+  EXPECT_EQ(ReachableFrom(map_->graph, map_->b), from_a);
+  EXPECT_EQ(ReachableFrom(map_->graph, map_->d), from_a);
+  EXPECT_EQ(ReachableFrom(map_->graph, map_->f), from_a);
+}
+
+TEST_F(RoadMapTest, WaterRemovesEdges) {
+  // Lakes and the river must carve holes: some lattice nodes are isolated.
+  size_t isolated = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(map_->graph.num_nodes()); ++u) {
+    if (map_->graph.OutDegree(u) == 0) ++isolated;
+  }
+  EXPECT_GT(isolated, 5u);
+  EXPECT_LT(isolated, 150u);
+}
+
+TEST_F(RoadMapTest, DeterministicForSeed) {
+  auto again = GenerateMinneapolisLike();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->graph.num_edges(), map_->graph.num_edges());
+  EXPECT_EQ(again->a, map_->a);
+  EXPECT_EQ(again->g, map_->g);
+  EXPECT_DOUBLE_EQ(again->graph.point(500).x, map_->graph.point(500).x);
+}
+
+TEST(RoadMapOptionsTest, DifferentSeedDifferentMap) {
+  RoadMapOptions opt;
+  opt.seed = 42;
+  auto other = GenerateMinneapolisLike(opt);
+  ASSERT_TRUE(other.ok());
+  auto base = GenerateMinneapolisLike();
+  ASSERT_TRUE(base.ok());
+  EXPECT_NE(other->graph.point(500).x, base->graph.point(500).x);
+}
+
+TEST(RoadMapOptionsTest, TinyLatticeRejected) {
+  RoadMapOptions opt;
+  opt.base_k = 4;
+  EXPECT_TRUE(GenerateMinneapolisLike(opt).status().IsInvalidArgument());
+}
+
+TEST(RoadMapOptionsTest, CustomTargetEdgeCountRespected) {
+  RoadMapOptions opt;
+  opt.target_directed_edges = 3000;
+  auto rm = GenerateMinneapolisLike(opt);
+  ASSERT_TRUE(rm.ok());
+  EXPECT_LE(rm->graph.num_edges(), 3000u);
+  EXPECT_GE(rm->graph.num_edges(), 2500u);
+}
+
+TEST(RoadMapOptionsTest, DowntownIsDenserThanOutskirts) {
+  auto rm = GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  const Graph& g = rm->graph;
+  // Compression: mean distance of downtown nodes to the map centre is
+  // smaller than for the uncompressed lattice (they are pulled inward).
+  const double c = 16.0;
+  double min_d = 1e9;
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    const double d = std::hypot(g.point(u).x - c, g.point(u).y - c);
+    min_d = std::min(min_d, d);
+  }
+  EXPECT_LT(min_d, 0.5);  // nodes pulled tightly into the core
+}
+
+}  // namespace
+}  // namespace atis::graph

@@ -1,0 +1,126 @@
+#include "core/route_ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "core/k_shortest.h"
+#include "graph/grid_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::Graph;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+/// 0 -(1)- 1 -(1)- 2 straight east, plus a cheap but twisty detour
+/// 0 - 3 - 4 - 2 (cost 1.5 total, two sharp turns).
+Graph TwoRouteGraph() {
+  Graph g;
+  g.AddNode(0, 0);   // 0
+  g.AddNode(1, 0);   // 1
+  g.AddNode(2, 0);   // 2
+  g.AddNode(0.5, 1); // 3
+  g.AddNode(1.5, 1); // 4
+  EXPECT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(4, 2, 0.5).ok());
+  return g;
+}
+
+TEST(CountTurnsTest, StraightRouteHasNone) {
+  const Graph g = TwoRouteGraph();
+  EXPECT_EQ(CountTurns(g, {0, 1, 2}), 0u);
+}
+
+TEST(CountTurnsTest, DetourHasTurns) {
+  const Graph g = TwoRouteGraph();
+  EXPECT_GE(CountTurns(g, {0, 3, 4, 2}), 2u);
+}
+
+TEST(RankRoutesTest, CostOnlyPrefersCheapDetour) {
+  const Graph g = TwoRouteGraph();
+  RankingWeights w;  // cost only by default
+  auto ranked = RankRoutes(g, {{0, 1, 2}, {0, 3, 4, 2}}, w);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].path, (std::vector<NodeId>{0, 3, 4, 2}));
+  EXPECT_DOUBLE_EQ((*ranked)[0].cost, 1.5);
+  EXPECT_LE((*ranked)[0].score, (*ranked)[1].score);
+}
+
+TEST(RankRoutesTest, TurnWeightPrefersStraightRoute) {
+  const Graph g = TwoRouteGraph();
+  RankingWeights w;
+  w.cost = 0.0;
+  w.turns = 1.0;
+  auto ranked = RankRoutes(g, {{0, 1, 2}, {0, 3, 4, 2}}, w);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ((*ranked)[0].path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ((*ranked)[0].turns, 0u);
+}
+
+TEST(RankRoutesTest, BlendedWeightsTradeOff) {
+  const Graph g = TwoRouteGraph();
+  RankingWeights w;
+  w.cost = 1.0;
+  w.turns = 3.0;  // simplicity matters three times as much
+  auto ranked = RankRoutes(g, {{0, 1, 2}, {0, 3, 4, 2}}, w);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ((*ranked)[0].path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(RankRoutesTest, InvalidCandidatesDropped) {
+  const Graph g = TwoRouteGraph();
+  auto ranked = RankRoutes(g, {{0, 2}, {0, 1, 2}}, RankingWeights{});
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 1u);  // 0->2 is not an edge
+  EXPECT_EQ((*ranked)[0].path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(RankRoutesTest, BadWeightsRejected) {
+  const Graph g = TwoRouteGraph();
+  RankingWeights zero;
+  zero.cost = 0.0;
+  EXPECT_TRUE(RankRoutes(g, {{0, 1, 2}}, zero).status()
+                  .IsInvalidArgument());
+  RankingWeights negative;
+  negative.cost = -1.0;
+  EXPECT_TRUE(RankRoutes(g, {{0, 1, 2}}, negative).status()
+                  .IsInvalidArgument());
+}
+
+TEST(RankRoutesTest, EmptyAndSingleCandidate) {
+  const Graph g = TwoRouteGraph();
+  auto none = RankRoutes(g, {}, RankingWeights{});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  auto one = RankRoutes(g, {{0, 1, 2}}, RankingWeights{});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].score, 0.0);  // degenerate normalisation
+}
+
+TEST(RankRoutesTest, WorksOnKShortestOutput) {
+  auto g = GridGraphGenerator::Generate({8, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  auto alternates = KShortestPaths(*g, 0, 63, 6);
+  ASSERT_TRUE(alternates.ok());
+  std::vector<std::vector<NodeId>> candidates;
+  for (const auto& a : *alternates) candidates.push_back(a.path);
+  RankingWeights w;
+  w.cost = 1.0;
+  w.turns = 1.0;
+  w.directness = 0.5;
+  auto ranked = RankRoutes(*g, candidates, w);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), candidates.size());
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_LE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace atis::core

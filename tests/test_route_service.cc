@@ -1,0 +1,128 @@
+#include "core/route_service.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+
+namespace atis::core {
+namespace {
+
+using graph::Graph;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+
+Graph LShapeGraph() {
+  // 0 -(1)- 1 -(2)- 2, then a turn up to 3.
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  g.AddNode(2, 1);
+  EXPECT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 2.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 1.5).ok());
+  return g;
+}
+
+TEST(RouteEvaluationTest, TotalsAndSegments) {
+  const Graph g = LShapeGraph();
+  const auto eval = EvaluateRoute(g, {0, 1, 2, 3});
+  EXPECT_TRUE(eval.valid);
+  EXPECT_EQ(eval.num_segments, 3u);
+  EXPECT_DOUBLE_EQ(eval.total_cost, 4.5);
+  EXPECT_DOUBLE_EQ(eval.segments[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(eval.segments[1].cumulative_cost, 3.0);
+  EXPECT_DOUBLE_EQ(eval.segments[2].cumulative_cost, 4.5);
+}
+
+TEST(RouteEvaluationTest, HeadingsFollowGeometry) {
+  const Graph g = LShapeGraph();
+  const auto eval = EvaluateRoute(g, {0, 1, 2, 3});
+  EXPECT_NEAR(eval.segments[0].heading_deg, 0.0, 1e-9);   // east
+  EXPECT_NEAR(eval.segments[2].heading_deg, 90.0, 1e-9);  // north
+}
+
+TEST(RouteEvaluationTest, DirectnessOfStraightRoute) {
+  const Graph g = LShapeGraph();
+  const auto eval = EvaluateRoute(g, {0, 1, 2});
+  EXPECT_NEAR(eval.directness, 1.0, 1e-9);
+  EXPECT_NEAR(eval.straight_line_distance, 2.0, 1e-9);
+}
+
+TEST(RouteEvaluationTest, MissingEdgeInvalidates) {
+  const Graph g = LShapeGraph();
+  const auto eval = EvaluateRoute(g, {0, 2, 3});  // no edge 0->2
+  EXPECT_FALSE(eval.valid);
+}
+
+TEST(RouteEvaluationTest, ReverseOfOneWayInvalidates) {
+  const Graph g = LShapeGraph();
+  EXPECT_FALSE(EvaluateRoute(g, {1, 0}).valid);
+}
+
+TEST(RouteEvaluationTest, EmptyAndSingleton) {
+  const Graph g = LShapeGraph();
+  EXPECT_FALSE(EvaluateRoute(g, {}).valid);
+  const auto single = EvaluateRoute(g, {2});
+  EXPECT_TRUE(single.valid);
+  EXPECT_EQ(single.num_segments, 0u);
+  EXPECT_EQ(single.total_cost, 0.0);
+}
+
+TEST(RouteEvaluationTest, UnknownNodeInvalidates) {
+  const Graph g = LShapeGraph();
+  EXPECT_FALSE(EvaluateRoute(g, {0, 99}).valid);
+}
+
+TEST(DirectionsTest, MentionsTurnAndEndpoints) {
+  const Graph g = LShapeGraph();
+  const std::string text = RenderDirections(g, {0, 1, 2, 3});
+  EXPECT_NE(text.find("Depart node 0"), std::string::npos);
+  EXPECT_NE(text.find("Turn left at node 2"), std::string::npos);
+  EXPECT_NE(text.find("Arrive at node 3"), std::string::npos);
+}
+
+TEST(DirectionsTest, StraightRouteHasNoTurns) {
+  const Graph g = LShapeGraph();
+  const std::string text = RenderDirections(g, {0, 1, 2});
+  EXPECT_EQ(text.find("Turn"), std::string::npos);
+}
+
+TEST(DirectionsTest, InvalidRouteSaysSo) {
+  const Graph g = LShapeGraph();
+  EXPECT_NE(RenderDirections(g, {0, 3}).find("no drivable route"),
+            std::string::npos);
+}
+
+TEST(AsciiMapTest, MarksSourceDestinationAndRoute) {
+  auto g = GridGraphGenerator::Generate({10, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  const auto r = DijkstraSearch(*g, q.source, q.destination);
+  ASSERT_TRUE(r.found);
+  const std::string map = RenderAsciiMap(*g, r.path, 40, 20);
+  EXPECT_NE(map.find('S'), std::string::npos);
+  EXPECT_NE(map.find('D'), std::string::npos);
+  EXPECT_NE(map.find('*'), std::string::npos);
+  // 20 lines of 40 chars plus newlines.
+  EXPECT_EQ(map.size(), 20u * 41u);
+}
+
+TEST(AsciiMapTest, EmptyPathRendersEmptyCanvas) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  const std::string map = RenderAsciiMap(*g, {}, 10, 5);
+  EXPECT_EQ(map.find('S'), std::string::npos);
+  EXPECT_EQ(map.find('*'), std::string::npos);
+}
+
+TEST(AsciiMapTest, DegenerateCanvasClamped) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  const std::string map = RenderAsciiMap(*g, {0}, 0, 0);
+  EXPECT_FALSE(map.empty());
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -1,0 +1,145 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace atis::relational {
+namespace {
+
+TEST(FieldTypeTest, Widths) {
+  EXPECT_EQ(FieldWidth(FieldType::kInt8), 1u);
+  EXPECT_EQ(FieldWidth(FieldType::kInt16), 2u);
+  EXPECT_EQ(FieldWidth(FieldType::kInt32), 4u);
+  EXPECT_EQ(FieldWidth(FieldType::kInt64), 8u);
+  EXPECT_EQ(FieldWidth(FieldType::kFloat), 4u);
+  EXPECT_EQ(FieldWidth(FieldType::kDouble), 8u);
+}
+
+TEST(FieldTypeTest, IntegerClassification) {
+  EXPECT_TRUE(IsIntegerType(FieldType::kInt8));
+  EXPECT_TRUE(IsIntegerType(FieldType::kInt64));
+  EXPECT_FALSE(IsIntegerType(FieldType::kFloat));
+  EXPECT_FALSE(IsIntegerType(FieldType::kDouble));
+}
+
+TEST(ValueTest, AsIntAndAsDouble) {
+  EXPECT_EQ(AsInt(Value{int64_t{5}}), 5);
+  EXPECT_EQ(AsInt(Value{3.9}), 3);
+  EXPECT_DOUBLE_EQ(AsDouble(Value{int64_t{5}}), 5.0);
+  EXPECT_DOUBLE_EQ(AsDouble(Value{2.5}), 2.5);
+}
+
+Schema TestSchema() {
+  return Schema({{"a", FieldType::kInt16},
+                 {"b", FieldType::kInt32},
+                 {"c", FieldType::kFloat},
+                 {"d", FieldType::kDouble},
+                 {"e", FieldType::kInt8}});
+}
+
+TEST(SchemaTest, OffsetsAndSize) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 5u);
+  EXPECT_EQ(s.FieldOffset(0), 0u);
+  EXPECT_EQ(s.FieldOffset(1), 2u);
+  EXPECT_EQ(s.FieldOffset(2), 6u);
+  EXPECT_EQ(s.FieldOffset(3), 10u);
+  EXPECT_EQ(s.FieldOffset(4), 18u);
+  EXPECT_EQ(s.tuple_size(), 19u);
+}
+
+TEST(SchemaTest, FieldIndexByName) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.FieldIndex("a"), 0);
+  EXPECT_EQ(s.FieldIndex("d"), 3);
+  EXPECT_EQ(s.FieldIndex("zz"), -1);
+}
+
+TEST(SchemaTest, PackUnpackRoundTrip) {
+  const Schema s = TestSchema();
+  const Tuple t{int64_t{-7}, int64_t{100000}, 1.5, -2.25, int64_t{12}};
+  std::vector<uint8_t> buf(s.tuple_size());
+  ASSERT_TRUE(s.Pack(t, buf.data()).ok());
+  const Tuple back = s.Unpack(buf.data());
+  EXPECT_EQ(AsInt(back[0]), -7);
+  EXPECT_EQ(AsInt(back[1]), 100000);
+  EXPECT_DOUBLE_EQ(AsDouble(back[2]), 1.5);
+  EXPECT_DOUBLE_EQ(AsDouble(back[3]), -2.25);
+  EXPECT_EQ(AsInt(back[4]), 12);
+}
+
+TEST(SchemaTest, ArityMismatchRejected) {
+  const Schema s = TestSchema();
+  std::vector<uint8_t> buf(s.tuple_size());
+  EXPECT_TRUE(s.Pack(Tuple{int64_t{1}}, buf.data()).IsInvalidArgument());
+}
+
+TEST(SchemaTest, TupleSizeOverridePads) {
+  // The paper's node relation: 13 packed bytes padded to T_r = 16.
+  Schema s({{"node_id", FieldType::kInt16},
+            {"x", FieldType::kInt16},
+            {"y", FieldType::kInt16},
+            {"status", FieldType::kInt8},
+            {"pred", FieldType::kInt16},
+            {"path_cost", FieldType::kFloat}},
+           16);
+  EXPECT_EQ(s.tuple_size(), 16u);
+  EXPECT_EQ(s.blocking_factor(), 256u);  // Table 4A: Bf_r
+}
+
+TEST(SchemaTest, EdgeSchemaBlockingFactorMatchesPaper) {
+  Schema s({{"begin_node", FieldType::kInt32},
+            {"end_node", FieldType::kInt32},
+            {"edge_cost", FieldType::kFloat}},
+           32);
+  EXPECT_EQ(s.blocking_factor(), 128u);  // Table 4A: Bf_s
+}
+
+TEST(SchemaTest, FloatInfinityRoundTrips) {
+  Schema s({{"c", FieldType::kFloat}});
+  std::vector<uint8_t> buf(s.tuple_size());
+  ASSERT_TRUE(
+      s.Pack(Tuple{std::numeric_limits<double>::infinity()}, buf.data())
+          .ok());
+  const Tuple back = s.Unpack(buf.data());
+  EXPECT_TRUE(std::isinf(AsDouble(back[0])));
+}
+
+TEST(SchemaTest, NarrowIntBoundaries) {
+  Schema s({{"i8", FieldType::kInt8}, {"i16", FieldType::kInt16}});
+  std::vector<uint8_t> buf(s.tuple_size());
+  ASSERT_TRUE(s.Pack(Tuple{int64_t{-128}, int64_t{32767}}, buf.data()).ok());
+  const Tuple back = s.Unpack(buf.data());
+  EXPECT_EQ(AsInt(back[0]), -128);
+  EXPECT_EQ(AsInt(back[1]), 32767);
+}
+
+TEST(SchemaTest, SameLayoutComparesTypesAndSize) {
+  Schema a({{"x", FieldType::kInt32}, {"y", FieldType::kFloat}});
+  Schema b({{"u", FieldType::kInt32}, {"v", FieldType::kFloat}});
+  Schema c({{"x", FieldType::kInt32}, {"y", FieldType::kDouble}});
+  EXPECT_TRUE(a.SameLayout(b));  // names differ, layout identical
+  EXPECT_FALSE(a.SameLayout(c));
+}
+
+TEST(SchemaTest, JoinSchemaConcatenatesWithPrefixes) {
+  Schema left({{"id", FieldType::kInt32}});
+  Schema right({{"id", FieldType::kInt32}, {"w", FieldType::kFloat}});
+  Schema j = JoinSchema(left, right, "L", "R");
+  EXPECT_EQ(j.num_fields(), 3u);
+  EXPECT_EQ(j.FieldIndex("L.id"), 0);
+  EXPECT_EQ(j.FieldIndex("R.id"), 1);
+  EXPECT_EQ(j.FieldIndex("R.w"), 2);
+  EXPECT_EQ(j.tuple_size(), 12u);
+}
+
+TEST(SchemaTest, BlockingFactorZeroFieldSchema) {
+  Schema empty;
+  EXPECT_EQ(empty.blocking_factor(), 0u);
+}
+
+}  // namespace
+}  // namespace atis::relational

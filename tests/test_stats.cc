@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace atis {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesFormula) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSetTest, EmptyPercentileIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.Percentile(50.0), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleSetTest, MedianOfOddCount) {
+  SampleSet s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+}
+
+TEST(SampleSetTest, PercentileInterpolates) {
+  SampleSet s;
+  for (double v : {0.0, 10.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25.0), 2.5);
+}
+
+TEST(SampleSetTest, MeanAndCount) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryKeepsOrderCorrect) {
+  SampleSet s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 5.0);
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+}
+
+TEST(SampleSetTest, ResetClears) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+}  // namespace
+}  // namespace atis

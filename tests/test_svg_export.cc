@@ -1,0 +1,90 @@
+#include "graph/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+
+namespace atis::graph {
+namespace {
+
+TEST(SvgExportTest, ProducesWellFormedDocument) {
+  auto g = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSvg(*g, {}, out).ok());
+  const std::string svg = out.str();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 40 undirected segments drawn once each.
+  size_t lines = 0;
+  for (size_t at = svg.find("<line"); at != std::string::npos;
+       at = svg.find("<line", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 40u);
+}
+
+TEST(SvgExportTest, RouteRenderedAsPolylineWithEndpoints) {
+  auto g = GridGraphGenerator::Generate({6, GridCostModel::kVariance20});
+  ASSERT_TRUE(g.ok());
+  const auto r = core::DijkstraSearch(*g, 0, 35);
+  ASSERT_TRUE(r.found);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSvg(*g, r.path, out).ok());
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  size_t circles = 0;
+  for (size_t at = svg.find("<circle"); at != std::string::npos;
+       at = svg.find("<circle", at + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 2u);  // source + destination markers
+}
+
+TEST(SvgExportTest, OneWayEdgesDashed) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());  // one-way
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSvg(g, {}, out).ok());
+  EXPECT_NE(out.str().find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SvgExportTest, TwoWayEdgesSolidAndDrawnOnce) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 1, 1.0).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSvg(g, {}, out).ok());
+  const std::string svg = out.str();
+  EXPECT_EQ(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_EQ(svg.find("<line", svg.find("<line") + 1), std::string::npos);
+}
+
+TEST(SvgExportTest, InvalidCanvasRejected) {
+  Graph g;
+  g.AddNode(0, 0);
+  std::ostringstream out;
+  SvgOptions bad;
+  bad.width_px = 0;
+  EXPECT_TRUE(WriteSvg(g, {}, out, bad).IsInvalidArgument());
+}
+
+TEST(SvgExportTest, FileRoundTrip) {
+  auto g = GridGraphGenerator::Generate({4, GridCostModel::kUniform});
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/atis_map.svg";
+  ASSERT_TRUE(SaveSvgFile(*g, {0, 1, 2, 3}, path).ok());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_TRUE(SaveSvgFile(*g, {}, "/nonexistent/x.svg").IsNotFound());
+}
+
+}  // namespace
+}  // namespace atis::graph

@@ -1,0 +1,172 @@
+#include "graph/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+
+namespace atis::graph {
+namespace {
+
+Graph Line3() {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  EXPECT_TRUE(g.AddUndirectedEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.AddUndirectedEdge(1, 2, 2.0).ok());
+  return g;
+}
+
+TEST(TrafficOverlayTest, SnapshotWithoutConditionsEqualsBase) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  auto snap = overlay.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_nodes(), base.num_nodes());
+  EXPECT_EQ(snap->num_edges(), base.num_edges());
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(1, 2), 2.0);
+}
+
+TEST(TrafficOverlayTest, CongestionScalesOneDirection) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.SetCongestion(0, 1, 3.0).ok());
+  auto snap = overlay.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(1, 0), 1.0);  // reverse untouched
+  EXPECT_EQ(overlay.num_congested(), 1u);
+}
+
+TEST(TrafficOverlayTest, CongestionBothWays) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.SetCongestionBothWays(0, 1, 2.0).ok());
+  auto snap = overlay.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(1, 0), 2.0);
+}
+
+TEST(TrafficOverlayTest, FactorOneClears) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.SetCongestion(0, 1, 4.0).ok());
+  ASSERT_TRUE(overlay.SetCongestion(0, 1, 1.0).ok());
+  EXPECT_EQ(overlay.num_congested(), 0u);
+}
+
+TEST(TrafficOverlayTest, InvalidCongestionRejected) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  EXPECT_TRUE(overlay.SetCongestion(0, 1, 0.5).IsInvalidArgument());
+  EXPECT_TRUE(overlay.SetCongestion(0, 2, 2.0).IsNotFound());  // no edge
+  EXPECT_TRUE(overlay.SetCongestion(0, 9, 2.0).IsInvalidArgument());
+}
+
+TEST(TrafficOverlayTest, ClosureRemovesSegmentFromSnapshot) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.CloseSegment(1, 2).ok());
+  auto snap = overlay.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(snap->EdgeCost(1, 2).ok());
+  EXPECT_TRUE(snap->EdgeCost(2, 1).ok());  // reverse stays open
+  EXPECT_EQ(snap->num_edges(), base.num_edges() - 1);
+}
+
+TEST(TrafficOverlayTest, ReopenRestores) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.CloseSegment(1, 2).ok());
+  ASSERT_TRUE(overlay.ReopenSegment(1, 2).ok());
+  EXPECT_TRUE(overlay.ReopenSegment(1, 2).IsNotFound());
+  auto snap = overlay.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap->EdgeCost(1, 2).ok());
+}
+
+TEST(TrafficOverlayTest, TimeProfileLookup) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  // Morning rush 7-9 (2x), evening rush 16-18 (1.8x), otherwise 1x.
+  ASSERT_TRUE(overlay
+                  .SetTimeProfile({{0.0, 1.0},
+                                   {7.0, 2.0},
+                                   {9.0, 1.0},
+                                   {16.0, 1.8},
+                                   {18.0, 1.0}})
+                  .ok());
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(7.0), 2.0);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(8.5), 2.0);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(9.0), 1.0);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(17.0), 1.8);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(23.0), 1.0);
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(31.0), 2.0);  // wraps to 7am
+}
+
+TEST(TrafficOverlayTest, ProfileBeforeFirstBreakpointWraps) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.SetTimeProfile({{6.0, 1.5}, {20.0, 3.0}}).ok());
+  // 2am precedes 6am: the overnight factor is the 20:00 entry.
+  EXPECT_DOUBLE_EQ(overlay.ProfileFactor(2.0), 3.0);
+}
+
+TEST(TrafficOverlayTest, InvalidProfilesRejected) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  EXPECT_TRUE(overlay.SetTimeProfile({{25.0, 1.0}}).IsInvalidArgument());
+  EXPECT_TRUE(overlay.SetTimeProfile({{5.0, 0.5}}).IsInvalidArgument());
+  EXPECT_TRUE(overlay.SetTimeProfile({{5.0, 1.0}, {5.0, 2.0}})
+                  .IsInvalidArgument());
+}
+
+TEST(TrafficOverlayTest, SnapshotCombinesProfileAndCongestion) {
+  const Graph base = Line3();
+  TrafficOverlay overlay(&base);
+  ASSERT_TRUE(overlay.SetCongestion(0, 1, 2.0).ok());
+  ASSERT_TRUE(overlay.SetTimeProfile({{0.0, 1.5}}).ok());
+  auto snap = overlay.Snapshot(/*hour=*/12.0);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(0, 1), 1.0 * 2.0 * 1.5);
+  EXPECT_DOUBLE_EQ(*snap->EdgeCost(1, 2), 2.0 * 1.5);
+  // Negative hour ignores the profile but keeps congestion.
+  auto untimed = overlay.Snapshot(-1.0);
+  ASSERT_TRUE(untimed.ok());
+  EXPECT_DOUBLE_EQ(*untimed->EdgeCost(0, 1), 2.0);
+}
+
+TEST(TrafficOverlayTest, ReroutingAroundIncident) {
+  // Congestion on the direct street forces the planner around it.
+  auto base = GridGraphGenerator::Generate({5, GridCostModel::kUniform});
+  ASSERT_TRUE(base.ok());
+  TrafficOverlay overlay(&*base);
+  const auto q = GridGraphGenerator::HorizontalQuery(5);
+  const auto before = core::DijkstraSearch(*base, q.source, q.destination);
+  // Jam the entire bottom row.
+  for (int col = 0; col + 1 < 5; ++col) {
+    ASSERT_TRUE(overlay
+                    .SetCongestionBothWays(
+                        GridGraphGenerator::NodeAt(5, 0, col),
+                        GridGraphGenerator::NodeAt(5, 0, col + 1), 10.0)
+                    .ok());
+  }
+  auto jammed = overlay.Snapshot();
+  ASSERT_TRUE(jammed.ok());
+  const auto after =
+      core::DijkstraSearch(*jammed, q.source, q.destination);
+  ASSERT_TRUE(after.found);
+  EXPECT_GT(after.cost, before.cost);
+  // The new route detours off the bottom row.
+  bool uses_row_one = false;
+  for (const NodeId n : after.path) {
+    if (n / 5 == 1) uses_row_one = true;
+  }
+  EXPECT_TRUE(uses_row_one);
+}
+
+}  // namespace
+}  // namespace atis::graph
