@@ -34,9 +34,7 @@ void Run() {
     DbInstance db(g, opt);
     const Cell c = RunDb(db, core::Algorithm::kAStar, q.source,
                          q.destination, core::AStarVersion::kV1);
-    char cost[32];
-    std::snprintf(cost, sizeof(cost), "%.1f", c.cost_units);
-    PrintRow(p.name, {std::to_string(c.iterations), cost});
+    PrintRow(p.name, {std::to_string(c.iterations), CostCell(c)});
   }
 
   std::printf("\nExecution model (Dijkstra, same query):\n");
@@ -47,10 +45,8 @@ void Run() {
     DbInstance db(g, opt);
     const Cell c =
         RunDb(db, core::Algorithm::kDijkstra, q.source, q.destination);
-    char cost[32];
-    std::snprintf(cost, sizeof(cost), "%.1f", c.cost_units);
     PrintRow(strict ? "statement-at-a-time" : "warm buffer cache",
-             {std::to_string(c.iterations), cost});
+             {std::to_string(c.iterations), CostCell(c)});
   }
 }
 

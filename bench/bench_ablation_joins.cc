@@ -35,9 +35,7 @@ void Run() {
     DbInstance db(g, opt);
     const Cell c =
         RunDb(db, core::Algorithm::kIterative, q.source, q.destination);
-    char cost[32];
-    std::snprintf(cost, sizeof(cost), "%.1f", c.cost_units);
-    PrintRow(s.name, {std::to_string(c.iterations), cost});
+    PrintRow(s.name, {std::to_string(c.iterations), CostCell(c)});
   }
 }
 

@@ -30,14 +30,9 @@ void Run() {
     const Cell v3 = RunDb(db, core::Algorithm::kAStar, q.source,
                           q.destination, core::AStarVersion::kV3);
     labels.push_back(std::to_string(k) + "x" + std::to_string(k));
-    auto fmt = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.1f", v);
-      return std::string(buf);
-    };
-    v1_c.push_back(fmt(v1.cost_units));
-    v2_c.push_back(fmt(v2.cost_units));
-    v3_c.push_back(fmt(v3.cost_units));
+    v1_c.push_back(CostCell(v1));
+    v2_c.push_back(CostCell(v2));
+    v3_c.push_back(CostCell(v3));
     v1_i.push_back(std::to_string(v1.iterations));
     v2_i.push_back(std::to_string(v2.iterations));
     v3_i.push_back(std::to_string(v3.iterations));

@@ -34,14 +34,9 @@ void Run() {
     const Cell v3 = RunDb(db, core::Algorithm::kAStar, e.q.source,
                           e.q.destination, core::AStarVersion::kV3);
     labels.push_back(e.name);
-    auto fmt = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.1f", v);
-      return std::string(buf);
-    };
-    v1_c.push_back(fmt(v1.cost_units));
-    v2_c.push_back(fmt(v2.cost_units));
-    v3_c.push_back(fmt(v3.cost_units));
+    v1_c.push_back(CostCell(v1));
+    v2_c.push_back(CostCell(v2));
+    v3_c.push_back(CostCell(v3));
   }
 
   std::printf("Figure 12 series: simulated execution cost (units)\n");

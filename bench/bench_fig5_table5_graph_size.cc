@@ -35,14 +35,9 @@ void Run() {
     dij_iters.push_back(VsPaper(dij.iterations, paper_dij[i]));
     a3_iters.push_back(VsPaper(a3.iterations, paper_a3[i]));
     it_iters.push_back(VsPaper(it.iterations, paper_it[i]));
-    auto fmt = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.1f", v);
-      return std::string(buf);
-    };
-    dij_cost.push_back(fmt(dij.cost_units));
-    a3_cost.push_back(fmt(a3.cost_units));
-    it_cost.push_back(fmt(it.cost_units));
+    dij_cost.push_back(CostCell(dij));
+    a3_cost.push_back(CostCell(a3));
+    it_cost.push_back(CostCell(it));
   }
 
   std::printf("Table 5: iterations, measured (paper)\n");

@@ -44,14 +44,9 @@ void Run() {
     dij_i.push_back(VsPaper(dij.iterations, m.paper_dij));
     a3_i.push_back(VsPaper(a3.iterations, m.paper_a3));
     it_i.push_back(VsPaper(it.iterations, m.paper_it));
-    auto fmt = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.1f", v);
-      return std::string(buf);
-    };
-    dij_c.push_back(fmt(dij.cost_units));
-    a3_c.push_back(fmt(a3.cost_units));
-    it_c.push_back(fmt(it.cost_units));
+    dij_c.push_back(CostCell(dij));
+    a3_c.push_back(CostCell(a3));
+    it_c.push_back(CostCell(it));
   }
 
   std::printf("Table 7: iterations, measured (paper)\n");

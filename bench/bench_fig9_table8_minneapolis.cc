@@ -51,14 +51,9 @@ void Run() {
     it_i.push_back(VsPaper(it.iterations, e.paper_it));
     a3_i.push_back(VsPaper(a3.iterations, e.paper_a3));
     dij_i.push_back(VsPaper(dij.iterations, e.paper_dij));
-    auto fmt = [](double v) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.1f", v);
-      return std::string(buf);
-    };
-    it_c.push_back(fmt(it.cost_units));
-    a3_c.push_back(fmt(a3.cost_units));
-    dij_c.push_back(fmt(dij.cost_units));
+    it_c.push_back(CostCell(it));
+    a3_c.push_back(CostCell(a3));
+    dij_c.push_back(CostCell(dij));
   }
 
   std::printf("Table 8: iterations, measured (paper)\n");

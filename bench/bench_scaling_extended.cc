@@ -18,11 +18,6 @@ void Run() {
   const int sizes[] = {10, 20, 30, 40, 50};
   std::vector<std::string> labels;
   std::vector<std::string> a3_short, it_short, a3_diag, dij_diag, it_diag;
-  auto fmt = [](double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.1f", v);
-    return std::string(buf);
-  };
   for (const int k : sizes) {
     const graph::Graph g =
         MakeGrid(k, graph::GridCostModel::kVariance20);
@@ -30,21 +25,16 @@ void Run() {
     const auto qh = graph::GridGraphGenerator::HorizontalQuery(k);
     const auto qd = graph::GridGraphGenerator::DiagonalQuery(k);
     labels.push_back(std::to_string(k) + "x" + std::to_string(k));
-    a3_short.push_back(fmt(
-        RunDb(db, core::Algorithm::kAStar, qh.source, qh.destination)
-            .cost_units));
-    it_short.push_back(fmt(
-        RunDb(db, core::Algorithm::kIterative, qh.source, qh.destination)
-            .cost_units));
-    a3_diag.push_back(fmt(
-        RunDb(db, core::Algorithm::kAStar, qd.source, qd.destination)
-            .cost_units));
-    dij_diag.push_back(fmt(
-        RunDb(db, core::Algorithm::kDijkstra, qd.source, qd.destination)
-            .cost_units));
-    it_diag.push_back(fmt(
-        RunDb(db, core::Algorithm::kIterative, qd.source, qd.destination)
-            .cost_units));
+    a3_short.push_back(CostCell(
+        RunDb(db, core::Algorithm::kAStar, qh.source, qh.destination)));
+    it_short.push_back(CostCell(
+        RunDb(db, core::Algorithm::kIterative, qh.source, qh.destination)));
+    a3_diag.push_back(CostCell(
+        RunDb(db, core::Algorithm::kAStar, qd.source, qd.destination)));
+    dij_diag.push_back(CostCell(
+        RunDb(db, core::Algorithm::kDijkstra, qd.source, qd.destination)));
+    it_diag.push_back(CostCell(
+        RunDb(db, core::Algorithm::kIterative, qd.source, qd.destination)));
   }
 
   std::printf("Short (horizontal) query, cost in units:\n");

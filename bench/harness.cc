@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace atis::bench {
 
 DbInstance::DbInstance(const graph::Graph& g, core::DbSearchOptions options,
@@ -32,7 +34,20 @@ Cell ToCell(const core::PathResult& r) {
 
 Cell RunDb(DbInstance& db, core::Algorithm algorithm, graph::NodeId s,
            graph::NodeId d, core::AStarVersion version) {
+  // Per-run hit rate: clear the pool's counters (not its contents) so the
+  // delta below covers exactly this query.
+  db.pool().ResetStats();
+
+  // Opt-in tracing hook: ATIS_TRACE=<anything> traces every harness run
+  // and dumps the span tree to stderr (tables on stdout stay clean).
+  const char* trace_env = std::getenv("ATIS_TRACE");
+  std::unique_ptr<obs::Tracer> tracer;
+  if (trace_env != nullptr && trace_env[0] != '\0') {
+    tracer = std::make_unique<obs::Tracer>(&db.disk(), &db.pool());
+  }
+
   Result<core::PathResult> r = [&]() -> Result<core::PathResult> {
+    obs::Tracer::InstallScope scope(tracer.get());
     switch (algorithm) {
       case core::Algorithm::kIterative:
         return db.engine().Iterative(s, d);
@@ -49,7 +64,26 @@ Cell RunDb(DbInstance& db, core::Algorithm algorithm, graph::NodeId s,
                  r.status().ToString().c_str());
     std::abort();
   }
-  return ToCell(*r);
+  if (tracer != nullptr) {
+    std::fprintf(stderr, "%s",
+                 tracer->ToTreeString(db.engine().options().cost_params)
+                     .c_str());
+  }
+  Cell cell = ToCell(*r);
+  const storage::BufferPoolStats& ps = db.pool().stats();
+  const uint64_t touched = ps.hits + ps.misses;
+  cell.hit_rate =
+      touched == 0 ? 0.0
+                   : static_cast<double>(ps.hits) /
+                         static_cast<double>(touched);
+  return cell;
+}
+
+std::string CostCell(const Cell& c) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f h%.0f%%", c.cost_units,
+                100.0 * c.hit_rate);
+  return std::string(buf);
 }
 
 graph::Graph MakeGrid(int k, graph::GridCostModel model) {
@@ -68,7 +102,8 @@ graph::Graph MakeGrid(int k, graph::GridCostModel model) {
 void PrintHeader(const std::string& experiment, const std::string& detail) {
   std::printf("\n=== %s ===\n%s\n", experiment.c_str(), detail.c_str());
   std::printf("(cells show: measured (paper); execution cost in Table 4A "
-              "units)\n\n");
+              "units;\n cost cells carry the per-run buffer-pool hit rate "
+              "as hNN%%)\n\n");
 }
 
 void PrintRow(const std::string& label,

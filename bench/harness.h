@@ -30,6 +30,7 @@ class DbInstance {
   core::DbSearchEngine& engine() { return *engine_; }
   graph::RelationalGraphStore& store() { return *store_; }
   storage::DiskManager& disk() { return disk_; }
+  storage::BufferPool& pool() { return *pool_; }
 
  private:
   storage::DiskManager disk_;
@@ -43,6 +44,9 @@ struct Cell {
   uint64_t iterations = 0;
   double cost_units = 0.0;
   double path_cost = 0.0;
+  /// Buffer-pool hit rate over this run only (hits / (hits + misses);
+  /// 0 when the run touched no pages).
+  double hit_rate = 0.0;
   bool found = false;
 };
 
@@ -50,9 +54,16 @@ Cell ToCell(const core::PathResult& r);
 
 /// Runs `algorithm` on the db instance; aborts with a message on error
 /// (benchmark binaries fail loudly rather than reporting bogus rows).
+/// The buffer pool's statistics are reset before the run so `hit_rate`
+/// covers exactly this query. With ATIS_TRACE set in the environment the
+/// run executes under a Tracer and the span tree is printed to stderr.
 Cell RunDb(DbInstance& db, core::Algorithm algorithm, graph::NodeId s,
            graph::NodeId d,
            core::AStarVersion version = core::AStarVersion::kV3);
+
+/// Formats a cell's execution cost plus its buffer-pool hit rate, e.g.
+/// "171.4 h38%" — the standard cost-column rendering of the bench tables.
+std::string CostCell(const Cell& c);
 
 /// Builds the paper's grid for a given size / cost model (seed 1993).
 graph::Graph MakeGrid(int k, graph::GridCostModel model);

@@ -6,21 +6,33 @@
 //   atis_cli info <file>
 //   atis_cli route <file> <src> <dst> [astar|dijkstra|iterative|bidir]
 //                  [manhattan|euclidean] [weight]
+//   atis_cli dbroute <file> <src> <dst>
+//                  [dijkstra|iterative|astar1|astar2|astar3]
+//                  [--trace[=FILE]] [--metrics=FILE]
 //   atis_cli alternates <file> <src> <dst> <k>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/advanced_search.h"
+#include "core/db_search.h"
 #include "core/k_shortest.h"
 #include "core/memory_search.h"
 #include "core/route_service.h"
 #include "core/sssp.h"
 #include "graph/graph_io.h"
 #include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
 #include "graph/road_map_generator.h"
 #include "graph/svg_export.h"
+#include "obs/metrics.h"
+#include "obs/storage_collectors.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 
 namespace {
 
@@ -35,9 +47,15 @@ int Usage(const char* argv0) {
       "  %s info <file>\n"
       "  %s route <file> <src> <dst> [astar|dijkstra|iterative|bidir]"
       " [manhattan|euclidean] [weight]\n"
+      "  %s dbroute <file> <src> <dst>"
+      " [dijkstra|iterative|astar1|astar2|astar3]"
+      " [--trace[=FILE]] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
-      "  %s svg <file> <src> <dst> <out.svg>\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "  %s svg <file> <src> <dst> <out.svg>\n"
+      "dbroute runs the database-resident engine; --trace prints the span\n"
+      "tree (with =FILE: Chrome trace_event JSON), --metrics writes a\n"
+      "Prometheus-text metrics dump ('-' = stdout).\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -152,6 +170,115 @@ int CmdRoute(int argc, char** argv) {
   return 0;
 }
 
+bool WriteFileOrStdout(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::printf("%s", body.c_str());
+    return true;
+  }
+  std::ofstream out(path);
+  out << body;
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdDbRoute(int argc, char** argv) {
+  std::string algo = "astar2";
+  bool trace = false;
+  std::string trace_file;    // empty = print the tree to stdout
+  std::string metrics_file;  // empty = no metrics dump
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace = true;
+      trace_file = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3) return 2;
+  auto g = Load(positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const auto src = static_cast<graph::NodeId>(std::atoi(positional[1]));
+  const auto dst = static_cast<graph::NodeId>(std::atoi(positional[2]));
+  if (positional.size() > 3) algo = positional[3];
+  if (algo != "dijkstra" && algo != "iterative" && algo != "astar1" &&
+      algo != "astar2" && algo != "astar3") {
+    std::fprintf(stderr, "unknown algorithm %s\n", algo.c_str());
+    return 2;
+  }
+
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, /*num_frames=*/64);
+  graph::RelationalGraphStore store(&pool);
+  if (auto st = store.Load(*g); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  core::DbSearchOptions opt;
+  opt.estimator_known_admissible = false;  // unknown user graph
+  core::DbSearchEngine engine(&store, &pool, opt);
+
+  auto& registry = obs::MetricsRegistry::Default();
+  obs::RegisterStorageCollectors(registry, &disk, &pool);
+
+  obs::Tracer tracer(&disk, &pool);
+  Result<core::PathResult> r = [&]() -> Result<core::PathResult> {
+    obs::Tracer::InstallScope scope(trace ? &tracer : nullptr);
+    if (algo == "dijkstra") return engine.Dijkstra(src, dst);
+    if (algo == "iterative") return engine.Iterative(src, dst);
+    if (algo == "astar1") {
+      return engine.AStar(src, dst, core::AStarVersion::kV1);
+    }
+    if (algo == "astar3") {
+      return engine.AStar(src, dst, core::AStarVersion::kV3);
+    }
+    return engine.AStar(src, dst, core::AStarVersion::kV2);
+  }();
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!r->found) {
+    std::printf("no route from %d to %d\n", src, dst);
+  } else {
+    std::printf("cost %.4f over %zu segments\n", r->cost,
+                r->path.size() - 1);
+  }
+  std::printf("%llu iterations; %s\n",
+              (unsigned long long)r->stats.iterations,
+              r->stats.io.ToString().c_str());
+
+  if (trace) {
+    if (trace_file.empty()) {
+      std::printf("%s",
+                  tracer.ToTreeString(engine.options().cost_params).c_str());
+    } else if (!WriteFileOrStdout(trace_file,
+                                  tracer.ToChromeTraceJson())) {
+      return 1;
+    }
+  }
+  if (!metrics_file.empty() &&
+      !WriteFileOrStdout(metrics_file, registry.ToPrometheusText())) {
+    return 1;
+  }
+  return r->found ? 0 : 1;
+}
+
 int CmdSvg(char** argv) {
   auto g = Load(argv[0]);
   if (!g.ok()) {
@@ -205,6 +332,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
   if (cmd == "route" && argc >= 5) return CmdRoute(argc - 2, argv + 2);
+  if (cmd == "dbroute" && argc >= 5) return CmdDbRoute(argc - 2, argv + 2);
   if (cmd == "alternates" && argc == 6) return CmdAlternates(argv + 2);
   if (cmd == "svg" && argc == 6) return CmdSvg(argv + 2);
   return Usage(argv[0]);

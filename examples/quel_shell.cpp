@@ -7,12 +7,14 @@
 //   $ ./examples/quel_shell            # demo script
 //   $ echo 'RETRIEVE (r.all) WHERE r.node_id < 3' | ./examples/quel_shell -
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "graph/grid_generator.h"
 #include "graph/relational_graph.h"
+#include "obs/trace.h"
 #include "quel/executor.h"
 
 int main(int argc, char** argv) {
@@ -36,9 +38,18 @@ int main(int argc, char** argv) {
   session.RegisterRelation("S", &store.edge_relation());
   session.RegisterRelation("R", &store.node_relation());
 
+  // ATIS_TRACE=<anything>: trace each statement's block-level work and
+  // print its span (reads/writes/cost) to stderr after the result.
+  const char* trace_env = std::getenv("ATIS_TRACE");
+  const bool traced = trace_env != nullptr && trace_env[0] != '\0';
+
   auto run = [&](const std::string& text, bool echo) {
     if (echo) std::printf("quel> %s\n", text.c_str());
-    auto r = session.Execute(text);
+    obs::Tracer tracer(&disk, &pool);
+    auto r = [&] {
+      obs::Tracer::InstallScope scope(traced ? &tracer : nullptr);
+      return session.Execute(text);
+    }();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
@@ -48,6 +59,10 @@ int main(int argc, char** argv) {
                   r->rows.size());
     } else if (r->kind != quel::Statement::Kind::kRange) {
       std::printf("(%zu tuples affected)\n", r->affected);
+    }
+    if (traced && !tracer.roots().empty()) {
+      std::fflush(stdout);  // keep trace lines after the echoed statement
+      std::fprintf(stderr, "%s", tracer.ToTreeString().c_str());
     }
   };
 

@@ -1,9 +1,13 @@
 #include "core/db_route_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numbers>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atis::core {
 
@@ -13,6 +17,9 @@ using graph::RelationalGraphStore;
 Result<DbRouteEvaluation> DbEvaluateRoute(
     const RelationalGraphStore& store, const std::vector<NodeId>& path,
     const storage::CostParams& params) {
+  obs::ScopedSpan span("evaluate-route", "run");
+  span.Tag("path_nodes", static_cast<uint64_t>(path.size()));
+  const auto started = std::chrono::steady_clock::now();
   storage::IoMeter& meter =
       store.node_relation().pool()->disk()->meter();
   const storage::IoCounters start = meter.counters();
@@ -21,6 +28,20 @@ Result<DbRouteEvaluation> DbEvaluateRoute(
   auto finish = [&]() {
     out.io = meter.counters() - start;
     out.cost_units = out.io.Cost(params);
+    span.Tag("valid", out.evaluation.valid ? "1" : "0");
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    auto& reg = obs::MetricsRegistry::Default();
+    const obs::Labels labels{{"algorithm", "evaluate-route"}};
+    reg.GetCounter("atis_search_runs_total",
+                   "Database-resident search runs", labels)
+        .Increment();
+    reg.GetHistogram("atis_query_latency_seconds",
+                     "End-to-end route query wall time",
+                     obs::Histogram::LatencyBounds(), labels)
+        .Observe(seconds);
     return out;
   };
 

@@ -1,10 +1,14 @@
 #include "core/db_search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
 #include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atis::core {
 
@@ -38,6 +42,49 @@ class PhaseMeter {
  private:
   storage::IoMeter& meter_;
   storage::IoCounters last_;
+};
+
+/// Run-level observability: opens the "run" span and, on Finish, tags it
+/// with the outcome and feeds the per-algorithm counters and the
+/// end-to-end latency histogram of the default metrics registry. Metrics
+/// are recorded per run (not per block), so the cost is a few registry
+/// lookups — never part of the metered I/O.
+class RunObserver {
+ public:
+  explicit RunObserver(std::string algorithm)
+      : algorithm_(std::move(algorithm)),
+        span_(algorithm_, "run"),
+        started_(std::chrono::steady_clock::now()) {}
+
+  void Finish(const PathResult& result) {
+    if (finished_) return;
+    finished_ = true;
+    span_.Tag("iterations", result.stats.iterations);
+    span_.Tag("found", result.found ? "1" : "0");
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    auto& reg = obs::MetricsRegistry::Default();
+    const obs::Labels labels{{"algorithm", algorithm_}};
+    reg.GetCounter("atis_search_runs_total",
+                   "Database-resident search runs", labels)
+        .Increment();
+    reg.GetCounter("atis_search_iterations_total",
+                   "Search iterations under the paper's counting rules",
+                   labels)
+        .Increment(result.stats.iterations);
+    reg.GetHistogram("atis_query_latency_seconds",
+                     "End-to-end route query wall time",
+                     obs::Histogram::LatencyBounds(), labels)
+        .Observe(seconds);
+  }
+
+ private:
+  std::string algorithm_;
+  obs::ScopedSpan span_;
+  std::chrono::steady_clock::time_point started_;
+  bool finished_ = false;
 };
 
 /// Deterministic selection order shared with the in-memory engine:
@@ -93,7 +140,8 @@ Result<std::vector<NodeId>> DbSearchEngine::ReconstructFromStore(
 
 Result<PathResult> DbSearchEngine::Dijkstra(NodeId source,
                                             NodeId destination) {
-  return BestFirstStatusAttribute(source, destination, /*estimator=*/nullptr);
+  return BestFirstStatusAttribute(source, destination, /*estimator=*/nullptr,
+                                  "dijkstra");
 }
 
 Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
@@ -101,10 +149,18 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
   const auto estimator =
       MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
                                                  : EstimatorKind::kEuclidean);
-  const FrontierImpl frontier = version == AStarVersion::kV1
-                                    ? FrontierImpl::kSeparateRelation
-                                    : FrontierImpl::kStatusAttribute;
-  return AStarCustom(source, destination, *estimator, frontier);
+  switch (version) {
+    case AStarVersion::kV1:
+      return AStarSeparateRelation(source, destination, *estimator,
+                                   "astar-v1");
+    case AStarVersion::kV2:
+      return BestFirstStatusAttribute(source, destination, estimator.get(),
+                                      "astar-v2");
+    case AStarVersion::kV3:
+      return BestFirstStatusAttribute(source, destination, estimator.get(),
+                                      "astar-v3");
+  }
+  return Status::Internal("unreachable A* version");
 }
 
 Result<PathResult> DbSearchEngine::AStarCustom(NodeId source,
@@ -113,16 +169,20 @@ Result<PathResult> DbSearchEngine::AStarCustom(NodeId source,
                                                FrontierImpl frontier) {
   switch (frontier) {
     case FrontierImpl::kStatusAttribute:
-      return BestFirstStatusAttribute(source, destination, &estimator);
+      return BestFirstStatusAttribute(source, destination, &estimator,
+                                      "astar-status-attribute");
     case FrontierImpl::kSeparateRelation:
-      return AStarSeparateRelation(source, destination, estimator);
+      return AStarSeparateRelation(source, destination, estimator,
+                                   "astar-separate-relation");
   }
   return Status::Internal("unreachable frontier implementation");
 }
 
 Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
-    NodeId source, NodeId destination, const Estimator* estimator) {
+    NodeId source, NodeId destination, const Estimator* estimator,
+    std::string_view label) {
   const bool allow_reopen = estimator != nullptr;  // A* yes, Dijkstra no
+  RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
   PhaseMeter phase(meter);
@@ -131,17 +191,29 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
   result.optimality_guaranteed =
       (estimator == nullptr) || options_.estimator_known_admissible;
 
+  // The "statement" spans below tile the metered interval exactly: every
+  // block access between start_io and the final counters() read happens
+  // inside one of them, so statement-level trace deltas sum to the run's
+  // IoCounters (asserted by test_io_breakdown.cc).
+
   // -- Initialisation (cost-model steps 1-4): reset R's working fields and
   //    open the source with path cost 0.
-  ATIS_RETURN_NOT_OK(store_->ResetSearchState());
-  ATIS_RETURN_NOT_OK(EndStatement());
-  ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
-  const graph::Point dest_pt{dest_node.second.x, dest_node.second.y};
-  ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
-  src.second.path_cost = 0.0;
-  src.second.status = NodeStatus::kOpen;
-  ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
-  ATIS_RETURN_NOT_OK(EndStatement());
+  {
+    obs::ScopedSpan stmt("reset-R", "statement");
+    ATIS_RETURN_NOT_OK(store_->ResetSearchState());
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
+  graph::Point dest_pt;
+  {
+    obs::ScopedSpan stmt("open-source", "statement");
+    ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
+    dest_pt = {dest_node.second.x, dest_node.second.y};
+    ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+    src.second.path_cost = 0.0;
+    src.second.status = NodeStatus::kOpen;
+    ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
   phase.Charge(&result.stats.breakdown.init);
 
   auto h = [&](const NodeRow& row) {
@@ -151,23 +223,29 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
   };
 
   while (true) {
+    obs::ScopedSpan iteration("iteration", "iteration");
+    iteration.Tag("n", result.stats.iterations + 1);
+
     // -- Statement: select u from frontierSet with minimum
     //    C(s,u) [+ f(u,d)] — a scan of R over status = open.
     std::optional<std::pair<RecordId, NodeRow>> best;
     double best_f = kInf;
-    for (Relation::Cursor c = store_->node_relation().Scan(); c.Valid();
-         c.Next()) {
-      const NodeRow row = RelationalGraphStore::NodeFromTuple(c.tuple());
-      if (row.status != NodeStatus::kOpen) continue;
-      const double f = row.path_cost + h(row);
-      if (!best || BetterCandidate(f, row.path_cost, row.id, best_f,
-                                   best->second.path_cost,
-                                   best->second.id)) {
-        best = std::make_pair(c.rid(), row);
-        best_f = f;
+    {
+      obs::ScopedSpan stmt("select-min", "statement");
+      for (Relation::Cursor c = store_->node_relation().Scan(); c.Valid();
+           c.Next()) {
+        const NodeRow row = RelationalGraphStore::NodeFromTuple(c.tuple());
+        if (row.status != NodeStatus::kOpen) continue;
+        const double f = row.path_cost + h(row);
+        if (!best || BetterCandidate(f, row.path_cost, row.id, best_f,
+                                     best->second.path_cost,
+                                     best->second.id)) {
+          best = std::make_pair(c.rid(), row);
+          best_f = f;
+        }
       }
+      ATIS_RETURN_NOT_OK(EndStatement());
     }
-    ATIS_RETURN_NOT_OK(EndStatement());
     phase.Charge(&result.stats.breakdown.selection);
 
     if (!best) break;  // frontier empty: destination unreachable
@@ -182,43 +260,55 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     // -- Statement: move u out of the frontier (REPLACE status=current).
     NodeRow u = best->second;
     u.status = NodeStatus::kCurrent;
-    ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("mark-current", "statement");
+      ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.marking);
     ++result.stats.iterations;
     ++result.stats.nodes_expanded;
 
     // -- Statement: fetch u.adjacencyList via the hash index on S.
+    obs::ScopedSpan adjacency_stmt("fetch-adjacency", "statement");
     ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(u.id));
     ATIS_RETURN_NOT_OK(EndStatement());
+    adjacency_stmt.End();
     phase.Charge(&result.stats.breakdown.adjacency);
 
     // -- Statement: relax every <v, C(u,v)>; REPLACE improved nodes.
-    for (const auto& e : edges) {
-      ++result.stats.nodes_generated;
-      ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(e.end));
-      const double nd = u.path_cost + e.cost;
-      if (nd < vn.second.path_cost) {
-        ++result.stats.nodes_improved;
-        if (vn.second.status == NodeStatus::kClosed && !allow_reopen) {
-          continue;  // Dijkstra: explored nodes are final
+    {
+      obs::ScopedSpan stmt("relax-neighbours", "statement");
+      stmt.Tag("edges", static_cast<uint64_t>(edges.size()));
+      for (const auto& e : edges) {
+        ++result.stats.nodes_generated;
+        ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(e.end));
+        const double nd = u.path_cost + e.cost;
+        if (nd < vn.second.path_cost) {
+          ++result.stats.nodes_improved;
+          if (vn.second.status == NodeStatus::kClosed && !allow_reopen) {
+            continue;  // Dijkstra: explored nodes are final
+          }
+          if (vn.second.status == NodeStatus::kClosed) {
+            ++result.stats.reopenings;
+          }
+          vn.second.path_cost = nd;
+          vn.second.pred = u.id;
+          vn.second.status = NodeStatus::kOpen;
+          ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
         }
-        if (vn.second.status == NodeStatus::kClosed) {
-          ++result.stats.reopenings;
-        }
-        vn.second.path_cost = nd;
-        vn.second.pred = u.id;
-        vn.second.status = NodeStatus::kOpen;
-        ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
       }
+      ATIS_RETURN_NOT_OK(EndStatement());
     }
-    ATIS_RETURN_NOT_OK(EndStatement());
     phase.Charge(&result.stats.breakdown.relaxation);
 
     // -- Statement: close u (REPLACE status=closed).
     u.status = NodeStatus::kClosed;
-    ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("mark-closed", "statement");
+      ATIS_RETURN_NOT_OK(store_->UpdateNode(best->first, u));
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.marking);
   }
 
@@ -228,11 +318,14 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     ATIS_ASSIGN_OR_RETURN(result.path,
                           ReconstructFromStore(source, destination));
   }
+  run.Finish(result);
   return result;
 }
 
 Result<PathResult> DbSearchEngine::AStarSeparateRelation(
-    NodeId source, NodeId destination, const Estimator& estimator) {
+    NodeId source, NodeId destination, const Estimator& estimator,
+    std::string_view label) {
+  RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
   PhaseMeter phase(meter);
@@ -240,10 +333,15 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   PathResult result;
   result.optimality_guaranteed = options_.estimator_known_admissible;
 
+  // As in BestFirstStatusAttribute, the "statement" spans tile the metered
+  // interval [start_io, final counters() read] exactly; here that interval
+  // also covers reconstruction and temporary-relation cleanup.
+
   // Version 1 grows a private resultant relation R1 (same schema as R)
   // incrementally and keeps the frontier in a separate relation F. Both
   // carry hash indexes on node_id whose maintenance is exactly the
   // APPEND/DELETE overhead the paper attributes to this version.
+  obs::ScopedSpan create_stmt("create-temps", "statement");
   Relation r1("R1", RelationalGraphStore::NodeSchema(), pool_,
               /*charge_create=*/true);
   ATIS_RETURN_NOT_OK(r1.CreateHashIndex(RelationalGraphStore::kNodeIdField,
@@ -256,7 +354,9 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   ATIS_RETURN_NOT_OK(
       frontier.CreateHashIndex("node_id", /*num_buckets=*/64));
   ATIS_RETURN_NOT_OK(EndStatement());
+  create_stmt.End();
 
+  obs::ScopedSpan seed_stmt("seed-source", "statement");
   ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
   const graph::Point dest_pt{dest_node.second.x, dest_node.second.y};
   auto h = [&](const NodeRow& row) {
@@ -273,6 +373,7 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   ATIS_RETURN_NOT_OK(relational::Append(
       &frontier, Tuple{static_cast<int64_t>(source), 0.0, h(srow)}));
   ATIS_RETURN_NOT_OK(EndStatement());
+  seed_stmt.End();
   phase.Charge(&result.stats.breakdown.init);
 
   auto r1_get = [&](NodeId v) -> Result<std::optional<
@@ -289,20 +390,26 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   };
 
   while (true) {
+    obs::ScopedSpan iteration("iteration", "iteration");
+    iteration.Tag("n", result.stats.iterations + 1);
+
     // -- Statement: scan F for the minimum f entry.
     std::optional<std::pair<RecordId, Tuple>> best;
-    for (Relation::Cursor c = frontier.Scan(); c.Valid(); c.Next()) {
-      Tuple t = c.tuple();
-      if (!best ||
-          BetterCandidate(AsDouble(t[2]), AsDouble(t[1]),
-                          static_cast<NodeId>(AsInt(t[0])),
-                          AsDouble(best->second[2]),
-                          AsDouble(best->second[1]),
-                          static_cast<NodeId>(AsInt(best->second[0])))) {
-        best = std::make_pair(c.rid(), std::move(t));
+    {
+      obs::ScopedSpan stmt("select-min", "statement");
+      for (Relation::Cursor c = frontier.Scan(); c.Valid(); c.Next()) {
+        Tuple t = c.tuple();
+        if (!best ||
+            BetterCandidate(AsDouble(t[2]), AsDouble(t[1]),
+                            static_cast<NodeId>(AsInt(t[0])),
+                            AsDouble(best->second[2]),
+                            AsDouble(best->second[1]),
+                            static_cast<NodeId>(AsInt(best->second[0])))) {
+          best = std::make_pair(c.rid(), std::move(t));
+        }
       }
+      ATIS_RETURN_NOT_OK(EndStatement());
     }
-    ATIS_RETURN_NOT_OK(EndStatement());
     phase.Charge(&result.stats.breakdown.selection);
     if (!best) break;
 
@@ -310,14 +417,19 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
     const double ug = AsDouble(best->second[1]);
 
     // -- Statement: DELETE the selected tuple from F.
-    ATIS_RETURN_NOT_OK(frontier.Delete(best->first));
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("delete-min", "statement");
+      ATIS_RETURN_NOT_OK(frontier.Delete(best->first));
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.marking);
 
     // Stale frontier tuples (duplicates-allowed policy) surface here: the
     // R1 row already records a cheaper path, so this selection is a
     // redundant iteration.
+    obs::ScopedSpan probe_stmt("probe-r1", "statement");
     ATIS_ASSIGN_OR_RETURN(auto ru, r1_get(uid));
+    probe_stmt.End();
     if (!ru) return Status::Corruption("frontier node missing from R1");
     if (options_.duplicate_policy == DuplicatePolicy::kAllow &&
         (ug > ru->second.path_cost ||
@@ -337,11 +449,15 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
     ++result.stats.nodes_expanded;
 
     // -- Statement: fetch adjacency from S.
+    obs::ScopedSpan adjacency_stmt("fetch-adjacency", "statement");
     ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(uid));
     ATIS_RETURN_NOT_OK(EndStatement());
+    adjacency_stmt.End();
     phase.Charge(&result.stats.breakdown.adjacency);
 
     // -- Statement: relax neighbours into R1 / F.
+    obs::ScopedSpan relax_stmt("relax-neighbours", "statement");
+    relax_stmt.Tag("edges", static_cast<uint64_t>(edges.size()));
     for (const auto& e : edges) {
       ++result.stats.nodes_generated;
       const double nd = u.path_cost + e.cost;
@@ -404,21 +520,27 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
       }
     }
     ATIS_RETURN_NOT_OK(EndStatement());
+    relax_stmt.End();
     phase.Charge(&result.stats.breakdown.relaxation);
 
     // -- Statement: close u in R1.
-    u.path_cost = ru->second.path_cost;
-    u.status = NodeStatus::kClosed;
-    ATIS_RETURN_NOT_OK(
-        r1.Update(ru->first, RelationalGraphStore::ToTuple(u)));
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("mark-closed", "statement");
+      u.path_cost = ru->second.path_cost;
+      u.status = NodeStatus::kClosed;
+      ATIS_RETURN_NOT_OK(
+          r1.Update(ru->first, RelationalGraphStore::ToTuple(u)));
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.marking);
 
     result.stats.frontier_peak = std::max<uint64_t>(
         result.stats.frontier_peak, frontier.num_tuples());
   }
 
-  // Drop the temporaries (charged), then snapshot stats.
+  // Drop the temporaries (charged), reconstruct, then snapshot stats —
+  // this version's metered interval includes reconstruction and cleanup.
+  obs::ScopedSpan cleanup_stmt("cleanup", "statement");
   ATIS_RETURN_NOT_OK(EndStatement());
 
   // Reconstruct before dropping R1 but snapshot the meter first: route
@@ -442,43 +564,60 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   ATIS_RETURN_NOT_OK(r1.Clear(/*charge=*/true));
   ATIS_RETURN_NOT_OK(frontier.Clear(/*charge=*/true));
   ATIS_RETURN_NOT_OK(EndStatement());
+  cleanup_stmt.End();
   phase.Charge(&result.stats.breakdown.cleanup);
 
   result.stats.io = meter.counters() - start_io;
   result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
   result.path = std::move(path);
+  run.Finish(result);
   return result;
 }
 
 Result<PathResult> DbSearchEngine::Iterative(NodeId source,
                                              NodeId destination) {
+  RunObserver run("iterative");
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
   PhaseMeter phase(meter);
 
   PathResult result;
 
+  // As elsewhere, the "statement" spans tile the metered interval exactly
+  // (see BestFirstStatusAttribute).
+
   // -- Initialisation (Table 2, steps 1-4): reset R, mark source current.
-  ATIS_RETURN_NOT_OK(store_->ResetSearchState());
-  ATIS_RETURN_NOT_OK(EndStatement());
-  ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
-  src.second.path_cost = 0.0;
-  src.second.status = NodeStatus::kCurrent;
-  ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
-  ATIS_RETURN_NOT_OK(EndStatement());
+  {
+    obs::ScopedSpan stmt("reset-R", "statement");
+    ATIS_RETURN_NOT_OK(store_->ResetSearchState());
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
+  {
+    obs::ScopedSpan stmt("open-source", "statement");
+    ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+    src.second.path_cost = 0.0;
+    src.second.status = NodeStatus::kCurrent;
+    ATIS_RETURN_NOT_OK(store_->UpdateNode(src.first, src.second));
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
   phase.Charge(&result.stats.breakdown.init);
 
   Relation& r = store_->node_relation();
   Relation& s = store_->edge_relation();
 
   while (true) {
+    obs::ScopedSpan iteration("iteration", "iteration");
+    iteration.Tag("n", result.stats.iterations + 1);
+
     // -- Step 5: fetch all current nodes from R (scan).
+    obs::ScopedSpan select_stmt("select-current", "statement");
     ATIS_ASSIGN_OR_RETURN(
         auto current,
         relational::SelectScan(r, [](const Tuple& t) {
           return AsInt(t[3]) == static_cast<int64_t>(NodeStatus::kCurrent);
         }));
     ATIS_RETURN_NOT_OK(EndStatement());
+    select_stmt.End();
     phase.Charge(&result.stats.breakdown.selection);
     if (current.empty()) break;
 
@@ -490,6 +629,8 @@ Result<PathResult> DbSearchEngine::Iterative(NodeId source,
     // -- Step 6: join current nodes with S to reach their neighbours.
     //    The current nodes are materialised as a temporary relation, as in
     //    the relational formulation.
+    obs::ScopedSpan join_stmt("materialise-and-join", "statement");
+    join_stmt.Tag("current_nodes", static_cast<uint64_t>(current.size()));
     Relation cur("C", RelationalGraphStore::NodeSchema(), pool_,
                  /*charge_create=*/true);
     for (const auto& m : current) {
@@ -503,58 +644,71 @@ Result<PathResult> DbSearchEngine::Iterative(NodeId source,
                          options_.join_strategy, options_.cost_params,
                          "JOIN"));
     ATIS_RETURN_NOT_OK(EndStatement());
+    join_stmt.End();
     phase.Charge(&result.stats.breakdown.adjacency);
 
     // -- Step 7: update status/path of improved neighbours in R.
     //    Join tuple layout: fields 0..5 from C (node row), 6..8 from S.
-    for (Relation::Cursor c = join->Scan(); c.Valid(); c.Next()) {
-      const Tuple t = c.tuple();
-      ++result.stats.nodes_generated;
-      const double nd = AsDouble(t[5]) + AsDouble(t[8]);
-      const NodeId v = static_cast<NodeId>(AsInt(t[7]));
-      ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(v));
-      if (nd < vn.second.path_cost) {
-        ++result.stats.nodes_improved;
-        if (vn.second.status == NodeStatus::kClosed) {
-          ++result.stats.reopenings;
+    {
+      obs::ScopedSpan stmt("relax-neighbours", "statement");
+      for (Relation::Cursor c = join->Scan(); c.Valid(); c.Next()) {
+        const Tuple t = c.tuple();
+        ++result.stats.nodes_generated;
+        const double nd = AsDouble(t[5]) + AsDouble(t[8]);
+        const NodeId v = static_cast<NodeId>(AsInt(t[7]));
+        ATIS_ASSIGN_OR_RETURN(auto vn, store_->GetNode(v));
+        if (nd < vn.second.path_cost) {
+          ++result.stats.nodes_improved;
+          if (vn.second.status == NodeStatus::kClosed) {
+            ++result.stats.reopenings;
+          }
+          vn.second.path_cost = nd;
+          vn.second.pred = static_cast<NodeId>(AsInt(t[0]));
+          vn.second.status = NodeStatus::kOpen;
+          ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
         }
-        vn.second.path_cost = nd;
-        vn.second.pred = static_cast<NodeId>(AsInt(t[0]));
-        vn.second.status = NodeStatus::kOpen;
-        ATIS_RETURN_NOT_OK(store_->UpdateNode(vn.first, vn.second));
       }
+      ATIS_RETURN_NOT_OK(EndStatement());
     }
-    ATIS_RETURN_NOT_OK(EndStatement());
     phase.Charge(&result.stats.breakdown.relaxation);
 
     // Drop the temporaries.
-    ATIS_RETURN_NOT_OK(cur.Clear(/*charge=*/true));
-    ATIS_RETURN_NOT_OK(join->Clear(/*charge=*/true));
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("drop-temps", "statement");
+      ATIS_RETURN_NOT_OK(cur.Clear(/*charge=*/true));
+      ATIS_RETURN_NOT_OK(join->Clear(/*charge=*/true));
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.cleanup);
 
     // -- Step 7b/8: REPLACE current -> closed, open -> current, then the
     //    count of current nodes decides termination (next round's step 5
     //    doubles as the count scan).
-    ATIS_RETURN_NOT_OK(
-        relational::Replace(
-            &r,
-            [](const Tuple& t) {
-              const auto st = static_cast<NodeStatus>(AsInt(t[3]));
-              return st == NodeStatus::kCurrent || st == NodeStatus::kOpen;
-            },
-            [](Tuple* t) {
-              const auto st = static_cast<NodeStatus>(AsInt((*t)[3]));
-              (*t)[3] = static_cast<int64_t>(st == NodeStatus::kCurrent
-                                                 ? NodeStatus::kClosed
-                                                 : NodeStatus::kCurrent);
-            })
-            .status());
-    ATIS_RETURN_NOT_OK(EndStatement());
+    {
+      obs::ScopedSpan stmt("rotate-status", "statement");
+      ATIS_RETURN_NOT_OK(
+          relational::Replace(
+              &r,
+              [](const Tuple& t) {
+                const auto st = static_cast<NodeStatus>(AsInt(t[3]));
+                return st == NodeStatus::kCurrent ||
+                       st == NodeStatus::kOpen;
+              },
+              [](Tuple* t) {
+                const auto st = static_cast<NodeStatus>(AsInt((*t)[3]));
+                (*t)[3] = static_cast<int64_t>(st == NodeStatus::kCurrent
+                                                   ? NodeStatus::kClosed
+                                                   : NodeStatus::kCurrent);
+              })
+              .status());
+      ATIS_RETURN_NOT_OK(EndStatement());
+    }
     phase.Charge(&result.stats.breakdown.marking);
   }
 
+  obs::ScopedSpan probe_stmt("probe-destination", "statement");
   ATIS_ASSIGN_OR_RETURN(auto dest, store_->GetNode(destination));
+  probe_stmt.End();
   phase.Charge(&result.stats.breakdown.cleanup);
   result.stats.io = meter.counters() - start_io;
   result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
@@ -564,6 +718,7 @@ Result<PathResult> DbSearchEngine::Iterative(NodeId source,
     ATIS_ASSIGN_OR_RETURN(result.path,
                           ReconstructFromStore(source, destination));
   }
+  run.Finish(result);
   return result;
 }
 

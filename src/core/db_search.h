@@ -81,14 +81,17 @@ class DbSearchEngine {
 
  private:
   /// Shared status-attribute best-first engine; Dijkstra when `estimator`
-  /// is null (then closed nodes are never reopened).
+  /// is null (then closed nodes are never reopened). `label` names the
+  /// run in trace spans and per-algorithm metrics.
   Result<PathResult> BestFirstStatusAttribute(graph::NodeId source,
                                               graph::NodeId destination,
-                                              const Estimator* estimator);
+                                              const Estimator* estimator,
+                                              std::string_view label);
 
   Result<PathResult> AStarSeparateRelation(graph::NodeId source,
                                            graph::NodeId destination,
-                                           const Estimator& estimator);
+                                           const Estimator& estimator,
+                                           std::string_view label);
 
   /// Follows R.pred from the destination. Charged reads, but performed
   /// after the run's stats snapshot (route assembly, not route search).

@@ -1,0 +1,329 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace atis::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus clients do: shortest round-trip
+/// representation, no trailing zeros, "+Inf" for infinity.
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double roundtrip = 0.0;
+  std::sscanf(buf, "%lg", &roundtrip);
+  // Prefer the shortest precision that still round-trips.
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    std::sscanf(buf, "%lg", &roundtrip);
+    if (roundtrip == v) break;
+  }
+  return buf;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair appended (for histogram `le`).
+Labels WithLe(const Labels& labels, double bound) {
+  Labels out = labels;
+  out.emplace_back("le", FormatValue(bound));
+  return out;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+  sum_ += value;
+  stats_.Add(value);
+}
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i && b < buckets_.size(); ++b) {
+    total += buckets_[b];
+  }
+  return total;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double lo, double hi) {
+  std::vector<double> out;
+  double decade = lo;
+  while (decade <= hi * (1.0 + 1e-9)) {
+    for (double m : {1.0, 2.0, 5.0}) {
+      const double b = decade * m;
+      if (b <= hi * (1.0 + 1e-9)) out.push_back(b);
+    }
+    decade *= 10.0;
+  }
+  return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind,
+                                                    const Labels& labels) {
+  Family& fam = families_[name];
+  if (fam.series.empty()) {
+    fam.kind = kind;
+    fam.help = help;
+  }
+  assert(fam.kind == kind && "metric name reused with a different type");
+  for (Series& s : fam.series) {
+    if (s.labels == labels) return s;
+  }
+  fam.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return fam.series.back();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  Series& s = GetSeries(name, help, Kind::kCounter, labels);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  Series& s = GetSeries(name, help, Kind::kGauge, labels);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const Labels& labels) {
+  Series& s = GetSeries(name, help, Kind::kHistogram, labels);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *s.histogram;
+}
+
+void MetricsRegistry::AddCollector(
+    std::function<void(MetricsRegistry&)> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::RunCollectors() {
+  if (collecting_) return;
+  collecting_ = true;
+  for (const auto& c : collectors_) c(*this);
+  collecting_ = false;
+}
+
+std::string MetricsRegistry::ToPrometheusText() {
+  RunCollectors();
+  std::ostringstream out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out << "# HELP " << name << " " << EscapeHelp(fam.help) << "\n";
+    }
+    out << "# TYPE " << name << " "
+        << (fam.kind == Kind::kCounter
+                ? "counter"
+                : fam.kind == Kind::kGauge ? "gauge" : "histogram")
+        << "\n";
+    for (const Series& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          out << name << RenderLabels(s.labels) << " " << s.counter->value()
+              << "\n";
+          break;
+        case Kind::kGauge:
+          out << name << RenderLabels(s.labels) << " "
+              << FormatValue(s.gauge->value()) << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *s.histogram;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            out << name << "_bucket"
+                << RenderLabels(WithLe(s.labels, h.bounds()[i])) << " "
+                << h.CumulativeCount(i) << "\n";
+          }
+          out << name << "_bucket"
+              << RenderLabels(
+                     WithLe(s.labels,
+                            std::numeric_limits<double>::infinity()))
+              << " " << h.count() << "\n";
+          out << name << "_sum" << RenderLabels(s.labels) << " "
+              << FormatValue(h.sum()) << "\n";
+          out << name << "_count" << RenderLabels(s.labels) << " "
+              << h.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() {
+  RunCollectors();
+  std::ostringstream out;
+  auto labels_json = [](const Labels& labels) {
+    std::string s = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i) s += ",";
+      s += "\"";
+      s += EscapeJson(labels[i].first);
+      s += "\":\"";
+      s += EscapeJson(labels[i].second);
+      s += "\"";
+    }
+    s += "}";
+    return s;
+  };
+  out << "{";
+  const char* kind_names[] = {"counters", "gauges", "histograms"};
+  for (int kind = 0; kind < 3; ++kind) {
+    if (kind) out << ",";
+    out << "\"" << kind_names[kind] << "\":[";
+    bool first = true;
+    for (const auto& [name, fam] : families_) {
+      if (static_cast<int>(fam.kind) != kind) continue;
+      for (const Series& s : fam.series) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"name\":\"" << EscapeJson(name) << "\",\"labels\":"
+            << labels_json(s.labels) << ",";
+        switch (fam.kind) {
+          case Kind::kCounter:
+            out << "\"value\":" << s.counter->value();
+            break;
+          case Kind::kGauge:
+            out << "\"value\":" << FormatValue(s.gauge->value());
+            break;
+          case Kind::kHistogram: {
+            const Histogram& h = *s.histogram;
+            out << "\"bounds\":[";
+            for (size_t i = 0; i < h.bounds().size(); ++i) {
+              if (i) out << ",";
+              out << FormatValue(h.bounds()[i]);
+            }
+            out << "],\"cumulative_counts\":[";
+            for (size_t i = 0; i <= h.bounds().size(); ++i) {
+              if (i) out << ",";
+              out << (i < h.bounds().size() ? h.CumulativeCount(i)
+                                            : h.count());
+            }
+            out << "],\"sum\":" << FormatValue(h.sum())
+                << ",\"count\":" << h.count();
+            break;
+          }
+        }
+        out << "}";
+      }
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  families_.clear();
+  collectors_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace atis::obs

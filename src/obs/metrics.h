@@ -1,0 +1,147 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with machine-readable exports.
+//
+// The paper validates its cost model by comparing predicted and measured
+// block I/O per run; the registry is the aggregation side of that story —
+// totals across runs (blocks read/written, buffer hit ratio, per-algorithm
+// iterations, query latency) exported as Prometheus text exposition format
+// or JSON so a harness can scrape them next to the cost-model predictions.
+//
+// Hot paths never pay for observability: layers that already keep their own
+// counters (IoMeter, BufferPoolStats) are mirrored into the registry by
+// collector callbacks that run at dump time, Prometheus collect-on-scrape
+// style, rather than by per-access instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace atis::obs {
+
+/// Metric labels as ordered key/value pairs (the order is preserved in the
+/// exposition output; two label sets differing only in order are distinct
+/// series, so use a canonical order per metric).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. `Set` exists for collectors that
+/// mirror an external monotonic source (IoMeter) at dump time.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  void Set(uint64_t value) { value_ = value; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket cumulative histogram in the Prometheus style: bucket i
+/// counts observations <= bounds[i], plus an implicit +Inf bucket. A
+/// RunningStats accumulator (util/stats.h) carries sum/mean/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Observations <= bounds()[i]; i == bounds().size() is the +Inf bucket.
+  uint64_t CumulativeCount(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return sum_; }
+  const RunningStats& stats() const { return stats_; }
+
+  /// Upper bounds 1,2,5-spaced across [lo, hi] — the usual latency ladder.
+  static std::vector<double> ExponentialBounds(double lo, double hi);
+  /// Default wall-clock latency ladder: 100us .. 10s.
+  static std::vector<double> LatencyBounds() {
+    return ExponentialBounds(1e-4, 10.0);
+  }
+
+ private:
+  std::vector<double> bounds_;      // sorted ascending, unique
+  std::vector<uint64_t> buckets_;   // non-cumulative, size bounds_+1
+  double sum_ = 0.0;
+  RunningStats stats_;
+};
+
+/// Registry of named metric families. Lookup is by (name, labels); the
+/// first Get* for a name fixes its type and help text. Mixing types under
+/// one name aborts in debug and returns a detached dummy in release.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  /// Registers a callback run at the start of every dump; collectors
+  /// mirror live sources (IoMeter, BufferPoolStats) into the registry.
+  void AddCollector(std::function<void(MetricsRegistry&)> collector);
+
+  /// Prometheus text exposition format, families sorted by name.
+  std::string ToPrometheusText();
+  /// JSON object {"counters": ..., "gauges": ..., "histograms": ...}.
+  std::string ToJson();
+
+  /// Drops every metric and collector (tests).
+  void Reset();
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::vector<Series> series;  // insertion order
+  };
+
+  Series& GetSeries(const std::string& name, const std::string& help,
+                    Kind kind, const Labels& labels);
+  void RunCollectors();
+
+  std::map<std::string, Family> families_;  // sorted for stable output
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+  bool collecting_ = false;  // re-entrancy guard for RunCollectors
+};
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string EscapeLabelValue(const std::string& value);
+/// Escapes a JSON string body (quotes, backslashes, control characters).
+std::string EscapeJson(const std::string& value);
+
+}  // namespace atis::obs

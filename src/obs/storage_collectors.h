@@ -1,0 +1,28 @@
+// Dump-time collectors mirroring the storage layer's own counters
+// (IoMeter, BufferPoolStats) into a MetricsRegistry. Collect-on-scrape
+// keeps the metered hot path free of registry lookups, so exporting
+// metrics can never perturb the block-I/O measurement.
+#pragma once
+
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::obs {
+
+/// Registers collectors that publish, at every dump:
+///   atis_blocks_read_total / atis_blocks_written_total
+///   atis_relations_created_total / atis_relations_deleted_total
+///   atis_io_cost_units (gauge, derived under default CostParams)
+///   atis_disk_pages_allocated (gauge)
+/// and, when `pool` is non-null:
+///   atis_buffer_hits_total / atis_buffer_misses_total
+///   atis_buffer_evictions_total / atis_buffer_dirty_writebacks_total
+///   atis_buffer_hit_ratio (gauge; 0 when the pool is untouched)
+///   atis_buffer_frames (gauge)
+/// `disk` and `pool` must outlive the registry's dumps.
+void RegisterStorageCollectors(MetricsRegistry& registry,
+                               const storage::DiskManager* disk,
+                               const storage::BufferPool* pool = nullptr);
+
+}  // namespace atis::obs

@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+
+namespace {
+
+thread_local Tracer* g_current_tracer = nullptr;
+
+double Micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+std::string FormatWall(std::chrono::steady_clock::duration d) {
+  const double us = Micros(d);
+  char buf[32];
+  if (us < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us);
+  } else if (us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  }
+  return buf;
+}
+
+void RenderSpan(const TraceSpan& span, int depth,
+                const storage::CostParams& params, std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  std::string label = span.category + " " + span.name;
+  for (const auto& [k, v] : span.tags) label += " " + k + "=" + v;
+  char stats[160];
+  std::snprintf(stats, sizeof(stats),
+                "r=%llu w=%llu cr=%llu dl=%llu cost=%.3f hit=%llu "
+                "miss=%llu evict=%llu wall=%s",
+                (unsigned long long)span.io.blocks_read,
+                (unsigned long long)span.io.blocks_written,
+                (unsigned long long)span.io.relations_created,
+                (unsigned long long)span.io.relations_deleted,
+                span.io.Cost(params), (unsigned long long)span.pool_hits,
+                (unsigned long long)span.pool_misses,
+                (unsigned long long)span.pool_evictions,
+                FormatWall(span.wall).c_str());
+  const int pad = 44 - depth * 2 - static_cast<int>(label.size());
+  out << label;
+  for (int i = 0; i < (pad > 1 ? pad : 1); ++i) out << ' ';
+  out << stats << "\n";
+  for (const auto& child : span.children) {
+    RenderSpan(*child, depth + 1, params, out);
+  }
+}
+
+void CollectByCategory(const TraceSpan& span, std::string_view category,
+                       std::vector<const TraceSpan*>* out) {
+  if (category.empty() || span.category == category) out->push_back(&span);
+  for (const auto& child : span.children) {
+    CollectByCategory(*child, category, out);
+  }
+}
+
+void RenderChromeEvent(const TraceSpan& span, bool* first,
+                       std::ostringstream& out) {
+  if (!*first) out << ",\n";
+  *first = false;
+  out << "  {\"name\":\"" << EscapeJson(span.name) << "\",\"cat\":\""
+      << EscapeJson(span.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
+      << ",\"ts\":" << Micros(span.start_offset)
+      << ",\"dur\":" << Micros(span.wall) << ",\"args\":{"
+      << "\"blocks_read\":" << span.io.blocks_read
+      << ",\"blocks_written\":" << span.io.blocks_written
+      << ",\"relations_created\":" << span.io.relations_created
+      << ",\"relations_deleted\":" << span.io.relations_deleted
+      << ",\"pool_hits\":" << span.pool_hits
+      << ",\"pool_misses\":" << span.pool_misses
+      << ",\"pool_evictions\":" << span.pool_evictions;
+  for (const auto& [k, v] : span.tags) {
+    out << ",\"" << EscapeJson(k) << "\":\"" << EscapeJson(v) << "\"";
+  }
+  out << "}}";
+  for (const auto& child : span.children) {
+    RenderChromeEvent(*child, first, out);
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(storage::DiskManager* disk, storage::BufferPool* pool)
+    : disk_(disk), pool_(pool), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  // Close any spans left open (e.g. an error return mid-run) so exports
+  // see consistent deltas, then uninstall if still current.
+  while (!open_.empty()) EndSpan(open_.back().span);
+  if (g_current_tracer == this) g_current_tracer = nullptr;
+}
+
+storage::IoCounters Tracer::SnapshotIo() const {
+  return disk_ != nullptr ? disk_->meter().counters() : storage::IoCounters{};
+}
+
+storage::BufferPoolStats Tracer::SnapshotPool() const {
+  return pool_ != nullptr ? pool_->stats() : storage::BufferPoolStats{};
+}
+
+TraceSpan* Tracer::BeginSpan(std::string name, std::string category) {
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::move(name);
+  span->category = std::move(category);
+  TraceSpan* raw = span.get();
+  if (open_.empty()) {
+    roots_.push_back(std::move(span));
+  } else {
+    open_.back().span->children.push_back(std::move(span));
+  }
+  const auto now = std::chrono::steady_clock::now();
+  raw->start_offset = now - epoch_;
+  open_.push_back(OpenFrame{raw, SnapshotIo(), SnapshotPool(), now});
+  return raw;
+}
+
+void Tracer::EndSpan(TraceSpan* span) {
+  assert(!open_.empty() && open_.back().span == span &&
+         "EndSpan out of nesting order");
+  // Release builds recover by closing intervening spans innermost-first.
+  while (!open_.empty()) {
+    OpenFrame frame = open_.back();
+    open_.pop_back();
+    const storage::IoCounters now_io = SnapshotIo();
+    const storage::BufferPoolStats now_pool = SnapshotPool();
+    frame.span->io = now_io - frame.io_at_entry;
+    frame.span->pool_hits = now_pool.hits - frame.pool_at_entry.hits;
+    frame.span->pool_misses = now_pool.misses - frame.pool_at_entry.misses;
+    frame.span->pool_evictions =
+        now_pool.evictions - frame.pool_at_entry.evictions;
+    frame.span->wall = std::chrono::steady_clock::now() - frame.entered;
+    if (frame.span == span) break;
+  }
+}
+
+std::vector<const TraceSpan*> Tracer::SpansByCategory(
+    std::string_view category) const {
+  std::vector<const TraceSpan*> out;
+  for (const auto& root : roots_) {
+    CollectByCategory(*root, category, &out);
+  }
+  return out;
+}
+
+std::string Tracer::ToTreeString(const storage::CostParams& params) const {
+  std::ostringstream out;
+  out << "trace: r/w = blocks read/written, cr/dl = relations "
+         "created/deleted,\n"
+         "cost in Table 4A units (t_read=" << params.t_read
+      << " t_write=" << params.t_write << " I=" << params.create_relation
+      << " D_t=" << params.delete_relation << ")\n";
+  for (const auto& root : roots_) {
+    RenderSpan(*root, 0, params, out);
+  }
+  return out.str();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& root : roots_) {
+    RenderChromeEvent(*root, &first, out);
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+Tracer* Tracer::Install() {
+  Tracer* previous = g_current_tracer;
+  g_current_tracer = this;
+  return previous;
+}
+
+void Tracer::Restore(Tracer* previous) { g_current_tracer = previous; }
+
+Tracer* Tracer::Current() {
+#ifdef ATIS_TRACE_ALWAYS_ON
+  // -DATIS_TRACE_DEFAULT_OFF=OFF: every run is traced into a process
+  // global tracer (wall time only — it is not bound to a disk or pool).
+  if (g_current_tracer == nullptr) {
+    static thread_local Tracer* always_on = new Tracer();
+    g_current_tracer = always_on;
+  }
+#endif
+  return g_current_tracer;
+}
+
+CategoryTotals SumByCategory(const Tracer& tracer,
+                             std::string_view category) {
+  CategoryTotals totals;
+  for (const TraceSpan* span : tracer.SpansByCategory(category)) {
+    totals.io += span->io;
+    totals.pool_hits += span->pool_hits;
+    totals.pool_misses += span->pool_misses;
+    ++totals.spans;
+  }
+  return totals;
+}
+
+}  // namespace atis::obs

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "quel/parser.h"
 #include "relational/operators.h"
 
@@ -156,7 +157,28 @@ Result<QueryResult> QuelSession::Execute(const std::string& statement) {
   return Execute(stmt);
 }
 
+namespace {
+
+std::string_view StatementName(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::kRange:
+      return "RANGE";
+    case Statement::Kind::kRetrieve:
+      return "RETRIEVE";
+    case Statement::Kind::kAppend:
+      return "APPEND";
+    case Statement::Kind::kDelete:
+      return "DELETE";
+    case Statement::Kind::kReplace:
+      return "REPLACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Result<QueryResult> QuelSession::Execute(const Statement& stmt) {
+  obs::ScopedSpan span(std::string(StatementName(stmt.kind)), "statement");
   QueryResult out;
   out.kind = stmt.kind;
   switch (stmt.kind) {

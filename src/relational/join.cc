@@ -1,5 +1,6 @@
 #include "relational/join.h"
 
+#include "obs/trace.h"
 #include "relational/external_sort.h"
 
 #include <algorithm>
@@ -261,21 +262,33 @@ Result<std::unique_ptr<Relation>> Join(const Relation& left,
     const JoinStats stats = ComputeJoinStats(left, right, spec);
     strategy = ChooseJoinStrategy(stats, params).strategy;
   }
-  switch (strategy) {
-    case JoinStrategy::kNestedLoop:
-      return NestedLoopJoin(left, right, lf, rf, std::move(result_name));
-    case JoinStrategy::kHash:
-      return HashJoinImpl(left, right, lf, rf, std::move(result_name));
-    case JoinStrategy::kSortMerge:
-      return SortMergeJoinImpl(left, right, lf, rf, std::move(result_name),
-                               params);
-    case JoinStrategy::kPrimaryKey:
-      return PrimaryKeyJoinImpl(left, right, lf, spec.right_field,
-                                std::move(result_name));
-    case JoinStrategy::kAuto:
-      break;
+  obs::ScopedSpan span("join", "operator");
+  span.Tag("strategy", std::string(JoinStrategyName(strategy)));
+  span.Tag("left", left.name());
+  span.Tag("right", right.name());
+  span.Tag("left_tuples", static_cast<uint64_t>(left.num_tuples()));
+  span.Tag("right_tuples", static_cast<uint64_t>(right.num_tuples()));
+  auto result = [&]() -> Result<std::unique_ptr<Relation>> {
+    switch (strategy) {
+      case JoinStrategy::kNestedLoop:
+        return NestedLoopJoin(left, right, lf, rf, std::move(result_name));
+      case JoinStrategy::kHash:
+        return HashJoinImpl(left, right, lf, rf, std::move(result_name));
+      case JoinStrategy::kSortMerge:
+        return SortMergeJoinImpl(left, right, lf, rf,
+                                 std::move(result_name), params);
+      case JoinStrategy::kPrimaryKey:
+        return PrimaryKeyJoinImpl(left, right, lf, spec.right_field,
+                                  std::move(result_name));
+      case JoinStrategy::kAuto:
+        break;
+    }
+    return Status::Internal("unreachable join strategy");
+  }();
+  if (result.ok()) {
+    span.Tag("result_tuples", static_cast<uint64_t>((*result)->num_tuples()));
   }
-  return Status::Internal("unreachable join strategy");
+  return result;
 }
 
 }  // namespace atis::relational

@@ -1,9 +1,13 @@
 #include "relational/operators.h"
 
+#include "obs/trace.h"
+
 namespace atis::relational {
 
 Result<std::vector<MatchedTuple>> SelectScan(const Relation& rel,
                                              const Predicate& pred) {
+  obs::ScopedSpan span("select-scan", "operator");
+  span.Tag("relation", rel.name());
   std::vector<MatchedTuple> out;
   for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
     Tuple t = c.tuple();
@@ -11,6 +15,7 @@ Result<std::vector<MatchedTuple>> SelectScan(const Relation& rel,
       out.push_back({c.rid(), std::move(t)});
     }
   }
+  span.Tag("matched", static_cast<uint64_t>(out.size()));
   return out;
 }
 
@@ -18,6 +23,8 @@ Result<std::vector<MatchedTuple>> SelectIndex(const Relation& rel,
                                               std::string_view field,
                                               int64_t key,
                                               const Predicate& pred) {
+  obs::ScopedSpan span("select-index", "operator");
+  span.Tag("relation", rel.name());
   ATIS_ASSIGN_OR_RETURN(auto rids, rel.IndexLookup(field, key));
   std::vector<MatchedTuple> out;
   out.reserve(rids.size());
@@ -27,11 +34,14 @@ Result<std::vector<MatchedTuple>> SelectIndex(const Relation& rel,
       out.push_back({rid, std::move(t)});
     }
   }
+  span.Tag("matched", static_cast<uint64_t>(out.size()));
   return out;
 }
 
 Result<size_t> Replace(Relation* rel, const Predicate& pred,
                        const Updater& update) {
+  obs::ScopedSpan span("replace", "operator");
+  span.Tag("relation", rel->name());
   // Two-phase: match first, then write. A single-pass scan-and-update is
   // unsound if updates relocate tuples the scan has not reached yet.
   std::vector<MatchedTuple> matches;
@@ -45,14 +55,19 @@ Result<size_t> Replace(Relation* rel, const Predicate& pred,
     update(&m.tuple);
     ATIS_RETURN_NOT_OK(rel->Update(m.rid, m.tuple));
   }
+  span.Tag("replaced", static_cast<uint64_t>(matches.size()));
   return matches.size();
 }
 
 Status Append(Relation* rel, const Tuple& tuple) {
+  obs::ScopedSpan span("append", "operator");
+  span.Tag("relation", rel->name());
   return rel->Insert(tuple).status();
 }
 
 Result<size_t> DeleteWhere(Relation* rel, const Predicate& pred) {
+  obs::ScopedSpan span("delete", "operator");
+  span.Tag("relation", rel->name());
   std::vector<storage::RecordId> victims;
   for (Relation::Cursor c = rel->Scan(); c.Valid(); c.Next()) {
     if (!pred || pred(c.tuple())) victims.push_back(c.rid());
@@ -60,6 +75,7 @@ Result<size_t> DeleteWhere(Relation* rel, const Predicate& pred) {
   for (const storage::RecordId rid : victims) {
     ATIS_RETURN_NOT_OK(rel->Delete(rid));
   }
+  span.Tag("deleted", static_cast<uint64_t>(victims.size()));
   return victims.size();
 }
 

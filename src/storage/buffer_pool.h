@@ -92,6 +92,9 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t num_cached() const { return table_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
+  /// Zeroes the statistics without touching cached frames, so observers
+  /// can take clean deltas without forcing an EvictAll.
+  void ResetStats() { stats_ = BufferPoolStats{}; }
   DiskManager* disk() { return disk_; }
 
  private:

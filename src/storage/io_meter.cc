@@ -1,14 +1,21 @@
 #include "storage/io_meter.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace atis::storage {
 
 std::string IoCounters::ToString() const {
+  // Field names match the metrics dump (atis_blocks_read_total, ...); the
+  // derived cost uses the paper's default Table 4A parameters.
   std::ostringstream out;
-  out << "reads=" << blocks_read << " writes=" << blocks_written
-      << " rel_create=" << relations_created
-      << " rel_delete=" << relations_deleted;
+  char cost[32];
+  std::snprintf(cost, sizeof(cost), "%.3f", Cost(CostParams{}));
+  out << "blocks_read=" << blocks_read
+      << " blocks_written=" << blocks_written
+      << " relations_created=" << relations_created
+      << " relations_deleted=" << relations_deleted
+      << " cost_units=" << cost;
   return out.str();
 }
 

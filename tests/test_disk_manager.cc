@@ -121,7 +121,12 @@ TEST(IoMeterTest, CountersAccumulate) {
   a += b;
   EXPECT_EQ(a.blocks_read, 3u);
   EXPECT_EQ(a.blocks_written, 3u);
-  EXPECT_NE(a.ToString().find("reads=3"), std::string::npos);
+  // ToString fields are named like the metrics dump and include the
+  // derived cost under default Table 4A parameters:
+  // 3 * 0.035 + 3 * 0.05 = 0.255.
+  EXPECT_NE(a.ToString().find("blocks_read=3"), std::string::npos);
+  EXPECT_NE(a.ToString().find("blocks_written=3"), std::string::npos);
+  EXPECT_NE(a.ToString().find("cost_units=0.255"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "core/db_search.h"
 #include "core/memory_search.h"
 #include "graph/grid_generator.h"
+#include "obs/trace.h"
 
 namespace atis::core {
 namespace {
@@ -139,6 +140,35 @@ TEST_F(IoBreakdownTest, SelectionDominatesDijkstraOnThisShape) {
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stats.breakdown.relaxation.blocks_read,
             r->stats.breakdown.selection.blocks_read);
+}
+
+TEST_F(IoBreakdownTest, StatementTraceTotalsSumToGlobalIoMeterCounters) {
+  // The trace layer decomposes the same metered interval the IoMeter
+  // accumulates into `stats.io`: the per-statement spans tile it, so their
+  // category sum must reproduce the global counters *exactly* — for the
+  // status-attribute algorithm (Dijkstra) and the separate-relation one
+  // (A* version 2) alike.
+  const auto q = GridGraphGenerator::DiagonalQuery(10);
+  for (int variant = 0; variant < 2; ++variant) {
+    obs::Tracer tracer(&disk_, &pool_);
+    Result<PathResult> r = [&]() -> Result<PathResult> {
+      obs::Tracer::InstallScope scope(&tracer);
+      return variant == 0 ? engine_->Dijkstra(q.source, q.destination)
+                          : engine_->AStar(q.source, q.destination,
+                                           AStarVersion::kV2);
+    }();
+    ASSERT_TRUE(r.ok()) << variant;
+    const obs::CategoryTotals stmts =
+        obs::SumByCategory(tracer, "statement");
+    EXPECT_GT(stmts.spans, 0u) << variant;
+    EXPECT_EQ(stmts.io.blocks_read, r->stats.io.blocks_read) << variant;
+    EXPECT_EQ(stmts.io.blocks_written, r->stats.io.blocks_written)
+        << variant;
+    EXPECT_EQ(stmts.io.relations_created, r->stats.io.relations_created)
+        << variant;
+    EXPECT_EQ(stmts.io.relations_deleted, r->stats.io.relations_deleted)
+        << variant;
+  }
 }
 
 TEST_F(IoBreakdownTest, MemoryRunsHaveEmptyBreakdown) {

@@ -1,0 +1,193 @@
+// Metrics registry: counters/gauges/histograms, bucket boundaries, and the
+// Prometheus-text / JSON exports (including escaping rules).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/storage_collectors.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::obs {
+namespace {
+
+TEST(Counter, IncrementAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.Set(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  // A value equal to a bound lands in that bound's bucket (le semantics).
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(2.0);
+  h.Observe(5.0);
+  h.Observe(7.0);  // above every bound: +Inf bucket only
+  EXPECT_EQ(h.CumulativeCount(0), 1u);  // <= 1
+  EXPECT_EQ(h.CumulativeCount(1), 3u);  // <= 2
+  EXPECT_EQ(h.CumulativeCount(2), 4u);  // <= 5
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.5);
+}
+
+TEST(HistogramTest, ExponentialBoundsFollowThe125Ladder) {
+  const auto b = Histogram::ExponentialBounds(1e-2, 1.0);
+  const std::vector<double> expect{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
+  ASSERT_EQ(b.size(), expect.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], expect[i], 1e-12) << i;
+  }
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({5.0, 1.0, 5.0, 2.0});
+  const std::vector<double> expect{1.0, 2.0, 5.0};
+  EXPECT_EQ(h.bounds(), expect);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("runs", "runs", {{"algorithm", "dijkstra"}}).Increment(2);
+  reg.GetCounter("runs", "runs", {{"algorithm", "astar"}}).Increment(5);
+  EXPECT_EQ(
+      reg.GetCounter("runs", "runs", {{"algorithm", "dijkstra"}}).value(),
+      2u);
+  EXPECT_EQ(reg.GetCounter("runs", "runs", {{"algorithm", "astar"}}).value(),
+            5u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextHasHelpTypeAndSamples) {
+  MetricsRegistry reg;
+  reg.GetCounter("atis_runs_total", "Total runs").Increment(7);
+  reg.GetGauge("atis_frames", "Pool frames").Set(64);
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP atis_runs_total Total runs\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE atis_runs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("atis_runs_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE atis_frames gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("atis_frames 64\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramIsCumulativeWithInf) {
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.GetHistogram("lat", "latency", {0.1, 1.0}, {{"q", "diag"}});
+  h.Observe(0.05);
+  h.Observe(0.5);
+  h.Observe(2.0);
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("lat_bucket{q=\"diag\",le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{q=\"diag\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{q=\"diag\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_count{q=\"diag\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum{q=\"diag\"} 2.55\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  MetricsRegistry reg;
+  reg.GetCounter("c", "", {{"k", "say \"hi\"\n"}}).Increment();
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("c{k=\"say \\\"hi\\\"\\n\"} 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(EscapeJson("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(MetricsRegistryTest, JsonDumpContainsEverySeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", "help", {{"a", "b"}}).Increment(4);
+  reg.GetGauge("g", "").Set(1.5);
+  reg.GetHistogram("h", "", {1.0}).Observe(0.5);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\":[{\"name\":\"c\",\"labels\":"
+                      "{\"a\":\"b\"},\"value\":4}]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"cumulative_counts\":[1,1]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectorsRunAtDumpTime) {
+  MetricsRegistry reg;
+  int runs = 0;
+  reg.AddCollector([&](MetricsRegistry& r) {
+    ++runs;
+    r.GetCounter("mirrored", "").Set(static_cast<uint64_t>(runs));
+  });
+  EXPECT_EQ(runs, 0);  // registration alone does not collect
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_EQ(runs, 1);
+  EXPECT_NE(text.find("mirrored 1\n"), std::string::npos);
+  reg.ToJson();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(MetricsRegistryTest, ResetDropsMetricsAndCollectors) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", "").Increment();
+  reg.AddCollector([](MetricsRegistry& r) { r.GetGauge("g", "").Set(1); });
+  reg.Reset();
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_EQ(text.find("c "), std::string::npos);
+  EXPECT_EQ(text.find("g "), std::string::npos);
+}
+
+TEST(StorageCollectorsTest, MirrorIoMeterAndPoolIntoRegistry) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 4);
+  MetricsRegistry reg;
+  RegisterStorageCollectors(reg, &disk, &pool);
+
+  // Create a page, evict it (1 write-back), then fetch it twice: the
+  // first fetch misses and reads from disk, the second hits the cache.
+  storage::PageId id = storage::kInvalidPageId;
+  {
+    auto fresh = pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    id = fresh->id();
+    fresh->MutablePage();  // dirty, so eviction charges the write
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  {
+    auto miss = pool.FetchPage(id);
+    ASSERT_TRUE(miss.ok());
+  }
+  {
+    auto hit = pool.FetchPage(id);
+    ASSERT_TRUE(hit.ok());
+  }
+
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("atis_blocks_read_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("atis_blocks_written_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("atis_buffer_misses_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("atis_buffer_evictions_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("atis_buffer_frames 4\n"), std::string::npos);
+  // hit_ratio = hits / (hits + misses); one of each = 0.5 once the second
+  // fetch hits.
+  EXPECT_NE(text.find("atis_buffer_hits_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("atis_buffer_hit_ratio 0.5\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DefaultIsAProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace atis::obs

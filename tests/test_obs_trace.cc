@@ -1,0 +1,309 @@
+// Query tracing: span nesting, block-level delta accounting, install /
+// restore semantics, exports, and — the contract the subsystem lives or
+// dies by — traced runs reporting bit-identical IoCounters to untraced
+// ones (tracing must observe the execution, never perturb it).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/db_search.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::obs {
+namespace {
+
+using core::AStarVersion;
+using core::DbSearchEngine;
+using core::PathResult;
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::RelationalGraphStore;
+
+TEST(TracerTest, SpanNestingBuildsATree) {
+  Tracer tracer;
+  TraceSpan* run = tracer.BeginSpan("dijkstra", "run");
+  TraceSpan* iter = tracer.BeginSpan("iteration", "iteration");
+  TraceSpan* stmt = tracer.BeginSpan("select-min", "statement");
+  tracer.EndSpan(stmt);
+  tracer.EndSpan(iter);
+  tracer.EndSpan(run);
+  TraceSpan* second = tracer.BeginSpan("astar", "run");
+  tracer.EndSpan(second);
+
+  ASSERT_EQ(tracer.roots().size(), 2u);
+  EXPECT_EQ(tracer.roots()[0].get(), run);
+  EXPECT_EQ(tracer.roots()[1].get(), second);
+  ASSERT_EQ(run->children.size(), 1u);
+  EXPECT_EQ(run->children[0].get(), iter);
+  ASSERT_EQ(iter->children.size(), 1u);
+  EXPECT_EQ(iter->children[0].get(), stmt);
+  EXPECT_TRUE(stmt->children.empty());
+
+  EXPECT_EQ(tracer.SpansByCategory("run").size(), 2u);
+  EXPECT_EQ(tracer.SpansByCategory("statement").size(), 1u);
+  EXPECT_EQ(tracer.SpansByCategory("").size(), 4u);  // empty = every span
+}
+
+TEST(TracerTest, DeltasCoverExactlyTheEnclosedBlockWork) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 4);
+  Tracer tracer(&disk, &pool);
+
+  // Outside any span: this work must not be attributed anywhere.
+  storage::PageId id = storage::kInvalidPageId;
+  {
+    auto fresh = pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    id = fresh->id();
+    fresh->MutablePage();
+  }
+
+  TraceSpan* outer = tracer.BeginSpan("outer", "statement");
+  ASSERT_TRUE(pool.EvictAll().ok());  // dirty write-back + eviction
+  TraceSpan* inner = tracer.BeginSpan("inner", "operator");
+  {
+    auto miss = pool.FetchPage(id);  // 1 disk read, 1 pool miss
+    ASSERT_TRUE(miss.ok());
+  }
+  tracer.EndSpan(inner);
+  {
+    auto hit = pool.FetchPage(id);  // cached: pool hit, no disk I/O
+    ASSERT_TRUE(hit.ok());
+  }
+  tracer.EndSpan(outer);
+
+  EXPECT_EQ(inner->io.blocks_read, 1u);
+  EXPECT_EQ(inner->io.blocks_written, 0u);
+  EXPECT_EQ(inner->pool_misses, 1u);
+  EXPECT_EQ(inner->pool_hits, 0u);
+
+  // The outer span includes the child's work plus its own.
+  EXPECT_EQ(outer->io.blocks_read, 1u);
+  EXPECT_EQ(outer->io.blocks_written, 1u);
+  EXPECT_EQ(outer->pool_misses, 1u);
+  EXPECT_EQ(outer->pool_hits, 1u);
+  EXPECT_EQ(outer->pool_evictions, 1u);
+}
+
+TEST(TracerTest, ScopedSpanIsInertWithoutAnInstalledTracer) {
+  ASSERT_EQ(Tracer::Current(), nullptr);
+  ScopedSpan span("orphan", "statement");
+  EXPECT_FALSE(span.active());
+  span.Tag("k", "v");  // must not crash
+  span.End();
+}
+
+TEST(TracerTest, InstallScopeRestoresThePreviousTracer) {
+  Tracer a;
+  Tracer b;
+  EXPECT_EQ(Tracer::Current(), nullptr);
+  {
+    Tracer::InstallScope outer(&a);
+    EXPECT_EQ(Tracer::Current(), &a);
+    {
+      Tracer::InstallScope inner(&b);
+      EXPECT_EQ(Tracer::Current(), &b);
+    }
+    EXPECT_EQ(Tracer::Current(), &a);
+    {
+      // A null scope is a no-op: it neither installs nor restores.
+      Tracer::InstallScope noop(nullptr);
+      EXPECT_EQ(Tracer::Current(), &a);
+    }
+    EXPECT_EQ(Tracer::Current(), &a);
+  }
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TracerTest, DestructionUninstallsAndClosesOpenSpans) {
+  {
+    Tracer tracer;
+    tracer.Install();
+    tracer.BeginSpan("left-open", "run");
+    EXPECT_EQ(Tracer::Current(), &tracer);
+    // Destructor must close the open span and clear the thread slot.
+  }
+  EXPECT_EQ(Tracer::Current(), nullptr);
+}
+
+TEST(TracerTest, ChromeTraceJsonEmitsCompleteEventsWithIoArgs) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 2);
+  Tracer tracer(&disk, &pool);
+  TraceSpan* run = tracer.BeginSpan("dijkstra", "run");
+  run->Tag("grid", "10x10");
+  {
+    auto fresh = pool.NewPage();
+    ASSERT_TRUE(fresh.ok());
+    fresh->MutablePage();
+  }
+  ASSERT_TRUE(pool.EvictAll().ok());
+  tracer.EndSpan(run);
+
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dijkstra\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"run\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocks_written\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_evictions\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"grid\":\"10x10\""), std::string::npos);
+}
+
+TEST(TracerTest, TreeStringRendersTheHierarchyWithCostColumns) {
+  Tracer tracer;
+  TraceSpan* run = tracer.BeginSpan("iterative", "run");
+  TraceSpan* stmt = tracer.BeginSpan("reset-R", "statement");
+  tracer.EndSpan(stmt);
+  tracer.EndSpan(run);
+  const std::string tree = tracer.ToTreeString();
+  EXPECT_NE(tree.find("run iterative"), std::string::npos);
+  EXPECT_NE(tree.find("  statement reset-R"), std::string::npos);
+  EXPECT_NE(tree.find("cost="), std::string::npos);
+  EXPECT_NE(tree.find("wall="), std::string::npos);
+}
+
+TEST(TracerTest, SumByCategoryAddsEverySpanOnce) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 2);
+  Tracer tracer(&disk, &pool);
+  TraceSpan* run = tracer.BeginSpan("run", "run");
+  for (int i = 0; i < 2; ++i) {
+    TraceSpan* stmt = tracer.BeginSpan("stmt", "statement");
+    {
+      auto fresh = pool.NewPage();
+      ASSERT_TRUE(fresh.ok());
+      fresh->MutablePage();
+    }
+    ASSERT_TRUE(pool.EvictAll().ok());  // one write-back per round
+    tracer.EndSpan(stmt);
+  }
+  tracer.EndSpan(run);
+
+  const CategoryTotals statements = SumByCategory(tracer, "statement");
+  EXPECT_EQ(statements.spans, 2u);
+  EXPECT_EQ(statements.io.blocks_written, 2u);
+  const CategoryTotals runs = SumByCategory(tracer, "run");
+  EXPECT_EQ(runs.spans, 1u);
+  // The run span contains both statements; summing per category never
+  // mixes levels, so the totals agree instead of double-counting.
+  EXPECT_EQ(runs.io.blocks_written, statements.io.blocks_written);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing the real engine.
+
+class TracedSearchTest : public ::testing::Test {
+ protected:
+  // A full metered stack. Parity comparisons need one per run: a repeat
+  // query against the *same* store does less write-back work (updates
+  // that find their value already in place stay clean), so traced and
+  // untraced runs must each start from a freshly loaded store.
+  struct Db {
+    Db() : pool(&disk, 64), store(&pool) {
+      auto g =
+          GridGraphGenerator::Generate({10, GridCostModel::kVariance20});
+      EXPECT_TRUE(g.ok());
+      EXPECT_TRUE(store.Load(*g).ok());
+      engine = std::make_unique<DbSearchEngine>(&store, &pool);
+    }
+    storage::DiskManager disk;
+    storage::BufferPool pool;
+    RelationalGraphStore store;
+    std::unique_ptr<DbSearchEngine> engine;
+  };
+
+  static Result<PathResult> Run(Db& db, int variant) {
+    const auto q = GridGraphGenerator::DiagonalQuery(10);
+    switch (variant) {
+      case 0:
+        return db.engine->Dijkstra(q.source, q.destination);
+      case 1:
+        return db.engine->AStar(q.source, q.destination,
+                                AStarVersion::kV2);
+      default:
+        return db.engine->Iterative(q.source, q.destination);
+    }
+  }
+};
+
+TEST_F(TracedSearchTest, TracedRunsReportIdenticalResultsToUntracedRuns) {
+  // The ATIS_TRACE_DEFAULT_OFF contract: installing a tracer must not
+  // change what the engine does — same iterations, same IoCounters, same
+  // path cost, block for block.
+  for (int variant = 0; variant < 3; ++variant) {
+    Db plain;
+    auto untraced = Run(plain, variant);
+    ASSERT_TRUE(untraced.ok()) << variant;
+
+    Db observed;
+    Tracer tracer(&observed.disk, &observed.pool);
+    auto traced = [&] {
+      Tracer::InstallScope scope(&tracer);
+      return Run(observed, variant);
+    }();
+    ASSERT_TRUE(traced.ok()) << variant;
+
+    EXPECT_EQ(traced->stats.iterations, untraced->stats.iterations)
+        << variant;
+    EXPECT_EQ(traced->stats.io.blocks_read, untraced->stats.io.blocks_read)
+        << variant;
+    EXPECT_EQ(traced->stats.io.blocks_written,
+              untraced->stats.io.blocks_written)
+        << variant;
+    EXPECT_EQ(traced->stats.io.relations_created,
+              untraced->stats.io.relations_created)
+        << variant;
+    EXPECT_EQ(traced->stats.io.relations_deleted,
+              untraced->stats.io.relations_deleted)
+        << variant;
+    EXPECT_DOUBLE_EQ(traced->cost, untraced->cost) << variant;
+    EXPECT_EQ(traced->found, untraced->found) << variant;
+    EXPECT_FALSE(tracer.roots().empty()) << variant;
+  }
+}
+
+TEST_F(TracedSearchTest, RunSpanNestsIterationsWhichNestStatements) {
+  Db db;
+  Tracer tracer(&db.disk, &db.pool);
+  auto r = [&] {
+    Tracer::InstallScope scope(&tracer);
+    return Run(db, /*variant=*/0);
+  }();
+  ASSERT_TRUE(r.ok());
+
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const TraceSpan& run = *tracer.roots()[0];
+  EXPECT_EQ(run.category, "run");
+  EXPECT_EQ(run.name, "dijkstra");
+
+  // One iteration span per counted iteration, plus the terminating
+  // selection that finds the frontier empty.
+  const auto iterations = tracer.SpansByCategory("iteration");
+  EXPECT_EQ(iterations.size(), r->stats.iterations + 1);
+  for (const TraceSpan* iter : iterations) {
+    EXPECT_FALSE(iter->children.empty());
+    for (const auto& child : iter->children) {
+      EXPECT_EQ(child->category, "statement");
+    }
+  }
+
+  // Statement spans never nest within each other, so the category sum is
+  // double-count-free and must match the run's own metered delta.
+  for (const TraceSpan* stmt : tracer.SpansByCategory("statement")) {
+    for (const auto& child : stmt->children) {
+      EXPECT_NE(child->category, "statement");
+    }
+  }
+  const CategoryTotals statements = SumByCategory(tracer, "statement");
+  EXPECT_EQ(statements.io.blocks_read, r->stats.io.blocks_read);
+  EXPECT_EQ(statements.io.blocks_written, r->stats.io.blocks_written);
+}
+
+}  // namespace
+}  // namespace atis::obs
