@@ -1,5 +1,6 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -127,6 +128,145 @@ std::string VsPaper(uint64_t measured, uint64_t published) {
   std::ostringstream out;
   out << measured << " (" << published << ")";
   return out.str();
+}
+
+// -- Machine-readable emission ----------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": <here> — no comma, no indent
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ << ",";
+    first_.back() = false;
+    out_ << "\n";
+    Indent();
+  }
+}
+
+void JsonWriter::Indent() {
+  for (size_t i = 0; i < first_.size(); ++i) out_ << "  ";
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << "{";
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool empty = first_.back();
+  first_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << "[";
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool empty = first_.back();
+  first_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    Indent();
+  }
+  out_ << "]";
+  return *this;
+}
+
+namespace {
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+}  // namespace
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  BeforeValue();
+  AppendJsonEscaped(out_, k);
+  out_ << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  BeforeValue();
+  AppendJsonEscaped(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+Status JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string body = str();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int newline_ok = std::fputc('\n', f);
+  if (std::fclose(f) != 0 || written != body.size() || newline_ok == EOF) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
 }
 
 }  // namespace atis::bench

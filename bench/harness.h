@@ -4,7 +4,9 @@
 // ones so the reproduction can be eyeballed row by row.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -80,5 +82,50 @@ void PrintRow(const std::string& label, const std::vector<std::string>& cols,
 /// Formats "measured (paper published)" for quick comparison.
 std::string VsPaper(double measured, double published, int precision = 1);
 std::string VsPaper(uint64_t measured, uint64_t published);
+
+// -- Machine-readable emission ----------------------------------------------
+
+/// Streaming JSON writer for benchmark result files. Handles commas and
+/// string escaping; the caller is responsible for well-formed nesting
+/// (every Key is followed by exactly one Value/Begin*). Output is
+/// pretty-printed with two-space indentation so result files diff cleanly.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  /// Convenience: Key(k).Value(v).
+  template <typename T>
+  JsonWriter& Field(const std::string& k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+  /// Writes str() to `path`; non-OK on I/O failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::ostringstream out_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+  bool pending_key_ = false;
+};
+
+/// Percentile with linear interpolation between closest ranks; `p` in
+/// [0, 100]. Sorts a copy, so the input order does not matter. Returns 0
+/// for an empty sample set.
+double Percentile(std::vector<double> samples, double p);
 
 }  // namespace atis::bench

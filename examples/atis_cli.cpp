@@ -9,16 +9,23 @@
 //   atis_cli dbroute <file> <src> <dst>
 //                  [dijkstra|iterative|astar1|astar2|astar3]
 //                  [--trace[=FILE]] [--metrics=FILE]
+//   atis_cli serve <file> --queries=FILE [--workers=N]
+//                  [--latency=READ_US,WRITE_US] [--json=FILE]
+//                  [--metrics=FILE]
 //   atis_cli alternates <file> <src> <dst> <k>
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/advanced_search.h"
 #include "core/db_search.h"
+#include "core/route_server.h"
 #include "core/k_shortest.h"
 #include "core/memory_search.h"
 #include "core/route_service.h"
@@ -50,12 +57,18 @@ int Usage(const char* argv0) {
       "  %s dbroute <file> <src> <dst>"
       " [dijkstra|iterative|astar1|astar2|astar3]"
       " [--trace[=FILE]] [--metrics=FILE]\n"
+      "  %s serve <file> --queries=FILE [--workers=N]"
+      " [--latency=READ_US,WRITE_US] [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
       "dbroute runs the database-resident engine; --trace prints the span\n"
       "tree (with =FILE: Chrome trace_event JSON), --metrics writes a\n"
-      "Prometheus-text metrics dump ('-' = stdout).\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      "Prometheus-text metrics dump ('-' = stdout).\n"
+      "serve answers a batch of queries (lines: 'src dst [algorithm]',\n"
+      "'#' comments) on a worker pool sharing one sharded buffer pool;\n"
+      "--latency simulates per-block device waits, --json writes the\n"
+      "per-query responses ('-' = stdout).\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -279,6 +292,161 @@ int CmdDbRoute(int argc, char** argv) {
   return r->found ? 0 : 1;
 }
 
+bool ParseQueryLine(const std::string& line, size_t lineno,
+                    core::RouteQuery* q) {
+  std::istringstream in(line);
+  long src = 0, dst = 0;
+  std::string algo = "astar3";
+  if (!(in >> src >> dst)) {
+    std::fprintf(stderr, "queries line %zu: expected 'src dst [algorithm]'\n",
+                 lineno);
+    return false;
+  }
+  in >> algo;
+  q->source = static_cast<graph::NodeId>(src);
+  q->destination = static_cast<graph::NodeId>(dst);
+  if (algo == "dijkstra") {
+    q->algorithm = core::Algorithm::kDijkstra;
+  } else if (algo == "iterative") {
+    q->algorithm = core::Algorithm::kIterative;
+  } else if (algo == "astar1" || algo == "astar2" || algo == "astar3") {
+    q->algorithm = core::Algorithm::kAStar;
+    q->version = algo == "astar1"   ? core::AStarVersion::kV1
+                 : algo == "astar2" ? core::AStarVersion::kV2
+                                    : core::AStarVersion::kV3;
+  } else {
+    std::fprintf(stderr, "queries line %zu: unknown algorithm %s\n", lineno,
+                 algo.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  size_t workers = 4;
+  std::string queries_file, json_file, metrics_file;
+  storage::DiskLatencyModel latency;
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      queries_file = arg.substr(10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_file = arg.substr(7);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+    } else if (arg.rfind("--latency=", 0) == 0) {
+      unsigned r = 0, w = 0;
+      if (std::sscanf(arg.c_str() + 10, "%u,%u", &r, &w) != 2) {
+        std::fprintf(stderr, "--latency wants READ_US,WRITE_US\n");
+        return 2;
+      }
+      latency.read_micros = r;
+      latency.write_micros = w;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 1 || queries_file.empty()) return 2;
+
+  auto g = Load(positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  std::ifstream qin(queries_file);
+  if (!qin.good()) {
+    std::fprintf(stderr, "cannot read %s\n", queries_file.c_str());
+    return 1;
+  }
+  std::vector<core::RouteQuery> queries;
+  std::string line;
+  for (size_t lineno = 1; std::getline(qin, line); ++lineno) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    core::RouteQuery q;
+    if (!ParseQueryLine(line, lineno, &q)) return 2;
+    queries.push_back(q);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "%s holds no queries\n", queries_file.c_str());
+    return 1;
+  }
+
+  core::RouteServer::Options opt;
+  opt.num_workers = workers;
+  opt.disk_latency = latency;
+  opt.search.estimator_known_admissible = false;  // unknown user graph
+  core::RouteServer server(*g, opt);
+  if (!server.init_status().ok()) {
+    std::fprintf(stderr, "%s\n", server.init_status().ToString().c_str());
+    return 1;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  auto batch = server.ServeBatch(queries);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t failures = 0;
+  std::vector<double> latencies;
+  latencies.reserve(batch->size());
+  for (const core::RouteResponse& resp : *batch) {
+    latencies.push_back(resp.latency_seconds);
+    if (!resp.status.ok() || !resp.result.found) ++failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    const size_t i = static_cast<size_t>(p / 100.0 *
+                                         static_cast<double>(
+                                             latencies.size() - 1));
+    return 1e3 * latencies[i];
+  };
+  std::printf("%zu queries on %zu workers in %.3fs: %.1f queries/s; "
+              "per-query p50 %.2fms p95 %.2fms p99 %.2fms; %zu "
+              "unanswered\n",
+              batch->size(), server.num_workers(), elapsed,
+              static_cast<double>(batch->size()) / elapsed, pct(50), pct(95),
+              pct(99), failures);
+
+  if (!json_file.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"queries\": [";
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const core::RouteResponse& r = (*batch)[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"index\": " << r.query_index << ", \"source\": "
+          << queries[i].source << ", \"destination\": "
+          << queries[i].destination << ", \"ok\": "
+          << ((r.status.ok() && r.result.found) ? "true" : "false")
+          << ", \"cost\": " << r.result.cost << ", \"latency_ms\": "
+          << 1e3 * r.latency_seconds << ", \"blocks_read\": "
+          << r.io.blocks_read << ", \"worker\": " << r.worker_id << "}";
+    }
+    out << "\n  ]\n}\n";
+    if (!WriteFileOrStdout(json_file, out.str())) return 1;
+  }
+  if (!metrics_file.empty() &&
+      !WriteFileOrStdout(metrics_file,
+                         obs::MetricsRegistry::Default()
+                             .ToPrometheusText())) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdSvg(char** argv) {
   auto g = Load(argv[0]);
   if (!g.ok()) {
@@ -333,6 +501,7 @@ int main(int argc, char** argv) {
   if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
   if (cmd == "route" && argc >= 5) return CmdRoute(argc - 2, argv + 2);
   if (cmd == "dbroute" && argc >= 5) return CmdDbRoute(argc - 2, argv + 2);
+  if (cmd == "serve" && argc >= 4) return CmdServe(argc - 2, argv + 2);
   if (cmd == "alternates" && argc == 6) return CmdAlternates(argv + 2);
   if (cmd == "svg" && argc == 6) return CmdSvg(argv + 2);
   return Usage(argv[0]);

@@ -1,0 +1,161 @@
+#include "core/route_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace atis::core {
+
+RouteServer::RouteServer(const graph::Graph& g)
+    : RouteServer(g, Options()) {}
+
+RouteServer::RouteServer(const graph::Graph& g, Options options) {
+  if (options.num_workers == 0) options.num_workers = 1;
+  const size_t frames = options.pool_frames != 0
+                            ? options.pool_frames
+                            : 128 * options.num_workers;
+  const size_t shards = options.pool_shards != 0
+                            ? options.pool_shards
+                            : std::max<size_t>(4, 2 * options.num_workers);
+  disk_.SetLatencyModel(options.disk_latency);
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, frames, shards);
+
+  DbSearchOptions search = options.search;
+  search.statement_at_a_time = false;  // unsafe with concurrent pinners
+
+  // Load one store replica per worker (sequentially; the workers are not
+  // running yet). The first failure wins and the server stays inert.
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    auto store = std::make_unique<graph::RelationalGraphStore>(pool_.get());
+    if (Status st = store->Load(g); !st.ok()) {
+      init_status_ = std::move(st);
+      return;
+    }
+    engines_.push_back(std::make_unique<DbSearchEngine>(
+        store.get(), pool_.get(), search));
+    stores_.push_back(std::move(store));
+  }
+
+  workers_.reserve(options.num_workers);
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+RouteServer::~RouteServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
+    const std::vector<RouteQuery>& queries) {
+  ATIS_RETURN_NOT_OK(init_status_);
+  std::vector<RouteResponse> responses(queries.size());
+  if (queries.empty()) return responses;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &queries;
+    out_ = &responses;
+    next_ = 0;
+    done_ = 0;
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_ == queries.size(); });
+    batch_ = nullptr;
+    out_ = nullptr;
+  }
+  return responses;
+}
+
+void RouteServer::WorkerLoop(size_t worker_id) {
+  // Per-worker series are resolved once; the references stay valid for the
+  // registry's lifetime.
+  auto& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"worker", std::to_string(worker_id)}};
+  obs::Counter& served =
+      reg.GetCounter("atis_server_queries_total",
+                     "Route queries served by the worker pool", labels);
+  obs::Counter& failed =
+      reg.GetCounter("atis_server_query_failures_total",
+                     "Route queries that returned an error", labels);
+  obs::Histogram& latency = reg.GetHistogram(
+      "atis_server_query_latency_seconds",
+      "Per-query wall time inside a worker",
+      obs::Histogram::LatencyBounds(), labels);
+
+  while (true) {
+    size_t idx = 0;
+    const RouteQuery* query = nullptr;
+    std::vector<RouteResponse>* out = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && next_ < batch_->size());
+      });
+      if (stop_) return;
+      idx = next_++;
+      query = &(*batch_)[idx];
+      out = out_;
+    }
+
+    RouteResponse resp = RunOne(worker_id, idx, *query);
+    served.Increment();
+    if (!resp.status.ok()) failed.Increment();
+    latency.Observe(resp.latency_seconds);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      (*out)[idx] = std::move(resp);
+      if (++done_ == batch_->size()) done_cv_.notify_all();
+    }
+  }
+}
+
+RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
+                                  const RouteQuery& q) {
+  RouteResponse resp;
+  resp.query_index = query_index;
+  resp.worker_id = static_cast<int>(worker_id);
+
+  const auto started = std::chrono::steady_clock::now();
+  Result<PathResult> r = [&]() -> Result<PathResult> {
+    // Mirror every block this thread touches into resp.io: exact per-query
+    // accounting even though the disk (and its meter) are shared.
+    storage::IoMeter::ScopedThreadCounters scope(&resp.io);
+    DbSearchEngine& engine = *engines_[worker_id];
+    switch (q.algorithm) {
+      case Algorithm::kIterative:
+        return engine.Iterative(q.source, q.destination);
+      case Algorithm::kDijkstra:
+        return engine.Dijkstra(q.source, q.destination);
+      case Algorithm::kAStar:
+        return engine.AStar(q.source, q.destination, q.version);
+    }
+    return Status::InvalidArgument("unknown algorithm");
+  }();
+  resp.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  if (r.ok()) {
+    resp.result = std::move(r).value();
+  } else {
+    resp.status = r.status();
+  }
+  return resp;
+}
+
+}  // namespace atis::core

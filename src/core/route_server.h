@@ -1,0 +1,123 @@
+// Concurrent route-query serving: a fixed worker pool over the
+// database-resident engine.
+//
+// The paper frames ATIS as a shared service answering route-computation
+// queries for many travellers against one database-resident map
+// (Section 1). This module is that service's executor: N worker threads
+// share one metered DiskManager and one sharded BufferPool, and each
+// worker owns a private RelationalGraphStore replica (the search
+// algorithms write working state — status/pred/path_cost — into R, so the
+// node relation cannot be shared between in-flight queries; the map data
+// itself is identical across replicas). Queries are dispatched to whichever
+// worker is free; per-query block I/O is accounted exactly via
+// IoMeter::ScopedThreadCounters even though the disk is shared.
+//
+// Workers run with statement_at_a_time off: the paper's between-statement
+// pool eviction is a single-user execution model and is meaningless (and
+// unsafe) with concurrent pinners. Paper-mode experiments keep using a
+// single-threaded DbSearchEngine and are bit-identical to before.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/db_search.h"
+#include "graph/graph.h"
+#include "graph/relational_graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::core {
+
+/// One route-computation request.
+struct RouteQuery {
+  graph::NodeId source = 0;
+  graph::NodeId destination = 0;
+  Algorithm algorithm = Algorithm::kAStar;
+  /// Only read when algorithm == kAStar.
+  AStarVersion version = AStarVersion::kV3;
+};
+
+/// Outcome of one query: the path result plus serving-side accounting.
+struct RouteResponse {
+  size_t query_index = 0;     ///< position in the submitted batch
+  Status status;              ///< non-OK when the engine failed
+  PathResult result;          ///< valid iff status.ok()
+  storage::IoCounters io;     ///< exact block I/O of this query
+  double latency_seconds = 0.0;
+  int worker_id = -1;
+};
+
+class RouteServer {
+ public:
+  struct Options {
+    /// Worker threads (and store replicas). Clamped to >= 1.
+    size_t num_workers = 4;
+    /// Total frames of the shared buffer pool; 0 = 128 per worker.
+    size_t pool_frames = 0;
+    /// Pool shards; 0 = max(4, 2 * num_workers).
+    size_t pool_shards = 0;
+    /// Simulated device latency for the shared disk (off by default).
+    storage::DiskLatencyModel disk_latency;
+    /// Engine options for every worker. statement_at_a_time is forced off
+    /// (see file comment); the other knobs are honoured.
+    DbSearchOptions search;
+  };
+
+  /// Loads `options.num_workers` store replicas of `g` and starts the
+  /// workers. Check init_status() before serving.
+  RouteServer(const graph::Graph& g, Options options);
+  /// Same with default Options. (A separate overload: a nested class's
+  /// default member initializers cannot feed a default argument of the
+  /// enclosing class.)
+  explicit RouteServer(const graph::Graph& g);
+
+  RouteServer(const RouteServer&) = delete;
+  RouteServer& operator=(const RouteServer&) = delete;
+
+  /// Graceful shutdown: running queries finish, workers join.
+  ~RouteServer();
+
+  /// OK when every store replica loaded; the first load error otherwise.
+  const Status& init_status() const { return init_status_; }
+
+  /// Runs the batch across the worker pool and blocks until every query
+  /// has an answer. Responses are positionally aligned with `queries`
+  /// (response[i].query_index == i). A failed query yields a non-OK
+  /// per-response status — the batch itself still succeeds. Must not be
+  /// called concurrently from multiple dispatcher threads, and fails if
+  /// init_status() is non-OK.
+  Result<std::vector<RouteResponse>> ServeBatch(
+      const std::vector<RouteQuery>& queries);
+
+  size_t num_workers() const { return engines_.size(); }
+  storage::DiskManager& disk() { return disk_; }
+  storage::BufferPool& pool() { return *pool_; }
+
+ private:
+  void WorkerLoop(size_t worker_id);
+  RouteResponse RunOne(size_t worker_id, size_t query_index,
+                       const RouteQuery& q);
+
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::vector<std::unique_ptr<graph::RelationalGraphStore>> stores_;
+  std::vector<std::unique_ptr<DbSearchEngine>> engines_;
+  Status init_status_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for queries / stop
+  std::condition_variable done_cv_;   // dispatcher waits for completion
+  const std::vector<RouteQuery>* batch_ = nullptr;  // guarded by mu_
+  std::vector<RouteResponse>* out_ = nullptr;       // guarded by mu_
+  size_t next_ = 0;   // next unclaimed query index
+  size_t done_ = 0;   // completed queries in the current batch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace atis::core

@@ -126,6 +126,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++buckets_[static_cast<size_t>(it - bounds_.begin())];
   sum_ += value;
@@ -133,11 +134,27 @@ void Histogram::Observe(double value) {
 }
 
 uint64_t Histogram::CumulativeCount(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (size_t b = 0; b <= i && b < buckets_.size(); ++b) {
     total += buckets_[b];
   }
   return total;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+RunningStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::vector<double> Histogram::ExponentialBounds(double lo, double hi) {
@@ -157,6 +174,7 @@ MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
                                                     const std::string& help,
                                                     Kind kind,
                                                     const Labels& labels) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Family& fam = families_[name];
   if (fam.series.empty()) {
     fam.kind = kind;
@@ -170,9 +188,17 @@ MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,
   return fam.series.back();
 }
 
+// The registry lock must span the GetSeries call AND the lazy metric
+// construction below it: the Series reference is into a vector another
+// thread's registration may relocate, and the unique_ptr init itself
+// must not race. The mutex is recursive, so relocking in GetSeries is
+// fine. The returned Counter/Gauge/Histogram reference stays valid after
+// unlock — the object is heap-allocated and never moves.
+
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const Labels& labels) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Series& s = GetSeries(name, help, Kind::kCounter, labels);
   if (!s.counter) s.counter = std::make_unique<Counter>();
   return *s.counter;
@@ -181,6 +207,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const Labels& labels) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Series& s = GetSeries(name, help, Kind::kGauge, labels);
   if (!s.gauge) s.gauge = std::make_unique<Gauge>();
   return *s.gauge;
@@ -190,6 +217,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds,
                                          const Labels& labels) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Series& s = GetSeries(name, help, Kind::kHistogram, labels);
   if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
   return *s.histogram;
@@ -197,6 +225,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 void MetricsRegistry::AddCollector(
     std::function<void(MetricsRegistry&)> collector) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   collectors_.push_back(std::move(collector));
 }
 
@@ -208,6 +237,7 @@ void MetricsRegistry::RunCollectors() {
 }
 
 std::string MetricsRegistry::ToPrometheusText() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RunCollectors();
   std::ostringstream out;
   for (const auto& [name, fam] : families_) {
@@ -254,6 +284,7 @@ std::string MetricsRegistry::ToPrometheusText() {
 }
 
 std::string MetricsRegistry::ToJson() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RunCollectors();
   std::ostringstream out;
   auto labels_json = [](const Labels& labels) {
@@ -317,6 +348,7 @@ std::string MetricsRegistry::ToJson() {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   families_.clear();
   collectors_.clear();
 }

@@ -11,12 +11,20 @@
 // counters (IoMeter, BufferPoolStats) are mirrored into the registry by
 // collector callbacks that run at dump time, Prometheus collect-on-scrape
 // style, rather than by per-access instrumentation.
+//
+// Thread safety: every concurrent route-serving worker reports into the
+// default registry, so lookups and dumps are serialised by a registry
+// mutex, counters and gauges are atomics, and histograms carry their own
+// lock. References returned by Get* stay valid for the registry's
+// lifetime (series are never removed except by Reset).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,29 +40,33 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing counter. `Set` exists for collectors that
 /// mirror an external monotonic source (IoMeter) at dump time.
+/// Thread-safe (relaxed atomics).
 class Counter {
  public:
-  void Increment(uint64_t by = 1) { value_ += by; }
-  void Set(uint64_t value) { value_ = value; }
-  uint64_t value() const { return value_; }
+  void Increment(uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// Instantaneous value.
+/// Instantaneous value. Thread-safe (relaxed atomics).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket cumulative histogram in the Prometheus style: bucket i
 /// counts observations <= bounds[i], plus an implicit +Inf bucket. A
 /// RunningStats accumulator (util/stats.h) carries sum/mean/min/max.
+/// Thread-safe: observations and reads are serialised by an internal lock.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -64,9 +76,9 @@ class Histogram {
   /// Observations <= bounds()[i]; i == bounds().size() is the +Inf bucket.
   uint64_t CumulativeCount(size_t i) const;
   const std::vector<double>& bounds() const { return bounds_; }
-  uint64_t count() const { return stats_.count(); }
-  double sum() const { return sum_; }
-  const RunningStats& stats() const { return stats_; }
+  uint64_t count() const;
+  double sum() const;
+  RunningStats stats() const;
 
   /// Upper bounds 1,2,5-spaced across [lo, hi] — the usual latency ladder.
   static std::vector<double> ExponentialBounds(double lo, double hi);
@@ -76,7 +88,8 @@ class Histogram {
   }
 
  private:
-  std::vector<double> bounds_;      // sorted ascending, unique
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;      // sorted ascending, unique; immutable
   std::vector<uint64_t> buckets_;   // non-cumulative, size bounds_+1
   double sum_ = 0.0;
   RunningStats stats_;
@@ -134,6 +147,9 @@ class MetricsRegistry {
                     Kind kind, const Labels& labels);
   void RunCollectors();
 
+  // Recursive because collectors run under the lock and call Get* back
+  // into the registry.
+  mutable std::recursive_mutex mu_;
   std::map<std::string, Family> families_;  // sorted for stable output
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;
   bool collecting_ = false;  // re-entrancy guard for RunCollectors

@@ -25,7 +25,7 @@ void RegisterStorageCollectors(MetricsRegistry& registry,
     r.GetGauge("atis_disk_pages_allocated", "Live pages on the metered disk")
         .Set(static_cast<double>(disk->num_allocated()));
     if (pool == nullptr) return;
-    const storage::BufferPoolStats& bp = pool->stats();
+    const storage::BufferPoolStats bp = pool->stats();
     r.GetCounter("atis_buffer_hits_total", "Buffer pool page hits")
         .Set(bp.hits);
     r.GetCounter("atis_buffer_misses_total", "Buffer pool page misses")
@@ -43,6 +43,15 @@ void RegisterStorageCollectors(MetricsRegistry& registry,
                  : 0.0);
     r.GetGauge("atis_buffer_frames", "Buffer pool capacity in frames")
         .Set(static_cast<double>(pool->capacity()));
+    r.GetGauge("atis_buffer_pool_shards",
+               "Latch-protected shards the pool's frames are split across")
+        .Set(static_cast<double>(pool->num_shards()));
+    r.GetGauge("atis_buffer_pool_occupancy",
+               "Cached frames / capacity (0..1)")
+        .Set(pool->capacity() > 0
+                 ? static_cast<double>(pool->num_cached()) /
+                       static_cast<double>(pool->capacity())
+                 : 0.0);
   });
 }
 

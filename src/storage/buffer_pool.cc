@@ -33,11 +33,22 @@ void PageGuard::Release() {
   id_ = kInvalidPageId;
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
-  frames_.resize(capacity_);
-  free_frames_.reserve(capacity_);
-  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t num_shards)
+    : disk_(disk) {
+  if (capacity == 0) capacity = 1;
+  if (num_shards == 0) num_shards = 1;
+  if (num_shards > capacity) num_shards = capacity;
+  capacity_ = capacity;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Even split; the first (capacity % num_shards) shards get one extra.
+    const size_t frames = capacity / num_shards + (s < capacity % num_shards);
+    shard->frames.resize(frames);
+    shard->free_frames.reserve(frames);
+    for (size_t i = frames; i > 0; --i) shard->free_frames.push_back(i - 1);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -46,154 +57,246 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    ++stats_.hits;
-    Frame& f = frames_[it->second];
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+
+  // Hit path. A frame whose fill is still in flight is not usable yet:
+  // wait for the loader and re-probe (the fill may have failed, removing
+  // the mapping — then this thread becomes the loader).
+  auto it = shard.table.find(id);
+  while (it != shard.table.end() &&
+         shard.frames[it->second].io_in_progress) {
+    shard.io_cv.wait(lock);
+    it = shard.table.find(id);
+  }
+  if (it != shard.table.end()) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    Frame& f = shard.frames[it->second];
     if (f.pin_count == 0 && f.in_lru) {
-      lru_.erase(f.lru_pos);
+      shard.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
     ++f.pin_count;
     return PageGuard(this, id, &f.page);
   }
 
-  ++stats_.misses;
-  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = frames_[idx];
-  ATIS_RETURN_NOT_OK(disk_->ReadPage(id, &f.page));
+  // Miss: claim a frame under the latch, then fill it from disk with the
+  // latch released so slow devices don't serialise the shard. The frame
+  // is pinned and flagged in-flight throughout, so no other thread can
+  // evict or reuse it. A dirty victim is written back *inside* the
+  // critical section: once its mapping is gone, a concurrent fetch of the
+  // victim page reads it straight from disk, and that read must observe
+  // this write-back (the latch orders them).
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  Frame& f = shard.frames[idx];
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
   f.in_lru = false;
-  table_[id] = idx;
+  f.io_in_progress = true;
+  shard.table[id] = idx;
+
+  lock.unlock();
+  Status io = disk_->ReadPage(id, &f.page);
+  lock.lock();
+
+  f.io_in_progress = false;
+  if (!io.ok()) {
+    // Roll back so a failed fill does not leak capacity; waiters re-probe
+    // and find no mapping.
+    shard.table.erase(id);
+    f.id = kInvalidPageId;
+    f.pin_count = 0;
+    f.dirty = false;
+    shard.free_frames.push_back(idx);
+    shard.io_cv.notify_all();
+    return io;
+  }
+  shard.io_cv.notify_all();
   return PageGuard(this, id, &f.page);
 }
 
 Result<PageGuard> BufferPool::NewPage() {
   const PageId id = disk_->AllocatePage();
-  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = frames_[idx];
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ATIS_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame(shard));
+  Frame& f = shard.frames[idx];
   f.page.Zero();
   f.id = id;
   f.pin_count = 1;
   f.dirty = true;  // must reach disk even if never modified again
   f.in_lru = false;
-  table_[id] = idx;
+  shard.table[id] = idx;
   return PageGuard(this, id, &f.page);
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();
-  Frame& f = frames_[it->second];
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it == shard.table.end()) return Status::OK();
+  Frame& f = shard.frames[it->second];
   if (f.dirty) {
     ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
     f.dirty = false;
-    ++stats_.dirty_writebacks;
+    shard.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (const auto& [id, idx] : table_) {
-    Frame& f = frames_[idx];
-    if (f.dirty) {
-      ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
-      f.dirty = false;
-      ++stats_.dirty_writebacks;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, idx] : shard.table) {
+      Frame& f = shard.frames[idx];
+      if (f.dirty) {
+        ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
+        f.dirty = false;
+        shard.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::EvictAll() {
-  for (const Frame& f : frames_) {
-    if (f.id != kInvalidPageId && f.pin_count > 0) {
-      return Status::FailedPrecondition(
-          "EvictAll with pinned page " + std::to_string(f.id));
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Frame& f : shard.frames) {
+      if (f.id != kInvalidPageId && f.pin_count > 0) {
+        return Status::FailedPrecondition(
+            "EvictAll with pinned page " + std::to_string(f.id));
+      }
     }
-  }
-  ATIS_RETURN_NOT_OK(FlushAll());
-  for (Frame& f : frames_) {
-    if (f.id == kInvalidPageId) continue;
-    table_.erase(f.id);
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+    for (Frame& f : shard.frames) {
+      if (f.id == kInvalidPageId) continue;
+      if (f.dirty) {
+        ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
+        f.dirty = false;
+        shard.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+      }
+      shard.table.erase(f.id);
+      if (f.in_lru) {
+        shard.lru.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.id = kInvalidPageId;
+      shard.free_frames.push_back(
+          static_cast<size_t>(&f - shard.frames.data()));
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
     }
-    f.id = kInvalidPageId;
-    free_frames_.push_back(static_cast<size_t>(&f - frames_.data()));
-    ++stats_.evictions;
   }
   return Status::OK();
 }
 
 Status BufferPool::DeletePage(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count > 0) {
-      return Status::FailedPrecondition("DeletePage on pinned page " +
-                                        std::to_string(id));
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(id);
+    if (it != shard.table.end()) {
+      Frame& f = shard.frames[it->second];
+      if (f.pin_count > 0) {
+        return Status::FailedPrecondition("DeletePage on pinned page " +
+                                          std::to_string(id));
+      }
+      if (f.in_lru) {
+        shard.lru.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.id = kInvalidPageId;
+      f.dirty = false;
+      shard.free_frames.push_back(it->second);
+      shard.table.erase(it);
     }
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
-    f.id = kInvalidPageId;
-    f.dirty = false;
-    free_frames_.push_back(it->second);
-    table_.erase(it);
   }
   return disk_->DeallocatePage(id);
 }
 
+size_t BufferPool::num_cached() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->table.size();
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  for (const auto& shard_ptr : shards_) {
+    s.hits += shard_ptr->hits.load(std::memory_order_relaxed);
+    s.misses += shard_ptr->misses.load(std::memory_order_relaxed);
+    s.evictions += shard_ptr->evictions.load(std::memory_order_relaxed);
+    s.dirty_writebacks +=
+        shard_ptr->dirty_writebacks.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  for (const auto& shard_ptr : shards_) {
+    shard_ptr->hits.store(0, std::memory_order_relaxed);
+    shard_ptr->misses.store(0, std::memory_order_relaxed);
+    shard_ptr->evictions.store(0, std::memory_order_relaxed);
+    shard_ptr->dirty_writebacks.store(0, std::memory_order_relaxed);
+  }
+}
+
 void BufferPool::Unpin(PageId id) {
-  auto it = table_.find(id);
-  assert(it != table_.end());
-  Frame& f = frames_[it->second];
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  assert(it != shard.table.end());
+  Frame& f = shard.frames[it->second];
   assert(f.pin_count > 0);
   if (--f.pin_count == 0) {
-    lru_.push_front(it->second);
-    f.lru_pos = lru_.begin();
+    shard.lru.push_front(it->second);
+    f.lru_pos = shard.lru.begin();
     f.in_lru = true;
   }
 }
 
 void BufferPool::MarkDirty(PageId id) {
-  auto it = table_.find(id);
-  assert(it != table_.end());
-  frames_[it->second].dirty = true;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  assert(it != shard.table.end());
+  shard.frames[it->second].dirty = true;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    const size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t idx = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  if (shard.lru.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames of shard "
+                                     "pinned");
   }
-  const size_t idx = lru_.back();
-  ATIS_RETURN_NOT_OK(EvictFrame(idx));
+  const size_t idx = shard.lru.back();
+  ATIS_RETURN_NOT_OK(EvictFrame(shard, idx));
   return idx;
 }
 
-Status BufferPool::EvictFrame(size_t frame_idx) {
-  Frame& f = frames_[frame_idx];
+Status BufferPool::EvictFrame(Shard& shard, size_t frame_idx) {
+  Frame& f = shard.frames[frame_idx];
   assert(f.pin_count == 0 && f.in_lru);
   if (f.dirty) {
     ATIS_RETURN_NOT_OK(disk_->WritePage(f.id, f.page));
-    ++stats_.dirty_writebacks;
+    shard.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
   }
-  lru_.erase(f.lru_pos);
+  shard.lru.erase(f.lru_pos);
   f.in_lru = false;
-  table_.erase(f.id);
+  shard.table.erase(f.id);
   f.id = kInvalidPageId;
   f.dirty = false;
-  ++stats_.evictions;
+  shard.evictions.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

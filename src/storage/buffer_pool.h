@@ -6,10 +6,24 @@
 // accesses reach the metered disk — this is what makes the published cost
 // formulas emerge from real accesses. Outside experiments the pool behaves
 // like a normal database buffer cache.
+//
+// Concurrency: the pool is split into `num_shards` shards, each owning a
+// fixed slice of the frames plus its own hash table, LRU list, free list
+// and latch. A page id maps to exactly one shard (id % num_shards), so all
+// operations on one page serialise on that shard's latch while operations
+// on different shards proceed in parallel. Pinned frames are never victims,
+// so a Page* handed out by a PageGuard stays valid and unshared for the
+// guard's lifetime. The default is a single shard, which preserves the
+// exact global-LRU hit/miss/eviction sequence of the paper-mode
+// experiments; concurrent servers construct the pool with more shards.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,7 +42,12 @@ class PageGuard {
   PageGuard() = default;
   PageGuard(BufferPool* pool, PageId id, Page* page)
       : pool_(pool), id_(id), page_(page) {}
-  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(o.pool_), id_(o.id_), page_(o.page_) {
+    o.pool_ = nullptr;
+    o.id_ = kInvalidPageId;
+    o.page_ = nullptr;
+  }
   PageGuard& operator=(PageGuard&& o) noexcept;
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
@@ -61,8 +80,11 @@ struct BufferPoolStats {
 
 class BufferPool {
  public:
-  /// `capacity` is the number of frames. Precondition: capacity >= 1.
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// `capacity` is the total number of frames, distributed evenly across
+  /// `num_shards` latch-protected shards (each shard gets at least one
+  /// frame, so the effective capacity is max(capacity, num_shards)).
+  /// Preconditions relaxed to clamps: capacity >= 1, num_shards >= 1.
+  BufferPool(DiskManager* disk, size_t capacity, size_t num_shards = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -81,20 +103,25 @@ class BufferPool {
   /// Writes back all dirty pages; pages stay cached.
   Status FlushAll();
 
-  /// Flushes and drops every unpinned frame. Returns FailedPrecondition if
-  /// any frame is still pinned. Used between statements in the paper's
-  /// statement-at-a-time execution model.
+  /// Flushes and drops every unpinned frame, shard by shard. Returns
+  /// FailedPrecondition on the first shard holding a pinned frame (earlier
+  /// shards stay evicted). Used between statements in the paper's
+  /// single-threaded statement-at-a-time execution model; concurrent
+  /// servers never call it.
   Status EvictAll();
 
   /// Drops a page from cache (flushing if dirty) and deallocates it on disk.
   Status DeletePage(PageId id);
 
   size_t capacity() const { return capacity_; }
-  size_t num_cached() const { return table_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_cached() const;
+  /// Aggregated snapshot across shards. Exact when quiesced; concurrent
+  /// readers may see counters mid-update (each field is atomic).
+  BufferPoolStats stats() const;
   /// Zeroes the statistics without touching cached frames, so observers
   /// can take clean deltas without forcing an EvictAll.
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats();
   DiskManager* disk() { return disk_; }
 
  private:
@@ -105,23 +132,42 @@ class BufferPool {
     PageId id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
+    /// Set while a miss is filling this frame from disk *outside* the
+    /// shard latch (so slow devices don't serialise the whole shard).
+    /// The frame is pinned for the duration; concurrent fetchers of the
+    /// same page wait on the shard's `io_cv`.
+    bool io_in_progress = false;
     std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0
     bool in_lru = false;
   };
 
+  /// One latch-protected slice of the pool. Frame indexes below are local
+  /// to the shard's `frames` vector.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable io_cv;  // signalled when an in-flight fill ends
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> table;  // page id -> frame index
+    std::list<size_t> lru;                     // front = most recent
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> dirty_writebacks{0};
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
   void Unpin(PageId id);
   void MarkDirty(PageId id);
-  /// Finds a free frame, evicting the LRU unpinned frame if needed.
-  Result<size_t> GetVictimFrame();
-  Status EvictFrame(size_t frame_idx);
+  /// Finds a free frame in `shard`, evicting its LRU unpinned frame if
+  /// needed. Caller holds shard.mu.
+  Result<size_t> GetVictimFrame(Shard& shard);
+  Status EvictFrame(Shard& shard, size_t frame_idx);  // caller holds mu
 
   DiskManager* disk_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
-  std::list<size_t> lru_;                     // front = most recent
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace atis::storage

@@ -1,10 +1,14 @@
 #include "storage/disk_manager.h"
 
+#include <chrono>
+#include <mutex>
 #include <string>
+#include <thread>
 
 namespace atis::storage {
 
 PageId DiskManager::AllocatePage() {
+  std::unique_lock lock(mu_);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -16,6 +20,7 @@ PageId DiskManager::AllocatePage() {
 }
 
 Status DiskManager::DeallocatePage(PageId id) {
+  std::unique_lock lock(mu_);
   ATIS_RETURN_NOT_OK(Validate(id));
   pages_[id].reset();
   free_list_.push_back(id);
@@ -23,28 +28,55 @@ Status DiskManager::DeallocatePage(PageId id) {
 }
 
 Status DiskManager::ReadPage(PageId id, Page* dest) {
-  ATIS_RETURN_NOT_OK(Validate(id));
-  ATIS_RETURN_NOT_OK(CheckFault());
-  *dest = *pages_[id];
-  meter_.RecordRead();
+  {
+    std::shared_lock lock(mu_);
+    ATIS_RETURN_NOT_OK(Validate(id));
+    ATIS_RETURN_NOT_OK(CheckFault());
+    *dest = *pages_[id];
+    meter_.RecordRead();
+  }
+  SimulateLatency(/*is_write=*/false);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const Page& src) {
-  ATIS_RETURN_NOT_OK(Validate(id));
-  ATIS_RETURN_NOT_OK(CheckFault());
-  *pages_[id] = src;
-  meter_.RecordWrite();
+  {
+    std::shared_lock lock(mu_);
+    ATIS_RETURN_NOT_OK(Validate(id));
+    ATIS_RETURN_NOT_OK(CheckFault());
+    *pages_[id] = src;
+    meter_.RecordWrite();
+  }
+  SimulateLatency(/*is_write=*/true);
   return Status::OK();
 }
 
+size_t DiskManager::num_allocated() const {
+  std::shared_lock lock(mu_);
+  return pages_.size() - free_list_.size();
+}
+
 Status DiskManager::CheckFault() {
-  if (!fault_armed_) return Status::OK();
-  if (fault_countdown_ == 0) {
-    return Status::Internal("injected disk fault");
+  if (!fault_armed_.load(std::memory_order_relaxed)) return Status::OK();
+  // Decrement-if-positive; the first access after the countdown reaches
+  // zero (and every one after) fails.
+  uint64_t left = fault_countdown_.load(std::memory_order_relaxed);
+  while (true) {
+    if (left == 0) return Status::Internal("injected disk fault");
+    if (fault_countdown_.compare_exchange_weak(left, left - 1,
+                                               std::memory_order_relaxed)) {
+      return Status::OK();
+    }
   }
-  --fault_countdown_;
-  return Status::OK();
+}
+
+void DiskManager::SimulateLatency(bool is_write) const {
+  const uint32_t micros =
+      is_write ? latency_write_micros_.load(std::memory_order_relaxed)
+               : latency_read_micros_.load(std::memory_order_relaxed);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
 }
 
 Status DiskManager::Validate(PageId id) const {

@@ -4,9 +4,19 @@
 // of a 1993 I/O cost study — the *accounting* is what matters, not physical
 // seeks), but the interface is exactly that of a paged disk file: allocate,
 // read, write, deallocate.
+//
+// Thread safety: all operations may be called concurrently. Allocation
+// metadata is guarded by a shared mutex (exclusive for allocate/deallocate,
+// shared for page I/O); the meter and the fault-injection state are atomic.
+// Concurrent ReadPage/WritePage of the *same* page are the caller's
+// responsibility — the buffer pool guarantees it by routing every page
+// through exactly one latch-protected shard.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/io_meter.h"
@@ -14,6 +24,20 @@
 #include "util/status.h"
 
 namespace atis::storage {
+
+/// Optional simulated device latency, charged per block access by
+/// sleeping the calling thread. Zero (the default) keeps the disk instant,
+/// as the paper-mode experiments require — they account cost analytically.
+/// The throughput benchmark turns this on so that a route-serving workload
+/// is I/O-bound the way the paper's Table 4A time constants say it was,
+/// which is exactly the regime where concurrent query serving pays off:
+/// workers overlap their block waits.
+struct DiskLatencyModel {
+  uint32_t read_micros = 0;   ///< sleep per block read
+  uint32_t write_micros = 0;  ///< sleep per block written
+
+  bool enabled() const { return read_micros > 0 || write_micros > 0; }
+};
 
 class DiskManager {
  public:
@@ -35,34 +59,54 @@ class DiskManager {
   Status WritePage(PageId id, const Page& src);
 
   /// Number of live (allocated, not freed) pages.
-  size_t num_allocated() const { return pages_.size() - free_list_.size(); }
+  size_t num_allocated() const;
 
   IoMeter& meter() { return meter_; }
   const IoMeter& meter() const { return meter_; }
+
+  /// Installs (or clears, with a zero model) the simulated device latency.
+  /// The sleep happens outside the allocation lock, after a successful
+  /// access. Not meant to be changed while I/O is in flight.
+  void SetLatencyModel(DiskLatencyModel model) {
+    latency_read_micros_.store(model.read_micros, std::memory_order_relaxed);
+    latency_write_micros_.store(model.write_micros,
+                                std::memory_order_relaxed);
+  }
+  DiskLatencyModel latency_model() const {
+    return {latency_read_micros_.load(std::memory_order_relaxed),
+            latency_write_micros_.load(std::memory_order_relaxed)};
+  }
 
   /// Fault injection for tests: after `ops` further successful block
   /// reads/writes, every subsequent I/O fails with an Internal error
   /// until ClearFaultInjection() is called (modelling a device that went
   /// bad, RocksDB background-error style). Failed I/O is not metered.
   void FailAfter(uint64_t ops) {
-    fault_armed_ = true;
-    fault_countdown_ = ops;
+    fault_countdown_.store(ops, std::memory_order_relaxed);
+    fault_armed_.store(true, std::memory_order_relaxed);
   }
-  void ClearFaultInjection() { fault_armed_ = false; }
+  void ClearFaultInjection() {
+    fault_armed_.store(false, std::memory_order_relaxed);
+  }
   bool fault_active() const {
-    return fault_armed_ && fault_countdown_ == 0;
+    return fault_armed_.load(std::memory_order_relaxed) &&
+           fault_countdown_.load(std::memory_order_relaxed) == 0;
   }
 
  private:
-  Status Validate(PageId id) const;
+  Status Validate(PageId id) const;  // caller holds mu_ (any mode)
   /// Consumes one unit of the fault countdown; error when exhausted.
   Status CheckFault();
+  void SimulateLatency(bool is_write) const;
 
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;  // nullptr == freed slot
   std::vector<PageId> free_list_;
   IoMeter meter_;
-  bool fault_armed_ = false;
-  uint64_t fault_countdown_ = 0;
+  std::atomic<bool> fault_armed_{false};
+  std::atomic<uint64_t> fault_countdown_{0};
+  std::atomic<uint32_t> latency_read_micros_{0};
+  std::atomic<uint32_t> latency_write_micros_{0};
 };
 
 }  // namespace atis::storage

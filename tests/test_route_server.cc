@@ -1,0 +1,191 @@
+// Tests for core::RouteServer: parallel serving must return exactly the
+// answers a single-threaded engine produces, account I/O per query, report
+// per-query errors without failing the batch, and shut down cleanly.
+#include "core/route_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/db_search.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::core {
+namespace {
+
+graph::Graph MakeGrid(int k) {
+  graph::GridGraphGenerator::Options opt;
+  opt.k = k;
+  opt.cost_model = graph::GridCostModel::kVariance20;
+  auto g = graph::GridGraphGenerator::Generate(opt);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+std::vector<RouteQuery> CornerQueries(int k, size_t n) {
+  // Deterministic spread of sources/destinations over the grid diagonal.
+  std::vector<RouteQuery> queries;
+  const auto nodes = static_cast<graph::NodeId>(k * k);
+  for (size_t i = 0; i < n; ++i) {
+    RouteQuery q;
+    q.source = static_cast<graph::NodeId>((7 * i + 3) % nodes);
+    q.destination = static_cast<graph::NodeId>((11 * i + nodes / 2) % nodes);
+    if (q.source == q.destination) q.destination = (q.destination + 1) % nodes;
+    q.algorithm = i % 3 == 0 ? Algorithm::kDijkstra : Algorithm::kAStar;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+TEST(RouteServerTest, ParallelAnswersMatchSequentialEngine) {
+  const graph::Graph g = MakeGrid(12);
+  const std::vector<RouteQuery> queries = CornerQueries(12, 24);
+
+  // Reference: one single-threaded engine over its own store.
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  DbSearchEngine engine(&store, &pool, DbSearchOptions{});
+  std::vector<PathResult> expected;
+  for (const RouteQuery& q : queries) {
+    auto r = q.algorithm == Algorithm::kDijkstra
+                 ? engine.Dijkstra(q.source, q.destination)
+                 : engine.AStar(q.source, q.destination, q.version);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(std::move(r).value());
+  }
+
+  RouteServer::Options opt;
+  opt.num_workers = 4;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+
+  std::set<int> workers_used;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RouteResponse& resp = (*batch)[i];
+    EXPECT_EQ(resp.query_index, i);
+    ASSERT_TRUE(resp.status.ok()) << "query " << i;
+    EXPECT_EQ(resp.result.found, expected[i].found) << "query " << i;
+    EXPECT_NEAR(resp.result.cost, expected[i].cost, 1e-9) << "query " << i;
+    EXPECT_EQ(resp.result.path, expected[i].path) << "query " << i;
+    EXPECT_GE(resp.latency_seconds, 0.0);
+    workers_used.insert(resp.worker_id);
+  }
+  // With 24 queries over 4 workers at least two workers must have served.
+  EXPECT_GE(workers_used.size(), 2u);
+}
+
+TEST(RouteServerTest, PerQueryIoSumsToSharedDiskDelta) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  const storage::IoCounters before = server.disk().meter().counters();
+  auto batch = server.ServeBatch(CornerQueries(8, 10));
+  ASSERT_TRUE(batch.ok());
+  const storage::IoCounters after = server.disk().meter().counters();
+
+  uint64_t reads = 0, writes = 0;
+  for (const RouteResponse& resp : *batch) {
+    ASSERT_TRUE(resp.status.ok());
+    reads += resp.io.blocks_read;
+    writes += resp.io.blocks_written;
+  }
+  // The workers are the only disk users, so per-query mirrors must tile
+  // the shared meter's delta exactly.
+  EXPECT_EQ(reads, after.blocks_read - before.blocks_read);
+  EXPECT_EQ(writes, after.blocks_written - before.blocks_written);
+}
+
+TEST(RouteServerTest, BadQueryFailsAloneNotTheBatch) {
+  const graph::Graph g = MakeGrid(6);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  std::vector<RouteQuery> queries = CornerQueries(6, 4);
+  RouteQuery bad;
+  bad.source = 0;
+  bad.destination = 30000;  // not a node of the 6x6 grid
+  queries.push_back(bad);
+
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE((*batch)[i].status.ok()) << "query " << i;
+  }
+  EXPECT_FALSE(batch->back().status.ok());
+}
+
+TEST(RouteServerTest, EmptyBatchAndRepeatedBatchesWork) {
+  const graph::Graph g = MakeGrid(6);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  auto empty = server.ServeBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  const std::vector<RouteQuery> queries = CornerQueries(6, 6);
+  auto first = server.ServeBatch(queries);
+  auto second = server.ServeBatch(queries);
+  ASSERT_TRUE(first.ok() && second.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR((*first)[i].result.cost, (*second)[i].result.cost, 1e-9);
+  }
+}
+
+TEST(RouteServerTest, ShutdownWithoutServingIsClean) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer::Options opt;
+  opt.num_workers = 3;
+  RouteServer server(g, opt);
+  EXPECT_TRUE(server.init_status().ok());
+  EXPECT_EQ(server.num_workers(), 3u);
+  // Destructor joins idle workers; nothing to assert beyond not hanging.
+}
+
+TEST(RouteServerTest, WorkerCountClampedToAtLeastOne) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer::Options opt;
+  opt.num_workers = 0;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_EQ(server.num_workers(), 1u);
+  auto batch = server.ServeBatch(CornerQueries(5, 3));
+  ASSERT_TRUE(batch.ok());
+  for (const RouteResponse& resp : *batch) {
+    EXPECT_TRUE(resp.status.ok());
+    EXPECT_EQ(resp.worker_id, 0);
+  }
+}
+
+TEST(RouteServerTest, DiskLatencyModelIsInstalled) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.disk_latency.read_micros = 5;
+  opt.disk_latency.write_micros = 7;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_EQ(server.disk().latency_model().read_micros, 5u);
+  EXPECT_EQ(server.disk().latency_model().write_micros, 7u);
+}
+
+}  // namespace
+}  // namespace atis::core
