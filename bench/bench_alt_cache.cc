@@ -1,0 +1,457 @@
+// ALT (A* Version 4) + route-cache benchmark.
+//
+// Part 1 — estimator quality: A* versions 2 (Euclidean), 3 (Manhattan)
+// and 4 (landmark/ALT) answer the same trips on the paper's grids
+// (10/20/30, three cost models) and the Minneapolis-like road map.
+// Version 4 must return exactly the Dijkstra-optimal cost on every
+// workload (its bounds are admissible under any cost model), match
+// Version 2 wherever Euclidean is admissible, and cut iterations and
+// block I/O — the acceptance floor is a >= 20% iteration reduction with
+// fewer blocks on at least one workload.
+//
+// Part 2 — serving-path cache: a 4-worker RouteServer answers the same
+// batch uncached vs. with the epoch-invalidated route cache warm. Warm
+// answers must be bit-identical and at least 2x the uncached QPS; a
+// traffic update must drop every cached entry (zero hits on the next
+// batch).
+//
+// Emits BENCH_alt_cache.json (override the path with argv[1]).
+#include <chrono>
+#include <cmath>
+
+#include "core/landmarks.h"
+#include "core/route_server.h"
+#include "graph/road_map_generator.h"
+#include "harness.h"
+#include "util/random.h"
+
+namespace atis::bench {
+namespace {
+
+constexpr uint64_t kSeed = 1993;
+constexpr size_t kNumLandmarks = 8;
+// Cache throughput regime: same I/O-bound setup as bench_throughput.
+constexpr size_t kCacheWorkers = 4;
+constexpr size_t kFramesPerWorker = 32;
+constexpr uint32_t kReadMicros = 175;
+constexpr uint32_t kWriteMicros = 250;
+constexpr size_t kQueriesPerBatch = 64;
+
+[[noreturn]] void Fatal(const std::string& message) {
+  std::fprintf(stderr, "fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+struct Trip {
+  std::string name;
+  graph::NodeId source = 0;
+  graph::NodeId destination = 0;
+};
+
+struct Workload {
+  std::string name;
+  graph::Graph graph;
+  std::vector<Trip> trips;
+  /// Euclidean mix-in scale for the ALT estimator; 1.0 only where edge
+  /// costs dominate geometric distance (so the mix stays admissible).
+  double euclidean_scale = 0.0;
+  /// Whether plain Euclidean (Version 2) is admissible here — only then
+  /// is v4-vs-v2 cost parity a theorem rather than a coincidence.
+  bool euclidean_admissible = false;
+};
+
+struct VersionCell {
+  uint64_t iterations = 0;
+  uint64_t blocks = 0;  // blocks_read + blocks_written
+  double cost_units = 0.0;
+  double path_cost = 0.0;
+};
+
+struct TripResult {
+  Trip trip;
+  VersionCell v2, v3, v4;
+  double optimal_cost = 0.0;  // database-resident Dijkstra
+};
+
+struct WorkloadResult {
+  std::string name;
+  size_t nodes = 0;
+  std::vector<TripResult> trips;
+  double preprocess_seconds = 0.0;   // landmark persist + load
+  uint64_t preprocess_blocks = 0;    // metered I/O of the same
+  // Totals over the workload's trips.
+  uint64_t iters_v2 = 0, iters_v3 = 0, iters_v4 = 0;
+  uint64_t blocks_v2 = 0, blocks_v3 = 0, blocks_v4 = 0;
+  double iter_reduction_v4_vs_v2 = 0.0;
+};
+
+VersionCell ToVersionCell(const core::PathResult& r) {
+  VersionCell c;
+  c.iterations = r.stats.iterations;
+  c.blocks = r.stats.io.blocks_read + r.stats.io.blocks_written;
+  c.cost_units = r.stats.cost_units;
+  c.path_cost = r.cost;
+  return c;
+}
+
+WorkloadResult RunWorkload(const Workload& w) {
+  WorkloadResult out;
+  out.name = w.name;
+  out.nodes = w.graph.num_nodes();
+
+  DbInstance db(w.graph);
+
+  // Landmark preprocessing, metered: selection runs in memory (2k SSSP),
+  // persistence + reload go through the storage layer.
+  core::LandmarkOptions lm;
+  lm.num_landmarks = kNumLandmarks;
+  auto set = core::SelectLandmarks(core::WithStoredEdgeCosts(w.graph), lm);
+  if (!set.ok()) Fatal(set.status().ToString());
+  const storage::IoCounters io_before = db.disk().meter().counters();
+  const auto pp_started = std::chrono::steady_clock::now();
+  auto table = core::PersistAndLoadLandmarks(*set, &db.store());
+  if (!table.ok()) Fatal(table.status().ToString());
+  out.preprocess_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pp_started)
+          .count();
+  const storage::IoCounters io_delta =
+      db.disk().meter().counters() - io_before;
+  out.preprocess_blocks = io_delta.blocks_read + io_delta.blocks_written;
+  if (auto st = db.engine().EnableLandmarks(core::MakeLandmarkEstimator(
+          std::move(table).value(), w.euclidean_scale));
+      !st.ok()) {
+    Fatal(st.ToString());
+  }
+
+  for (const Trip& trip : w.trips) {
+    TripResult tr;
+    tr.trip = trip;
+    auto exact = db.engine().Dijkstra(trip.source, trip.destination);
+    if (!exact.ok() || !(*exact).found) {
+      Fatal(w.name + " trip " + trip.name + ": Dijkstra found no route");
+    }
+    tr.optimal_cost = exact->cost;
+    for (const core::AStarVersion v :
+         {core::AStarVersion::kV2, core::AStarVersion::kV3,
+          core::AStarVersion::kV4}) {
+      auto r = db.engine().AStar(trip.source, trip.destination, v);
+      if (!r.ok() || !(*r).found) {
+        Fatal(w.name + " trip " + trip.name + ": A* failed");
+      }
+      const VersionCell cell = ToVersionCell(*r);
+      if (v == core::AStarVersion::kV2) tr.v2 = cell;
+      if (v == core::AStarVersion::kV3) tr.v3 = cell;
+      if (v == core::AStarVersion::kV4) tr.v4 = cell;
+    }
+    // Version 4 is admissible on every cost model: exact cost, always.
+    if (std::abs(tr.v4.path_cost - tr.optimal_cost) > 1e-9) {
+      Fatal(w.name + " trip " + trip.name + ": v4 cost diverges from optimal");
+    }
+    // Where Euclidean is admissible too, v2 parity is required.
+    if (w.euclidean_admissible &&
+        std::abs(tr.v4.path_cost - tr.v2.path_cost) > 1e-9) {
+      Fatal(w.name + " trip " + trip.name + ": v4 cost diverges from v2");
+    }
+    out.iters_v2 += tr.v2.iterations;
+    out.iters_v3 += tr.v3.iterations;
+    out.iters_v4 += tr.v4.iterations;
+    out.blocks_v2 += tr.v2.blocks;
+    out.blocks_v3 += tr.v3.blocks;
+    out.blocks_v4 += tr.v4.blocks;
+    out.trips.push_back(tr);
+  }
+  out.iter_reduction_v4_vs_v2 =
+      out.iters_v2 == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(out.iters_v4) /
+                      static_cast<double>(out.iters_v2);
+  return out;
+}
+
+std::vector<Trip> GridTrips(int k) {
+  const auto n = static_cast<graph::NodeId>(k * k);
+  return {
+      {"corner_diag", 0, static_cast<graph::NodeId>(n - 1)},
+      {"anti_diag", static_cast<graph::NodeId>(k - 1),
+       static_cast<graph::NodeId>(n - k)},
+      {"mid_to_corner", static_cast<graph::NodeId>(n / 2 + k / 2),
+       static_cast<graph::NodeId>(n - 1)},
+  };
+}
+
+void PrintWorkload(const WorkloadResult& r) {
+  std::printf("\n%s (%zu nodes; landmark preprocessing %.3fs, %llu blocks)\n",
+              r.name.c_str(), r.nodes, r.preprocess_seconds,
+              static_cast<unsigned long long>(r.preprocess_blocks));
+  PrintRow("trip", {"v2 iters", "v3 iters", "v4 iters", "v2 blocks",
+                    "v4 blocks", "cost"});
+  for (const TripResult& t : r.trips) {
+    char i2[32], i3[32], i4[32], b2[32], b4[32], c[32];
+    std::snprintf(i2, sizeof(i2), "%llu",
+                  static_cast<unsigned long long>(t.v2.iterations));
+    std::snprintf(i3, sizeof(i3), "%llu",
+                  static_cast<unsigned long long>(t.v3.iterations));
+    std::snprintf(i4, sizeof(i4), "%llu",
+                  static_cast<unsigned long long>(t.v4.iterations));
+    std::snprintf(b2, sizeof(b2), "%llu",
+                  static_cast<unsigned long long>(t.v2.blocks));
+    std::snprintf(b4, sizeof(b4), "%llu",
+                  static_cast<unsigned long long>(t.v4.blocks));
+    std::snprintf(c, sizeof(c), "%.2f", t.v4.path_cost);
+    PrintRow(t.trip.name, {i2, i3, i4, b2, b4, c});
+  }
+  std::printf("  totals: v4 vs v2 iterations %llu -> %llu (%.1f%% fewer), "
+              "blocks %llu -> %llu\n",
+              static_cast<unsigned long long>(r.iters_v2),
+              static_cast<unsigned long long>(r.iters_v4),
+              100.0 * r.iter_reduction_v4_vs_v2,
+              static_cast<unsigned long long>(r.blocks_v2),
+              static_cast<unsigned long long>(r.blocks_v4));
+}
+
+// -- Part 2: route cache on the serving path --------------------------------
+
+struct CacheResult {
+  double qps_uncached = 0.0;
+  double qps_warm = 0.0;
+  double speedup = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stale_evictions = 0;
+  uint64_t warm_batch_hits = 0;
+  uint64_t post_update_hits = 0;  // must be 0: no stale route served
+};
+
+std::vector<core::RouteQuery> MakeQueries(const graph::Graph& g, size_t n) {
+  Rng rng(kSeed);
+  std::vector<core::RouteQuery> queries;
+  queries.reserve(n);
+  while (queries.size() < n) {
+    core::RouteQuery q;
+    q.source = static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+    q.destination = static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+    if (q.source == q.destination) continue;
+    if (!core::DijkstraSearch(g, q.source, q.destination).found) continue;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+core::RouteServer::Options ServerOptions(bool enable_cache) {
+  core::RouteServer::Options opt;
+  opt.num_workers = kCacheWorkers;
+  opt.pool_frames = kFramesPerWorker * kCacheWorkers;
+  opt.disk_latency.read_micros = kReadMicros;
+  opt.disk_latency.write_micros = kWriteMicros;
+  opt.enable_cache = enable_cache;
+  return opt;
+}
+
+std::vector<core::RouteResponse> Serve(
+    core::RouteServer& server, const std::vector<core::RouteQuery>& queries,
+    double* qps) {
+  const auto started = std::chrono::steady_clock::now();
+  auto batch = server.ServeBatch(queries);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  if (!batch.ok()) Fatal(batch.status().ToString());
+  for (const core::RouteResponse& r : *batch) {
+    if (!r.status.ok() || !r.result.found) {
+      Fatal("serve: query " + std::to_string(r.query_index) + " failed");
+    }
+  }
+  if (qps != nullptr) {
+    *qps = static_cast<double>(queries.size()) / elapsed;
+  }
+  return std::move(batch).value();
+}
+
+CacheResult RunCacheBenchmark(const graph::Graph& g) {
+  const std::vector<core::RouteQuery> queries =
+      MakeQueries(g, kQueriesPerBatch);
+  CacheResult out;
+
+  // Baseline: no cache, warm pools (one unmeasured batch first).
+  core::RouteServer uncached(g, ServerOptions(false));
+  if (!uncached.init_status().ok()) {
+    Fatal(uncached.init_status().ToString());
+  }
+  Serve(uncached, queries, nullptr);
+  const std::vector<core::RouteResponse> reference =
+      Serve(uncached, queries, &out.qps_uncached);
+
+  // Cached server: first batch fills the cache, second is all hits.
+  core::RouteServer cached(g, ServerOptions(true));
+  if (!cached.init_status().ok()) Fatal(cached.init_status().ToString());
+  Serve(cached, queries, nullptr);
+  const std::vector<core::RouteResponse> warm =
+      Serve(cached, queries, &out.qps_warm);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (warm[i].cache_hit) ++out.warm_batch_hits;
+    // Bit-identical: the cache replays exactly what the engine computed.
+    if (warm[i].result.cost != reference[i].result.cost ||
+        warm[i].result.path != reference[i].result.path) {
+      Fatal("cached answer " + std::to_string(i) +
+            " differs from uncached answer");
+    }
+  }
+  out.speedup = out.qps_warm / out.qps_uncached;
+
+  // Traffic update: congest the first edge of the first query's source.
+  const graph::NodeId u = queries.front().source;
+  const graph::Edge e = *g.Neighbors(u).begin();
+  if (auto st = cached.UpdateEdgeCost(u, e.to, e.cost * 3.0); !st.ok()) {
+    Fatal(st.ToString());
+  }
+  const std::vector<core::RouteResponse> after =
+      Serve(cached, queries, nullptr);
+  for (const core::RouteResponse& r : after) {
+    if (r.cache_hit) ++out.post_update_hits;
+  }
+
+  const core::RouteCache::Stats stats = cached.cache()->stats();
+  out.hits = stats.hits;
+  out.misses = stats.misses;
+  out.stale_evictions = stats.stale_evictions;
+  return out;
+}
+
+// -- Emission ---------------------------------------------------------------
+
+void EmitJson(const std::vector<WorkloadResult>& workloads,
+              const CacheResult& cache, const std::string& path) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("benchmark", "alt_cache");
+  w.Field("seed", kSeed);
+  w.Field("num_landmarks", kNumLandmarks);
+  w.Key("alt").BeginArray();
+  for (const WorkloadResult& r : workloads) {
+    w.BeginObject();
+    w.Field("workload", r.name);
+    w.Field("nodes", r.nodes);
+    w.Field("landmark_preprocess_seconds", r.preprocess_seconds);
+    w.Field("landmark_preprocess_blocks", r.preprocess_blocks);
+    w.Field("iterations_v2", r.iters_v2);
+    w.Field("iterations_v3", r.iters_v3);
+    w.Field("iterations_v4", r.iters_v4);
+    w.Field("blocks_v2", r.blocks_v2);
+    w.Field("blocks_v3", r.blocks_v3);
+    w.Field("blocks_v4", r.blocks_v4);
+    w.Field("iteration_reduction_v4_vs_v2", r.iter_reduction_v4_vs_v2);
+    w.Key("trips").BeginArray();
+    for (const TripResult& t : r.trips) {
+      w.BeginObject();
+      w.Field("trip", t.trip.name);
+      w.Field("path_cost", t.v4.path_cost);
+      w.Field("iterations_v2", t.v2.iterations);
+      w.Field("iterations_v3", t.v3.iterations);
+      w.Field("iterations_v4", t.v4.iterations);
+      w.Field("blocks_v2", t.v2.blocks);
+      w.Field("blocks_v4", t.v4.blocks);
+      w.Field("cost_units_v2", t.v2.cost_units);
+      w.Field("cost_units_v4", t.v4.cost_units);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("cache").BeginObject();
+  w.Field("workers", kCacheWorkers);
+  w.Field("queries_per_batch", kQueriesPerBatch);
+  w.Field("qps_uncached", cache.qps_uncached);
+  w.Field("qps_warm_cached", cache.qps_warm);
+  w.Field("speedup", cache.speedup);
+  w.Field("warm_batch_hits", cache.warm_batch_hits);
+  w.Field("post_traffic_update_hits", cache.post_update_hits);
+  w.Field("hits_total", cache.hits);
+  w.Field("misses_total", cache.misses);
+  w.Field("stale_evictions_total", cache.stale_evictions);
+  w.EndObject();
+  w.EndObject();
+  if (const Status st = w.WriteFile(path); !st.ok()) Fatal(st.ToString());
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("ALT estimator (A* Version 4) + route cache",
+              "Versions 2/3/4 on the paper grids and the Minneapolis-like "
+              "road map:\nidentical optimal costs, fewer iterations and "
+              "blocks for the landmark\nestimator; then warm route-cache "
+              "throughput vs. uncached serving at 4\nworkers, with "
+              "epoch-invalidation on a traffic update.");
+
+  std::vector<Workload> workloads;
+  for (const int k : {10, 20, 30}) {
+    workloads.push_back({"grid" + std::to_string(k) + "_uniform",
+                         MakeGrid(k, graph::GridCostModel::kUniform),
+                         GridTrips(k), /*euclidean_scale=*/1.0,
+                         /*euclidean_admissible=*/true});
+    workloads.push_back({"grid" + std::to_string(k) + "_variance20",
+                         MakeGrid(k, graph::GridCostModel::kVariance20),
+                         GridTrips(k), /*euclidean_scale=*/1.0,
+                         /*euclidean_admissible=*/true});
+    workloads.push_back({"grid" + std::to_string(k) + "_skewed",
+                         MakeGrid(k, graph::GridCostModel::kSkewed),
+                         GridTrips(k), /*euclidean_scale=*/0.0,
+                         /*euclidean_admissible=*/false});
+  }
+  auto rm_or = graph::GenerateMinneapolisLike();
+  if (!rm_or.ok()) Fatal(rm_or.status().ToString());
+  const graph::RoadMap rm = std::move(rm_or).value();
+  workloads.push_back({"minneapolis_like", rm.graph,
+                       {{"A_to_B", rm.a, rm.b},
+                        {"C_to_D", rm.c, rm.d},
+                        {"E_to_F", rm.e, rm.f},
+                        {"G_to_D", rm.g, rm.d}},
+                       /*euclidean_scale=*/1.0,
+                       /*euclidean_admissible=*/true});
+
+  std::vector<WorkloadResult> results;
+  double best_reduction = 0.0;
+  bool best_has_fewer_blocks = false;
+  for (const Workload& w : workloads) {
+    WorkloadResult r = RunWorkload(w);
+    PrintWorkload(r);
+    if (r.iter_reduction_v4_vs_v2 > best_reduction) {
+      best_reduction = r.iter_reduction_v4_vs_v2;
+      best_has_fewer_blocks = r.blocks_v4 < r.blocks_v2;
+    }
+    results.push_back(std::move(r));
+  }
+  const bool alt_pass = best_reduction >= 0.20 && best_has_fewer_blocks;
+  std::printf("\nbest v4-vs-v2 iteration reduction: %.1f%% with %s blocks "
+              "(acceptance floor: 20%% and fewer blocks) — %s\n",
+              100.0 * best_reduction,
+              best_has_fewer_blocks ? "fewer" : "NOT fewer",
+              alt_pass ? "PASS" : "FAIL");
+
+  const CacheResult cache =
+      RunCacheBenchmark(MakeGrid(30, graph::GridCostModel::kUniform));
+  std::printf("\nroute cache at %zu workers: uncached %.1f q/s, warm "
+              "cached %.1f q/s (%.2fx; acceptance floor: 2.00x) — %s\n"
+              "warm-batch hits %llu/%zu; hits after traffic update: %llu "
+              "(must be 0)\n",
+              kCacheWorkers, cache.qps_uncached, cache.qps_warm,
+              cache.speedup, cache.speedup >= 2.0 ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(cache.warm_batch_hits),
+              kQueriesPerBatch,
+              static_cast<unsigned long long>(cache.post_update_hits));
+  if (cache.post_update_hits != 0) {
+    Fatal("stale route served after a traffic update");
+  }
+
+  EmitJson(results, cache, json_path);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main(int argc, char** argv) {
+  atis::bench::Run(argc > 1 ? argv[1] : "BENCH_alt_cache.json");
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "graph/road_map_generator.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "util/stats.h"
 
 namespace atis::bench {
 
@@ -123,9 +124,9 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
-/// Percentile with linear interpolation between closest ranks; `p` in
-/// [0, 100]. Sorts a copy, so the input order does not matter. Returns 0
-/// for an empty sample set.
-double Percentile(std::vector<double> samples, double p);
+/// Percentile summaries come from util/stats.h (atis::Percentile /
+/// atis::PercentileSorted) — the bench namespace re-exports the free
+/// function so existing call sites keep reading naturally.
+using ::atis::Percentile;
 
 }  // namespace atis::bench

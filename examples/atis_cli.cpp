@@ -7,11 +7,11 @@
 //   atis_cli route <file> <src> <dst> [astar|dijkstra|iterative|bidir]
 //                  [manhattan|euclidean] [weight]
 //   atis_cli dbroute <file> <src> <dst>
-//                  [dijkstra|iterative|astar1|astar2|astar3]
-//                  [--trace[=FILE]] [--metrics=FILE]
+//                  [dijkstra|iterative|astar1|astar2|astar3|astar4]
+//                  [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]
 //   atis_cli serve <file> --queries=FILE [--workers=N]
-//                  [--latency=READ_US,WRITE_US] [--json=FILE]
-//                  [--metrics=FILE]
+//                  [--latency=READ_US,WRITE_US] [--landmarks=K]
+//                  [--cache[=CAPACITY]] [--json=FILE] [--metrics=FILE]
 //   atis_cli alternates <file> <src> <dst> <k>
 #include <algorithm>
 #include <chrono>
@@ -25,6 +25,7 @@
 
 #include "core/advanced_search.h"
 #include "core/db_search.h"
+#include "core/landmarks.h"
 #include "core/route_server.h"
 #include "core/k_shortest.h"
 #include "core/memory_search.h"
@@ -55,25 +56,41 @@ int Usage(const char* argv0) {
       "  %s route <file> <src> <dst> [astar|dijkstra|iterative|bidir]"
       " [manhattan|euclidean] [weight]\n"
       "  %s dbroute <file> <src> <dst>"
-      " [dijkstra|iterative|astar1|astar2|astar3]"
-      " [--trace[=FILE]] [--metrics=FILE]\n"
+      " [dijkstra|iterative|astar1|astar2|astar3|astar4]"
+      " [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]\n"
       "  %s serve <file> --queries=FILE [--workers=N]"
-      " [--latency=READ_US,WRITE_US] [--json=FILE] [--metrics=FILE]\n"
+      " [--latency=READ_US,WRITE_US] [--landmarks=K] [--cache[=CAPACITY]]"
+      " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
-      "dbroute runs the database-resident engine; --trace prints the span\n"
-      "tree (with =FILE: Chrome trace_event JSON), --metrics writes a\n"
-      "Prometheus-text metrics dump ('-' = stdout).\n"
+      "dbroute runs the database-resident engine; astar4 uses the landmark\n"
+      "(ALT) estimator over --landmarks=K precomputed landmarks (default\n"
+      "8); --trace prints the span tree (with =FILE: Chrome trace_event\n"
+      "JSON), --metrics writes a Prometheus-text metrics dump\n"
+      "('-' = stdout).\n"
       "serve answers a batch of queries (lines: 'src dst [algorithm]',\n"
       "'#' comments) on a worker pool sharing one sharded buffer pool;\n"
-      "--latency simulates per-block device waits, --json writes the\n"
-      "per-query responses ('-' = stdout).\n",
+      "--latency simulates per-block device waits, --landmarks enables\n"
+      "astar4 queries, --cache memoises results in an epoch-invalidated\n"
+      "LRU, --json writes the per-query responses ('-' = stdout).\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
 Result<graph::Graph> Load(const std::string& path) {
   return graph::LoadGraphFile(path);
+}
+
+/// Subcommands that accept no flags call this so a stray --option fails
+/// loudly with usage instead of being read as a positional argument.
+bool RejectFlags(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
 }
 
 int CmdGenerate(int argc, char** argv, const char* argv0) {
@@ -197,11 +214,12 @@ bool WriteFileOrStdout(const std::string& path, const std::string& body) {
   return true;
 }
 
-int CmdDbRoute(int argc, char** argv) {
+int CmdDbRoute(int argc, char** argv, const char* argv0) {
   std::string algo = "astar2";
   bool trace = false;
   std::string trace_file;    // empty = print the tree to stdout
   std::string metrics_file;  // empty = no metrics dump
+  size_t num_landmarks = 8;  // only read for astar4
   std::vector<const char*> positional;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -212,14 +230,21 @@ int CmdDbRoute(int argc, char** argv) {
       trace_file = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
+    } else if (arg.rfind("--landmarks=", 0) == 0) {
+      const int k = std::atoi(arg.c_str() + 12);
+      if (k <= 0) {
+        std::fprintf(stderr, "--landmarks wants a positive count\n");
+        return 2;
+      }
+      num_landmarks = static_cast<size_t>(k);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-      return 2;
+      return Usage(argv0);
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.size() < 3) return 2;
+  if (positional.size() < 3) return Usage(argv0);
   auto g = Load(positional[0]);
   if (!g.ok()) {
     std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
@@ -229,9 +254,9 @@ int CmdDbRoute(int argc, char** argv) {
   const auto dst = static_cast<graph::NodeId>(std::atoi(positional[2]));
   if (positional.size() > 3) algo = positional[3];
   if (algo != "dijkstra" && algo != "iterative" && algo != "astar1" &&
-      algo != "astar2" && algo != "astar3") {
+      algo != "astar2" && algo != "astar3" && algo != "astar4") {
     std::fprintf(stderr, "unknown algorithm %s\n", algo.c_str());
-    return 2;
+    return Usage(argv0);
   }
 
   storage::DiskManager disk;
@@ -244,6 +269,27 @@ int CmdDbRoute(int argc, char** argv) {
   core::DbSearchOptions opt;
   opt.estimator_known_admissible = false;  // unknown user graph
   core::DbSearchEngine engine(&store, &pool, opt);
+
+  if (algo == "astar4") {
+    core::LandmarkOptions lm;
+    lm.num_landmarks = num_landmarks;
+    auto selected = core::SelectLandmarks(core::WithStoredEdgeCosts(*g), lm);
+    if (!selected.ok()) {
+      std::fprintf(stderr, "%s\n", selected.status().ToString().c_str());
+      return 1;
+    }
+    auto table = core::PersistAndLoadLandmarks(*selected, &store);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = engine.EnableLandmarks(
+            core::MakeLandmarkEstimator(std::move(table).value()));
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
 
   auto& registry = obs::MetricsRegistry::Default();
   obs::RegisterStorageCollectors(registry, &disk, &pool);
@@ -258,6 +304,9 @@ int CmdDbRoute(int argc, char** argv) {
     }
     if (algo == "astar3") {
       return engine.AStar(src, dst, core::AStarVersion::kV3);
+    }
+    if (algo == "astar4") {
+      return engine.AStar(src, dst, core::AStarVersion::kV4);
     }
     return engine.AStar(src, dst, core::AStarVersion::kV2);
   }();
@@ -309,11 +358,13 @@ bool ParseQueryLine(const std::string& line, size_t lineno,
     q->algorithm = core::Algorithm::kDijkstra;
   } else if (algo == "iterative") {
     q->algorithm = core::Algorithm::kIterative;
-  } else if (algo == "astar1" || algo == "astar2" || algo == "astar3") {
+  } else if (algo == "astar1" || algo == "astar2" || algo == "astar3" ||
+             algo == "astar4") {
     q->algorithm = core::Algorithm::kAStar;
     q->version = algo == "astar1"   ? core::AStarVersion::kV1
                  : algo == "astar2" ? core::AStarVersion::kV2
-                                    : core::AStarVersion::kV3;
+                 : algo == "astar3" ? core::AStarVersion::kV3
+                                    : core::AStarVersion::kV4;
   } else {
     std::fprintf(stderr, "queries line %zu: unknown algorithm %s\n", lineno,
                  algo.c_str());
@@ -322,8 +373,11 @@ bool ParseQueryLine(const std::string& line, size_t lineno,
   return true;
 }
 
-int CmdServe(int argc, char** argv) {
+int CmdServe(int argc, char** argv, const char* argv0) {
   size_t workers = 4;
+  size_t num_landmarks = 0;
+  bool enable_cache = false;
+  size_t cache_capacity = 0;  // 0 = library default
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -337,6 +391,23 @@ int CmdServe(int argc, char** argv) {
       json_file = arg.substr(7);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
+    } else if (arg.rfind("--landmarks=", 0) == 0) {
+      const int k = std::atoi(arg.c_str() + 12);
+      if (k <= 0) {
+        std::fprintf(stderr, "--landmarks wants a positive count\n");
+        return 2;
+      }
+      num_landmarks = static_cast<size_t>(k);
+    } else if (arg == "--cache") {
+      enable_cache = true;
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      const int cap = std::atoi(arg.c_str() + 8);
+      if (cap <= 0) {
+        std::fprintf(stderr, "--cache wants a positive capacity\n");
+        return 2;
+      }
+      enable_cache = true;
+      cache_capacity = static_cast<size_t>(cap);
     } else if (arg.rfind("--latency=", 0) == 0) {
       unsigned r = 0, w = 0;
       if (std::sscanf(arg.c_str() + 10, "%u,%u", &r, &w) != 2) {
@@ -347,12 +418,12 @@ int CmdServe(int argc, char** argv) {
       latency.write_micros = w;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-      return 2;
+      return Usage(argv0);
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (positional.size() != 1 || queries_file.empty()) return 2;
+  if (positional.size() != 1 || queries_file.empty()) return Usage(argv0);
 
   auto g = Load(positional[0]);
   if (!g.ok()) {
@@ -383,6 +454,9 @@ int CmdServe(int argc, char** argv) {
   opt.num_workers = workers;
   opt.disk_latency = latency;
   opt.search.estimator_known_admissible = false;  // unknown user graph
+  opt.num_landmarks = num_landmarks;
+  opt.enable_cache = enable_cache;
+  if (cache_capacity > 0) opt.cache.capacity = cache_capacity;
   core::RouteServer server(*g, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "%s\n", server.init_status().ToString().c_str());
@@ -420,6 +494,14 @@ int CmdServe(int argc, char** argv) {
               batch->size(), server.num_workers(), elapsed,
               static_cast<double>(batch->size()) / elapsed, pct(50), pct(95),
               pct(99), failures);
+  if (server.cache() != nullptr) {
+    const core::RouteCache::Stats cs = server.cache()->stats();
+    std::printf("route cache: %llu hits, %llu misses, %llu stale "
+                "evictions, %zu resident\n",
+                (unsigned long long)cs.hits, (unsigned long long)cs.misses,
+                (unsigned long long)cs.stale_evictions,
+                server.cache()->size());
+  }
 
   if (!json_file.empty()) {
     std::ostringstream out;
@@ -433,7 +515,8 @@ int CmdServe(int argc, char** argv) {
           << ((r.status.ok() && r.result.found) ? "true" : "false")
           << ", \"cost\": " << r.result.cost << ", \"latency_ms\": "
           << 1e3 * r.latency_seconds << ", \"blocks_read\": "
-          << r.io.blocks_read << ", \"worker\": " << r.worker_id << "}";
+          << r.io.blocks_read << ", \"worker\": " << r.worker_id
+          << ", \"cache_hit\": " << (r.cache_hit ? "true" : "false") << "}";
     }
     out << "\n  ]\n}\n";
     if (!WriteFileOrStdout(json_file, out.str())) return 1;
@@ -495,13 +578,23 @@ int CmdAlternates(char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string cmd = argv[1];
+  // dbroute and serve parse their own flags; every other subcommand is
+  // flag-free, so reject stray --options before positional dispatch.
+  if (cmd != "dbroute" && cmd != "serve" &&
+      !RejectFlags(argc - 2, argv + 2)) {
+    return Usage(argv[0]);
+  }
   if (cmd == "generate" && argc >= 4) {
     return CmdGenerate(argc - 2, argv + 2, argv[0]);
   }
   if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
   if (cmd == "route" && argc >= 5) return CmdRoute(argc - 2, argv + 2);
-  if (cmd == "dbroute" && argc >= 5) return CmdDbRoute(argc - 2, argv + 2);
-  if (cmd == "serve" && argc >= 4) return CmdServe(argc - 2, argv + 2);
+  if (cmd == "dbroute" && argc >= 5) {
+    return CmdDbRoute(argc - 2, argv + 2, argv[0]);
+  }
+  if (cmd == "serve" && argc >= 4) {
+    return CmdServe(argc - 2, argv + 2, argv[0]);
+  }
   if (cmd == "alternates" && argc == 6) return CmdAlternates(argv + 2);
   if (cmd == "svg" && argc == 6) return CmdSvg(argv + 2);
   return Usage(argv[0]);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over
+# the concurrent components (buffer pool, route server, route cache).
+# Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== tsan: concurrent stress tests (buffer pool / route server / route cache) =="
+cmake -B "$repo/build-tsan" -S "$repo" -DATIS_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" \
+  --target storage_test route_server_test alt_cache_test
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+  -R 'BufferPool|RouteServer|RouteCache'
+
+echo
+echo "check.sh: all gates passed"

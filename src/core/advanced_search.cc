@@ -23,6 +23,11 @@ class ScaledEstimator final : public Estimator {
                   const graph::Point& b) const override {
     return weight_ * base_.Estimate(a, b);
   }
+  double EstimateNodes(graph::NodeId from, const graph::Point& from_pt,
+                       graph::NodeId to,
+                       const graph::Point& to_pt) const override {
+    return weight_ * base_.EstimateNodes(from, from_pt, to, to_pt);
+  }
   EstimatorKind kind() const override { return base_.kind(); }
 
  private:

@@ -106,6 +106,8 @@ std::string_view AStarVersionName(AStarVersion v) {
       return "A* version 2";
     case AStarVersion::kV3:
       return "A* version 3";
+    case AStarVersion::kV4:
+      return "A* version 4";
   }
   return "?";
 }
@@ -144,8 +146,25 @@ Result<PathResult> DbSearchEngine::Dijkstra(NodeId source,
                                   "dijkstra");
 }
 
+Status DbSearchEngine::EnableLandmarks(
+    std::shared_ptr<const Estimator> estimator) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("null landmark estimator");
+  }
+  landmark_estimator_ = std::move(estimator);
+  return Status::OK();
+}
+
 Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
                                          AStarVersion version) {
+  if (version == AStarVersion::kV4) {
+    if (landmark_estimator_ == nullptr) {
+      return Status::FailedPrecondition(
+          "A* version 4 needs EnableLandmarks() first");
+    }
+    return BestFirstStatusAttribute(source, destination,
+                                    landmark_estimator_.get(), "astar-v4");
+  }
   const auto estimator =
       MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
                                                  : EstimatorKind::kEuclidean);
@@ -159,6 +178,8 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
     case AStarVersion::kV3:
       return BestFirstStatusAttribute(source, destination, estimator.get(),
                                       "astar-v3");
+    case AStarVersion::kV4:
+      break;  // handled above
   }
   return Status::Internal("unreachable A* version");
 }
@@ -219,7 +240,8 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
   auto h = [&](const NodeRow& row) {
     return estimator == nullptr
                ? 0.0
-               : estimator->Estimate({row.x, row.y}, dest_pt);
+               : estimator->EstimateNodes(row.id, {row.x, row.y},
+                                          destination, dest_pt);
   };
 
   while (true) {
@@ -360,7 +382,8 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   ATIS_ASSIGN_OR_RETURN(auto dest_node, store_->GetNode(destination));
   const graph::Point dest_pt{dest_node.second.x, dest_node.second.y};
   auto h = [&](const NodeRow& row) {
-    return estimator.Estimate({row.x, row.y}, dest_pt);
+    return estimator.EstimateNodes(row.id, {row.x, row.y}, destination,
+                                   dest_pt);
   };
 
   // Seed with the source (master coordinates come from the store's R).

@@ -13,7 +13,10 @@
 //              index maintenance), Euclidean estimator, and a resultant
 //              node relation grown incrementally as nodes are discovered;
 //   version 2: frontierSet as R's status attribute (REPLACE), Euclidean;
-//   version 3: status attribute, Manhattan estimator.
+//   version 3: status attribute, Manhattan estimator;
+//   version 4: status attribute, landmark (ALT) estimator — precomputed
+//              triangle-inequality lower bounds, loaded from the store's
+//              landmarkDist relation via EnableLandmarks().
 #pragma once
 
 #include <memory>
@@ -26,7 +29,7 @@
 
 namespace atis::core {
 
-enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3 };
+enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
 std::string_view AStarVersionName(AStarVersion v);
 
 enum class FrontierImpl {
@@ -66,9 +69,17 @@ class DbSearchEngine {
   Result<PathResult> Dijkstra(graph::NodeId source,
                               graph::NodeId destination);
 
-  /// A* in one of the paper's three implementation versions.
+  /// A* in one of the implementation versions (1-3 from the paper, 4 the
+  /// ALT extension). Version 4 needs EnableLandmarks() first.
   Result<PathResult> AStar(graph::NodeId source, graph::NodeId destination,
                            AStarVersion version);
+
+  /// Installs the estimator Version 4 runs with (typically
+  /// MakeLandmarkEstimator over a table loaded from this store's
+  /// landmarkDist relation — see core/landmarks.h). InvalidArgument on
+  /// null.
+  Status EnableLandmarks(std::shared_ptr<const Estimator> estimator);
+  bool landmarks_enabled() const { return landmark_estimator_ != nullptr; }
 
   /// A* with an explicit estimator/frontier combination (the versions
   /// above are canned configurations of this).
@@ -103,6 +114,7 @@ class DbSearchEngine {
   graph::RelationalGraphStore* store_;
   storage::BufferPool* pool_;
   DbSearchOptions options_;
+  std::shared_ptr<const Estimator> landmark_estimator_;  ///< Version 4
 };
 
 }  // namespace atis::core

@@ -16,6 +16,8 @@ std::string_view EstimatorKindName(EstimatorKind kind) {
       return "euclidean";
     case EstimatorKind::kManhattan:
       return "manhattan";
+    case EstimatorKind::kLandmark:
+      return "landmark";
   }
   return "?";
 }
@@ -67,6 +69,8 @@ std::unique_ptr<Estimator> MakeEstimator(EstimatorKind kind,
       return std::make_unique<EuclideanEstimator>(cost_per_unit_distance);
     case EstimatorKind::kManhattan:
       return std::make_unique<ManhattanEstimator>(cost_per_unit_distance);
+    case EstimatorKind::kLandmark:
+      return nullptr;  // needs a LandmarkSet: MakeLandmarkEstimator
   }
   return nullptr;
 }
@@ -81,7 +85,7 @@ bool EstimatorIsAdmissibleOn(const Estimator& estimator,
     for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes());
          ++v) {
       if (!tree->Reaches(v)) continue;
-      const double h = estimator.Estimate(g.point(s), g.point(v));
+      const double h = estimator.EstimateNodes(s, g.point(s), v, g.point(v));
       if (h > tree->Distance(v) + kSlack) return false;
     }
   }

@@ -19,6 +19,7 @@ enum class EstimatorKind {
   kZero,       ///< best-first without information: degenerates to Dijkstra
   kEuclidean,  ///< straight-line distance (admissible for distance costs)
   kManhattan,  ///< L1 distance (perfect on uniform grids; can overestimate)
+  kLandmark,   ///< ALT triangle-inequality bounds (admissible on any costs)
 };
 
 std::string_view EstimatorKindName(EstimatorKind kind);
@@ -31,14 +32,28 @@ class Estimator {
   virtual double Estimate(const graph::Point& from,
                           const graph::Point& to) const = 0;
 
+  /// Node-aware variant used by the search engines: estimates the cost of
+  /// the cheapest path `from` -> `to` given both the node ids and their
+  /// coordinates. Geometric estimators ignore the ids; estimators backed by
+  /// precomputed per-node data (the landmark estimator) ignore the
+  /// coordinates instead.
+  virtual double EstimateNodes(graph::NodeId from,
+                               const graph::Point& from_pt, graph::NodeId to,
+                               const graph::Point& to_pt) const {
+    (void)from;
+    (void)to;
+    return Estimate(from_pt, to_pt);
+  }
+
   virtual EstimatorKind kind() const = 0;
   std::string_view name() const { return EstimatorKindName(kind()); }
 };
 
-/// Creates an estimator. `cost_per_unit_distance` rescales geometric
-/// distance into edge-cost units (e.g. travel-time costs with a known
-/// maximum speed); use a value that *under*-states cost to keep the
-/// estimator admissible.
+/// Creates a geometric estimator. `cost_per_unit_distance` rescales
+/// geometric distance into edge-cost units (e.g. travel-time costs with a
+/// known maximum speed); use a value that *under*-states cost to keep the
+/// estimator admissible. Returns null for kLandmark — that kind needs
+/// precomputed distances; see MakeLandmarkEstimator in core/landmarks.h.
 std::unique_ptr<Estimator> MakeEstimator(EstimatorKind kind,
                                          double cost_per_unit_distance = 1.0);
 

@@ -60,7 +60,8 @@ PathResult BestFirst(const Graph& g, NodeId source, NodeId destination,
   auto h = [&](NodeId u) {
     return estimator == nullptr
                ? 0.0
-               : estimator->Estimate(g.point(u), g.point(destination));
+               : estimator->EstimateNodes(u, g.point(u), destination,
+                                          g.point(destination));
   };
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> open;

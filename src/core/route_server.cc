@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "core/landmarks.h"
 #include "obs/metrics.h"
 
 namespace atis::core {
@@ -37,6 +38,42 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
     engines_.push_back(std::make_unique<DbSearchEngine>(
         store.get(), pool_.get(), search));
     stores_.push_back(std::move(store));
+  }
+
+  if (options.num_landmarks > 0) {
+    // One ALT table serves every worker: select on the float-rounded
+    // metric (the one the engines accumulate), persist/load it through
+    // replica 0's storage path for metered accounting, and share the
+    // immutable result.
+    init_status_ = [&]() -> Status {
+      LandmarkOptions lm;
+      lm.num_landmarks = options.num_landmarks;
+      ATIS_ASSIGN_OR_RETURN(LandmarkSet selected,
+                            SelectLandmarks(WithStoredEdgeCosts(g), lm));
+      ATIS_ASSIGN_OR_RETURN(auto table,
+                            PersistAndLoadLandmarks(selected,
+                                                    stores_.front().get()));
+      std::shared_ptr<const Estimator> estimator =
+          MakeLandmarkEstimator(std::move(table));
+      for (auto& engine : engines_) {
+        ATIS_RETURN_NOT_OK(engine->EnableLandmarks(estimator));
+      }
+      return Status::OK();
+    }();
+    if (!init_status_.ok()) return;
+  }
+
+  if (options.enable_cache) {
+    cache_ = std::make_unique<RouteCache>(options.cache);
+    auto& reg = obs::MetricsRegistry::Default();
+    cache_hits_ = &reg.GetCounter("atis_route_cache_hits_total",
+                                  "Route queries answered from the cache");
+    cache_misses_ = &reg.GetCounter(
+        "atis_route_cache_misses_total",
+        "Route queries that missed the cache and ran a search");
+    cache_stale_ = &reg.GetCounter(
+        "atis_route_cache_stale_evictions_total",
+        "Cached routes evicted because a traffic update bumped the epoch");
   }
 
   workers_.reserve(options.num_workers);
@@ -124,6 +161,18 @@ void RouteServer::WorkerLoop(size_t worker_id) {
   }
 }
 
+Status RouteServer::UpdateEdgeCost(graph::NodeId u, graph::NodeId v,
+                                   double cost) {
+  ATIS_RETURN_NOT_OK(init_status_);
+  for (auto& store : stores_) {
+    ATIS_RETURN_NOT_OK(store->UpdateEdgeCost(u, v, cost));
+  }
+  // Bump after every replica carries the new cost: a lookup that sees the
+  // new epoch recomputes against updated stores only.
+  if (cache_) cache_->BumpEpoch();
+  return Status::OK();
+}
+
 RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
                                   const RouteQuery& q) {
   RouteResponse resp;
@@ -131,6 +180,26 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
   resp.worker_id = static_cast<int>(worker_id);
 
   const auto started = std::chrono::steady_clock::now();
+
+  const RouteCache::Key key{q.source, q.destination, q.algorithm, q.version};
+  uint64_t observed_epoch = 0;
+  if (cache_) {
+    observed_epoch = cache_->epoch();
+    RouteCache::LookupResult cached = cache_->Lookup(key);
+    if (cached.stale_evicted) cache_stale_->Increment();
+    if (cached.result.has_value()) {
+      cache_hits_->Increment();
+      resp.cache_hit = true;
+      resp.result = *std::move(cached.result);
+      resp.latency_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      return resp;
+    }
+    cache_misses_->Increment();
+  }
+
   Result<PathResult> r = [&]() -> Result<PathResult> {
     // Mirror every block this thread touches into resp.io: exact per-query
     // accounting even though the disk (and its meter) are shared.
@@ -152,6 +221,9 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
           .count();
   if (r.ok()) {
     resp.result = std::move(r).value();
+    // Cache successful answers (including proven "no route"); the insert
+    // is dropped inside the cache when a traffic update raced this query.
+    if (cache_) cache_->Insert(key, observed_epoch, resp.result);
   } else {
     resp.status = r.status();
   }

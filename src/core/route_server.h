@@ -26,10 +26,15 @@
 #include <vector>
 
 #include "core/db_search.h"
+#include "core/route_cache.h"
 #include "graph/graph.h"
 #include "graph/relational_graph.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+
+namespace atis::obs {
+class Counter;
+}  // namespace atis::obs
 
 namespace atis::core {
 
@@ -50,6 +55,7 @@ struct RouteResponse {
   storage::IoCounters io;     ///< exact block I/O of this query
   double latency_seconds = 0.0;
   int worker_id = -1;
+  bool cache_hit = false;     ///< answered from the route cache (io is 0)
 };
 
 class RouteServer {
@@ -66,6 +72,15 @@ class RouteServer {
     /// Engine options for every worker. statement_at_a_time is forced off
     /// (see file comment); the other knobs are honoured.
     DbSearchOptions search;
+    /// Landmarks for A* Version 4. 0 disables; > 0 selects this many
+    /// landmarks on the float-rounded map, persists the table through the
+    /// storage layer once, and enables kV4 queries on every worker.
+    size_t num_landmarks = 0;
+    /// Memoise full route results in a sharded LRU invalidated by traffic
+    /// epochs (see core/route_cache.h).
+    bool enable_cache = false;
+    /// Only read when enable_cache is true.
+    RouteCache::Options cache;
   };
 
   /// Loads `options.num_workers` store replicas of `g` and starts the
@@ -94,9 +109,22 @@ class RouteServer {
   Result<std::vector<RouteResponse>> ServeBatch(
       const std::vector<RouteQuery>& queries);
 
+  /// Applies a traffic update — the new cost of edge u -> v — to every
+  /// store replica and invalidates the route cache by bumping its epoch.
+  /// Must not run concurrently with ServeBatch (single dispatcher, same as
+  /// serving). Congestion (cost increases) keeps the landmark tables
+  /// admissible; after a cost *decrease* Version 4 results may lose their
+  /// optimality guarantee until the server is rebuilt.
+  Status UpdateEdgeCost(graph::NodeId u, graph::NodeId v, double cost);
+
   size_t num_workers() const { return engines_.size(); }
   storage::DiskManager& disk() { return disk_; }
   storage::BufferPool& pool() { return *pool_; }
+  bool landmarks_enabled() const {
+    return !engines_.empty() && engines_.front()->landmarks_enabled();
+  }
+  /// Null when Options::enable_cache was false.
+  RouteCache* cache() { return cache_.get(); }
 
  private:
   void WorkerLoop(size_t worker_id);
@@ -107,6 +135,11 @@ class RouteServer {
   std::unique_ptr<storage::BufferPool> pool_;
   std::vector<std::unique_ptr<graph::RelationalGraphStore>> stores_;
   std::vector<std::unique_ptr<DbSearchEngine>> engines_;
+  std::unique_ptr<RouteCache> cache_;
+  // Cache metric series, resolved once at startup (null when no cache).
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_stale_ = nullptr;
   Status init_status_;
 
   std::mutex mu_;

@@ -49,6 +49,17 @@ Schema RelationalGraphStore::NodeSchema() {
                 /*tuple_size_override=*/16);
 }
 
+Schema RelationalGraphStore::LandmarkDistSchema() {
+  // Packed size 22 bytes; padded to 24 (T_l). Distances are 8-byte floats
+  // so persisted ALT bounds stay exact (see LandmarkDistRow).
+  return Schema({{"landmark_ord", FieldType::kInt16},
+                 {"landmark_node", FieldType::kInt16},
+                 {"node_id", FieldType::kInt16},
+                 {"dist_from", FieldType::kDouble},
+                 {"dist_to", FieldType::kDouble}},
+                /*tuple_size_override=*/24);
+}
+
 RelationalGraphStore::RelationalGraphStore(storage::BufferPool* pool)
     : s_("S", EdgeSchema(), pool), r_("R", NodeSchema(), pool) {}
 
@@ -115,6 +126,50 @@ Status RelationalGraphStore::UpdateNode(storage::RecordId rid,
   return r_.Update(rid, ToTuple(row));
 }
 
+Status RelationalGraphStore::UpdateEdgeCost(NodeId u, NodeId v,
+                                            double cost) {
+  if (cost < 0.0) {
+    return Status::InvalidArgument("edge cost must be non-negative");
+  }
+  ATIS_ASSIGN_OR_RETURN(auto rids, s_.IndexLookup(kBeginField, u));
+  for (const storage::RecordId rid : rids) {
+    ATIS_ASSIGN_OR_RETURN(Tuple t, s_.Get(rid));
+    if (static_cast<NodeId>(relational::AsInt(t[kEEnd])) != v) continue;
+    t[kECost] = cost;
+    return s_.Update(rid, t);
+  }
+  return Status::NotFound("segment " + std::to_string(u) + " -> " +
+                          std::to_string(v) + " not in S");
+}
+
+Status RelationalGraphStore::StoreLandmarkDistances(
+    const std::vector<LandmarkDistRow>& rows) {
+  if (landmark_ != nullptr) {
+    ATIS_RETURN_NOT_OK(landmark_->Clear(/*charge=*/true));
+    landmark_.reset();
+  }
+  landmark_ = std::make_unique<relational::Relation>(
+      "L", LandmarkDistSchema(), s_.pool(), /*charge_create=*/true);
+  for (const LandmarkDistRow& row : rows) {
+    ATIS_RETURN_NOT_OK(landmark_->Insert(ToTuple(row)).status());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RelationalGraphStore::LandmarkDistRow>>
+RelationalGraphStore::LoadLandmarkDistances() const {
+  if (landmark_ == nullptr) {
+    return Status::FailedPrecondition("no landmarkDist relation stored");
+  }
+  std::vector<LandmarkDistRow> rows;
+  rows.reserve(landmark_->num_tuples());
+  for (relational::Relation::Cursor c = landmark_->Scan(); c.Valid();
+       c.Next()) {
+    rows.push_back(LandmarkDistFromTuple(c.tuple()));
+  }
+  return rows;
+}
+
 Status RelationalGraphStore::ResetSearchState() {
   return relational::Replace(
              &r_, /*pred=*/{},
@@ -158,6 +213,23 @@ RelationalGraphStore::EdgeRow RelationalGraphStore::EdgeFromTuple(
   row.begin = static_cast<NodeId>(relational::AsInt(t[kEBegin]));
   row.end = static_cast<NodeId>(relational::AsInt(t[kEEnd]));
   row.cost = relational::AsDouble(t[kECost]);
+  return row;
+}
+
+Tuple RelationalGraphStore::ToTuple(const LandmarkDistRow& row) {
+  return Tuple{static_cast<int64_t>(row.ord),
+               static_cast<int64_t>(row.landmark),
+               static_cast<int64_t>(row.node), row.dist_from, row.dist_to};
+}
+
+RelationalGraphStore::LandmarkDistRow
+RelationalGraphStore::LandmarkDistFromTuple(const Tuple& t) {
+  LandmarkDistRow row;
+  row.ord = static_cast<int32_t>(relational::AsInt(t[0]));
+  row.landmark = static_cast<NodeId>(relational::AsInt(t[1]));
+  row.node = static_cast<NodeId>(relational::AsInt(t[2]));
+  row.dist_from = relational::AsDouble(t[3]);
+  row.dist_to = relational::AsDouble(t[4]);
   return row;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,20 @@ class RelationalGraphStore {
     double cost = 0.0;
   };
 
+  /// One tuple of the optional landmarkDist relation L: the exact shortest
+  /// path costs landmark -> node (`dist_from`) and node -> landmark
+  /// (`dist_to`), both needed for admissible ALT bounds on directed maps.
+  /// Distances are stored as 8-byte floats so the persisted column round
+  /// trips bit-exactly — a rounded-up distance would make the estimator
+  /// overestimate.
+  struct LandmarkDistRow {
+    int32_t ord = 0;                 ///< landmark index in selection order
+    NodeId landmark = kInvalidNode;  ///< the landmark's node id
+    NodeId node = kInvalidNode;
+    double dist_from = 0.0;  ///< d(landmark -> node); +inf if unreachable
+    double dist_to = 0.0;    ///< d(node -> landmark); +inf if unreachable
+  };
+
   explicit RelationalGraphStore(storage::BufferPool* pool);
 
   /// Populates S and R from an in-memory graph and builds both primary
@@ -81,6 +96,24 @@ class RelationalGraphStore {
   /// (The algorithms' initialisation step.)
   Status ResetSearchState();
 
+  /// REPLACE of one S tuple's edge_cost (a traffic update). NotFound when
+  /// the directed segment is absent. Must not race with in-flight queries.
+  Status UpdateEdgeCost(NodeId u, NodeId v, double cost);
+
+  /// (Re)creates the landmarkDist relation L from `rows` (APPENDs, metered
+  /// like every other statement). Replaces any previous landmark column.
+  Status StoreLandmarkDistances(const std::vector<LandmarkDistRow>& rows);
+
+  /// Full scan of L in storage order; FailedPrecondition when no landmark
+  /// column has been stored. Every block read is metered — this is the
+  /// "load once per store replica" cost of the ALT estimator.
+  Result<std::vector<LandmarkDistRow>> LoadLandmarkDistances() const;
+
+  bool has_landmark_distances() const { return landmark_ != nullptr; }
+  const relational::Relation* landmark_relation() const {
+    return landmark_.get();
+  }
+
   /// Quantised coordinate of a node as stored (used by estimators so the
   /// heuristic sees exactly the stored geometry).
   static double Quantise(double coord) {
@@ -92,9 +125,12 @@ class RelationalGraphStore {
   static NodeRow NodeFromTuple(const relational::Tuple& t);
   static relational::Tuple ToTuple(const EdgeRow& row);
   static EdgeRow EdgeFromTuple(const relational::Tuple& t);
+  static relational::Tuple ToTuple(const LandmarkDistRow& row);
+  static LandmarkDistRow LandmarkDistFromTuple(const relational::Tuple& t);
 
   static relational::Schema EdgeSchema();
   static relational::Schema NodeSchema();
+  static relational::Schema LandmarkDistSchema();
 
   /// Field names (indexable keys).
   static constexpr const char* kBeginField = "begin_node";
@@ -103,6 +139,7 @@ class RelationalGraphStore {
  private:
   relational::Relation s_;
   relational::Relation r_;
+  std::unique_ptr<relational::Relation> landmark_;  ///< L; null until stored
   bool loaded_ = false;
 };
 

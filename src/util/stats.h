@@ -8,6 +8,25 @@
 
 namespace atis {
 
+/// Percentile over already-sorted samples with linear interpolation
+/// between closest ranks; `p` in [0, 100]. Returns 0 when empty.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+/// Same over unsorted input (sorts a copy, so caller order is preserved).
+inline double Percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return PercentileSorted(samples, p);
+}
+
 /// Online accumulator for count / mean / min / max / variance (Welford).
 class RunningStats {
  public:
@@ -50,15 +69,11 @@ class SampleSet {
 
   size_t count() const { return samples_.size(); }
 
-  /// p in [0, 100]. Nearest-rank percentile. Returns 0 when empty.
+  /// p in [0, 100], linear interpolation between closest ranks. Returns 0
+  /// when empty.
   double Percentile(double p) {
-    if (samples_.empty()) return 0.0;
     EnsureSorted();
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return PercentileSorted(samples_, p);
   }
 
   double Median() { return Percentile(50.0); }

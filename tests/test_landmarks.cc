@@ -1,0 +1,236 @@
+// Tests for core/landmarks: farthest-point selection, triangle-inequality
+// lower bounds, persistence through the relational store, and A* Version 4
+// agreement with the geometric versions.
+#include "core/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/db_search.h"
+#include "core/estimator.h"
+#include "core/memory_search.h"
+#include "core/sssp.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "graph/road_map_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::GridGraphGenerator;
+using graph::NodeId;
+
+graph::Graph Grid(int k, GridCostModel model) {
+  GridGraphGenerator::Options opt;
+  opt.k = k;
+  opt.cost_model = model;
+  auto g = GridGraphGenerator::Generate(opt);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+std::shared_ptr<const LandmarkSet> Select(const graph::Graph& g, size_t k) {
+  LandmarkOptions opt;
+  opt.num_landmarks = k;
+  auto set = SelectLandmarks(g, opt);
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  return std::make_shared<const LandmarkSet>(std::move(set).value());
+}
+
+TEST(LandmarkSelectTest, SelectsDistinctSpreadLandmarksDeterministically) {
+  const graph::Graph g = Grid(10, GridCostModel::kVariance20);
+  auto a = Select(g, 8);
+  auto b = Select(g, 8);
+  ASSERT_EQ(a->num_landmarks(), 8u);
+  EXPECT_EQ(a->landmarks(), b->landmarks());  // deterministic
+  for (size_t i = 0; i < a->num_landmarks(); ++i) {
+    for (size_t j = i + 1; j < a->num_landmarks(); ++j) {
+      EXPECT_NE(a->landmarks()[i], a->landmarks()[j]);
+    }
+  }
+  // Each landmark knows itself at distance zero, both directions.
+  for (size_t l = 0; l < a->num_landmarks(); ++l) {
+    EXPECT_EQ(a->DistFrom(l, a->landmarks()[l]), 0.0);
+    EXPECT_EQ(a->DistTo(l, a->landmarks()[l]), 0.0);
+  }
+}
+
+TEST(LandmarkSelectTest, CountClampedToGraphAndRejectsEmptyGraph) {
+  const graph::Graph g = Grid(3, GridCostModel::kUniform);  // 9 nodes
+  auto set = Select(g, 100);
+  EXPECT_LE(set->num_landmarks(), 9u);
+  EXPECT_GE(set->num_landmarks(), 2u);
+
+  LandmarkOptions opt;
+  EXPECT_FALSE(SelectLandmarks(graph::Graph(), opt).ok());
+}
+
+TEST(LandmarkBoundTest, LowerBoundsAreAdmissibleOnEveryCostModel) {
+  for (const GridCostModel model :
+       {GridCostModel::kUniform, GridCostModel::kVariance20,
+        GridCostModel::kSkewed}) {
+    const graph::Graph g = Grid(8, model);
+    auto estimator = MakeLandmarkEstimator(Select(g, 6));
+    ASSERT_NE(estimator, nullptr);
+    EXPECT_EQ(estimator->kind(), EstimatorKind::kLandmark);
+    EXPECT_TRUE(EstimatorIsAdmissibleOn(*estimator, g))
+        << "cost model " << static_cast<int>(model);
+  }
+}
+
+TEST(LandmarkBoundTest, AdmissibleOnOneWayRoadMap) {
+  // The road map has one-way streets: this exercises the directed
+  // (forward + backward column) form of the triangle inequality.
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  auto estimator = MakeLandmarkEstimator(Select(rm->graph, 8));
+  EXPECT_TRUE(EstimatorIsAdmissibleOn(*estimator, rm->graph));
+}
+
+TEST(LandmarkBoundTest, ExactOnLandmarkAlignedPairs) {
+  const graph::Graph g = Grid(6, GridCostModel::kVariance20);
+  auto set = Select(g, 4);
+  // d(l, t) is itself a landmark bound for from == l, so the bound is
+  // exact there; everywhere it is clamped non-negative.
+  auto tree = SingleSourceDijkstra(g, set->landmarks()[0]);
+  ASSERT_TRUE(tree.ok());
+  for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+    const double bound = set->LowerBound(set->landmarks()[0], v);
+    EXPECT_GE(bound, 0.0);
+    EXPECT_NEAR(bound, tree->Distance(v), 1e-9);
+  }
+}
+
+TEST(LandmarkBoundTest, EuclideanScaleKeepsPointwiseDominance) {
+  // On a distance-cost graph the combined estimator must never fall below
+  // plain Euclidean — this is the pointwise-dominance contract Version 4
+  // relies on to expand no more nodes than Version 2.
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  const graph::Graph& g = rm->graph;
+  auto alt = MakeLandmarkEstimator(Select(g, 8), /*euclidean_scale=*/1.0);
+  auto eu = MakeEstimator(EstimatorKind::kEuclidean);
+  for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); v += 7) {
+    const double got = alt->EstimateNodes(v, g.point(v), rm->b,
+                                          g.point(rm->b));
+    EXPECT_GE(got, eu->Estimate(g.point(v), g.point(rm->b))) << "node " << v;
+  }
+  EXPECT_TRUE(EstimatorIsAdmissibleOn(*alt, g));
+}
+
+TEST(LandmarkRowsTest, ToRowsFromRowsRoundTrips) {
+  const graph::Graph g = Grid(5, GridCostModel::kSkewed);
+  auto set = Select(g, 3);
+  auto back = LandmarkSet::FromRows(set->ToRows());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->landmarks(), set->landmarks());
+  for (size_t l = 0; l < set->num_landmarks(); ++l) {
+    for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+      EXPECT_EQ(back->DistFrom(l, v), set->DistFrom(l, v));
+      EXPECT_EQ(back->DistTo(l, v), set->DistTo(l, v));
+    }
+  }
+}
+
+TEST(LandmarkRowsTest, FromRowsRejectsMalformedTables) {
+  EXPECT_FALSE(LandmarkSet::FromRows({}).ok());
+  const graph::Graph g = Grid(4, GridCostModel::kUniform);
+  auto rows = Select(g, 2)->ToRows();
+  rows.pop_back();  // ragged: not k * n rows any more
+  EXPECT_FALSE(LandmarkSet::FromRows(rows).ok());
+}
+
+TEST(LandmarkPersistTest, PersistAndLoadRoundTripsThroughStore) {
+  const graph::Graph g = Grid(6, GridCostModel::kVariance20);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  EXPECT_FALSE(store.has_landmark_distances());
+  EXPECT_FALSE(store.LoadLandmarkDistances().ok());  // nothing stored yet
+
+  auto set = Select(WithStoredEdgeCosts(g), 4);
+  auto loaded = PersistAndLoadLandmarks(*set, &store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(store.has_landmark_distances());
+  EXPECT_EQ((*loaded)->landmarks(), set->landmarks());
+  for (size_t l = 0; l < set->num_landmarks(); ++l) {
+    for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+      // kDouble persistence: distances survive exactly.
+      EXPECT_EQ((*loaded)->DistFrom(l, v), set->DistFrom(l, v));
+      EXPECT_EQ((*loaded)->DistTo(l, v), set->DistTo(l, v));
+    }
+  }
+
+  // Re-persisting replaces the table instead of appending to it.
+  auto smaller = Select(WithStoredEdgeCosts(g), 2);
+  auto reloaded = PersistAndLoadLandmarks(*smaller, &store);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->num_landmarks(), smaller->num_landmarks());
+}
+
+TEST(AStarV4Test, NeedsEnableLandmarksFirst) {
+  const graph::Graph g = Grid(5, GridCostModel::kUniform);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  DbSearchEngine engine(&store, &pool);
+  EXPECT_FALSE(engine.landmarks_enabled());
+  EXPECT_FALSE(engine.AStar(0, 24, AStarVersion::kV4).ok());
+  EXPECT_FALSE(engine.EnableLandmarks(nullptr).ok());
+}
+
+TEST(AStarV4Test, MatchesVersion2CostsWithFewerIterations) {
+  // The acceptance property at unit scale: identical path costs, no more
+  // iterations than Euclidean A*, on a grid whose costs equal distances.
+  const graph::Graph g = Grid(10, GridCostModel::kUniform);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  DbSearchEngine engine(&store, &pool);
+
+  auto set = Select(WithStoredEdgeCosts(g), 8);
+  auto table = PersistAndLoadLandmarks(*set, &store);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      engine
+          .EnableLandmarks(MakeLandmarkEstimator(std::move(table).value(),
+                                                 /*euclidean_scale=*/1.0))
+          .ok());
+  ASSERT_TRUE(engine.landmarks_enabled());
+
+  const struct {
+    NodeId s, d;
+  } trips[] = {{0, 99}, {9, 90}, {23, 77}, {5, 94}};
+  for (const auto& trip : trips) {
+    auto v2 = engine.AStar(trip.s, trip.d, AStarVersion::kV2);
+    auto v4 = engine.AStar(trip.s, trip.d, AStarVersion::kV4);
+    ASSERT_TRUE(v2.ok() && v4.ok());
+    ASSERT_TRUE(v2->found && v4->found);
+    EXPECT_NEAR(v4->cost, v2->cost, 1e-9);
+    EXPECT_LE(v4->stats.iterations, v2->stats.iterations);
+  }
+}
+
+TEST(AStarV4Test, InMemoryAStarAcceptsLandmarkEstimator) {
+  const graph::Graph g = Grid(9, GridCostModel::kSkewed);
+  auto estimator = MakeLandmarkEstimator(Select(g, 6));
+  MemorySearchOptions opt;
+  opt.estimator_known_admissible = true;  // ALT bounds always are
+  const PathResult want = DijkstraSearch(g, 0, 80);
+  const PathResult got = AStarSearch(g, 0, 80, *estimator, opt);
+  ASSERT_TRUE(got.found);
+  EXPECT_NEAR(got.cost, want.cost, 1e-9);
+  EXPECT_LE(got.stats.iterations, want.stats.iterations);
+  EXPECT_TRUE(got.optimality_guaranteed);
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -7,10 +7,13 @@
 #include <set>
 
 #include "core/advanced_search.h"
+#include "core/estimator.h"
 #include "core/k_shortest.h"
+#include "core/landmarks.h"
 #include "core/memory_search.h"
 #include "core/sssp.h"
 #include "graph/grid_generator.h"
+#include "graph/road_map_generator.h"
 #include "relational/external_sort.h"
 #include "relational/join.h"
 #include "util/random.h"
@@ -235,6 +238,101 @@ TEST_P(ExactSearchMatrix, AllExactConfigurationsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactSearchMatrix,
                          ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+// ---------------------------------------------------------------------------
+// Estimator admissibility sweep: every estimator kind against the paper's
+// grids (10/20/30, all three cost models) and the road map, checked
+// exhaustively with EstimatorIsAdmissibleOn. The landmark estimator must be
+// admissible *everywhere*; the geometric ones exactly where the cost model
+// dominates geometry.
+
+std::unique_ptr<core::Estimator> BuildEstimator(core::EstimatorKind kind,
+                                                const graph::Graph& g) {
+  if (kind != core::EstimatorKind::kLandmark) {
+    return core::MakeEstimator(kind);
+  }
+  core::LandmarkOptions opt;
+  opt.num_landmarks = 6;
+  auto set = core::SelectLandmarks(g, opt);
+  EXPECT_TRUE(set.ok());
+  return core::MakeLandmarkEstimator(
+      std::make_shared<const core::LandmarkSet>(std::move(set).value()));
+}
+
+bool GeometricallyAdmissible(graph::GridCostModel model) {
+  // kUniform and kVariance20 cost >= 1 per unit step; kSkewed has cheap
+  // corridor edges the geometric estimators overestimate across.
+  return model != graph::GridCostModel::kSkewed;
+}
+
+class AdmissibilitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdmissibilitySweep, AllEstimatorKindsOnPaperGrids) {
+  for (const graph::GridCostModel model :
+       {graph::GridCostModel::kUniform, graph::GridCostModel::kVariance20,
+        graph::GridCostModel::kSkewed}) {
+    graph::GridGraphGenerator::Options gopt;
+    gopt.k = GetParam();
+    gopt.cost_model = model;
+    auto g = graph::GridGraphGenerator::Generate(gopt);
+    ASSERT_TRUE(g.ok());
+    for (const core::EstimatorKind kind :
+         {core::EstimatorKind::kZero, core::EstimatorKind::kEuclidean,
+          core::EstimatorKind::kManhattan, core::EstimatorKind::kLandmark}) {
+      const auto estimator = BuildEstimator(kind, *g);
+      ASSERT_NE(estimator, nullptr);
+      const bool want = kind == core::EstimatorKind::kZero ||
+                        kind == core::EstimatorKind::kLandmark ||
+                        GeometricallyAdmissible(model);
+      EXPECT_EQ(core::EstimatorIsAdmissibleOn(*estimator, *g), want)
+          << core::EstimatorKindName(kind) << " on grid" << GetParam()
+          << " model " << static_cast<int>(model);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, AdmissibilitySweep,
+                         ::testing::Values(10, 20, 30));
+
+TEST(AdmissibilitySweepTest, AllEstimatorKindsOnRoadMap) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  const graph::Graph& g = rm->graph;
+  EXPECT_TRUE(core::EstimatorIsAdmissibleOn(
+      *BuildEstimator(core::EstimatorKind::kZero, g), g));
+  EXPECT_TRUE(core::EstimatorIsAdmissibleOn(
+      *BuildEstimator(core::EstimatorKind::kEuclidean, g), g));
+  // Section 5.3.2: Manhattan overestimates on the Minneapolis data set.
+  EXPECT_FALSE(core::EstimatorIsAdmissibleOn(
+      *BuildEstimator(core::EstimatorKind::kManhattan, g), g));
+  EXPECT_TRUE(core::EstimatorIsAdmissibleOn(
+      *BuildEstimator(core::EstimatorKind::kLandmark, g), g));
+}
+
+TEST(AdmissibilitySweepTest, AltDominatesEuclideanOnDistanceCostGraphs) {
+  // With euclidean_scale = 1 the landmark estimator is max(ALT, Euclidean),
+  // so it must dominate plain Euclidean pointwise while staying admissible.
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  const graph::Graph& g = rm->graph;
+  core::LandmarkOptions opt;
+  opt.num_landmarks = 8;
+  auto set = core::SelectLandmarks(g, opt);
+  ASSERT_TRUE(set.ok());
+  const auto alt = core::MakeLandmarkEstimator(
+      std::make_shared<const core::LandmarkSet>(std::move(set).value()),
+      /*euclidean_scale=*/1.0);
+  const auto eu = core::MakeEstimator(core::EstimatorKind::kEuclidean);
+  Rng rng(1993);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+    EXPECT_GE(alt->EstimateNodes(u, g.point(u), v, g.point(v)),
+              eu->Estimate(g.point(u), g.point(v)))
+        << u << " -> " << v;
+  }
+  EXPECT_TRUE(core::EstimatorIsAdmissibleOn(*alt, g));
+}
 
 }  // namespace
 }  // namespace atis

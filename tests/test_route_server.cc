@@ -175,6 +175,166 @@ TEST(RouteServerTest, WorkerCountClampedToAtLeastOne) {
   }
 }
 
+graph::Graph WithEdgeCost(const graph::Graph& g, graph::NodeId u,
+                          graph::NodeId v, double cost) {
+  graph::Graph out;
+  for (graph::NodeId n = 0; n < static_cast<graph::NodeId>(g.num_nodes());
+       ++n) {
+    const graph::Point& p = g.point(n);
+    out.AddNode(p.x, p.y);
+  }
+  for (graph::NodeId n = 0; n < static_cast<graph::NodeId>(g.num_nodes());
+       ++n) {
+    for (const graph::Edge& e : g.Neighbors(n)) {
+      EXPECT_TRUE(
+          out.AddEdge(n, e.to, n == u && e.to == v ? cost : e.cost).ok());
+    }
+  }
+  return out;
+}
+
+TEST(RouteServerCacheTest, RepeatBatchIsServedFromCacheBitIdentically) {
+  const graph::Graph g = MakeGrid(10);
+  RouteServer::Options opt;
+  opt.num_workers = 4;
+  opt.enable_cache = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  ASSERT_NE(server.cache(), nullptr);
+
+  const std::vector<RouteQuery> queries = CornerQueries(10, 16);
+  auto cold = server.ServeBatch(queries);
+  ASSERT_TRUE(cold.ok());
+  for (const RouteResponse& r : *cold) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.cache_hit);
+  }
+
+  auto warm = server.ServeBatch(queries);
+  ASSERT_TRUE(warm.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RouteResponse& c = (*cold)[i];
+    const RouteResponse& w = (*warm)[i];
+    ASSERT_TRUE(w.status.ok());
+    EXPECT_TRUE(w.cache_hit) << "query " << i;
+    // Bit-identical, not merely close: the cache replays the result.
+    EXPECT_EQ(w.result.found, c.result.found);
+    EXPECT_EQ(w.result.cost, c.result.cost);
+    EXPECT_EQ(w.result.path, c.result.path);
+    EXPECT_EQ(w.io.blocks_read, 0u);  // no storage work on a hit
+  }
+  const RouteCache::Stats stats = server.cache()->stats();
+  EXPECT_EQ(stats.hits, queries.size());
+  EXPECT_EQ(stats.misses, queries.size());
+}
+
+TEST(RouteServerCacheTest, TrafficUpdateInvalidatesAndRecomputes) {
+  const graph::Graph g = MakeGrid(6);
+  // Edge on node 0's adjacency; congest it hard so routes through it move.
+  const graph::Edge first = *g.Neighbors(0).begin();
+  const double new_cost = first.cost + 50.0;
+
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  opt.enable_cache = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  std::vector<RouteQuery> queries;
+  for (graph::NodeId d = 20; d < 36; ++d) {
+    RouteQuery q;
+    q.source = 0;
+    q.destination = d;
+    queries.push_back(q);
+  }
+  auto before = server.ServeBatch(queries);
+  ASSERT_TRUE(before.ok());
+  auto cached = server.ServeBatch(queries);  // populate + confirm hits
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->front().cache_hit);
+
+  ASSERT_TRUE(server.UpdateEdgeCost(0, first.to, new_cost).ok());
+  EXPECT_FALSE(server.UpdateEdgeCost(0, first.to, -1.0).ok());
+
+  // Reference: a fresh engine over the updated map.
+  const graph::Graph updated = WithEdgeCost(g, 0, first.to, new_cost);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(updated).ok());
+  DbSearchEngine engine(&store, &pool, DbSearchOptions{});
+
+  auto after = server.ServeBatch(queries);
+  ASSERT_TRUE(after.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RouteResponse& resp = (*after)[i];
+    ASSERT_TRUE(resp.status.ok()) << "query " << i;
+    EXPECT_FALSE(resp.cache_hit) << "query " << i;  // nothing stale served
+    auto want = engine.AStar(queries[i].source, queries[i].destination,
+                             queries[i].version);
+    ASSERT_TRUE(want.ok());
+    EXPECT_NEAR(resp.result.cost, want->cost, 1e-9) << "query " << i;
+    EXPECT_EQ(resp.result.path, want->path) << "query " << i;
+  }
+  EXPECT_GE(server.cache()->stats().stale_evictions, 1u);
+}
+
+TEST(RouteServerCacheTest, UncachedServerHasNoCache) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer server(g);
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_EQ(server.cache(), nullptr);
+  // Traffic updates still apply to the replicas without a cache.
+  const graph::Edge first = *g.Neighbors(0).begin();
+  EXPECT_TRUE(server.UpdateEdgeCost(0, first.to, first.cost + 1.0).ok());
+}
+
+TEST(RouteServerLandmarkTest, Version4MatchesVersion2AcrossThePool) {
+  const graph::Graph g = MakeGrid(10);
+  RouteServer::Options opt;
+  opt.num_workers = 3;
+  opt.num_landmarks = 6;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  ASSERT_TRUE(server.landmarks_enabled());
+
+  std::vector<RouteQuery> v2 = CornerQueries(10, 18);
+  std::vector<RouteQuery> v4 = v2;
+  for (RouteQuery& q : v2) {
+    q.algorithm = Algorithm::kAStar;
+    q.version = AStarVersion::kV2;
+  }
+  for (RouteQuery& q : v4) {
+    q.algorithm = Algorithm::kAStar;
+    q.version = AStarVersion::kV4;
+  }
+  auto euclid = server.ServeBatch(v2);
+  auto landmark = server.ServeBatch(v4);
+  ASSERT_TRUE(euclid.ok() && landmark.ok());
+  for (size_t i = 0; i < v2.size(); ++i) {
+    ASSERT_TRUE((*euclid)[i].status.ok()) << "query " << i;
+    ASSERT_TRUE((*landmark)[i].status.ok()) << "query " << i;
+    EXPECT_EQ((*landmark)[i].result.found, (*euclid)[i].result.found);
+    EXPECT_NEAR((*landmark)[i].result.cost, (*euclid)[i].result.cost, 1e-9)
+        << "query " << i;
+  }
+}
+
+TEST(RouteServerLandmarkTest, Version4WithoutLandmarksFailsPerQuery) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer server(g);  // num_landmarks == 0
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_FALSE(server.landmarks_enabled());
+  RouteQuery q;
+  q.source = 0;
+  q.destination = 24;
+  q.algorithm = Algorithm::kAStar;
+  q.version = AStarVersion::kV4;
+  auto batch = server.ServeBatch({q});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->front().status.ok());
+}
+
 TEST(RouteServerTest, DiskLatencyModelIsInstalled) {
   const graph::Graph g = MakeGrid(5);
   RouteServer::Options opt;
