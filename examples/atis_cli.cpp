@@ -11,7 +11,8 @@
 //                  [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]
 //   atis_cli serve <file> --queries=FILE [--workers=N]
 //                  [--latency=READ_US,WRITE_US] [--landmarks=K]
-//                  [--cache[=CAPACITY]] [--json=FILE] [--metrics=FILE]
+//                  [--cache[=CAPACITY]] [--fault-rate=P] [--deadline-ms=MS]
+//                  [--degraded] [--json=FILE] [--metrics=FILE]
 //   atis_cli alternates <file> <src> <dst> <k>
 #include <algorithm>
 #include <chrono>
@@ -60,6 +61,7 @@ int Usage(const char* argv0) {
       " [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]\n"
       "  %s serve <file> --queries=FILE [--workers=N]"
       " [--latency=READ_US,WRITE_US] [--landmarks=K] [--cache[=CAPACITY]]"
+      " [--fault-rate=P] [--deadline-ms=MS] [--degraded]"
       " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
@@ -72,7 +74,11 @@ int Usage(const char* argv0) {
       "'#' comments) on a worker pool sharing one sharded buffer pool;\n"
       "--latency simulates per-block device waits, --landmarks enables\n"
       "astar4 queries, --cache memoises results in an epoch-invalidated\n"
-      "LRU, --json writes the per-query responses ('-' = stdout).\n",
+      "LRU, --json writes the per-query responses ('-' = stdout).\n"
+      "serve resilience: --fault-rate injects seeded transient disk\n"
+      "faults (retried with backoff), --deadline-ms bounds each query,\n"
+      "--degraded falls back to stale cache / in-memory snapshot answers\n"
+      "instead of failing.\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -378,6 +384,9 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   size_t num_landmarks = 0;
   bool enable_cache = false;
   size_t cache_capacity = 0;  // 0 = library default
+  bool degraded = false;
+  double fault_rate = 0.0;
+  uint64_t deadline_ms = 0;
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -416,6 +425,21 @@ int CmdServe(int argc, char** argv, const char* argv0) {
       }
       latency.read_micros = r;
       latency.write_micros = w;
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_rate = std::atof(arg.c_str() + 13);
+      if (fault_rate < 0.0 || fault_rate >= 1.0) {
+        std::fprintf(stderr, "--fault-rate wants a probability in [0,1)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const int ms = std::atoi(arg.c_str() + 14);
+      if (ms <= 0) {
+        std::fprintf(stderr, "--deadline-ms wants a positive count\n");
+        return 2;
+      }
+      deadline_ms = static_cast<uint64_t>(ms);
+    } else if (arg == "--degraded") {
+      degraded = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -457,11 +481,21 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   opt.num_landmarks = num_landmarks;
   opt.enable_cache = enable_cache;
   if (cache_capacity > 0) opt.cache.capacity = cache_capacity;
+  opt.default_deadline_ms = deadline_ms;
+  opt.enable_degraded = degraded;
+  if (fault_rate > 0.0) {
+    opt.fault_profile.transient_rate = fault_rate;
+    opt.retry.max_attempts = 4;  // absorb most transient faults in place
+  }
   core::RouteServer server(*g, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "%s\n", server.init_status().ToString().c_str());
     return 1;
   }
+  // Storage-layer series (block I/O, retries, injected faults) join the
+  // --metrics dump, which happens before `server` goes out of scope.
+  obs::RegisterStorageCollectors(obs::MetricsRegistry::Default(),
+                                 &server.disk(), &server.pool());
 
   const auto started = std::chrono::steady_clock::now();
   auto batch = server.ServeBatch(queries);
@@ -474,12 +508,13 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     return 1;
   }
 
-  size_t failures = 0;
+  size_t failures = 0, degraded_answers = 0;
   std::vector<double> latencies;
   latencies.reserve(batch->size());
   for (const core::RouteResponse& resp : *batch) {
     latencies.push_back(resp.latency_seconds);
     if (!resp.status.ok() || !resp.result.found) ++failures;
+    if (resp.degraded) ++degraded_answers;
   }
   std::sort(latencies.begin(), latencies.end());
   auto pct = [&](double p) {
@@ -490,10 +525,10 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   };
   std::printf("%zu queries on %zu workers in %.3fs: %.1f queries/s; "
               "per-query p50 %.2fms p95 %.2fms p99 %.2fms; %zu "
-              "unanswered\n",
+              "unanswered, %zu degraded\n",
               batch->size(), server.num_workers(), elapsed,
               static_cast<double>(batch->size()) / elapsed, pct(50), pct(95),
-              pct(99), failures);
+              pct(99), failures, degraded_answers);
   if (server.cache() != nullptr) {
     const core::RouteCache::Stats cs = server.cache()->stats();
     std::printf("route cache: %llu hits, %llu misses, %llu stale "
@@ -516,7 +551,10 @@ int CmdServe(int argc, char** argv, const char* argv0) {
           << ", \"cost\": " << r.result.cost << ", \"latency_ms\": "
           << 1e3 * r.latency_seconds << ", \"blocks_read\": "
           << r.io.blocks_read << ", \"worker\": " << r.worker_id
-          << ", \"cache_hit\": " << (r.cache_hit ? "true" : "false") << "}";
+          << ", \"cache_hit\": " << (r.cache_hit ? "true" : "false")
+          << ", \"degraded\": " << (r.degraded ? "true" : "false")
+          << ", \"served_via\": \"" << core::ServedViaName(r.served_via)
+          << "\"}";
     }
     out << "\n  ]\n}\n";
     if (!WriteFileOrStdout(json_file, out.str())) return 1;

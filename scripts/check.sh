@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over
-# the concurrent components (buffer pool, route server, route cache).
+# the concurrent components (buffer pool, route server, route cache,
+# resilience machinery, disk-manager fault injection).
 # Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
 set -euo pipefail
 
@@ -13,12 +14,12 @@ cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
-echo "== tsan: concurrent stress tests (buffer pool / route server / route cache) =="
+echo "== tsan: concurrent stress tests (buffer pool / route server / route cache / resilience) =="
 cmake -B "$repo/build-tsan" -S "$repo" -DATIS_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
-  --target storage_test route_server_test alt_cache_test
+  --target storage_test route_server_test alt_cache_test resilience_test
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-  -R 'BufferPool|RouteServer|RouteCache'
+  -R 'BufferPool|RouteServer|RouteCache|Resilien|DiskManager|CircuitBreaker|Deadline'
 
 echo
 echo "check.sh: all gates passed"

@@ -1,0 +1,76 @@
+#include "core/circuit_breaker.h"
+
+namespace atis::core {
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options{}) {}
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {
+  if (options_.failure_threshold < 1) options_.failure_threshold = 1;
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() >= open_until_) {
+        state_ = State::kHalfOpen;
+        ++stats_.probes;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+    case State::kHalfOpen:
+      // One probe is already in flight; refuse the rest until its outcome
+      // is recorded.
+      ++stats_.rejected;
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  const bool should_open =
+      state_ == State::kHalfOpen ||  // failed probe: straight back to Open
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold);
+  if (!should_open) return false;
+  state_ = State::kOpen;
+  open_until_ =
+      Clock::now() + std::chrono::milliseconds(options_.open_millis);
+  ++stats_.opened;
+  return true;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace atis::core

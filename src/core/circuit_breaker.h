@@ -1,0 +1,77 @@
+// Per-replica circuit breaker for the serving path.
+//
+// Each RouteServer worker owns one breaker guarding its store replica.
+// After `failure_threshold` consecutive storage faults the breaker opens:
+// the replica is quarantined and queries skip straight to degraded
+// fallbacks instead of hammering a device that keeps failing. Once the
+// quarantine elapses, the next request is admitted as a half-open probe —
+// if it succeeds the breaker closes and normal serving resumes; if it
+// fails the quarantine restarts.
+//
+// State machine:  Closed --K consecutive failures--> Open
+//                 Open --quarantine elapsed--> HalfOpen (one probe)
+//                 HalfOpen --probe ok--> Closed / --probe fails--> Open
+//
+// Thread-safe (a mutex guards every transition); in the route server each
+// breaker is driven by a single worker but may be inspected concurrently.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace atis::core {
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive storage faults that open the breaker. Clamped to >= 1.
+    int failure_threshold = 3;
+    /// Quarantine before a half-open probe is admitted.
+    uint32_t open_millis = 100;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Monotonic transition/rejection counters.
+  struct Stats {
+    uint64_t opened = 0;    ///< Closed/HalfOpen -> Open transitions
+    uint64_t probes = 0;    ///< half-open probes admitted
+    uint64_t rejected = 0;  ///< requests refused while Open
+  };
+
+  CircuitBreaker();  // default Options (a nested class's default member
+                     // initializers cannot feed a default argument here)
+  explicit CircuitBreaker(Options options);
+
+  /// Whether a request may hit the replica now. While Open, returns false
+  /// until the quarantine elapses, then transitions to HalfOpen and admits
+  /// exactly one probe (further requests are refused until the probe's
+  /// outcome is recorded).
+  bool AllowRequest();
+
+  /// Report the outcome of an admitted request. Success closes the breaker
+  /// and resets the failure streak; a storage-fault failure extends the
+  /// streak (or re-opens a half-open breaker). Deadline expiries should be
+  /// reported as neither — they say nothing about replica health.
+  void RecordSuccess();
+  /// Returns true when this failure opened the breaker.
+  bool RecordFailure();
+
+  State state() const;
+  Stats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;         // guarded by mu_
+  int consecutive_failures_ = 0;         // guarded by mu_
+  Clock::time_point open_until_{};       // guarded by mu_
+  Stats stats_;                          // guarded by mu_
+};
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace atis::core

@@ -141,9 +141,10 @@ Result<std::vector<NodeId>> DbSearchEngine::ReconstructFromStore(
 }
 
 Result<PathResult> DbSearchEngine::Dijkstra(NodeId source,
-                                            NodeId destination) {
+                                            NodeId destination,
+                                            const Deadline& deadline) {
   return BestFirstStatusAttribute(source, destination, /*estimator=*/nullptr,
-                                  "dijkstra");
+                                  "dijkstra", deadline);
 }
 
 Status DbSearchEngine::EnableLandmarks(
@@ -156,14 +157,16 @@ Status DbSearchEngine::EnableLandmarks(
 }
 
 Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
-                                         AStarVersion version) {
+                                         AStarVersion version,
+                                         const Deadline& deadline) {
   if (version == AStarVersion::kV4) {
     if (landmark_estimator_ == nullptr) {
       return Status::FailedPrecondition(
           "A* version 4 needs EnableLandmarks() first");
     }
     return BestFirstStatusAttribute(source, destination,
-                                    landmark_estimator_.get(), "astar-v4");
+                                    landmark_estimator_.get(), "astar-v4",
+                                    deadline);
   }
   const auto estimator =
       MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
@@ -171,13 +174,13 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
   switch (version) {
     case AStarVersion::kV1:
       return AStarSeparateRelation(source, destination, *estimator,
-                                   "astar-v1");
+                                   "astar-v1", deadline);
     case AStarVersion::kV2:
       return BestFirstStatusAttribute(source, destination, estimator.get(),
-                                      "astar-v2");
+                                      "astar-v2", deadline);
     case AStarVersion::kV3:
       return BestFirstStatusAttribute(source, destination, estimator.get(),
-                                      "astar-v3");
+                                      "astar-v3", deadline);
     case AStarVersion::kV4:
       break;  // handled above
   }
@@ -187,21 +190,22 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
 Result<PathResult> DbSearchEngine::AStarCustom(NodeId source,
                                                NodeId destination,
                                                const Estimator& estimator,
-                                               FrontierImpl frontier) {
+                                               FrontierImpl frontier,
+                                               const Deadline& deadline) {
   switch (frontier) {
     case FrontierImpl::kStatusAttribute:
       return BestFirstStatusAttribute(source, destination, &estimator,
-                                      "astar-status-attribute");
+                                      "astar-status-attribute", deadline);
     case FrontierImpl::kSeparateRelation:
       return AStarSeparateRelation(source, destination, estimator,
-                                   "astar-separate-relation");
+                                   "astar-separate-relation", deadline);
   }
   return Status::Internal("unreachable frontier implementation");
 }
 
 Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     NodeId source, NodeId destination, const Estimator* estimator,
-    std::string_view label) {
+    std::string_view label, const Deadline& deadline) {
   const bool allow_reopen = estimator != nullptr;  // A* yes, Dijkstra no
   RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
@@ -245,6 +249,9 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
   };
 
   while (true) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("route search deadline expired");
+    }
     obs::ScopedSpan iteration("iteration", "iteration");
     iteration.Tag("n", result.stats.iterations + 1);
 
@@ -346,7 +353,7 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
 
 Result<PathResult> DbSearchEngine::AStarSeparateRelation(
     NodeId source, NodeId destination, const Estimator& estimator,
-    std::string_view label) {
+    std::string_view label, const Deadline& deadline) {
   RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
@@ -413,6 +420,9 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
   };
 
   while (true) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("route search deadline expired");
+    }
     obs::ScopedSpan iteration("iteration", "iteration");
     iteration.Tag("n", result.stats.iterations + 1);
 
@@ -598,7 +608,8 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
 }
 
 Result<PathResult> DbSearchEngine::Iterative(NodeId source,
-                                             NodeId destination) {
+                                             NodeId destination,
+                                             const Deadline& deadline) {
   RunObserver run("iterative");
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
@@ -629,6 +640,9 @@ Result<PathResult> DbSearchEngine::Iterative(NodeId source,
   Relation& s = store_->edge_relation();
 
   while (true) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("route search deadline expired");
+    }
     obs::ScopedSpan iteration("iteration", "iteration");
     iteration.Tag("n", result.stats.iterations + 1);
 

@@ -26,6 +26,7 @@
 #include "graph/relational_graph.h"
 #include "relational/join.h"
 #include "storage/buffer_pool.h"
+#include "util/deadline.h"
 
 namespace atis::core {
 
@@ -61,18 +62,25 @@ class DbSearchEngine {
   DbSearchEngine(graph::RelationalGraphStore* store,
                  storage::BufferPool* pool, DbSearchOptions options = {});
 
-  /// Iterative breadth-first algorithm (Figure 1 / Table 2).
+  /// Iterative breadth-first algorithm (Figure 1 / Table 2). All search
+  /// entry points take an optional cooperative deadline, checked once per
+  /// iteration/expansion; an expired deadline aborts the run with
+  /// kDeadlineExceeded (the store's working state stays consistent — the
+  /// next run begins with its own ResetSearchState).
   Result<PathResult> Iterative(graph::NodeId source,
-                               graph::NodeId destination);
+                               graph::NodeId destination,
+                               const Deadline& deadline = {});
 
   /// Dijkstra's algorithm (Figure 2 / Table 3).
   Result<PathResult> Dijkstra(graph::NodeId source,
-                              graph::NodeId destination);
+                              graph::NodeId destination,
+                              const Deadline& deadline = {});
 
   /// A* in one of the implementation versions (1-3 from the paper, 4 the
   /// ALT extension). Version 4 needs EnableLandmarks() first.
   Result<PathResult> AStar(graph::NodeId source, graph::NodeId destination,
-                           AStarVersion version);
+                           AStarVersion version,
+                           const Deadline& deadline = {});
 
   /// Installs the estimator Version 4 runs with (typically
   /// MakeLandmarkEstimator over a table loaded from this store's
@@ -86,7 +94,8 @@ class DbSearchEngine {
   Result<PathResult> AStarCustom(graph::NodeId source,
                                  graph::NodeId destination,
                                  const Estimator& estimator,
-                                 FrontierImpl frontier);
+                                 FrontierImpl frontier,
+                                 const Deadline& deadline = {});
 
   const DbSearchOptions& options() const { return options_; }
 
@@ -97,12 +106,14 @@ class DbSearchEngine {
   Result<PathResult> BestFirstStatusAttribute(graph::NodeId source,
                                               graph::NodeId destination,
                                               const Estimator* estimator,
-                                              std::string_view label);
+                                              std::string_view label,
+                                              const Deadline& deadline);
 
   Result<PathResult> AStarSeparateRelation(graph::NodeId source,
                                            graph::NodeId destination,
                                            const Estimator& estimator,
-                                           std::string_view label);
+                                           std::string_view label,
+                                           const Deadline& deadline);
 
   /// Follows R.pred from the destination. Charged reads, but performed
   /// after the run's stats snapshot (route assembly, not route search).

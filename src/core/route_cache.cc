@@ -39,7 +39,8 @@ RouteCache::Shard& RouteCache::ShardFor(const Key& key) {
   return *shards_[KeyHash{}(key) % shards_.size()];
 }
 
-RouteCache::LookupResult RouteCache::Lookup(const Key& key) {
+RouteCache::LookupResult RouteCache::Lookup(const Key& key,
+                                            bool evict_stale) {
   const uint64_t now = epoch();
   Shard& shard = ShardFor(key);
   LookupResult out;
@@ -50,18 +51,45 @@ RouteCache::LookupResult RouteCache::Lookup(const Key& key) {
     return out;
   }
   if (it->second->epoch != now) {
-    // Computed under an older cost model: evict, report a miss so the
-    // caller recomputes under the current one.
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    ++shard.stats.stale_evictions;
+    // Computed under an older cost model: report a miss so the caller
+    // recomputes under the current one, and (unless the entry is being
+    // kept as degraded-mode fallback material) evict it.
     ++shard.stats.misses;
-    out.stale_evicted = true;
+    if (evict_stale) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.stats.stale_evictions;
+      out.stale_evicted = true;
+    }
     return out;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.stats.hits;
   out.result = it->second->result;
+  return out;
+}
+
+RouteCache::StaleLookupResult RouteCache::LookupAllowStale(const Key& key) {
+  const uint64_t now = epoch();
+  Shard& shard = ShardFor(key);
+  StaleLookupResult out;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return out;
+  }
+  // The entry survives (and keeps its recency) even when stale: a later
+  // healthy query for the same key still evicts-and-recomputes via
+  // Lookup(), so staleness never outlives the outage plus one hit.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  out.result = it->second->result;
+  out.stale = it->second->epoch != now;
+  if (out.stale) {
+    ++shard.stats.stale_serves;
+  } else {
+    ++shard.stats.hits;
+  }
   return out;
 }
 
@@ -104,6 +132,7 @@ RouteCache::Stats RouteCache::stats() const {
     total.lru_evictions += shard->stats.lru_evictions;
     total.insertions += shard->stats.insertions;
     total.stale_inserts_dropped += shard->stats.stale_inserts_dropped;
+    total.stale_serves += shard->stats.stale_serves;
   }
   return total;
 }

@@ -59,11 +59,17 @@ class RouteCache {
     uint64_t lru_evictions = 0;
     uint64_t insertions = 0;
     uint64_t stale_inserts_dropped = 0;
+    uint64_t stale_serves = 0;      ///< stale entries handed out on purpose
   };
 
   struct LookupResult {
     std::optional<PathResult> result;  ///< engaged on a fresh hit
     bool stale_evicted = false;        ///< an entry died of old age here
+  };
+
+  struct StaleLookupResult {
+    std::optional<PathResult> result;  ///< engaged on any hit, even stale
+    bool stale = false;                ///< computed under an older epoch
   };
 
   RouteCache();  // default Options
@@ -80,7 +86,18 @@ class RouteCache {
   /// next lookup). Call on any traffic/cost-model change.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
-  LookupResult Lookup(const Key& key);
+  /// Fresh lookup. A stale entry (older epoch) reports a miss; with
+  /// `evict_stale` it is also dropped on the spot. Degraded-capable
+  /// servers pass evict_stale=false so the entry survives as fallback
+  /// material for LookupAllowStale until a successful recompute
+  /// overwrites it.
+  LookupResult Lookup(const Key& key, bool evict_stale = true);
+
+  /// Degraded-mode lookup: returns the cached result even when a traffic
+  /// update has bumped the epoch since it was computed, flagging it stale
+  /// instead of evicting it. A stale-but-plausible route beats no route
+  /// when the storage layer is failing; callers must surface the flag.
+  StaleLookupResult LookupAllowStale(const Key& key);
 
   /// Caches `result` computed while `observed_epoch` (from epoch()) was
   /// current. Dropped when an epoch bump happened since.

@@ -6,9 +6,26 @@
 #include <utility>
 
 #include "core/landmarks.h"
+#include "core/memory_search.h"
 #include "obs/metrics.h"
 
 namespace atis::core {
+
+const char* ServedViaName(ServedVia via) {
+  switch (via) {
+    case ServedVia::kEngine:
+      return "engine";
+    case ServedVia::kCache:
+      return "cache";
+    case ServedVia::kStaleCache:
+      return "stale-cache";
+    case ServedVia::kSnapshot:
+      return "snapshot";
+    case ServedVia::kNone:
+      return "none";
+  }
+  return "?";
+}
 
 RouteServer::RouteServer(const graph::Graph& g)
     : RouteServer(g, Options()) {}
@@ -76,6 +93,41 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
         "Cached routes evicted because a traffic update bumped the epoch");
   }
 
+  {
+    auto& reg = obs::MetricsRegistry::Default();
+    deadline_exceeded_ = &reg.GetCounter(
+        "atis_server_deadline_exceeded_total",
+        "Route queries whose search ran past its deadline");
+    degraded_stale_ = &reg.GetCounter(
+        "atis_server_degraded_stale_total",
+        "Degraded answers served from a stale cache entry");
+    degraded_snapshot_ = &reg.GetCounter(
+        "atis_server_degraded_snapshot_total",
+        "Degraded answers computed on the in-memory graph snapshot");
+    breaker_opened_ = &reg.GetCounter(
+        "atis_server_breaker_open_transitions_total",
+        "Replica circuit breakers opened by consecutive storage faults");
+    breaker_rejections_ = &reg.GetCounter(
+        "atis_server_breaker_rejections_total",
+        "Route queries refused a quarantined replica");
+    admission_shed_ = &reg.GetCounter(
+        "atis_server_admission_shed_total",
+        "Route queries shed by admission control (kResourceExhausted)");
+  }
+
+  for (size_t w = 0; w < options.num_workers; ++w) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(options.breaker));
+  }
+  // Degraded answers run on the metric the replicas actually store, so a
+  // snapshot route costs the same as the engine would have reported.
+  snapshot_ = WithStoredEdgeCosts(g);
+  options_ = options;
+
+  // Resilience knobs go live only after every replica (and the landmark
+  // table) loaded cleanly — construction itself never draws a fault.
+  pool_->SetRetryPolicy(options.retry);
+  disk_.SetFaultProfile(options.fault_profile);
+
   workers_.reserve(options.num_workers);
   for (size_t w = 0; w < options.num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -99,10 +151,28 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
   std::vector<RouteResponse> responses(queries.size());
   if (queries.empty()) return responses;
 
+  // Admission control: a bounded server accepts one batch's worth of work
+  // per worker plus a fixed queue; the rest is shed immediately rather
+  // than queued behind a saturated pool (load shedding beats unbounded
+  // latency under overload).
+  size_t admitted = queries.size();
+  if (options_.max_queue_depth > 0) {
+    admitted = std::min(queries.size(),
+                        engines_.size() + options_.max_queue_depth);
+  }
+  for (size_t i = admitted; i < queries.size(); ++i) {
+    responses[i].query_index = i;
+    responses[i].served_via = ServedVia::kNone;
+    responses[i].status = Status::ResourceExhausted(
+        "route server saturated: query shed by admission control");
+    admission_shed_->Increment();
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch_ = &queries;
     out_ = &responses;
+    limit_ = admitted;
     next_ = 0;
     done_ = 0;
   }
@@ -110,7 +180,7 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return done_ == queries.size(); });
+    done_cv_.wait(lock, [&] { return done_ == limit_; });
     batch_ = nullptr;
     out_ = nullptr;
   }
@@ -140,7 +210,7 @@ void RouteServer::WorkerLoop(size_t worker_id) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (batch_ != nullptr && next_ < batch_->size());
+        return stop_ || (batch_ != nullptr && next_ < limit_);
       });
       if (stop_) return;
       idx = next_++;
@@ -156,7 +226,7 @@ void RouteServer::WorkerLoop(size_t worker_id) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       (*out)[idx] = std::move(resp);
-      if (++done_ == batch_->size()) done_cv_.notify_all();
+      if (++done_ == limit_) done_cv_.notify_all();
     }
   }
 }
@@ -167,10 +237,45 @@ Status RouteServer::UpdateEdgeCost(graph::NodeId u, graph::NodeId v,
   for (auto& store : stores_) {
     ATIS_RETURN_NOT_OK(store->UpdateEdgeCost(u, v, cost));
   }
+  // Keep the degraded-mode snapshot on the stores' float-rounded metric.
+  ATIS_RETURN_NOT_OK(
+      snapshot_.SetEdgeCost(u, v, static_cast<float>(cost)));
   // Bump after every replica carries the new cost: a lookup that sees the
   // new epoch recomputes against updated stores only.
   if (cache_) cache_->BumpEpoch();
   return Status::OK();
+}
+
+bool RouteServer::ServeDegraded(const RouteQuery& q,
+                                const RouteCache::Key& key, Status cause,
+                                RouteResponse* resp) {
+  // Fallback 1: a cached route, even one invalidated by a traffic update.
+  // A slightly-stale route is still drivable; the degraded flag tells the
+  // traveller it predates the latest costs.
+  if (cache_) {
+    RouteCache::StaleLookupResult stale = cache_->LookupAllowStale(key);
+    if (stale.result.has_value()) {
+      resp->result = *std::move(stale.result);
+      resp->degraded = true;
+      resp->served_via = ServedVia::kStaleCache;
+      resp->degraded_cause = std::move(cause);
+      resp->status = Status::OK();
+      degraded_stale_->Increment();
+      return true;
+    }
+  }
+  // Fallback 2: exact in-memory Dijkstra on the last-good snapshot. No
+  // storage I/O, so neither faults nor a quarantined replica can touch
+  // it; Dijkstra regardless of the requested algorithm because it is
+  // optimal, estimator-free, and microseconds at ATIS map scale.
+  PathResult mem = DijkstraSearch(snapshot_, q.source, q.destination);
+  resp->result = std::move(mem);
+  resp->degraded = true;
+  resp->served_via = ServedVia::kSnapshot;
+  resp->degraded_cause = std::move(cause);
+  resp->status = Status::OK();
+  degraded_snapshot_->Increment();
+  return true;
 }
 
 RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
@@ -180,16 +285,25 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
   resp.worker_id = static_cast<int>(worker_id);
 
   const auto started = std::chrono::steady_clock::now();
+  const uint64_t deadline_ms =
+      q.deadline_ms != 0 ? q.deadline_ms : options_.default_deadline_ms;
+  const Deadline deadline =
+      deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms) : Deadline();
 
   const RouteCache::Key key{q.source, q.destination, q.algorithm, q.version};
   uint64_t observed_epoch = 0;
   if (cache_) {
     observed_epoch = cache_->epoch();
-    RouteCache::LookupResult cached = cache_->Lookup(key);
+    // A degraded-capable server keeps stale entries around (miss, no
+    // eviction): they are the first fallback when this recompute fails,
+    // and a successful Insert overwrites them anyway.
+    RouteCache::LookupResult cached =
+        cache_->Lookup(key, /*evict_stale=*/!options_.enable_degraded);
     if (cached.stale_evicted) cache_stale_->Increment();
     if (cached.result.has_value()) {
       cache_hits_->Increment();
       resp.cache_hit = true;
+      resp.served_via = ServedVia::kCache;
       resp.result = *std::move(cached.result);
       resp.latency_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -200,33 +314,54 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
     cache_misses_->Increment();
   }
 
+  CircuitBreaker& breaker = *breakers_[worker_id];
+  const bool admitted = breaker.AllowRequest();
   Result<PathResult> r = [&]() -> Result<PathResult> {
-    // Mirror every block this thread touches into resp.io: exact per-query
-    // accounting even though the disk (and its meter) are shared.
+    if (!admitted) {
+      return Status::Unavailable("replica quarantined by circuit breaker");
+    }
+    // Mirror every block this thread touches into resp.io: exact
+    // per-query accounting even though the disk (and its meter) are
+    // shared.
     storage::IoMeter::ScopedThreadCounters scope(&resp.io);
     DbSearchEngine& engine = *engines_[worker_id];
     switch (q.algorithm) {
       case Algorithm::kIterative:
-        return engine.Iterative(q.source, q.destination);
+        return engine.Iterative(q.source, q.destination, deadline);
       case Algorithm::kDijkstra:
-        return engine.Dijkstra(q.source, q.destination);
+        return engine.Dijkstra(q.source, q.destination, deadline);
       case Algorithm::kAStar:
-        return engine.AStar(q.source, q.destination, q.version);
+        return engine.AStar(q.source, q.destination, q.version, deadline);
     }
     return Status::InvalidArgument("unknown algorithm");
   }();
-  resp.latency_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started)
-          .count();
+  if (!admitted) {
+    breaker_rejections_->Increment();
+  } else if (r.ok()) {
+    // Feed the breaker storage health only: faults extend the streak, a
+    // completed search resets it, and a deadline expiry says nothing
+    // about the replica (slow != broken), so it leaves the streak alone.
+    breaker.RecordSuccess();
+  } else if (r.status().IsDeadlineExceeded()) {
+    deadline_exceeded_->Increment();
+  } else {
+    if (breaker.RecordFailure()) breaker_opened_->Increment();
+  }
+
   if (r.ok()) {
     resp.result = std::move(r).value();
     // Cache successful answers (including proven "no route"); the insert
     // is dropped inside the cache when a traffic update raced this query.
     if (cache_) cache_->Insert(key, observed_epoch, resp.result);
-  } else {
+  } else if (!options_.enable_degraded ||
+             !ServeDegraded(q, key, r.status(), &resp)) {
     resp.status = r.status();
+    resp.served_via = ServedVia::kNone;
   }
+  resp.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
   return resp;
 }
 

@@ -16,6 +16,15 @@
 // pool eviction is a single-user execution model and is meaningless (and
 // unsafe) with concurrent pinners. Paper-mode experiments keep using a
 // single-threaded DbSearchEngine and are bit-identical to before.
+//
+// Resilience: each query carries a deadline (cooperatively checked by the
+// engine per expansion), miss fills retry transient disk faults with
+// bounded backoff, each replica sits behind a circuit breaker that
+// quarantines it after consecutive storage faults, and when the primary
+// path still fails the server degrades gracefully — a stale cached route
+// (flagged) first, then an in-memory search over the last-good graph
+// snapshot — instead of returning an error. Oversized batches are shed by
+// admission control with kResourceExhausted.
 #pragma once
 
 #include <condition_variable>
@@ -25,12 +34,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/circuit_breaker.h"
 #include "core/db_search.h"
 #include "core/route_cache.h"
 #include "graph/graph.h"
 #include "graph/relational_graph.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "util/deadline.h"
 
 namespace atis::obs {
 class Counter;
@@ -45,17 +56,36 @@ struct RouteQuery {
   Algorithm algorithm = Algorithm::kAStar;
   /// Only read when algorithm == kAStar.
   AStarVersion version = AStarVersion::kV3;
+  /// Per-query deadline; 0 = use the server's default_deadline_ms.
+  uint64_t deadline_ms = 0;
 };
+
+/// How a response was produced.
+enum class ServedVia {
+  kEngine,      ///< database-resident search on a healthy replica
+  kCache,       ///< fresh route-cache hit
+  kStaleCache,  ///< degraded: cached route from before an epoch bump
+  kSnapshot,    ///< degraded: in-memory search on the last-good graph
+  kNone,        ///< failed (or shed) with no answer
+};
+const char* ServedViaName(ServedVia via);
 
 /// Outcome of one query: the path result plus serving-side accounting.
 struct RouteResponse {
   size_t query_index = 0;     ///< position in the submitted batch
-  Status status;              ///< non-OK when the engine failed
+  Status status;              ///< non-OK when no answer could be produced
   PathResult result;          ///< valid iff status.ok()
   storage::IoCounters io;     ///< exact block I/O of this query
   double latency_seconds = 0.0;
   int worker_id = -1;
   bool cache_hit = false;     ///< answered from the route cache (io is 0)
+  /// True when the answer came from a degraded fallback (stale cache or
+  /// in-memory snapshot) after the primary path failed. status is OK —
+  /// the route is usable — but it may not reflect current traffic.
+  bool degraded = false;
+  ServedVia served_via = ServedVia::kEngine;
+  /// The primary-path error a degraded answer papered over (OK otherwise).
+  Status degraded_cause;
 };
 
 class RouteServer {
@@ -81,6 +111,22 @@ class RouteServer {
     bool enable_cache = false;
     /// Only read when enable_cache is true.
     RouteCache::Options cache;
+    /// Deadline applied to queries that don't carry their own; 0 = none.
+    uint64_t default_deadline_ms = 0;
+    /// Admission control: when > 0, ServeBatch admits at most
+    /// num_workers + max_queue_depth queries per call and sheds the rest
+    /// with kResourceExhausted (they never reach a worker). 0 = unbounded.
+    size_t max_queue_depth = 0;
+    /// Serve degraded answers (stale cache, then in-memory search on the
+    /// last-good graph snapshot) when the primary path fails.
+    bool enable_degraded = false;
+    /// Seeded probabilistic fault injection on the shared disk, installed
+    /// after the replicas load (so construction itself never faults).
+    storage::FaultProfile fault_profile;
+    /// Bounded retry for buffer-pool miss fills hitting transient faults.
+    storage::RetryPolicy retry;
+    /// Per-replica circuit breaker configuration.
+    CircuitBreaker::Options breaker;
   };
 
   /// Loads `options.num_workers` store replicas of `g` and starts the
@@ -103,9 +149,11 @@ class RouteServer {
   /// Runs the batch across the worker pool and blocks until every query
   /// has an answer. Responses are positionally aligned with `queries`
   /// (response[i].query_index == i). A failed query yields a non-OK
-  /// per-response status — the batch itself still succeeds. Must not be
-  /// called concurrently from multiple dispatcher threads, and fails if
-  /// init_status() is non-OK.
+  /// per-response status — the batch itself still succeeds. When
+  /// Options::max_queue_depth bounds admission, queries beyond the
+  /// admitted prefix are shed immediately with kResourceExhausted. Must
+  /// not be called concurrently from multiple dispatcher threads, and
+  /// fails if init_status() is non-OK.
   Result<std::vector<RouteResponse>> ServeBatch(
       const std::vector<RouteQuery>& queries);
 
@@ -125,21 +173,43 @@ class RouteServer {
   }
   /// Null when Options::enable_cache was false.
   RouteCache* cache() { return cache_.get(); }
+  /// The circuit breaker guarding worker `w`'s replica.
+  const CircuitBreaker& breaker(size_t w) const { return *breakers_[w]; }
+  /// The last-good in-memory graph degraded answers are computed on
+  /// (tracks UpdateEdgeCost, float-rounded to the stored metric).
+  const graph::Graph& snapshot() const { return snapshot_; }
 
  private:
   void WorkerLoop(size_t worker_id);
   RouteResponse RunOne(size_t worker_id, size_t query_index,
                        const RouteQuery& q);
+  /// Fills `resp` from a degraded source after primary failure `cause`.
+  /// Returns false when no fallback produced an answer.
+  bool ServeDegraded(const RouteQuery& q, const RouteCache::Key& key,
+                     Status cause, RouteResponse* resp);
 
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::vector<std::unique_ptr<graph::RelationalGraphStore>> stores_;
   std::vector<std::unique_ptr<DbSearchEngine>> engines_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::unique_ptr<RouteCache> cache_;
-  // Cache metric series, resolved once at startup (null when no cache).
+  /// In-memory copy of the served map under the store's float-rounded
+  /// metric. Written only by UpdateEdgeCost (single dispatcher, workers
+  /// idle); read by workers for degraded answers — the mu_ handoff that
+  /// publishes each batch also publishes the snapshot.
+  graph::Graph snapshot_;
+  Options options_;
+  // Metric series, resolved once at startup (cache ones null w/o cache).
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_stale_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* degraded_stale_ = nullptr;
+  obs::Counter* degraded_snapshot_ = nullptr;
+  obs::Counter* breaker_opened_ = nullptr;
+  obs::Counter* breaker_rejections_ = nullptr;
+  obs::Counter* admission_shed_ = nullptr;
   Status init_status_;
 
   std::mutex mu_;
@@ -147,6 +217,7 @@ class RouteServer {
   std::condition_variable done_cv_;   // dispatcher waits for completion
   const std::vector<RouteQuery>* batch_ = nullptr;  // guarded by mu_
   std::vector<RouteResponse>* out_ = nullptr;       // guarded by mu_
+  size_t limit_ = 0;  // admitted prefix of the batch (guarded by mu_)
   size_t next_ = 0;   // next unclaimed query index
   size_t done_ = 0;   // completed queries in the current batch
   bool stop_ = false;

@@ -163,10 +163,12 @@ RelationalGraphStore::LoadLandmarkDistances() const {
   }
   std::vector<LandmarkDistRow> rows;
   rows.reserve(landmark_->num_tuples());
-  for (relational::Relation::Cursor c = landmark_->Scan(); c.Valid();
-       c.Next()) {
+  relational::Relation::Cursor c = landmark_->Scan();
+  for (; c.Valid(); c.Next()) {
     rows.push_back(LandmarkDistFromTuple(c.tuple()));
   }
+  // A scan ended by a storage fault must not yield a partial table.
+  ATIS_RETURN_NOT_OK(c.status());
   return rows;
 }
 

@@ -24,6 +24,9 @@ void RegisterStorageCollectors(MetricsRegistry& registry,
         .Set(io.Cost(storage::CostParams{}));
     r.GetGauge("atis_disk_pages_allocated", "Live pages on the metered disk")
         .Set(static_cast<double>(disk->num_allocated()));
+    r.GetCounter("atis_disk_faults_injected_total",
+                 "Block accesses failed by injected faults (all sources)")
+        .Set(disk->faults_injected());
     if (pool == nullptr) return;
     const storage::BufferPoolStats bp = pool->stats();
     r.GetCounter("atis_buffer_hits_total", "Buffer pool page hits")
@@ -35,6 +38,12 @@ void RegisterStorageCollectors(MetricsRegistry& registry,
     r.GetCounter("atis_buffer_dirty_writebacks_total",
                  "Dirty pages written back by the buffer pool")
         .Set(bp.dirty_writebacks);
+    r.GetCounter("atis_buffer_read_retries_total",
+                 "Miss-fill reads re-issued after a transient disk fault")
+        .Set(bp.read_retries);
+    r.GetCounter("atis_buffer_retries_exhausted_total",
+                 "Miss fills that failed after the full retry budget")
+        .Set(bp.retries_exhausted);
     const uint64_t accesses = bp.hits + bp.misses;
     r.GetGauge("atis_buffer_hit_ratio",
                "hits / (hits + misses) since pool creation")

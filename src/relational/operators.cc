@@ -9,12 +9,16 @@ Result<std::vector<MatchedTuple>> SelectScan(const Relation& rel,
   obs::ScopedSpan span("select-scan", "operator");
   span.Tag("relation", rel.name());
   std::vector<MatchedTuple> out;
-  for (Relation::Cursor c = rel.Scan(); c.Valid(); c.Next()) {
+  Relation::Cursor c = rel.Scan();
+  for (; c.Valid(); c.Next()) {
     Tuple t = c.tuple();
     if (!pred || pred(t)) {
       out.push_back({c.rid(), std::move(t)});
     }
   }
+  // A scan cut short by a storage fault must fail the statement, not
+  // return a silently-partial result set.
+  ATIS_RETURN_NOT_OK(c.status());
   span.Tag("matched", static_cast<uint64_t>(out.size()));
   return out;
 }

@@ -73,6 +73,8 @@ class Relation {
     storage::RecordId rid() const { return it_.rid(); }
     Tuple tuple() const { return rel_->schema_.Unpack(it_.record().data()); }
     void Next() { it_.Next(); }
+    /// OK unless the scan ended on a storage error instead of end-of-file.
+    const Status& status() const { return it_.status(); }
 
    private:
     const Relation* rel_;

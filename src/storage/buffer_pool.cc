@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <string>
+#include <thread>
 
 namespace atis::storage {
 
@@ -98,7 +100,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   shard.table[id] = idx;
 
   lock.unlock();
-  Status io = disk_->ReadPage(id, &f.page);
+  Status io = ReadWithRetry(id, &f.page);
   lock.lock();
 
   f.io_in_progress = false;
@@ -235,6 +237,8 @@ BufferPoolStats BufferPool::stats() const {
     s.dirty_writebacks +=
         shard_ptr->dirty_writebacks.load(std::memory_order_relaxed);
   }
+  s.read_retries = read_retries_.load(std::memory_order_relaxed);
+  s.retries_exhausted = retries_exhausted_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -245,6 +249,28 @@ void BufferPool::ResetStats() {
     shard_ptr->evictions.store(0, std::memory_order_relaxed);
     shard_ptr->dirty_writebacks.store(0, std::memory_order_relaxed);
   }
+  read_retries_.store(0, std::memory_order_relaxed);
+  retries_exhausted_.store(0, std::memory_order_relaxed);
+}
+
+Status BufferPool::ReadWithRetry(PageId id, Page* dest) {
+  Status io = disk_->ReadPage(id, dest);
+  if (io.ok() || !retry_.enabled()) return io;
+  uint32_t backoff = retry_.initial_backoff_micros;
+  for (int attempt = 1;
+       attempt < retry_.max_attempts && io.IsTransientStorageFault();
+       ++attempt) {
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+    io = disk_->ReadPage(id, dest);
+  }
+  if (!io.ok() && io.IsTransientStorageFault()) {
+    retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return io;
 }
 
 void BufferPool::Unpin(PageId id) {

@@ -76,6 +76,24 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// Miss-fill reads re-issued after a transient (kUnavailable) fault.
+  uint64_t read_retries = 0;
+  /// Miss fills that still failed after exhausting the retry budget.
+  uint64_t retries_exhausted = 0;
+};
+
+/// Bounded retry with exponential backoff for miss fills. Only transient
+/// faults (kUnavailable) are retried — permanent errors (kInternal,
+/// kNotFound, ...) propagate immediately. The metered disk never counts a
+/// failed access, so a fill that succeeds on attempt k is metered exactly
+/// once: retries are never double-metered.
+struct RetryPolicy {
+  /// Total read attempts per miss fill (1 = no retry, the seed behaviour).
+  int max_attempts = 1;
+  /// Sleep before the first re-attempt; doubles each further attempt.
+  uint32_t initial_backoff_micros = 50;
+
+  bool enabled() const { return max_attempts > 1; }
 };
 
 class BufferPool {
@@ -124,6 +142,12 @@ class BufferPool {
   void ResetStats();
   DiskManager* disk() { return disk_; }
 
+  /// Installs the miss-fill retry policy. Call before concurrent use (the
+  /// policy is read without synchronisation by fetching threads; the
+  /// route server installs it at construction, before workers start).
+  void SetRetryPolicy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   friend class PageGuard;
 
@@ -165,8 +189,16 @@ class BufferPool {
   Result<size_t> GetVictimFrame(Shard& shard);
   Status EvictFrame(Shard& shard, size_t frame_idx);  // caller holds mu
 
+  /// Reads `id` into *dest honouring retry_: re-issues the read after a
+  /// transient fault, with exponential backoff, up to max_attempts. Called
+  /// with no shard latch held (the fill slot is already claimed).
+  Status ReadWithRetry(PageId id, Page* dest);
+
   DiskManager* disk_;
   size_t capacity_;
+  RetryPolicy retry_;
+  std::atomic<uint64_t> read_retries_{0};
+  std::atomic<uint64_t> retries_exhausted_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -5,7 +5,28 @@
 #include <string>
 #include <thread>
 
+#include "util/random.h"
+
 namespace atis::storage {
+
+namespace {
+
+/// Decrement-if-positive on a countdown word; false when the countdown is
+/// exhausted (the caller's access must fail). `disarmed` never changes.
+bool ConsumeCountdown(std::atomic<uint64_t>& countdown, uint64_t disarmed) {
+  uint64_t left = countdown.load(std::memory_order_relaxed);
+  while (left != disarmed) {
+    if (left == 0) return false;
+    if (countdown.compare_exchange_weak(left, left - 1,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+    // CAS failure reloaded `left`; retry with the fresh value.
+  }
+  return true;
+}
+
+}  // namespace
 
 PageId DiskManager::AllocatePage() {
   std::unique_lock lock(mu_);
@@ -28,26 +49,28 @@ Status DiskManager::DeallocatePage(PageId id) {
 }
 
 Status DiskManager::ReadPage(PageId id, Page* dest) {
+  uint32_t spike_micros = 0;
   {
     std::shared_lock lock(mu_);
     ATIS_RETURN_NOT_OK(Validate(id));
-    ATIS_RETURN_NOT_OK(CheckFault());
+    ATIS_RETURN_NOT_OK(CheckFault(&spike_micros));
     *dest = *pages_[id];
     meter_.RecordRead();
   }
-  SimulateLatency(/*is_write=*/false);
+  SimulateLatency(/*is_write=*/false, spike_micros);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const Page& src) {
+  uint32_t spike_micros = 0;
   {
     std::shared_lock lock(mu_);
     ATIS_RETURN_NOT_OK(Validate(id));
-    ATIS_RETURN_NOT_OK(CheckFault());
+    ATIS_RETURN_NOT_OK(CheckFault(&spike_micros));
     *pages_[id] = src;
     meter_.RecordWrite();
   }
-  SimulateLatency(/*is_write=*/true);
+  SimulateLatency(/*is_write=*/true, spike_micros);
   return Status::OK();
 }
 
@@ -56,24 +79,71 @@ size_t DiskManager::num_allocated() const {
   return pages_.size() - free_list_.size();
 }
 
-Status DiskManager::CheckFault() {
-  if (!fault_armed_.load(std::memory_order_relaxed)) return Status::OK();
-  // Decrement-if-positive; the first access after the countdown reaches
-  // zero (and every one after) fails.
-  uint64_t left = fault_countdown_.load(std::memory_order_relaxed);
-  while (true) {
-    if (left == 0) return Status::Internal("injected disk fault");
-    if (fault_countdown_.compare_exchange_weak(left, left - 1,
-                                               std::memory_order_relaxed)) {
-      return Status::OK();
-    }
-  }
+void DiskManager::SetFaultProfile(FaultProfile profile) {
+  std::unique_lock lock(mu_);
+  profile_ = profile;
+  permanent_tripped_.store(false, std::memory_order_relaxed);
+  fault_draws_.store(0, std::memory_order_relaxed);
+  profile_enabled_.store(profile.enabled(), std::memory_order_relaxed);
 }
 
-void DiskManager::SimulateLatency(bool is_write) const {
+FaultProfile DiskManager::fault_profile() const {
+  std::shared_lock lock(mu_);
+  return profile_;
+}
+
+Status DiskManager::CheckFault(uint32_t* spike_micros) {
+  // Deterministic countdowns first: they are armed explicitly by tests.
+  if (!ConsumeCountdown(fault_countdown_, kFaultDisarmed)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("injected disk fault");
+  }
+  // Transient window: while the countdown is positive each access consumes
+  // one unit and fails kUnavailable; at zero the device has recovered.
+  uint64_t left = transient_countdown_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (transient_countdown_.compare_exchange_weak(
+            left, left - 1, std::memory_order_relaxed)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected transient disk fault");
+    }
+  }
+  if (!profile_enabled_.load(std::memory_order_relaxed)) return Status::OK();
+
+  if (permanent_tripped_.load(std::memory_order_relaxed)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("disk failed permanently (injected)");
+  }
+  // Two independent uniform draws per access from a counter-hashed
+  // SplitMix64 stream: deterministic for a given (seed, access ordinal),
+  // lock-free under concurrency (the ordinal is a relaxed fetch_add).
+  const uint64_t n = fault_draws_.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 sm(profile_.seed ^ (n * 0x9e3779b97f4a7c15ULL));
+  const auto uniform = [&] {
+    return static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  };
+  const double u = uniform();
+  if (u < profile_.permanent_rate) {
+    permanent_tripped_.store(true, std::memory_order_relaxed);
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("disk failed permanently (injected)");
+  }
+  if (u < profile_.permanent_rate + profile_.transient_rate) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected transient disk fault");
+  }
+  if (profile_.spike_micros > 0 && uniform() < profile_.spike_rate) {
+    *spike_micros = profile_.spike_micros;
+  }
+  return Status::OK();
+}
+
+void DiskManager::SimulateLatency(bool is_write,
+                                  uint32_t spike_micros) const {
   const uint32_t micros =
-      is_write ? latency_write_micros_.load(std::memory_order_relaxed)
-               : latency_read_micros_.load(std::memory_order_relaxed);
+      spike_micros +
+      (is_write ? latency_write_micros_.load(std::memory_order_relaxed)
+                : latency_read_micros_.load(std::memory_order_relaxed));
   if (micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }

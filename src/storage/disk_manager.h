@@ -39,6 +39,29 @@ struct DiskLatencyModel {
   bool enabled() const { return read_micros > 0 || write_micros > 0; }
 };
 
+/// Probabilistic fault injection, seeded for reproducible chaos runs.
+/// Each block access draws once from a counter-hashed SplitMix64 stream:
+///   - with `permanent_rate` the device trips into a permanent-failure
+///     state — every later access fails kInternal until
+///     ClearFaultInjection() (RocksDB background-error style);
+///   - otherwise with `transient_rate` the single access fails
+///     kUnavailable (a retry may succeed);
+///   - independently, with `spike_rate` a *successful* access sleeps an
+///     extra `spike_micros` (a straggler, on top of DiskLatencyModel).
+/// Failed accesses are never metered and never sleep.
+struct FaultProfile {
+  uint64_t seed = 1993;        ///< repo-wide experiment seed
+  double transient_rate = 0.0; ///< P(this access fails kUnavailable)
+  double permanent_rate = 0.0; ///< P(this access trips permanent failure)
+  double spike_rate = 0.0;     ///< P(this access is a straggler)
+  uint32_t spike_micros = 0;   ///< extra sleep charged to a straggler
+
+  bool enabled() const {
+    return transient_rate > 0.0 || permanent_rate > 0.0 ||
+           (spike_rate > 0.0 && spike_micros > 0);
+  }
+};
+
 class DiskManager {
  public:
   DiskManager() = default;
@@ -81,30 +104,73 @@ class DiskManager {
   /// reads/writes, every subsequent I/O fails with an Internal error
   /// until ClearFaultInjection() is called (modelling a device that went
   /// bad, RocksDB background-error style). Failed I/O is not metered.
+  /// The whole countdown lives in one atomic word, so concurrent callers
+  /// consume it exactly: precisely `ops` accesses succeed.
   void FailAfter(uint64_t ops) {
-    fault_countdown_.store(ops, std::memory_order_relaxed);
-    fault_armed_.store(true, std::memory_order_relaxed);
+    fault_countdown_.store(ops < kFaultDisarmed ? ops : kFaultDisarmed - 1,
+                           std::memory_order_relaxed);
   }
+
+  /// The next `ops` block accesses fail with kUnavailable (a transient
+  /// glitch), after which the device recovers by itself. Deterministic
+  /// complement to FaultProfile::transient_rate for retry-policy tests.
+  void FailTransient(uint64_t ops) {
+    transient_countdown_.store(ops, std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with a default-constructed profile) the seeded
+  /// probabilistic fault model. Also resets the permanent-failure trip and
+  /// the draw counter so a fresh profile replays the same fault sequence.
+  void SetFaultProfile(FaultProfile profile);
+  FaultProfile fault_profile() const;
+
+  /// Clears every injected-fault source: countdown, transient countdown,
+  /// probabilistic profile, and a tripped permanent failure.
   void ClearFaultInjection() {
-    fault_armed_.store(false, std::memory_order_relaxed);
+    fault_countdown_.store(kFaultDisarmed, std::memory_order_relaxed);
+    transient_countdown_.store(0, std::memory_order_relaxed);
+    permanent_tripped_.store(false, std::memory_order_relaxed);
+    SetFaultProfile(FaultProfile{});
   }
   bool fault_active() const {
-    return fault_armed_.load(std::memory_order_relaxed) &&
-           fault_countdown_.load(std::memory_order_relaxed) == 0;
+    return fault_countdown_.load(std::memory_order_relaxed) == 0 ||
+           permanent_tripped_.load(std::memory_order_relaxed);
+  }
+
+  /// Total block accesses failed by any injected-fault source (countdown,
+  /// transient, or probabilistic). Monotonic; survives ClearFaultInjection.
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Sentinel countdown value meaning "not armed".
+  static constexpr uint64_t kFaultDisarmed = ~uint64_t{0};
+
   Status Validate(PageId id) const;  // caller holds mu_ (any mode)
-  /// Consumes one unit of the fault countdown; error when exhausted.
-  Status CheckFault();
-  void SimulateLatency(bool is_write) const;
+  /// Consumes one unit of every armed fault source; error when one fires.
+  /// On success *spike_micros carries any straggler sleep to add after the
+  /// lock is released. Caller holds mu_ (any mode).
+  Status CheckFault(uint32_t* spike_micros);
+  void SimulateLatency(bool is_write, uint32_t spike_micros) const;
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;  // nullptr == freed slot
   std::vector<PageId> free_list_;
   IoMeter meter_;
-  std::atomic<bool> fault_armed_{false};
-  std::atomic<uint64_t> fault_countdown_{0};
+  /// Remaining successful ops before permanent failure; kFaultDisarmed =
+  /// not armed. One word, consumed by a single CAS loop.
+  std::atomic<uint64_t> fault_countdown_{kFaultDisarmed};
+  /// Remaining accesses that fail transiently (0 = none).
+  std::atomic<uint64_t> transient_countdown_{0};
+  /// FaultProfile fields; written under mu_ (exclusive), read under mu_
+  /// (shared). `profile_enabled_` is the atomic fast-path switch so a
+  /// disabled profile costs one relaxed load per access.
+  FaultProfile profile_;
+  std::atomic<bool> profile_enabled_{false};
+  std::atomic<bool> permanent_tripped_{false};
+  std::atomic<uint64_t> fault_draws_{0};  ///< counter feeding the rng hash
+  std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint32_t> latency_read_micros_{0};
   std::atomic<uint32_t> latency_write_micros_{0};
 };

@@ -221,7 +221,12 @@ void HeapFile::Iterator::LoadPage() {
   valid_ = false;
   if (page_index_ >= file_->pages_.size()) return;
   auto result = file_->pool_->FetchPage(file_->pages_[page_index_].id);
-  if (!result.ok()) return;  // unreachable for live pages; treat as end
+  if (!result.ok()) {
+    // The scan ends here; the error (a fault, not end-of-file) is kept
+    // for callers that check status() after the loop.
+    status_ = result.status();
+    return;
+  }
   guard_ = std::move(result).value();
   slot_ = 0;
   slot_count_ = SlotCount(guard_.page());

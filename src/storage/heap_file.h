@@ -63,7 +63,10 @@ class HeapFile {
     return ids;
   }
 
-  /// Forward scan over live records.
+  /// Forward scan over live records. A storage error (e.g. an injected
+  /// disk fault) ends the scan — Valid() goes false — and is reported by
+  /// status(); callers that must distinguish end-of-file from a failed
+  /// scan check status() after the loop.
   class Iterator {
    public:
     Iterator(const HeapFile* file, size_t page_index);
@@ -73,6 +76,8 @@ class HeapFile {
     /// Payload of the current record. Precondition: Valid().
     const std::vector<uint8_t>& record() const { return record_; }
     void Next();
+    /// OK unless a page fetch failed mid-scan.
+    const Status& status() const { return status_; }
 
    private:
     void LoadPage();
@@ -84,6 +89,7 @@ class HeapFile {
     uint16_t slot_count_ = 0;
     PageGuard guard_;
     bool valid_ = false;
+    Status status_;
     RecordId rid_;
     std::vector<uint8_t> record_;
   };

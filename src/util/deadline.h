@@ -1,0 +1,49 @@
+// Per-query deadline: a wall-clock point in time checked cooperatively by
+// long-running loops (the database-resident search expansions, the route
+// server's workers). A default-constructed Deadline never expires, so
+// paper-mode callers pass one through unchanged and pay a single branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace atis {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.active_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Expires `ms` milliseconds from now.
+  static Deadline AfterMillis(uint64_t ms) {
+    return After(static_cast<double>(ms) / 1e3);
+  }
+
+  bool active() const { return active_; }
+
+  bool expired() const { return active_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry (negative once expired); +inf when inactive.
+  double remaining_seconds() const {
+    if (!active_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+ private:
+  bool active_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace atis

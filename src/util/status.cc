@@ -24,8 +24,28 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kCorruption,
+      StatusCode::kResourceExhausted,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
+  };
+  for (const StatusCode code : kAll) {
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

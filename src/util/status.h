@@ -23,11 +23,17 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,       ///< transient failure; retrying may succeed
+  kDeadlineExceeded,  ///< the operation ran past its deadline
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString: parses a stable code name back to its
+/// code. Empty for unrecognised names (round-trip tested for every code).
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Lightweight success/error value. Cheap to copy on the OK path (no
 /// allocation); error statuses carry a message.
@@ -64,6 +70,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +88,19 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// True for failures a storage retry/fallback policy may treat as
+  /// recoverable: kUnavailable is transient by definition; kInternal is the
+  /// metered disk's permanent-device-failure code, recoverable only by
+  /// routing around the device (circuit breaker / degraded answer), never
+  /// by same-device retry.
+  bool IsTransientStorageFault() const {
+    return code_ == StatusCode::kUnavailable;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace atis::storage {
 namespace {
 
@@ -110,6 +115,97 @@ TEST(IoMeterTest, CounterDeltaAndReset) {
   EXPECT_EQ(delta.blocks_written, 1u);
   meter.Reset();
   EXPECT_EQ(meter.counters().blocks_read, 0u);
+}
+
+// The fault countdown lives in a single atomic word consumed by one CAS
+// loop, so concurrent accesses consume it exactly: with FailAfter(N),
+// precisely N accesses succeed no matter how threads interleave. (The old
+// armed-flag + countdown pair could over-admit under contention; run under
+// TSan via scripts/check.sh.)
+TEST(DiskManagerTest, FaultCountdownIsExactUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 250;
+  constexpr uint64_t kBudget = 1000;  // half the total attempts succeed
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  dm.FailAfter(kBudget);
+
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Page p;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (dm.ReadPage(id, &p).ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), kBudget);
+  EXPECT_EQ(failures.load(),
+            uint64_t{kThreads} * kOpsPerThread - kBudget);
+  // Metering matches: only successful accesses were charged.
+  EXPECT_EQ(dm.meter().counters().blocks_read, kBudget);
+  EXPECT_TRUE(dm.fault_active());
+}
+
+TEST(DiskManagerTest, TransientWindowFailsExactlyNThenRecovers) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  Page p;
+  dm.FailTransient(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(dm.ReadPage(id, &p).code(), StatusCode::kUnavailable);
+  }
+  // Recovered by itself — no ClearFaultInjection needed.
+  EXPECT_TRUE(dm.ReadPage(id, &p).ok());
+  EXPECT_FALSE(dm.fault_active());
+  EXPECT_EQ(dm.faults_injected(), 3u);
+}
+
+TEST(DiskManagerTest, FaultProfileIsDeterministicPerSeed) {
+  const FaultProfile profile{/*seed=*/7, /*transient_rate=*/0.2,
+                             /*permanent_rate=*/0.0, /*spike_rate=*/0.0,
+                             /*spike_micros=*/0};
+  auto run = [&] {
+    DiskManager dm;
+    const PageId id = dm.AllocatePage();
+    dm.SetFaultProfile(profile);
+    Page p;
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(dm.ReadPage(id, &p).ok());
+    }
+    return outcomes;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same seed -> same fault sequence
+  const auto faults = static_cast<size_t>(
+      std::count(a.begin(), a.end(), false));
+  EXPECT_GT(faults, 0u);   // 200 draws at 20%: ~40 expected
+  EXPECT_LT(faults, 100u);
+}
+
+TEST(DiskManagerTest, PermanentProfileFaultPersistsUntilCleared) {
+  DiskManager dm;
+  const PageId id = dm.AllocatePage();
+  FaultProfile profile;
+  profile.permanent_rate = 1.0;  // first access trips the device
+  dm.SetFaultProfile(profile);
+  Page p;
+  EXPECT_EQ(dm.ReadPage(id, &p).code(), StatusCode::kInternal);
+  EXPECT_EQ(dm.WritePage(id, p).code(), StatusCode::kInternal);
+  EXPECT_TRUE(dm.fault_active());
+  dm.ClearFaultInjection();
+  EXPECT_TRUE(dm.ReadPage(id, &p).ok());
 }
 
 TEST(IoMeterTest, CountersAccumulate) {

@@ -1,0 +1,376 @@
+// Resilient-serving tests: per-query deadlines, circuit breakers, stale
+// cache fallback, snapshot fallback, admission control, and transient-fault
+// absorption via bounded retry. The RouteServer must stay available —
+// answered or flagged degraded — while the storage layer misbehaves.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/circuit_breaker.h"
+#include "core/db_search.h"
+#include "core/memory_search.h"
+#include "core/route_cache.h"
+#include "core/route_server.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "util/deadline.h"
+
+namespace atis::core {
+namespace {
+
+graph::Graph MakeGrid(int k) {
+  graph::GridGraphGenerator::Options opt;
+  opt.k = k;
+  opt.cost_model = graph::GridCostModel::kVariance20;
+  auto g = graph::GridGraphGenerator::Generate(opt);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e9);
+}
+
+TEST(DeadlineTest, ElapsedDeadlineExpires) {
+  const Deadline d = Deadline::After(0.0);
+  EXPECT_TRUE(d.active());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpiredYet) {
+  const Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 0.0);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 3;
+  opt.open_millis = 60'000;  // stays open for the whole test
+  CircuitBreaker cb(opt);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.AllowRequest());
+  EXPECT_FALSE(cb.RecordFailure());
+  EXPECT_FALSE(cb.RecordFailure());
+  EXPECT_TRUE(cb.RecordFailure());  // third strike opens it
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.AllowRequest());
+  EXPECT_EQ(cb.stats().opened, 1u);
+  EXPECT_EQ(cb.stats().rejected, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 2;
+  CircuitBreaker cb(opt);
+  EXPECT_FALSE(cb.RecordFailure());
+  cb.RecordSuccess();  // streak back to zero
+  EXPECT_FALSE(cb.RecordFailure());
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.RecordFailure());
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 1;
+  opt.open_millis = 1;
+  CircuitBreaker cb(opt);
+  EXPECT_TRUE(cb.RecordFailure());
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(cb.AllowRequest());  // quarantine elapsed: the probe
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.AllowRequest());  // only one probe in flight
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.AllowRequest());
+  EXPECT_EQ(cb.stats().probes, 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensImmediately) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 3;
+  opt.open_millis = 1;
+  CircuitBreaker cb(opt);
+  for (int i = 0; i < 3; ++i) cb.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(cb.AllowRequest());
+  EXPECT_TRUE(cb.RecordFailure());  // a half-open failure reopens at once
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.stats().opened, 2u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+TEST(RouteCacheStaleTest, StaleEntrySurvivesForDegradedServing) {
+  RouteCache cache;
+  RouteCache::Key key{1, 2, Algorithm::kDijkstra, AStarVersion::kV3};
+  PathResult result;
+  result.found = true;
+  result.cost = 42.0;
+  cache.Insert(key, cache.epoch(), result);
+  cache.BumpEpoch();
+
+  // A degraded-capable server's fresh lookup: miss, but no eviction.
+  RouteCache::LookupResult fresh = cache.Lookup(key, /*evict_stale=*/false);
+  EXPECT_FALSE(fresh.result.has_value());
+  EXPECT_FALSE(fresh.stale_evicted);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The stale entry is still there as fallback material.
+  RouteCache::StaleLookupResult stale = cache.LookupAllowStale(key);
+  ASSERT_TRUE(stale.result.has_value());
+  EXPECT_TRUE(stale.stale);
+  EXPECT_DOUBLE_EQ(stale.result->cost, 42.0);
+  EXPECT_EQ(cache.stats().stale_serves, 1u);
+
+  // The default (healthy-server) lookup still evicts it.
+  RouteCache::LookupResult evicting = cache.Lookup(key);
+  EXPECT_FALSE(evicting.result.has_value());
+  EXPECT_TRUE(evicting.stale_evicted);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// An already-expired deadline aborts every database-resident algorithm at
+// its first cooperative check, and the engine stays usable afterwards.
+TEST(DbSearchDeadlineTest, ExpiredDeadlineAbortsAllAlgorithms) {
+  const graph::Graph g = MakeGrid(8);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  DbSearchEngine engine(&store, &pool, DbSearchOptions{});
+
+  const Deadline expired = Deadline::After(0.0);
+  EXPECT_TRUE(engine.Dijkstra(0, 63, expired).status().IsDeadlineExceeded());
+  EXPECT_TRUE(engine.AStar(0, 63, AStarVersion::kV1, expired)
+                  .status()
+                  .IsDeadlineExceeded());
+  EXPECT_TRUE(engine.AStar(0, 63, AStarVersion::kV3, expired)
+                  .status()
+                  .IsDeadlineExceeded());
+  EXPECT_TRUE(engine.Iterative(0, 63, expired).status().IsDeadlineExceeded());
+
+  // No deadline: same engine, same query, normal answer.
+  auto r = engine.Dijkstra(0, 63);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+}
+
+// Permanent storage failure with degraded mode on: every query is still
+// answered, served from the in-memory snapshot of the last-good graph.
+TEST(ResilientServerTest, SnapshotAnswersSurvivePermanentDiskFailure) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  opt.pool_frames = 8;  // too small to hide the dead disk behind the pool
+  opt.enable_degraded = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  server.disk().FailAfter(0);  // device dies after construction
+
+  std::vector<RouteQuery> queries;
+  for (graph::NodeId s = 0; s < 6; ++s) {
+    queries.push_back(RouteQuery{s, static_cast<graph::NodeId>(63 - s),
+                                 Algorithm::kDijkstra});
+  }
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (const RouteResponse& resp : *batch) {
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_TRUE(resp.degraded);
+    EXPECT_EQ(resp.served_via, ServedVia::kSnapshot);
+    EXPECT_FALSE(resp.degraded_cause.ok());
+    // The snapshot answer is the true shortest path on the stored metric.
+    const PathResult expected = DijkstraSearch(
+        server.snapshot(), queries[resp.query_index].source,
+        queries[resp.query_index].destination);
+    EXPECT_TRUE(resp.result.found);
+    EXPECT_DOUBLE_EQ(resp.result.cost, expected.cost);
+  }
+}
+
+// A cached route outlives an epoch bump as a degraded answer: traffic
+// update, then total storage failure, then the same query again.
+TEST(ResilientServerTest, StaleCacheServedPastEpochBump) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.pool_frames = 8;
+  opt.enable_cache = true;
+  opt.enable_degraded = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  const std::vector<RouteQuery> one{RouteQuery{0, 63, Algorithm::kDijkstra}};
+  auto healthy = server.ServeBatch(one);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE((*healthy)[0].status.ok());
+  EXPECT_EQ((*healthy)[0].served_via, ServedVia::kEngine);
+  const double healthy_cost = (*healthy)[0].result.cost;
+
+  // Traffic update invalidates the cache, then the disk dies.
+  ASSERT_TRUE(server.UpdateEdgeCost(0, 1, 1e6).ok());
+  server.disk().FailAfter(0);
+
+  auto degraded = server.ServeBatch(one);
+  ASSERT_TRUE(degraded.ok());
+  const RouteResponse& resp = (*degraded)[0];
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.degraded);
+  EXPECT_EQ(resp.served_via, ServedVia::kStaleCache);
+  EXPECT_FALSE(resp.cache_hit);  // not a *fresh* hit
+  EXPECT_DOUBLE_EQ(resp.result.cost, healthy_cost);
+  EXPECT_GE(server.cache()->stats().stale_serves, 1u);
+}
+
+TEST(ResilientServerTest, AdmissionControlShedsBeyondTheQueueBound) {
+  const graph::Graph g = MakeGrid(6);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  opt.max_queue_depth = 1;  // admits 2 workers + 1 queued = 3 per batch
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  std::vector<RouteQuery> queries(6, RouteQuery{0, 35, Algorithm::kDijkstra});
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 6u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*batch)[i].status.ok()) << "admitted query " << i;
+  }
+  for (size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ((*batch)[i].status.code(), StatusCode::kResourceExhausted)
+        << "shed " << i;
+    EXPECT_EQ((*batch)[i].served_via, ServedVia::kNone);
+    EXPECT_EQ((*batch)[i].worker_id, -1);
+  }
+}
+
+// A 1ms deadline against a disk with 5ms-per-block latency and an 8-frame
+// pool: the search cannot finish a single expansion round in time.
+TEST(ResilientServerTest, DeadlineExpiryIsAnErrorWithoutDegradedMode) {
+  const graph::Graph g = MakeGrid(16);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.pool_frames = 8;
+  opt.disk_latency.read_micros = 5000;
+  opt.disk_latency.write_micros = 5000;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  RouteQuery q{0, 255, Algorithm::kDijkstra};
+  q.deadline_ms = 1;
+  auto batch = server.ServeBatch({q});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE((*batch)[0].status.IsDeadlineExceeded());
+  EXPECT_EQ((*batch)[0].served_via, ServedVia::kNone);
+  // A deadline expiry says nothing about replica health: breaker closed.
+  EXPECT_EQ(server.breaker(0).state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(ResilientServerTest, DeadlineExpiryFallsBackToSnapshot) {
+  const graph::Graph g = MakeGrid(16);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.pool_frames = 8;
+  opt.disk_latency.read_micros = 5000;
+  opt.disk_latency.write_micros = 5000;
+  opt.default_deadline_ms = 1;  // server-wide default, not per-query
+  opt.enable_degraded = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  auto batch = server.ServeBatch({RouteQuery{0, 255, Algorithm::kDijkstra}});
+  ASSERT_TRUE(batch.ok());
+  const RouteResponse& resp = (*batch)[0];
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_TRUE(resp.degraded);
+  EXPECT_EQ(resp.served_via, ServedVia::kSnapshot);
+  EXPECT_TRUE(resp.degraded_cause.IsDeadlineExceeded());
+  EXPECT_TRUE(resp.result.found);
+}
+
+// Consecutive storage faults open the replica's breaker; later queries are
+// quarantined away from the dead replica but still answered degraded.
+TEST(ResilientServerTest, BreakerQuarantinesAFailingReplica) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.pool_frames = 8;
+  opt.enable_degraded = true;
+  opt.breaker.failure_threshold = 2;
+  opt.breaker.open_millis = 60'000;  // no probe during this test
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  server.disk().FailAfter(0);
+
+  std::vector<RouteQuery> queries(4, RouteQuery{0, 63, Algorithm::kDijkstra});
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (const RouteResponse& resp : *batch) {
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_TRUE(resp.degraded);
+    EXPECT_EQ(resp.served_via, ServedVia::kSnapshot);
+  }
+  const CircuitBreaker& cb = server.breaker(0);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.stats().opened, 1u);
+  // Queries 3 and 4 never reached the replica.
+  EXPECT_EQ(cb.stats().rejected, 2u);
+}
+
+// Probabilistic transient faults with bounded retry and degraded fallback:
+// the server answers 100% of queries. Retries absorb most faults in place;
+// whatever leaks through is served from a fallback.
+TEST(ResilientServerTest, TransientChaosNeverLosesAQuery) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  opt.pool_frames = 8;  // force real disk traffic so faults actually fire
+  opt.enable_degraded = true;
+  opt.fault_profile.seed = 1993;
+  opt.fault_profile.transient_rate = 0.01;
+  opt.retry.max_attempts = 6;
+  opt.retry.initial_backoff_micros = 1;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  std::vector<RouteQuery> queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(RouteQuery{static_cast<graph::NodeId>(i % 64),
+                                 static_cast<graph::NodeId>(63 - i % 32),
+                                 Algorithm::kDijkstra});
+  }
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  size_t engine_served = 0;
+  for (const RouteResponse& resp : *batch) {
+    ASSERT_TRUE(resp.status.ok());  // availability: answered or degraded
+    if (!resp.degraded) ++engine_served;
+  }
+  EXPECT_GT(engine_served, 0u);
+  // At a 1% per-block rate over this much traffic, faults certainly fired
+  // and the retry layer certainly absorbed some.
+  EXPECT_GT(server.disk().faults_injected(), 0u);
+  EXPECT_GT(server.pool().stats().read_retries, 0u);
+}
+
+}  // namespace
+}  // namespace atis::core

@@ -46,6 +46,59 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
             "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+}
+
+TEST(StatusTest, ResilienceCodes) {
+  const Status u = Status::Unavailable("glitch");
+  EXPECT_FALSE(u.ok());
+  EXPECT_TRUE(u.IsUnavailable());
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: glitch");
+
+  const Status d = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.IsDeadlineExceeded());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: too slow");
+}
+
+TEST(StatusTest, TransientStorageFaultClassification) {
+  // Only kUnavailable is retryable in place; a permanent device failure
+  // (kInternal) and a deadline expiry must never trigger a storage retry.
+  EXPECT_TRUE(Status::Unavailable("x").IsTransientStorageFault());
+  EXPECT_FALSE(Status::Internal("x").IsTransientStorageFault());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsTransientStorageFault());
+  EXPECT_FALSE(Status::NotFound("x").IsTransientStorageFault());
+  EXPECT_FALSE(Status::OK().IsTransientStorageFault());
+}
+
+TEST(StatusTest, CodeNameRoundTrip) {
+  constexpr StatusCode kAll[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,
+      StatusCode::kCorruption,
+      StatusCode::kResourceExhausted,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+  };
+  for (const StatusCode code : kAll) {
+    const auto parsed = StatusCodeFromString(StatusCodeToString(code));
+    ASSERT_TRUE(parsed.has_value())
+        << "unparsable name " << StatusCodeToString(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("ok").has_value());  // case-sensitive
 }
 
 TEST(ResultTest, HoldsValue) {
