@@ -324,8 +324,7 @@ CacheResult RunCacheBenchmark(const graph::Graph& g) {
 void EmitJson(const std::vector<WorkloadResult>& workloads,
               const CacheResult& cache, const std::string& path) {
   JsonWriter w;
-  w.BeginObject();
-  w.Field("benchmark", "alt_cache");
+  BeginBenchJson(w, "alt_cache");
   w.Field("seed", kSeed);
   w.Field("num_landmarks", kNumLandmarks);
   w.Key("alt").BeginArray();
@@ -372,9 +371,7 @@ void EmitJson(const std::vector<WorkloadResult>& workloads,
   w.Field("misses_total", cache.misses);
   w.Field("stale_evictions_total", cache.stale_evictions);
   w.EndObject();
-  w.EndObject();
-  if (const Status st = w.WriteFile(path); !st.ok()) Fatal(st.ToString());
-  std::printf("\nwrote %s\n", path.c_str());
+  FinishBenchFile(w, path);
 }
 
 void Run(const std::string& json_path) {

@@ -240,8 +240,7 @@ void PrintMap(const MapRun& run) {
 
 void EmitJson(const std::vector<MapRun>& runs, const std::string& path) {
   JsonWriter w;
-  w.BeginObject();
-  w.Field("benchmark", "resilience");
+  BeginBenchJson(w, "resilience");
   w.Field("seed", kSeed);
   w.Field("queries_per_batch", kQueriesPerBatch);
   w.Field("workers", kWorkers);
@@ -281,12 +280,7 @@ void EmitJson(const std::vector<MapRun>& runs, const std::string& path) {
     w.EndObject();
   }
   w.EndArray();
-  w.EndObject();
-  if (const Status st = w.WriteFile(path); !st.ok()) {
-    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
-    std::abort();
-  }
-  std::printf("\nwrote %s\n", path.c_str());
+  FinishBenchFile(w, path);
 }
 
 void Run(const std::string& json_path) {

@@ -25,7 +25,6 @@
 namespace atis::bench {
 namespace {
 
-constexpr size_t kQueriesPerBatch = 64;
 constexpr uint64_t kSeed = 1993;  // the repo-wide experiment seed
 constexpr size_t kFramesPerWorker = 32;
 // Table 4A's t_read : t_write = 0.035 : 0.05 ratio, scaled so that block
@@ -33,7 +32,25 @@ constexpr size_t kFramesPerWorker = 32;
 // otherwise the single-core CPU share caps the measurable overlap.
 constexpr uint32_t kReadMicros = 175;
 constexpr uint32_t kWriteMicros = 250;
-constexpr size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+/// Full run vs --quick (CI perf smoke: one warm-up + one measured batch
+/// per config, small enough to finish in seconds; QPS stays comparable
+/// because latency is dominated by the simulated per-block sleeps).
+struct Params {
+  bool quick = false;
+  size_t queries_per_batch = 64;
+  std::vector<size_t> worker_counts = {1, 2, 4, 8};
+
+  static Params ForMode(bool quick) {
+    Params p;
+    if (quick) {
+      p.quick = true;
+      p.queries_per_batch = 16;
+      p.worker_counts = {1, 4};
+    }
+    return p;
+  }
+};
 
 struct ConfigResult {
   size_t workers = 0;
@@ -128,16 +145,17 @@ struct MapRun {
   std::vector<ConfigResult> configs;
 };
 
-MapRun RunMap(const std::string& name, const graph::Graph& g) {
+MapRun RunMap(const std::string& name, const graph::Graph& g,
+              const Params& params) {
   MapRun run;
   run.name = name;
   run.nodes = g.num_nodes();
   run.edges = g.num_edges();
 
   const std::vector<core::RouteQuery> queries =
-      MakeQueries(g, kQueriesPerBatch);
+      MakeQueries(g, params.queries_per_batch);
   std::vector<double> baseline_costs;
-  for (size_t workers : kWorkerCounts) {
+  for (size_t workers : params.worker_counts) {
     std::vector<double> costs;
     ConfigResult r = RunConfig(g, workers, queries, costs);
     if (workers == 1) {
@@ -162,11 +180,11 @@ MapRun RunMap(const std::string& name, const graph::Graph& g) {
   return run;
 }
 
-void PrintMap(const MapRun& run) {
+void PrintMap(const MapRun& run, const Params& params) {
   std::printf("\n%s: %zu nodes, %zu edges; %zu A*-v3 queries/batch, "
               "frames = %zu/worker\n",
-              run.name.c_str(), run.nodes, run.edges, kQueriesPerBatch,
-              kFramesPerWorker);
+              run.name.c_str(), run.nodes, run.edges,
+              params.queries_per_batch, kFramesPerWorker);
   PrintRow("workers", {"QPS", "speedup", "p50 ms", "p95 ms", "p99 ms",
                        "blocks read"});
   for (const ConfigResult& r : run.configs) {
@@ -182,12 +200,13 @@ void PrintMap(const MapRun& run) {
   }
 }
 
-void EmitJson(const std::vector<MapRun>& runs, const std::string& path) {
+void EmitJson(const std::vector<MapRun>& runs, const Params& params,
+              const std::string& path) {
   JsonWriter w;
-  w.BeginObject();
-  w.Field("benchmark", "throughput");
+  BeginBenchJson(w, "throughput");
   w.Field("seed", kSeed);
-  w.Field("queries_per_batch", kQueriesPerBatch);
+  w.Field("quick", params.quick);
+  w.Field("queries_per_batch", params.queries_per_batch);
   w.Field("frames_per_worker", kFramesPerWorker);
   w.Key("disk_latency_micros").BeginObject();
   w.Field("read", static_cast<uint64_t>(kReadMicros));
@@ -216,15 +235,11 @@ void EmitJson(const std::vector<MapRun>& runs, const std::string& path) {
     w.EndObject();
   }
   w.EndArray();
-  w.EndObject();
-  if (const Status st = w.WriteFile(path); !st.ok()) {
-    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
-    std::abort();
-  }
-  std::printf("\nwrote %s\n", path.c_str());
+  FinishBenchFile(w, path);
 }
 
-void Run(const std::string& json_path) {
+void Run(const std::string& json_path, bool quick) {
+  const Params params = Params::ForMode(quick);
   PrintHeader("Throughput: concurrent route serving",
               "QPS and latency percentiles vs worker count; shared sharded "
               "buffer pool,\nshared metered disk with simulated block "
@@ -234,7 +249,8 @@ void Run(const std::string& json_path) {
 
   std::vector<MapRun> runs;
   runs.push_back(RunMap("grid30_uniform",
-                        MakeGrid(30, graph::GridCostModel::kUniform)));
+                        MakeGrid(30, graph::GridCostModel::kUniform),
+                        params));
 
   auto rm_or = graph::GenerateMinneapolisLike();
   if (!rm_or.ok()) {
@@ -242,22 +258,35 @@ void Run(const std::string& json_path) {
     std::abort();
   }
   const graph::RoadMap rm = std::move(rm_or).value();
-  runs.push_back(RunMap("minneapolis_like", rm.graph));
+  runs.push_back(RunMap("minneapolis_like", rm.graph, params));
 
-  for (const MapRun& run : runs) PrintMap(run);
+  for (const MapRun& run : runs) PrintMap(run, params);
 
-  const double grid_speedup_4w = runs.front().configs[2].speedup;
-  std::printf("\n4-worker speedup on grid30: %.2fx (acceptance floor: "
-              "2.00x) — %s\n",
-              grid_speedup_4w, grid_speedup_4w >= 2.0 ? "PASS" : "FAIL");
+  for (size_t i = 0; i < params.worker_counts.size(); ++i) {
+    if (params.worker_counts[i] != 4) continue;
+    const double grid_speedup_4w = runs.front().configs[i].speedup;
+    std::printf("\n4-worker speedup on grid30: %.2fx (acceptance floor: "
+                "2.00x) — %s\n",
+                grid_speedup_4w, grid_speedup_4w >= 2.0 ? "PASS" : "FAIL");
+  }
 
-  EmitJson(runs, json_path);
+  EmitJson(runs, params, json_path);
 }
 
 }  // namespace
 }  // namespace atis::bench
 
 int main(int argc, char** argv) {
-  atis::bench::Run(argc > 1 ? argv[1] : "BENCH_throughput.json");
+  bool quick = false;
+  std::string json_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      json_path = arg;
+    }
+  }
+  atis::bench::Run(json_path, quick);
   return 0;
 }

@@ -7,13 +7,20 @@
 
 #include "obs/trace.h"
 
+// Configure-time provenance stamp (bench/CMakeLists.txt); "unknown" when
+// the harness is built outside a git checkout.
+#ifndef ATIS_GIT_COMMIT
+#define ATIS_GIT_COMMIT "unknown"
+#endif
+
 namespace atis::bench {
 
-DbInstance::DbInstance(const graph::Graph& g, core::DbSearchOptions options,
-                       size_t pool_frames) {
-  pool_ = std::make_unique<storage::BufferPool>(&disk_, pool_frames);
+DbInstance::DbInstance(const graph::Graph& g, const Options& options) {
+  disk_.SetLatencyModel(options.disk_latency);
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, options.pool_frames);
   store_ = std::make_unique<graph::RelationalGraphStore>(pool_.get());
-  const Status st = store_->Load(g);
+  const graph::RelationalGraphStore::LoadOptions load{options.layout};
+  const Status st = store_->Load(g, load);
   if (!st.ok()) {
     std::fprintf(stderr, "fatal: store load failed: %s\n",
                  st.ToString().c_str());
@@ -21,8 +28,20 @@ DbInstance::DbInstance(const graph::Graph& g, core::DbSearchOptions options,
   }
   engine_ =
       std::make_unique<core::DbSearchEngine>(store_.get(), pool_.get(),
-                                             options);
+                                             options.search);
+  if (options.prefetch_workers > 0) {
+    pool_->StartPrefetchWorkers(options.prefetch_workers);
+  }
 }
+
+DbInstance::DbInstance(const graph::Graph& g, core::DbSearchOptions options,
+                       size_t pool_frames)
+    : DbInstance(g, [&] {
+        Options full;
+        full.search = std::move(options);
+        full.pool_frames = pool_frames;
+        return full;
+      }()) {}
 
 Cell ToCell(const core::PathResult& r) {
   Cell c;
@@ -131,6 +150,24 @@ std::string VsPaper(uint64_t measured, uint64_t published) {
 }
 
 // -- Machine-readable emission ----------------------------------------------
+
+const char* BuildGitCommit() { return ATIS_GIT_COMMIT; }
+
+void BeginBenchJson(JsonWriter& w, const std::string& benchmark) {
+  w.BeginObject();
+  w.Field("benchmark", benchmark);
+  w.Field("schema_version", kBenchSchemaVersion);
+  w.Field("git_commit", BuildGitCommit());
+}
+
+void FinishBenchFile(JsonWriter& w, const std::string& path) {
+  w.EndObject();
+  if (const Status st = w.WriteFile(path); !st.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+}
 
 void JsonWriter::BeforeValue() {
   if (pending_key_) {

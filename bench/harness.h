@@ -25,6 +25,22 @@ namespace atis::bench {
 /// Bundles the storage stack so experiment code stays declarative.
 class DbInstance {
  public:
+  /// Full configuration of the bundled storage stack. The two-argument
+  /// constructor below is the common subset most benches need.
+  struct Options {
+    core::DbSearchOptions search;
+    size_t pool_frames = 64;
+    /// Physical order of the store's heap files (graph/spatial_layout.h).
+    graph::StoreLayout layout = graph::StoreLayout::kRowOrder;
+    /// > 0 starts this many background prefetch workers on the pool;
+    /// search.prefetch_depth decides whether the engine hints them.
+    size_t prefetch_workers = 0;
+    /// Simulated device latency on the metered disk (off by default).
+    storage::DiskLatencyModel disk_latency;
+  };
+
+  DbInstance(const graph::Graph& g, const Options& options);
+
   /// `options.cost_params` also drives reported cost units.
   explicit DbInstance(const graph::Graph& g,
                       core::DbSearchOptions options = {},
@@ -86,6 +102,16 @@ std::string VsPaper(uint64_t measured, uint64_t published);
 
 // -- Machine-readable emission ----------------------------------------------
 
+/// Schema version stamped into every BENCH_*.json envelope. Bump when the
+/// envelope itself changes shape (per-benchmark payloads evolve freely;
+/// files without a schema_version field predate the envelope).
+inline constexpr uint64_t kBenchSchemaVersion = 2;
+
+/// The git commit the build was configured at, or "unknown" outside a
+/// checkout. Baked in at configure time (see bench/CMakeLists.txt), so an
+/// incremental build after new commits reports the last configure's HEAD.
+const char* BuildGitCommit();
+
 /// Streaming JSON writer for benchmark result files. Handles commas and
 /// string escaping; the caller is responsible for well-formed nesting
 /// (every Key is followed by exactly one Value/Begin*). Output is
@@ -123,6 +149,17 @@ class JsonWriter {
   std::vector<bool> first_;  // per nesting level: no element emitted yet
   bool pending_key_ = false;
 };
+
+/// Opens the shared BENCH_*.json envelope on `w`: the root object plus
+/// the provenance fields every result file carries — "benchmark" (the
+/// binary's short name), "schema_version" and "git_commit". The caller
+/// appends its payload fields and closes with FinishBenchFile.
+void BeginBenchJson(JsonWriter& w, const std::string& benchmark);
+
+/// Closes the envelope's root object and writes `w` to `path`, printing
+/// the standard "wrote <path>" line. Aborts loudly on I/O failure — a
+/// benchmark must never exit 0 with a truncated result file.
+void FinishBenchFile(JsonWriter& w, const std::string& path);
 
 /// Percentile summaries come from util/stats.h (atis::Percentile /
 /// atis::PercentileSorted) — the bench namespace re-exports the free

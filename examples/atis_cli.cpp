@@ -62,6 +62,7 @@ int Usage(const char* argv0) {
       "  %s serve <file> --queries=FILE [--workers=N]"
       " [--latency=READ_US,WRITE_US] [--landmarks=K] [--cache[=CAPACITY]]"
       " [--fault-rate=P] [--deadline-ms=MS] [--degraded]"
+      " [--layout=roworder|hilbert] [--prefetch-depth=K]"
       " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
@@ -78,7 +79,12 @@ int Usage(const char* argv0) {
       "serve resilience: --fault-rate injects seeded transient disk\n"
       "faults (retried with backoff), --deadline-ms bounds each query,\n"
       "--degraded falls back to stale cache / in-memory snapshot answers\n"
-      "instead of failing.\n",
+      "instead of failing.\n"
+      "serve locality: --layout picks the physical store layout (default:\n"
+      "the layout recorded in an ATISG2 file, else roworder; hilbert\n"
+      "clusters spatially-near tuples into shared blocks),\n"
+      "--prefetch-depth=K prefetches adjacency pages of the top-K\n"
+      "frontier nodes on background workers (0 = off).\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -387,6 +393,9 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   bool degraded = false;
   double fault_rate = 0.0;
   uint64_t deadline_ms = 0;
+  size_t prefetch_depth = 0;
+  bool layout_flag = false;
+  graph::StoreLayout layout = graph::StoreLayout::kRowOrder;
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -440,6 +449,19 @@ int CmdServe(int argc, char** argv, const char* argv0) {
       deadline_ms = static_cast<uint64_t>(ms);
     } else if (arg == "--degraded") {
       degraded = true;
+    } else if (arg.rfind("--layout=", 0) == 0) {
+      if (!graph::StoreLayoutFromName(arg.substr(9), &layout)) {
+        std::fprintf(stderr, "--layout wants roworder or hilbert\n");
+        return 2;
+      }
+      layout_flag = true;
+    } else if (arg.rfind("--prefetch-depth=", 0) == 0) {
+      const int k = std::atoi(arg.c_str() + 17);
+      if (k < 0) {
+        std::fprintf(stderr, "--prefetch-depth wants a count >= 0\n");
+        return 2;
+      }
+      prefetch_depth = static_cast<size_t>(k);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -449,11 +471,15 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   }
   if (positional.size() != 1 || queries_file.empty()) return Usage(argv0);
 
-  auto g = Load(positional[0]);
-  if (!g.ok()) {
-    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+  // The graph file's header layout (ATISG2) is the default; an explicit
+  // --layout flag overrides it.
+  auto gf = graph::LoadGraphFileWithLayout(positional[0]);
+  if (!gf.ok()) {
+    std::fprintf(stderr, "%s\n", gf.status().ToString().c_str());
     return 1;
   }
+  if (!layout_flag) layout = gf.value().layout;
+  const graph::Graph& served_graph = gf.value().graph;
 
   std::ifstream qin(queries_file);
   if (!qin.good()) {
@@ -483,11 +509,13 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   if (cache_capacity > 0) opt.cache.capacity = cache_capacity;
   opt.default_deadline_ms = deadline_ms;
   opt.enable_degraded = degraded;
+  opt.layout = layout;
+  opt.prefetch_depth = prefetch_depth;
   if (fault_rate > 0.0) {
     opt.fault_profile.transient_rate = fault_rate;
     opt.retry.max_attempts = 4;  // absorb most transient faults in place
   }
-  core::RouteServer server(*g, opt);
+  core::RouteServer server(served_graph, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "%s\n", server.init_status().ToString().c_str());
     return 1;

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare a BENCH_throughput run against a baseline.
+
+Usage: check_perf.py MEASURED.json BASELINE.json [--tolerance 0.30]
+
+Both files are BENCH_throughput.json emissions (quick mode in CI). Every
+(map, workers) configuration present in the baseline must reach at least
+(1 - tolerance) x the baseline QPS in the measured run; missing
+configurations fail too. The workload is dominated by the benchmark's
+simulated per-block device latency (deterministic sleeps), not host CPU,
+which is what makes a checked-in QPS baseline meaningful across machines.
+
+Exit code 0 when every configuration passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_configs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("benchmark") != "throughput":
+        sys.exit(f"{path}: not a BENCH_throughput file "
+                 f"(benchmark={doc.get('benchmark')!r})")
+    configs = {}
+    for m in doc.get("maps", []):
+        for c in m.get("configs", []):
+            configs[(m["name"], c["workers"])] = c["qps"]
+    return doc, configs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional QPS regression (default 0.30)")
+    args = ap.parse_args()
+
+    mdoc, measured = load_configs(args.measured)
+    bdoc, baseline = load_configs(args.baseline)
+    print(f"measured: {args.measured} (git {mdoc.get('git_commit', '?')})")
+    print(f"baseline: {args.baseline} (git {bdoc.get('git_commit', '?')})")
+
+    failed = False
+    for (map_name, workers), base_qps in sorted(baseline.items()):
+        floor = base_qps * (1.0 - args.tolerance)
+        got = measured.get((map_name, workers))
+        if got is None:
+            print(f"FAIL {map_name} @ {workers}w: missing from measured run")
+            failed = True
+            continue
+        verdict = "ok" if got >= floor else "FAIL"
+        print(f"{verdict:4} {map_name} @ {workers}w: "
+              f"{got:.1f} qps vs baseline {base_qps:.1f} "
+              f"(floor {floor:.1f})")
+        if got < floor:
+            failed = True
+
+    if failed:
+        print(f"\nQPS regression beyond {100 * args.tolerance:.0f}% "
+              "tolerance — if the slowdown is intentional, regenerate the "
+              "baseline with: bench_throughput <baseline-path> --quick")
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

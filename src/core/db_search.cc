@@ -96,6 +96,42 @@ bool BetterCandidate(double f_a, double g_a, NodeId a, double f_b,
   return a < b;
 }
 
+/// Bounded best-first list of frontier candidates observed during a
+/// select-min scan; ranked by BetterCandidate. Used to pick the top-k
+/// nodes whose adjacency pages are worth prefetching: after the best node
+/// is expanded, the runners-up are the likeliest next expansions.
+class TopKFrontier {
+ public:
+  explicit TopKFrontier(size_t k) : k_(k) {}
+
+  void Offer(double f, double g, NodeId id) {
+    if (k_ == 0) return;
+    auto pos = std::find_if(
+        entries_.begin(), entries_.end(), [&](const Entry& e) {
+          return BetterCandidate(f, g, id, e.f, e.g, e.id);
+        });
+    if (pos == entries_.end() && entries_.size() >= k_) return;
+    entries_.insert(pos, Entry{f, g, id});
+    if (entries_.size() > k_) entries_.pop_back();
+  }
+
+  std::vector<NodeId> ids() const {
+    std::vector<NodeId> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.id);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double f;
+    double g;
+    NodeId id;
+  };
+  size_t k_;
+  std::vector<Entry> entries_;  // sorted best-first, size <= k_
+};
+
 }  // namespace
 
 std::string_view AStarVersionName(AStarVersion v) {
@@ -120,6 +156,26 @@ DbSearchEngine::DbSearchEngine(RelationalGraphStore* store,
 Status DbSearchEngine::EndStatement() {
   if (options_.statement_at_a_time) return pool_->EvictAll();
   return Status::OK();
+}
+
+size_t DbSearchEngine::PrefetchDepth() const {
+  if (options_.prefetch_depth == 0 || options_.statement_at_a_time ||
+      !pool_->prefetch_workers_running()) {
+    return 0;
+  }
+  return options_.prefetch_depth;
+}
+
+void DbSearchEngine::PrefetchFrontier(
+    const std::vector<NodeId>& frontier,
+    std::unordered_set<storage::PageId>* hinted) {
+  std::vector<storage::PageId> pages;
+  for (const NodeId u : frontier) {
+    for (const storage::PageId id : store_->AdjacencyPageIds(u)) {
+      if (hinted->insert(id).second) pages.push_back(id);
+    }
+  }
+  if (!pages.empty()) pool_->Prefetch(pages);
 }
 
 Result<std::vector<NodeId>> DbSearchEngine::ReconstructFromStore(
@@ -248,6 +304,7 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
                                           destination, dest_pt);
   };
 
+  std::unordered_set<storage::PageId> hinted;  // pages hinted this run
   while (true) {
     if (deadline.expired()) {
       return Status::DeadlineExceeded("route search deadline expired");
@@ -256,9 +313,13 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     iteration.Tag("n", result.stats.iterations + 1);
 
     // -- Statement: select u from frontierSet with minimum
-    //    C(s,u) [+ f(u,d)] — a scan of R over status = open.
+    //    C(s,u) [+ f(u,d)] — a scan of R over status = open. The scan
+    //    doubles as the prefetch ranking pass: the top-k open nodes are
+    //    the likeliest next expansions, so their adjacency pages are
+    //    hinted to the background workers once we commit to expanding.
     std::optional<std::pair<RecordId, NodeRow>> best;
     double best_f = kInf;
+    TopKFrontier topk(PrefetchDepth());
     {
       obs::ScopedSpan stmt("select-min", "statement");
       for (Relation::Cursor c = store_->node_relation().Scan(); c.Valid();
@@ -266,6 +327,7 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
         const NodeRow row = RelationalGraphStore::NodeFromTuple(c.tuple());
         if (row.status != NodeStatus::kOpen) continue;
         const double f = row.path_cost + h(row);
+        topk.Offer(f, row.path_cost, row.id);
         if (!best || BetterCandidate(f, row.path_cost, row.id, best_f,
                                      best->second.path_cost,
                                      best->second.id)) {
@@ -285,6 +347,8 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
       result.cost = best->second.path_cost;
       break;
     }
+
+    PrefetchFrontier(topk.ids(), &hinted);
 
     // -- Statement: move u out of the frontier (REPLACE status=current).
     NodeRow u = best->second;
@@ -419,6 +483,7 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
                        RelationalGraphStore::NodeFromTuple(t)));
   };
 
+  std::unordered_set<storage::PageId> hinted;  // pages hinted this run
   while (true) {
     if (deadline.expired()) {
       return Status::DeadlineExceeded("route search deadline expired");
@@ -426,12 +491,16 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
     obs::ScopedSpan iteration("iteration", "iteration");
     iteration.Tag("n", result.stats.iterations + 1);
 
-    // -- Statement: scan F for the minimum f entry.
+    // -- Statement: scan F for the minimum f entry (and the prefetch
+    //    top-k, as in BestFirstStatusAttribute).
     std::optional<std::pair<RecordId, Tuple>> best;
+    TopKFrontier topk(PrefetchDepth());
     {
       obs::ScopedSpan stmt("select-min", "statement");
       for (Relation::Cursor c = frontier.Scan(); c.Valid(); c.Next()) {
         Tuple t = c.tuple();
+        topk.Offer(AsDouble(t[2]), AsDouble(t[1]),
+                   static_cast<NodeId>(AsInt(t[0])));
         if (!best ||
             BetterCandidate(AsDouble(t[2]), AsDouble(t[1]),
                             static_cast<NodeId>(AsInt(t[0])),
@@ -448,6 +517,7 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
 
     const NodeId uid = static_cast<NodeId>(AsInt(best->second[0]));
     const double ug = AsDouble(best->second[1]);
+    PrefetchFrontier(topk.ids(), &hinted);
 
     // -- Statement: DELETE the selected tuple from F.
     {
@@ -665,7 +735,16 @@ Result<PathResult> DbSearchEngine::Iterative(NodeId source,
 
     // -- Step 6: join current nodes with S to reach their neighbours.
     //    The current nodes are materialised as a temporary relation, as in
-    //    the relational formulation.
+    //    the relational formulation. They are ordered by node id first so
+    //    the join's output order — and with it the equal-cost predecessor
+    //    tie-breaks of step 7 — does not depend on R's physical layout
+    //    (a no-op under kRowOrder, where the scan already yields id
+    //    order; under kHilbert it restores that order).
+    std::sort(current.begin(), current.end(),
+              [](const relational::MatchedTuple& a,
+                 const relational::MatchedTuple& b) {
+                return AsInt(a.tuple[0]) < AsInt(b.tuple[0]);
+              });
     obs::ScopedSpan join_stmt("materialise-and-join", "statement");
     join_stmt.Tag("current_nodes", static_cast<uint64_t>(current.size()));
     Relation cur("C", RelationalGraphStore::NodeSchema(), pool_,

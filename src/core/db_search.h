@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_set>
 
 #include "core/estimator.h"
 #include "core/search_types.h"
@@ -53,6 +54,13 @@ struct DbSearchOptions {
   storage::CostParams cost_params;
   /// Propagated to PathResult::optimality_guaranteed for A*.
   bool estimator_known_admissible = true;
+  /// Number of best-ranked frontier nodes whose S adjacency pages are
+  /// hinted to BufferPool::Prefetch after each frontier scan (0 = off).
+  /// Effective only when the pool's prefetch workers are running and
+  /// `statement_at_a_time` is false: a prefetch keeps its frame pinned
+  /// while the read is in flight, which the paper-mode EvictAll between
+  /// statements cannot tolerate, so hints are suppressed in that mode.
+  size_t prefetch_depth = 0;
 };
 
 class DbSearchEngine {
@@ -121,6 +129,16 @@ class DbSearchEngine {
       graph::NodeId source, graph::NodeId destination);
 
   Status EndStatement();
+
+  /// Effective prefetch depth for this run (0 when suppressed).
+  size_t PrefetchDepth() const;
+  /// Hints the adjacency pages of `frontier` (best-first ranked node ids)
+  /// to the pool's background workers. `hinted` is the run's
+  /// pages-already-hinted set: each page is enqueued at most once per
+  /// search, so steady frontiers don't re-queue the same ids every
+  /// iteration. Advisory; never fails.
+  void PrefetchFrontier(const std::vector<graph::NodeId>& frontier,
+                        std::unordered_set<storage::PageId>* hinted);
 
   graph::RelationalGraphStore* store_;
   storage::BufferPool* pool_;

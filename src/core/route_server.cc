@@ -43,12 +43,15 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
 
   DbSearchOptions search = options.search;
   search.statement_at_a_time = false;  // unsafe with concurrent pinners
+  search.prefetch_depth = options.prefetch_depth;
 
   // Load one store replica per worker (sequentially; the workers are not
   // running yet). The first failure wins and the server stays inert.
+  const graph::RelationalGraphStore::LoadOptions load_options{
+      options.layout};
   for (size_t w = 0; w < options.num_workers; ++w) {
     auto store = std::make_unique<graph::RelationalGraphStore>(pool_.get());
-    if (Status st = store->Load(g); !st.ok()) {
+    if (Status st = store->Load(g, load_options); !st.ok()) {
       init_status_ = std::move(st);
       return;
     }
@@ -127,6 +130,11 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
   // table) loaded cleanly — construction itself never draws a fault.
   pool_->SetRetryPolicy(options.retry);
   disk_.SetFaultProfile(options.fault_profile);
+
+  if (options.prefetch_depth > 0) {
+    pool_->StartPrefetchWorkers(
+        options.prefetch_workers != 0 ? options.prefetch_workers : 2);
+  }
 
   workers_.reserve(options.num_workers);
   for (size_t w = 0; w < options.num_workers; ++w) {

@@ -102,6 +102,17 @@ class RouteServer {
     /// Engine options for every worker. statement_at_a_time is forced off
     /// (see file comment); the other knobs are honoured.
     DbSearchOptions search;
+    /// Physical layout every store replica loads with. kHilbert packs
+    /// spatially-near tuples into shared blocks (fewer distinct block
+    /// reads per query); kRowOrder is the paper's layout.
+    graph::StoreLayout layout = graph::StoreLayout::kRowOrder;
+    /// Frontier prefetch depth for every engine (top-k frontier nodes
+    /// whose adjacency pages are hinted each iteration; 0 = off). When
+    /// > 0 the shared pool runs background prefetch workers.
+    size_t prefetch_depth = 0;
+    /// Background prefetch fill threads; 0 = 2. Read only when
+    /// prefetch_depth > 0.
+    size_t prefetch_workers = 0;
     /// Landmarks for A* Version 4. 0 disables; > 0 selects this many
     /// landmarks on the float-rounded map, persists the table through the
     /// storage layer once, and enables kV4 queries on every worker.

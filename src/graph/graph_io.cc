@@ -5,15 +5,16 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace atis::graph {
 
 namespace {
-constexpr char kMagic[] = "ATISG1";
-}
+constexpr char kMagicV1[] = "ATISG1";
+constexpr char kMagicV2[] = "ATISG2";
 
-Status WriteGraphText(const Graph& g, std::ostream& out) {
-  out << kMagic << "\n" << g.num_nodes() << "\n";
+Status WriteBody(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << "\n";
   out << std::setprecision(17);
   for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
     const Point& p = g.point(u);
@@ -29,12 +30,7 @@ Status WriteGraphText(const Graph& g, std::ostream& out) {
   return Status::OK();
 }
 
-Result<Graph> ReadGraphText(std::istream& in) {
-  std::string magic;
-  in >> magic;
-  if (magic != kMagic) {
-    return Status::Corruption("bad magic: expected ATISG1");
-  }
+Result<Graph> ReadBody(std::istream& in) {
   size_t num_nodes = 0;
   in >> num_nodes;
   if (!in) return Status::Corruption("truncated node count");
@@ -59,6 +55,45 @@ Result<Graph> ReadGraphText(std::istream& in) {
   }
   return g;
 }
+}  // namespace
+
+Status WriteGraphText(const Graph& g, std::ostream& out) {
+  out << kMagicV1 << "\n";
+  return WriteBody(g, out);
+}
+
+Status WriteGraphText(const Graph& g, StoreLayout layout,
+                      std::ostream& out) {
+  out << kMagicV2 << "\n"
+      << "layout " << StoreLayoutName(layout) << "\n";
+  return WriteBody(g, out);
+}
+
+Result<Graph> ReadGraphText(std::istream& in) {
+  ATIS_ASSIGN_OR_RETURN(GraphFile file, ReadGraphFileText(in));
+  return std::move(file.graph);
+}
+
+Result<GraphFile> ReadGraphFileText(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  GraphFile file;
+  if (magic == kMagicV2) {
+    std::string key;
+    std::string name;
+    in >> key >> name;
+    if (!in || key != "layout") {
+      return Status::Corruption("ATISG2 header missing layout line");
+    }
+    if (!StoreLayoutFromName(name, &file.layout)) {
+      return Status::Corruption("unknown store layout: " + name);
+    }
+  } else if (magic != kMagicV1) {
+    return Status::Corruption("bad magic: expected ATISG1 or ATISG2");
+  }
+  ATIS_ASSIGN_OR_RETURN(file.graph, ReadBody(in));
+  return file;
+}
 
 Status SaveGraphFile(const Graph& g, const std::string& path) {
   std::ofstream out(path);
@@ -66,10 +101,23 @@ Status SaveGraphFile(const Graph& g, const std::string& path) {
   return WriteGraphText(g, out);
 }
 
+Status SaveGraphFile(const Graph& g, StoreLayout layout,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return WriteGraphText(g, layout, out);
+}
+
 Result<Graph> LoadGraphFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   return ReadGraphText(in);
+}
+
+Result<GraphFile> LoadGraphFileWithLayout(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadGraphFileText(in);
 }
 
 }  // namespace atis::graph

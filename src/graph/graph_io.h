@@ -6,19 +6,41 @@
 //   <x> <y>                 (one line per node, id = line order)
 //   <num_directed_edges>
 //   <u> <v> <cost>          (one line per directed edge)
+//
+// Format ("ATISG2") adds the intended physical store layout to the header
+// so a saved graph round-trips the layout through save/load:
+//   ATISG2
+//   layout <roworder|hilbert>
+//   ...same body as ATISG1...
+// Readers accept both; an ATISG1 file loads with layout = kRowOrder.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/spatial_layout.h"
 
 namespace atis::graph {
 
+/// A loaded graph file: the graph plus the store layout recorded in its
+/// header (kRowOrder for version-1 files, which predate layouts).
+struct GraphFile {
+  Graph graph;
+  StoreLayout layout = StoreLayout::kRowOrder;
+};
+
 Status WriteGraphText(const Graph& g, std::ostream& out);
+/// Writes an ATISG2 file carrying `layout` in the header.
+Status WriteGraphText(const Graph& g, StoreLayout layout, std::ostream& out);
 Result<Graph> ReadGraphText(std::istream& in);
+/// Reads either format; reports the header layout (kRowOrder for ATISG1).
+Result<GraphFile> ReadGraphFileText(std::istream& in);
 
 Status SaveGraphFile(const Graph& g, const std::string& path);
+Status SaveGraphFile(const Graph& g, StoreLayout layout,
+                     const std::string& path);
 Result<Graph> LoadGraphFile(const std::string& path);
+Result<GraphFile> LoadGraphFileWithLayout(const std::string& path);
 
 }  // namespace atis::graph

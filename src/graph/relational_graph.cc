@@ -64,6 +64,11 @@ RelationalGraphStore::RelationalGraphStore(storage::BufferPool* pool)
     : s_("S", EdgeSchema(), pool), r_("R", NodeSchema(), pool) {}
 
 Status RelationalGraphStore::Load(const Graph& g) {
+  return Load(g, LoadOptions{});
+}
+
+Status RelationalGraphStore::Load(const Graph& g,
+                                  const LoadOptions& options) {
   if (loaded_) {
     return Status::FailedPrecondition("graph store already loaded");
   }
@@ -71,7 +76,11 @@ Status RelationalGraphStore::Load(const Graph& g) {
     return Status::InvalidArgument(
         "R's 16-bit node ids limit the store to 32767 nodes");
   }
-  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+  // Physical insertion order. kRowOrder yields the identity permutation,
+  // keeping the insertion sequence (and therefore every page assignment)
+  // bit-identical to the paper-mode store.
+  const std::vector<NodeId> order = ComputeNodeOrder(g, options.layout);
+  for (const NodeId u : order) {
     const Point& p = g.point(u);
     if (std::abs(FixedPoint(p.x)) > 32767 ||
         std::abs(FixedPoint(p.y)) > 32767) {
@@ -86,21 +95,60 @@ Status RelationalGraphStore::Load(const Graph& g) {
     row.path_cost = std::numeric_limits<double>::infinity();
     ATIS_RETURN_NOT_OK(r_.Insert(ToTuple(row)).status());
   }
-  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+  // Edge tuples are grouped by begin node in the same physical order;
+  // within a node the g.Neighbors order is preserved, so per-key hash
+  // chains — and hence FetchAdjacency results — match across layouts.
+  adjacency_pages_.assign(g.num_nodes(), {});
+  adjacency_rids_.assign(g.num_nodes(), {});
+  for (const NodeId u : order) {
+    std::vector<storage::PageId>& pages =
+        adjacency_pages_[static_cast<size_t>(u)];
+    std::vector<storage::RecordId>& rids =
+        adjacency_rids_[static_cast<size_t>(u)];
     for (const Edge& e : g.Neighbors(u)) {
-      ATIS_RETURN_NOT_OK(
-          s_.Insert(ToTuple(EdgeRow{u, e.to, e.cost})).status());
+      ATIS_ASSIGN_OR_RETURN(storage::RecordId rid,
+                            s_.Insert(ToTuple(EdgeRow{u, e.to, e.cost})));
+      if (pages.empty() || pages.back() != rid.page) {
+        pages.push_back(rid.page);
+      }
+      rids.push_back(rid);
     }
   }
   ATIS_RETURN_NOT_OK(s_.CreateHashIndex(
       kBeginField, std::max<size_t>(16, g.num_nodes() / 8)));
   ATIS_RETURN_NOT_OK(r_.BuildIsamIndex(kNodeIdField));
+  layout_ = options.layout;
   loaded_ = true;
   return Status::OK();
 }
 
+const std::vector<storage::PageId>& RelationalGraphStore::AdjacencyPageIds(
+    NodeId u) const {
+  static const std::vector<storage::PageId> kEmpty;
+  if (u < 0 || static_cast<size_t>(u) >= adjacency_pages_.size()) {
+    return kEmpty;
+  }
+  return adjacency_pages_[static_cast<size_t>(u)];
+}
+
 Result<std::vector<RelationalGraphStore::EdgeRow>>
 RelationalGraphStore::FetchAdjacency(NodeId u) const {
+  // Clustered access path (see header): only the node's own data pages
+  // are fetched; the id-hashed bucket pages the paper-mode lookup walks —
+  // spatially random by construction, and the dominant distinct-block
+  // cost of a search — are skipped entirely.
+  if (layout_ == StoreLayout::kHilbert && u >= 0 &&
+      static_cast<size_t>(u) < adjacency_rids_.size()) {
+    const std::vector<storage::RecordId>& rids =
+        adjacency_rids_[static_cast<size_t>(u)];
+    std::vector<EdgeRow> out;
+    out.reserve(rids.size());
+    for (const storage::RecordId rid : rids) {
+      ATIS_ASSIGN_OR_RETURN(relational::Tuple t, s_.Get(rid));
+      out.push_back(EdgeFromTuple(t));
+    }
+    return out;
+  }
   ATIS_ASSIGN_OR_RETURN(auto matches,
                         relational::SelectIndex(s_, kBeginField, u));
   std::vector<EdgeRow> out;

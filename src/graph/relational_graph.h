@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/spatial_layout.h"
 #include "relational/operators.h"
 #include "relational/relation.h"
 
@@ -69,12 +70,30 @@ class RelationalGraphStore {
     double dist_to = 0.0;    ///< d(node -> landmark); +inf if unreachable
   };
 
+  /// Build-time options. The physical layout decides the heap-file
+  /// insertion order of node and edge tuples; logical contents and index
+  /// behaviour are identical across layouts (per-node adjacency order is
+  /// preserved), only which tuples share a block changes.
+  struct LoadOptions {
+    StoreLayout layout = StoreLayout::kRowOrder;
+  };
+
   explicit RelationalGraphStore(storage::BufferPool* pool);
 
   /// Populates S and R from an in-memory graph and builds both primary
   /// indexes. Node coordinates are quantised to kCoordScale. May be called
   /// once per store. Node count is limited to 32767 by R's 16-bit node ids.
   Status Load(const Graph& g);
+  Status Load(const Graph& g, const LoadOptions& options);
+
+  /// The physical layout this store was loaded with.
+  StoreLayout layout() const { return layout_; }
+
+  /// Heap-file pages of S holding u's adjacency tuples, from the in-memory
+  /// directory built at load time (no metered I/O — this is metadata, like
+  /// HeapFile's own page table). Empty for nodes without out-edges.
+  /// Record pages are stable: UpdateEdgeCost rewrites tuples in place.
+  const std::vector<storage::PageId>& AdjacencyPageIds(NodeId u) const;
 
   relational::Relation& edge_relation() { return s_; }
   const relational::Relation& edge_relation() const { return s_; }
@@ -84,7 +103,15 @@ class RelationalGraphStore {
   size_t num_nodes() const { return r_.num_tuples(); }
   size_t num_edges() const { return s_.num_tuples(); }
 
-  /// Adjacency list of u: index lookup on S.begin_node.
+  /// Adjacency list of u. Under kRowOrder this is the paper's access
+  /// path — an index lookup on S.begin_node — kept bit-identical, metered
+  /// blocks included. Under kHilbert the store serves the fetch from the
+  /// clustered layout instead: each node's edge tuples were inserted
+  /// contiguously and their record ids retained, so the fetch touches
+  /// only the node's own data pages and skips the hash index, whose
+  /// id-keyed buckets scatter spatially-near lookups across unrelated
+  /// pages by construction. Result contents and order are identical
+  /// either way (the per-node insertion sequence).
   Result<std::vector<EdgeRow>> FetchAdjacency(NodeId u) const;
 
   /// Node row via the ISAM index (returns the record id for updates).
@@ -141,6 +168,13 @@ class RelationalGraphStore {
   relational::Relation r_;
   std::unique_ptr<relational::Relation> landmark_;  ///< L; null until stored
   bool loaded_ = false;
+  StoreLayout layout_ = StoreLayout::kRowOrder;
+  /// adjacency_pages_[u] = deduplicated S pages of u's edge tuples.
+  std::vector<std::vector<storage::PageId>> adjacency_pages_;
+  /// adjacency_rids_[u] = u's edge tuples in insertion order — the
+  /// clustered access path FetchAdjacency uses under kHilbert. Stable for
+  /// the store's lifetime (S tuples are updated in place, never moved).
+  std::vector<std::vector<storage::RecordId>> adjacency_rids_;
 };
 
 }  // namespace atis::graph

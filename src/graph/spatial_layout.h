@@ -1,0 +1,60 @@
+// Physical layout policies for the relational graph store.
+//
+// The paper's cost model counts block accesses, so the physical placement
+// of tuples — which node/edge rows share a disk block — is a first-class
+// performance lever. A Hilbert space-filling curve maps 2-D coordinates to
+// a 1-D index that preserves spatial locality: nodes that are near each
+// other on the map land near each other on the curve, so sorting tuples by
+// Hilbert index before heap-file insertion packs geographically-close
+// nodes (exactly the ones A*/Dijkstra expand together) into the same
+// blocks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace atis::graph {
+
+/// Physical tuple order used when populating a RelationalGraphStore.
+enum class StoreLayout : uint8_t {
+  /// Insertion order = node-id order. The paper's implicit layout; keeps
+  /// all paper-mode results bit-identical. Default.
+  kRowOrder = 0,
+  /// Tuples sorted by Hilbert-curve index of the node coordinates, with a
+  /// grid-cell fallback when the geometry is degenerate.
+  kHilbert = 1,
+};
+
+/// Canonical lower-case name ("roworder" / "hilbert").
+const char* StoreLayoutName(StoreLayout layout);
+
+/// Parses a layout name (case-sensitive, canonical form). Returns false
+/// and leaves `*out` untouched on unknown names.
+bool StoreLayoutFromName(std::string_view name, StoreLayout* out);
+
+/// Distance along the order-`order` Hilbert curve of the grid cell (x, y).
+/// Coordinates must lie in [0, 2^order); the result lies in
+/// [0, 4^order). Iterative bit-interleaving form (Wikipedia's xy2d).
+uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y);
+
+/// Grid side (2^kHilbertOrder cells per axis) used by ComputeNodeOrder.
+/// Order 16 resolves the store's full int16 fixed-point coordinate range,
+/// so two nodes only share a curve cell if they share a stored coordinate.
+inline constexpr uint32_t kHilbertOrder = 16;
+
+/// The permutation of node ids giving the physical insertion order for
+/// `layout`:
+///   kRowOrder — identity (node-id order).
+///   kHilbert  — ascending Hilbert index of each node's coordinates
+///               quantised onto a 2^kHilbertOrder grid over the graph's
+///               bounding box; ties (shared cells) break by node id.
+/// Fallback: when the bounding box is degenerate on both axes (absent or
+/// constant geometry) there is no spatial signal, and the order falls back
+/// to grid cells in id space — i.e. node-id order, which for generated
+/// grids is already row-major cell order.
+std::vector<NodeId> ComputeNodeOrder(const Graph& g, StoreLayout layout);
+
+}  // namespace atis::graph

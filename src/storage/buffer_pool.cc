@@ -54,6 +54,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t num_shards)
 }
 
 BufferPool::~BufferPool() {
+  StopPrefetchWorkers();
   // Best effort: persist dirty pages. Errors are ignored in a destructor.
   (void)FlushAll();
 }
@@ -74,6 +75,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   if (it != shard.table.end()) {
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     Frame& f = shard.frames[it->second];
+    NotePrefetchConsumed(f);
     if (f.pin_count == 0 && f.in_lru) {
       shard.lru.erase(f.lru_pos);
       f.in_lru = false;
@@ -97,6 +99,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   f.dirty = false;
   f.in_lru = false;
   f.io_in_progress = true;
+  f.prefetched = false;
   shard.table[id] = idx;
 
   lock.unlock();
@@ -130,6 +133,7 @@ Result<PageGuard> BufferPool::NewPage() {
   f.pin_count = 1;
   f.dirty = true;  // must reach disk even if never modified again
   f.in_lru = false;
+  f.prefetched = false;
   shard.table[id] = idx;
   return PageGuard(this, id, &f.page);
 }
@@ -181,6 +185,7 @@ Status BufferPool::EvictAll() {
         f.dirty = false;
         shard.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
       }
+      NotePrefetchDiscarded(f);
       shard.table.erase(f.id);
       if (f.in_lru) {
         shard.lru.erase(f.lru_pos);
@@ -210,6 +215,7 @@ Status BufferPool::DeletePage(PageId id) {
         shard.lru.erase(f.lru_pos);
         f.in_lru = false;
       }
+      NotePrefetchDiscarded(f);
       f.id = kInvalidPageId;
       f.dirty = false;
       shard.free_frames.push_back(it->second);
@@ -239,10 +245,18 @@ BufferPoolStats BufferPool::stats() const {
   }
   s.read_retries = read_retries_.load(std::memory_order_relaxed);
   s.retries_exhausted = retries_exhausted_.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.prefetch_dropped = prefetch_dropped_.load(std::memory_order_relaxed);
+  s.prefetch_filled = prefetch_filled_.load(std::memory_order_relaxed);
+  s.prefetch_useful = prefetch_useful_.load(std::memory_order_relaxed);
+  s.prefetch_wasted = prefetch_wasted_.load(std::memory_order_relaxed);
+  s.prefetch_errors = prefetch_errors_.load(std::memory_order_relaxed);
   return s;
 }
 
 void BufferPool::ResetStats() {
+  // Every counter in BufferPoolStats, shard-local and pool-global alike —
+  // a reset that misses a field corrupts every delta-based observer.
   for (const auto& shard_ptr : shards_) {
     shard_ptr->hits.store(0, std::memory_order_relaxed);
     shard_ptr->misses.store(0, std::memory_order_relaxed);
@@ -251,6 +265,12 @@ void BufferPool::ResetStats() {
   }
   read_retries_.store(0, std::memory_order_relaxed);
   retries_exhausted_.store(0, std::memory_order_relaxed);
+  prefetch_issued_.store(0, std::memory_order_relaxed);
+  prefetch_dropped_.store(0, std::memory_order_relaxed);
+  prefetch_filled_.store(0, std::memory_order_relaxed);
+  prefetch_useful_.store(0, std::memory_order_relaxed);
+  prefetch_wasted_.store(0, std::memory_order_relaxed);
+  prefetch_errors_.store(0, std::memory_order_relaxed);
 }
 
 Status BufferPool::ReadWithRetry(PageId id, Page* dest) {
@@ -319,11 +339,166 @@ Status BufferPool::EvictFrame(Shard& shard, size_t frame_idx) {
   }
   shard.lru.erase(f.lru_pos);
   f.in_lru = false;
+  NotePrefetchDiscarded(f);
   shard.table.erase(f.id);
   f.id = kInvalidPageId;
   f.dirty = false;
   shard.evictions.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void BufferPool::StartPrefetchWorkers(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  std::lock_guard<std::mutex> lock(prefetch_state_.mu);
+  if (!prefetch_state_.workers.empty()) return;
+  prefetch_state_.stop = false;
+  prefetch_state_.workers.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    prefetch_state_.workers.emplace_back([this] { PrefetchWorkerLoop(); });
+  }
+  prefetch_running_.store(true, std::memory_order_release);
+}
+
+void BufferPool::StopPrefetchWorkers() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_state_.mu);
+    if (prefetch_state_.workers.empty()) return;
+    prefetch_running_.store(false, std::memory_order_release);
+    prefetch_state_.stop = true;
+    // Pending hints die with the pool of workers.
+    prefetch_dropped_.fetch_add(prefetch_state_.queue.size(),
+                                std::memory_order_relaxed);
+    prefetch_state_.queue.clear();
+    prefetch_state_.queued.clear();
+    workers.swap(prefetch_state_.workers);
+    prefetch_state_.cv.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+  std::lock_guard<std::mutex> lock(prefetch_state_.mu);
+  prefetch_state_.stop = false;
+  prefetch_state_.idle_cv.notify_all();
+}
+
+size_t BufferPool::Prefetch(std::span<const PageId> ids) {
+  if (!prefetch_running_.load(std::memory_order_acquire)) {
+    prefetch_dropped_.fetch_add(ids.size(), std::memory_order_relaxed);
+    return 0;
+  }
+  size_t accepted = 0;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_state_.mu);
+    if (prefetch_state_.stop || prefetch_state_.workers.empty()) {
+      prefetch_dropped_.fetch_add(ids.size(), std::memory_order_relaxed);
+      return 0;
+    }
+    for (const PageId id : ids) {
+      if (id == kInvalidPageId ||
+          prefetch_state_.queue.size() >= kPrefetchQueueCapacity ||
+          !prefetch_state_.queued.insert(id).second) {
+        ++dropped;
+        continue;
+      }
+      prefetch_state_.queue.push_back(id);
+      ++accepted;
+    }
+    if (accepted > 0) {
+      if (accepted == 1) {
+        prefetch_state_.cv.notify_one();
+      } else {
+        prefetch_state_.cv.notify_all();
+      }
+    }
+  }
+  if (accepted > 0) {
+    prefetch_issued_.fetch_add(accepted, std::memory_order_relaxed);
+  }
+  if (dropped > 0) {
+    prefetch_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return accepted;
+}
+
+void BufferPool::WaitForPrefetchIdle() {
+  std::unique_lock<std::mutex> lock(prefetch_state_.mu);
+  prefetch_state_.idle_cv.wait(lock, [this] {
+    return prefetch_state_.workers.empty() ||
+           (prefetch_state_.queue.empty() && prefetch_state_.in_flight == 0);
+  });
+}
+
+void BufferPool::PrefetchWorkerLoop() {
+  for (;;) {
+    PageId id = kInvalidPageId;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_state_.mu);
+      prefetch_state_.cv.wait(lock, [this] {
+        return prefetch_state_.stop || !prefetch_state_.queue.empty();
+      });
+      if (prefetch_state_.stop) return;
+      id = prefetch_state_.queue.front();
+      prefetch_state_.queue.pop_front();
+      prefetch_state_.queued.erase(id);
+      ++prefetch_state_.in_flight;
+    }
+    PrefetchFill(id);
+    {
+      std::lock_guard<std::mutex> lock(prefetch_state_.mu);
+      --prefetch_state_.in_flight;
+      if (prefetch_state_.queue.empty() && prefetch_state_.in_flight == 0) {
+        prefetch_state_.idle_cv.notify_all();
+      }
+    }
+  }
+}
+
+void BufferPool::PrefetchFill(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  // Already resident or being filled (by a foreground miss or another
+  // worker): the hint is satisfied by residency, nothing to do.
+  if (shard.table.find(id) != shard.table.end()) return;
+  Result<size_t> victim = GetVictimFrame(shard);
+  if (!victim.ok()) {
+    // Every frame pinned (or the victim write-back failed): advisory
+    // hints are droppable, never an error the caller sees.
+    prefetch_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const size_t idx = victim.value();
+  Frame& f = shard.frames[idx];
+  f.id = id;
+  f.pin_count = 1;  // pinned only while the read is in flight
+  f.dirty = false;
+  f.in_lru = false;
+  f.io_in_progress = true;
+  f.prefetched = false;
+  shard.table[id] = idx;
+
+  lock.unlock();
+  Status io = ReadWithRetry(id, &f.page);
+  lock.lock();
+
+  f.io_in_progress = false;
+  f.pin_count = 0;
+  if (!io.ok()) {
+    // Roll back exactly like a failed foreground fill; waiters re-probe,
+    // find no mapping, and become the loader themselves.
+    shard.table.erase(id);
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    shard.free_frames.push_back(idx);
+    prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    shard.io_cv.notify_all();
+    return;
+  }
+  f.prefetched = true;
+  shard.lru.push_front(idx);
+  f.lru_pos = shard.lru.begin();
+  f.in_lru = true;
+  prefetch_filled_.fetch_add(1, std::memory_order_relaxed);
+  shard.io_cv.notify_all();
 }
 
 }  // namespace atis::storage

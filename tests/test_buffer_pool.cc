@@ -412,5 +412,225 @@ TEST(BufferPoolTest, ConcurrentStressKeepsDataAndStatsConsistent) {
   EXPECT_EQ(s.hits + s.misses, fetches.load());
 }
 
+// ---------------------------------------------------------------------------
+// Asynchronous prefetch.
+
+/// Writes `n` identifiable pages straight to disk and returns their ids
+/// (the pool has never seen them, so the first pool access is cold).
+std::vector<PageId> MakeColdPages(DiskManager& dm, size_t n) {
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = dm.AllocatePage();
+    Page p;
+    p.WriteAt<uint32_t>(0, 1000 + static_cast<uint32_t>(i));
+    EXPECT_TRUE(dm.WritePage(id, p).ok());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+TEST(BufferPoolPrefetchTest, FillsFramesWithoutCountingFetches) {
+  DiskManager dm;
+  BufferPool pool(&dm, 16, 2);
+  const std::vector<PageId> ids = MakeColdPages(dm, 8);
+
+  pool.StartPrefetchWorkers(2);
+  EXPECT_TRUE(pool.prefetch_workers_running());
+  EXPECT_EQ(pool.Prefetch(ids), ids.size());
+  pool.WaitForPrefetchIdle();
+
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.prefetch_issued, ids.size());
+  EXPECT_EQ(s.prefetch_filled, ids.size());
+  // A prefetch fill is neither a hit nor a miss.
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // Every foreground fetch now lands on a prefetched frame: all hits,
+  // each frame attributed useful exactly once, data intact, and the
+  // hits + misses == fetches invariant extends to prefetch-filled frames.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto g = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->page().ReadAt<uint32_t>(0), 1000 + i);
+  }
+  auto again = pool.FetchPage(ids[0]);  // second touch: plain hit
+  ASSERT_TRUE(again.ok());
+  s = pool.stats();
+  EXPECT_EQ(s.hits, ids.size() + 1);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits + s.misses, ids.size() + 1);
+  EXPECT_EQ(s.prefetch_useful, ids.size());
+  EXPECT_EQ(s.prefetch_wasted, 0u);
+  pool.StopPrefetchWorkers();
+}
+
+TEST(BufferPoolPrefetchTest, WithoutWorkersEveryHintIsDropped) {
+  DiskManager dm;
+  BufferPool pool(&dm, 8);
+  const std::vector<PageId> ids = MakeColdPages(dm, 3);
+  EXPECT_FALSE(pool.prefetch_workers_running());
+  EXPECT_EQ(pool.Prefetch(ids), 0u);
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.prefetch_dropped, ids.size());
+  EXPECT_EQ(s.prefetch_issued, 0u);
+  EXPECT_EQ(dm.meter().counters().blocks_read, 0u);
+}
+
+TEST(BufferPoolPrefetchTest, DuplicateAndInvalidHintsDropped) {
+  DiskManager dm;
+  BufferPool pool(&dm, 8);
+  const std::vector<PageId> ids = MakeColdPages(dm, 1);
+  pool.StartPrefetchWorkers(1);
+  const std::vector<PageId> hints = {ids[0], ids[0], kInvalidPageId};
+  // One accepted; the duplicate of the queued hint and the invalid id
+  // are dropped without any disk traffic (the whole batch is deduplicated
+  // under one queue lock, so the count is deterministic).
+  EXPECT_EQ(pool.Prefetch(hints), 1u);
+  pool.WaitForPrefetchIdle();
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.prefetch_filled, 1u);
+  EXPECT_EQ(s.prefetch_dropped, 2u);
+  pool.StopPrefetchWorkers();
+}
+
+TEST(BufferPoolPrefetchTest, AlreadyCachedPageIsNotRefilled) {
+  DiskManager dm;
+  BufferPool pool(&dm, 8);
+  const std::vector<PageId> ids = MakeColdPages(dm, 1);
+  ASSERT_TRUE(pool.FetchPage(ids[0]).ok());  // cached by the foreground
+  const uint64_t reads = dm.meter().counters().blocks_read;
+  pool.StartPrefetchWorkers(1);
+  pool.Prefetch(ids);
+  pool.WaitForPrefetchIdle();
+  EXPECT_EQ(dm.meter().counters().blocks_read, reads);
+  EXPECT_EQ(pool.stats().prefetch_filled, 0u);
+  pool.StopPrefetchWorkers();
+}
+
+TEST(BufferPoolPrefetchTest, EvictAllAttributesUnconsumedFramesAsWasted) {
+  DiskManager dm;
+  BufferPool pool(&dm, 16);
+  const std::vector<PageId> ids = MakeColdPages(dm, 4);
+  pool.StartPrefetchWorkers(2);
+  EXPECT_EQ(pool.Prefetch(ids), ids.size());
+  pool.WaitForPrefetchIdle();
+  ASSERT_TRUE(pool.FetchPage(ids[0]).ok());  // consume one
+  ASSERT_TRUE(pool.EvictAll().ok());
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.prefetch_useful, 1u);
+  EXPECT_EQ(s.prefetch_wasted, ids.size() - 1);
+  pool.StopPrefetchWorkers();
+}
+
+TEST(BufferPoolPrefetchTest, FailedFillCountsErrorAndRollsBack) {
+  DiskManager dm;
+  BufferPool pool(&dm, 8);
+  const std::vector<PageId> ids = MakeColdPages(dm, 2);
+  FaultProfile faults;
+  faults.permanent_rate = 1.0;  // every disk access fails
+  dm.SetFaultProfile(faults);
+  pool.StartPrefetchWorkers(1);
+  pool.Prefetch(ids);
+  pool.WaitForPrefetchIdle();
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.prefetch_errors, 2u);
+  EXPECT_EQ(s.prefetch_filled, 0u);
+  EXPECT_EQ(pool.num_cached(), 0u);  // failed fills left no frame behind
+  // The pool stays fully serviceable once the device recovers.
+  dm.SetFaultProfile(FaultProfile{});
+  auto g = pool.FetchPage(ids[0]);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->page().ReadAt<uint32_t>(0), 1000u);
+  pool.StopPrefetchWorkers();
+}
+
+TEST(BufferPoolPrefetchTest, ResetStatsClearsEveryCounter) {
+  DiskManager dm;
+  BufferPool pool(&dm, 16, 2);
+  const std::vector<PageId> ids = MakeColdPages(dm, 4);
+  pool.StartPrefetchWorkers(2);
+  pool.Prefetch(ids);
+  pool.WaitForPrefetchIdle();
+  ASSERT_TRUE(pool.FetchPage(ids[0]).ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  pool.Prefetch(std::vector<PageId>{kInvalidPageId});  // a dropped hint
+  pool.ResetStats();
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.dirty_writebacks, 0u);
+  EXPECT_EQ(s.read_retries, 0u);
+  EXPECT_EQ(s.retries_exhausted, 0u);
+  EXPECT_EQ(s.prefetch_issued, 0u);
+  EXPECT_EQ(s.prefetch_dropped, 0u);
+  EXPECT_EQ(s.prefetch_filled, 0u);
+  EXPECT_EQ(s.prefetch_useful, 0u);
+  EXPECT_EQ(s.prefetch_wasted, 0u);
+  EXPECT_EQ(s.prefetch_errors, 0u);
+  pool.StopPrefetchWorkers();
+}
+
+// Foreground fetches racing background fills over a shared working set;
+// under -DATIS_SANITIZE=thread this is the prefetch path's race detector.
+// Every page has deterministic content, so torn fills would be caught,
+// and the foreground invariant must hold no matter how fills interleave.
+TEST(BufferPoolPrefetchTest, ConcurrentForegroundAndPrefetchStress) {
+  constexpr size_t kPages = 48;
+  constexpr size_t kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+
+  DiskManager dm;
+  BufferPool pool(&dm, 16, 4);  // far smaller than the working set
+  const std::vector<PageId> ids = MakeColdPages(dm, kPages);
+  pool.StartPrefetchWorkers(2);
+
+  std::atomic<uint64_t> fetches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const size_t i = rng.UniformInt(kPages);
+        if (rng.UniformInt(4) == 0) {
+          pool.Prefetch(std::vector<PageId>{ids[i]});
+          continue;
+        }
+        auto g = pool.FetchPage(ids[i]);
+        if (!g.ok() ||
+            g->page().ReadAt<uint32_t>(0) != 1000 + static_cast<uint32_t>(i)) {
+          failures.fetch_add(1);
+          return;
+        }
+        fetches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  pool.WaitForPrefetchIdle();
+  pool.StopPrefetchWorkers();
+  ASSERT_EQ(failures.load(), 0);
+
+  const BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, fetches.load());
+  // Attribution is exactly-once: no frame is both useful and wasted, so
+  // the two together can never exceed the fills.
+  EXPECT_LE(s.prefetch_useful + s.prefetch_wasted, s.prefetch_filled);
+}
+
+TEST(BufferPoolPrefetchTest, StopWorkersDrainsAndStops) {
+  DiskManager dm;
+  BufferPool pool(&dm, 8);
+  pool.StartPrefetchWorkers(2);
+  pool.StopPrefetchWorkers();
+  EXPECT_FALSE(pool.prefetch_workers_running());
+  // Stopping twice (and stopping a pool that never started) is harmless.
+  pool.StopPrefetchWorkers();
+  const std::vector<PageId> ids = MakeColdPages(dm, 1);
+  EXPECT_EQ(pool.Prefetch(ids), 0u);
+}
+
 }  // namespace
 }  // namespace atis::storage

@@ -147,5 +147,71 @@ TEST(GraphIoTest, MissingFileFails) {
   EXPECT_TRUE(LoadGraphFile("/nonexistent/nope.txt").status().IsNotFound());
 }
 
+TEST(GraphIoTest, LayoutRoundTripsThroughVersion2Header) {
+  Graph g;
+  g.AddNode(0, 0);
+  g.AddNode(3, 4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5.0).ok());
+  for (const StoreLayout layout :
+       {StoreLayout::kRowOrder, StoreLayout::kHilbert}) {
+    std::stringstream ss;
+    ASSERT_TRUE(WriteGraphText(g, layout, ss).ok());
+    auto back = ReadGraphFileText(ss);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->layout, layout);
+    EXPECT_EQ(back->graph.num_nodes(), 2u);
+    EXPECT_EQ(back->graph.num_edges(), 1u);
+  }
+}
+
+TEST(GraphIoTest, Version2HeaderHasExplicitLayoutLine) {
+  Graph g;
+  g.AddNode(1, 1);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraphText(g, StoreLayout::kHilbert, ss).ok());
+  std::string magic;
+  std::string key;
+  std::string name;
+  ss >> magic >> key >> name;
+  EXPECT_EQ(magic, "ATISG2");
+  EXPECT_EQ(key, "layout");
+  EXPECT_EQ(name, "hilbert");
+}
+
+TEST(GraphIoTest, Version1FileLoadsWithRowOrderLayout) {
+  std::stringstream ss("ATISG1\n2\n0 0\n1 1\n1\n0 1 1.5\n");
+  auto back = ReadGraphFileText(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->layout, StoreLayout::kRowOrder);
+  EXPECT_EQ(back->graph.num_nodes(), 2u);
+}
+
+TEST(GraphIoTest, Version2BadLayoutNameRejected) {
+  std::stringstream ss("ATISG2\nlayout zorder\n1\n0 0\n0\n");
+  EXPECT_TRUE(ReadGraphFileText(ss).status().IsCorruption());
+}
+
+TEST(GraphIoTest, Version2MissingLayoutLineRejected) {
+  std::stringstream ss("ATISG2\n1\n0 0\n0\n");
+  EXPECT_TRUE(ReadGraphFileText(ss).status().IsCorruption());
+}
+
+TEST(GraphIoTest, FileSaveLoadCarriesLayout) {
+  Graph g;
+  g.AddNode(1, 2);
+  g.AddNode(4, 6);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5.0).ok());
+  const std::string path =
+      ::testing::TempDir() + "/atis_graph_layout_test.txt";
+  ASSERT_TRUE(SaveGraphFile(g, StoreLayout::kHilbert, path).ok());
+  auto back = LoadGraphFileWithLayout(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->layout, StoreLayout::kHilbert);
+  // The plain loader still reads the graph and drops the layout.
+  auto plain = LoadGraphFile(path);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->num_nodes(), 2u);
+}
+
 }  // namespace
 }  // namespace atis::graph

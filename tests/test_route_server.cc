@@ -335,6 +335,50 @@ TEST(RouteServerLandmarkTest, Version4WithoutLandmarksFailsPerQuery) {
   EXPECT_FALSE(batch->front().status.ok());
 }
 
+TEST(RouteServerLayoutTest, HilbertWithPrefetchMatchesPaperModeServer) {
+  // Physical knobs only: a Hilbert-clustered pool with background
+  // prefetch workers under concurrent load must answer every query
+  // exactly like the paper-mode server. (Under -DATIS_SANITIZE=thread
+  // this also races the prefetch fills against four serving workers.)
+  const graph::Graph g = MakeGrid(12);
+  const std::vector<RouteQuery> queries = CornerQueries(12, 24);
+
+  RouteServer::Options paper;
+  paper.num_workers = 4;
+  RouteServer reference(g, paper);
+  ASSERT_TRUE(reference.init_status().ok());
+  auto expected = reference.ServeBatch(queries);
+  ASSERT_TRUE(expected.ok());
+
+  RouteServer::Options clustered;
+  clustered.num_workers = 4;
+  clustered.layout = graph::StoreLayout::kHilbert;
+  clustered.prefetch_depth = 8;
+  clustered.prefetch_workers = 2;
+  RouteServer server(g, clustered);
+  ASSERT_TRUE(server.init_status().ok());
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  // Repeat the batch so prefetched frames from the first pass are either
+  // consumed or recycled while new hints stream in.
+  auto repeat = server.ServeBatch(queries);
+  ASSERT_TRUE(repeat.ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (const auto* got : {&(*batch)[i], &(*repeat)[i]}) {
+      ASSERT_TRUE(got->status.ok()) << "query " << i;
+      EXPECT_EQ(got->result.found, (*expected)[i].result.found);
+      EXPECT_EQ(got->result.cost, (*expected)[i].result.cost)
+          << "query " << i;  // bit-identical, no epsilon
+      EXPECT_EQ(got->result.path, (*expected)[i].result.path);
+      EXPECT_EQ(got->result.stats.iterations,
+                (*expected)[i].result.stats.iterations);
+    }
+  }
+  // The hints must actually reach the pool under serving load.
+  EXPECT_GT(server.pool().stats().prefetch_issued, 0u);
+}
+
 TEST(RouteServerTest, DiskLatencyModelIsInstalled) {
   const graph::Graph g = MakeGrid(5);
   RouteServer::Options opt;
