@@ -29,6 +29,7 @@
 #include "core/route_server.h"
 #include "graph/road_map_generator.h"
 #include "harness.h"
+#include "obs/slo.h"
 #include "util/random.h"
 
 namespace atis::bench {
@@ -67,6 +68,12 @@ struct ConfigResult {
   uint64_t faults_injected = 0;
   uint64_t read_retries = 0;
   uint64_t deadline_hits = 0;  ///< degraded answers caused by the deadline
+  /// The server's own rolling 10s SLO window, snapshotted right after the
+  /// measured batch — the availability figure a live scrape would report,
+  /// as opposed to `availability` computed offline from the responses.
+  /// (The warm-up batch also lands in the window, so `windowed.total`
+  /// exceeds the measured batch size and the two figures may differ.)
+  obs::SloWindows::Window windowed;
 };
 
 std::vector<core::RouteQuery> MakeQueries(const graph::Graph& g, size_t n) {
@@ -111,6 +118,7 @@ ConfigResult RunConfig(const graph::Graph& g, const ChaosConfig& chaos,
   opt.default_deadline_ms = kDeadlineMs;
   opt.retry.max_attempts = kRetryAttempts;
   opt.retry.initial_backoff_micros = kRetryBackoffMicros;
+  opt.obs.enable_slo = true;  // windowed availability joins the report
   core::RouteServer server(g, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "fatal: server init failed: %s\n",
@@ -193,6 +201,9 @@ ConfigResult RunConfig(const graph::Graph& g, const ChaosConfig& chaos,
                  : static_cast<double>(reads + out.read_retries) /
                        static_cast<double>(reads);
   out.faults_injected = server.disk().faults_injected() - faults_before;
+  // The trailing 10s window spans warm-up + measured batch (both finish
+  // well inside it); index 0 of Snapshot() is the 10s window.
+  out.windowed = server.slo()->Snapshot().front();
   return out;
 }
 
@@ -274,6 +285,16 @@ void EmitJson(const std::vector<MapRun>& runs, const std::string& path) {
       w.Field("retry_amplification", r.retry_amplification);
       w.Field("read_retries", r.read_retries);
       w.Field("faults_injected", r.faults_injected);
+      w.Key("slo_window_10s").BeginObject();
+      w.Field("total", r.windowed.total);
+      w.Field("errors", r.windowed.errors);
+      w.Field("degraded", r.windowed.degraded);
+      w.Field("shed", r.windowed.shed);
+      w.Field("availability", r.windowed.availability);
+      w.Field("burn_rate", r.windowed.burn_rate);
+      w.Field("p50_ms", 1e3 * r.windowed.p50_seconds);
+      w.Field("p99_ms", 1e3 * r.windowed.p99_seconds);
+      w.EndObject();
       w.EndObject();
     }
     w.EndArray();

@@ -14,12 +14,16 @@
 // (override the path with argv[1]) for machine consumption. Every
 // configuration is checked for result parity against the 1-worker run:
 // concurrency must not change a single path cost.
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "core/route_server.h"
 #include "graph/road_map_generator.h"
 #include "harness.h"
+#include "obs/http_exporter.h"
+#include "obs/trace_ring.h"
 #include "util/random.h"
 
 namespace atis::bench {
@@ -38,11 +42,18 @@ constexpr uint32_t kWriteMicros = 250;
 /// because latency is dominated by the simulated per-block sleeps).
 struct Params {
   bool quick = false;
+  /// Serve with full observability on (1-in-64 trace sampling, SLO
+  /// windows, live /metrics endpoint) while a scraper thread polls the
+  /// endpoint — the measured QPS then *includes* the observability tax,
+  /// and the unchanged check_perf.py gate proves the hot path is
+  /// unperturbed.
+  bool obs = false;
   size_t queries_per_batch = 64;
   std::vector<size_t> worker_counts = {1, 2, 4, 8};
 
-  static Params ForMode(bool quick) {
+  static Params ForMode(bool quick, bool obs) {
     Params p;
+    p.obs = obs;
     if (quick) {
       p.quick = true;
       p.queries_per_batch = 16;
@@ -51,6 +62,8 @@ struct Params {
     return p;
   }
 };
+
+constexpr uint64_t kObsSampleEvery = 64;
 
 struct ConfigResult {
   size_t workers = 0;
@@ -61,6 +74,9 @@ struct ConfigResult {
   double p99_ms = 0.0;
   double speedup = 1.0;  // qps / single-worker qps
   uint64_t blocks_read = 0;
+  // --obs mode only: scraper + sampling activity during the measured batch.
+  uint64_t scrapes = 0;
+  uint64_t traces_appended = 0;
 };
 
 std::vector<core::RouteQuery> MakeQueries(const graph::Graph& g, size_t n) {
@@ -84,17 +100,50 @@ std::vector<core::RouteQuery> MakeQueries(const graph::Graph& g, size_t n) {
 /// one unmeasured warm-up batch). Path costs land in `costs`.
 ConfigResult RunConfig(const graph::Graph& g, size_t workers,
                        const std::vector<core::RouteQuery>& queries,
-                       std::vector<double>& costs) {
+                       std::vector<double>& costs, bool obs) {
   core::RouteServer::Options opt;
   opt.num_workers = workers;
   opt.pool_frames = kFramesPerWorker * workers;
   opt.disk_latency.read_micros = kReadMicros;
   opt.disk_latency.write_micros = kWriteMicros;
+  if (obs) {
+    opt.obs.sample_every = kObsSampleEvery;
+    opt.obs.trace_dir = "bench-traces";
+    opt.obs.enable_slo = true;
+  }
   core::RouteServer server(g, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "fatal: server init failed: %s\n",
                  server.init_status().ToString().c_str());
     std::abort();
+  }
+
+  // In --obs mode a live exporter serves the registry and a scraper
+  // thread polls it throughout — contention with a real Prometheus
+  // scrape, not an idle endpoint.
+  std::unique_ptr<obs::HttpExporter> exporter;
+  std::thread scraper;
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  if (obs) {
+    obs::HttpExporter::Options eopt;
+    eopt.statusz = [&server] { return server.StatuszJson(); };
+    eopt.refresh = [&server] { server.RefreshObsGauges(); };
+    auto started = obs::HttpExporter::Start(std::move(eopt));
+    if (!started.ok()) {
+      std::fprintf(stderr, "fatal: exporter failed: %s\n",
+                   started.status().ToString().c_str());
+      std::abort();
+    }
+    exporter = std::move(started).value();
+    scraper = std::thread([&, port = exporter->port()] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        const bool ok = obs::HttpGet("127.0.0.1", port, "/metrics").ok() &&
+                        obs::HttpGet("127.0.0.1", port, "/statusz").ok();
+        if (ok) scrapes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
   }
 
   auto serve = [&] {
@@ -116,6 +165,13 @@ ConfigResult RunConfig(const graph::Graph& g, size_t workers,
           .count();
 
   ConfigResult out;
+  if (obs) {
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    exporter->Stop();
+    out.scrapes = scrapes.load(std::memory_order_relaxed);
+    out.traces_appended = server.trace_ring()->appended();
+  }
   out.workers = workers;
   out.elapsed_seconds = elapsed;
   out.qps = static_cast<double>(queries.size()) / elapsed;
@@ -157,7 +213,7 @@ MapRun RunMap(const std::string& name, const graph::Graph& g,
   std::vector<double> baseline_costs;
   for (size_t workers : params.worker_counts) {
     std::vector<double> costs;
-    ConfigResult r = RunConfig(g, workers, queries, costs);
+    ConfigResult r = RunConfig(g, workers, queries, costs, params.obs);
     if (workers == 1) {
       baseline_costs = costs;
     } else {
@@ -198,6 +254,14 @@ void PrintMap(const MapRun& run, const Params& params) {
                   static_cast<unsigned long long>(r.blocks_read));
     PrintRow(std::to_string(r.workers), {qps, sp, p50, p95, p99, blocks});
   }
+  if (params.obs) {
+    for (const ConfigResult& r : run.configs) {
+      std::printf("  %zu workers: %llu live scrapes, %llu traces "
+                  "persisted during the measured batch\n",
+                  r.workers, static_cast<unsigned long long>(r.scrapes),
+                  static_cast<unsigned long long>(r.traces_appended));
+    }
+  }
 }
 
 void EmitJson(const std::vector<MapRun>& runs, const Params& params,
@@ -206,6 +270,8 @@ void EmitJson(const std::vector<MapRun>& runs, const Params& params,
   BeginBenchJson(w, "throughput");
   w.Field("seed", kSeed);
   w.Field("quick", params.quick);
+  w.Field("obs", params.obs);
+  if (params.obs) w.Field("obs_sample_every", kObsSampleEvery);
   w.Field("queries_per_batch", params.queries_per_batch);
   w.Field("frames_per_worker", kFramesPerWorker);
   w.Key("disk_latency_micros").BeginObject();
@@ -229,6 +295,10 @@ void EmitJson(const std::vector<MapRun>& runs, const Params& params,
       w.Field("p99_ms", r.p99_ms);
       w.Field("elapsed_seconds", r.elapsed_seconds);
       w.Field("blocks_read", r.blocks_read);
+      if (params.obs) {
+        w.Field("scrapes", r.scrapes);
+        w.Field("traces_appended", r.traces_appended);
+      }
       w.EndObject();
     }
     w.EndArray();
@@ -238,14 +308,20 @@ void EmitJson(const std::vector<MapRun>& runs, const Params& params,
   FinishBenchFile(w, path);
 }
 
-void Run(const std::string& json_path, bool quick) {
-  const Params params = Params::ForMode(quick);
+void Run(const std::string& json_path, bool quick, bool obs) {
+  const Params params = Params::ForMode(quick, obs);
   PrintHeader("Throughput: concurrent route serving",
               "QPS and latency percentiles vs worker count; shared sharded "
               "buffer pool,\nshared metered disk with simulated block "
               "latency (I/O-bound regime, so the\nspeedup comes from "
               "overlapped block waits, not CPU parallelism). Answers\nare "
               "checked identical across worker counts.");
+  if (params.obs) {
+    std::printf("\nobservability ON: 1-in-%llu trace sampling, SLO "
+                "windows, and a live\n/metrics endpoint scraped "
+                "concurrently by a polling thread.\n",
+                static_cast<unsigned long long>(kObsSampleEvery));
+  }
 
   std::vector<MapRun> runs;
   runs.push_back(RunMap("grid30_uniform",
@@ -278,15 +354,18 @@ void Run(const std::string& json_path, bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool obs = false;
   std::string json_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--obs") {
+      obs = true;
     } else {
       json_path = arg;
     }
   }
-  atis::bench::Run(json_path, quick);
+  atis::bench::Run(json_path, quick, obs);
   return 0;
 }

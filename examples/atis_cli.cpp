@@ -37,9 +37,12 @@
 #include "graph/relational_graph.h"
 #include "graph/road_map_generator.h"
 #include "graph/svg_export.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/storage_collectors.h"
 #include "obs/trace.h"
+#include "obs/trace_ring.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -63,6 +66,8 @@ int Usage(const char* argv0) {
       " [--latency=READ_US,WRITE_US] [--landmarks=K] [--cache[=CAPACITY]]"
       " [--fault-rate=P] [--deadline-ms=MS] [--degraded]"
       " [--layout=roworder|hilbert] [--prefetch-depth=K]"
+      " [--obs-port=P] [--sample-every=N] [--trace-dir=DIR]"
+      " [--slow-query-ms=MS] [--slow-query-log=FILE] [--repeat=N]"
       " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
@@ -84,7 +89,15 @@ int Usage(const char* argv0) {
       "the layout recorded in an ATISG2 file, else roworder; hilbert\n"
       "clusters spatially-near tuples into shared blocks),\n"
       "--prefetch-depth=K prefetches adjacency pages of the top-K\n"
-      "frontier nodes on background workers (0 = off).\n",
+      "frontier nodes on background workers (0 = off).\n"
+      "serve observability: --obs-port=P serves /metrics, /metrics.json,\n"
+      "/healthz and /statusz on 127.0.0.1:P while the batch runs (P=0\n"
+      "binds an ephemeral port, printed on startup), --sample-every=N\n"
+      "persists every Nth query's span tree (plus every slow, degraded,\n"
+      "or errored one) to --trace-dir (default atis-traces),\n"
+      "--slow-query-ms=MS appends queries at or over MS to the JSONL\n"
+      "--slow-query-log (default slow_queries.jsonl), --repeat=N serves\n"
+      "the batch N times (keeps the endpoint up for scrapes).\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -396,6 +409,12 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   size_t prefetch_depth = 0;
   bool layout_flag = false;
   graph::StoreLayout layout = graph::StoreLayout::kRowOrder;
+  int obs_port = -1;  // -1 = no exporter; 0 = ephemeral
+  uint64_t sample_every = 0;
+  double slow_query_ms = 0.0;
+  std::string trace_dir = "atis-traces";
+  std::string slow_query_log = "slow_queries.jsonl";
+  size_t repeat = 1;
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -462,6 +481,37 @@ int CmdServe(int argc, char** argv, const char* argv0) {
         return 2;
       }
       prefetch_depth = static_cast<size_t>(k);
+    } else if (arg.rfind("--obs-port=", 0) == 0) {
+      const int p = std::atoi(arg.c_str() + 11);
+      if (p < 0 || p > 65535) {
+        std::fprintf(stderr, "--obs-port wants a port in [0, 65535]\n");
+        return 2;
+      }
+      obs_port = p;
+    } else if (arg.rfind("--sample-every=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 15);
+      if (n <= 0) {
+        std::fprintf(stderr, "--sample-every wants a positive N\n");
+        return 2;
+      }
+      sample_every = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      trace_dir = arg.substr(12);
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      slow_query_ms = std::atof(arg.c_str() + 16);
+      if (slow_query_ms <= 0.0) {
+        std::fprintf(stderr, "--slow-query-ms wants a positive threshold\n");
+        return 2;
+      }
+    } else if (arg.rfind("--slow-query-log=", 0) == 0) {
+      slow_query_log = arg.substr(17);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 9);
+      if (n <= 0) {
+        std::fprintf(stderr, "--repeat wants a positive count\n");
+        return 2;
+      }
+      repeat = static_cast<size_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -515,6 +565,12 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     opt.fault_profile.transient_rate = fault_rate;
     opt.retry.max_attempts = 4;  // absorb most transient faults in place
   }
+  opt.obs.sample_every = sample_every;
+  opt.obs.trace_dir = trace_dir;
+  opt.obs.slow_query_ms = slow_query_ms;
+  opt.obs.slow_query_log_path = slow_query_log;
+  // Rolling SLO windows only earn their mutex when someone can read them.
+  opt.obs.enable_slo = obs_port >= 0;
   core::RouteServer server(served_graph, opt);
   if (!server.init_status().ok()) {
     std::fprintf(stderr, "%s\n", server.init_status().ToString().c_str());
@@ -525,12 +581,39 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   obs::RegisterStorageCollectors(obs::MetricsRegistry::Default(),
                                  &server.disk(), &server.pool());
 
+  // Declared after `server` so the exporter (whose callbacks reach into
+  // the server) is destroyed first.
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (obs_port >= 0) {
+    obs::HttpExporter::Options eopt;
+    eopt.port = static_cast<uint16_t>(obs_port);
+    eopt.statusz = [&server] { return server.StatuszJson(); };
+    eopt.refresh = [&server] { server.RefreshObsGauges(); };
+    auto started_exporter = obs::HttpExporter::Start(std::move(eopt));
+    if (!started_exporter.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   started_exporter.status().ToString().c_str());
+      return 1;
+    }
+    exporter = std::move(started_exporter).value();
+    // Parsed by scripts (check_metrics.py): keep the format stable.
+    std::printf("obs exporter listening on %s:%u\n",
+                exporter->host().c_str(), exporter->port());
+    std::fflush(stdout);
+  }
+
   const auto started = std::chrono::steady_clock::now();
-  auto batch = server.ServeBatch(queries);
+  Result<std::vector<core::RouteResponse>> batch =
+      std::vector<core::RouteResponse>();
+  for (size_t round = 0; round < repeat; ++round) {
+    batch = server.ServeBatch(queries);
+    if (!batch.ok()) break;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
-          .count();
+          .count() /
+      static_cast<double>(repeat);
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
@@ -565,6 +648,19 @@ int CmdServe(int argc, char** argv, const char* argv0) {
                 (unsigned long long)cs.stale_evictions,
                 server.cache()->size());
   }
+  if (server.trace_ring() != nullptr) {
+    std::printf("traces: %llu span trees in %s (1 in %llu sampled)\n",
+                (unsigned long long)server.trace_ring()->appended(),
+                server.trace_ring()->directory().c_str(),
+                (unsigned long long)sample_every);
+  }
+  if (server.slow_query_log() != nullptr) {
+    std::printf("slow queries (>= %.1fms): %llu logged to %s\n",
+                slow_query_ms,
+                (unsigned long long)server.slow_query_log()
+                    ->records_written(),
+                server.slow_query_log()->path().c_str());
+  }
 
   if (!json_file.empty()) {
     std::ostringstream out;
@@ -587,11 +683,12 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     out << "\n  ]\n}\n";
     if (!WriteFileOrStdout(json_file, out.str())) return 1;
   }
-  if (!metrics_file.empty() &&
-      !WriteFileOrStdout(metrics_file,
-                         obs::MetricsRegistry::Default()
-                             .ToPrometheusText())) {
-    return 1;
+  if (!metrics_file.empty()) {
+    server.RefreshObsGauges();  // SLO windows / uptime join the dump
+    if (!WriteFileOrStdout(metrics_file, obs::MetricsRegistry::Default()
+                                             .ToPrometheusText())) {
+      return 1;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

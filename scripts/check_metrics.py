@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Metrics endpoint lint: start `atis_cli serve --obs-port=0`, scrape it,
+and validate what comes back.
+
+Usage: check_metrics.py ATIS_CLI_BINARY [--workdir DIR]
+
+Checks, in order:
+  1. /metrics parses as Prometheus text exposition format (0.0.4): every
+     series line is NAME{LABELS} VALUE, every series is preceded by its
+     # TYPE, no duplicate (name, labels) series, histogram buckets are
+     cumulative and end in an +Inf bucket matching _count.
+  2. Counter monotonicity: a second scrape taken after more queries ran
+     never shows a counter below the first scrape's value.
+  3. /healthz is a JSON object with status == "ok" and a positive uptime.
+  4. /statusz is a JSON object carrying workers / buffer_pool / slo
+     sections with sane ranges (ratios in [0,1], non-negative counts).
+  5. /metrics.json parses and names the same families as the text form.
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+SERIES_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|[+-]Inf|NaN)$')
+LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(msg):
+    print(f"FAIL {msg}")
+    return False
+
+
+def parse_exposition(text):
+    """Returns ({(name, labels_tuple): value}, {family: type}) or None."""
+    series, types = {}, {}
+    ok = True
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                ok = fail(f"/metrics line {lineno}: malformed TYPE: {line}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SERIES_RE.match(line)
+        if not m:
+            ok = fail(f"/metrics line {lineno}: unparsable series: {line!r}")
+            continue
+        name, labels_str, value = m.group(1), m.group(2) or "", m.group(3)
+        labels = tuple(sorted(LABELS_RE.findall(labels_str)))
+        key = (name, labels)
+        if key in series:
+            ok = fail(f"/metrics line {lineno}: duplicate series {key}")
+        series[key] = float(value.replace("Inf", "inf"))
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and family not in types:
+            ok = fail(f"/metrics line {lineno}: series {name} has no "
+                      f"preceding # TYPE")
+    return (series, types) if ok else None
+
+
+def check_histograms(series, types):
+    ok = True
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        # Group buckets by their non-le labels.
+        groups = {}
+        for (name, labels), value in series.items():
+            if name != family + "_bucket":
+                continue
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            le = dict(labels).get("le")
+            groups.setdefault(rest, []).append((float(
+                le.replace("+Inf", "inf")), value))
+        for rest, buckets in groups.items():
+            buckets.sort()
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                ok = fail(f"{family}{dict(rest)}: buckets not cumulative")
+            if buckets[-1][0] != float("inf"):
+                ok = fail(f"{family}{dict(rest)}: missing +Inf bucket")
+            count = series.get((family + "_count", rest))
+            if count is not None and buckets[-1][1] != count:
+                ok = fail(f"{family}{dict(rest)}: +Inf bucket "
+                          f"{buckets[-1][1]} != _count {count}")
+    return ok
+
+
+def scrape(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10) as r:
+        return r.read().decode()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("atis_cli")
+    ap.add_argument("--workdir", default=None,
+                    help="scratch dir (default: a fresh temp dir)")
+    args = ap.parse_args()
+    cli = os.path.abspath(args.atis_cli)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="check_metrics.")
+    os.makedirs(workdir, exist_ok=True)
+
+    graph = os.path.join(workdir, "map.atis")
+    queries = os.path.join(workdir, "queries.txt")
+    subprocess.run([cli, "generate", "grid", "12", "uniform", graph],
+                   check=True, capture_output=True)
+    with open(queries, "w") as f:
+        for i in range(1, 11):
+            f.write(f"{i} {143 - i} astar3\n")
+
+    # Large --repeat keeps the endpoint alive for both scrapes; --latency
+    # slows each batch so queries are still flowing between them.
+    server = subprocess.Popen(
+        [cli, "serve", graph, f"--queries={queries}", "--workers=2",
+         "--cache", "--obs-port=0", "--repeat=100000",
+         "--latency=200,200", "--sample-every=8",
+         f"--trace-dir={workdir}/traces", "--slow-query-ms=5",
+         f"--slow-query-log={workdir}/slow.jsonl"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=workdir)
+    try:
+        # The port line is printed (and flushed) before serving starts.
+        line = server.stdout.readline()
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if not m:
+            print(f"FAIL no exporter port line, got: {line!r}")
+            return 1
+        port = int(m.group(1))
+        print(f"exporter up on port {port}")
+
+        ok = True
+
+        text1 = scrape(port, "/metrics")
+        parsed = parse_exposition(text1)
+        if parsed is None:
+            return 1
+        series1, types1 = parsed
+        print(f"scrape 1: {len(series1)} series in "
+              f"{len(types1)} families — exposition format ok")
+        ok &= check_histograms(series1, types1)
+
+        time.sleep(1.0)  # let more batches through
+
+        text2 = scrape(port, "/metrics")
+        parsed = parse_exposition(text2)
+        if parsed is None:
+            return 1
+        series2, types2 = parsed
+        ok &= check_histograms(series2, types2)
+
+        regressions = 0
+        for (name, labels), v1 in series1.items():
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            if types1.get(family) != "counter" and not re.search(
+                    r"_(bucket|count)$", name):
+                continue
+            v2 = series2.get((name, labels))
+            if v2 is not None and v2 < v1:
+                ok = fail(f"counter went backwards: {name}{dict(labels)} "
+                          f"{v1} -> {v2}")
+                regressions += 1
+        print(f"scrape 2: {len(series2)} series; counter monotonicity ok "
+              f"({regressions} regressions)")
+
+        health = json.loads(scrape(port, "/healthz"))
+        if health.get("status") != "ok" or health.get(
+                "uptime_seconds", -1) <= 0:
+            ok = fail(f"/healthz unhealthy: {health}")
+        else:
+            print(f"/healthz ok (uptime {health['uptime_seconds']:.1f}s)")
+
+        status = json.loads(scrape(port, "/statusz"))
+        for section in ("workers", "buffer_pool", "slo", "build"):
+            if section not in status:
+                ok = fail(f"/statusz missing section {section!r}")
+        if not isinstance(status.get("workers"), list) or not all(
+                w["breaker"]["state"] in ("closed", "open", "half-open")
+                for w in status.get("workers", [])):
+            ok = fail(f"/statusz workers malformed: {status.get('workers')}")
+        for w in status.get("slo", {}).get("windows", []):
+            if not (0.0 <= w["availability"] <= 1.0) or w["qps"] < 0:
+                ok = fail(f"/statusz slo window out of range: {w}")
+        if ok:
+            print(f"/statusz ok ({len(status.get('workers', []))} workers, "
+                  f"{len(status.get('slo', {}).get('windows', []))} "
+                  "SLO windows)")
+
+        mjson = json.loads(scrape(port, "/metrics.json"))
+        json_names = set()
+        for kind in ("counters", "gauges", "histograms"):
+            json_names |= {m["name"] for m in mjson.get(kind, [])}
+        # Text-only derived families (histogram _pNN gauges) are expected;
+        # every JSON family must exist in the text form.
+        text_families = set(types2)
+        missing = json_names - text_families
+        if missing:
+            ok = fail(f"/metrics.json families absent from /metrics: "
+                      f"{sorted(missing)}")
+        else:
+            print(f"/metrics.json ok ({len(json_names)} families)")
+
+        if not ok:
+            return 1
+        print("\nmetrics lint passed")
+        return 0
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,17 @@
 #include <string>
 #include <utility>
 
+#include <cmath>
+#include <sstream>
+
 #include "core/landmarks.h"
 #include "core/memory_search.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/slo.h"
+#include "graph/spatial_layout.h"
+#include "obs/trace.h"
+#include "obs/trace_ring.h"
 
 namespace atis::core {
 
@@ -118,6 +126,58 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
         "Route queries shed by admission control (kResourceExhausted)");
   }
 
+  // Observability: trace sampling, slow-query log, SLO windows. A broken
+  // obs configuration fails construction the same way a broken replica
+  // does — a server you cannot observe as configured should not serve.
+  started_ = std::chrono::steady_clock::now();
+  if (options.obs.sample_every > 0) {
+    if (options.obs.trace_dir.empty()) {
+      init_status_ = Status::InvalidArgument(
+          "RouteServer: obs.sample_every > 0 requires obs.trace_dir");
+      return;
+    }
+    obs::TraceRing::Options ring;
+    ring.directory = options.obs.trace_dir;
+    ring.capacity = options.obs.trace_ring_capacity;
+    auto opened = obs::TraceRing::Open(std::move(ring));
+    if (!opened.ok()) {
+      init_status_ = opened.status();
+      return;
+    }
+    trace_ring_ = std::move(opened).value();
+    sampler_ = std::make_unique<obs::TraceSampler>(options.obs.sample_every);
+    traces_sampled_ = &obs::MetricsRegistry::Default().GetCounter(
+        "atis_server_traces_sampled_total",
+        "Query span trees persisted to the trace ring (head-sampled or "
+        "forced by a slow/degraded/errored query)");
+  }
+  if (options.obs.slow_query_ms > 0.0) {
+    if (options.obs.slow_query_log_path.empty()) {
+      init_status_ = Status::InvalidArgument(
+          "RouteServer: obs.slow_query_ms > 0 requires "
+          "obs.slow_query_log_path");
+      return;
+    }
+    obs::SlowQueryLog::Options log;
+    log.path = options.obs.slow_query_log_path;
+    log.threshold_ms = options.obs.slow_query_ms;
+    log.max_bytes = options.obs.slow_query_log_max_bytes;
+    auto opened = obs::SlowQueryLog::Open(std::move(log));
+    if (!opened.ok()) {
+      init_status_ = opened.status();
+      return;
+    }
+    slow_log_ = std::move(opened).value();
+    slow_queries_ = &obs::MetricsRegistry::Default().GetCounter(
+        "atis_server_slow_queries_total",
+        "Queries at or over the slow-query threshold");
+  }
+  if (options.obs.enable_slo) {
+    obs::SloWindows::Options slo;
+    slo.availability_target = options.obs.availability_target;
+    slo_ = std::make_unique<obs::SloWindows>(std::move(slo));
+  }
+
   for (size_t w = 0; w < options.num_workers; ++w) {
     breakers_.push_back(std::make_unique<CircuitBreaker>(options.breaker));
   }
@@ -174,6 +234,12 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
     responses[i].status = Status::ResourceExhausted(
         "route server saturated: query shed by admission control");
     admission_shed_->Increment();
+    // Shed queries count against availability: the traveller asked and got
+    // nothing, however deliberate the refusal.
+    if (slo_) {
+      slo_->Record({.latency_seconds = 0.0, .ok = false, .degraded = false,
+                    .shed = true});
+    }
   }
 
   {
@@ -286,6 +352,113 @@ bool RouteServer::ServeDegraded(const RouteQuery& q,
   return true;
 }
 
+void RouteServer::RefreshObsGauges() {
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetGauge("atis_server_uptime_seconds",
+               "Seconds since the route server finished construction")
+      .Set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+               .count());
+  if (slo_) slo_->PublishGauges(reg);
+}
+
+std::string RouteServer::StatuszJson() {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch_ != nullptr && next_ < limit_) queue_depth = limit_ - next_;
+  }
+  out << "{\"uptime_seconds\":" << uptime
+      << ",\"num_workers\":" << engines_.size()
+      << ",\"queue_depth\":" << queue_depth << ",\"build\":{\"layout\":\""
+      << graph::StoreLayoutName(options_.layout)
+      << "\",\"prefetch_depth\":" << options_.prefetch_depth
+      << ",\"num_landmarks\":" << options_.num_landmarks
+      << ",\"default_deadline_ms\":" << options_.default_deadline_ms
+      << ",\"degraded_enabled\":"
+      << (options_.enable_degraded ? "true" : "false") << "}";
+
+  out << ",\"workers\":[";
+  for (size_t w = 0; w < breakers_.size(); ++w) {
+    const CircuitBreaker::Stats bs = breakers_[w]->stats();
+    out << (w == 0 ? "" : ",") << "{\"id\":" << w << ",\"breaker\":{"
+        << "\"state\":\"" << CircuitBreakerStateName(breakers_[w]->state())
+        << "\",\"opened\":" << bs.opened << ",\"probes\":" << bs.probes
+        << ",\"rejected\":" << bs.rejected << "}}";
+  }
+  out << "]";
+
+  if (cache_) {
+    const RouteCache::Stats cs = cache_->stats();
+    const uint64_t lookups = cs.hits + cs.misses;
+    out << ",\"cache\":{\"size\":" << cache_->size()
+        << ",\"epoch\":" << cache_->epoch() << ",\"hits\":" << cs.hits
+        << ",\"misses\":" << cs.misses << ",\"hit_ratio\":"
+        << (lookups > 0 ? static_cast<double>(cs.hits) /
+                              static_cast<double>(lookups)
+                        : 0.0)
+        << ",\"stale_evictions\":" << cs.stale_evictions
+        << ",\"stale_serves\":" << cs.stale_serves << "}";
+  }
+
+  const storage::BufferPoolStats ps = pool_->stats();
+  const uint64_t accesses = ps.hits + ps.misses;
+  out << ",\"buffer_pool\":{\"hits\":" << ps.hits
+      << ",\"misses\":" << ps.misses << ",\"hit_ratio\":"
+      << (accesses > 0
+              ? static_cast<double>(ps.hits) / static_cast<double>(accesses)
+              : 0.0)
+      << ",\"evictions\":" << ps.evictions
+      << ",\"read_retries\":" << ps.read_retries
+      << ",\"prefetch\":{\"issued\":" << ps.prefetch_issued
+      << ",\"filled\":" << ps.prefetch_filled
+      << ",\"useful\":" << ps.prefetch_useful
+      << ",\"wasted\":" << ps.prefetch_wasted
+      << ",\"dropped\":" << ps.prefetch_dropped << "}}";
+
+  if (trace_ring_) {
+    out << ",\"traces\":{\"directory\":\""
+        << obs::EscapeJson(trace_ring_->directory())
+        << "\",\"appended\":" << trace_ring_->appended()
+        << ",\"capacity\":" << trace_ring_->capacity()
+        << ",\"sample_every\":" << options_.obs.sample_every << "}";
+  }
+  if (slow_log_) {
+    out << ",\"slow_query_log\":{\"path\":\""
+        << obs::EscapeJson(slow_log_->path())
+        << "\",\"threshold_ms\":" << slow_log_->threshold_ms()
+        << ",\"records\":" << slow_log_->records_written() << "}";
+  }
+  if (slo_) {
+    out << ",\"slo\":{\"availability_target\":"
+        << slo_->availability_target() << ",\"windows\":[";
+    bool first = true;
+    for (const obs::SloWindows::Window& w : slo_->Snapshot()) {
+      out << (first ? "" : ",") << "{\"window\":\"" << w.name
+          << "\",\"total\":" << w.total << ",\"errors\":" << w.errors
+          << ",\"degraded\":" << w.degraded << ",\"shed\":" << w.shed
+          << ",\"qps\":" << w.qps << ",\"availability\":" << w.availability
+          // An infinite burn (target == 1.0) has no JSON spelling; clamp.
+          << ",\"burn_rate\":"
+          << (std::isfinite(w.burn_rate) ? w.burn_rate : 1e12)
+          << ",\"p50_ms\":" << w.p50_seconds * 1000.0
+          << ",\"p95_ms\":" << w.p95_seconds * 1000.0
+          << ",\"p99_ms\":" << w.p99_seconds * 1000.0 << "}";
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "}";
+  return out.str();
+}
+
 RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
                                   const RouteQuery& q) {
   RouteResponse resp;
@@ -298,8 +471,33 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
   const Deadline deadline =
       deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms) : Deadline();
 
+  // Mirror every block this thread touches into resp.io: exact per-query
+  // accounting even though the disk (and its meter) are shared. The scope
+  // covers the whole query so a sampled tracer reading &resp.io sees a
+  // monotone per-thread counter and every span delta stays non-negative.
+  storage::IoMeter::ScopedThreadCounters io_scope(&resp.io);
+
+  // When sampling is configured every query runs traced — the span
+  // bookkeeping is pointer bumps next to metered block reads — but only
+  // head-sampled, slow, degraded, or errored trees reach the ring. (A
+  // trace cannot be begun retroactively once the query turns out slow.)
+  const bool head_sampled = sampler_ != nullptr && sampler_->Sample();
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::Tracer::InstallScope> install;
+  obs::TraceSpan* root = nullptr;
+  if (sampler_ != nullptr) {
+    tracer = std::make_unique<obs::Tracer>(&resp.io);
+    install = std::make_unique<obs::Tracer::InstallScope>(tracer.get());
+    root = tracer->BeginSpan("query", "query");
+    root->Tag("worker", std::to_string(worker_id));
+    root->Tag("source", std::to_string(q.source));
+    root->Tag("destination", std::to_string(q.destination));
+    root->Tag("algorithm", std::string(AlgorithmName(q.algorithm)));
+  }
+
   const RouteCache::Key key{q.source, q.destination, q.algorithm, q.version};
   uint64_t observed_epoch = 0;
+  bool answered_from_cache = false;
   if (cache_) {
     observed_epoch = cache_->epoch();
     // A degraded-capable server keeps stale entries around (miss, no
@@ -313,63 +511,111 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
       resp.cache_hit = true;
       resp.served_via = ServedVia::kCache;
       resp.result = *std::move(cached.result);
-      resp.latency_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        started)
-              .count();
-      return resp;
+      answered_from_cache = true;
+    } else {
+      cache_misses_->Increment();
     }
-    cache_misses_->Increment();
   }
 
-  CircuitBreaker& breaker = *breakers_[worker_id];
-  const bool admitted = breaker.AllowRequest();
-  Result<PathResult> r = [&]() -> Result<PathResult> {
+  if (!answered_from_cache) {
+    CircuitBreaker& breaker = *breakers_[worker_id];
+    const bool admitted = breaker.AllowRequest();
+    Result<PathResult> r = [&]() -> Result<PathResult> {
+      if (!admitted) {
+        return Status::Unavailable("replica quarantined by circuit breaker");
+      }
+      DbSearchEngine& engine = *engines_[worker_id];
+      switch (q.algorithm) {
+        case Algorithm::kIterative:
+          return engine.Iterative(q.source, q.destination, deadline);
+        case Algorithm::kDijkstra:
+          return engine.Dijkstra(q.source, q.destination, deadline);
+        case Algorithm::kAStar:
+          return engine.AStar(q.source, q.destination, q.version, deadline);
+      }
+      return Status::InvalidArgument("unknown algorithm");
+    }();
     if (!admitted) {
-      return Status::Unavailable("replica quarantined by circuit breaker");
+      breaker_rejections_->Increment();
+    } else if (r.ok()) {
+      // Feed the breaker storage health only: faults extend the streak, a
+      // completed search resets it, and a deadline expiry says nothing
+      // about the replica (slow != broken), so it leaves the streak alone.
+      breaker.RecordSuccess();
+    } else if (r.status().IsDeadlineExceeded()) {
+      deadline_exceeded_->Increment();
+    } else {
+      if (breaker.RecordFailure()) breaker_opened_->Increment();
     }
-    // Mirror every block this thread touches into resp.io: exact
-    // per-query accounting even though the disk (and its meter) are
-    // shared.
-    storage::IoMeter::ScopedThreadCounters scope(&resp.io);
-    DbSearchEngine& engine = *engines_[worker_id];
-    switch (q.algorithm) {
-      case Algorithm::kIterative:
-        return engine.Iterative(q.source, q.destination, deadline);
-      case Algorithm::kDijkstra:
-        return engine.Dijkstra(q.source, q.destination, deadline);
-      case Algorithm::kAStar:
-        return engine.AStar(q.source, q.destination, q.version, deadline);
-    }
-    return Status::InvalidArgument("unknown algorithm");
-  }();
-  if (!admitted) {
-    breaker_rejections_->Increment();
-  } else if (r.ok()) {
-    // Feed the breaker storage health only: faults extend the streak, a
-    // completed search resets it, and a deadline expiry says nothing
-    // about the replica (slow != broken), so it leaves the streak alone.
-    breaker.RecordSuccess();
-  } else if (r.status().IsDeadlineExceeded()) {
-    deadline_exceeded_->Increment();
-  } else {
-    if (breaker.RecordFailure()) breaker_opened_->Increment();
-  }
 
-  if (r.ok()) {
-    resp.result = std::move(r).value();
-    // Cache successful answers (including proven "no route"); the insert
-    // is dropped inside the cache when a traffic update raced this query.
-    if (cache_) cache_->Insert(key, observed_epoch, resp.result);
-  } else if (!options_.enable_degraded ||
-             !ServeDegraded(q, key, r.status(), &resp)) {
-    resp.status = r.status();
-    resp.served_via = ServedVia::kNone;
+    if (r.ok()) {
+      resp.result = std::move(r).value();
+      // Cache successful answers (including proven "no route"); the insert
+      // is dropped inside the cache when a traffic update raced this query.
+      if (cache_) cache_->Insert(key, observed_epoch, resp.result);
+    } else if (!options_.enable_degraded ||
+               !ServeDegraded(q, key, r.status(), &resp)) {
+      resp.status = r.status();
+      resp.served_via = ServedVia::kNone;
+    }
   }
   resp.latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
           .count();
+
+  // Observability epilogue: classify the finished query, then persist /
+  // log / record. File writes happen only for sampled or slow queries, so
+  // the common path adds a histogram increment and a mutexed O(1) SLO add.
+  if (root != nullptr) {
+    root->Tag("served_via", ServedViaName(resp.served_via));
+    if (!resp.status.ok()) root->Tag("error", resp.status.ToString());
+    tracer->EndSpan(root);
+    install.reset();  // uninstall before any further work on this thread
+  }
+  const double latency_ms = resp.latency_seconds * 1000.0;
+  const bool slow =
+      slow_log_ != nullptr && latency_ms >= slow_log_->threshold_ms();
+  if (slow) slow_queries_->Increment();
+  bool trace_persisted = false;
+  if (tracer != nullptr &&
+      (head_sampled || slow || resp.degraded || !resp.status.ok())) {
+    std::string label = std::string(AlgorithmName(q.algorithm)) + " " +
+                        std::to_string(q.source) + "->" +
+                        std::to_string(q.destination) + " via " +
+                        ServedViaName(resp.served_via);
+    trace_persisted = trace_ring_->Append(*tracer, label).ok();
+    if (trace_persisted) traces_sampled_->Increment();
+  }
+  if (slow_log_ != nullptr) {
+    obs::SlowQueryLog::Record rec;
+    rec.source = q.source;
+    rec.destination = q.destination;
+    rec.algorithm = std::string(AlgorithmName(q.algorithm));
+    rec.latency_ms = latency_ms;
+    rec.blocks_read = resp.io.blocks_read;
+    rec.cache_hit = resp.cache_hit;
+    rec.degraded = resp.degraded;
+    rec.served_via = ServedViaName(resp.served_via);
+    rec.has_deadline = deadline.active();
+    if (rec.has_deadline) {
+      rec.deadline_remaining_ms = deadline.remaining_seconds() * 1000.0;
+    }
+    rec.worker_id = resp.worker_id;
+    if (!resp.status.ok()) rec.status = resp.status.ToString();
+    rec.sampled = trace_persisted;
+    // Degraded / errored queries are logged regardless of latency — the
+    // log is the serving-path incident record, not just a latency outlier
+    // list.
+    slow_log_->MaybeRecord(rec,
+                           /*force=*/resp.degraded || !resp.status.ok());
+  }
+  if (slo_) {
+    slo_->Record({.latency_seconds = resp.latency_seconds,
+                  .ok = resp.status.ok(),
+                  .degraded = resp.degraded,
+                  .shed = false});
+  }
   return resp;
 }
 

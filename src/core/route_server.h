@@ -27,10 +27,12 @@
 // admission control with kResourceExhausted.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +47,10 @@
 
 namespace atis::obs {
 class Counter;
+class SloWindows;
+class SlowQueryLog;
+class TraceRing;
+class TraceSampler;
 }  // namespace atis::obs
 
 namespace atis::core {
@@ -138,6 +144,32 @@ class RouteServer {
     storage::RetryPolicy retry;
     /// Per-replica circuit breaker configuration.
     CircuitBreaker::Options breaker;
+
+    /// Serving-path observability (tracing, slow-query log, SLO windows).
+    /// All off by default; each knob is independent.
+    struct ObsOptions {
+      /// Head-sample 1 query in N for trace persistence (0 = tracing off).
+      /// When on, every query runs under a per-thread Tracer — cheap next
+      /// to the metered block reads — but only head-sampled, slow,
+      /// degraded, or errored span trees are written to the ring.
+      uint64_t sample_every = 0;
+      /// Directory for the bounded on-disk trace ring. Required when
+      /// sample_every > 0.
+      std::string trace_dir;
+      size_t trace_ring_capacity = 32;
+      /// Queries at or above this latency go to the slow-query log and
+      /// force-persist their trace. 0 disables the slow-query log.
+      double slow_query_ms = 0.0;
+      /// JSONL slow-query log path. Required when slow_query_ms > 0.
+      std::string slow_query_log_path;
+      size_t slow_query_log_max_bytes = 1 << 20;
+      /// Keep rolling 10s/1m/5m SLO windows (QPS, percentiles,
+      /// availability, burn rate) and publish them as gauges.
+      bool enable_slo = false;
+      /// Availability objective for the burn-rate gauges.
+      double availability_target = 0.999;
+    };
+    ObsOptions obs;
   };
 
   /// Loads `options.num_workers` store replicas of `g` and starts the
@@ -190,6 +222,22 @@ class RouteServer {
   /// (tracks UpdateEdgeCost, float-rounded to the stored metric).
   const graph::Graph& snapshot() const { return snapshot_; }
 
+  /// Null unless the corresponding Options::obs knob enabled them.
+  obs::SloWindows* slo() { return slo_.get(); }
+  obs::TraceRing* trace_ring() { return trace_ring_.get(); }
+  obs::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
+
+  /// Pushes pull-style gauges (SLO windows, uptime) into the default
+  /// registry. Hook this into HttpExporter::Options::refresh, or call it
+  /// before a one-shot metrics dump. Safe from any thread.
+  void RefreshObsGauges();
+
+  /// Per-worker serving state as a JSON object: breaker state and
+  /// transition counts, queue depth, cache hit/stale rates, degraded
+  /// serving counters, buffer-pool and prefetch stats, SLO windows,
+  /// uptime, and build/layout info. This is the /statusz body.
+  std::string StatuszJson();
+
  private:
   void WorkerLoop(size_t worker_id);
   RouteResponse RunOne(size_t worker_id, size_t query_index,
@@ -221,6 +269,14 @@ class RouteServer {
   obs::Counter* breaker_opened_ = nullptr;
   obs::Counter* breaker_rejections_ = nullptr;
   obs::Counter* admission_shed_ = nullptr;
+  obs::Counter* traces_sampled_ = nullptr;
+  obs::Counter* slow_queries_ = nullptr;
+  // Observability state (null unless enabled by Options::obs).
+  std::unique_ptr<obs::TraceSampler> sampler_;
+  std::unique_ptr<obs::TraceRing> trace_ring_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<obs::SloWindows> slo_;
+  std::chrono::steady_clock::time_point started_{};
   Status init_status_;
 
   std::mutex mu_;

@@ -1,0 +1,267 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+
+namespace {
+
+constexpr int kAcceptPollMillis = 50;   // stop-flag latency bound
+constexpr int kIoTimeoutMillis = 2000;  // per-connection read/write budget
+constexpr size_t kMaxRequestBytes = 8192;
+
+/// Reads until the end of the request headers ("\r\n\r\n"), a size cap, a
+/// timeout, or EOF. GET requests carry no body, so the headers are enough.
+bool ReadRequest(int fd, std::string* out) {
+  char buf[1024];
+  while (out->size() < kMaxRequestBytes) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kIoTimeoutMillis) <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out->append(buf, static_cast<size_t>(n));
+    if (out->find("\r\n\r\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    struct pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, kIoTimeoutMillis) <= 0) return false;
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 400:
+      return "400 Bad Request";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+  }
+  return "500 Internal Server Error";
+}
+
+std::string RenderResponse(int status, const std::string& content_type,
+                           const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << StatusLine(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Options options)
+    : options_(std::move(options)),
+      started_(std::chrono::steady_clock::now()) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Default();
+  }
+}
+
+Result<std::unique_ptr<HttpExporter>> HttpExporter::Start(Options options) {
+  std::unique_ptr<HttpExporter> exporter(new HttpExporter(std::move(options)));
+  ATIS_RETURN_NOT_OK(exporter->Bind());
+  exporter->thread_ = std::thread([raw = exporter.get()] {
+    raw->ServeLoop();
+  });
+  return exporter;
+}
+
+Status HttpExporter::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("obs exporter: socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("obs exporter: bad bind address " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal("obs exporter: cannot bind " + options_.host +
+                            ":" + std::to_string(options_.port) + ": " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::Internal("obs exporter: listen() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  std::string request;
+  if (!ReadRequest(fd, &request)) return;
+  // Request line: METHOD SP PATH SP VERSION. Query strings are ignored.
+  const size_t eol = request.find("\r\n");
+  std::istringstream line(request.substr(0, eol));
+  std::string method, target;
+  line >> method >> target;
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  int status = 200;
+  std::string body, content_type = "application/json";
+  if (method.empty() || target.empty()) {
+    status = 400;
+    body = "{\"error\":\"malformed request\"}";
+  } else if (method != "GET") {
+    status = 405;
+    body = "{\"error\":\"method not allowed\"}";
+  } else {
+    body = HandleRequest(method, target, &status);
+    if (target == "/metrics" && status == 200) {
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    }
+  }
+  if (status == 200) {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  WriteAll(fd, RenderResponse(status, content_type, body));
+}
+
+std::string HttpExporter::HandleRequest(const std::string& method,
+                                        const std::string& path,
+                                        int* http_status) {
+  (void)method;
+  *http_status = 200;
+  if (path == "/metrics" || path == "/metrics.json" || path == "/statusz") {
+    if (options_.refresh) options_.refresh();
+  }
+  if (path == "/metrics") return options_.registry->ToPrometheusText();
+  if (path == "/metrics.json") return options_.registry->ToJson();
+  if (path == "/healthz") {
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"status\":\"ok\",\"uptime_seconds\":%.3f}", uptime);
+    return buf;
+  }
+  if (path == "/statusz") {
+    return options_.statusz ? options_.statusz() : std::string("{}");
+  }
+  *http_status = 404;
+  return "{\"error\":\"unknown path\",\"endpoints\":[\"/metrics\","
+         "\"/metrics.json\",\"/healthz\",\"/statusz\"]}";
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("HttpGet: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("HttpGet: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Unavailable("HttpGet: cannot connect to " + host + ":" +
+                               std::to_string(port));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return Status::Unavailable("HttpGet: send failed");
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kIoTimeoutMillis) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("HttpGet: malformed response");
+  }
+  // "HTTP/1.1 NNN ..." — accept only a 200.
+  const size_t space = response.find(' ');
+  const int status =
+      space == std::string::npos ? 0 : std::atoi(response.c_str() + space + 1);
+  if (status != 200) {
+    return Status::Internal("HttpGet: " + path + " returned status " +
+                            std::to_string(status));
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace atis::obs

@@ -1,0 +1,95 @@
+// Minimal embedded HTTP endpoint for live observability.
+//
+// Serves four read-only routes from a background thread:
+//   /metrics       Prometheus text exposition of a MetricsRegistry
+//   /metrics.json  the same registry as JSON
+//   /healthz       {"status":"ok","uptime_seconds":...}
+//   /statusz       caller-provided JSON (per-worker serving state)
+//
+// Scope is deliberately tiny: HTTP/1.1 GET only, one connection at a
+// time, loopback by default. A scrape never touches the serving hot path
+// — the registry's collectors and the statusz callback read atomics and
+// take short locks, and everything heavy (rendering) happens on the
+// exporter thread. Port 0 binds an ephemeral port (tests, CI) reported by
+// port().
+//
+// The matching client half, HttpGet, exists so tests and the benchmark
+// co-run scraper can exercise the exporter without an HTTP library.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace atis::obs {
+
+class MetricsRegistry;
+
+class HttpExporter {
+ public:
+  struct Options {
+    /// Interface to bind; keep loopback unless you mean to expose it.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Registry behind /metrics and /metrics.json; the process-wide
+    /// default registry when null.
+    MetricsRegistry* registry = nullptr;
+    /// Body of /statusz (a JSON object); "{}" when unset.
+    std::function<std::string()> statusz;
+    /// Runs before every /metrics, /metrics.json, or /statusz render —
+    /// push-refresh hook for pull-style gauges (SLO windows, uptime).
+    std::function<void()> refresh;
+  };
+
+  /// Binds and starts the accept thread. Non-OK when the socket cannot be
+  /// created, bound, or listened on.
+  static Result<std::unique_ptr<HttpExporter>> Start(Options options);
+
+  ~HttpExporter();  // Stop()
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Stops accepting and joins the serving thread (idempotent).
+  void Stop();
+
+  /// The bound port — the ephemeral one when Options::port was 0.
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Requests answered with 200, any endpoint.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit HttpExporter(Options options);
+
+  Status Bind();
+  void ServeLoop();
+  void HandleConnection(int fd);
+  std::string HandleRequest(const std::string& method,
+                            const std::string& path, int* http_status);
+
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::chrono::steady_clock::time_point started_;
+  std::thread thread_;
+};
+
+/// Blocking HTTP/1.1 GET against `host:port`; returns the response body on
+/// a 200, non-OK on connect failure or any other status code. Intended for
+/// tests and the bench co-run scraper, not as a general client.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path);
+
+}  // namespace atis::obs

@@ -119,6 +119,36 @@ std::string EscapeJson(const std::string& value) {
   return out;
 }
 
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets, double p,
+                             double min_hint, double max_hint) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0 || buckets.size() != bounds.size() + 1) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // The observation with (1-based) rank ceil(p% of total); rank 0 maps to
+  // the first observation, matching util/stats.h at the extremes.
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    double lo = i == 0 ? min_hint : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max_hint;
+    // Clamp the edge buckets to the observed range so a lone observation
+    // in a wide bucket doesn't report the bucket edge.
+    lo = std::max(lo, min_hint);
+    hi = std::min(std::max(hi, lo), max_hint);
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max_hint;
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
@@ -155,6 +185,12 @@ double Histogram::sum() const {
 RunningStats Histogram::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileFromBuckets(bounds_, buckets_, p, stats_.min(),
+                               stats_.max());
 }
 
 std::vector<double> Histogram::ExponentialBounds(double lo, double hi) {
@@ -279,6 +315,23 @@ std::string MetricsRegistry::ToPrometheusText() {
         }
       }
     }
+    // Derived quantile gauges: consumers get p50/p95/p99 without
+    // recomputing histogram_quantile from the buckets. Each quantile is
+    // its own gauge family so the exposition stays well-typed.
+    if (fam.kind == Kind::kHistogram) {
+      for (const int q : {50, 95, 99}) {
+        const std::string derived = name + "_p" + std::to_string(q);
+        out << "# HELP " << derived << " p" << q
+            << " estimate derived from " << name << " buckets\n";
+        out << "# TYPE " << derived << " gauge\n";
+        for (const Series& s : fam.series) {
+          out << derived << RenderLabels(s.labels) << " "
+              << FormatValue(
+                     s.histogram->Percentile(static_cast<double>(q)))
+              << "\n";
+        }
+      }
+    }
   }
   return out.str();
 }
@@ -334,7 +387,10 @@ std::string MetricsRegistry::ToJson() {
                                             : h.count());
             }
             out << "],\"sum\":" << FormatValue(h.sum())
-                << ",\"count\":" << h.count();
+                << ",\"count\":" << h.count()
+                << ",\"p50\":" << FormatValue(h.Percentile(50.0))
+                << ",\"p95\":" << FormatValue(h.Percentile(95.0))
+                << ",\"p99\":" << FormatValue(h.Percentile(99.0));
             break;
           }
         }
@@ -345,6 +401,32 @@ std::string MetricsRegistry::ToJson() {
   }
   out << "}";
   return out.str();
+}
+
+std::vector<MetricsRegistry::FamilyInfo> MetricsRegistry::ListFamilies() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RunCollectors();
+  std::vector<FamilyInfo> out;
+  out.reserve(families_.size());
+  for (const auto& [name, fam] : families_) {
+    FamilyInfo info;
+    info.name = name;
+    info.type = fam.kind == Kind::kCounter
+                    ? "counter"
+                    : fam.kind == Kind::kGauge ? "gauge" : "histogram";
+    info.help = fam.help;
+    info.num_series = fam.series.size();
+    for (const Series& s : fam.series) {
+      for (const auto& [key, value] : s.labels) {
+        if (std::find(info.label_keys.begin(), info.label_keys.end(), key) ==
+            info.label_keys.end()) {
+          info.label_keys.push_back(key);
+        }
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void MetricsRegistry::Reset() {

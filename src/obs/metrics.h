@@ -80,6 +80,12 @@ class Histogram {
   double sum() const;
   RunningStats stats() const;
 
+  /// Estimated quantile, `p` in [0, 100]: linear interpolation inside the
+  /// bucket the target rank falls in (Prometheus histogram_quantile
+  /// semantics), with the first and +Inf buckets clamped to the observed
+  /// min/max so the estimate never leaves the data range. 0 when empty.
+  double Percentile(double p) const;
+
   /// Upper bounds 1,2,5-spaced across [lo, hi] — the usual latency ladder.
   static std::vector<double> ExponentialBounds(double lo, double hi);
   /// Default wall-clock latency ladder: 100us .. 10s.
@@ -115,6 +121,20 @@ class MetricsRegistry {
   /// Registers a callback run at the start of every dump; collectors
   /// mirror live sources (IoMeter, BufferPoolStats) into the registry.
   void AddCollector(std::function<void(MetricsRegistry&)> collector);
+
+  /// One registered metric family, for introspection (the metric-inventory
+  /// test asserts every family matches the documented set).
+  struct FamilyInfo {
+    std::string name;
+    std::string type;  ///< "counter", "gauge", or "histogram"
+    std::string help;
+    /// Union of label keys across the family's series, insertion order.
+    std::vector<std::string> label_keys;
+    size_t num_series = 0;
+  };
+  /// Every registered family, sorted by name. Runs collectors first so
+  /// collector-only families are included.
+  std::vector<FamilyInfo> ListFamilies();
 
   /// Prometheus text exposition format, families sorted by name.
   std::string ToPrometheusText();
@@ -154,6 +174,16 @@ class MetricsRegistry {
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;
   bool collecting_ = false;  // re-entrancy guard for RunCollectors
 };
+
+/// Quantile estimate over fixed-bucket counts: `buckets` is non-cumulative
+/// with buckets.size() == bounds.size() + 1 (the last entry is the +Inf
+/// bucket). Linear interpolation inside the target bucket; the lowest edge
+/// is `min_hint` and the +Inf bucket's upper edge is `max_hint` (pass the
+/// observed extremes, or 0 / the last bound when untracked). Shared by
+/// Histogram::Percentile and the SLO window aggregation.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets, double p,
+                             double min_hint, double max_hint);
 
 /// Escapes a Prometheus label value (backslash, double quote, newline).
 std::string EscapeLabelValue(const std::string& value);

@@ -1,0 +1,115 @@
+#include "obs/query_log.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+
+namespace {
+
+size_t FileSize(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<size_t>(st.st_size)
+                                        : 0;
+}
+
+std::string Generation(const std::string& path, size_t n) {
+  return path + "." + std::to_string(n);
+}
+
+}  // namespace
+
+std::string RenderSlowQueryRecord(const SlowQueryLog::Record& record) {
+  std::ostringstream out;
+  char num[64];
+  out << "{\"ts_ms\":" << record.unix_millis << ",\"source\":"
+      << record.source << ",\"destination\":" << record.destination
+      << ",\"algorithm\":\"" << EscapeJson(record.algorithm) << "\"";
+  std::snprintf(num, sizeof(num), "%.3f", record.latency_ms);
+  out << ",\"latency_ms\":" << num;
+  out << ",\"blocks_read\":" << record.blocks_read << ",\"cache_hit\":"
+      << (record.cache_hit ? "true" : "false") << ",\"degraded\":"
+      << (record.degraded ? "true" : "false") << ",\"served_via\":\""
+      << EscapeJson(record.served_via) << "\"";
+  if (record.has_deadline) {
+    std::snprintf(num, sizeof(num), "%.3f", record.deadline_remaining_ms);
+    out << ",\"deadline_remaining_ms\":" << num;
+  }
+  out << ",\"worker\":" << record.worker_id << ",\"ok\":"
+      << (record.status.empty() || record.status == "OK" ? "true" : "false");
+  if (!record.status.empty() && record.status != "OK") {
+    out << ",\"error\":\"" << EscapeJson(record.status) << "\"";
+  }
+  out << ",\"sampled\":" << (record.sampled ? "true" : "false") << "}";
+  return out.str();
+}
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(std::move(options)) {
+  if (options_.max_rotations == 0) options_.max_rotations = 1;
+}
+
+Result<std::unique_ptr<SlowQueryLog>> SlowQueryLog::Open(Options options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("slow-query log: empty path");
+  }
+  std::unique_ptr<SlowQueryLog> log(new SlowQueryLog(std::move(options)));
+  ATIS_RETURN_NOT_OK(log->OpenActive());
+  return log;
+}
+
+Status SlowQueryLog::OpenActive() {
+  active_bytes_ = FileSize(options_.path);
+  out_.open(options_.path, std::ios::app);
+  if (!out_.good()) {
+    return Status::Internal("slow-query log: cannot open " + options_.path);
+  }
+  return Status::OK();
+}
+
+void SlowQueryLog::RotateLocked() {
+  out_.close();
+  // Shift generations oldest-first so each rename lands on a free name.
+  std::remove(Generation(options_.path, options_.max_rotations).c_str());
+  for (size_t n = options_.max_rotations; n > 1; --n) {
+    std::rename(Generation(options_.path, n - 1).c_str(),
+                Generation(options_.path, n).c_str());
+  }
+  std::rename(options_.path.c_str(), Generation(options_.path, 1).c_str());
+  active_bytes_ = 0;
+  out_.open(options_.path, std::ios::app);
+}
+
+bool SlowQueryLog::MaybeRecord(const Record& record, bool force) {
+  if (!force && record.latency_ms < options_.threshold_ms) return false;
+  Record stamped = record;
+  if (stamped.unix_millis == 0) {
+    stamped.unix_millis =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+  }
+  const std::string line = RenderSlowQueryRecord(stamped) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return false;
+  if (active_bytes_ > 0 && active_bytes_ + line.size() > options_.max_bytes) {
+    RotateLocked();
+  }
+  out_ << line;
+  out_.flush();  // live tailing beats buffering at slow-query rates
+  active_bytes_ += line.size();
+  ++records_;
+  return true;
+}
+
+uint64_t SlowQueryLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace atis::obs

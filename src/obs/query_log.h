@@ -1,0 +1,90 @@
+// Structured slow-query log: threshold-triggered JSONL with bounded size
+// and atomic rotation.
+//
+// Every query slower than the threshold (or served degraded / failed,
+// when so configured by the caller passing force=true) appends one JSON
+// object per line: the query endpoints, algorithm, latency, blocks read,
+// cache/degraded disposition, deadline remaining, worker, and outcome.
+// One line per record keeps the file greppable and stream-parsable while
+// the server is live.
+//
+// Size is bounded: when an append would push the active file past
+// max_bytes, the files rotate (path -> path.1 -> ... -> path.N, the
+// oldest dropped) via std::rename — atomic on POSIX, so a concurrent
+// reader sees either the old or the new file, never a torn one.
+//
+// Thread-safe: one mutex serialises append + rotation across workers.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace atis::obs {
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    std::string path;
+    /// Latency at or above which a query is logged.
+    double threshold_ms = 100.0;
+    /// Rotation point for the active file.
+    size_t max_bytes = 1 << 20;
+    /// Rotated generations kept (path.1 .. path.N); older files drop.
+    size_t max_rotations = 2;
+  };
+
+  /// One logged query. String fields must be valid UTF-8 (they are JSON
+  /// escaped on write).
+  struct Record {
+    int64_t unix_millis = 0;  ///< wall-clock stamp (filled when 0)
+    uint32_t source = 0;
+    uint32_t destination = 0;
+    std::string algorithm;    ///< "astar3", "dijkstra", ...
+    double latency_ms = 0.0;
+    uint64_t blocks_read = 0;
+    bool cache_hit = false;
+    bool degraded = false;
+    std::string served_via;   ///< "engine", "stale-cache", ...
+    /// Milliseconds left on the deadline when the query finished; negative
+    /// when it overran, omitted from the JSON when the query had none.
+    bool has_deadline = false;
+    double deadline_remaining_ms = 0.0;
+    int worker_id = -1;
+    std::string status;       ///< "" / "OK" for success, else the error
+    bool sampled = false;     ///< a trace of this query is in the ring
+  };
+
+  /// Opens (creates or appends to) the log file.
+  static Result<std::unique_ptr<SlowQueryLog>> Open(Options options);
+
+  /// Appends `record` iff record.latency_ms >= threshold or `force` is
+  /// set. Returns true when a line was written.
+  bool MaybeRecord(const Record& record, bool force = false);
+
+  uint64_t records_written() const;
+  double threshold_ms() const { return options_.threshold_ms; }
+  const std::string& path() const { return options_.path; }
+
+ private:
+  explicit SlowQueryLog(Options options);
+
+  Status OpenActive();
+  void RotateLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::ofstream out_;           // guarded by mu_
+  size_t active_bytes_ = 0;     // guarded by mu_
+  uint64_t records_ = 0;        // guarded by mu_
+};
+
+/// Renders `record` as a single-line JSON object (no trailing newline).
+/// Exposed for tests and for callers that want the line without a file.
+std::string RenderSlowQueryRecord(const SlowQueryLog::Record& record);
+
+}  // namespace atis::obs

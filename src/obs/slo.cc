@@ -1,0 +1,165 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+
+SloWindows::SloWindows() : SloWindows(Options()) {}
+
+SloWindows::SloWindows(Options options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()),
+      buckets_(kBuckets) {
+  if (options_.latency_bounds.empty()) {
+    options_.latency_bounds = Histogram::LatencyBounds();
+  }
+  for (Bucket& b : buckets_) {
+    b.latency.assign(options_.latency_bounds.size() + 1, 0);
+  }
+}
+
+double SloWindows::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+const char* SloWindows::WindowName(double span) {
+  if (span == 10.0) return "10s";
+  if (span == 60.0) return "1m";
+  return "5m";
+}
+
+void SloWindows::Record(const SloSample& sample) {
+  RecordAt(sample, NowSeconds());
+}
+
+void SloWindows::RecordAt(const SloSample& sample, double now_seconds) {
+  if (now_seconds < 0.0) now_seconds = 0.0;
+  const uint64_t second = static_cast<uint64_t>(now_seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[second % kBuckets];
+  if (b.second != second) {
+    // The ring wrapped: this slot still holds a second that fell out of
+    // every window. Reuse it for the current second.
+    b.second = second;
+    b.total = b.errors = b.degraded = b.shed = 0;
+    std::fill(b.latency.begin(), b.latency.end(), 0);
+    b.latency_min = b.latency_max = sample.latency_seconds;
+  }
+  ++b.total;
+  if (!sample.ok) ++b.errors;
+  if (sample.degraded) ++b.degraded;
+  if (sample.shed) ++b.shed;
+  const auto& bounds = options_.latency_bounds;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(),
+                                   sample.latency_seconds);
+  ++b.latency[static_cast<size_t>(it - bounds.begin())];
+  b.latency_min = std::min(b.latency_min, sample.latency_seconds);
+  b.latency_max = std::max(b.latency_max, sample.latency_seconds);
+}
+
+std::vector<SloWindows::Window> SloWindows::Snapshot() const {
+  return SnapshotAt(NowSeconds());
+}
+
+std::vector<SloWindows::Window> SloWindows::SnapshotAt(
+    double now_seconds) const {
+  if (now_seconds < 0.0) now_seconds = 0.0;
+  const uint64_t now_second = static_cast<uint64_t>(now_seconds);
+  std::vector<Window> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const double span : kWindowSpans) {
+    Window w;
+    w.name = WindowName(span);
+    w.span_seconds = span;
+    std::vector<uint64_t> merged(options_.latency_bounds.size() + 1, 0);
+    double lat_min = 0.0, lat_max = 0.0;
+    bool any = false;
+    // Buckets whose second lies in (now - span, now] — the current,
+    // possibly partial, second included.
+    const uint64_t window_seconds = static_cast<uint64_t>(span);
+    const uint64_t oldest =
+        now_second >= window_seconds - 1 ? now_second - (window_seconds - 1)
+                                         : 0;
+    for (const Bucket& b : buckets_) {
+      if (b.second == UINT64_MAX || b.second < oldest ||
+          b.second > now_second) {
+        continue;
+      }
+      w.total += b.total;
+      w.errors += b.errors;
+      w.degraded += b.degraded;
+      w.shed += b.shed;
+      for (size_t i = 0; i < merged.size(); ++i) merged[i] += b.latency[i];
+      if (!any || b.latency_min < lat_min) lat_min = b.latency_min;
+      if (!any || b.latency_max > lat_max) lat_max = b.latency_max;
+      any = b.total > 0 || any;
+    }
+    w.qps = static_cast<double>(w.total) / span;
+    if (w.total > 0) {
+      w.availability = static_cast<double>(w.total - w.errors) /
+                       static_cast<double>(w.total);
+      const double budget = 1.0 - options_.availability_target;
+      w.burn_rate =
+          budget > 0.0 ? (1.0 - w.availability) / budget
+                       : (w.errors > 0 ? std::numeric_limits<double>::infinity()
+                                       : 0.0);
+      w.p50_seconds = PercentileFromBuckets(options_.latency_bounds, merged,
+                                            50.0, lat_min, lat_max);
+      w.p95_seconds = PercentileFromBuckets(options_.latency_bounds, merged,
+                                            95.0, lat_min, lat_max);
+      w.p99_seconds = PercentileFromBuckets(options_.latency_bounds, merged,
+                                            99.0, lat_min, lat_max);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void SloWindows::PublishGauges(MetricsRegistry& registry) const {
+  for (const Window& w : Snapshot()) {
+    const Labels labels{{"window", w.name}};
+    registry
+        .GetGauge("atis_slo_qps",
+                  "Queries per second over the trailing window", labels)
+        .Set(w.qps);
+    registry
+        .GetGauge("atis_slo_availability_ratio",
+                  "Answered queries / total over the trailing window "
+                  "(degraded answers count as available)",
+                  labels)
+        .Set(w.availability);
+    registry
+        .GetGauge("atis_slo_degraded_ratio",
+                  "Degraded answers / total over the trailing window",
+                  labels)
+        .Set(w.total > 0 ? static_cast<double>(w.degraded) /
+                               static_cast<double>(w.total)
+                         : 0.0);
+    registry
+        .GetGauge("atis_slo_error_budget_burn_rate",
+                  "Unavailability / (1 - availability target) over the "
+                  "trailing window; 1.0 burns the budget exactly at the "
+                  "objective",
+                  labels)
+        .Set(w.burn_rate);
+    registry
+        .GetGauge("atis_slo_latency_p50_seconds",
+                  "Windowed p50 query latency", labels)
+        .Set(w.p50_seconds);
+    registry
+        .GetGauge("atis_slo_latency_p95_seconds",
+                  "Windowed p95 query latency", labels)
+        .Set(w.p95_seconds);
+    registry
+        .GetGauge("atis_slo_latency_p99_seconds",
+                  "Windowed p99 query latency", labels)
+        .Set(w.p99_seconds);
+  }
+}
+
+}  // namespace atis::obs

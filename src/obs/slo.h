@@ -1,0 +1,113 @@
+// Rolling SLO windows over the serving path.
+//
+// The route server reports every finished query here; the aggregation
+// keeps a ring of one-second buckets (latency histogram + outcome counts)
+// and answers windowed questions over the trailing 10s / 1m / 5m: QPS,
+// p50/p95/p99 latency, availability (answered, degraded included, over
+// everything not shed by admission control... shed counts as unavailable),
+// degraded share, and error-budget burn rate — the multi-window burn-rate
+// signal SRE alerting keys on (a burn rate of 1.0 consumes the budget
+// exactly at the availability target; >> 1 pages).
+//
+// Recording is O(1) under one mutex (a histogram increment plus a few
+// adds), cheap enough for the per-query path; Snapshot() merges at most
+// 300 buckets and runs only when scraped. Time is injectable for tests:
+// the Record/Snapshot overloads taking `now_seconds` (seconds since an
+// arbitrary epoch, monotone) bypass the steady clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atis::obs {
+
+class MetricsRegistry;
+
+/// Outcome of one query, as the SLO accounting sees it.
+struct SloSample {
+  double latency_seconds = 0.0;
+  bool ok = false;        ///< an answer was produced (degraded included)
+  bool degraded = false;  ///< answered via a degraded fallback
+  bool shed = false;      ///< refused by admission control (not ok)
+};
+
+class SloWindows {
+ public:
+  struct Options {
+    /// Availability objective the burn rate is measured against
+    /// (burn = unavailability / (1 - target)).
+    double availability_target = 0.999;
+    /// Upper bounds of the latency histogram each bucket carries.
+    /// Defaults to the registry's 100us..10s ladder when empty.
+    std::vector<double> latency_bounds;
+  };
+
+  SloWindows();  // default Options
+  explicit SloWindows(Options options);
+
+  /// Thread-safe; called once per finished query.
+  void Record(const SloSample& sample);
+  /// Test entry point with an explicit clock (seconds, monotone).
+  void RecordAt(const SloSample& sample, double now_seconds);
+
+  /// One trailing window's aggregate at snapshot time.
+  struct Window {
+    std::string name;        ///< "10s", "1m", "5m"
+    double span_seconds = 0;
+    uint64_t total = 0;      ///< queries recorded in the window
+    uint64_t errors = 0;     ///< queries with no answer (shed included)
+    uint64_t degraded = 0;
+    uint64_t shed = 0;
+    double qps = 0.0;
+    double availability = 1.0;  ///< (total - errors) / total; 1 when idle
+    double p50_seconds = 0.0;
+    double p95_seconds = 0.0;
+    double p99_seconds = 0.0;
+    /// error_rate / (1 - availability_target); 1.0 = burning the budget
+    /// exactly at the objective, 0 when the window is clean or idle.
+    double burn_rate = 0.0;
+  };
+
+  /// The trailing 10s / 1m / 5m windows, in that order.
+  std::vector<Window> Snapshot() const;
+  std::vector<Window> SnapshotAt(double now_seconds) const;
+
+  /// Writes the windows into `registry` as gauges, one series per window
+  /// (label window="10s"|"1m"|"5m"):
+  ///   atis_slo_qps, atis_slo_availability_ratio, atis_slo_degraded_ratio,
+  ///   atis_slo_error_budget_burn_rate, atis_slo_latency_p50_seconds,
+  ///   atis_slo_latency_p95_seconds, atis_slo_latency_p99_seconds.
+  /// Pull-style: call before every dump (the exporter's refresh hook does).
+  void PublishGauges(MetricsRegistry& registry) const;
+
+  double availability_target() const { return options_.availability_target; }
+
+ private:
+  // 300 one-second buckets cover the longest (5m) window exactly.
+  static constexpr size_t kBuckets = 300;
+  static constexpr double kWindowSpans[3] = {10.0, 60.0, 300.0};
+
+  struct Bucket {
+    uint64_t second = UINT64_MAX;  ///< absolute second this bucket holds
+    uint64_t total = 0;
+    uint64_t errors = 0;
+    uint64_t degraded = 0;
+    uint64_t shed = 0;
+    std::vector<uint64_t> latency;  ///< non-cumulative, bounds.size() + 1
+    double latency_min = 0.0;
+    double latency_max = 0.0;
+  };
+
+  double NowSeconds() const;
+  static const char* WindowName(double span);
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Bucket> buckets_;  // guarded by mu_
+};
+
+}  // namespace atis::obs

@@ -79,7 +79,7 @@ void RegisterStorageCollectors(MetricsRegistry& registry,
     r.GetGauge("atis_buffer_pool_shards",
                "Latch-protected shards the pool's frames are split across")
         .Set(static_cast<double>(pool->num_shards()));
-    r.GetGauge("atis_buffer_pool_occupancy",
+    r.GetGauge("atis_buffer_pool_occupancy_ratio",
                "Cached frames / capacity (0..1)")
         .Set(pool->capacity() > 0
                  ? static_cast<double>(pool->num_cached()) /

@@ -19,7 +19,9 @@ namespace atis::obs {
 ///   atis_buffer_hits_total / atis_buffer_misses_total
 ///   atis_buffer_evictions_total / atis_buffer_dirty_writebacks_total
 ///   atis_buffer_hit_ratio (gauge; 0 when the pool is untouched)
-///   atis_buffer_frames (gauge)
+///   atis_buffer_frames / atis_buffer_pool_shards (gauges)
+///   atis_buffer_pool_occupancy_ratio (gauge; ratio-valued gauges
+///   uniformly carry the _ratio suffix)
 /// `disk` and `pool` must outlive the registry's dumps.
 void RegisterStorageCollectors(MetricsRegistry& registry,
                                const storage::DiskManager* disk,

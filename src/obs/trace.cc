@@ -99,7 +99,14 @@ Tracer::~Tracer() {
   if (g_current_tracer == this) g_current_tracer = nullptr;
 }
 
+Tracer::Tracer(const storage::IoCounters* thread_io)
+    : disk_(nullptr),
+      pool_(nullptr),
+      thread_io_(thread_io),
+      epoch_(std::chrono::steady_clock::now()) {}
+
 storage::IoCounters Tracer::SnapshotIo() const {
+  if (thread_io_ != nullptr) return *thread_io_;
   return disk_ != nullptr ? disk_->meter().counters() : storage::IoCounters{};
 }
 

@@ -63,6 +63,15 @@ class Tracer {
                   storage::BufferPool* pool = nullptr);
   ~Tracer();
 
+  /// A tracer whose I/O snapshots come from `thread_io` — a per-thread
+  /// IoCounters sink (IoMeter::ScopedThreadCounters) instead of the shared
+  /// disk meter. Under the concurrent route server the global meter mixes
+  /// every worker's blocks; the thread sink is touched only by the owning
+  /// worker, so sampled per-query span trees attribute I/O exactly. Pool
+  /// hit/miss snapshots stay off (the pool is shared too). `thread_io`
+  /// must outlive the tracer and only ever grow.
+  explicit Tracer(const storage::IoCounters* thread_io);
+
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -131,6 +140,8 @@ class Tracer {
 
   storage::DiskManager* disk_;
   storage::BufferPool* pool_;
+  /// Non-null in ForThreadCounters mode; wins over disk_ for snapshots.
+  const storage::IoCounters* thread_io_ = nullptr;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<TraceSpan>> roots_;
   std::vector<OpenFrame> open_;

@@ -1,0 +1,99 @@
+#include "obs/trace_ring.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atis::obs {
+
+namespace {
+
+char SlotDigit(size_t slot, int place) {
+  size_t v = slot;
+  for (int i = 0; i < place; ++i) v /= 10;
+  return static_cast<char>('0' + v % 10);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TraceRing>> TraceRing::Open(Options options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("trace ring: empty directory");
+  }
+  if (options.capacity == 0) {
+    return Status::InvalidArgument("trace ring: capacity must be > 0");
+  }
+  struct stat st{};
+  if (::stat(options.directory.c_str(), &st) != 0) {
+    if (::mkdir(options.directory.c_str(), 0755) != 0) {
+      return Status::Internal("trace ring: cannot create directory " +
+                              options.directory);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("trace ring: not a directory: " +
+                                   options.directory);
+  }
+  return std::unique_ptr<TraceRing>(new TraceRing(std::move(options)));
+}
+
+std::string TraceRing::SlotPath(size_t slot) const {
+  std::string name = "trace-000.json";
+  name[6] = SlotDigit(slot, 2);
+  name[7] = SlotDigit(slot, 1);
+  name[8] = SlotDigit(slot, 0);
+  return options_.directory + "/" + name;
+}
+
+Status TraceRing::Append(const Tracer& tracer, const std::string& label) {
+  // Render outside the lock: JSON generation dominates the append.
+  std::string json = tracer.ToChromeTraceJson();
+  if (!label.empty()) {
+    // The export is {"traceEvents":[...]}. Attach the label as a sibling
+    // key so viewers ignore it but humans and tests can read it.
+    const size_t brace = json.rfind('}');
+    if (brace != std::string::npos) {
+      json.insert(brace, ",\"atisLabel\":\"" + EscapeJson(label) + "\"");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = SlotPath(appended_ % options_.capacity);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return Status::Internal("trace ring: cannot write " + tmp);
+    }
+    out << json;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("trace ring: rename to " + path + " failed");
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+uint64_t TraceRing::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+std::vector<std::string> TraceRing::SlotPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t filled =
+      appended_ < options_.capacity ? static_cast<size_t>(appended_)
+                                    : options_.capacity;
+  std::vector<std::string> out;
+  out.reserve(filled);
+  for (size_t slot = 0; slot < filled; ++slot) {
+    out.push_back(SlotPath(slot));
+  }
+  return out;
+}
+
+}  // namespace atis::obs

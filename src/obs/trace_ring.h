@@ -1,0 +1,84 @@
+// Bounded on-disk ring of sampled query traces.
+//
+// TraceSampler decides which queries get their span tree persisted: a
+// deterministic head sample (every Nth query, via one atomic increment)
+// — callers additionally force-persist slow / degraded / errored queries
+// regardless of the sampler's verdict.
+//
+// TraceRing stores the chosen trees as Chrome trace_event JSON files in a
+// directory, `trace-000.json .. trace-<capacity-1>.json`, overwriting the
+// oldest slot once full. Each write goes to a temp file first and lands
+// with std::rename, so a reader (chrome://tracing, a shell) never sees a
+// torn trace. Appends are serialised by a mutex; they happen at sample
+// rate (1-in-N of queries), not query rate, so the file I/O stays off the
+// hot path's critical section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atis::obs {
+
+class Tracer;
+
+/// Head sampler: Sample() is true for query 0, N, 2N, ... A rate of 0
+/// disables sampling (always false); 1 samples everything.
+class TraceSampler {
+ public:
+  explicit TraceSampler(uint64_t every) : every_(every) {}
+
+  bool Sample() {
+    if (every_ == 0) return false;
+    return next_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+
+  uint64_t every() const { return every_; }
+
+ private:
+  const uint64_t every_;
+  std::atomic<uint64_t> next_{0};
+};
+
+class TraceRing {
+ public:
+  struct Options {
+    std::string directory;
+    size_t capacity = 32;  ///< slot files kept before overwriting
+  };
+
+  /// Creates `directory` if needed (one level) and validates options.
+  static Result<std::unique_ptr<TraceRing>> Open(Options options);
+
+  /// Renders `tracer`'s span trees to Chrome trace JSON and writes them to
+  /// the next slot (tmp file + rename). `label` goes into the slot's
+  /// metadata so a browsing human can tell traces apart.
+  Status Append(const Tracer& tracer, const std::string& label = "");
+
+  /// Total successful Append calls (monotone; exceeds capacity once the
+  /// ring has wrapped).
+  uint64_t appended() const;
+
+  /// Paths of the slots written so far, oldest-overwrite order not
+  /// reconstructed — just slot 0..min(appended, capacity)-1.
+  std::vector<std::string> SlotPaths() const;
+
+  size_t capacity() const { return options_.capacity; }
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  explicit TraceRing(Options options) : options_(std::move(options)) {}
+
+  std::string SlotPath(size_t slot) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  uint64_t appended_ = 0;  // guarded by mu_
+};
+
+}  // namespace atis::obs

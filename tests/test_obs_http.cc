@@ -1,0 +1,105 @@
+// Tests for obs::HttpExporter: ephemeral-port bind, all four endpoints
+// over a real loopback socket (via the matching HttpGet client), the
+// refresh hook, 404s, and idempotent shutdown.
+#include "obs/http_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+namespace {
+
+TEST(HttpExporterTest, ServesAllFourEndpointsFromARegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("test_requests_total", "test counter").Increment(3);
+  registry.GetGauge("test_temperature", "test gauge").Set(21.5);
+
+  std::atomic<int> refreshes{0};
+  HttpExporter::Options opt;
+  opt.registry = &registry;
+  opt.statusz = [] { return std::string("{\"answer\":42}"); };
+  opt.refresh = [&refreshes] { refreshes.fetch_add(1); };
+  auto exporter = HttpExporter::Start(std::move(opt));
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const uint16_t port = (*exporter)->port();
+  EXPECT_NE(port, 0);  // ephemeral port resolved
+
+  auto metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("# TYPE test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("test_requests_total 3"), std::string::npos);
+  EXPECT_NE(metrics->find("test_temperature 21.5"), std::string::npos);
+
+  auto mjson = HttpGet("127.0.0.1", port, "/metrics.json");
+  ASSERT_TRUE(mjson.ok());
+  EXPECT_NE(mjson->find("\"test_requests_total\""), std::string::npos);
+
+  auto health = HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health->find("\"uptime_seconds\":"), std::string::npos);
+
+  auto statusz = HttpGet("127.0.0.1", port, "/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(*statusz, "{\"answer\":42}");
+
+  // The refresh hook runs before /metrics, /metrics.json, and /statusz —
+  // not for /healthz.
+  EXPECT_EQ(refreshes.load(), 3);
+  EXPECT_EQ((*exporter)->requests_served(), 4u);
+}
+
+TEST(HttpExporterTest, UnknownPathIs404AndNotCountedAsServed) {
+  MetricsRegistry registry;
+  HttpExporter::Options opt;
+  opt.registry = &registry;
+  auto exporter = HttpExporter::Start(std::move(opt));
+  ASSERT_TRUE(exporter.ok());
+  auto resp = HttpGet("127.0.0.1", (*exporter)->port(), "/nope");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ((*exporter)->requests_served(), 0u);
+}
+
+TEST(HttpExporterTest, StatuszDefaultsToEmptyObjectWithoutACallback) {
+  MetricsRegistry registry;
+  HttpExporter::Options opt;
+  opt.registry = &registry;
+  auto exporter = HttpExporter::Start(std::move(opt));
+  ASSERT_TRUE(exporter.ok());
+  auto statusz = HttpGet("127.0.0.1", (*exporter)->port(), "/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(*statusz, "{}");
+}
+
+TEST(HttpExporterTest, StopIsIdempotentAndClosesTheSocket) {
+  MetricsRegistry registry;
+  HttpExporter::Options opt;
+  opt.registry = &registry;
+  auto exporter = HttpExporter::Start(std::move(opt));
+  ASSERT_TRUE(exporter.ok());
+  const uint16_t port = (*exporter)->port();
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/healthz").ok());
+  (*exporter)->Stop();
+  (*exporter)->Stop();  // second Stop must be a no-op
+  EXPECT_FALSE(HttpGet("127.0.0.1", port, "/healthz").ok());
+}
+
+TEST(HttpExporterTest, TwoExportersBindDistinctEphemeralPorts) {
+  MetricsRegistry registry;
+  HttpExporter::Options opt;
+  opt.registry = &registry;
+  auto a = HttpExporter::Start(opt);
+  auto b = HttpExporter::Start(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->port(), (*b)->port());
+}
+
+}  // namespace
+}  // namespace atis::obs

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/storage_collectors.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -187,6 +189,203 @@ TEST(StorageCollectorsTest, MirrorIoMeterAndPoolIntoRegistry) {
 
 TEST(MetricsRegistryTest, DefaultIsAProcessWideSingleton) {
   EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+TEST(HistogramTest, PercentileInterpolatesAndClampsToObservedRange) {
+  Histogram h({1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);  // empty histogram
+
+  // Two observations in (1,2], two above every bound.
+  h.Observe(1.2);
+  h.Observe(1.8);
+  h.Observe(7.0);
+  h.Observe(9.0);
+  const double p50 = h.Percentile(50.0);
+  const double p99 = h.Percentile(99.0);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_LE(p50, p99);
+  // The +Inf bucket's upper edge is the observed max, so the estimate
+  // never invents values beyond the data.
+  EXPECT_LE(p99, 9.0);
+  EXPECT_GE(h.Percentile(0.0), 1.2 - 1e-12);  // clamped to observed min
+}
+
+TEST(HistogramTest, PercentileFromBucketsMatchesHandComputation) {
+  const std::vector<double> bounds{1.0, 2.0, 5.0};
+  // Non-cumulative: 2 in (min,1], 2 in (1,2], 0 in (2,5], 1 in (5,max].
+  const std::vector<uint64_t> buckets{2, 2, 0, 1};
+  // p50: target rank 2.5 lands in the second bucket after 2 -> a quarter
+  // of the way through [1, 2].
+  EXPECT_NEAR(PercentileFromBuckets(bounds, buckets, 50.0, 0.5, 9.0), 1.25,
+              1e-9);
+  // p20: rank 1.0 is halfway through the first bucket [min_hint, 1].
+  EXPECT_NEAR(PercentileFromBuckets(bounds, buckets, 20.0, 0.5, 9.0), 0.75,
+              1e-9);
+  // p100: the full +Inf bucket -> its upper edge, max_hint.
+  EXPECT_NEAR(PercentileFromBuckets(bounds, buckets, 100.0, 0.5, 9.0), 9.0,
+              1e-9);
+}
+
+TEST(MetricsRegistryTest, HistogramExportDerivesQuantileGauges) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("atis_test_latency_seconds", "test",
+                                  {0.01, 0.1, 1.0}, {{"q", "diag"}});
+  for (int i = 0; i < 100; ++i) h.Observe(0.05);
+
+  const std::string text = reg.ToPrometheusText();
+  for (const char* derived :
+       {"atis_test_latency_seconds_p50", "atis_test_latency_seconds_p95",
+        "atis_test_latency_seconds_p99"}) {
+    EXPECT_NE(text.find("# TYPE " + std::string(derived) + " gauge"),
+              std::string::npos)
+        << derived;
+    EXPECT_NE(text.find(std::string(derived) + "{q=\"diag\"} "),
+              std::string::npos)
+        << derived;
+  }
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ListFamiliesReportsTypesLabelsAndSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("atis_c_total", "help c", {{"algorithm", "dijkstra"}});
+  reg.GetCounter("atis_c_total", "help c", {{"algorithm", "astar"}});
+  reg.GetGauge("atis_g_ratio", "help g");
+  reg.GetHistogram("atis_h_seconds", "help h", {1.0});
+  reg.AddCollector([](MetricsRegistry& r) {
+    r.GetGauge("atis_from_collector", "").Set(1.0);
+  });
+
+  const std::vector<MetricsRegistry::FamilyInfo> families =
+      reg.ListFamilies();
+  ASSERT_EQ(families.size(), 4u);  // collectors ran: their family shows
+  // Sorted by name.
+  EXPECT_EQ(families[0].name, "atis_c_total");
+  EXPECT_EQ(families[0].type, "counter");
+  EXPECT_EQ(families[0].num_series, 2u);
+  ASSERT_EQ(families[0].label_keys.size(), 1u);
+  EXPECT_EQ(families[0].label_keys[0], "algorithm");
+  EXPECT_EQ(families[1].name, "atis_from_collector");
+  EXPECT_EQ(families[2].name, "atis_g_ratio");
+  EXPECT_EQ(families[2].type, "gauge");
+  EXPECT_EQ(families[3].name, "atis_h_seconds");
+  EXPECT_EQ(families[3].type, "histogram");
+}
+
+// The documented metric inventory (README "Live observability" table).
+// Every family any layer registers must appear here — the test fails on
+// undocumented additions and on renames that leave the table stale.
+constexpr const char* kDocumentedFamilies[] = {
+    "atis_blocks_read_total",
+    "atis_blocks_written_total",
+    "atis_buffer_dirty_writebacks_total",
+    "atis_buffer_evictions_total",
+    "atis_buffer_frames",
+    "atis_buffer_hit_ratio",
+    "atis_buffer_hits_total",
+    "atis_buffer_misses_total",
+    "atis_buffer_pool_occupancy_ratio",
+    "atis_buffer_pool_shards",
+    "atis_buffer_read_retries_total",
+    "atis_buffer_retries_exhausted_total",
+    "atis_disk_faults_injected_total",
+    "atis_disk_pages_allocated",
+    "atis_io_cost_units",
+    "atis_landmark_count",
+    "atis_landmark_preprocess_blocks_read_total",
+    "atis_landmark_preprocess_blocks_written_total",
+    "atis_landmark_preprocess_seconds",
+    "atis_landmark_select_seconds",
+    "atis_prefetch_dropped_total",
+    "atis_prefetch_errors_total",
+    "atis_prefetch_filled_total",
+    "atis_prefetch_hit_ratio",
+    "atis_prefetch_issued_total",
+    "atis_prefetch_useful_total",
+    "atis_prefetch_wasted_total",
+    "atis_query_latency_seconds",
+    "atis_relations_created_total",
+    "atis_relations_deleted_total",
+    "atis_route_cache_hits_total",
+    "atis_route_cache_misses_total",
+    "atis_route_cache_stale_evictions_total",
+    "atis_search_iterations_total",
+    "atis_search_runs_total",
+    "atis_server_admission_shed_total",
+    "atis_server_breaker_open_transitions_total",
+    "atis_server_breaker_rejections_total",
+    "atis_server_deadline_exceeded_total",
+    "atis_server_degraded_snapshot_total",
+    "atis_server_degraded_stale_total",
+    "atis_server_queries_total",
+    "atis_server_query_failures_total",
+    "atis_server_query_latency_seconds",
+    "atis_server_slow_queries_total",
+    "atis_server_traces_sampled_total",
+    "atis_server_uptime_seconds",
+    "atis_slo_availability_ratio",
+    "atis_slo_degraded_ratio",
+    "atis_slo_error_budget_burn_rate",
+    "atis_slo_latency_p50_seconds",
+    "atis_slo_latency_p95_seconds",
+    "atis_slo_latency_p99_seconds",
+    "atis_slo_qps",
+};
+
+bool IsDocumented(const std::string& name) {
+  for (const char* doc : kDocumentedFamilies) {
+    if (name == doc) return true;
+  }
+  return false;
+}
+
+void CheckConventions(const MetricsRegistry::FamilyInfo& fam) {
+  EXPECT_TRUE(fam.name.starts_with("atis_"))
+      << fam.name << ": families are atis_-prefixed";
+  if (fam.type == "counter") {
+    EXPECT_TRUE(fam.name.ends_with("_total"))
+        << fam.name << ": counters end in _total";
+  }
+  if (fam.name.ends_with("_ratio")) {
+    EXPECT_EQ(fam.type, "gauge") << fam.name << ": ratios are gauges";
+  }
+}
+
+TEST(MetricsInventoryTest, RegisteredFamiliesMatchTheDocumentedSet) {
+  // A local registry picks up the storage collectors and the SLO gauges
+  // deterministically (the server-side counters are covered through the
+  // default-registry sweep below, populated by whichever tests served
+  // queries in this process).
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 4);
+  MetricsRegistry reg;
+  RegisterStorageCollectors(reg, &disk, &pool);
+  SloWindows slo;
+  slo.PublishGauges(reg);
+
+  for (const MetricsRegistry::FamilyInfo& fam : reg.ListFamilies()) {
+    EXPECT_TRUE(IsDocumented(fam.name))
+        << fam.name << " is registered but not in the documented inventory";
+    CheckConventions(fam);
+  }
+  // The pre-rename gauge must be gone for good.
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_EQ(text.find("atis_buffer_pool_occupancy "), std::string::npos);
+  EXPECT_NE(text.find("atis_buffer_pool_occupancy_ratio "),
+            std::string::npos);
+
+  for (const MetricsRegistry::FamilyInfo& fam :
+       MetricsRegistry::Default().ListFamilies()) {
+    if (fam.name.rfind("atis_", 0) != 0) continue;  // test-local families
+    EXPECT_TRUE(IsDocumented(fam.name))
+        << fam.name << " is registered but not in the documented inventory";
+    CheckConventions(fam);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+// Tests for obs::SlowQueryLog: the JSONL record renderer, threshold /
+// force gating, size-bounded rotation, and append-across-reopen.
+#include "obs/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace atis::obs {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountLines(const std::string& text) {
+  size_t n = 0;
+  for (const char c : text) n += c == '\n';
+  return n;
+}
+
+SlowQueryLog::Record SampleRecord() {
+  SlowQueryLog::Record rec;
+  rec.unix_millis = 1722000000000;
+  rec.source = 5;
+  rec.destination = 138;
+  rec.algorithm = "astar3";
+  rec.latency_ms = 12.5;
+  rec.blocks_read = 42;
+  rec.cache_hit = false;
+  rec.degraded = false;
+  rec.served_via = "engine";
+  rec.worker_id = 2;
+  rec.sampled = true;
+  return rec;
+}
+
+TEST(SlowQueryLogTest, RenderEmitsOneJsonLineWithEveryField) {
+  const std::string line = RenderSlowQueryRecord(SampleRecord());
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"ts_ms\":1722000000000"), std::string::npos);
+  EXPECT_NE(line.find("\"source\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"destination\":138"), std::string::npos);
+  EXPECT_NE(line.find("\"algorithm\":\"astar3\""), std::string::npos);
+  EXPECT_NE(line.find("\"latency_ms\":12.500"), std::string::npos);
+  EXPECT_NE(line.find("\"blocks_read\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"served_via\":\"engine\""), std::string::npos);
+  EXPECT_NE(line.find("\"worker\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"sampled\":true"), std::string::npos);
+  // No deadline -> the field is omitted entirely, not null.
+  EXPECT_EQ(line.find("deadline_remaining_ms"), std::string::npos);
+  EXPECT_EQ(line.find("\"error\""), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, RenderCarriesDeadlineAndErrorWhenPresent) {
+  SlowQueryLog::Record rec = SampleRecord();
+  rec.has_deadline = true;
+  rec.deadline_remaining_ms = -3.25;
+  rec.status = "DEADLINE_EXCEEDED: query deadline exceeded";
+  const std::string line = RenderSlowQueryRecord(rec);
+  EXPECT_NE(line.find("\"deadline_remaining_ms\":-3.250"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"error\":\"DEADLINE_EXCEEDED"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, RenderEscapesJsonMetacharacters) {
+  SlowQueryLog::Record rec = SampleRecord();
+  rec.status = "bad \"quote\"\nnewline";
+  const std::string line = RenderSlowQueryRecord(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("bad \\\"quote\\\"\\nnewline"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesAndForceOverrides) {
+  const std::string path =
+      ::testing::TempDir() + "/atis_slow_query_threshold.jsonl";
+  std::remove(path.c_str());
+  auto log = SlowQueryLog::Open(
+      {.path = path, .threshold_ms = 10.0, .max_bytes = 1 << 20});
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  SlowQueryLog::Record rec = SampleRecord();
+  rec.latency_ms = 5.0;
+  EXPECT_FALSE((*log)->MaybeRecord(rec));  // below threshold
+  rec.latency_ms = 10.0;
+  EXPECT_TRUE((*log)->MaybeRecord(rec));   // at threshold
+  rec.latency_ms = 0.5;
+  EXPECT_TRUE((*log)->MaybeRecord(rec, /*force=*/true));  // degraded/error
+  EXPECT_EQ((*log)->records_written(), 2u);
+  EXPECT_EQ(CountLines(Slurp(path)), 2u);
+}
+
+TEST(SlowQueryLogTest, RotationBoundsTheActiveFileAndKeepsNGenerations) {
+  const std::string path =
+      ::testing::TempDir() + "/atis_slow_query_rotate.jsonl";
+  for (const char* suffix : {"", ".1", ".2", ".3"}) {
+    std::remove((path + suffix).c_str());
+  }
+  const size_t max_bytes = 512;
+  auto log = SlowQueryLog::Open({.path = path, .threshold_ms = 0.0,
+                                 .max_bytes = max_bytes,
+                                 .max_rotations = 2});
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  SlowQueryLog::Record rec = SampleRecord();
+  const size_t line_bytes = RenderSlowQueryRecord(rec).size() + 1;
+  // Enough records to rotate at least three times — the oldest generation
+  // must drop, leaving path, path.1, path.2 and nothing older.
+  const size_t n = 4 * (max_bytes / line_bytes + 1);
+  size_t written_lines = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE((*log)->MaybeRecord(rec));
+    ++written_lines;
+  }
+  EXPECT_EQ((*log)->records_written(), written_lines);
+
+  size_t kept_lines = 0;
+  for (const char* suffix : {"", ".1", ".2"}) {
+    const std::string text = Slurp(path + suffix);
+    EXPECT_FALSE(text.empty()) << "missing generation " << path << suffix;
+    EXPECT_LE(text.size(), max_bytes + line_bytes);
+    kept_lines += CountLines(text);
+  }
+  EXPECT_LT(kept_lines, written_lines);  // the oldest generation dropped
+  EXPECT_TRUE(Slurp(path + ".3").empty());
+}
+
+TEST(SlowQueryLogTest, ReopenAppendsAndCountsExistingBytes) {
+  const std::string path =
+      ::testing::TempDir() + "/atis_slow_query_reopen.jsonl";
+  std::remove(path.c_str());
+  SlowQueryLog::Record rec = SampleRecord();
+  {
+    auto log = SlowQueryLog::Open({.path = path, .threshold_ms = 0.0});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->MaybeRecord(rec));
+  }
+  auto log = SlowQueryLog::Open({.path = path, .threshold_ms = 0.0});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->MaybeRecord(rec));
+  EXPECT_EQ(CountLines(Slurp(path)), 2u);
+}
+
+}  // namespace
+}  // namespace atis::obs

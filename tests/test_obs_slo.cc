@@ -1,0 +1,137 @@
+// Tests for obs::SloWindows: windowed counts and QPS over the trailing
+// 10s/1m/5m, availability and burn-rate arithmetic, shed accounting,
+// percentile ordering, ring-bucket expiry, and gauge publication.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace atis::obs {
+namespace {
+
+SloSample Ok(double latency_seconds) {
+  return SloSample{.latency_seconds = latency_seconds, .ok = true};
+}
+
+TEST(SloWindowsTest, IdleSnapshotIsCleanAndFullyAvailable) {
+  SloWindows slo;
+  const std::vector<SloWindows::Window> windows = slo.SnapshotAt(1000.0);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].name, "10s");
+  EXPECT_EQ(windows[1].name, "1m");
+  EXPECT_EQ(windows[2].name, "5m");
+  for (const SloWindows::Window& w : windows) {
+    EXPECT_EQ(w.total, 0u);
+    EXPECT_DOUBLE_EQ(w.qps, 0.0);
+    EXPECT_DOUBLE_EQ(w.availability, 1.0);
+    EXPECT_DOUBLE_EQ(w.burn_rate, 0.0);
+  }
+}
+
+TEST(SloWindowsTest, CountsAndQpsCoverTheTrailingWindowExactly) {
+  SloWindows slo;
+  // Two queries per second for 30 seconds ending at t=1030.
+  for (int s = 1000; s < 1030; ++s) {
+    slo.RecordAt(Ok(0.005), s + 0.25);
+    slo.RecordAt(Ok(0.005), s + 0.75);
+  }
+  const auto windows = slo.SnapshotAt(1029.9);
+  // 10s window: seconds 1020..1029 -> 20 queries at 2 QPS.
+  EXPECT_EQ(windows[0].total, 20u);
+  EXPECT_NEAR(windows[0].qps, 2.0, 1e-9);
+  // 1m and 5m windows hold everything recorded.
+  EXPECT_EQ(windows[1].total, 60u);
+  EXPECT_NEAR(windows[1].qps, 1.0, 1e-9);
+  EXPECT_EQ(windows[2].total, 60u);
+  EXPECT_NEAR(windows[2].qps, 0.2, 1e-9);
+}
+
+TEST(SloWindowsTest, OldSamplesAgeOutOfShorterWindowsFirst) {
+  SloWindows slo;
+  slo.RecordAt(Ok(0.001), 1000.5);
+  // 30s later the sample is out of the 10s window but inside 1m and 5m.
+  auto windows = slo.SnapshotAt(1030.0);
+  EXPECT_EQ(windows[0].total, 0u);
+  EXPECT_EQ(windows[1].total, 1u);
+  EXPECT_EQ(windows[2].total, 1u);
+  // 301s later it is gone everywhere (and availability resets to idle 1.0).
+  windows = slo.SnapshotAt(1302.0);
+  EXPECT_EQ(windows[2].total, 0u);
+  EXPECT_DOUBLE_EQ(windows[2].availability, 1.0);
+}
+
+TEST(SloWindowsTest, RingBucketReuseDropsTheStaleSecond) {
+  SloWindows slo;
+  // Both records land in ring slot (second % 300) but 300s apart; the
+  // second write must evict the first, not add to it.
+  slo.RecordAt(Ok(0.001), 100.5);
+  slo.RecordAt(Ok(0.001), 400.5);
+  const auto windows = slo.SnapshotAt(400.9);
+  EXPECT_EQ(windows[2].total, 1u);
+}
+
+TEST(SloWindowsTest, AvailabilityBurnRateAndShedAccounting) {
+  SloWindows::Options options;
+  options.availability_target = 0.9;
+  SloWindows slo(options);
+  const double t = 2000.0;
+  for (int i = 0; i < 7; ++i) slo.RecordAt(Ok(0.002), t + 0.1);
+  slo.RecordAt(SloSample{.latency_seconds = 0.002, .ok = true,
+                         .degraded = true},
+               t + 0.2);
+  slo.RecordAt(SloSample{.latency_seconds = 0.010, .ok = false}, t + 0.3);
+  slo.RecordAt(SloSample{.ok = false, .shed = true}, t + 0.4);
+  const auto windows = slo.SnapshotAt(t + 0.9);
+  const SloWindows::Window& w = windows[0];
+  EXPECT_EQ(w.total, 10u);
+  EXPECT_EQ(w.errors, 2u);  // the failure and the shed query
+  EXPECT_EQ(w.degraded, 1u);
+  EXPECT_EQ(w.shed, 1u);
+  EXPECT_NEAR(w.availability, 0.8, 1e-9);
+  // burn = (1 - availability) / (1 - target) = 0.2 / 0.1.
+  EXPECT_NEAR(w.burn_rate, 2.0, 1e-9);
+}
+
+TEST(SloWindowsTest, LatencyPercentilesAreOrderedAndInRange) {
+  SloWindows slo;
+  // 1ms..100ms uniform; the ladder buckets this coarsely but the
+  // interpolated quantiles must stay ordered and inside the data range.
+  for (int i = 1; i <= 100; ++i) slo.RecordAt(Ok(i * 1e-3), 3000.5);
+  const SloWindows::Window w = slo.SnapshotAt(3001.0).front();
+  EXPECT_GT(w.p50_seconds, 0.0);
+  EXPECT_LE(w.p50_seconds, w.p95_seconds);
+  EXPECT_LE(w.p95_seconds, w.p99_seconds);
+  EXPECT_GE(w.p50_seconds, 1e-3);
+  EXPECT_LE(w.p99_seconds, 100e-3 + 1e-9);
+  EXPECT_NEAR(w.p50_seconds, 0.05, 0.03);
+}
+
+TEST(SloWindowsTest, PublishGaugesWritesOneSeriesPerWindow) {
+  SloWindows::Options options;
+  options.availability_target = 0.99;
+  SloWindows slo(options);
+  // Record on the live clock: PublishGauges snapshots via Snapshot().
+  for (int i = 0; i < 10; ++i) slo.Record(Ok(0.004));
+  MetricsRegistry registry;
+  slo.PublishGauges(registry);
+  const std::string text = registry.ToPrometheusText();
+  for (const char* window : {"10s", "1m", "5m"}) {
+    for (const char* name :
+         {"atis_slo_qps", "atis_slo_availability_ratio",
+          "atis_slo_degraded_ratio", "atis_slo_error_budget_burn_rate",
+          "atis_slo_latency_p50_seconds", "atis_slo_latency_p95_seconds",
+          "atis_slo_latency_p99_seconds"}) {
+      const std::string series =
+          std::string(name) + "{window=\"" + window + "\"}";
+      EXPECT_NE(text.find(series), std::string::npos)
+          << "missing series " << series;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atis::obs
