@@ -173,6 +173,7 @@ ConfigResult RunConfig(const graph::Graph& g, const ChaosConfig& chaos,
     switch (resp.served_via) {
       case core::ServedVia::kEngine:
       case core::ServedVia::kCache:
+      case core::ServedVia::kCoalesced:  // this bench serves unbatched
         ++out.engine;
         break;
       case core::ServedVia::kStaleCache:

@@ -48,12 +48,18 @@ struct Params {
   /// and the unchanged check_perf.py gate proves the hot path is
   /// unperturbed.
   bool obs = false;
+  /// Zipf-skewed hot-region workload (MakeSkewedQueries) instead of the
+  /// uniform random pairs — the rush-hour traffic shape the batching
+  /// study (bench_batching) exploits. Off by default so the checked-in
+  /// CI baseline keeps gating the uniform workload.
+  bool skew = false;
   size_t queries_per_batch = 64;
   std::vector<size_t> worker_counts = {1, 2, 4, 8};
 
-  static Params ForMode(bool quick, bool obs) {
+  static Params ForMode(bool quick, bool obs, bool skew) {
     Params p;
     p.obs = obs;
+    p.skew = skew;
     if (quick) {
       p.quick = true;
       p.queries_per_batch = 16;
@@ -62,6 +68,12 @@ struct Params {
     return p;
   }
 };
+
+// Skew shape: s = 1.2 over region ranks puts roughly half the traffic in
+// the two busiest cells of the order-3 Hilbert grid (the order RouteServer
+// batches on by default).
+constexpr double kZipfS = 1.2;
+constexpr uint32_t kRegionOrder = 3;
 
 constexpr uint64_t kObsSampleEvery = 64;
 
@@ -209,7 +221,9 @@ MapRun RunMap(const std::string& name, const graph::Graph& g,
   run.edges = g.num_edges();
 
   const std::vector<core::RouteQuery> queries =
-      MakeQueries(g, params.queries_per_batch);
+      params.skew ? MakeSkewedQueries(g, params.queries_per_batch, kSeed,
+                                      kZipfS, kRegionOrder)
+                  : MakeQueries(g, params.queries_per_batch);
   std::vector<double> baseline_costs;
   for (size_t workers : params.worker_counts) {
     std::vector<double> costs;
@@ -271,6 +285,11 @@ void EmitJson(const std::vector<MapRun>& runs, const Params& params,
   w.Field("seed", kSeed);
   w.Field("quick", params.quick);
   w.Field("obs", params.obs);
+  w.Field("workload", params.skew ? "skewed_zipf" : "uniform");
+  if (params.skew) {
+    w.Field("zipf_s", kZipfS);
+    w.Field("region_order", static_cast<uint64_t>(kRegionOrder));
+  }
   if (params.obs) w.Field("obs_sample_every", kObsSampleEvery);
   w.Field("queries_per_batch", params.queries_per_batch);
   w.Field("frames_per_worker", kFramesPerWorker);
@@ -308,8 +327,8 @@ void EmitJson(const std::vector<MapRun>& runs, const Params& params,
   FinishBenchFile(w, path);
 }
 
-void Run(const std::string& json_path, bool quick, bool obs) {
-  const Params params = Params::ForMode(quick, obs);
+void Run(const std::string& json_path, bool quick, bool obs, bool skew) {
+  const Params params = Params::ForMode(quick, obs, skew);
   PrintHeader("Throughput: concurrent route serving",
               "QPS and latency percentiles vs worker count; shared sharded "
               "buffer pool,\nshared metered disk with simulated block "
@@ -321,6 +340,11 @@ void Run(const std::string& json_path, bool quick, bool obs) {
                 "windows, and a live\n/metrics endpoint scraped "
                 "concurrently by a polling thread.\n",
                 static_cast<unsigned long long>(kObsSampleEvery));
+  }
+  if (params.skew) {
+    std::printf("\nworkload: Zipf(s=%.1f) hot-region skew over order-%u "
+                "Hilbert cells\n(sources cluster; destinations uniform).\n",
+                kZipfS, kRegionOrder);
   }
 
   std::vector<MapRun> runs;
@@ -355,6 +379,7 @@ void Run(const std::string& json_path, bool quick, bool obs) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool obs = false;
+  bool skew = false;
   std::string json_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -362,10 +387,12 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--obs") {
       obs = true;
+    } else if (arg == "--skew") {
+      skew = true;
     } else {
       json_path = arg;
     }
   }
-  atis::bench::Run(json_path, quick, obs);
+  atis::bench::Run(json_path, quick, obs, skew);
   return 0;
 }

@@ -1,10 +1,14 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
+#include "core/batch_engine.h"
 #include "obs/trace.h"
 
 // Configure-time provenance stamp (bench/CMakeLists.txt); "unknown" when
@@ -117,6 +121,66 @@ graph::Graph MakeGrid(int k, graph::GridCostModel model) {
     std::abort();
   }
   return std::move(g).value();
+}
+
+// -- Skewed workloads -------------------------------------------------------
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  if (n == 0) n = 1;
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // absorb rounding so Sample never falls off the end
+}
+
+size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.NextDouble();
+  return static_cast<size_t>(
+      std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+}
+
+std::vector<core::RouteQuery> MakeSkewedQueries(const graph::Graph& g,
+                                                size_t n, uint64_t seed,
+                                                double zipf_s,
+                                                uint32_t region_order) {
+  // Bucket nodes by the same coarse Hilbert cell RouteServer batches on.
+  const core::RegionIndex regions(g, region_order);
+  std::unordered_map<uint64_t, std::vector<graph::NodeId>> by_region;
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    const auto id = static_cast<graph::NodeId>(u);
+    by_region[regions.RegionOf(id)].push_back(id);
+  }
+  // Rank cells by population, ties broken by cell id for determinism
+  // (unordered_map iteration order must not leak into the workload).
+  std::vector<std::pair<uint64_t, std::vector<graph::NodeId>>> ranked(
+      by_region.begin(), by_region.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.size() != b.second.size()) {
+      return a.second.size() > b.second.size();
+    }
+    return a.first < b.first;
+  });
+
+  Rng rng(seed);
+  const ZipfSampler zipf(ranked.size(), zipf_s);
+  std::vector<core::RouteQuery> queries;
+  queries.reserve(n);
+  while (queries.size() < n) {
+    const std::vector<graph::NodeId>& cell = ranked[zipf(rng)].second;
+    core::RouteQuery q;
+    q.source = cell[rng.UniformInt(cell.size())];
+    q.destination =
+        static_cast<graph::NodeId>(rng.UniformInt(g.num_nodes()));
+    if (q.source == q.destination) continue;
+    // Keep only answerable pairs (road maps have unreachable islands).
+    if (!core::DijkstraSearch(g, q.source, q.destination).found) continue;
+    queries.push_back(q);
+  }
+  return queries;
 }
 
 void PrintHeader(const std::string& experiment, const std::string& detail) {

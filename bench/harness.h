@@ -12,11 +12,13 @@
 
 #include "core/db_search.h"
 #include "core/memory_search.h"
+#include "core/route_server.h"
 #include "graph/grid_generator.h"
 #include "graph/relational_graph.h"
 #include "graph/road_map_generator.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "util/random.h"
 #include "util/stats.h"
 
 namespace atis::bench {
@@ -86,6 +88,33 @@ std::string CostCell(const Cell& c);
 
 /// Builds the paper's grid for a given size / cost model (seed 1993).
 graph::Graph MakeGrid(int k, graph::GridCostModel model);
+
+// -- Skewed workloads -------------------------------------------------------
+
+/// Power-law sampler over ranks 0..n-1: P(k) ∝ 1/(k+1)^s, drawn from a
+/// precomputed inverse-CDF table (one uniform + one binary search per
+/// draw). s = 0 degenerates to uniform; larger s concentrates mass on the
+/// first ranks. Deterministic given the caller's Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  size_t operator()(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Builds `n` reachable route queries (A* v3 defaults) whose *sources*
+/// cluster in hot regions: nodes are bucketed into the coarse Hilbert
+/// cells of the given order — the same core::RegionIndex key RouteServer
+/// batches on — cells are ranked by population, and a Zipf(s) draw picks
+/// the cell, so a few regions receive most of the traffic (the rush-hour
+/// access pattern batching exploits). Destinations stay uniform over the
+/// whole map. Deterministic in `seed`.
+std::vector<core::RouteQuery> MakeSkewedQueries(const graph::Graph& g,
+                                                size_t n, uint64_t seed,
+                                                double zipf_s,
+                                                uint32_t region_order);
 
 // -- Table formatting -------------------------------------------------------
 

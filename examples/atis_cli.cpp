@@ -68,6 +68,7 @@ int Usage(const char* argv0) {
       " [--layout=roworder|hilbert] [--prefetch-depth=K]"
       " [--obs-port=P] [--sample-every=N] [--trace-dir=DIR]"
       " [--slow-query-ms=MS] [--slow-query-log=FILE] [--repeat=N]"
+      " [--max-batch=N] [--batch-window-us=N]"
       " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
@@ -97,7 +98,12 @@ int Usage(const char* argv0) {
       "or errored one) to --trace-dir (default atis-traces),\n"
       "--slow-query-ms=MS appends queries at or over MS to the JSONL\n"
       "--slow-query-log (default slow_queries.jsonl), --repeat=N serves\n"
-      "the batch N times (keeps the endpoint up for scrapes).\n",
+      "the batch N times (keeps the endpoint up for scrapes).\n"
+      "serve batching: --max-batch=N groups up to N queued queries whose\n"
+      "sources share a map region into one batch (shared adjacency scans,\n"
+      "merged prefetch hints, coalesced duplicates; answers stay\n"
+      "bit-identical), --batch-window-us=N holds an underfull batch open\n"
+      "that long for late same-region arrivals (default 0: never wait).\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -415,6 +421,8 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   std::string trace_dir = "atis-traces";
   std::string slow_query_log = "slow_queries.jsonl";
   size_t repeat = 1;
+  size_t max_batch = 1;
+  uint64_t batch_window_us = 0;
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -512,6 +520,20 @@ int CmdServe(int argc, char** argv, const char* argv0) {
         return 2;
       }
       repeat = static_cast<size_t>(n);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 12);
+      if (n <= 0) {
+        std::fprintf(stderr, "--max-batch wants a positive count\n");
+        return 2;
+      }
+      max_batch = static_cast<size_t>(n);
+    } else if (arg.rfind("--batch-window-us=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 18);
+      if (n < 0) {
+        std::fprintf(stderr, "--batch-window-us wants a count >= 0\n");
+        return 2;
+      }
+      batch_window_us = static_cast<uint64_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -561,6 +583,8 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   opt.enable_degraded = degraded;
   opt.layout = layout;
   opt.prefetch_depth = prefetch_depth;
+  opt.max_batch = max_batch;
+  opt.batch_window_us = batch_window_us;
   if (fault_rate > 0.0) {
     opt.fault_profile.transient_rate = fault_rate;
     opt.retry.max_attempts = 4;  // absorb most transient faults in place

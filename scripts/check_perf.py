@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Perf smoke gate: compare a BENCH_throughput run against a baseline.
+"""Perf smoke gate: compare a benchmark run against a checked-in baseline.
 
 Usage: check_perf.py MEASURED.json BASELINE.json [--tolerance 0.30]
 
-Both files are BENCH_throughput.json emissions (quick mode in CI). Every
-(map, workers) configuration present in the baseline must reach at least
-(1 - tolerance) x the baseline QPS in the measured run; missing
-configurations fail too. The workload is dominated by the benchmark's
-simulated per-block device latency (deterministic sleeps), not host CPU,
-which is what makes a checked-in QPS baseline meaningful across machines.
+Understands two BENCH_*.json shapes (both quick mode in CI):
+
+- throughput: every (map, workers) configuration in the baseline must
+  reach at least (1 - tolerance) x the baseline QPS.
+- batching: every (map, workload, max_batch) configuration must hold the
+  same QPS floor, and blocks/query must not grow past
+  (1 + tolerance) x the baseline — the shared-read savings are the whole
+  point of batching, so losing them is a regression even if QPS holds.
+
+Measured and baseline must be emissions of the same benchmark. The
+workloads are dominated by the benchmarks' simulated per-block device
+latency (deterministic sleeps), not host CPU, which is what makes a
+checked-in baseline meaningful across machines.
 
 Exit code 0 when every configuration passes, 1 otherwise.
 """
@@ -18,17 +25,31 @@ import json
 import sys
 
 
-def load_configs(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("benchmark") != "throughput":
-        sys.exit(f"{path}: not a BENCH_throughput file "
-                 f"(benchmark={doc.get('benchmark')!r})")
-    configs = {}
-    for m in doc.get("maps", []):
-        for c in m.get("configs", []):
-            configs[(m["name"], c["workers"])] = c["qps"]
-    return doc, configs
+    bench = doc.get("benchmark")
+    if bench == "throughput":
+        configs = {}
+        for m in doc.get("maps", []):
+            for c in m.get("configs", []):
+                configs[(m["name"], c["workers"])] = {"qps": c["qps"]}
+        return doc, configs
+    if bench == "batching":
+        configs = {}
+        for r in doc.get("runs", []):
+            for c in r.get("configs", []):
+                key = (r["map"], r["workload"], c["max_batch"])
+                configs[key] = {"qps": c["qps"],
+                                "blocks_per_query": c["blocks_per_query"]}
+        return doc, configs
+    sys.exit(f"{path}: unsupported benchmark ({bench!r})")
+
+
+def describe(key):
+    if len(key) == 2:  # throughput
+        return f"{key[0]} @ {key[1]}w"
+    return f"{key[0]}/{key[1]} @ batch {key[2]}"
 
 
 def main():
@@ -36,33 +57,43 @@ def main():
     ap.add_argument("measured")
     ap.add_argument("baseline")
     ap.add_argument("--tolerance", type=float, default=0.30,
-                    help="allowed fractional QPS regression (default 0.30)")
+                    help="allowed fractional regression (default 0.30)")
     args = ap.parse_args()
 
-    mdoc, measured = load_configs(args.measured)
-    bdoc, baseline = load_configs(args.baseline)
+    mdoc, measured = load(args.measured)
+    bdoc, baseline = load(args.baseline)
+    if mdoc.get("benchmark") != bdoc.get("benchmark"):
+        sys.exit(f"benchmark mismatch: measured {mdoc.get('benchmark')!r} "
+                 f"vs baseline {bdoc.get('benchmark')!r}")
     print(f"measured: {args.measured} (git {mdoc.get('git_commit', '?')})")
     print(f"baseline: {args.baseline} (git {bdoc.get('git_commit', '?')})")
 
     failed = False
-    for (map_name, workers), base_qps in sorted(baseline.items()):
-        floor = base_qps * (1.0 - args.tolerance)
-        got = measured.get((map_name, workers))
+    for key, base in sorted(baseline.items()):
+        got = measured.get(key)
         if got is None:
-            print(f"FAIL {map_name} @ {workers}w: missing from measured run")
+            print(f"FAIL {describe(key)}: missing from measured run")
             failed = True
             continue
-        verdict = "ok" if got >= floor else "FAIL"
-        print(f"{verdict:4} {map_name} @ {workers}w: "
-              f"{got:.1f} qps vs baseline {base_qps:.1f} "
-              f"(floor {floor:.1f})")
-        if got < floor:
+        qps_floor = base["qps"] * (1.0 - args.tolerance)
+        ok = got["qps"] >= qps_floor
+        line = (f"{describe(key)}: {got['qps']:.1f} qps vs baseline "
+                f"{base['qps']:.1f} (floor {qps_floor:.1f})")
+        if "blocks_per_query" in base:
+            bpq_ceil = base["blocks_per_query"] * (1.0 + args.tolerance)
+            ok = ok and got["blocks_per_query"] <= bpq_ceil
+            line += (f", {got['blocks_per_query']:.1f} blocks/query vs "
+                     f"{base['blocks_per_query']:.1f} "
+                     f"(ceiling {bpq_ceil:.1f})")
+        print(f"{'ok' if ok else 'FAIL':4} {line}")
+        if not ok:
             failed = True
 
     if failed:
-        print(f"\nQPS regression beyond {100 * args.tolerance:.0f}% "
-              "tolerance — if the slowdown is intentional, regenerate the "
-              "baseline with: bench_throughput <baseline-path> --quick")
+        bench = bdoc.get("benchmark")
+        print(f"\nregression beyond {100 * args.tolerance:.0f}% tolerance "
+              "— if the slowdown is intentional, regenerate the baseline "
+              f"with: bench_{bench} <baseline-path> --quick")
         return 1
     print("\nperf smoke passed")
     return 0

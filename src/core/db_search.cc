@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "core/batch_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -198,9 +199,16 @@ Result<std::vector<NodeId>> DbSearchEngine::ReconstructFromStore(
 
 Result<PathResult> DbSearchEngine::Dijkstra(NodeId source,
                                             NodeId destination,
-                                            const Deadline& deadline) {
+                                            const Deadline& deadline,
+                                            BatchContext* batch) {
   return BestFirstStatusAttribute(source, destination, /*estimator=*/nullptr,
-                                  "dijkstra", deadline);
+                                  "dijkstra", deadline, batch);
+}
+
+Result<std::vector<graph::RelationalGraphStore::EdgeRow>>
+DbSearchEngine::FetchAdjacency(NodeId u, BatchContext* batch) {
+  if (batch != nullptr) return batch->FetchAdjacency(*store_, u);
+  return store_->FetchAdjacency(u);
 }
 
 Status DbSearchEngine::EnableLandmarks(
@@ -214,7 +222,8 @@ Status DbSearchEngine::EnableLandmarks(
 
 Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
                                          AStarVersion version,
-                                         const Deadline& deadline) {
+                                         const Deadline& deadline,
+                                         BatchContext* batch) {
   if (version == AStarVersion::kV4) {
     if (landmark_estimator_ == nullptr) {
       return Status::FailedPrecondition(
@@ -222,7 +231,7 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
     }
     return BestFirstStatusAttribute(source, destination,
                                     landmark_estimator_.get(), "astar-v4",
-                                    deadline);
+                                    deadline, batch);
   }
   const auto estimator =
       MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
@@ -230,13 +239,13 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
   switch (version) {
     case AStarVersion::kV1:
       return AStarSeparateRelation(source, destination, *estimator,
-                                   "astar-v1", deadline);
+                                   "astar-v1", deadline, batch);
     case AStarVersion::kV2:
       return BestFirstStatusAttribute(source, destination, estimator.get(),
-                                      "astar-v2", deadline);
+                                      "astar-v2", deadline, batch);
     case AStarVersion::kV3:
       return BestFirstStatusAttribute(source, destination, estimator.get(),
-                                      "astar-v3", deadline);
+                                      "astar-v3", deadline, batch);
     case AStarVersion::kV4:
       break;  // handled above
   }
@@ -251,17 +260,19 @@ Result<PathResult> DbSearchEngine::AStarCustom(NodeId source,
   switch (frontier) {
     case FrontierImpl::kStatusAttribute:
       return BestFirstStatusAttribute(source, destination, &estimator,
-                                      "astar-status-attribute", deadline);
+                                      "astar-status-attribute", deadline,
+                                      /*batch=*/nullptr);
     case FrontierImpl::kSeparateRelation:
       return AStarSeparateRelation(source, destination, estimator,
-                                   "astar-separate-relation", deadline);
+                                   "astar-separate-relation", deadline,
+                                   /*batch=*/nullptr);
   }
   return Status::Internal("unreachable frontier implementation");
 }
 
 Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     NodeId source, NodeId destination, const Estimator* estimator,
-    std::string_view label, const Deadline& deadline) {
+    std::string_view label, const Deadline& deadline, BatchContext* batch) {
   const bool allow_reopen = estimator != nullptr;  // A* yes, Dijkstra no
   RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
@@ -304,7 +315,11 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
                                           destination, dest_pt);
   };
 
-  std::unordered_set<storage::PageId> hinted;  // pages hinted this run
+  // Pages hinted this run — batch-wide when executing under a
+  // BatchContext, so sibling searches don't re-hint each other's pages.
+  std::unordered_set<storage::PageId> private_hinted;
+  std::unordered_set<storage::PageId>* hinted =
+      batch != nullptr ? batch->hinted_pages() : &private_hinted;
   while (true) {
     if (deadline.expired()) {
       return Status::DeadlineExceeded("route search deadline expired");
@@ -348,7 +363,7 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
       break;
     }
 
-    PrefetchFrontier(topk.ids(), &hinted);
+    PrefetchFrontier(topk.ids(), hinted);
 
     // -- Statement: move u out of the frontier (REPLACE status=current).
     NodeRow u = best->second;
@@ -362,9 +377,10 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     ++result.stats.iterations;
     ++result.stats.nodes_expanded;
 
-    // -- Statement: fetch u.adjacencyList via the hash index on S.
+    // -- Statement: fetch u.adjacencyList via the hash index on S (shared
+    //    across the batch when running under a BatchContext).
     obs::ScopedSpan adjacency_stmt("fetch-adjacency", "statement");
-    ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(u.id));
+    ATIS_ASSIGN_OR_RETURN(auto edges, FetchAdjacency(u.id, batch));
     ATIS_RETURN_NOT_OK(EndStatement());
     adjacency_stmt.End();
     phase.Charge(&result.stats.breakdown.adjacency);
@@ -417,7 +433,7 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
 
 Result<PathResult> DbSearchEngine::AStarSeparateRelation(
     NodeId source, NodeId destination, const Estimator& estimator,
-    std::string_view label, const Deadline& deadline) {
+    std::string_view label, const Deadline& deadline, BatchContext* batch) {
   RunObserver run{std::string(label)};
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();
@@ -483,7 +499,11 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
                        RelationalGraphStore::NodeFromTuple(t)));
   };
 
-  std::unordered_set<storage::PageId> hinted;  // pages hinted this run
+  // Pages hinted this run (batch-wide under a BatchContext, as in
+  // BestFirstStatusAttribute).
+  std::unordered_set<storage::PageId> private_hinted;
+  std::unordered_set<storage::PageId>* hinted =
+      batch != nullptr ? batch->hinted_pages() : &private_hinted;
   while (true) {
     if (deadline.expired()) {
       return Status::DeadlineExceeded("route search deadline expired");
@@ -517,7 +537,7 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
 
     const NodeId uid = static_cast<NodeId>(AsInt(best->second[0]));
     const double ug = AsDouble(best->second[1]);
-    PrefetchFrontier(topk.ids(), &hinted);
+    PrefetchFrontier(topk.ids(), hinted);
 
     // -- Statement: DELETE the selected tuple from F.
     {
@@ -553,7 +573,7 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
 
     // -- Statement: fetch adjacency from S.
     obs::ScopedSpan adjacency_stmt("fetch-adjacency", "statement");
-    ATIS_ASSIGN_OR_RETURN(auto edges, store_->FetchAdjacency(uid));
+    ATIS_ASSIGN_OR_RETURN(auto edges, FetchAdjacency(uid, batch));
     ATIS_RETURN_NOT_OK(EndStatement());
     adjacency_stmt.End();
     phase.Charge(&result.stats.breakdown.adjacency);
@@ -679,7 +699,11 @@ Result<PathResult> DbSearchEngine::AStarSeparateRelation(
 
 Result<PathResult> DbSearchEngine::Iterative(NodeId source,
                                              NodeId destination,
-                                             const Deadline& deadline) {
+                                             const Deadline& deadline,
+                                             BatchContext* batch) {
+  // The join-based plan reaches neighbours set-at-a-time already; there is
+  // no per-node adjacency fetch for the batch to share.
+  (void)batch;
   RunObserver run("iterative");
   storage::IoMeter& meter = pool_->disk()->meter();
   const storage::IoCounters start_io = meter.counters();

@@ -31,6 +31,8 @@
 
 namespace atis::core {
 
+class BatchContext;  // core/batch_engine.h
+
 enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
 std::string_view AStarVersionName(AStarVersion v);
 
@@ -75,20 +77,32 @@ class DbSearchEngine {
   /// iteration/expansion; an expired deadline aborts the run with
   /// kDeadlineExceeded (the store's working state stays consistent — the
   /// next run begins with its own ResetSearchState).
+  ///
+  /// All entry points also take an optional BatchContext: when non-null,
+  /// per-node adjacency fetches and prefetch hints route through the
+  /// batch's shared caches (core/batch_engine.h). Results are identical
+  /// to a `batch == nullptr` run — only the block I/O charged to this
+  /// query shrinks when an earlier batch member already fetched a node.
+  /// The Iterative algorithm reaches neighbours through a relational join
+  /// rather than per-node fetches, so it accepts the context for
+  /// interface uniformity but has no scan to share.
   Result<PathResult> Iterative(graph::NodeId source,
                                graph::NodeId destination,
-                               const Deadline& deadline = {});
+                               const Deadline& deadline = {},
+                               BatchContext* batch = nullptr);
 
   /// Dijkstra's algorithm (Figure 2 / Table 3).
   Result<PathResult> Dijkstra(graph::NodeId source,
                               graph::NodeId destination,
-                              const Deadline& deadline = {});
+                              const Deadline& deadline = {},
+                              BatchContext* batch = nullptr);
 
   /// A* in one of the implementation versions (1-3 from the paper, 4 the
   /// ALT extension). Version 4 needs EnableLandmarks() first.
   Result<PathResult> AStar(graph::NodeId source, graph::NodeId destination,
                            AStarVersion version,
-                           const Deadline& deadline = {});
+                           const Deadline& deadline = {},
+                           BatchContext* batch = nullptr);
 
   /// Installs the estimator Version 4 runs with (typically
   /// MakeLandmarkEstimator over a table loaded from this store's
@@ -115,13 +129,21 @@ class DbSearchEngine {
                                               graph::NodeId destination,
                                               const Estimator* estimator,
                                               std::string_view label,
-                                              const Deadline& deadline);
+                                              const Deadline& deadline,
+                                              BatchContext* batch);
 
   Result<PathResult> AStarSeparateRelation(graph::NodeId source,
                                            graph::NodeId destination,
                                            const Estimator& estimator,
                                            std::string_view label,
-                                           const Deadline& deadline);
+                                           const Deadline& deadline,
+                                           BatchContext* batch);
+
+  /// The adjacency of `u`: through `batch`'s shared cache when non-null,
+  /// else a private store fetch. Either way the blocks actually read are
+  /// metered on the calling thread.
+  Result<std::vector<graph::RelationalGraphStore::EdgeRow>> FetchAdjacency(
+      graph::NodeId u, BatchContext* batch);
 
   /// Follows R.pred from the destination. Charged reads, but performed
   /// after the run's stats snapshot (route assembly, not route search).
@@ -136,7 +158,9 @@ class DbSearchEngine {
   /// to the pool's background workers. `hinted` is the run's
   /// pages-already-hinted set: each page is enqueued at most once per
   /// search, so steady frontiers don't re-queue the same ids every
-  /// iteration. Advisory; never fails.
+  /// iteration. Under a BatchContext the set is batch-wide, so the
+  /// members' merged frontier reaches the prefetcher once per page per
+  /// batch. Advisory; never fails.
   void PrefetchFrontier(const std::vector<graph::NodeId>& frontier,
                         std::unordered_set<storage::PageId>* hinted);
 

@@ -29,6 +29,8 @@ const char* ServedViaName(ServedVia via) {
       return "stale-cache";
     case ServedVia::kSnapshot:
       return "snapshot";
+    case ServedVia::kCoalesced:
+      return "coalesced";
     case ServedVia::kNone:
       return "none";
   }
@@ -124,6 +126,23 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
     admission_shed_ = &reg.GetCounter(
         "atis_server_admission_shed_total",
         "Route queries shed by admission control (kResourceExhausted)");
+    batch_batches_ = &reg.GetCounter(
+        "atis_batch_batches_total",
+        "Query batches executed through a shared BatchContext");
+    batch_members_ = &reg.GetCounter(
+        "atis_batch_members_total",
+        "Route queries executed as members of a batch");
+    batch_adjacency_fetches_ = &reg.GetCounter(
+        "atis_batch_adjacency_fetches_total",
+        "Metered adjacency fetches performed on behalf of a batch");
+    batch_shared_hits_ = &reg.GetCounter(
+        "atis_batch_shared_adjacency_hits_total",
+        "Adjacency lookups served from a batch's shared scan cache "
+        "(block reads a serial execution would have re-issued)");
+    batch_coalesced_ = &reg.GetCounter(
+        "atis_batch_coalesced_total",
+        "Route queries answered by singleflight coalescing onto an "
+        "identical query in the same batch");
   }
 
   // Observability: trace sampling, slow-query log, SLO windows. A broken
@@ -184,6 +203,10 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
   // Degraded answers run on the metric the replicas actually store, so a
   // snapshot route costs the same as the engine would have reported.
   snapshot_ = WithStoredEdgeCosts(g);
+  if (options.max_batch > 1) {
+    regions_ = std::make_unique<RegionIndex>(snapshot_,
+                                             options.batch_region_order);
+  }
   options_ = options;
 
   // Resilience knobs go live only after every replica (and the landmark
@@ -242,23 +265,83 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
     }
   }
 
+  if (admitted == 0) return responses;
+
+  // Hand the admitted prefix to the shared queue and block until every
+  // query of THIS call has an answer. The call's completion state lives on
+  // this stack frame; workers hold pointers to it only while the frame is
+  // pinned here.
+  ServeCall call;
+  const auto enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = &queries;
-    out_ = &responses;
-    limit_ = admitted;
-    next_ = 0;
-    done_ = 0;
+    call.remaining = admitted;
+    for (size_t i = 0; i < admitted; ++i) {
+      WorkItem item;
+      item.query = &queries[i];
+      item.out = &responses;
+      item.index = i;
+      item.region =
+          regions_ != nullptr ? regions_->RegionOf(queries[i].source) : 0;
+      item.enqueued = enqueued;
+      item.call = &call;
+      pending_.push_back(item);
+    }
   }
   work_cv_.notify_all();
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return done_ == limit_; });
-    batch_ = nullptr;
-    out_ = nullptr;
+    done_cv_.wait(lock, [&] { return call.remaining == 0; });
   }
   return responses;
+}
+
+bool RouteServer::ClaimBatch(std::unique_lock<std::mutex>& lock,
+                             std::vector<WorkItem>* claimed,
+                             uint64_t* batch_id) {
+  work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+  if (stop_) return false;
+
+  // FIFO seed, then every pending query sharing its region, newest last —
+  // region grouping reorders across dispatch calls, which is exactly the
+  // locality win, while the FIFO seed bounds any query's queue delay.
+  claimed->push_back(pending_.front());
+  pending_.pop_front();
+  const uint64_t region = claimed->front().region;
+  const size_t max_batch = std::max<size_t>(1, options_.max_batch);
+  auto claim_matching = [&] {
+    for (auto it = pending_.begin();
+         it != pending_.end() && claimed->size() < max_batch;) {
+      if (it->region == region) {
+        claimed->push_back(*it);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  claim_matching();
+
+  // Underfull batch: optionally hold it open for late same-region
+  // arrivals, bounded by the seed's enqueue time plus the window. Other
+  // workers keep draining other regions meanwhile.
+  if (claimed->size() < max_batch && options_.batch_window_us > 0) {
+    const auto hold_until =
+        claimed->front().enqueued +
+        std::chrono::microseconds(options_.batch_window_us);
+    while (claimed->size() < max_batch && !stop_) {
+      if (work_cv_.wait_until(lock, hold_until) ==
+          std::cv_status::timeout) {
+        claim_matching();
+        break;
+      }
+      claim_matching();
+    }
+  }
+
+  *batch_id = max_batch > 1 ? ++next_batch_id_ : 0;
+  return true;
 }
 
 void RouteServer::WorkerLoop(size_t worker_id) {
@@ -278,31 +361,121 @@ void RouteServer::WorkerLoop(size_t worker_id) {
       obs::Histogram::LatencyBounds(), labels);
 
   while (true) {
-    size_t idx = 0;
-    const RouteQuery* query = nullptr;
-    std::vector<RouteResponse>* out = nullptr;
+    std::vector<WorkItem> claimed;
+    uint64_t batch_id = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (batch_ != nullptr && next_ < limit_);
-      });
-      if (stop_) return;
-      idx = next_++;
-      query = &(*batch_)[idx];
-      out = out_;
+      if (!ClaimBatch(lock, &claimed, &batch_id)) return;
     }
 
-    RouteResponse resp = RunOne(worker_id, idx, *query);
-    served.Increment();
-    if (!resp.status.ok()) failed.Increment();
-    latency.Observe(resp.latency_seconds);
+    // Singleflight plan: the first occurrence of each (source,
+    // destination, algorithm, version) key computes; duplicates copy.
+    std::vector<CoalesceKey> keys;
+    keys.reserve(claimed.size());
+    for (const WorkItem& item : claimed) {
+      keys.push_back(CoalesceKey{item.query->source,
+                                 item.query->destination,
+                                 item.query->algorithm,
+                                 item.query->version});
+    }
+    const std::vector<size_t> leaders = PlanCoalescing(keys);
+
+    // Execute the batch sequentially through one shared context. With
+    // batching off (batch_id == 0) the context stays unused and the loop
+    // degenerates to the serial one-query-at-a-time path.
+    BatchContext ctx(batch_id);
+    BatchContext* ctx_ptr = batch_id != 0 ? &ctx : nullptr;
+    std::vector<RouteResponse> resps(claimed.size());
+    for (size_t i = 0; i < claimed.size(); ++i) {
+      // leaders[i] <= i, so a follower's leader has already run.
+      resps[i] = leaders[i] == i
+                     ? RunOne(worker_id, claimed[i].index,
+                              *claimed[i].query, ctx_ptr, batch_id)
+                     : RunCoalesced(worker_id, claimed[i].index,
+                                    *claimed[i].query, resps[leaders[i]],
+                                    batch_id);
+      served.Increment();
+      if (!resps[i].status.ok()) failed.Increment();
+      latency.Observe(resps[i].latency_seconds);
+    }
+
+    if (batch_id != 0) {
+      batch_batches_->Increment();
+      batch_members_->Increment(claimed.size());
+      batch_adjacency_fetches_->Increment(ctx.stats().adjacency_fetches);
+      batch_shared_hits_->Increment(ctx.stats().shared_adjacency_hits);
+      batches_executed_.fetch_add(1, std::memory_order_relaxed);
+      batch_members_executed_.fetch_add(claimed.size(),
+                                        std::memory_order_relaxed);
+      batch_fetches_.fetch_add(ctx.stats().adjacency_fetches,
+                               std::memory_order_relaxed);
+      batch_shared_.fetch_add(ctx.stats().shared_adjacency_hits,
+                              std::memory_order_relaxed);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      (*out)[idx] = std::move(resp);
-      if (++done_ == limit_) done_cv_.notify_all();
+      for (size_t i = 0; i < claimed.size(); ++i) {
+        (*claimed[i].out)[claimed[i].index] = std::move(resps[i]);
+        --claimed[i].call->remaining;
+      }
     }
+    done_cv_.notify_all();
   }
+}
+
+RouteResponse RouteServer::RunCoalesced(size_t worker_id,
+                                        size_t query_index,
+                                        const RouteQuery& q,
+                                        const RouteResponse& leader,
+                                        uint64_t batch_id) {
+  const auto started = std::chrono::steady_clock::now();
+  RouteResponse resp;
+  resp.query_index = query_index;
+  resp.worker_id = static_cast<int>(worker_id);
+  resp.batch_id = batch_id;
+  resp.coalesced = true;
+  // The leader's answer, whatever its provenance — including a failure:
+  // an identical query asked at the same instant fails the same way.
+  resp.status = leader.status;
+  resp.result = leader.result;
+  resp.degraded = leader.degraded;
+  resp.degraded_cause = leader.degraded_cause;
+  resp.served_via =
+      leader.status.ok() ? ServedVia::kCoalesced : ServedVia::kNone;
+  // No search ran and no cache lookup happened for this member: io stays
+  // zero and cache hit/miss accounting belongs to the leader alone.
+  resp.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  batch_coalesced_->Increment();
+  batch_coalesced_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (slow_log_ != nullptr) {
+    obs::SlowQueryLog::Record rec;
+    rec.source = q.source;
+    rec.destination = q.destination;
+    rec.algorithm = std::string(AlgorithmName(q.algorithm));
+    rec.latency_ms = resp.latency_seconds * 1000.0;
+    rec.blocks_read = 0;
+    rec.cache_hit = false;
+    rec.degraded = resp.degraded;
+    rec.served_via = ServedViaName(resp.served_via);
+    rec.worker_id = resp.worker_id;
+    rec.batch_id = batch_id;
+    rec.coalesced = true;
+    if (!resp.status.ok()) rec.status = resp.status.ToString();
+    slow_log_->MaybeRecord(rec,
+                           /*force=*/resp.degraded || !resp.status.ok());
+  }
+  if (slo_) {
+    slo_->Record({.latency_seconds = resp.latency_seconds,
+                  .ok = resp.status.ok(),
+                  .degraded = resp.degraded,
+                  .shed = false});
+  }
+  return resp;
 }
 
 Status RouteServer::UpdateEdgeCost(graph::NodeId u, graph::NodeId v,
@@ -373,7 +546,7 @@ std::string RouteServer::StatuszJson() {
   size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (batch_ != nullptr && next_ < limit_) queue_depth = limit_ - next_;
+    queue_depth = pending_.size();
   }
   out << "{\"uptime_seconds\":" << uptime
       << ",\"num_workers\":" << engines_.size()
@@ -384,6 +557,34 @@ std::string RouteServer::StatuszJson() {
       << ",\"default_deadline_ms\":" << options_.default_deadline_ms
       << ",\"degraded_enabled\":"
       << (options_.enable_degraded ? "true" : "false") << "}";
+
+  {
+    const uint64_t batches =
+        batches_executed_.load(std::memory_order_relaxed);
+    const uint64_t members =
+        batch_members_executed_.load(std::memory_order_relaxed);
+    const uint64_t fetches = batch_fetches_.load(std::memory_order_relaxed);
+    const uint64_t shared = batch_shared_.load(std::memory_order_relaxed);
+    const uint64_t lookups = fetches + shared;
+    out << ",\"batching\":{\"enabled\":"
+        << (options_.max_batch > 1 ? "true" : "false")
+        << ",\"max_batch\":" << options_.max_batch
+        << ",\"window_us\":" << options_.batch_window_us
+        << ",\"region_order\":" << options_.batch_region_order
+        << ",\"batches\":" << batches << ",\"members\":" << members
+        << ",\"avg_occupancy\":"
+        << (batches > 0 ? static_cast<double>(members) /
+                              static_cast<double>(batches)
+                        : 0.0)
+        << ",\"adjacency_fetches\":" << fetches
+        << ",\"shared_adjacency_hits\":" << shared
+        << ",\"shared_hit_ratio\":"
+        << (lookups > 0 ? static_cast<double>(shared) /
+                              static_cast<double>(lookups)
+                        : 0.0)
+        << ",\"coalesced\":"
+        << batch_coalesced_served_.load(std::memory_order_relaxed) << "}";
+  }
 
   out << ",\"workers\":[";
   for (size_t w = 0; w < breakers_.size(); ++w) {
@@ -460,10 +661,12 @@ std::string RouteServer::StatuszJson() {
 }
 
 RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
-                                  const RouteQuery& q) {
+                                  const RouteQuery& q, BatchContext* batch,
+                                  uint64_t batch_id) {
   RouteResponse resp;
   resp.query_index = query_index;
   resp.worker_id = static_cast<int>(worker_id);
+  resp.batch_id = batch_id;
 
   const auto started = std::chrono::steady_clock::now();
   const uint64_t deadline_ms =
@@ -493,6 +696,10 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
     root->Tag("source", std::to_string(q.source));
     root->Tag("destination", std::to_string(q.destination));
     root->Tag("algorithm", std::string(AlgorithmName(q.algorithm)));
+    if (batch_id != 0) {
+      root->Tag("batch", std::to_string(batch_id));
+      root->Tag("coalesced", "0");  // followers never reach RunOne
+    }
   }
 
   const RouteCache::Key key{q.source, q.destination, q.algorithm, q.version};
@@ -527,11 +734,12 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
       DbSearchEngine& engine = *engines_[worker_id];
       switch (q.algorithm) {
         case Algorithm::kIterative:
-          return engine.Iterative(q.source, q.destination, deadline);
+          return engine.Iterative(q.source, q.destination, deadline, batch);
         case Algorithm::kDijkstra:
-          return engine.Dijkstra(q.source, q.destination, deadline);
+          return engine.Dijkstra(q.source, q.destination, deadline, batch);
         case Algorithm::kAStar:
-          return engine.AStar(q.source, q.destination, q.version, deadline);
+          return engine.AStar(q.source, q.destination, q.version, deadline,
+                              batch);
       }
       return Status::InvalidArgument("unknown algorithm");
     }();
@@ -602,6 +810,8 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
       rec.deadline_remaining_ms = deadline.remaining_seconds() * 1000.0;
     }
     rec.worker_id = resp.worker_id;
+    rec.batch_id = batch_id;
+    rec.coalesced = false;
     if (!resp.status.ok()) rec.status = resp.status.ToString();
     rec.sampled = trace_persisted;
     // Degraded / errored queries are logged regardless of latency — the

@@ -25,17 +25,30 @@
 // (flagged) first, then an in-memory search over the last-good graph
 // snapshot — instead of returning an error. Oversized batches are shed by
 // admission control with kResourceExhausted.
+//
+// Batched execution (Options::max_batch > 1): admitted queries wait in
+// one shared queue; a free worker claims a FIFO seed plus up to
+// max_batch - 1 queued queries whose sources share a coarse Hilbert
+// region, and runs them back-to-back through a shared BatchContext
+// (core/batch_engine.h) — one metered adjacency fetch per expanded node
+// feeds every member, prefetch hints dedupe batch-wide, and identical
+// (source, destination, algorithm, version) members coalesce into a
+// single computation. Answers are bit-identical to serial execution; only
+// the block I/O per query shrinks.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/batch_engine.h"
 #include "core/circuit_breaker.h"
 #include "core/db_search.h"
 #include "core/route_cache.h"
@@ -72,6 +85,7 @@ enum class ServedVia {
   kCache,       ///< fresh route-cache hit
   kStaleCache,  ///< degraded: cached route from before an epoch bump
   kSnapshot,    ///< degraded: in-memory search on the last-good graph
+  kCoalesced,   ///< copied from an identical query in the same batch
   kNone,        ///< failed (or shed) with no answer
 };
 const char* ServedViaName(ServedVia via);
@@ -92,6 +106,11 @@ struct RouteResponse {
   ServedVia served_via = ServedVia::kEngine;
   /// The primary-path error a degraded answer papered over (OK otherwise).
   Status degraded_cause;
+  /// Id of the batch this query executed in (0 when batching is off).
+  uint64_t batch_id = 0;
+  /// True when this answer was coalesced from an identical query in the
+  /// same batch (singleflight): io is zero, the computation ran once.
+  bool coalesced = false;
 };
 
 class RouteServer {
@@ -145,6 +164,24 @@ class RouteServer {
     /// Per-replica circuit breaker configuration.
     CircuitBreaker::Options breaker;
 
+    /// Batched execution: a worker claims up to this many queued queries
+    /// sharing a region (see batch_region_order) and runs them as one
+    /// batch through a shared BatchContext — one metered adjacency fetch
+    /// per expanded node feeds every member, prefetch hints dedupe
+    /// batch-wide, and identical queries coalesce into one computation.
+    /// Results stay bit-identical to serial execution; only per-query I/O
+    /// shrinks. 1 (default) = unbatched, the pre-batching serving path.
+    size_t max_batch = 1;
+    /// How long a worker holds an underfull batch open waiting for more
+    /// same-region arrivals, measured from the seed query's enqueue time.
+    /// 0 (default) = never wait: queries already queued still batch
+    /// together, but nothing is delayed for future arrivals.
+    uint64_t batch_window_us = 0;
+    /// Region-affinity granularity: queries are grouped by the Hilbert
+    /// cell of their source on a 2^order x 2^order grid over the map's
+    /// bounding box. Read only when max_batch > 1.
+    uint32_t batch_region_order = 3;
+
     /// Serving-path observability (tracing, slow-query log, SLO windows).
     /// All off by default; each knob is independent.
     struct ObsOptions {
@@ -194,16 +231,18 @@ class RouteServer {
   /// (response[i].query_index == i). A failed query yields a non-OK
   /// per-response status — the batch itself still succeeds. When
   /// Options::max_queue_depth bounds admission, queries beyond the
-  /// admitted prefix are shed immediately with kResourceExhausted. Must
-  /// not be called concurrently from multiple dispatcher threads, and
-  /// fails if init_status() is non-OK.
+  /// admitted prefix are shed immediately with kResourceExhausted. Safe
+  /// to call concurrently from multiple dispatcher threads (their queries
+  /// interleave in one shared pending queue — with batching on they may
+  /// even share a batch); fails if init_status() is non-OK.
   Result<std::vector<RouteResponse>> ServeBatch(
       const std::vector<RouteQuery>& queries);
 
   /// Applies a traffic update — the new cost of edge u -> v — to every
   /// store replica and invalidates the route cache by bumping its epoch.
-  /// Must not run concurrently with ServeBatch (single dispatcher, same as
-  /// serving). Congestion (cost increases) keeps the landmark tables
+  /// Must not run concurrently with ServeBatch (in-flight searches — and
+  /// batch-shared adjacency caches — assume a stable S relation).
+  /// Congestion (cost increases) keeps the landmark tables
   /// admissible; after a cost *decrease* Version 4 results may lose their
   /// optimality guarantee until the server is rebuilt.
   Status UpdateEdgeCost(graph::NodeId u, graph::NodeId v, double cost);
@@ -227,6 +266,26 @@ class RouteServer {
   obs::TraceRing* trace_ring() { return trace_ring_.get(); }
   obs::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
 
+  /// Batching totals for this server since construction (all 0 when
+  /// max_batch == 1 — the unbatched path never touches them). The same
+  /// numbers appear in /statusz under "batching" and, process-wide, as
+  /// the atis_batch_* counters.
+  uint64_t batches_executed() const {
+    return batches_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t batch_members_executed() const {
+    return batch_members_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t batch_adjacency_fetches() const {
+    return batch_fetches_.load(std::memory_order_relaxed);
+  }
+  uint64_t batch_shared_hits() const {
+    return batch_shared_.load(std::memory_order_relaxed);
+  }
+  uint64_t batch_coalesced_served() const {
+    return batch_coalesced_served_.load(std::memory_order_relaxed);
+  }
+
   /// Pushes pull-style gauges (SLO windows, uptime) into the default
   /// registry. Hook this into HttpExporter::Options::refresh, or call it
   /// before a one-shot metrics dump. Safe from any thread.
@@ -239,9 +298,37 @@ class RouteServer {
   std::string StatuszJson();
 
  private:
+  /// One ServeBatch invocation's completion state (stack-allocated by the
+  /// dispatcher; outlives its queries because ServeBatch blocks on it).
+  struct ServeCall {
+    size_t remaining = 0;  // guarded by mu_
+  };
+  /// One admitted query waiting in (or claimed from) the shared queue.
+  struct WorkItem {
+    const RouteQuery* query = nullptr;
+    std::vector<RouteResponse>* out = nullptr;
+    size_t index = 0;      ///< position within the dispatcher's call
+    uint64_t region = 0;   ///< batch-formation affinity key
+    std::chrono::steady_clock::time_point enqueued;
+    ServeCall* call = nullptr;
+  };
+
   void WorkerLoop(size_t worker_id);
+  /// Claims a batch from the queue: a FIFO seed plus up to max_batch - 1
+  /// pending queries sharing its region, optionally holding the batch
+  /// open batch_window_us for late same-region arrivals. Returns false on
+  /// shutdown. `lock` must hold mu_.
+  bool ClaimBatch(std::unique_lock<std::mutex>& lock,
+                  std::vector<WorkItem>* claimed, uint64_t* batch_id);
   RouteResponse RunOne(size_t worker_id, size_t query_index,
-                       const RouteQuery& q);
+                       const RouteQuery& q, BatchContext* batch,
+                       uint64_t batch_id);
+  /// A singleflight follower's response: the leader's answer with the
+  /// member's own accounting (zero I/O, ServedVia::kCoalesced).
+  RouteResponse RunCoalesced(size_t worker_id, size_t query_index,
+                             const RouteQuery& q,
+                             const RouteResponse& leader,
+                             uint64_t batch_id);
   /// Fills `resp` from a degraded source after primary failure `cause`.
   /// Returns false when no fallback produced an answer.
   bool ServeDegraded(const RouteQuery& q, const RouteCache::Key& key,
@@ -271,6 +358,20 @@ class RouteServer {
   obs::Counter* admission_shed_ = nullptr;
   obs::Counter* traces_sampled_ = nullptr;
   obs::Counter* slow_queries_ = nullptr;
+  obs::Counter* batch_batches_ = nullptr;
+  obs::Counter* batch_members_ = nullptr;
+  obs::Counter* batch_adjacency_fetches_ = nullptr;
+  obs::Counter* batch_shared_hits_ = nullptr;
+  obs::Counter* batch_coalesced_ = nullptr;
+  // Per-server batching totals for /statusz (the counters above are
+  // process-global and may aggregate several servers).
+  std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> batch_members_executed_{0};
+  std::atomic<uint64_t> batch_fetches_{0};
+  std::atomic<uint64_t> batch_shared_{0};
+  std::atomic<uint64_t> batch_coalesced_served_{0};
+  /// Region-affinity index over the served map (null when max_batch <= 1).
+  std::unique_ptr<RegionIndex> regions_;
   // Observability state (null unless enabled by Options::obs).
   std::unique_ptr<obs::TraceSampler> sampler_;
   std::unique_ptr<obs::TraceRing> trace_ring_;
@@ -281,13 +382,10 @@ class RouteServer {
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for queries / stop
-  std::condition_variable done_cv_;   // dispatcher waits for completion
-  const std::vector<RouteQuery>* batch_ = nullptr;  // guarded by mu_
-  std::vector<RouteResponse>* out_ = nullptr;       // guarded by mu_
-  size_t limit_ = 0;  // admitted prefix of the batch (guarded by mu_)
-  size_t next_ = 0;   // next unclaimed query index
-  size_t done_ = 0;   // completed queries in the current batch
-  bool stop_ = false;
+  std::condition_variable done_cv_;   // dispatchers wait for completion
+  std::deque<WorkItem> pending_;      // guarded by mu_
+  uint64_t next_batch_id_ = 0;        // guarded by mu_
+  bool stop_ = false;                 // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

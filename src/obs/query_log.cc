@@ -41,7 +41,12 @@ std::string RenderSlowQueryRecord(const SlowQueryLog::Record& record) {
     std::snprintf(num, sizeof(num), "%.3f", record.deadline_remaining_ms);
     out << ",\"deadline_remaining_ms\":" << num;
   }
-  out << ",\"worker\":" << record.worker_id << ",\"ok\":"
+  out << ",\"worker\":" << record.worker_id;
+  if (record.batch_id != 0) {
+    out << ",\"batch\":" << record.batch_id << ",\"coalesced\":"
+        << (record.coalesced ? "true" : "false");
+  }
+  out << ",\"ok\":"
       << (record.status.empty() || record.status == "OK" ? "true" : "false");
   if (!record.status.empty() && record.status != "OK") {
     out << ",\"error\":\"" << EscapeJson(record.status) << "\"";

@@ -55,6 +55,11 @@ class SlowQueryLog {
     bool has_deadline = false;
     double deadline_remaining_ms = 0.0;
     int worker_id = -1;
+    /// Batch this query executed in; 0 (= omitted from the JSON) when the
+    /// server ran unbatched.
+    uint64_t batch_id = 0;
+    /// The answer was coalesced from an identical query in the same batch.
+    bool coalesced = false;
     std::string status;       ///< "" / "OK" for success, else the error
     bool sampled = false;     ///< a trace of this query is in the ring
   };

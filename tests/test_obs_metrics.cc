@@ -281,6 +281,11 @@ TEST(MetricsRegistryTest, ListFamiliesReportsTypesLabelsAndSeries) {
 // Every family any layer registers must appear here — the test fails on
 // undocumented additions and on renames that leave the table stale.
 constexpr const char* kDocumentedFamilies[] = {
+    "atis_batch_adjacency_fetches_total",
+    "atis_batch_batches_total",
+    "atis_batch_coalesced_total",
+    "atis_batch_members_total",
+    "atis_batch_shared_adjacency_hits_total",
     "atis_blocks_read_total",
     "atis_blocks_written_total",
     "atis_buffer_dirty_writebacks_total",
