@@ -1,0 +1,599 @@
+// A* Version 5 (customizable partition-boundary overlay) benchmark.
+//
+// Part 1 — query cost: Versions 4 (ALT) and 5 (overlay) answer the same
+// trips on the paper grids (10/20/30, three cost models) and the
+// Minneapolis-like road map, all in paper execution mode. Version 5 must
+// return exactly the Dijkstra-optimal cost on every workload, its spliced
+// path must re-sum to that cost edge by edge, and on minneapolis it must
+// settle >= 10x fewer iterations and touch >= 10x fewer blocks than v4 —
+// the overlay answers cross-cell queries from in-memory customized
+// tables, paying the store only for the two endpoint probes.
+//
+// Part 2 — customization: full-metric customization time plus the
+// incremental single-edge path (same-cell table rebuild vs cross-arc
+// patch) across cell orders 1-3. A single-edge re-customization must
+// finish in < 100ms, and Version 5 must stay exact against Dijkstra
+// after the update.
+//
+// Emits BENCH_overlay.json (override with argv[1]); --quick trims to the
+// two gated workloads for the CI perf smoke.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/landmarks.h"
+#include "core/memory_search.h"
+#include "core/overlay.h"
+#include "graph/road_map_generator.h"
+#include "harness.h"
+
+namespace atis::bench {
+namespace {
+
+constexpr uint64_t kSeed = 1993;
+constexpr size_t kNumLandmarks = 8;
+// The v4-vs-v5 comparison runs at the library default (order 1 —
+// query-optimal at these map sizes); the customization study sweeps
+// orders 1-3 to expose the query-cost / update-cost trade.
+constexpr uint32_t kDefaultCellOrder = 1;
+constexpr int kRecustomizeReps = 5;
+
+[[noreturn]] void Fatal(const std::string& message) {
+  std::fprintf(stderr, "fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+double MsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Trip {
+  std::string name;
+  graph::NodeId source = 0;
+  graph::NodeId destination = 0;
+};
+
+struct Workload {
+  std::string name;
+  graph::Graph graph;
+  std::vector<Trip> trips;
+  double euclidean_scale = 0.0;  ///< ALT mix-in (see bench_alt_cache)
+};
+
+struct VersionCell {
+  uint64_t iterations = 0;
+  uint64_t blocks = 0;
+  double cost_units = 0.0;
+  double path_cost = 0.0;
+};
+
+VersionCell ToVersionCell(const core::PathResult& r) {
+  VersionCell c;
+  c.iterations = r.stats.iterations;
+  c.blocks = r.stats.io.blocks_read + r.stats.io.blocks_written;
+  c.cost_units = r.stats.cost_units;
+  c.path_cost = r.cost;
+  return c;
+}
+
+struct TripResult {
+  Trip trip;
+  VersionCell v4, v5;
+  double optimal_cost = 0.0;
+};
+
+struct WorkloadResult {
+  std::string name;
+  size_t nodes = 0;
+  size_t cells = 0;
+  size_t boundary_nodes = 0;
+  size_t shortcuts = 0;
+  double preprocess_ms = 0.0;      // topology persist + load
+  uint64_t preprocess_blocks = 0;  // metered I/O of the same
+  double customize_full_ms = 0.0;  // whole-metric customization
+  std::vector<TripResult> trips;
+  uint64_t iters_v4 = 0, iters_v5 = 0;
+  uint64_t blocks_v4 = 0, blocks_v5 = 0;
+  double iter_ratio = 0.0;   // v4 / v5
+  double block_ratio = 0.0;  // v4 / v5
+};
+
+/// Cost of the directed edge u -> v under the float-rounded metric the
+/// store serves (the graph must come from WithStoredEdgeCosts).
+double EdgeCostOf(const graph::Graph& stored, graph::NodeId u,
+                  graph::NodeId v) {
+  for (const graph::Edge& e : stored.Neighbors(u)) {
+    if (e.to == v) return e.cost;
+  }
+  Fatal("spliced path uses a non-existent edge " + std::to_string(u) +
+        " -> " + std::to_string(v));
+}
+
+/// The acceptance assert: v5's spliced path must be a real walk from
+/// source to destination whose edge-by-edge sum equals the claimed cost.
+void CheckPath(const graph::Graph& stored, const Trip& trip,
+               const core::PathResult& r, const std::string& context) {
+  if (r.path.empty() || r.path.front() != trip.source ||
+      r.path.back() != trip.destination) {
+    Fatal(context + ": v5 path endpoints are wrong");
+  }
+  double sum = 0.0;
+  for (size_t i = 1; i < r.path.size(); ++i) {
+    sum += EdgeCostOf(stored, r.path[i - 1], r.path[i]);
+  }
+  if (std::abs(sum - r.cost) > 1e-9) {
+    Fatal(context + ": v5 path re-sums to " + std::to_string(sum) +
+          " but the run claims " + std::to_string(r.cost));
+  }
+}
+
+WorkloadResult RunWorkload(const Workload& w) {
+  WorkloadResult out;
+  out.name = w.name;
+  out.nodes = w.graph.num_nodes();
+  const graph::Graph stored = core::WithStoredEdgeCosts(w.graph);
+
+  DbInstance db(w.graph);
+
+  auto set = core::SelectLandmarks(stored, {.num_landmarks = kNumLandmarks});
+  if (!set.ok()) Fatal(set.status().ToString());
+  auto table = core::PersistAndLoadLandmarks(*set, &db.store());
+  if (!table.ok()) Fatal(table.status().ToString());
+  if (auto st = db.engine().EnableLandmarks(core::MakeLandmarkEstimator(
+          std::move(table).value(), w.euclidean_scale));
+      !st.ok()) {
+    Fatal(st.ToString());
+  }
+
+  // Overlay: topology (persisted through the metered relations), then
+  // customization for the store's current metric.
+  auto built = core::OverlayTopology::Build(
+      w.graph, {.cell_order = kDefaultCellOrder});
+  if (!built.ok()) Fatal(built.status().ToString());
+  const storage::IoCounters io_before = db.disk().meter().counters();
+  const auto pp_started = std::chrono::steady_clock::now();
+  auto topo = core::PersistAndLoadOverlayTopology(*built, &db.store(),
+                                                  w.graph);
+  if (!topo.ok()) Fatal(topo.status().ToString());
+  out.preprocess_ms = MsSince(pp_started);
+  const storage::IoCounters io_delta =
+      db.disk().meter().counters() - io_before;
+  out.preprocess_blocks = io_delta.blocks_read + io_delta.blocks_written;
+  out.cells = (*topo)->num_cells();
+  out.boundary_nodes = (*topo)->num_boundary_nodes();
+  out.shortcuts = (*topo)->num_shortcuts();
+
+  graph::RelationalGraphStore* stores[] = {&db.store()};
+  const auto cc_started = std::chrono::steady_clock::now();
+  auto custom = core::CustomizeOverlay(**topo, stores, /*metric_version=*/1);
+  if (!custom.ok()) Fatal(custom.status().ToString());
+  out.customize_full_ms = MsSince(cc_started);
+  if (auto st = db.engine().EnableOverlay(
+          std::make_shared<const core::OverlayIndex>(core::OverlayIndex{
+              *topo, *custom}));
+      !st.ok()) {
+    Fatal(st.ToString());
+  }
+
+  for (const Trip& trip : w.trips) {
+    TripResult tr;
+    tr.trip = trip;
+    // Ground truth: in-memory Dijkstra over the float-rounded stored
+    // metric, accumulated in doubles. (The database engines additionally
+    // round every partial path cost to R's 4-byte float field, so their
+    // *claimed* costs drift ~1e-7 per hop from the true stored-metric
+    // optimum; v5's tables accumulate in doubles and match this truth.)
+    const core::PathResult exact =
+        core::DijkstraSearch(stored, trip.source, trip.destination);
+    if (!exact.found) {
+      Fatal(w.name + " trip " + trip.name + ": Dijkstra found no route");
+    }
+    tr.optimal_cost = exact.cost;
+    // Cold pool before each measured run: a run must not inherit pages
+    // the previous algorithm's route reconstruction left cached (v5's
+    // endpoint probes are its whole I/O bill, so this matters).
+    if (auto st = db.pool().EvictAll(); !st.ok()) Fatal(st.ToString());
+    auto r4 = db.engine().AStar(trip.source, trip.destination,
+                                core::AStarVersion::kV4);
+    if (!r4.ok() || !(*r4).found) {
+      Fatal(w.name + " trip " + trip.name + ": v4 failed");
+    }
+    tr.v4 = ToVersionCell(*r4);
+    if (auto st = db.pool().EvictAll(); !st.ok()) Fatal(st.ToString());
+    auto r5 = db.engine().AStar(trip.source, trip.destination,
+                                core::AStarVersion::kV5);
+    if (!r5.ok() || !(*r5).found) {
+      Fatal(w.name + " trip " + trip.name + ": v5 failed: " +
+            (r5.ok() ? "no route" : r5.status().ToString()));
+    }
+    tr.v5 = ToVersionCell(*r5);
+    if (std::abs(tr.v5.path_cost - tr.optimal_cost) > 1e-9) {
+      Fatal(w.name + " trip " + trip.name + ": v5 cost " +
+            std::to_string(tr.v5.path_cost) + " diverges from optimal " +
+            std::to_string(tr.optimal_cost));
+    }
+    CheckPath(stored, trip, *r5, w.name + " trip " + trip.name);
+    out.iters_v4 += tr.v4.iterations;
+    out.iters_v5 += tr.v5.iterations;
+    out.blocks_v4 += tr.v4.blocks;
+    out.blocks_v5 += tr.v5.blocks;
+    out.trips.push_back(tr);
+  }
+  out.iter_ratio = out.iters_v5 == 0
+                       ? static_cast<double>(out.iters_v4)
+                       : static_cast<double>(out.iters_v4) /
+                             static_cast<double>(out.iters_v5);
+  out.block_ratio = out.blocks_v5 == 0
+                        ? static_cast<double>(out.blocks_v4)
+                        : static_cast<double>(out.blocks_v4) /
+                              static_cast<double>(out.blocks_v5);
+  return out;
+}
+
+void PrintWorkload(const WorkloadResult& r) {
+  std::printf("\n%s (%zu nodes; %zu cells, %zu boundary, %zu shortcuts; "
+              "customize %.2fms)\n",
+              r.name.c_str(), r.nodes, r.cells, r.boundary_nodes,
+              r.shortcuts, r.customize_full_ms);
+  PrintRow("trip", {"v4 iters", "v5 iters", "v4 blocks", "v5 blocks",
+                    "cost"});
+  for (const TripResult& t : r.trips) {
+    char i4[32], i5[32], b4[32], b5[32], c[32];
+    std::snprintf(i4, sizeof(i4), "%llu",
+                  static_cast<unsigned long long>(t.v4.iterations));
+    std::snprintf(i5, sizeof(i5), "%llu",
+                  static_cast<unsigned long long>(t.v5.iterations));
+    std::snprintf(b4, sizeof(b4), "%llu",
+                  static_cast<unsigned long long>(t.v4.blocks));
+    std::snprintf(b5, sizeof(b5), "%llu",
+                  static_cast<unsigned long long>(t.v5.blocks));
+    std::snprintf(c, sizeof(c), "%.2f", t.v5.path_cost);
+    PrintRow(t.trip.name, {i4, i5, b4, b5, c});
+  }
+  std::printf("  totals: iterations %llu -> %llu (%.1fx), blocks %llu -> "
+              "%llu (%.1fx)\n",
+              static_cast<unsigned long long>(r.iters_v4),
+              static_cast<unsigned long long>(r.iters_v5), r.iter_ratio,
+              static_cast<unsigned long long>(r.blocks_v4),
+              static_cast<unsigned long long>(r.blocks_v5), r.block_ratio);
+}
+
+// -- Part 2: customization study --------------------------------------------
+
+struct CustomizationPoint {
+  std::string workload;
+  uint32_t cell_order = 0;
+  size_t cells = 0;
+  size_t boundary_nodes = 0;
+  size_t shortcuts = 0;
+  double customize_full_ms = 0.0;
+  double recustomize_same_cell_ms = 0.0;   // median of reps
+  double recustomize_cross_cell_ms = 0.0;  // median of reps; 0 if no edge
+  size_t cells_changed_same_cell = 0;
+};
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// First directed edge whose endpoints share (or don't share) a cell.
+/// Returns false when the topology has no such edge.
+bool FindEdge(const graph::Graph& g, const core::OverlayTopology& topo,
+              bool same_cell, graph::NodeId* u, graph::NodeId* v) {
+  for (graph::NodeId a = 0; a < static_cast<graph::NodeId>(g.num_nodes());
+       ++a) {
+    for (const graph::Edge& e : g.Neighbors(a)) {
+      if ((topo.CellOf(a) == topo.CellOf(e.to)) == same_cell) {
+        *u = a;
+        *v = e.to;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+CustomizationPoint RunCustomization(const Workload& w, uint32_t order) {
+  CustomizationPoint out;
+  out.workload = w.name;
+  out.cell_order = order;
+
+  DbInstance db(w.graph);
+  auto built = core::OverlayTopology::Build(w.graph, {.cell_order = order});
+  if (!built.ok()) Fatal(built.status().ToString());
+  auto topo = core::PersistAndLoadOverlayTopology(*built, &db.store(),
+                                                  w.graph);
+  if (!topo.ok()) Fatal(topo.status().ToString());
+  out.cells = (*topo)->num_cells();
+  out.boundary_nodes = (*topo)->num_boundary_nodes();
+  out.shortcuts = (*topo)->num_shortcuts();
+
+  graph::RelationalGraphStore* stores[] = {&db.store()};
+  const auto cc_started = std::chrono::steady_clock::now();
+  auto custom = core::CustomizeOverlay(**topo, stores, /*metric_version=*/1);
+  if (!custom.ok()) Fatal(custom.status().ToString());
+  out.customize_full_ms = MsSince(cc_started);
+  std::shared_ptr<const core::OverlayCustomization> current = *custom;
+
+  // Congest one same-cell edge (cost increases keep every index sound)
+  // and measure the incremental path: re-customize only the edge's cell.
+  graph::Graph stored = core::WithStoredEdgeCosts(w.graph);
+  graph::NodeId u = 0, v = 0;
+  if (FindEdge(w.graph, **topo, /*same_cell=*/true, &u, &v)) {
+    auto prior = stored.EdgeCost(u, v);
+    if (!prior.ok()) Fatal(prior.status().ToString());
+    const double congested = *prior * 3.0;
+    if (auto st = db.store().UpdateEdgeCost(u, v, congested); !st.ok()) {
+      Fatal(st.ToString());
+    }
+    // Mirror the store's float-rounded write in the in-memory truth.
+    if (auto st = stored.SetEdgeCost(
+            u, v, static_cast<double>(static_cast<float>(congested)));
+        !st.ok()) {
+      Fatal(st.ToString());
+    }
+    std::vector<double> samples;
+    for (int rep = 0; rep < kRecustomizeReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto next = core::RecustomizeForEdge(**topo, *current, u, v,
+                                           &db.store(),
+                                           &out.cells_changed_same_cell);
+      if (!next.ok()) Fatal(next.status().ToString());
+      samples.push_back(MsSince(t0));
+      current = *next;
+    }
+    out.recustomize_same_cell_ms = MedianMs(samples);
+  } else {
+    Fatal(w.name + ": no same-cell edge at cell order " +
+          std::to_string(order));
+  }
+  if (FindEdge(w.graph, **topo, /*same_cell=*/false, &u, &v)) {
+    std::vector<double> samples;
+    size_t changed = 0;
+    for (int rep = 0; rep < kRecustomizeReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto next = core::RecustomizeForEdge(**topo, *current, u, v,
+                                           &db.store(), &changed);
+      if (!next.ok()) Fatal(next.status().ToString());
+      samples.push_back(MsSince(t0));
+      current = *next;
+    }
+    out.recustomize_cross_cell_ms = MedianMs(samples);
+    if (changed != 0) Fatal("cross-cell patch rebuilt a cell's tables");
+  }
+
+  // The updated index must keep Version 5 exact against the updated store.
+  if (auto st = db.engine().EnableOverlay(
+          std::make_shared<const core::OverlayIndex>(core::OverlayIndex{
+              *topo, current}));
+      !st.ok()) {
+    Fatal(st.ToString());
+  }
+  for (const Trip& trip : w.trips) {
+    const core::PathResult exact =
+        core::DijkstraSearch(stored, trip.source, trip.destination);
+    auto r5 = db.engine().AStar(trip.source, trip.destination,
+                                core::AStarVersion::kV5);
+    if (!exact.found || !r5.ok() || !(*r5).found ||
+        std::abs(exact.cost - r5->cost) > 1e-9) {
+      Fatal(w.name + " order " + std::to_string(order) + " trip " +
+            trip.name + ": v5 diverged from Dijkstra after the update");
+    }
+  }
+  return out;
+}
+
+// -- Emission ---------------------------------------------------------------
+
+void EmitJson(const std::vector<WorkloadResult>& workloads,
+              const std::vector<CustomizationPoint>& customization,
+              bool quick, const std::string& path) {
+  double mn_iter_ratio = 0.0, mn_block_ratio = 0.0;
+  for (const WorkloadResult& r : workloads) {
+    if (r.name == "minneapolis_like") {
+      mn_iter_ratio = r.iter_ratio;
+      mn_block_ratio = r.block_ratio;
+    }
+  }
+  double gate_recustomize_ms = 0.0;
+  for (const CustomizationPoint& p : customization) {
+    if (p.workload == "minneapolis_like" &&
+        p.cell_order == kDefaultCellOrder) {
+      gate_recustomize_ms = p.recustomize_same_cell_ms;
+    }
+  }
+
+  JsonWriter w;
+  BeginBenchJson(w, "overlay");
+  w.Field("quick", quick);
+  w.Field("seed", kSeed);
+  w.Field("cell_order", static_cast<uint64_t>(kDefaultCellOrder));
+  w.Key("gates").BeginObject();
+  w.Field("minneapolis_iter_ratio_v4_over_v5", mn_iter_ratio);
+  w.Field("minneapolis_block_ratio_v4_over_v5", mn_block_ratio);
+  w.Field("recustomize_single_edge_ms", gate_recustomize_ms);
+  w.EndObject();
+  w.Key("workloads").BeginArray();
+  for (const WorkloadResult& r : workloads) {
+    w.BeginObject();
+    w.Field("workload", r.name);
+    w.Field("nodes", r.nodes);
+    w.Field("cells", r.cells);
+    w.Field("boundary_nodes", r.boundary_nodes);
+    w.Field("shortcuts", r.shortcuts);
+    w.Field("preprocess_ms", r.preprocess_ms);
+    w.Field("preprocess_blocks", r.preprocess_blocks);
+    w.Field("customize_full_ms", r.customize_full_ms);
+    w.Field("iterations_v4", r.iters_v4);
+    w.Field("iterations_v5", r.iters_v5);
+    w.Field("blocks_v4", r.blocks_v4);
+    w.Field("blocks_v5", r.blocks_v5);
+    w.Field("iter_ratio_v4_over_v5", r.iter_ratio);
+    w.Field("block_ratio_v4_over_v5", r.block_ratio);
+    w.Key("trips").BeginArray();
+    for (const TripResult& t : r.trips) {
+      w.BeginObject();
+      w.Field("trip", t.trip.name);
+      w.Field("path_cost", t.v5.path_cost);
+      w.Field("iterations_v4", t.v4.iterations);
+      w.Field("iterations_v5", t.v5.iterations);
+      w.Field("blocks_v4", t.v4.blocks);
+      w.Field("blocks_v5", t.v5.blocks);
+      w.Field("cost_units_v4", t.v4.cost_units);
+      w.Field("cost_units_v5", t.v5.cost_units);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("customization").BeginArray();
+  for (const CustomizationPoint& p : customization) {
+    w.BeginObject();
+    w.Field("workload", p.workload);
+    w.Field("cell_order", static_cast<uint64_t>(p.cell_order));
+    w.Field("cells", p.cells);
+    w.Field("boundary_nodes", p.boundary_nodes);
+    w.Field("shortcuts", p.shortcuts);
+    w.Field("customize_full_ms", p.customize_full_ms);
+    w.Field("recustomize_same_cell_ms", p.recustomize_same_cell_ms);
+    w.Field("recustomize_cross_cell_ms", p.recustomize_cross_cell_ms);
+    w.Field("cells_changed_same_cell",
+            static_cast<uint64_t>(p.cells_changed_same_cell));
+    w.EndObject();
+  }
+  w.EndArray();
+  FinishBenchFile(w, path);
+}
+
+std::vector<Trip> GridTrips(int k) {
+  const auto n = static_cast<graph::NodeId>(k * k);
+  return {
+      {"corner_diag", 0, static_cast<graph::NodeId>(n - 1)},
+      {"anti_diag", static_cast<graph::NodeId>(k - 1),
+       static_cast<graph::NodeId>(n - k)},
+      {"mid_to_corner", static_cast<graph::NodeId>(n / 2 + k / 2),
+       static_cast<graph::NodeId>(n - 1)},
+  };
+}
+
+void Run(const std::string& json_path, bool quick) {
+  PrintHeader("A* Version 5: customizable partition-boundary overlay",
+              "Versions 4 vs 5 on the paper grids and the Minneapolis-like "
+              "road map\n(paper execution mode): identical optimal costs, "
+              ">= 10x fewer iterations\nand blocks on minneapolis; then "
+              "full vs single-edge customization across\ncell orders — an "
+              "incremental update must finish in < 100ms.");
+
+  std::vector<Workload> workloads;
+  auto rm_or = graph::GenerateMinneapolisLike();
+  if (!rm_or.ok()) Fatal(rm_or.status().ToString());
+  const graph::RoadMap rm = std::move(rm_or).value();
+  const Workload minneapolis{"minneapolis_like", rm.graph,
+                             {{"A_to_B", rm.a, rm.b},
+                              {"C_to_D", rm.c, rm.d},
+                              {"E_to_F", rm.e, rm.f},
+                              {"G_to_D", rm.g, rm.d}},
+                             /*euclidean_scale=*/1.0};
+  const Workload grid30{"grid30_uniform",
+                        MakeGrid(30, graph::GridCostModel::kUniform),
+                        GridTrips(30), /*euclidean_scale=*/1.0};
+  if (!quick) {
+    for (const int k : {10, 20, 30}) {
+      workloads.push_back({"grid" + std::to_string(k) + "_uniform",
+                           MakeGrid(k, graph::GridCostModel::kUniform),
+                           GridTrips(k), /*euclidean_scale=*/1.0});
+      workloads.push_back({"grid" + std::to_string(k) + "_variance20",
+                           MakeGrid(k, graph::GridCostModel::kVariance20),
+                           GridTrips(k), /*euclidean_scale=*/1.0});
+      workloads.push_back({"grid" + std::to_string(k) + "_skewed",
+                           MakeGrid(k, graph::GridCostModel::kSkewed),
+                           GridTrips(k), /*euclidean_scale=*/0.0});
+    }
+  } else {
+    workloads.push_back(grid30);
+  }
+  workloads.push_back(minneapolis);
+
+  std::vector<WorkloadResult> results;
+  for (const Workload& w : workloads) {
+    WorkloadResult r = RunWorkload(w);
+    PrintWorkload(r);
+    results.push_back(std::move(r));
+  }
+
+  std::vector<CustomizationPoint> customization;
+  std::printf("\ncustomization study (full vs single-edge incremental)\n");
+  PrintRow("workload/order", {"cells", "boundary", "full ms", "same-cell ms",
+                              "cross-cell ms"});
+  for (const Workload* w : quick
+                               ? std::vector<const Workload*>{&minneapolis}
+                               : std::vector<const Workload*>{&grid30,
+                                                              &minneapolis}) {
+    for (const uint32_t order : {1u, 2u, 3u}) {
+      CustomizationPoint p = RunCustomization(*w, order);
+      char cells[32], boundary[32], full[32], same[32], cross[32];
+      std::snprintf(cells, sizeof(cells), "%zu", p.cells);
+      std::snprintf(boundary, sizeof(boundary), "%zu", p.boundary_nodes);
+      std::snprintf(full, sizeof(full), "%.2f", p.customize_full_ms);
+      std::snprintf(same, sizeof(same), "%.3f", p.recustomize_same_cell_ms);
+      std::snprintf(cross, sizeof(cross), "%.3f",
+                    p.recustomize_cross_cell_ms);
+      PrintRow(w->name + "/o" + std::to_string(order),
+               {cells, boundary, full, same, cross});
+      customization.push_back(std::move(p));
+    }
+  }
+
+  // The gated numbers (ratios floored, latency ceilinged by check_perf.py).
+  double mn_iter_ratio = 0.0, mn_block_ratio = 0.0;
+  for (const WorkloadResult& r : results) {
+    if (r.name == "minneapolis_like") {
+      mn_iter_ratio = r.iter_ratio;
+      mn_block_ratio = r.block_ratio;
+    }
+  }
+  double recustomize_ms = 0.0;
+  for (const CustomizationPoint& p : customization) {
+    if (p.workload == "minneapolis_like" &&
+        p.cell_order == kDefaultCellOrder) {
+      recustomize_ms = p.recustomize_same_cell_ms;
+    }
+  }
+  const bool pass = mn_iter_ratio >= 10.0 && mn_block_ratio >= 10.0 &&
+                    recustomize_ms < 100.0;
+  std::printf("\nminneapolis v4/v5: %.1fx iterations, %.1fx blocks "
+              "(floor 10x); single-edge\nre-customization %.3fms "
+              "(ceiling 100ms) — %s\n",
+              mn_iter_ratio, mn_block_ratio, recustomize_ms,
+              pass ? "PASS" : "FAIL");
+
+  EmitJson(results, customization, quick, json_path);
+}
+
+}  // namespace
+}  // namespace atis::bench
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      json_path = arg;
+    }
+  }
+  if (json_path.empty()) {
+    json_path = quick ? "BENCH_overlay_quick.json" : "BENCH_overlay.json";
+  }
+  atis::bench::Run(json_path, quick);
+  return 0;
+}

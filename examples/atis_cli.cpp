@@ -7,10 +7,12 @@
 //   atis_cli route <file> <src> <dst> [astar|dijkstra|iterative|bidir]
 //                  [manhattan|euclidean] [weight]
 //   atis_cli dbroute <file> <src> <dst>
-//                  [dijkstra|iterative|astar1|astar2|astar3|astar4]
-//                  [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]
+//                  [dijkstra|iterative|astar1|astar2|astar3|astar4|astar5]
+//                  [--landmarks=K] [--cell-order=N] [--trace[=FILE]]
+//                  [--metrics=FILE]
 //   atis_cli serve <file> --queries=FILE [--workers=N]
 //                  [--latency=READ_US,WRITE_US] [--landmarks=K]
+//                  [--algorithm=ALGO] [--cell-order=N]
 //                  [--cache[=CAPACITY]] [--fault-rate=P] [--deadline-ms=MS]
 //                  [--degraded] [--json=FILE] [--metrics=FILE]
 //   atis_cli alternates <file> <src> <dst> <k>
@@ -27,6 +29,7 @@
 #include "core/advanced_search.h"
 #include "core/db_search.h"
 #include "core/landmarks.h"
+#include "core/overlay.h"
 #include "core/route_server.h"
 #include "core/k_shortest.h"
 #include "core/memory_search.h"
@@ -60,12 +63,14 @@ int Usage(const char* argv0) {
       "  %s route <file> <src> <dst> [astar|dijkstra|iterative|bidir]"
       " [manhattan|euclidean] [weight]\n"
       "  %s dbroute <file> <src> <dst>"
-      " [dijkstra|iterative|astar1|astar2|astar3|astar4]"
-      " [--landmarks=K] [--trace[=FILE]] [--metrics=FILE]\n"
+      " [dijkstra|iterative|astar1|astar2|astar3|astar4|astar5]"
+      " [--landmarks=K] [--cell-order=N] [--trace[=FILE]]"
+      " [--metrics=FILE]\n"
       "  %s serve <file> --queries=FILE [--workers=N]"
       " [--latency=READ_US,WRITE_US] [--landmarks=K] [--cache[=CAPACITY]]"
       " [--fault-rate=P] [--deadline-ms=MS] [--degraded]"
       " [--layout=roworder|hilbert] [--prefetch-depth=K]"
+      " [--algorithm=ALGO] [--cell-order=N]"
       " [--obs-port=P] [--sample-every=N] [--trace-dir=DIR]"
       " [--slow-query-ms=MS] [--slow-query-log=FILE] [--repeat=N]"
       " [--max-batch=N] [--batch-window-us=N]"
@@ -74,9 +79,11 @@ int Usage(const char* argv0) {
       "  %s svg <file> <src> <dst> <out.svg>\n"
       "dbroute runs the database-resident engine; astar4 uses the landmark\n"
       "(ALT) estimator over --landmarks=K precomputed landmarks (default\n"
-      "8); --trace prints the span tree (with =FILE: Chrome trace_event\n"
-      "JSON), --metrics writes a Prometheus-text metrics dump\n"
-      "('-' = stdout).\n"
+      "8); astar5 searches the customizable partition-boundary overlay\n"
+      "(--cell-order=N Hilbert partition, default 1) and also enables the\n"
+      "landmark heuristic; --trace prints the span tree (with =FILE:\n"
+      "Chrome trace_event JSON), --metrics writes a Prometheus-text\n"
+      "metrics dump ('-' = stdout).\n"
       "serve answers a batch of queries (lines: 'src dst [algorithm]',\n"
       "'#' comments) on a worker pool sharing one sharded buffer pool;\n"
       "--latency simulates per-block device waits, --landmarks enables\n"
@@ -99,6 +106,11 @@ int Usage(const char* argv0) {
       "--slow-query-ms=MS appends queries at or over MS to the JSONL\n"
       "--slow-query-log (default slow_queries.jsonl), --repeat=N serves\n"
       "the batch N times (keeps the endpoint up for scrapes).\n"
+      "serve overlay: --algorithm=ALGO sets the default algorithm for\n"
+      "query lines that name none (default astar3); --cell-order=N builds\n"
+      "the Version 5 overlay at that Hilbert order (implied at order 1\n"
+      "when astar5 queries are present), and traffic updates then\n"
+      "re-customize only the touched cell.\n"
       "serve batching: --max-batch=N groups up to N queued queries whose\n"
       "sources share a map region into one batch (shared adjacency scans,\n"
       "merged prefetch hints, coalesced duplicates; answers stay\n"
@@ -250,7 +262,8 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
   bool trace = false;
   std::string trace_file;    // empty = print the tree to stdout
   std::string metrics_file;  // empty = no metrics dump
-  size_t num_landmarks = 8;  // only read for astar4
+  size_t num_landmarks = 8;   // only read for astar4/astar5
+  uint32_t cell_order = 1;    // only read for astar5
   std::vector<const char*> positional;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -268,6 +281,13 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
         return 2;
       }
       num_landmarks = static_cast<size_t>(k);
+    } else if (arg.rfind("--cell-order=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 13);
+      if (n <= 0) {
+        std::fprintf(stderr, "--cell-order wants a positive order\n");
+        return 2;
+      }
+      cell_order = static_cast<uint32_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -285,7 +305,8 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
   const auto dst = static_cast<graph::NodeId>(std::atoi(positional[2]));
   if (positional.size() > 3) algo = positional[3];
   if (algo != "dijkstra" && algo != "iterative" && algo != "astar1" &&
-      algo != "astar2" && algo != "astar3" && algo != "astar4") {
+      algo != "astar2" && algo != "astar3" && algo != "astar4" &&
+      algo != "astar5") {
     std::fprintf(stderr, "unknown algorithm %s\n", algo.c_str());
     return Usage(argv0);
   }
@@ -301,7 +322,7 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
   opt.estimator_known_admissible = false;  // unknown user graph
   core::DbSearchEngine engine(&store, &pool, opt);
 
-  if (algo == "astar4") {
+  if (algo == "astar4" || algo == "astar5") {
     core::LandmarkOptions lm;
     lm.num_landmarks = num_landmarks;
     auto selected = core::SelectLandmarks(core::WithStoredEdgeCosts(*g), lm);
@@ -317,6 +338,35 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
     if (auto st = engine.EnableLandmarks(
             core::MakeLandmarkEstimator(std::move(table).value()));
         !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (algo == "astar5") {
+    core::OverlayOptions oopt;
+    oopt.cell_order = cell_order;
+    auto built = core::OverlayTopology::Build(*g, oopt);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    auto topo = core::PersistAndLoadOverlayTopology(*built, &store, *g);
+    if (!topo.ok()) {
+      std::fprintf(stderr, "%s\n", topo.status().ToString().c_str());
+      return 1;
+    }
+    graph::RelationalGraphStore* stores[] = {&store};
+    auto cust =
+        core::CustomizeOverlay(**topo, stores, /*metric_version=*/1);
+    if (!cust.ok()) {
+      std::fprintf(stderr, "%s\n", cust.status().ToString().c_str());
+      return 1;
+    }
+    auto index = std::make_shared<core::OverlayIndex>(
+        core::OverlayIndex{std::move(topo).value(),
+                           std::move(cust).value()});
+    if (auto st = engine.EnableOverlay(std::move(index)); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
@@ -338,6 +388,9 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
     }
     if (algo == "astar4") {
       return engine.AStar(src, dst, core::AStarVersion::kV4);
+    }
+    if (algo == "astar5") {
+      return engine.AStar(src, dst, core::AStarVersion::kV5);
     }
     return engine.AStar(src, dst, core::AStarVersion::kV2);
   }();
@@ -373,10 +426,10 @@ int CmdDbRoute(int argc, char** argv, const char* argv0) {
 }
 
 bool ParseQueryLine(const std::string& line, size_t lineno,
-                    core::RouteQuery* q) {
+                    const std::string& default_algo, core::RouteQuery* q) {
   std::istringstream in(line);
   long src = 0, dst = 0;
-  std::string algo = "astar3";
+  std::string algo = default_algo;
   if (!(in >> src >> dst)) {
     std::fprintf(stderr, "queries line %zu: expected 'src dst [algorithm]'\n",
                  lineno);
@@ -390,12 +443,13 @@ bool ParseQueryLine(const std::string& line, size_t lineno,
   } else if (algo == "iterative") {
     q->algorithm = core::Algorithm::kIterative;
   } else if (algo == "astar1" || algo == "astar2" || algo == "astar3" ||
-             algo == "astar4") {
+             algo == "astar4" || algo == "astar5") {
     q->algorithm = core::Algorithm::kAStar;
     q->version = algo == "astar1"   ? core::AStarVersion::kV1
                  : algo == "astar2" ? core::AStarVersion::kV2
                  : algo == "astar3" ? core::AStarVersion::kV3
-                                    : core::AStarVersion::kV4;
+                 : algo == "astar4" ? core::AStarVersion::kV4
+                                    : core::AStarVersion::kV5;
   } else {
     std::fprintf(stderr, "queries line %zu: unknown algorithm %s\n", lineno,
                  algo.c_str());
@@ -423,6 +477,8 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   size_t repeat = 1;
   size_t max_batch = 1;
   uint64_t batch_window_us = 0;
+  uint32_t cell_order = 0;  // 0 = no overlay unless astar5 queries demand it
+  std::string default_algo = "astar3";
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
   std::vector<const char*> positional;
@@ -534,6 +590,15 @@ int CmdServe(int argc, char** argv, const char* argv0) {
         return 2;
       }
       batch_window_us = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      default_algo = arg.substr(12);
+    } else if (arg.rfind("--cell-order=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 13);
+      if (n <= 0) {
+        std::fprintf(stderr, "--cell-order wants a positive order\n");
+        return 2;
+      }
+      cell_order = static_cast<uint32_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -564,13 +629,21 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
     core::RouteQuery q;
-    if (!ParseQueryLine(line, lineno, &q)) return 2;
+    if (!ParseQueryLine(line, lineno, default_algo, &q)) return 2;
     queries.push_back(q);
   }
   if (queries.empty()) {
     std::fprintf(stderr, "%s holds no queries\n", queries_file.c_str());
     return 1;
   }
+  // Version 5 needs the overlay; build it at order 1 when the flag was not
+  // given but astar5 queries are present.
+  const bool wants_v5 = std::any_of(
+      queries.begin(), queries.end(), [](const core::RouteQuery& q) {
+        return q.algorithm == core::Algorithm::kAStar &&
+               q.version == core::AStarVersion::kV5;
+      });
+  if (wants_v5 && cell_order == 0) cell_order = 1;
 
   core::RouteServer::Options opt;
   opt.num_workers = workers;
@@ -583,6 +656,7 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   opt.enable_degraded = degraded;
   opt.layout = layout;
   opt.prefetch_depth = prefetch_depth;
+  opt.overlay_cell_order = cell_order;
   opt.max_batch = max_batch;
   opt.batch_window_us = batch_window_us;
   if (fault_rate > 0.0) {

@@ -3,7 +3,7 @@
 
 Usage: check_perf.py MEASURED.json BASELINE.json [--tolerance 0.30]
 
-Understands two BENCH_*.json shapes (both quick mode in CI):
+Understands three BENCH_*.json shapes (all quick mode in CI):
 
 - throughput: every (map, workers) configuration in the baseline must
   reach at least (1 - tolerance) x the baseline QPS.
@@ -11,6 +11,13 @@ Understands two BENCH_*.json shapes (both quick mode in CI):
   same QPS floor, and blocks/query must not grow past
   (1 + tolerance) x the baseline — the shared-read savings are the whole
   point of batching, so losing them is a regression even if QPS holds.
+- overlay: the "gates" object must clear absolute floors — Version 5
+  must beat Version 4 by >= 10x on both settled iterations and blocks
+  read on the minneapolis-like map, and a single-edge re-customization
+  must finish in <= 100 ms. The ratios are deterministic counter
+  quotients (not timings), so they are additionally held to
+  (1 - tolerance) x the baseline's ratios to catch slow erosion that
+  still clears the floor.
 
 Measured and baseline must be emissions of the same benchmark. The
 workloads are dominated by the benchmarks' simulated per-block device
@@ -43,7 +50,45 @@ def load(path):
                 configs[key] = {"qps": c["qps"],
                                 "blocks_per_query": c["blocks_per_query"]}
         return doc, configs
+    if bench == "overlay":
+        return doc, doc.get("gates", {})
     sys.exit(f"{path}: unsupported benchmark ({bench!r})")
+
+
+# Absolute floors for the overlay gates: the whole point of Version 5 is
+# an order-of-magnitude query win plus fast metric customization, so
+# these do not scale with the baseline.
+OVERLAY_RATIO_FLOOR = 10.0
+OVERLAY_RECUSTOMIZE_CEIL_MS = 100.0
+
+
+def check_overlay(measured, baseline, tolerance):
+    failed = False
+    for name in ("minneapolis_iter_ratio_v4_over_v5",
+                 "minneapolis_block_ratio_v4_over_v5"):
+        got = measured.get(name)
+        if got is None:
+            print(f"FAIL {name}: missing from measured run")
+            failed = True
+            continue
+        floor = OVERLAY_RATIO_FLOOR
+        if name in baseline:
+            floor = max(floor, baseline[name] * (1.0 - tolerance))
+        ok = got >= floor
+        print(f"{'ok' if ok else 'FAIL':4} {name}: {got:.1f}x "
+              f"(floor {floor:.1f}x, baseline "
+              f"{baseline.get(name, float('nan')):.1f}x)")
+        failed = failed or not ok
+    got = measured.get("recustomize_single_edge_ms")
+    if got is None:
+        print("FAIL recustomize_single_edge_ms: missing from measured run")
+        failed = True
+    else:
+        ok = got <= OVERLAY_RECUSTOMIZE_CEIL_MS
+        print(f"{'ok' if ok else 'FAIL':4} recustomize_single_edge_ms: "
+              f"{got:.3f}ms (ceiling {OVERLAY_RECUSTOMIZE_CEIL_MS:.0f}ms)")
+        failed = failed or not ok
+    return failed
 
 
 def describe(key):
@@ -67,6 +112,18 @@ def main():
                  f"vs baseline {bdoc.get('benchmark')!r}")
     print(f"measured: {args.measured} (git {mdoc.get('git_commit', '?')})")
     print(f"baseline: {args.baseline} (git {bdoc.get('git_commit', '?')})")
+
+    if mdoc.get("benchmark") == "overlay":
+        failed = check_overlay(measured, baseline, args.tolerance)
+        if failed:
+            print("\noverlay gate failed — Version 5 must keep its "
+                  "order-of-magnitude win over Version 4 and its fast "
+                  "re-customization; if the map or partition changed "
+                  "intentionally, regenerate the baseline with: "
+                  "bench_overlay <baseline-path> --quick")
+            return 1
+        print("\nperf smoke passed")
+        return 0
 
     failed = False
     for key, base in sorted(baseline.items()):

@@ -7,7 +7,11 @@
 #include <optional>
 #include <string>
 
+#include <queue>
+#include <unordered_map>
+
 #include "core/batch_engine.h"
+#include "core/overlay.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -145,6 +149,8 @@ std::string_view AStarVersionName(AStarVersion v) {
       return "A* version 3";
     case AStarVersion::kV4:
       return "A* version 4";
+    case AStarVersion::kV5:
+      return "A* version 5";
   }
   return "?";
 }
@@ -220,6 +226,20 @@ Status DbSearchEngine::EnableLandmarks(
   return Status::OK();
 }
 
+Status DbSearchEngine::EnableOverlay(
+    std::shared_ptr<const OverlayIndex> overlay) {
+  if (overlay == nullptr || overlay->topology == nullptr ||
+      overlay->customization == nullptr) {
+    return Status::InvalidArgument("null or incomplete overlay index");
+  }
+  if (overlay->topology->num_nodes() != store_->num_nodes()) {
+    return Status::InvalidArgument(
+        "overlay topology does not cover this store's nodes");
+  }
+  overlay_ = std::move(overlay);
+  return Status::OK();
+}
+
 Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
                                          AStarVersion version,
                                          const Deadline& deadline,
@@ -232,6 +252,13 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
     return BestFirstStatusAttribute(source, destination,
                                     landmark_estimator_.get(), "astar-v4",
                                     deadline, batch);
+  }
+  if (version == AStarVersion::kV5) {
+    if (overlay_ == nullptr) {
+      return Status::FailedPrecondition(
+          "A* version 5 needs EnableOverlay() first");
+    }
+    return OverlaySearch(source, destination, deadline, batch);
   }
   const auto estimator =
       MakeEstimator(version == AStarVersion::kV3 ? EstimatorKind::kManhattan
@@ -247,6 +274,7 @@ Result<PathResult> DbSearchEngine::AStar(NodeId source, NodeId destination,
       return BestFirstStatusAttribute(source, destination, estimator.get(),
                                       "astar-v3", deadline, batch);
     case AStarVersion::kV4:
+    case AStarVersion::kV5:
       break;  // handled above
   }
   return Status::Internal("unreachable A* version");
@@ -427,6 +455,291 @@ Result<PathResult> DbSearchEngine::BestFirstStatusAttribute(
     ATIS_ASSIGN_OR_RETURN(result.path,
                           ReconstructFromStore(source, destination));
   }
+  run.Finish(result);
+  return result;
+}
+
+namespace {
+
+/// How an overlay A* label reached its node (drives path splicing).
+enum class OverlayArc : int8_t {
+  kSeed,      ///< source -> boundary of cell(source), rev table
+  kShortcut,  ///< boundary -> boundary inside one cell, fwd table
+  kCross,     ///< an original cell-crossing edge
+  kFinish,    ///< boundary of cell(destination) -> destination, fwd table
+};
+
+struct OverlayLabel {
+  double g = std::numeric_limits<double>::infinity();
+  NodeId pred = graph::kInvalidNode;
+  OverlayArc via = OverlayArc::kSeed;
+};
+
+/// Virtual destination of the overlay A*: reached by kFinish arcs from
+/// the destination cell's boundary. Distinct from kInvalidNode (-1).
+constexpr NodeId kOverlayTarget = -2;
+
+}  // namespace
+
+Result<PathResult> DbSearchEngine::OverlaySearch(NodeId source,
+                                                 NodeId destination,
+                                                 const Deadline& deadline,
+                                                 BatchContext* batch) {
+  // Accepted for interface uniformity: the overlay walks in-memory
+  // tables, so there is no per-node adjacency scan to share with a batch.
+  (void)batch;
+  const OverlayTopology& topo = *overlay_->topology;
+  const OverlayCustomization& cust = *overlay_->customization;
+  RunObserver run{"astar-v5"};
+  storage::IoMeter& meter = pool_->disk()->meter();
+  const storage::IoCounters start_io = meter.counters();
+  PhaseMeter phase(meter);
+
+  PathResult result;
+  result.optimality_guaranteed = (landmark_estimator_ == nullptr) ||
+                                 options_.estimator_known_admissible;
+
+  // -- Statement: probe both endpoints (validity + destination geometry).
+  //    For a cross-cell query this is the run's only store access: the
+  //    rest of the search walks the in-memory customized tables.
+  graph::Point dest_pt;
+  {
+    obs::ScopedSpan stmt("probe-endpoints", "statement");
+    ATIS_ASSIGN_OR_RETURN(auto dst, store_->GetNode(destination));
+    dest_pt = {dst.second.x, dst.second.y};
+    ATIS_ASSIGN_OR_RETURN(auto src, store_->GetNode(source));
+    (void)src;
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
+  phase.Charge(&result.stats.breakdown.init);
+
+  if (source == destination) {
+    result.found = true;
+    result.cost = 0.0;
+    result.path = {source};
+    result.stats.io = meter.counters() - start_io;
+    result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
+    run.Finish(result);
+    return result;
+  }
+
+  const int32_t cs = topo.CellOf(source);
+  const int32_t cd = topo.CellOf(destination);
+
+  auto h = [&](NodeId u) {
+    return landmark_estimator_ == nullptr
+               ? 0.0
+               : landmark_estimator_->EstimateNodes(u, topo.point(u),
+                                                    destination, dest_pt);
+  };
+
+  // -- Same-cell pairs: a shortest path that never leaves the cell has no
+  //    boundary decomposition, so consult the customized in-cell
+  //    all-pairs table — no statements, no expansions; the search work
+  //    was paid during customization. (The overlay pass below still
+  //    covers leave-and-return routes; the cheaper candidate wins, and
+  //    the in-cell cost bounds the overlay search from above.)
+  double direct_cost = kInf;
+  std::vector<NodeId> direct_path;
+  if (cs == cd) {
+    const OverlayTopology::Cell& cell = topo.cell(cs);
+    const OverlayCustomization::CellTables& tables = cust.cell(cs);
+    const auto ms = static_cast<size_t>(topo.MemberIndexOf(source));
+    const auto md = static_cast<size_t>(topo.MemberIndexOf(destination));
+    if (tables.incell_dist[ms][md] < kInf) {
+      direct_cost = tables.incell_dist[ms][md];
+      std::vector<int32_t> seg;
+      for (auto mi = static_cast<int32_t>(md); mi != -1;
+           mi = tables.incell_pred[ms][static_cast<size_t>(mi)]) {
+        seg.push_back(mi);
+      }
+      for (auto it = seg.rbegin(); it != seg.rend(); ++it) {
+        direct_path.push_back(cell.members[static_cast<size_t>(*it)]);
+      }
+    }
+  }
+  phase.Charge(&result.stats.breakdown.adjacency);
+
+  // -- Overlay A*: boundary nodes only, plus the virtual target. Arcs are
+  //    customized shortcuts, original cross edges, and the destination
+  //    cell's finishing column; the source cell's reverse column seeds
+  //    the frontier. No store I/O — every arc is a table lookup.
+  std::unordered_map<NodeId, OverlayLabel> labels;
+  struct Item {
+    double f;
+    double g;
+    NodeId id;
+  };
+  const auto worse = [](const Item& a, const Item& b) {
+    return BetterCandidate(b.f, b.g, b.id, a.f, a.g, a.id);
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(worse)> open(worse);
+  const auto relax = [&](NodeId v, double g, NodeId from, OverlayArc via) {
+    ++result.stats.nodes_generated;
+    OverlayLabel& lab = labels[v];
+    if (g < lab.g) {
+      if (lab.g < kInf) ++result.stats.nodes_improved;
+      lab = {g, from, via};
+      open.push({g + (v == kOverlayTarget ? 0.0 : h(v)), g, v});
+    }
+  };
+  {
+    const OverlayTopology::Cell& cell = topo.cell(cs);
+    const OverlayCustomization::CellTables& tables = cust.cell(cs);
+    const auto ms = static_cast<size_t>(topo.MemberIndexOf(source));
+    for (size_t bi = 0; bi < cell.boundary.size(); ++bi) {
+      const double w = tables.rev_dist[bi][ms];
+      if (w < kInf) {
+        relax(cell.boundary[bi], w, graph::kInvalidNode, OverlayArc::kSeed);
+      }
+    }
+  }
+  uint64_t overlay_expansions = 0;
+  std::unordered_map<NodeId, OverlayLabel>::iterator target_hit =
+      labels.end();
+  {
+    obs::ScopedSpan stmt("overlay-relax", "statement");
+    std::unordered_set<NodeId> closed;
+    while (!open.empty()) {
+      const Item item = open.top();
+      open.pop();
+      if (!closed.insert(item.id).second) continue;  // stale PQ entry
+      if (item.id == kOverlayTarget) {
+        target_hit = labels.find(item.id);
+        break;  // terminating selection (not counted as an iteration)
+      }
+      // Every remaining label has f >= item.f; with an admissible h that
+      // lower-bounds its true cost, so nothing in the queue can beat the
+      // in-cell candidate: the direct route wins, stop settling.
+      if (item.f >= direct_cost) break;
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded("route search deadline expired");
+      }
+      ++result.stats.iterations;
+      ++result.stats.nodes_expanded;
+      ++overlay_expansions;
+      const NodeId u = item.id;
+      const double gu = item.g;
+      const int32_t c = topo.CellOf(u);
+      const OverlayTopology::Cell& cell = topo.cell(c);
+      const OverlayCustomization::CellTables& tables = cust.cell(c);
+      const auto bi = static_cast<size_t>(topo.BoundaryIndexOf(u));
+      for (const int32_t bj : cell.shortcut_targets[bi]) {
+        const auto mj =
+            static_cast<size_t>(cell.boundary_member_idx[static_cast<size_t>(
+                bj)]);
+        const double w = tables.fwd_dist[bi][mj];
+        if (w < kInf) {
+          relax(cell.boundary[static_cast<size_t>(bj)], gu + w, u,
+                OverlayArc::kShortcut);
+        }
+      }
+      for (const graph::Edge& e : cust.cross_arcs(u)) {
+        relax(e.to, gu + e.cost, u, OverlayArc::kCross);
+      }
+      if (c == cd) {
+        const auto md = static_cast<size_t>(topo.MemberIndexOf(destination));
+        const double w = tables.fwd_dist[bi][md];
+        if (w < kInf) {
+          relax(kOverlayTarget, gu + w, u, OverlayArc::kFinish);
+        }
+      }
+    }
+    ATIS_RETURN_NOT_OK(EndStatement());
+  }
+  phase.Charge(&result.stats.breakdown.selection);
+  obs::MetricsRegistry::Default()
+      .GetCounter("atis_overlay_expansions_total",
+                  "Overlay boundary nodes settled by Version 5 searches")
+      .Increment(overlay_expansions);
+
+  const double overlay_cost =
+      target_hit != labels.end() ? target_hit->second.g : kInf;
+  result.stats.io = meter.counters() - start_io;
+  result.stats.cost_units = result.stats.io.Cost(options_.cost_params);
+
+  if (direct_cost <= overlay_cost && direct_cost < kInf) {
+    result.found = true;
+    result.cost = direct_cost;
+    result.path = std::move(direct_path);
+    run.Finish(result);
+    return result;
+  }
+  if (overlay_cost == kInf) {
+    run.Finish(result);  // unreachable
+    return result;
+  }
+
+  // -- Splice the overlay route back into base-graph nodes: walk the
+  //    label chain target -> source, then emit each arc's intra-cell
+  //    segment from the customized parent trees.
+  std::vector<NodeId> bnodes;  // boundary nodes, destination side first
+  for (NodeId at = target_hit->second.pred; at != graph::kInvalidNode;
+       at = labels.at(at).pred) {
+    bnodes.push_back(at);
+  }
+  std::reverse(bnodes.begin(), bnodes.end());
+  // Appends the intra-cell path boundary[bi] -> to (exclusive of the
+  // boundary node itself) by walking cell c's forward parent tree.
+  const auto append_fwd = [&](int32_t c, size_t bi,
+                              NodeId to) -> Status {
+    const OverlayTopology::Cell& cell = topo.cell(c);
+    const OverlayCustomization::CellTables& tables = cust.cell(c);
+    const int32_t root = cell.boundary_member_idx[bi];
+    std::vector<int32_t> seg;
+    for (int32_t mi = topo.MemberIndexOf(to); mi != root;
+         mi = tables.fwd_pred[bi][static_cast<size_t>(mi)]) {
+      if (mi < 0) {
+        return Status::Corruption("overlay parent tree does not reach its"
+                                  " boundary root");
+      }
+      seg.push_back(mi);
+    }
+    for (auto it = seg.rbegin(); it != seg.rend(); ++it) {
+      result.path.push_back(cell.members[static_cast<size_t>(*it)]);
+    }
+    return Status::OK();
+  };
+
+  result.found = true;
+  result.cost = overlay_cost;
+  result.path = {source};
+  {
+    // Seed segment: source -> bnodes[0] via the reverse successor tree.
+    const OverlayTopology::Cell& cell = topo.cell(cs);
+    const OverlayCustomization::CellTables& tables = cust.cell(cs);
+    const auto bi = static_cast<size_t>(topo.BoundaryIndexOf(bnodes.front()));
+    const int32_t root = cell.boundary_member_idx[bi];
+    for (int32_t mi = topo.MemberIndexOf(source); mi != root;) {
+      mi = tables.rev_succ[bi][static_cast<size_t>(mi)];
+      if (mi < 0) {
+        return Status::Corruption("overlay successor tree does not reach"
+                                  " its boundary root");
+      }
+      result.path.push_back(cell.members[static_cast<size_t>(mi)]);
+    }
+  }
+  for (size_t i = 1; i < bnodes.size(); ++i) {
+    const OverlayLabel& lab = labels.at(bnodes[i]);
+    switch (lab.via) {
+      case OverlayArc::kShortcut: {
+        const int32_t c = topo.CellOf(bnodes[i - 1]);
+        ATIS_RETURN_NOT_OK(append_fwd(
+            c, static_cast<size_t>(topo.BoundaryIndexOf(bnodes[i - 1])),
+            bnodes[i]));
+        break;
+      }
+      case OverlayArc::kCross:
+        result.path.push_back(bnodes[i]);
+        break;
+      default:
+        return Status::Corruption("unexpected arc type inside the overlay"
+                                  " label chain");
+    }
+  }
+  ATIS_RETURN_NOT_OK(append_fwd(
+      cd, static_cast<size_t>(topo.BoundaryIndexOf(bnodes.back())),
+      destination));
   run.Finish(result);
   return result;
 }

@@ -17,6 +17,13 @@
 //   version 4: status attribute, landmark (ALT) estimator — precomputed
 //              triangle-inequality lower bounds, loaded from the store's
 //              landmarkDist relation via EnableLandmarks().
+//   version 5: partition-boundary overlay (core/overlay.h) — A* over
+//              boundary nodes only, using per-cell customized distance
+//              tables; the store is touched just for the endpoint probes
+//              (same-cell queries answer from the customized in-cell
+//              all-pairs table). Needs EnableOverlay(); uses the landmark
+//              estimator as the overlay heuristic when EnableLandmarks()
+//              was also called.
 #pragma once
 
 #include <memory>
@@ -32,8 +39,9 @@
 namespace atis::core {
 
 class BatchContext;  // core/batch_engine.h
+struct OverlayIndex;  // core/overlay.h
 
-enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
+enum class AStarVersion { kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4, kV5 = 5 };
 std::string_view AStarVersionName(AStarVersion v);
 
 enum class FrontierImpl {
@@ -98,7 +106,8 @@ class DbSearchEngine {
                               BatchContext* batch = nullptr);
 
   /// A* in one of the implementation versions (1-3 from the paper, 4 the
-  /// ALT extension). Version 4 needs EnableLandmarks() first.
+  /// ALT extension, 5 the customizable overlay). Version 4 needs
+  /// EnableLandmarks() first; version 5 needs EnableOverlay() first.
   Result<PathResult> AStar(graph::NodeId source, graph::NodeId destination,
                            AStarVersion version,
                            const Deadline& deadline = {},
@@ -110,6 +119,15 @@ class DbSearchEngine {
   /// null.
   Status EnableLandmarks(std::shared_ptr<const Estimator> estimator);
   bool landmarks_enabled() const { return landmark_estimator_ != nullptr; }
+
+  /// Installs the overlay index Version 5 searches (topology +
+  /// customization for the store's current metric — see core/overlay.h).
+  /// May be called again after a re-customization, but like
+  /// UpdateEdgeCost it must not race with an in-flight run on this
+  /// engine (RouteServer quiesces its workers first). InvalidArgument on
+  /// null or incomplete indexes.
+  Status EnableOverlay(std::shared_ptr<const OverlayIndex> overlay);
+  bool overlay_enabled() const { return overlay_ != nullptr; }
 
   /// A* with an explicit estimator/frontier combination (the versions
   /// above are canned configurations of this).
@@ -138,6 +156,15 @@ class DbSearchEngine {
                                            std::string_view label,
                                            const Deadline& deadline,
                                            BatchContext* batch);
+
+  /// Version 5: A* over the overlay's boundary graph. The store is
+  /// probed for the two endpoints; same-cell pairs additionally consult
+  /// the customized in-cell all-pairs table and the cheaper of the two
+  /// routes wins (the table cost also bounds the overlay search).
+  Result<PathResult> OverlaySearch(graph::NodeId source,
+                                   graph::NodeId destination,
+                                   const Deadline& deadline,
+                                   BatchContext* batch);
 
   /// The adjacency of `u`: through `batch`'s shared cache when non-null,
   /// else a private store fetch. Either way the blocks actually read are
@@ -168,6 +195,7 @@ class DbSearchEngine {
   storage::BufferPool* pool_;
   DbSearchOptions options_;
   std::shared_ptr<const Estimator> landmark_estimator_;  ///< Version 4
+  std::shared_ptr<const OverlayIndex> overlay_;          ///< Version 5
 };
 
 }  // namespace atis::core

@@ -1,0 +1,243 @@
+// Partition-boundary overlay with fast metric customization — "A* Version 5".
+//
+// ALT (Version 4) is the ceiling of per-query cleverness: every search
+// still explores the base graph, and every traffic update invalidates the
+// whole serving cache. The customizable-route-planning line splits the
+// work differently:
+//
+//   Topology phase (once per map):   partition the nodes into Hilbert
+//     cells, mark boundary nodes (endpoints of cell-crossing edges), and
+//     record which boundary pairs of each cell are connected by an
+//     intra-cell path. Reachability is metric-independent, so this
+//     persists as two relations (OC, OS) through the metered storage
+//     layer and as an ATISO1 text file — paid once per map.
+//
+//   Customization phase (per metric): per cell, run restricted Dijkstras
+//     from each member over the cell's intra-cell graph — boundary-rooted
+//     forward trees give every shortcut cost AND the boundary -> member
+//     distances, reverse trees give member -> boundary, and the full set
+//     of member-rooted trees gives an in-cell all-pairs table so
+//     same-cell queries need no search at all. Cells are independent, so
+//     customization parallelises across the RouteServer's store replicas,
+//     and a single-edge traffic update re-customizes only the affected
+//     cell (same-cell edge) or patches one cross arc (cross-cell edge)
+//     instead of rebuilding the index or bumping a global cache epoch.
+//
+//   Query phase: DbSearchEngine Version 5 runs A* over *boundary nodes
+//     only* — seeded with the source's member -> boundary column, stepping
+//     along shortcut and cross-cell arcs, finishing through the
+//     destination's boundary -> member column — so a cross-cell query
+//     settles a handful of overlay nodes and touches the store only for
+//     the two endpoint probes.
+//
+// Exactness: any path decomposes at its cell-boundary crossings; every
+// crossing node is a boundary node, intra-cell segments are represented
+// exactly by the customized tables, inter-cell segments by the original
+// cross edges. Same-cell queries additionally consult the in-cell
+// all-pairs table (a shortest path that never leaves the cell has no
+// boundary decomposition) and take the cheaper of the two; the in-cell
+// candidate also bounds the overlay search from above, so short local
+// trips terminate after a handful of overlay pops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/relational_graph.h"
+#include "util/status.h"
+
+namespace atis::core {
+
+struct OverlayOptions {
+  /// The partition is the 2^cell_order x 2^cell_order Hilbert grid over
+  /// the map's bounding box (graph/spatial_layout.h). Smaller orders mean
+  /// fewer, larger cells: fewer overlay expansions per query but dearer
+  /// per-cell re-customization and O(|members|^2) in-cell tables. Order 1
+  /// (4 cells) is query-optimal at this repo's map scale (<= a few
+  /// thousand nodes); raise it for larger maps.
+  uint32_t cell_order = 1;
+};
+
+/// The metric-independent half of the overlay index. Immutable after
+/// construction; shared read-only between threads.
+class OverlayTopology {
+ public:
+  struct Cell {
+    std::vector<graph::NodeId> members;   ///< sorted by node id
+    std::vector<graph::NodeId> boundary;  ///< sorted subset of members
+    /// boundary[i]'s index in `members`.
+    std::vector<int32_t> boundary_member_idx;
+    /// shortcut_targets[i] = boundary indices reachable from boundary[i]
+    /// by an intra-cell path (self excluded). Metric-independent.
+    std::vector<std::vector<int32_t>> shortcut_targets;
+  };
+
+  /// Partitions `g` on the Hilbert grid and derives boundary nodes and
+  /// shortcut reachability. Cells are numbered densely in Hilbert-curve
+  /// order. A degenerate bounding box (absent or constant geometry)
+  /// yields a single cell holding every node — queries then always take
+  /// the in-cell direct search. InvalidArgument on an empty graph or
+  /// cell_order outside [0, 8].
+  static Result<OverlayTopology> Build(const graph::Graph& g,
+                                       const OverlayOptions& options);
+
+  /// Rebuilds a topology from persisted rows; coordinates re-attach from
+  /// `g` (quantised, as Build stores them). InvalidArgument when the rows
+  /// do not cover g's nodes or reference non-boundary shortcut endpoints.
+  static Result<OverlayTopology> FromRows(
+      const std::vector<graph::RelationalGraphStore::OverlayCellRow>& cells,
+      const std::vector<graph::RelationalGraphStore::OverlayShortcutRow>&
+          links,
+      const graph::Graph& g, uint32_t cell_order);
+
+  /// Flattens to OC / OS rows for RelationalGraphStore persistence.
+  std::vector<graph::RelationalGraphStore::OverlayCellRow> ToCellRows()
+      const;
+  std::vector<graph::RelationalGraphStore::OverlayShortcutRow>
+  ToShortcutRows() const;
+
+  /// ATISO1 text round trip, so topology preprocessing is paid once per
+  /// map file rather than once per process.
+  Status SaveToFile(const std::string& path) const;
+  static Result<OverlayTopology> LoadFromFile(const std::string& path,
+                                              const graph::Graph& g);
+
+  uint32_t cell_order() const { return cell_order_; }
+  size_t num_nodes() const { return cell_of_.size(); }
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_boundary_nodes() const { return num_boundary_; }
+  size_t num_shortcuts() const { return num_shortcuts_; }
+
+  int32_t CellOf(graph::NodeId u) const {
+    return cell_of_[static_cast<size_t>(u)];
+  }
+  bool IsBoundary(graph::NodeId u) const {
+    return boundary_idx_of_[static_cast<size_t>(u)] >= 0;
+  }
+  /// u's index in its cell's `members` vector.
+  int32_t MemberIndexOf(graph::NodeId u) const {
+    return member_idx_of_[static_cast<size_t>(u)];
+  }
+  /// u's index in its cell's `boundary` vector; -1 for interior nodes.
+  int32_t BoundaryIndexOf(graph::NodeId u) const {
+    return boundary_idx_of_[static_cast<size_t>(u)];
+  }
+  const Cell& cell(int32_t c) const {
+    return cells_[static_cast<size_t>(c)];
+  }
+  /// Quantised coordinates (the store's geometry) for estimators.
+  const graph::Point& point(graph::NodeId u) const {
+    return points_[static_cast<size_t>(u)];
+  }
+
+ private:
+  OverlayTopology() = default;
+  /// Derives boundary/member/shortcut structure from cell_of_ + g.
+  Status Finalize(const graph::Graph& g);
+
+  uint32_t cell_order_ = 0;
+  std::vector<int32_t> cell_of_;        // [node] -> dense cell id
+  std::vector<int32_t> member_idx_of_;  // [node] -> index in cell members
+  std::vector<int32_t> boundary_idx_of_;  // [node] -> boundary index or -1
+  std::vector<graph::Point> points_;      // [node] quantised coordinates
+  std::vector<Cell> cells_;
+  size_t num_boundary_ = 0;
+  size_t num_shortcuts_ = 0;
+};
+
+/// The metric-dependent half: per-cell distance tables plus the current
+/// cross-cell arc costs. Immutable once published; incremental
+/// re-customization copies the customization shell and shares the
+/// untouched cells' tables (copy-on-write), so in-flight readers keep a
+/// consistent snapshot.
+class OverlayCustomization {
+ public:
+  /// Distance/parent tables of one cell, all indexed by the topology
+  /// cell's boundary index (bi) and member index (mi).
+  struct CellTables {
+    /// fwd_dist[bi][mi] = cheapest intra-cell path boundary[bi] ->
+    /// members[mi] (+inf unreachable); fwd_pred[bi][mi] = mi's
+    /// predecessor member index on that path (-1 at the root).
+    std::vector<std::vector<double>> fwd_dist;
+    std::vector<std::vector<int32_t>> fwd_pred;
+    /// rev_dist[bi][mi] = cheapest intra-cell path members[mi] ->
+    /// boundary[bi]; rev_succ[bi][mi] = mi's successor member index.
+    std::vector<std::vector<double>> rev_dist;
+    std::vector<std::vector<int32_t>> rev_succ;
+    /// incell_dist[si][mi] = cheapest intra-cell path members[si] ->
+    /// members[mi], for *every* member root — the customized lowest
+    /// level, so a same-cell query is a table lookup rather than a
+    /// query-time search (the classic CRP preprocessing/query trade).
+    /// incell_pred[si][mi] = mi's predecessor member index on that path.
+    /// O(|members|^2) per cell: pick cell_order so cells stay modest.
+    std::vector<std::vector<double>> incell_dist;
+    std::vector<std::vector<int32_t>> incell_pred;
+  };
+
+  uint64_t metric_version() const { return metric_version_; }
+  const CellTables& cell(int32_t c) const {
+    return *cells_[static_cast<size_t>(c)];
+  }
+  /// Current-metric cross-cell out-edges of u (empty for interior nodes).
+  const std::vector<graph::Edge>& cross_arcs(graph::NodeId u) const {
+    return cross_[static_cast<size_t>(u)];
+  }
+
+ private:
+  friend Result<std::shared_ptr<const OverlayCustomization>>
+  CustomizeOverlay(const OverlayTopology&,
+                   std::span<graph::RelationalGraphStore* const>, uint64_t);
+  friend Result<std::shared_ptr<const OverlayCustomization>>
+  RecustomizeForEdge(const OverlayTopology&, const OverlayCustomization&,
+                     graph::NodeId, graph::NodeId,
+                     graph::RelationalGraphStore*, size_t*);
+
+  uint64_t metric_version_ = 0;
+  std::vector<std::shared_ptr<const CellTables>> cells_;  // [cell]
+  std::vector<std::vector<graph::Edge>> cross_;           // [node]
+};
+
+/// Computes every cell's tables and cross arcs for the metric currently
+/// stored in the S relations. Adjacency is read through the metered
+/// storage layer; cells are customized in parallel, one thread per store
+/// replica (each replica serves a disjoint cell subset, so the shared
+/// pool sees only read traffic). `stores` must be non-empty, all loaded
+/// with the same map.
+Result<std::shared_ptr<const OverlayCustomization>> CustomizeOverlay(
+    const OverlayTopology& topology,
+    std::span<graph::RelationalGraphStore* const> stores,
+    uint64_t metric_version);
+
+/// Incremental re-customization after UpdateEdgeCost(u, v): a same-cell
+/// edge recomputes cell(u)'s tables (and its members' cross arcs) from
+/// the store; a cross-cell edge re-reads only u's adjacency to patch its
+/// cross arcs. Untouched cells share the previous tables. *cells_changed
+/// reports 1 or 0 accordingly.
+Result<std::shared_ptr<const OverlayCustomization>> RecustomizeForEdge(
+    const OverlayTopology& topology, const OverlayCustomization& previous,
+    graph::NodeId u, graph::NodeId v,
+    graph::RelationalGraphStore* store, size_t* cells_changed);
+
+/// The pair a Version 5 search needs, swapped atomically as one unit on
+/// re-customization.
+struct OverlayIndex {
+  std::shared_ptr<const OverlayTopology> topology;
+  std::shared_ptr<const OverlayCustomization> customization;
+};
+
+/// Persists `topology` into `store`'s OC/OS relations and loads it back
+/// through the metered storage path (the index the engine serves must be
+/// exactly what the database holds). Publishes
+/// atis_overlay_{cells,boundary_nodes,shortcuts} gauges,
+/// atis_overlay_preprocess_seconds, and the preprocess block counters to
+/// MetricsRegistry::Default().
+Result<std::shared_ptr<const OverlayTopology>> PersistAndLoadOverlayTopology(
+    const OverlayTopology& topology, graph::RelationalGraphStore* store,
+    const graph::Graph& g);
+
+}  // namespace atis::core

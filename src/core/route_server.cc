@@ -93,6 +93,36 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
     if (!init_status_.ok()) return;
   }
 
+  if (options.overlay_cell_order > 0) {
+    // Topology once (persisted through replica 0's metered storage path),
+    // then per-metric customization parallelised across the replicas —
+    // each store serves a disjoint cell stripe, so the shared pool sees
+    // only read traffic. Every engine serves the same immutable index.
+    init_status_ = [&]() -> Status {
+      ATIS_ASSIGN_OR_RETURN(
+          OverlayTopology built,
+          OverlayTopology::Build(
+              g, OverlayOptions{options.overlay_cell_order}));
+      ATIS_ASSIGN_OR_RETURN(
+          auto topology,
+          PersistAndLoadOverlayTopology(built, stores_.front().get(), g));
+      std::vector<graph::RelationalGraphStore*> replicas;
+      replicas.reserve(stores_.size());
+      for (auto& store : stores_) replicas.push_back(store.get());
+      ATIS_ASSIGN_OR_RETURN(
+          auto customization,
+          CustomizeOverlay(*topology, replicas, /*metric_version=*/1));
+      auto index = std::make_shared<const OverlayIndex>(
+          OverlayIndex{std::move(topology), std::move(customization)});
+      for (auto& engine : engines_) {
+        ATIS_RETURN_NOT_OK(engine->EnableOverlay(index));
+      }
+      overlay_ = std::move(index);
+      return Status::OK();
+    }();
+    if (!init_status_.ok()) return;
+  }
+
   if (options.enable_cache) {
     cache_ = std::make_unique<RouteCache>(options.cache);
     auto& reg = obs::MetricsRegistry::Default();
@@ -104,6 +134,10 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
     cache_stale_ = &reg.GetCounter(
         "atis_route_cache_stale_evictions_total",
         "Cached routes evicted because a traffic update bumped the epoch");
+    cache_region_invalidated_ = &reg.GetCounter(
+        "atis_route_cache_region_invalidated_total",
+        "Cached routes invalidated by region-scoped (overlay-cell) "
+        "traffic updates");
   }
 
   {
@@ -300,7 +334,10 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
 bool RouteServer::ClaimBatch(std::unique_lock<std::mutex>& lock,
                              std::vector<WorkItem>* claimed,
                              uint64_t* batch_id) {
-  work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+  // A traffic update owns the pool while updating_ is set: no new batch
+  // may start until the stores and overlay republish.
+  work_cv_.wait(lock,
+                [&] { return stop_ || (!pending_.empty() && !updating_); });
   if (stop_) return false;
 
   // FIFO seed, then every pending query sharing its region, newest last —
@@ -308,6 +345,9 @@ bool RouteServer::ClaimBatch(std::unique_lock<std::mutex>& lock,
   // locality win, while the FIFO seed bounds any query's queue delay.
   claimed->push_back(pending_.front());
   pending_.pop_front();
+  // Counted active from seed claim to result delivery: a batch held open
+  // for its window still blocks UpdateEdgeCost's quiescence wait.
+  ++active_workers_;
   const uint64_t region = claimed->front().region;
   const size_t max_batch = std::max<size_t>(1, options_.max_batch);
   auto claim_matching = [&] {
@@ -419,6 +459,7 @@ void RouteServer::WorkerLoop(size_t worker_id) {
         (*claimed[i].out)[claimed[i].index] = std::move(resps[i]);
         --claimed[i].call->remaining;
       }
+      if (--active_workers_ == 0) update_cv_.notify_all();
     }
     done_cv_.notify_all();
   }
@@ -481,16 +522,87 @@ RouteResponse RouteServer::RunCoalesced(size_t worker_id,
 Status RouteServer::UpdateEdgeCost(graph::NodeId u, graph::NodeId v,
                                    double cost) {
   ATIS_RETURN_NOT_OK(init_status_);
-  for (auto& store : stores_) {
-    ATIS_RETURN_NOT_OK(store->UpdateEdgeCost(u, v, cost));
-  }
-  // Keep the degraded-mode snapshot on the stores' float-rounded metric.
-  ATIS_RETURN_NOT_OK(
-      snapshot_.SetEdgeCost(u, v, static_cast<float>(cost)));
-  // Bump after every replica carries the new cost: a lookup that sees the
-  // new epoch recomputes against updated stores only.
-  if (cache_) cache_->BumpEpoch();
-  return Status::OK();
+
+  // Quiesce the pool: serialize with other updaters, stall new batch
+  // claims, and wait out in-flight batches. Workers resume only after the
+  // stores, the overlay, and the cache all reflect the update, so no
+  // search ever sees a half-applied metric or serves a stale overlay.
+  std::unique_lock<std::mutex> lock(mu_);
+  update_cv_.wait(lock, [&] { return !updating_; });
+  updating_ = true;
+  update_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  lock.unlock();
+
+  Status applied = [&]() -> Status {
+    // The effective metric is float-rounded by R's storage schema;
+    // compare rounded values so an update that rounds to no-op (or a pure
+    // increase) is classified by what searches will actually see.
+    ATIS_ASSIGN_OR_RETURN(const double prior, snapshot_.EdgeCost(u, v));
+    const double rounded = static_cast<double>(static_cast<float>(cost));
+    const bool decrease = rounded < prior;
+
+    for (auto& store : stores_) {
+      ATIS_RETURN_NOT_OK(store->UpdateEdgeCost(u, v, cost));
+    }
+    // Keep the degraded-mode snapshot on the stores' float-rounded
+    // metric.
+    ATIS_RETURN_NOT_OK(
+        snapshot_.SetEdgeCost(u, v, static_cast<float>(cost)));
+
+    std::shared_ptr<const OverlayIndex> updated;
+    if (overlay_ != nullptr) {
+      // Incremental re-customization: a same-cell edge recomputes one
+      // cell's tables, a cross-cell edge patches one node's cross arcs;
+      // every untouched cell's tables are shared with the old snapshot.
+      size_t cells_changed = 0;
+      ATIS_ASSIGN_OR_RETURN(
+          auto customization,
+          RecustomizeForEdge(*overlay_->topology, *overlay_->customization,
+                             u, v, stores_.front().get(), &cells_changed));
+      updated = std::make_shared<const OverlayIndex>(
+          OverlayIndex{overlay_->topology, std::move(customization)});
+      for (auto& engine : engines_) {
+        ATIS_RETURN_NOT_OK(engine->EnableOverlay(updated));
+      }
+      overlay_cells_recustomized_.fetch_add(cells_changed,
+                                            std::memory_order_relaxed);
+    }
+
+    if (cache_) {
+      if (!decrease && updated != nullptr) {
+        // A pure increase cannot improve a route that avoids the edge, so
+        // only cached paths through the edge's cells can be wrong — and
+        // any such path visits u's (and v's) cell. Routes through
+        // untouched regions stay warm.
+        const int32_t cu = overlay_->topology->CellOf(u);
+        const int32_t cv = overlay_->topology->CellOf(v);
+        int32_t regions[2] = {std::min(cu, cv), std::max(cu, cv)};
+        const size_t n = regions[0] == regions[1] ? 1 : 2;
+        const size_t invalidated =
+            cache_->InvalidateRegions({regions, regions + n});
+        cache_region_invalidated_->Increment(invalidated);
+      } else {
+        // Decreases (or region-blind servers) fall back to the global
+        // epoch bump: everything recomputes.
+        cache_->BumpEpoch();
+      }
+    }
+
+    // Publish the new index for /statusz readers under the same lock that
+    // releases the workers.
+    lock.lock();
+    if (updated != nullptr) overlay_ = std::move(updated);
+    lock.unlock();
+    traffic_updates_applied_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }();
+
+  lock.lock();
+  updating_ = false;
+  lock.unlock();
+  work_cv_.notify_all();
+  update_cv_.notify_all();
+  return applied;
 }
 
 bool RouteServer::ServeDegraded(const RouteQuery& q,
@@ -523,6 +635,33 @@ bool RouteServer::ServeDegraded(const RouteQuery& q,
   resp->status = Status::OK();
   degraded_snapshot_->Increment();
   return true;
+}
+
+std::vector<int32_t> RouteServer::PathRegions(
+    const PathResult& result) const {
+  std::vector<int32_t> regions;
+  if (overlay_ == nullptr || !result.found) return regions;
+  const OverlayTopology& topo = *overlay_->topology;
+  regions.reserve(8);
+  for (const graph::NodeId n : result.path) {
+    const int32_t c = topo.CellOf(n);
+    if (regions.empty() || regions.back() != c) regions.push_back(c);
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()),
+                regions.end());
+  return regions;
+}
+
+std::shared_ptr<const OverlayIndex> RouteServer::overlay_index() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_;
+}
+
+uint64_t RouteServer::overlay_metric_version() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_ != nullptr ? overlay_->customization->metric_version()
+                             : 0;
 }
 
 void RouteServer::RefreshObsGauges() {
@@ -606,7 +745,31 @@ std::string RouteServer::StatuszJson() {
                               static_cast<double>(lookups)
                         : 0.0)
         << ",\"stale_evictions\":" << cs.stale_evictions
-        << ",\"stale_serves\":" << cs.stale_serves << "}";
+        << ",\"stale_serves\":" << cs.stale_serves
+        << ",\"region_invalidations\":" << cs.region_invalidations
+        << ",\"region_entries_invalidated\":"
+        << cs.region_entries_invalidated << "}";
+  }
+
+  {
+    std::shared_ptr<const OverlayIndex> ov;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ov = overlay_;
+    }
+    if (ov != nullptr) {
+      out << ",\"overlay\":{\"cell_order\":" << options_.overlay_cell_order
+          << ",\"cells\":" << ov->topology->num_cells()
+          << ",\"boundary_nodes\":" << ov->topology->num_boundary_nodes()
+          << ",\"shortcuts\":" << ov->topology->num_shortcuts()
+          << ",\"metric_version\":"
+          << ov->customization->metric_version()
+          << ",\"traffic_updates\":"
+          << traffic_updates_applied_.load(std::memory_order_relaxed)
+          << ",\"cells_recustomized\":"
+          << overlay_cells_recustomized_.load(std::memory_order_relaxed)
+          << "}";
+    }
   }
 
   const storage::BufferPoolStats ps = pool_->stats();
@@ -704,9 +867,11 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
 
   const RouteCache::Key key{q.source, q.destination, q.algorithm, q.version};
   uint64_t observed_epoch = 0;
+  uint64_t observed_seq = 0;
   bool answered_from_cache = false;
   if (cache_) {
     observed_epoch = cache_->epoch();
+    observed_seq = cache_->invalidation_seq();
     // A degraded-capable server keeps stale entries around (miss, no
     // eviction): they are the first fallback when this recompute fails,
     // and a successful Insert overwrites them anyway.
@@ -759,8 +924,12 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
     if (r.ok()) {
       resp.result = std::move(r).value();
       // Cache successful answers (including proven "no route"); the insert
-      // is dropped inside the cache when a traffic update raced this query.
-      if (cache_) cache_->Insert(key, observed_epoch, resp.result);
+      // is dropped inside the cache when a traffic update — epoch bump or
+      // region invalidation — raced this query.
+      if (cache_) {
+        cache_->Insert(key, observed_epoch, resp.result,
+                       PathRegions(resp.result), observed_seq);
+      }
     } else if (!options_.enable_degraded ||
                !ServeDegraded(q, key, r.status(), &resp)) {
       resp.status = r.status();

@@ -51,6 +51,7 @@
 #include "core/batch_engine.h"
 #include "core/circuit_breaker.h"
 #include "core/db_search.h"
+#include "core/overlay.h"
 #include "core/route_cache.h"
 #include "graph/graph.h"
 #include "graph/relational_graph.h"
@@ -142,6 +143,14 @@ class RouteServer {
     /// landmarks on the float-rounded map, persists the table through the
     /// storage layer once, and enables kV4 queries on every worker.
     size_t num_landmarks = 0;
+    /// Partition-boundary overlay for A* Version 5 (core/overlay.h).
+    /// 0 disables; > 0 builds the 2^order x 2^order Hilbert partition,
+    /// persists its topology through replica 0's storage path, customizes
+    /// the distance tables in parallel across the store replicas, and
+    /// enables kV5 queries on every worker. UpdateEdgeCost then
+    /// re-customizes incrementally (only the touched cell) instead of
+    /// leaving the overlay stale.
+    uint32_t overlay_cell_order = 0;
     /// Memoise full route results in a sharded LRU invalidated by traffic
     /// epochs (see core/route_cache.h).
     bool enable_cache = false;
@@ -239,12 +248,19 @@ class RouteServer {
       const std::vector<RouteQuery>& queries);
 
   /// Applies a traffic update — the new cost of edge u -> v — to every
-  /// store replica and invalidates the route cache by bumping its epoch.
-  /// Must not run concurrently with ServeBatch (in-flight searches — and
-  /// batch-shared adjacency caches — assume a stable S relation).
-  /// Congestion (cost increases) keeps the landmark tables
-  /// admissible; after a cost *decrease* Version 4 results may lose their
-  /// optimality guarantee until the server is rebuilt.
+  /// store replica. Safe to call concurrently with ServeBatch: the update
+  /// quiesces the worker pool first (new batch claims stall, in-flight
+  /// batches finish), applies the cost to every replica, incrementally
+  /// re-customizes the overlay (only the touched cell) when Version 5 is
+  /// enabled, and republishes before workers resume — a search never sees
+  /// a half-applied update or a stale overlay. Cache invalidation is
+  /// scoped: a pure cost *increase* with the overlay on invalidates only
+  /// the cached routes whose paths touch the edge's cells
+  /// (RouteCache::InvalidateRegions); a decrease — which can improve
+  /// routes anywhere — bumps the global epoch. Congestion (cost
+  /// increases) keeps the landmark tables admissible; after a decrease
+  /// Version 4 results may lose their optimality guarantee until the
+  /// server is rebuilt.
   Status UpdateEdgeCost(graph::NodeId u, graph::NodeId v, double cost);
 
   size_t num_workers() const { return engines_.size(); }
@@ -253,6 +269,14 @@ class RouteServer {
   bool landmarks_enabled() const {
     return !engines_.empty() && engines_.front()->landmarks_enabled();
   }
+  bool overlay_enabled() const {
+    return options_.overlay_cell_order > 0 && init_status_.ok();
+  }
+  /// Snapshot of the currently served overlay index (null when disabled).
+  /// Consistent: the topology/customization pair is swapped as one unit.
+  std::shared_ptr<const OverlayIndex> overlay_index();
+  /// Metric version of the served customization (0 when disabled).
+  uint64_t overlay_metric_version();
   /// Null when Options::enable_cache was false.
   RouteCache* cache() { return cache_.get(); }
   /// The circuit breaker guarding worker `w`'s replica.
@@ -333,6 +357,10 @@ class RouteServer {
   /// Returns false when no fallback produced an answer.
   bool ServeDegraded(const RouteQuery& q, const RouteCache::Key& key,
                      Status cause, RouteResponse* resp);
+  /// The sorted set of overlay cells `result`'s path touches (empty when
+  /// the overlay is off) — the cache entry's region tag. Called only from
+  /// an active worker, where the overlay pointer is stable.
+  std::vector<int32_t> PathRegions(const PathResult& result) const;
 
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -340,6 +368,10 @@ class RouteServer {
   std::vector<std::unique_ptr<DbSearchEngine>> engines_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::unique_ptr<RouteCache> cache_;
+  /// Served overlay index (null when overlay_cell_order == 0). Workers
+  /// read it only while counted active; UpdateEdgeCost replaces it under
+  /// mu_ with the pool quiesced, so reads never race the swap.
+  std::shared_ptr<const OverlayIndex> overlay_;
   /// In-memory copy of the served map under the store's float-rounded
   /// metric. Written only by UpdateEdgeCost (single dispatcher, workers
   /// idle); read by workers for degraded answers — the mu_ handoff that
@@ -350,6 +382,7 @@ class RouteServer {
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_stale_ = nullptr;
+  obs::Counter* cache_region_invalidated_ = nullptr;
   obs::Counter* deadline_exceeded_ = nullptr;
   obs::Counter* degraded_stale_ = nullptr;
   obs::Counter* degraded_snapshot_ = nullptr;
@@ -380,12 +413,24 @@ class RouteServer {
   std::chrono::steady_clock::time_point started_{};
   Status init_status_;
 
+  // Traffic-update accounting (relaxed; read by /statusz).
+  std::atomic<uint64_t> traffic_updates_applied_{0};
+  std::atomic<uint64_t> overlay_cells_recustomized_{0};
+
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for queries / stop
   std::condition_variable done_cv_;   // dispatchers wait for completion
+  std::condition_variable update_cv_; // updaters wait for quiescence
   std::deque<WorkItem> pending_;      // guarded by mu_
   uint64_t next_batch_id_ = 0;        // guarded by mu_
   bool stop_ = false;                 // guarded by mu_
+  /// True while UpdateEdgeCost owns the pool: workers claim no new
+  /// batches until it clears. Guarded by mu_.
+  bool updating_ = false;
+  /// Workers holding a claimed batch (counted from seed claim to result
+  /// delivery, so a batch held open for its window still blocks
+  /// quiescence). Guarded by mu_.
+  size_t active_workers_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -60,6 +60,23 @@ Schema RelationalGraphStore::LandmarkDistSchema() {
                 /*tuple_size_override=*/24);
 }
 
+Schema RelationalGraphStore::OverlayCellSchema() {
+  // Packed size 5 bytes; padded to 8 so a block holds an even power of
+  // two of cell-assignment tuples.
+  return Schema({{"node_id", FieldType::kInt16},
+                 {"cell_id", FieldType::kInt16},
+                 {"is_boundary", FieldType::kInt8}},
+                /*tuple_size_override=*/8);
+}
+
+Schema RelationalGraphStore::OverlayShortcutSchema() {
+  // Packed size 6 bytes; padded to 8.
+  return Schema({{"cell_id", FieldType::kInt16},
+                 {"from_node", FieldType::kInt16},
+                 {"to_node", FieldType::kInt16}},
+                /*tuple_size_override=*/8);
+}
+
 RelationalGraphStore::RelationalGraphStore(storage::BufferPool* pool)
     : s_("S", EdgeSchema(), pool), r_("R", NodeSchema(), pool) {}
 
@@ -220,6 +237,54 @@ RelationalGraphStore::LoadLandmarkDistances() const {
   return rows;
 }
 
+Status RelationalGraphStore::StoreOverlayTopology(
+    const std::vector<OverlayCellRow>& cells,
+    const std::vector<OverlayShortcutRow>& links) {
+  if (overlay_cells_ != nullptr) {
+    ATIS_RETURN_NOT_OK(overlay_cells_->Clear(/*charge=*/true));
+    overlay_cells_.reset();
+  }
+  if (overlay_shortcuts_ != nullptr) {
+    ATIS_RETURN_NOT_OK(overlay_shortcuts_->Clear(/*charge=*/true));
+    overlay_shortcuts_.reset();
+  }
+  overlay_cells_ = std::make_unique<relational::Relation>(
+      "OC", OverlayCellSchema(), s_.pool(), /*charge_create=*/true);
+  for (const OverlayCellRow& row : cells) {
+    ATIS_RETURN_NOT_OK(overlay_cells_->Insert(ToTuple(row)).status());
+  }
+  overlay_shortcuts_ = std::make_unique<relational::Relation>(
+      "OS", OverlayShortcutSchema(), s_.pool(), /*charge_create=*/true);
+  for (const OverlayShortcutRow& row : links) {
+    ATIS_RETURN_NOT_OK(overlay_shortcuts_->Insert(ToTuple(row)).status());
+  }
+  return Status::OK();
+}
+
+Result<std::pair<std::vector<RelationalGraphStore::OverlayCellRow>,
+                 std::vector<RelationalGraphStore::OverlayShortcutRow>>>
+RelationalGraphStore::LoadOverlayTopology() const {
+  if (overlay_cells_ == nullptr || overlay_shortcuts_ == nullptr) {
+    return Status::FailedPrecondition("no overlay topology stored");
+  }
+  std::vector<OverlayCellRow> cells;
+  cells.reserve(overlay_cells_->num_tuples());
+  relational::Relation::Cursor c = overlay_cells_->Scan();
+  for (; c.Valid(); c.Next()) {
+    cells.push_back(OverlayCellFromTuple(c.tuple()));
+  }
+  ATIS_RETURN_NOT_OK(c.status());
+  std::vector<OverlayShortcutRow> links;
+  links.reserve(overlay_shortcuts_->num_tuples());
+  relational::Relation::Cursor sc = overlay_shortcuts_->Scan();
+  for (; sc.Valid(); sc.Next()) {
+    links.push_back(OverlayShortcutFromTuple(sc.tuple()));
+  }
+  // A scan ended by a storage fault must not yield a partial topology.
+  ATIS_RETURN_NOT_OK(sc.status());
+  return std::make_pair(std::move(cells), std::move(links));
+}
+
 Status RelationalGraphStore::ResetSearchState() {
   return relational::Replace(
              &r_, /*pred=*/{},
@@ -280,6 +345,36 @@ RelationalGraphStore::LandmarkDistFromTuple(const Tuple& t) {
   row.node = static_cast<NodeId>(relational::AsInt(t[2]));
   row.dist_from = relational::AsDouble(t[3]);
   row.dist_to = relational::AsDouble(t[4]);
+  return row;
+}
+
+Tuple RelationalGraphStore::ToTuple(const OverlayCellRow& row) {
+  return Tuple{static_cast<int64_t>(row.node),
+               static_cast<int64_t>(row.cell),
+               static_cast<int64_t>(row.is_boundary ? 1 : 0)};
+}
+
+RelationalGraphStore::OverlayCellRow
+RelationalGraphStore::OverlayCellFromTuple(const Tuple& t) {
+  OverlayCellRow row;
+  row.node = static_cast<NodeId>(relational::AsInt(t[0]));
+  row.cell = static_cast<int32_t>(relational::AsInt(t[1]));
+  row.is_boundary = relational::AsInt(t[2]) != 0;
+  return row;
+}
+
+Tuple RelationalGraphStore::ToTuple(const OverlayShortcutRow& row) {
+  return Tuple{static_cast<int64_t>(row.cell),
+               static_cast<int64_t>(row.from),
+               static_cast<int64_t>(row.to)};
+}
+
+RelationalGraphStore::OverlayShortcutRow
+RelationalGraphStore::OverlayShortcutFromTuple(const Tuple& t) {
+  OverlayShortcutRow row;
+  row.cell = static_cast<int32_t>(relational::AsInt(t[0]));
+  row.from = static_cast<NodeId>(relational::AsInt(t[1]));
+  row.to = static_cast<NodeId>(relational::AsInt(t[2]));
   return row;
 }
 

@@ -70,6 +70,27 @@ class RelationalGraphStore {
     double dist_to = 0.0;    ///< d(node -> landmark); +inf if unreachable
   };
 
+  /// One tuple of the optional overlayCell relation OC: the cell a node
+  /// was assigned to by the partition-boundary overlay (core/overlay.h)
+  /// and whether one of its edges crosses cells. Pure topology — no
+  /// metric-dependent data — so the relation survives traffic updates.
+  struct OverlayCellRow {
+    NodeId node = kInvalidNode;
+    int32_t cell = 0;
+    bool is_boundary = false;
+  };
+
+  /// One tuple of the optional overlayShortcut relation OS: a
+  /// boundary-to-boundary pair of `cell` connected by at least one
+  /// intra-cell path. Reachability is metric-independent, so like OC this
+  /// is topology, paid once per map; the shortcut *costs* are recomputed
+  /// per metric (customization) and never persisted.
+  struct OverlayShortcutRow {
+    int32_t cell = 0;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+  };
+
   /// Build-time options. The physical layout decides the heap-file
   /// insertion order of node and edge tuples; logical contents and index
   /// behaviour are identical across layouts (per-node adjacency order is
@@ -141,6 +162,21 @@ class RelationalGraphStore {
     return landmark_.get();
   }
 
+  /// (Re)creates the overlay-topology relations OC and OS (APPENDs,
+  /// metered). `cells` must cover every node exactly once. Replaces any
+  /// previously stored overlay topology.
+  Status StoreOverlayTopology(const std::vector<OverlayCellRow>& cells,
+                              const std::vector<OverlayShortcutRow>& links);
+
+  /// Full scans of OC and OS in storage order; FailedPrecondition when no
+  /// overlay topology has been stored. Metered — this is the "load once
+  /// per store replica" cost of the overlay index.
+  Result<std::pair<std::vector<OverlayCellRow>,
+                   std::vector<OverlayShortcutRow>>>
+  LoadOverlayTopology() const;
+
+  bool has_overlay_topology() const { return overlay_cells_ != nullptr; }
+
   /// Quantised coordinate of a node as stored (used by estimators so the
   /// heuristic sees exactly the stored geometry).
   static double Quantise(double coord) {
@@ -154,10 +190,17 @@ class RelationalGraphStore {
   static EdgeRow EdgeFromTuple(const relational::Tuple& t);
   static relational::Tuple ToTuple(const LandmarkDistRow& row);
   static LandmarkDistRow LandmarkDistFromTuple(const relational::Tuple& t);
+  static relational::Tuple ToTuple(const OverlayCellRow& row);
+  static OverlayCellRow OverlayCellFromTuple(const relational::Tuple& t);
+  static relational::Tuple ToTuple(const OverlayShortcutRow& row);
+  static OverlayShortcutRow OverlayShortcutFromTuple(
+      const relational::Tuple& t);
 
   static relational::Schema EdgeSchema();
   static relational::Schema NodeSchema();
   static relational::Schema LandmarkDistSchema();
+  static relational::Schema OverlayCellSchema();
+  static relational::Schema OverlayShortcutSchema();
 
   /// Field names (indexable keys).
   static constexpr const char* kBeginField = "begin_node";
@@ -167,6 +210,8 @@ class RelationalGraphStore {
   relational::Relation s_;
   relational::Relation r_;
   std::unique_ptr<relational::Relation> landmark_;  ///< L; null until stored
+  std::unique_ptr<relational::Relation> overlay_cells_;      ///< OC
+  std::unique_ptr<relational::Relation> overlay_shortcuts_;  ///< OS
   bool loaded_ = false;
   StoreLayout layout_ = StoreLayout::kRowOrder;
   /// adjacency_pages_[u] = deduplicated S pages of u's edge tuples.

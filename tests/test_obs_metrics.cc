@@ -306,6 +306,17 @@ constexpr const char* kDocumentedFamilies[] = {
     "atis_landmark_preprocess_blocks_written_total",
     "atis_landmark_preprocess_seconds",
     "atis_landmark_select_seconds",
+    "atis_overlay_boundary_nodes",
+    "atis_overlay_cells",
+    "atis_overlay_cells_recustomized_total",
+    "atis_overlay_customizations_total",
+    "atis_overlay_customize_seconds",
+    "atis_overlay_expansions_total",
+    "atis_overlay_metric_version",
+    "atis_overlay_preprocess_blocks_read_total",
+    "atis_overlay_preprocess_blocks_written_total",
+    "atis_overlay_preprocess_seconds",
+    "atis_overlay_shortcuts",
     "atis_prefetch_dropped_total",
     "atis_prefetch_errors_total",
     "atis_prefetch_filled_total",
@@ -318,6 +329,7 @@ constexpr const char* kDocumentedFamilies[] = {
     "atis_relations_deleted_total",
     "atis_route_cache_hits_total",
     "atis_route_cache_misses_total",
+    "atis_route_cache_region_invalidated_total",
     "atis_route_cache_stale_evictions_total",
     "atis_search_iterations_total",
     "atis_search_runs_total",

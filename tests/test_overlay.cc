@@ -1,0 +1,544 @@
+// Tests for core/overlay: Hilbert-cell partition invariants, boundary
+// derivation, shortcut reachability, OC/OS row and ATISO1 file round
+// trips, per-metric customization against a reference restricted
+// Dijkstra, incremental re-customization, and A* Version 5 exactness
+// against the in-memory Dijkstra ground truth.
+//
+// Ground truth is always core::DijkstraSearch over WithStoredEdgeCosts(g):
+// the store rounds each cost to float at persistence time, so comparing
+// against the unrounded graph (or a DB engine's per-hop re-rounded
+// claimed cost) would drift by ~1e-7 per hop.
+#include "core/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/db_search.h"
+#include "core/landmarks.h"
+#include "core/memory_search.h"
+#include "graph/grid_generator.h"
+#include "graph/relational_graph.h"
+#include "graph/road_map_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace atis::core {
+namespace {
+
+using graph::GridCostModel;
+using graph::NodeId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+graph::Graph Grid(int k, GridCostModel model) {
+  graph::GridGraphGenerator::Options opt;
+  opt.k = k;
+  opt.cost_model = model;
+  auto g = graph::GridGraphGenerator::Generate(opt);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+OverlayTopology BuildTopology(const graph::Graph& g, uint32_t order) {
+  OverlayOptions opt;
+  opt.cell_order = order;
+  auto t = OverlayTopology::Build(g, opt);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+/// Reference: single-source Dijkstra over `g` restricted to the nodes in
+/// `members` (intra-cell paths only), distances indexed by member index.
+std::vector<double> RestrictedDistances(const graph::Graph& g,
+                                        const std::vector<NodeId>& members,
+                                        size_t source_member_idx) {
+  std::vector<int32_t> member_idx_of(g.num_nodes(), -1);
+  for (size_t i = 0; i < members.size(); ++i) {
+    member_idx_of[static_cast<size_t>(members[i])] =
+        static_cast<int32_t>(i);
+  }
+  std::vector<double> dist(members.size(), kInf);
+  using Item = std::pair<double, size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source_member_idx] = 0.0;
+  heap.emplace(0.0, source_member_idx);
+  while (!heap.empty()) {
+    const auto [d, mi] = heap.top();
+    heap.pop();
+    if (d > dist[mi]) continue;
+    for (const graph::Edge& e : g.Neighbors(members[mi])) {
+      const int32_t ti = member_idx_of[static_cast<size_t>(e.to)];
+      if (ti < 0) continue;  // leaves the cell
+      const double nd = d + e.cost;
+      if (nd < dist[static_cast<size_t>(ti)]) {
+        dist[static_cast<size_t>(ti)] = nd;
+        heap.emplace(nd, static_cast<size_t>(ti));
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(OverlayTopologyTest, PartitionCoversEveryNodeExactlyOnce) {
+  const graph::Graph g = Grid(10, GridCostModel::kVariance20);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  EXPECT_EQ(topo.cell_order(), 2u);
+  EXPECT_EQ(topo.num_nodes(), g.num_nodes());
+  EXPECT_GE(topo.num_cells(), 2u);
+
+  size_t covered = 0;
+  for (int32_t c = 0; c < static_cast<int32_t>(topo.num_cells()); ++c) {
+    const OverlayTopology::Cell& cell = topo.cell(c);
+    EXPECT_TRUE(std::is_sorted(cell.members.begin(), cell.members.end()));
+    covered += cell.members.size();
+    for (size_t mi = 0; mi < cell.members.size(); ++mi) {
+      EXPECT_EQ(topo.CellOf(cell.members[mi]), c);
+      EXPECT_EQ(topo.MemberIndexOf(cell.members[mi]),
+                static_cast<int32_t>(mi));
+    }
+    ASSERT_EQ(cell.boundary.size(), cell.boundary_member_idx.size());
+    for (size_t bi = 0; bi < cell.boundary.size(); ++bi) {
+      EXPECT_EQ(cell.members[static_cast<size_t>(
+                    cell.boundary_member_idx[bi])],
+                cell.boundary[bi]);
+      EXPECT_EQ(topo.BoundaryIndexOf(cell.boundary[bi]),
+                static_cast<int32_t>(bi));
+    }
+  }
+  EXPECT_EQ(covered, g.num_nodes());
+}
+
+TEST(OverlayTopologyTest, BoundaryIffIncidentToCellCrossingEdge) {
+  const graph::Graph g = Grid(8, GridCostModel::kUniform);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  std::vector<bool> crossing(g.num_nodes(), false);
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    for (const graph::Edge& e : g.Neighbors(u)) {
+      if (topo.CellOf(u) != topo.CellOf(e.to)) {
+        crossing[static_cast<size_t>(u)] = true;
+        crossing[static_cast<size_t>(e.to)] = true;
+      }
+    }
+  }
+  size_t boundary = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    EXPECT_EQ(topo.IsBoundary(u), crossing[static_cast<size_t>(u)])
+        << "node " << u;
+    boundary += topo.IsBoundary(u) ? 1 : 0;
+  }
+  EXPECT_EQ(topo.num_boundary_nodes(), boundary);
+}
+
+TEST(OverlayTopologyTest, ShortcutTargetsMatchIntraCellReachability) {
+  const graph::Graph g = Grid(8, GridCostModel::kSkewed);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  size_t shortcuts = 0;
+  for (int32_t c = 0; c < static_cast<int32_t>(topo.num_cells()); ++c) {
+    const OverlayTopology::Cell& cell = topo.cell(c);
+    ASSERT_EQ(cell.shortcut_targets.size(), cell.boundary.size());
+    for (size_t bi = 0; bi < cell.boundary.size(); ++bi) {
+      const auto dist = RestrictedDistances(
+          g, cell.members,
+          static_cast<size_t>(cell.boundary_member_idx[bi]));
+      std::set<int32_t> reachable;
+      for (size_t bj = 0; bj < cell.boundary.size(); ++bj) {
+        if (bj == bi) continue;
+        if (dist[static_cast<size_t>(cell.boundary_member_idx[bj])] <
+            kInf) {
+          reachable.insert(static_cast<int32_t>(bj));
+        }
+      }
+      const std::set<int32_t> got(cell.shortcut_targets[bi].begin(),
+                                  cell.shortcut_targets[bi].end());
+      EXPECT_EQ(got, reachable) << "cell " << c << " boundary " << bi;
+      shortcuts += got.size();
+    }
+  }
+  EXPECT_EQ(topo.num_shortcuts(), shortcuts);
+}
+
+TEST(OverlayTopologyTest, RejectsEmptyGraphAndBadOrder) {
+  OverlayOptions opt;
+  EXPECT_FALSE(OverlayTopology::Build(graph::Graph(), opt).ok());
+  const graph::Graph g = Grid(4, GridCostModel::kUniform);
+  opt.cell_order = 9;
+  EXPECT_FALSE(OverlayTopology::Build(g, opt).ok());
+}
+
+TEST(OverlayTopologyTest, DegenerateGeometryYieldsOneCell) {
+  graph::Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(1.0, 1.0);  // all coincident
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddUndirectedEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddUndirectedEdge(2, 3, 1.0).ok());
+  const OverlayTopology topo = BuildTopology(g, 3);
+  EXPECT_EQ(topo.num_cells(), 1u);
+  EXPECT_EQ(topo.num_boundary_nodes(), 0u);  // nothing crosses cells
+}
+
+TEST(OverlayRowsTest, CellAndShortcutRowsRoundTrip) {
+  const graph::Graph g = Grid(6, GridCostModel::kVariance20);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  auto back = OverlayTopology::FromRows(topo.ToCellRows(),
+                                        topo.ToShortcutRows(), g,
+                                        topo.cell_order());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_cells(), topo.num_cells());
+  EXPECT_EQ(back->num_boundary_nodes(), topo.num_boundary_nodes());
+  EXPECT_EQ(back->num_shortcuts(), topo.num_shortcuts());
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    EXPECT_EQ(back->CellOf(u), topo.CellOf(u));
+    EXPECT_EQ(back->IsBoundary(u), topo.IsBoundary(u));
+  }
+}
+
+TEST(OverlayRowsTest, FromRowsRejectsCorruption) {
+  const graph::Graph g = Grid(6, GridCostModel::kUniform);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  auto cells = topo.ToCellRows();
+  auto links = topo.ToShortcutRows();
+
+  // Missing a node's cell assignment.
+  auto short_cells = cells;
+  short_cells.pop_back();
+  EXPECT_FALSE(OverlayTopology::FromRows(short_cells, links, g,
+                                         topo.cell_order())
+                   .ok());
+
+  // A shortcut whose endpoint is not a boundary node of its cell.
+  NodeId interior = graph::kInvalidNode;
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    if (!topo.IsBoundary(u)) {
+      interior = u;
+      break;
+    }
+  }
+  ASSERT_NE(interior, graph::kInvalidNode);
+  auto bad_links = links;
+  ASSERT_FALSE(bad_links.empty());
+  bad_links[0].from = interior;
+  bad_links[0].cell = topo.CellOf(interior);
+  EXPECT_FALSE(
+      OverlayTopology::FromRows(cells, bad_links, g, topo.cell_order())
+          .ok());
+}
+
+TEST(OverlayFileTest, AtisO1SaveLoadRoundTrips) {
+  const graph::Graph g = Grid(6, GridCostModel::kSkewed);
+  const OverlayTopology topo = BuildTopology(g, 2);
+  const std::string path =
+      ::testing::TempDir() + "/overlay_roundtrip.atiso1";
+  ASSERT_TRUE(topo.SaveToFile(path).ok());
+  auto back = OverlayTopology::LoadFromFile(path, g);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->cell_order(), topo.cell_order());
+  EXPECT_EQ(back->num_cells(), topo.num_cells());
+  EXPECT_EQ(back->num_boundary_nodes(), topo.num_boundary_nodes());
+  EXPECT_EQ(back->num_shortcuts(), topo.num_shortcuts());
+  for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+    EXPECT_EQ(back->CellOf(u), topo.CellOf(u));
+  }
+  std::remove(path.c_str());
+  EXPECT_FALSE(OverlayTopology::LoadFromFile(path, g).ok());  // gone
+}
+
+TEST(OverlayPersistTest, PersistAndLoadRoundTripsThroughStore) {
+  const graph::Graph g = Grid(8, GridCostModel::kVariance20);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  EXPECT_FALSE(store.has_overlay_topology());
+  EXPECT_FALSE(store.LoadOverlayTopology().ok());  // nothing stored yet
+
+  const OverlayTopology topo = BuildTopology(g, 2);
+  auto loaded = PersistAndLoadOverlayTopology(topo, &store, g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(store.has_overlay_topology());
+  EXPECT_EQ((*loaded)->num_cells(), topo.num_cells());
+  EXPECT_EQ((*loaded)->num_boundary_nodes(), topo.num_boundary_nodes());
+  EXPECT_EQ((*loaded)->num_shortcuts(), topo.num_shortcuts());
+
+  // Re-persisting replaces the OC/OS relations instead of appending.
+  auto again = PersistAndLoadOverlayTopology(topo, &store, g);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->num_boundary_nodes(), topo.num_boundary_nodes());
+}
+
+class OverlayCustomizationTest : public ::testing::Test {
+ protected:
+  void SetUpWith(const graph::Graph& g, uint32_t order) {
+    g_ = g;
+    disk_ = std::make_unique<storage::DiskManager>();
+    pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<graph::RelationalGraphStore>(pool_.get());
+    ASSERT_TRUE(store_->Load(g_).ok());
+    topo_ = std::make_shared<OverlayTopology>(BuildTopology(g_, order));
+    graph::RelationalGraphStore* stores[] = {store_.get()};
+    auto cust = CustomizeOverlay(*topo_, stores, /*metric_version=*/1);
+    ASSERT_TRUE(cust.ok()) << cust.status().ToString();
+    cust_ = std::move(cust).value();
+  }
+
+  graph::Graph g_;
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<graph::RelationalGraphStore> store_;
+  std::shared_ptr<OverlayTopology> topo_;
+  std::shared_ptr<const OverlayCustomization> cust_;
+};
+
+TEST_F(OverlayCustomizationTest, TablesMatchRestrictedDijkstra) {
+  SetUpWith(Grid(8, GridCostModel::kVariance20), 2);
+  // The store rounds costs to float; the reference must see the same
+  // metric the customization read back.
+  const graph::Graph rounded = WithStoredEdgeCosts(g_);
+  for (int32_t c = 0; c < static_cast<int32_t>(topo_->num_cells()); ++c) {
+    const OverlayTopology::Cell& cell = topo_->cell(c);
+    const auto& tables = cust_->cell(c);
+    ASSERT_EQ(tables.incell_dist.size(), cell.members.size());
+    // Every member-rooted all-pairs row is a restricted Dijkstra tree.
+    for (size_t si = 0; si < cell.members.size(); ++si) {
+      const auto want = RestrictedDistances(rounded, cell.members, si);
+      ASSERT_EQ(tables.incell_dist[si].size(), want.size());
+      for (size_t mi = 0; mi < want.size(); ++mi) {
+        EXPECT_NEAR(tables.incell_dist[si][mi],
+                    std::isinf(want[mi]) ? kInf : want[mi], 1e-9)
+            << "cell " << c << " " << si << "->" << mi;
+        if (std::isinf(want[mi])) {
+          EXPECT_TRUE(std::isinf(tables.incell_dist[si][mi]));
+        }
+      }
+    }
+    // Boundary forward rows are exactly the all-pairs rows at the
+    // boundary roots.
+    for (size_t bi = 0; bi < cell.boundary.size(); ++bi) {
+      EXPECT_EQ(tables.fwd_dist[bi],
+                tables.incell_dist[static_cast<size_t>(
+                    cell.boundary_member_idx[bi])]);
+    }
+  }
+  EXPECT_EQ(cust_->metric_version(), 1u);
+}
+
+TEST_F(OverlayCustomizationTest, CrossArcsAreExactlyTheCrossingEdges) {
+  SetUpWith(Grid(8, GridCostModel::kSkewed), 2);
+  const graph::Graph rounded = WithStoredEdgeCosts(g_);
+  for (NodeId u = 0; u < static_cast<NodeId>(g_.num_nodes()); ++u) {
+    std::vector<std::pair<NodeId, double>> want;
+    for (const graph::Edge& e : rounded.Neighbors(u)) {
+      if (topo_->CellOf(u) != topo_->CellOf(e.to)) {
+        want.emplace_back(e.to, e.cost);
+      }
+    }
+    const auto& got = cust_->cross_arcs(u);
+    ASSERT_EQ(got.size(), want.size()) << "node " << u;
+    for (const auto& [to, cost] : want) {
+      const auto it = std::find_if(
+          got.begin(), got.end(),
+          [to = to](const graph::Edge& e) { return e.to == to; });
+      ASSERT_NE(it, got.end()) << "node " << u << " -> " << to;
+      EXPECT_NEAR(it->cost, cost, 1e-9);
+    }
+  }
+}
+
+TEST_F(OverlayCustomizationTest, IncrementalEqualsFullRecustomization) {
+  SetUpWith(Grid(8, GridCostModel::kVariance20), 2);
+
+  // Pick one same-cell and one cross-cell edge.
+  NodeId same_u = graph::kInvalidNode, same_v = graph::kInvalidNode;
+  NodeId cross_u = graph::kInvalidNode, cross_v = graph::kInvalidNode;
+  for (NodeId u = 0; u < static_cast<NodeId>(g_.num_nodes()); ++u) {
+    for (const graph::Edge& e : g_.Neighbors(u)) {
+      if (topo_->CellOf(u) == topo_->CellOf(e.to)) {
+        if (same_u == graph::kInvalidNode) same_u = u, same_v = e.to;
+      } else if (cross_u == graph::kInvalidNode) {
+        cross_u = u, cross_v = e.to;
+      }
+    }
+  }
+  ASSERT_NE(same_u, graph::kInvalidNode);
+  ASSERT_NE(cross_u, graph::kInvalidNode);
+
+  for (const auto& [u, v, want_changed] :
+       {std::tuple{same_u, same_v, size_t{1}},
+        std::tuple{cross_u, cross_v, size_t{0}}}) {
+    const double new_cost = *g_.EdgeCost(u, v) + 7.25;
+    ASSERT_TRUE(store_->UpdateEdgeCost(u, v, new_cost).ok());
+
+    size_t cells_changed = 99;
+    auto incr =
+        RecustomizeForEdge(*topo_, *cust_, u, v, store_.get(),
+                           &cells_changed);
+    ASSERT_TRUE(incr.ok()) << incr.status().ToString();
+    EXPECT_EQ(cells_changed, want_changed) << u << "->" << v;
+
+    graph::RelationalGraphStore* stores[] = {store_.get()};
+    auto full = CustomizeOverlay(*topo_, stores,
+                                 (*incr)->metric_version());
+    ASSERT_TRUE(full.ok());
+
+    for (int32_t c = 0; c < static_cast<int32_t>(topo_->num_cells());
+         ++c) {
+      EXPECT_EQ((*incr)->cell(c).fwd_dist, (*full)->cell(c).fwd_dist);
+      EXPECT_EQ((*incr)->cell(c).rev_dist, (*full)->cell(c).rev_dist);
+      EXPECT_EQ((*incr)->cell(c).incell_dist,
+                (*full)->cell(c).incell_dist);
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(g_.num_nodes()); ++n) {
+      const auto& a = (*incr)->cross_arcs(n);
+      const auto& b = (*full)->cross_arcs(n);
+      ASSERT_EQ(a.size(), b.size()) << "node " << n;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].to, b[i].to);
+        EXPECT_NEAR(a[i].cost, b[i].cost, 1e-9);
+      }
+    }
+    cust_ = std::move(incr).value();
+  }
+}
+
+/// Fixture for end-to-end Version 5 queries on one engine.
+class OverlayQueryTest : public ::testing::Test {
+ protected:
+  void Start(const graph::Graph& g, uint32_t order) {
+    g_ = g;
+    disk_ = std::make_unique<storage::DiskManager>();
+    pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<graph::RelationalGraphStore>(pool_.get());
+    ASSERT_TRUE(store_->Load(g_).ok());
+    engine_ = std::make_unique<DbSearchEngine>(store_.get(), pool_.get(),
+                                               DbSearchOptions{});
+    OverlayOptions oopt;
+    oopt.cell_order = order;
+    auto built = OverlayTopology::Build(g_, oopt);
+    ASSERT_TRUE(built.ok());
+    auto topo = PersistAndLoadOverlayTopology(*built, store_.get(), g_);
+    ASSERT_TRUE(topo.ok());
+    graph::RelationalGraphStore* stores[] = {store_.get()};
+    auto cust = CustomizeOverlay(**topo, stores, 1);
+    ASSERT_TRUE(cust.ok());
+    ASSERT_TRUE(engine_
+                    ->EnableOverlay(std::make_shared<OverlayIndex>(
+                        OverlayIndex{std::move(topo).value(),
+                                     std::move(cust).value()}))
+                    .ok());
+    rounded_ = WithStoredEdgeCosts(g_);
+  }
+
+  /// Asserts kV5 returns the Dijkstra-optimal cost and a valid path.
+  void ExpectExact(NodeId s, NodeId d) {
+    const PathResult want = DijkstraSearch(rounded_, s, d);
+    auto got = engine_->AStar(s, d, AStarVersion::kV5);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->found, want.found) << s << "->" << d;
+    if (!want.found) return;
+    EXPECT_NEAR(got->cost, want.cost, 1e-9) << s << "->" << d;
+    // The returned path must be real: edges exist and re-sum to cost.
+    ASSERT_GE(got->path.size(), 1u);
+    EXPECT_EQ(got->path.front(), s);
+    EXPECT_EQ(got->path.back(), d);
+    double resum = 0.0;
+    for (size_t i = 0; i + 1 < got->path.size(); ++i) {
+      auto c = rounded_.EdgeCost(got->path[i], got->path[i + 1]);
+      ASSERT_TRUE(c.ok()) << got->path[i] << "->" << got->path[i + 1];
+      resum += *c;
+    }
+    EXPECT_NEAR(resum, got->cost, 1e-9) << s << "->" << d;
+  }
+
+  graph::Graph g_, rounded_;
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<graph::RelationalGraphStore> store_;
+  std::unique_ptr<DbSearchEngine> engine_;
+};
+
+TEST_F(OverlayQueryTest, ExactOnEveryGridCostModel) {
+  for (const GridCostModel model :
+       {GridCostModel::kUniform, GridCostModel::kVariance20,
+        GridCostModel::kSkewed}) {
+    SCOPED_TRACE(static_cast<int>(model));
+    Start(Grid(10, model), 2);
+    const NodeId n = static_cast<NodeId>(g_.num_nodes());
+    const std::vector<std::pair<NodeId, NodeId>> trips = {
+        {0, n - 1}, {9, 90},
+        {0, 1},    // same cell, adjacent
+        {55, 55},  // s == d
+        {3, 47},   {n - 1, 0}};
+    for (const auto& [s, d] : trips) ExpectExact(s, d);
+  }
+}
+
+TEST_F(OverlayQueryTest, ExactOnOneWayRoadMapAtEveryOrder) {
+  auto rm = graph::GenerateMinneapolisLike();
+  ASSERT_TRUE(rm.ok());
+  for (const uint32_t order : {1u, 2u, 3u}) {
+    SCOPED_TRACE(order);
+    Start(rm->graph, order);
+    const NodeId n = static_cast<NodeId>(g_.num_nodes());
+    for (NodeId s = 3; s < n; s += 41) {
+      ExpectExact(s, (s * 7 + n / 2) % n);
+    }
+  }
+}
+
+TEST_F(OverlayQueryTest, UnreachableDestinationReportsNotFound) {
+  // A one-way spur: 2 -> 3 exists but nothing leaves node 3's sink side
+  // back, so 3 -> 0 has no path.
+  graph::Graph g;
+  g.AddNode(0.0, 0.0);
+  g.AddNode(1.0, 0.0);
+  g.AddNode(0.0, 1.0);
+  g.AddNode(1.0, 1.0);
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());  // one-way into the corner
+  Start(g, 1);
+  ExpectExact(0, 3);  // reachable via the one-way edge
+  const PathResult want = DijkstraSearch(rounded_, 3, 0);
+  ASSERT_FALSE(want.found);
+  auto got = engine_->AStar(3, 0, AStarVersion::kV5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->found);
+}
+
+TEST_F(OverlayQueryTest, ExpiredDeadlineFailsCleanly) {
+  Start(Grid(8, GridCostModel::kUniform), 2);
+  auto r = engine_->AStar(0, 63, AStarVersion::kV5,
+                          Deadline::After(0.0));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OverlayEnableTest, Version5NeedsEnableOverlayFirst) {
+  const graph::Graph g = Grid(5, GridCostModel::kUniform);
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  graph::RelationalGraphStore store(&pool);
+  ASSERT_TRUE(store.Load(g).ok());
+  DbSearchEngine engine(&store, &pool);
+  EXPECT_FALSE(engine.overlay_enabled());
+  EXPECT_FALSE(engine.AStar(0, 24, AStarVersion::kV5).ok());
+  EXPECT_FALSE(engine.EnableOverlay(nullptr).ok());
+  // An index missing its customization half is rejected too.
+  auto topo = OverlayTopology::Build(g, OverlayOptions{});
+  ASSERT_TRUE(topo.ok());
+  auto half = std::make_shared<OverlayIndex>();
+  half->topology =
+      std::make_shared<const OverlayTopology>(std::move(topo).value());
+  EXPECT_FALSE(engine.EnableOverlay(half).ok());
+  EXPECT_FALSE(engine.overlay_enabled());
+}
+
+}  // namespace
+}  // namespace atis::core

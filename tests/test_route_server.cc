@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/db_search.h"
+#include "core/landmarks.h"
+#include "core/memory_search.h"
 #include "graph/grid_generator.h"
 #include "graph/relational_graph.h"
 #include "storage/buffer_pool.h"
@@ -377,6 +381,198 @@ TEST(RouteServerLayoutTest, HilbertWithPrefetchMatchesPaperModeServer) {
   }
   // The hints must actually reach the pool under serving load.
   EXPECT_GT(server.pool().stats().prefetch_issued, 0u);
+}
+
+TEST(RouteServerOverlayTest, Version5MatchesDijkstraAcrossThePool) {
+  const graph::Graph g = MakeGrid(10);
+  RouteServer::Options opt;
+  opt.num_workers = 4;
+  opt.overlay_cell_order = 1;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  ASSERT_TRUE(server.overlay_enabled());
+  ASSERT_NE(server.overlay_index(), nullptr);
+  EXPECT_EQ(server.overlay_metric_version(), 1u);
+
+  std::vector<RouteQuery> queries = CornerQueries(10, 20);
+  for (RouteQuery& q : queries) {
+    q.algorithm = Algorithm::kAStar;
+    q.version = AStarVersion::kV5;
+  }
+  // Ground truth: in-memory Dijkstra over the float-rounded stored
+  // metric (DB engines re-round per hop, so their claimed costs drift).
+  const graph::Graph rounded = WithStoredEdgeCosts(g);
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RouteResponse& resp = (*batch)[i];
+    ASSERT_TRUE(resp.status.ok()) << "query " << i;
+    const PathResult want = DijkstraSearch(rounded, queries[i].source,
+                                           queries[i].destination);
+    ASSERT_EQ(resp.result.found, want.found) << "query " << i;
+    EXPECT_NEAR(resp.result.cost, want.cost, 1e-9) << "query " << i;
+  }
+}
+
+TEST(RouteServerOverlayTest, Version5WithoutOverlayFailsPerQuery) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer server(g);  // overlay_cell_order == 0
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_FALSE(server.overlay_enabled());
+  EXPECT_EQ(server.overlay_index(), nullptr);
+  RouteQuery q;
+  q.source = 0;
+  q.destination = 24;
+  q.algorithm = Algorithm::kAStar;
+  q.version = AStarVersion::kV5;
+  auto batch = server.ServeBatch({q});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->front().status.ok());
+}
+
+TEST(RouteServerOverlayTest, CostIncreaseKeepsWarmRoutesInOtherRegions) {
+  const graph::Graph g = MakeGrid(10);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  opt.overlay_cell_order = 1;
+  opt.enable_cache = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  const auto index = server.overlay_index();
+  ASSERT_NE(index, nullptr);
+  const OverlayTopology& topo = *index->topology;
+
+  // A same-cell edge to congest, and a probe query in a different cell:
+  // its path is the single node {w}, so its region tag is exactly
+  // {cell(w)} and survival is deterministic.
+  graph::NodeId u = graph::kInvalidNode, v = graph::kInvalidNode;
+  for (graph::NodeId n = 0; n < static_cast<graph::NodeId>(g.num_nodes());
+       ++n) {
+    for (const graph::Edge& e : g.Neighbors(n)) {
+      if (topo.CellOf(n) == topo.CellOf(e.to)) {
+        u = n;
+        v = e.to;
+        break;
+      }
+    }
+    if (u != graph::kInvalidNode) break;
+  }
+  ASSERT_NE(u, graph::kInvalidNode);
+  graph::NodeId w = graph::kInvalidNode;
+  for (graph::NodeId n = 0; n < static_cast<graph::NodeId>(g.num_nodes());
+       ++n) {
+    if (topo.CellOf(n) != topo.CellOf(u)) {
+      w = n;
+      break;
+    }
+  }
+  ASSERT_NE(w, graph::kInvalidNode);
+
+  RouteQuery touched;  // endpoints in cell(u), so its tag includes it
+  touched.source = u;
+  touched.destination = v;
+  touched.algorithm = Algorithm::kAStar;
+  touched.version = AStarVersion::kV5;
+  RouteQuery untouched;
+  untouched.source = w;
+  untouched.destination = w;
+  untouched.algorithm = Algorithm::kAStar;
+  untouched.version = AStarVersion::kV5;
+  const std::vector<RouteQuery> queries = {touched, untouched};
+
+  ASSERT_TRUE(server.ServeBatch(queries).ok());  // warm the cache
+  auto warm = server.ServeBatch(queries);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE((*warm)[0].cache_hit);
+  EXPECT_TRUE((*warm)[1].cache_hit);
+
+  // A pure cost increase invalidates only routes through cell(u).
+  const double base = *g.EdgeCost(u, v);
+  ASSERT_TRUE(server.UpdateEdgeCost(u, v, base + 50.0).ok());
+  EXPECT_EQ(server.overlay_metric_version(), 2u);  // re-customized
+  EXPECT_GE(server.cache()->stats().region_invalidations, 1u);
+
+  auto after = server.ServeBatch(queries);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE((*after)[0].cache_hit) << "touched region must recompute";
+  EXPECT_TRUE((*after)[1].cache_hit) << "untouched region stays warm";
+  const graph::Graph rounded =
+      WithStoredEdgeCosts(WithEdgeCost(g, u, v, base + 50.0));
+  const PathResult want = DijkstraSearch(rounded, u, v);
+  EXPECT_NEAR((*after)[0].result.cost, want.cost, 1e-9);
+
+  // A decrease can improve routes anywhere, so it must bump the epoch
+  // and flush even the untouched region.
+  ASSERT_TRUE(server.UpdateEdgeCost(u, v, base + 10.0).ok());
+  auto flushed = server.ServeBatch(queries);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_FALSE((*flushed)[1].cache_hit);
+
+  // The serving-path status page reports the overlay.
+  const std::string statusz = server.StatuszJson();
+  EXPECT_NE(statusz.find("\"overlay\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"region_invalidations\""), std::string::npos);
+}
+
+TEST(RouteServerOverlayTest, ConcurrentUpdatesAndServesStayExact) {
+  // The TSan scenario: a traffic dispatcher applies pure cost increases
+  // (each one quiesces the pool, re-customizes the touched cell, and
+  // republishes the overlay) while workers serve Version 5 batches. No
+  // response may be an error, and once the updater is done the server
+  // must agree exactly with a fresh reference over the final metric.
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 4;
+  opt.overlay_cell_order = 1;
+  opt.enable_cache = true;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  const graph::Edge e0 = *g.Neighbors(5).begin();
+  const graph::Edge e1 = *g.Neighbors(40).begin();
+  constexpr int kUpdates = 6;
+  std::thread updater([&] {
+    for (int i = 1; i <= kUpdates; ++i) {
+      // Monotonic increases only: decreases would be sound too, but
+      // increases keep the region-scoped invalidation path hot.
+      ASSERT_TRUE(
+          server.UpdateEdgeCost(5, e0.to, e0.cost + 3.0 * i).ok());
+      ASSERT_TRUE(
+          server.UpdateEdgeCost(40, e1.to, e1.cost + 2.0 * i).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<RouteQuery> queries = CornerQueries(8, 12);
+  for (RouteQuery& q : queries) {
+    q.algorithm = Algorithm::kAStar;
+    q.version = AStarVersion::kV5;
+  }
+  for (int round = 0; round < 10; ++round) {
+    auto batch = server.ServeBatch(queries);
+    ASSERT_TRUE(batch.ok());
+    for (const RouteResponse& resp : *batch) {
+      ASSERT_TRUE(resp.status.ok());
+      EXPECT_TRUE(resp.result.found);
+    }
+  }
+  updater.join();
+
+  // Parity on the settled metric — no stale overlay, cache entry, or
+  // half-applied update may survive the race.
+  const graph::Graph final_graph = WithEdgeCost(
+      WithEdgeCost(g, 5, e0.to, e0.cost + 3.0 * kUpdates), 40, e1.to,
+      e1.cost + 2.0 * kUpdates);
+  const graph::Graph rounded = WithStoredEdgeCosts(final_graph);
+  auto batch = server.ServeBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PathResult want = DijkstraSearch(rounded, queries[i].source,
+                                           queries[i].destination);
+    ASSERT_TRUE((*batch)[i].status.ok()) << "query " << i;
+    EXPECT_NEAR((*batch)[i].result.cost, want.cost, 1e-9)
+        << "query " << i;
+  }
 }
 
 TEST(RouteServerTest, DiskLatencyModelIsInstalled) {
