@@ -15,15 +15,19 @@
 //                  [--algorithm=ALGO] [--cell-order=N]
 //                  [--cache[=CAPACITY]] [--fault-rate=P] [--deadline-ms=MS]
 //                  [--degraded] [--json=FILE] [--metrics=FILE]
+//                  [--wal-dir=DIR] [--checkpoint-every=N] [--update-rate=R]
 //   atis_cli alternates <file> <src> <dst> <k>
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/advanced_search.h"
@@ -115,7 +119,13 @@ int Usage(const char* argv0) {
       "sources share a map region into one batch (shared adjacency scans,\n"
       "merged prefetch hints, coalesced duplicates; answers stay\n"
       "bit-identical), --batch-window-us=N holds an underfull batch open\n"
-      "that long for late same-region arrivals (default 0: never wait).\n",
+      "that long for late same-region arrivals (default 0: never wait).\n"
+      "serve durability: --wal-dir=DIR write-ahead-logs every cost update\n"
+      "(fsync at commit) and replays checkpoint + log on restart, so a\n"
+      "crash loses no acknowledged update; --checkpoint-every=N rolls the\n"
+      "log into a checkpoint every N committed batches; --update-rate=R\n"
+      "feeds R synthetic edge-cost updates/sec from a background writer\n"
+      "while the --repeat loop serves (queries never block on writers).\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -478,6 +488,9 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   size_t max_batch = 1;
   uint64_t batch_window_us = 0;
   uint32_t cell_order = 0;  // 0 = no overlay unless astar5 queries demand it
+  std::string wal_dir;          // empty = durability off
+  double update_rate = 0.0;     // synthetic edge-cost updates per second
+  uint64_t checkpoint_every = 0;  // WAL batches per checkpoint, 0 = never
   std::string default_algo = "astar3";
   std::string queries_file, json_file, metrics_file;
   storage::DiskLatencyModel latency;
@@ -599,6 +612,21 @@ int CmdServe(int argc, char** argv, const char* argv0) {
         return 2;
       }
       cell_order = static_cast<uint32_t>(n);
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(10);
+    } else if (arg.rfind("--update-rate=", 0) == 0) {
+      update_rate = std::atof(arg.c_str() + 14);
+      if (update_rate < 0.0) {
+        std::fprintf(stderr, "--update-rate wants a rate >= 0\n");
+        return 2;
+      }
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 19);
+      if (n < 0) {
+        std::fprintf(stderr, "--checkpoint-every wants a count >= 0\n");
+        return 2;
+      }
+      checkpoint_every = static_cast<uint64_t>(n);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return Usage(argv0);
@@ -659,6 +687,8 @@ int CmdServe(int argc, char** argv, const char* argv0) {
   opt.overlay_cell_order = cell_order;
   opt.max_batch = max_batch;
   opt.batch_window_us = batch_window_us;
+  opt.wal.dir = wal_dir;
+  opt.wal.checkpoint_every = checkpoint_every;
   if (fault_rate > 0.0) {
     opt.fault_profile.transient_rate = fault_rate;
     opt.retry.max_attempts = 4;  // absorb most transient faults in place
@@ -700,6 +730,35 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     std::fflush(stdout);
   }
 
+  // Synthetic traffic feed: a background writer perturbing random edge
+  // costs at --update-rate while the serve loop runs, exercising the
+  // durable write path under live queries. Queries never block on it —
+  // each batch pins the metric version published at claim time.
+  std::atomic<bool> stop_updates{false};
+  std::atomic<uint64_t> updates_sent{0};
+  std::thread updater;
+  if (update_rate > 0.0) {
+    updater = std::thread([&] {
+      std::mt19937_64 rng(42);
+      std::uniform_int_distribution<graph::NodeId> pick(
+          0, static_cast<graph::NodeId>(served_graph.num_nodes()) - 1);
+      std::uniform_real_distribution<double> jitter(0.8, 1.25);
+      const auto interval =
+          std::chrono::duration<double>(1.0 / update_rate);
+      while (!stop_updates.load(std::memory_order_relaxed)) {
+        const graph::NodeId u = pick(rng);
+        const std::span<const graph::Edge> out = served_graph.Neighbors(u);
+        if (!out.empty()) {
+          const graph::Edge& e = out[rng() % out.size()];
+          if (server.UpdateEdgeCost(u, e.to, e.cost * jitter(rng)).ok()) {
+            updates_sent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+
   const auto started = std::chrono::steady_clock::now();
   Result<std::vector<core::RouteResponse>> batch =
       std::vector<core::RouteResponse>();
@@ -707,6 +766,8 @@ int CmdServe(int argc, char** argv, const char* argv0) {
     batch = server.ServeBatch(queries);
     if (!batch.ok()) break;
   }
+  stop_updates.store(true, std::memory_order_relaxed);
+  if (updater.joinable()) updater.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
@@ -745,6 +806,30 @@ int CmdServe(int argc, char** argv, const char* argv0) {
                 (unsigned long long)cs.hits, (unsigned long long)cs.misses,
                 (unsigned long long)cs.stale_evictions,
                 server.cache()->size());
+  }
+  {
+    const core::RouteServer::IngestStats ing = server.ingest_stats();
+    if (ing.wal_enabled || ing.update_batches > 0 ||
+        updates_sent.load() > 0) {
+      std::printf(
+          "ingestion: %llu batches (%llu edge updates) applied at metric "
+          "version %llu; %llu worker catch-ups\n",
+          (unsigned long long)ing.update_batches,
+          (unsigned long long)ing.updates_applied,
+          (unsigned long long)server.published_version(),
+          (unsigned long long)ing.worker_catchups);
+      if (ing.wal_enabled) {
+        std::printf(
+            "wal: %llu frames (%llu bytes, %llu checkpoints) committed "
+            "through seq %llu; recovery replayed %llu batches in %.3fs%s\n",
+            (unsigned long long)ing.appended_batches,
+            (unsigned long long)ing.bytes_appended,
+            (unsigned long long)ing.checkpoints,
+            (unsigned long long)ing.last_seq,
+            (unsigned long long)ing.recovered_batches, ing.recovery_seconds,
+            ing.recovery_torn_tail ? " (torn tail truncated)" : "");
+      }
+    }
   }
   if (server.trace_ring() != nullptr) {
     std::printf("traces: %llu span trees in %s (1 in %llu sampled)\n",

@@ -3,7 +3,7 @@
 
 Usage: check_perf.py MEASURED.json BASELINE.json [--tolerance 0.30]
 
-Understands three BENCH_*.json shapes (all quick mode in CI):
+Understands four BENCH_*.json shapes (all quick mode in CI):
 
 - throughput: every (map, workers) configuration in the baseline must
   reach at least (1 - tolerance) x the baseline QPS.
@@ -18,6 +18,12 @@ Understands three BENCH_*.json shapes (all quick mode in CI):
   quotients (not timings), so they are additionally held to
   (1 - tolerance) x the baseline's ratios to catch slow erosion that
   still clears the floor.
+- ingest: the "gates" object must clear the durable-write-path
+  acceptance — >= 500 committed updates/sec during the co-run, co-run
+  QPS >= 80% of the quiet baseline, response staleness p99 <= 4 metric
+  versions, and crash recovery <= 1000 ms. updates_per_sec is
+  additionally held to (1 - tolerance) x the baseline to catch commit
+  throughput eroding while still clearing the absolute floor.
 
 Measured and baseline must be emissions of the same benchmark. The
 workloads are dominated by the benchmarks' simulated per-block device
@@ -50,7 +56,7 @@ def load(path):
                 configs[key] = {"qps": c["qps"],
                                 "blocks_per_query": c["blocks_per_query"]}
         return doc, configs
-    if bench == "overlay":
+    if bench in ("overlay", "ingest"):
         return doc, doc.get("gates", {})
     sys.exit(f"{path}: unsupported benchmark ({bench!r})")
 
@@ -91,6 +97,64 @@ def check_overlay(measured, baseline, tolerance):
     return failed
 
 
+# Absolute gates for the durable write path: the acceptance criteria of
+# the ingestion subsystem, not relative to any baseline.
+INGEST_UPDATES_PER_SEC_FLOOR = 500.0
+INGEST_QPS_RATIO_FLOOR = 0.8
+INGEST_STALENESS_P99_CEIL = 4
+INGEST_RECOVERY_CEIL_MS = 1000.0
+
+
+def check_ingest(measured, baseline, tolerance):
+    failed = False
+
+    got = measured.get("updates_per_sec")
+    if got is None:
+        print("FAIL updates_per_sec: missing from measured run")
+        failed = True
+    else:
+        floor = INGEST_UPDATES_PER_SEC_FLOOR
+        if "updates_per_sec" in baseline:
+            floor = max(floor, baseline["updates_per_sec"] * (1.0 - tolerance))
+        ok = got >= floor
+        print(f"{'ok' if ok else 'FAIL':4} updates_per_sec: {got:.0f} "
+              f"(floor {floor:.0f}, baseline "
+              f"{baseline.get('updates_per_sec', float('nan')):.0f})")
+        failed = failed or not ok
+
+    got = measured.get("qps_corun_ratio")
+    if got is None:
+        print("FAIL qps_corun_ratio: missing from measured run")
+        failed = True
+    else:
+        ok = got >= INGEST_QPS_RATIO_FLOOR
+        print(f"{'ok' if ok else 'FAIL':4} qps_corun_ratio: {got:.2f} "
+              f"(floor {INGEST_QPS_RATIO_FLOOR:.2f})")
+        failed = failed or not ok
+
+    got = measured.get("staleness_p99_versions")
+    if got is None:
+        print("FAIL staleness_p99_versions: missing from measured run")
+        failed = True
+    else:
+        ok = got <= INGEST_STALENESS_P99_CEIL
+        print(f"{'ok' if ok else 'FAIL':4} staleness_p99_versions: {got} "
+              f"(ceiling {INGEST_STALENESS_P99_CEIL})")
+        failed = failed or not ok
+
+    got = measured.get("recovery_ms")
+    if got is None:
+        print("FAIL recovery_ms: missing from measured run")
+        failed = True
+    else:
+        ok = got <= INGEST_RECOVERY_CEIL_MS
+        print(f"{'ok' if ok else 'FAIL':4} recovery_ms: {got:.1f}ms "
+              f"(ceiling {INGEST_RECOVERY_CEIL_MS:.0f}ms)")
+        failed = failed or not ok
+
+    return failed
+
+
 def describe(key):
     if len(key) == 2:  # throughput
         return f"{key[0]} @ {key[1]}w"
@@ -121,6 +185,18 @@ def main():
                   "re-customization; if the map or partition changed "
                   "intentionally, regenerate the baseline with: "
                   "bench_overlay <baseline-path> --quick")
+            return 1
+        print("\nperf smoke passed")
+        return 0
+
+    if mdoc.get("benchmark") == "ingest":
+        failed = check_ingest(measured, baseline, args.tolerance)
+        if failed:
+            print("\ningest gate failed — the durable write path must "
+                  "keep its commit throughput, serving interference, "
+                  "staleness and recovery-time acceptance; if the "
+                  "workload changed intentionally, regenerate the "
+                  "baseline with: bench_ingest <baseline-path> --quick")
             return 1
         print("\nperf smoke passed")
         return 0

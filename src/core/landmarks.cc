@@ -203,6 +203,30 @@ Result<LandmarkSet> SelectLandmarks(const Graph& g,
                      std::move(dist_to));
 }
 
+Result<LandmarkSet> RecomputeLandmarks(const std::vector<NodeId>& landmarks,
+                                       const Graph& g) {
+  if (landmarks.empty()) {
+    return Status::InvalidArgument("no landmarks to recompute");
+  }
+  std::vector<std::vector<double>> dist_from;
+  dist_from.reserve(landmarks.size());
+  for (const NodeId l : landmarks) {
+    if (!g.HasNode(l)) {
+      return Status::InvalidArgument("landmark node not in graph");
+    }
+    ATIS_ASSIGN_OR_RETURN(auto tree, SingleSourceDijkstra(g, l));
+    dist_from.push_back(tree.distances());
+  }
+  const Graph rev = ReverseOf(g);
+  std::vector<std::vector<double>> dist_to;
+  dist_to.reserve(landmarks.size());
+  for (const NodeId l : landmarks) {
+    ATIS_ASSIGN_OR_RETURN(auto tree, SingleSourceDijkstra(rev, l));
+    dist_to.push_back(tree.distances());
+  }
+  return LandmarkSet(landmarks, std::move(dist_from), std::move(dist_to));
+}
+
 std::unique_ptr<Estimator> MakeLandmarkEstimator(
     std::shared_ptr<const LandmarkSet> set, double euclidean_scale) {
   if (set == nullptr) return nullptr;

@@ -102,6 +102,15 @@ class LandmarkSet {
 Result<LandmarkSet> SelectLandmarks(const graph::Graph& g,
                                     const LandmarkOptions& options = {});
 
+/// Recomputes both distance columns for an *existing* landmark selection
+/// against a new cost metric (2k Dijkstras, no re-selection). This is the
+/// revalidation hook the write path calls when a traffic update *lowers*
+/// an edge cost — the old columns stop being lower bounds, but the
+/// landmark placement itself is a topology property and stays good.
+/// Pass the same float-rounded graph the serving engines measure on.
+Result<LandmarkSet> RecomputeLandmarks(
+    const std::vector<graph::NodeId>& landmarks, const graph::Graph& g);
+
 /// Copy of `g` with every edge cost rounded through the 4-byte float that
 /// RelationalGraphStore::EdgeSchema stores — the metric the database
 /// engine actually accumulates.

@@ -6,11 +6,13 @@
 #include <fstream>
 #include <limits>
 #include <queue>
+#include <set>
 #include <sstream>
 #include <thread>
 
 #include "graph/spatial_layout.h"
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 
 namespace atis::core {
 
@@ -362,10 +364,7 @@ OverlayTopology::ToShortcutRows() const {
 }
 
 Status OverlayTopology::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::Unavailable("cannot open " + path + " for writing");
-  }
+  std::ostringstream out;
   out << "ATISO1\n";
   out << "cell_order " << cell_order_ << "\n";
   out << "nodes " << cell_of_.size() << "\n";
@@ -377,9 +376,7 @@ Status OverlayTopology::SaveToFile(const std::string& path) const {
   for (const auto& link : links) {
     out << link.cell << ' ' << link.from << ' ' << link.to << "\n";
   }
-  out.flush();
-  if (!out) return Status::Unavailable("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 Result<OverlayTopology> OverlayTopology::LoadFromFile(
@@ -534,6 +531,62 @@ Result<std::shared_ptr<const OverlayCustomization>> RecustomizeForEdge(
           .count();
   PublishCustomizationMetrics(seconds, custom->metric_version_, changed);
   if (cells_changed != nullptr) *cells_changed = changed;
+  return std::shared_ptr<const OverlayCustomization>(std::move(custom));
+}
+
+Result<std::shared_ptr<const OverlayCustomization>> RecustomizeForEdges(
+    const OverlayTopology& topology, const OverlayCustomization& previous,
+    std::span<const std::pair<NodeId, NodeId>> edges,
+    RelationalGraphStore* store, size_t* cells_changed,
+    uint64_t metric_version) {
+  const auto started = std::chrono::steady_clock::now();
+  // Dedupe the work across the batch: a cell rebuild subsumes every
+  // same-cell update inside it, a node adjacency re-read subsumes every
+  // cross-cell update out of that node.
+  std::set<int32_t> cells_to_rebuild;
+  std::set<NodeId> cross_nodes;
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || static_cast<size_t>(u) >= topology.num_nodes() || v < 0 ||
+        static_cast<size_t>(v) >= topology.num_nodes()) {
+      return Status::InvalidArgument("edge endpoints outside the overlay");
+    }
+    if (topology.CellOf(u) == topology.CellOf(v)) {
+      cells_to_rebuild.insert(topology.CellOf(u));
+    } else {
+      cross_nodes.insert(u);
+    }
+  }
+  auto custom = std::make_shared<OverlayCustomization>();
+  custom->metric_version_ = metric_version;
+  custom->cells_ = previous.cells_;  // shared: copy-on-write per cell
+  custom->cross_ = previous.cross_;
+  for (const int32_t c : cells_to_rebuild) {
+    ATIS_ASSIGN_OR_RETURN(CellCustomization cc,
+                          CustomizeCell(topology, c, store));
+    custom->cells_[static_cast<size_t>(c)] = std::make_shared<const
+        OverlayCustomization::CellTables>(std::move(cc.tables));
+    for (auto& [node, arcs] : cc.cross) {
+      custom->cross_[static_cast<size_t>(node)] = std::move(arcs);
+      cross_nodes.erase(node);  // the rebuild already refreshed it
+    }
+  }
+  for (const NodeId u : cross_nodes) {
+    ATIS_ASSIGN_OR_RETURN(auto adj, store->FetchAdjacency(u));
+    std::vector<graph::Edge> cross;
+    for (const auto& e : adj) {
+      if (topology.CellOf(e.end) != topology.CellOf(u)) {
+        cross.push_back({e.end, e.cost});
+      }
+    }
+    custom->cross_[static_cast<size_t>(u)] = std::move(cross);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  PublishCustomizationMetrics(seconds, metric_version,
+                              cells_to_rebuild.size());
+  if (cells_changed != nullptr) *cells_changed = cells_to_rebuild.size();
   return std::shared_ptr<const OverlayCustomization>(std::move(custom));
 }
 

@@ -196,6 +196,11 @@ class OverlayCustomization {
   RecustomizeForEdge(const OverlayTopology&, const OverlayCustomization&,
                      graph::NodeId, graph::NodeId,
                      graph::RelationalGraphStore*, size_t*);
+  friend Result<std::shared_ptr<const OverlayCustomization>>
+  RecustomizeForEdges(
+      const OverlayTopology&, const OverlayCustomization&,
+      std::span<const std::pair<graph::NodeId, graph::NodeId>>,
+      graph::RelationalGraphStore*, size_t*, uint64_t);
 
   uint64_t metric_version_ = 0;
   std::vector<std::shared_ptr<const CellTables>> cells_;  // [cell]
@@ -222,6 +227,20 @@ Result<std::shared_ptr<const OverlayCustomization>> RecustomizeForEdge(
     const OverlayTopology& topology, const OverlayCustomization& previous,
     graph::NodeId u, graph::NodeId v,
     graph::RelationalGraphStore* store, size_t* cells_changed);
+
+/// Batched re-customization for a whole update batch in one shot: the
+/// affected cells are deduplicated first, so a hundred updates inside one
+/// cell rebuild that cell once, not a hundred times. Same-cell edges mark
+/// their cell for rebuild; cross-cell edges re-read just the tail node's
+/// adjacency. The result's metric_version is `metric_version` verbatim —
+/// the caller (the server's write path) aligns overlay versions with its
+/// snapshot versions instead of counting per-edge steps. *cells_changed
+/// reports the number of distinct cells rebuilt.
+Result<std::shared_ptr<const OverlayCustomization>> RecustomizeForEdges(
+    const OverlayTopology& topology, const OverlayCustomization& previous,
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> edges,
+    graph::RelationalGraphStore* store, size_t* cells_changed,
+    uint64_t metric_version);
 
 /// The pair a Version 5 search needs, swapped atomically as one unit on
 /// re-customization.

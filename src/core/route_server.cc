@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <utility>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
-#include "core/landmarks.h"
 #include "core/memory_search.h"
+#include "graph/graph_io.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/slo.h"
@@ -42,6 +44,7 @@ RouteServer::RouteServer(const graph::Graph& g)
 
 RouteServer::RouteServer(const graph::Graph& g, Options options) {
   if (options.num_workers == 0) options.num_workers = 1;
+  options_ = options;
   const size_t frames = options.pool_frames != 0
                             ? options.pool_frames
                             : 128 * options.num_workers;
@@ -55,13 +58,21 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
   search.statement_at_a_time = false;  // unsafe with concurrent pinners
   search.prefetch_depth = options.prefetch_depth;
 
+  // Crash recovery: the base metric every replica loads is the caller's
+  // graph, corrected by the newest checkpoint plus every committed WAL
+  // frame past it — exactly the last state an updater was acknowledged.
+  graph::Graph base = g;
+  if (!options.wal.dir.empty()) {
+    if (init_status_ = RecoverFromWal(&base); !init_status_.ok()) return;
+  }
+
   // Load one store replica per worker (sequentially; the workers are not
   // running yet). The first failure wins and the server stays inert.
   const graph::RelationalGraphStore::LoadOptions load_options{
       options.layout};
   for (size_t w = 0; w < options.num_workers; ++w) {
     auto store = std::make_unique<graph::RelationalGraphStore>(pool_.get());
-    if (Status st = store->Load(g, load_options); !st.ok()) {
+    if (Status st = store->Load(base, load_options); !st.ok()) {
       init_status_ = std::move(st);
       return;
     }
@@ -69,6 +80,20 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
         store.get(), pool_.get(), search));
     stores_.push_back(std::move(store));
   }
+  if (options.overlay_cell_order > 0) {
+    // The writer's private replica: overlay re-customization reads
+    // post-update adjacency from here without touching (or waiting for)
+    // any serving replica.
+    updater_store_ =
+        std::make_unique<graph::RelationalGraphStore>(pool_.get());
+    if (Status st = updater_store_->Load(base, load_options); !st.ok()) {
+      init_status_ = std::move(st);
+      return;
+    }
+  }
+
+  std::shared_ptr<const Estimator> estimator_init;
+  std::shared_ptr<const OverlayIndex> overlay_init;
 
   if (options.num_landmarks > 0) {
     // One ALT table serves every worker: select on the float-rounded
@@ -79,14 +104,14 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
       LandmarkOptions lm;
       lm.num_landmarks = options.num_landmarks;
       ATIS_ASSIGN_OR_RETURN(LandmarkSet selected,
-                            SelectLandmarks(WithStoredEdgeCosts(g), lm));
+                            SelectLandmarks(WithStoredEdgeCosts(base), lm));
       ATIS_ASSIGN_OR_RETURN(auto table,
                             PersistAndLoadLandmarks(selected,
                                                     stores_.front().get()));
-      std::shared_ptr<const Estimator> estimator =
-          MakeLandmarkEstimator(std::move(table));
+      landmark_set_ = table;  // re-validation reuses these landmark ids
+      estimator_init = MakeLandmarkEstimator(std::move(table));
       for (auto& engine : engines_) {
-        ATIS_RETURN_NOT_OK(engine->EnableLandmarks(estimator));
+        ATIS_RETURN_NOT_OK(engine->EnableLandmarks(estimator_init));
       }
       return Status::OK();
     }();
@@ -102,10 +127,11 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
       ATIS_ASSIGN_OR_RETURN(
           OverlayTopology built,
           OverlayTopology::Build(
-              g, OverlayOptions{options.overlay_cell_order}));
+              base, OverlayOptions{options.overlay_cell_order}));
       ATIS_ASSIGN_OR_RETURN(
           auto topology,
-          PersistAndLoadOverlayTopology(built, stores_.front().get(), g));
+          PersistAndLoadOverlayTopology(built, stores_.front().get(),
+                                        base));
       std::vector<graph::RelationalGraphStore*> replicas;
       replicas.reserve(stores_.size());
       for (auto& store : stores_) replicas.push_back(store.get());
@@ -117,7 +143,7 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
       for (auto& engine : engines_) {
         ATIS_RETURN_NOT_OK(engine->EnableOverlay(index));
       }
-      overlay_ = std::move(index);
+      overlay_init = std::move(index);
       return Status::OK();
     }();
     if (!init_status_.ok()) return;
@@ -177,6 +203,47 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
         "atis_batch_coalesced_total",
         "Route queries answered by singleflight coalescing onto an "
         "identical query in the same batch");
+    wal_appends_metric_ = &reg.GetCounter(
+        "atis_wal_appends_total",
+        "Update batches committed (appended and fsync'd) to the WAL");
+    wal_records_metric_ = &reg.GetCounter(
+        "atis_wal_records_total",
+        "Edge-cost updates committed to the WAL across all batches");
+    wal_bytes_metric_ = &reg.GetCounter(
+        "atis_wal_bytes_written_total",
+        "Bytes of committed WAL frames (header excluded)");
+    wal_append_failures_metric_ = &reg.GetCounter(
+        "atis_wal_append_failures_total",
+        "Update batches refused because their WAL commit failed "
+        "(nothing was applied)");
+    wal_checkpoints_metric_ = &reg.GetCounter(
+        "atis_wal_checkpoints_total",
+        "Metric checkpoints written (each resets the WAL)");
+    snapshot_published_metric_ = &reg.GetCounter(
+        "atis_snapshot_published_total",
+        "Metric versions published by atomic snapshot swap");
+    snapshot_catchups_metric_ = &reg.GetCounter(
+        "atis_snapshot_worker_catchups_total",
+        "Worker replicas caught up to a newer metric version at batch "
+        "claim");
+    snapshot_revalidations_metric_ = &reg.GetCounter(
+        "atis_snapshot_landmark_revalidations_total",
+        "Landmark tables recomputed because a batch lowered an edge cost");
+    if (!options.wal.dir.empty()) {
+      // Recovery happened before the registry series existed; publish it
+      // now so a restarted server's replay is visible process-wide.
+      reg.GetCounter("atis_wal_replayed_batches_total",
+                     "Committed WAL frames replayed during recovery")
+          .Increment(recovery_.batches);
+      reg.GetCounter("atis_wal_replayed_records_total",
+                     "Edge-cost updates replayed during recovery")
+          .Increment(recovery_.records);
+      if (recovery_.torn_tail) {
+        reg.GetCounter("atis_wal_torn_tail_truncations_total",
+                       "Torn (uncommitted) WAL tails truncated at open")
+            .Increment();
+      }
+    }
   }
 
   // Observability: trace sampling, slow-query log, SLO windows. A broken
@@ -234,14 +301,30 @@ RouteServer::RouteServer(const graph::Graph& g, Options options) {
   for (size_t w = 0; w < options.num_workers; ++w) {
     breakers_.push_back(std::make_unique<CircuitBreaker>(options.breaker));
   }
-  // Degraded answers run on the metric the replicas actually store, so a
-  // snapshot route costs the same as the engine would have reported.
-  snapshot_ = WithStoredEdgeCosts(g);
+  // Version 1: the initial metric, on the store's float-rounded costs (a
+  // snapshot route costs what the engine would have reported). Every
+  // worker replica starts caught up to it.
+  write_graph_ = WithStoredEdgeCosts(base);
+  {
+    auto head = std::make_shared<MetricState>();
+    head->version = 1;
+    head->snapshot = std::make_shared<const graph::Graph>(write_graph_);
+    head->overlay = overlay_init;
+    head->estimator = estimator_init;
+    head_ = std::move(head);
+  }
+  published_version_.store(1, std::memory_order_release);
+  obs::MetricsRegistry::Default()
+      .GetGauge("atis_snapshot_version",
+                "Currently published metric version (1 at construction)")
+      .Set(1.0);
+  replica_version_.assign(options.num_workers, 1);
+  worker_overlay_.assign(options.num_workers, overlay_init);
+  worker_estimator_.assign(options.num_workers, estimator_init);
   if (options.max_batch > 1) {
-    regions_ = std::make_unique<RegionIndex>(snapshot_,
+    regions_ = std::make_unique<RegionIndex>(*head_->snapshot,
                                              options.batch_region_order);
   }
-  options_ = options;
 
   // Resilience knobs go live only after every replica (and the landmark
   // table) loaded cleanly — construction itself never draws a fault.
@@ -334,10 +417,7 @@ Result<std::vector<RouteResponse>> RouteServer::ServeBatch(
 bool RouteServer::ClaimBatch(std::unique_lock<std::mutex>& lock,
                              std::vector<WorkItem>* claimed,
                              uint64_t* batch_id) {
-  // A traffic update owns the pool while updating_ is set: no new batch
-  // may start until the stores and overlay republish.
-  work_cv_.wait(lock,
-                [&] { return stop_ || (!pending_.empty() && !updating_); });
+  work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
   if (stop_) return false;
 
   // FIFO seed, then every pending query sharing its region, newest last —
@@ -345,9 +425,6 @@ bool RouteServer::ClaimBatch(std::unique_lock<std::mutex>& lock,
   // locality win, while the FIFO seed bounds any query's queue delay.
   claimed->push_back(pending_.front());
   pending_.pop_front();
-  // Counted active from seed claim to result delivery: a batch held open
-  // for its window still blocks UpdateEdgeCost's quiescence wait.
-  ++active_workers_;
   const uint64_t region = claimed->front().region;
   const size_t max_batch = std::max<size_t>(1, options_.max_batch);
   auto claim_matching = [&] {
@@ -403,9 +480,34 @@ void RouteServer::WorkerLoop(size_t worker_id) {
   while (true) {
     std::vector<WorkItem> claimed;
     uint64_t batch_id = 0;
+    std::shared_ptr<const MetricState> pinned;
+    std::vector<EdgeCostUpdate> todo;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (!ClaimBatch(lock, &claimed, &batch_id)) return;
+      // Pin the published metric for the whole batch, and collect the
+      // dirty edges this replica is behind on — only up to the pinned
+      // version, so the replica never runs ahead of what it reports.
+      pinned = head_;
+      const uint64_t have = replica_version_[worker_id];
+      if (have < pinned->version) {
+        for (const auto& [key, e] : dirty_edges_) {
+          if (e.version > have && e.version <= pinned->version) {
+            todo.push_back(
+                {static_cast<graph::NodeId>(key >> 32),
+                 static_cast<graph::NodeId>(key & 0xffffffffu), e.cost});
+          }
+        }
+      }
+    }
+
+    // Catch the private replica up outside the lock. On failure the
+    // replica stays behind (retried at the next claim) and this batch
+    // serves exact-but-degraded answers from the pinned snapshot.
+    Status replica_health = Status::OK();
+    if (!todo.empty() || pinned->overlay != worker_overlay_[worker_id] ||
+        pinned->estimator != worker_estimator_[worker_id]) {
+      replica_health = CatchUpReplica(worker_id, *pinned, todo);
     }
 
     // Singleflight plan: the first occurrence of each (source,
@@ -430,7 +532,8 @@ void RouteServer::WorkerLoop(size_t worker_id) {
       // leaders[i] <= i, so a follower's leader has already run.
       resps[i] = leaders[i] == i
                      ? RunOne(worker_id, claimed[i].index,
-                              *claimed[i].query, ctx_ptr, batch_id)
+                              *claimed[i].query, ctx_ptr, batch_id,
+                              *pinned, replica_health)
                      : RunCoalesced(worker_id, claimed[i].index,
                                     *claimed[i].query, resps[leaders[i]],
                                     batch_id);
@@ -459,10 +562,36 @@ void RouteServer::WorkerLoop(size_t worker_id) {
         (*claimed[i].out)[claimed[i].index] = std::move(resps[i]);
         --claimed[i].call->remaining;
       }
-      if (--active_workers_ == 0) update_cv_.notify_all();
     }
     done_cv_.notify_all();
   }
+}
+
+Status RouteServer::CatchUpReplica(size_t worker_id,
+                                   const MetricState& pinned,
+                                   std::span<const EdgeCostUpdate> todo) {
+  // Applying latest-cost-per-edge is idempotent, so a partial failure
+  // here is safe: replica_version_ only advances on full success, and the
+  // next claim re-applies the whole remaining dirty set.
+  for (const EdgeCostUpdate& e : todo) {
+    ATIS_RETURN_NOT_OK(stores_[worker_id]->UpdateEdgeCost(e.u, e.v, e.cost));
+  }
+  if (pinned.overlay != worker_overlay_[worker_id]) {
+    ATIS_RETURN_NOT_OK(engines_[worker_id]->EnableOverlay(pinned.overlay));
+    worker_overlay_[worker_id] = pinned.overlay;
+  }
+  if (pinned.estimator != worker_estimator_[worker_id]) {
+    ATIS_RETURN_NOT_OK(
+        engines_[worker_id]->EnableLandmarks(pinned.estimator));
+    worker_estimator_[worker_id] = pinned.estimator;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replica_version_[worker_id] = pinned.version;
+  }
+  worker_catchups_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_catchups_metric_->Increment();
+  return Status::OK();
 }
 
 RouteResponse RouteServer::RunCoalesced(size_t worker_id,
@@ -482,6 +611,7 @@ RouteResponse RouteServer::RunCoalesced(size_t worker_id,
   resp.result = leader.result;
   resp.degraded = leader.degraded;
   resp.degraded_cause = leader.degraded_cause;
+  resp.metric_version = leader.metric_version;
   resp.served_via =
       leader.status.ok() ? ServedVia::kCoalesced : ServedVia::kNone;
   // No search ran and no cache lookup happened for this member: io stays
@@ -521,92 +651,250 @@ RouteResponse RouteServer::RunCoalesced(size_t worker_id,
 
 Status RouteServer::UpdateEdgeCost(graph::NodeId u, graph::NodeId v,
                                    double cost) {
+  const EdgeCostUpdate one{u, v, cost};
+  return ApplyUpdates({&one, 1});
+}
+
+Status RouteServer::ApplyUpdates(std::span<const EdgeCostUpdate> updates) {
   ATIS_RETURN_NOT_OK(init_status_);
+  if (updates.empty()) return Status::OK();
 
-  // Quiesce the pool: serialize with other updaters, stall new batch
-  // claims, and wait out in-flight batches. Workers resume only after the
-  // stores, the overlay, and the cache all reflect the update, so no
-  // search ever sees a half-applied metric or serves a stale overlay.
-  std::unique_lock<std::mutex> lock(mu_);
-  update_cv_.wait(lock, [&] { return !updating_; });
-  updating_ = true;
-  update_cv_.wait(lock, [&] { return active_workers_ == 0; });
-  lock.unlock();
+  // Writers serialize among themselves; readers are never touched.
+  std::lock_guard<std::mutex> writer(update_mu_);
 
-  Status applied = [&]() -> Status {
-    // The effective metric is float-rounded by R's storage schema;
-    // compare rounded values so an update that rounds to no-op (or a pure
-    // increase) is classified by what searches will actually see.
-    ATIS_ASSIGN_OR_RETURN(const double prior, snapshot_.EdgeCost(u, v));
-    const double rounded = static_cast<double>(static_cast<float>(cost));
-    const bool decrease = rounded < prior;
-
-    for (auto& store : stores_) {
-      ATIS_RETURN_NOT_OK(store->UpdateEdgeCost(u, v, cost));
+  // Validate the whole batch against the writer's view before any
+  // durable or in-memory effect: an invalid batch is refused whole.
+  // Compare float-rounded costs (the metric searches actually see) so an
+  // update that rounds to a no-op or pure increase is classified by its
+  // served effect.
+  bool any_decrease = false;
+  for (const EdgeCostUpdate& e : updates) {
+    if (!(e.cost >= 0.0)) {
+      return Status::InvalidArgument("negative edge cost in update batch");
     }
-    // Keep the degraded-mode snapshot on the stores' float-rounded
-    // metric.
+    ATIS_ASSIGN_OR_RETURN(const double prior,
+                          write_graph_.EdgeCost(e.u, e.v));
+    if (static_cast<double>(static_cast<float>(e.cost)) < prior) {
+      any_decrease = true;
+    }
+  }
+
+  // Commit point: the batch is durable before anything serves it. A
+  // failed commit applies nothing — the caller may retry and the served
+  // metric is still exactly the last acknowledged state.
+  const uint64_t seq = last_committed_seq_ + 1;
+  if (wal_ != nullptr) {
+    const uint64_t bytes_before = wal_->bytes_appended();
+    if (Status st = wal_->Append(updates, seq); !st.ok()) {
+      wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+      wal_append_failures_metric_->Increment();
+      return st;
+    }
+    wal_appends_metric_->Increment();
+    wal_records_metric_->Increment(updates.size());
+    wal_bytes_metric_->Increment(wal_->bytes_appended() - bytes_before);
+  }
+  last_committed_seq_ = seq;
+
+  // Build version N+1 off to the side: updater replica first (overlay
+  // re-customization reads adjacency from it), then the writer's graph,
+  // then one immutable snapshot copy.
+  const uint64_t new_version =
+      published_version_.load(std::memory_order_relaxed) + 1;
+  for (const EdgeCostUpdate& e : updates) {
+    if (updater_store_ != nullptr) {
+      ATIS_RETURN_NOT_OK(updater_store_->UpdateEdgeCost(e.u, e.v, e.cost));
+    }
     ATIS_RETURN_NOT_OK(
-        snapshot_.SetEdgeCost(u, v, static_cast<float>(cost)));
+        write_graph_.SetEdgeCost(e.u, e.v, static_cast<float>(e.cost)));
+  }
+  auto next = std::make_shared<MetricState>();
+  next->version = new_version;
+  next->snapshot = std::make_shared<const graph::Graph>(write_graph_);
 
-    std::shared_ptr<const OverlayIndex> updated;
-    if (overlay_ != nullptr) {
-      // Incremental re-customization: a same-cell edge recomputes one
-      // cell's tables, a cross-cell edge patches one node's cross arcs;
-      // every untouched cell's tables are shared with the old snapshot.
-      size_t cells_changed = 0;
-      ATIS_ASSIGN_OR_RETURN(
-          auto customization,
-          RecustomizeForEdge(*overlay_->topology, *overlay_->customization,
-                             u, v, stores_.front().get(), &cells_changed));
-      updated = std::make_shared<const OverlayIndex>(
-          OverlayIndex{overlay_->topology, std::move(customization)});
-      for (auto& engine : engines_) {
-        ATIS_RETURN_NOT_OK(engine->EnableOverlay(updated));
-      }
-      overlay_cells_recustomized_.fetch_add(cells_changed,
-                                            std::memory_order_relaxed);
+  std::shared_ptr<const MetricState> prev;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prev = head_;
+  }
+  next->estimator = prev->estimator;
+  if (prev->overlay != nullptr) {
+    // One re-customization for the whole batch, deduplicated by cell.
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    edges.reserve(updates.size());
+    for (const EdgeCostUpdate& e : updates) edges.push_back({e.u, e.v});
+    size_t cells_changed = 0;
+    ATIS_ASSIGN_OR_RETURN(
+        auto customization,
+        RecustomizeForEdges(*prev->overlay->topology,
+                            *prev->overlay->customization, edges,
+                            updater_store_.get(), &cells_changed,
+                            new_version));
+    next->overlay = std::make_shared<const OverlayIndex>(
+        OverlayIndex{prev->overlay->topology, std::move(customization)});
+    overlay_cells_recustomized_.fetch_add(cells_changed,
+                                          std::memory_order_relaxed);
+  }
+  if (any_decrease && landmark_set_ != nullptr) {
+    // A lowered cost breaks the ALT lower-bound proof; recompute the
+    // distance columns for the same landmark placement so Version 4
+    // stays exact under live traffic.
+    ATIS_ASSIGN_OR_RETURN(
+        LandmarkSet fresh,
+        RecomputeLandmarks(landmark_set_->landmarks(), write_graph_));
+    landmark_set_ =
+        std::make_shared<const LandmarkSet>(std::move(fresh));
+    next->estimator =
+        std::shared_ptr<const Estimator>(MakeLandmarkEstimator(landmark_set_));
+    landmark_revalidations_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_revalidations_metric_->Increment();
+  }
+
+  // Publish: one pointer swap. Record the batch in the dirty set for
+  // lazy replica catch-up, and GC entries every replica has applied.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const EdgeCostUpdate& e : updates) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(e.u)) << 32) |
+          static_cast<uint32_t>(e.v);
+      dirty_edges_[key] = DirtyEdge{e.cost, new_version};
     }
-
-    if (cache_) {
-      if (!decrease && updated != nullptr) {
-        // A pure increase cannot improve a route that avoids the edge, so
-        // only cached paths through the edge's cells can be wrong — and
-        // any such path visits u's (and v's) cell. Routes through
-        // untouched regions stay warm.
-        const int32_t cu = overlay_->topology->CellOf(u);
-        const int32_t cv = overlay_->topology->CellOf(v);
-        int32_t regions[2] = {std::min(cu, cv), std::max(cu, cv)};
-        const size_t n = regions[0] == regions[1] ? 1 : 2;
-        const size_t invalidated =
-            cache_->InvalidateRegions({regions, regions + n});
-        cache_region_invalidated_->Increment(invalidated);
-      } else {
-        // Decreases (or region-blind servers) fall back to the global
-        // epoch bump: everything recomputes.
-        cache_->BumpEpoch();
-      }
+    uint64_t min_version = new_version;
+    for (const uint64_t v : replica_version_) {
+      min_version = std::min(min_version, v);
     }
+    std::erase_if(dirty_edges_, [&](const auto& kv) {
+      return kv.second.version <= min_version;
+    });
+    head_ = std::move(next);
+    published_version_.store(new_version, std::memory_order_release);
+  }
+  snapshot_published_metric_->Increment();
+  obs::MetricsRegistry::Default()
+      .GetGauge("atis_snapshot_version",
+                "Currently published metric version (1 at construction)")
+      .Set(static_cast<double>(new_version));
 
-    // Publish the new index for /statusz readers under the same lock that
-    // releases the workers.
-    lock.lock();
-    if (updated != nullptr) overlay_ = std::move(updated);
-    lock.unlock();
-    traffic_updates_applied_.fetch_add(1, std::memory_order_relaxed);
-    return Status::OK();
-  }();
+  // Cache invalidation AFTER publication: a query still pinned at the
+  // old version can no longer insert past this point (its version guard
+  // fails), so the invalidation cannot be raced stale.
+  if (cache_) {
+    if (!any_decrease && prev->overlay != nullptr) {
+      // Pure increases cannot improve a route that avoids the updated
+      // edges, so only cached paths through their cells can be wrong.
+      std::vector<int32_t> regions;
+      regions.reserve(2 * updates.size());
+      for (const EdgeCostUpdate& e : updates) {
+        regions.push_back(prev->overlay->topology->CellOf(e.u));
+        regions.push_back(prev->overlay->topology->CellOf(e.v));
+      }
+      std::sort(regions.begin(), regions.end());
+      regions.erase(std::unique(regions.begin(), regions.end()),
+                    regions.end());
+      const size_t invalidated = cache_->InvalidateRegions(regions);
+      cache_region_invalidated_->Increment(invalidated);
+    } else {
+      // Decreases (or region-blind servers) fall back to the global
+      // epoch bump: everything recomputes.
+      cache_->BumpEpoch();
+    }
+  }
+  traffic_updates_applied_.fetch_add(updates.size(),
+                                     std::memory_order_relaxed);
+  traffic_update_batches_.fetch_add(1, std::memory_order_relaxed);
 
-  lock.lock();
-  updating_ = false;
-  lock.unlock();
-  work_cv_.notify_all();
-  update_cv_.notify_all();
-  return applied;
+  if (wal_ != nullptr && options_.wal.checkpoint_every > 0 &&
+      ++batches_since_checkpoint_ >= options_.wal.checkpoint_every) {
+    ATIS_RETURN_NOT_OK(WriteCheckpoint(seq));
+    batches_since_checkpoint_ = 0;
+  }
+  return Status::OK();
+}
+
+Status RouteServer::RecoverFromWal(graph::Graph* base) {
+  namespace fs = std::filesystem;
+  const auto started = std::chrono::steady_clock::now();
+  std::error_code ec;
+  fs::create_directories(options_.wal.dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create WAL directory " +
+                               options_.wal.dir + ": " + ec.message());
+  }
+
+  // Newest checkpoint wins; older ones are superseded garbage.
+  uint64_t ckpt_seq = 0;
+  std::string ckpt_path;
+  for (const auto& entry : fs::directory_iterator(options_.wal.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("checkpoint-", 0) != 0) continue;
+    const uint64_t seq =
+        std::strtoull(name.c_str() + sizeof("checkpoint-") - 1, nullptr, 10);
+    if (seq > ckpt_seq) {
+      ckpt_seq = seq;
+      ckpt_path = entry.path().string();
+    }
+  }
+  if (!ckpt_path.empty()) {
+    ATIS_ASSIGN_OR_RETURN(*base, graph::LoadGraphFile(ckpt_path));
+  }
+
+  // Replay every committed frame past the checkpoint onto the base
+  // metric. Raw costs: the stores round them at load exactly as the live
+  // update path rounds at apply.
+  const std::string wal_path = options_.wal.dir + "/wal.atisw";
+  ATIS_ASSIGN_OR_RETURN(
+      recovery_,
+      UpdateLog::Replay(
+          wal_path, &disk_, ckpt_seq,
+          [&](uint64_t, std::span<const EdgeCostUpdate> batch) -> Status {
+            for (const EdgeCostUpdate& e : batch) {
+              if (!(e.cost >= 0.0)) {
+                return Status::Corruption("negative cost in WAL frame");
+              }
+              ATIS_RETURN_NOT_OK(base->SetEdgeCost(e.u, e.v, e.cost));
+            }
+            return Status::OK();
+          }));
+
+  UpdateLog::Options log;
+  log.path = wal_path;
+  log.disk = &disk_;
+  log.sync_on_commit = options_.wal.sync_on_commit;
+  ATIS_ASSIGN_OR_RETURN(wal_, UpdateLog::Open(std::move(log)));
+  last_committed_seq_ = std::max(ckpt_seq, wal_->last_seq());
+  recovery_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  return Status::OK();
+}
+
+Status RouteServer::WriteCheckpoint(uint64_t seq) {
+  namespace fs = std::filesystem;
+  const std::string name = "checkpoint-" + std::to_string(seq) + ".atisg";
+  // Crash-safe ordering: the checkpoint lands atomically (tmp + rename)
+  // BEFORE the WAL resets. A crash between the two replays frames at or
+  // below the checkpoint's seq — which recovery skips — never the
+  // reverse, where truncated frames would be lost.
+  ATIS_RETURN_NOT_OK(
+      graph::SaveGraphFile(write_graph_, options_.wal.dir + "/" + name));
+  ATIS_RETURN_NOT_OK(wal_->Reset());
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.wal.dir, ec)) {
+    const std::string other = entry.path().filename().string();
+    if (other.rfind("checkpoint-", 0) == 0 && other != name) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  wal_checkpoints_metric_->Increment();
+  return Status::OK();
 }
 
 bool RouteServer::ServeDegraded(const RouteQuery& q,
                                 const RouteCache::Key& key, Status cause,
+                                const MetricState& pinned,
                                 RouteResponse* resp) {
   // Fallback 1: a cached route, even one invalidated by a traffic update.
   // A slightly-stale route is still drivable; the degraded flag tells the
@@ -623,11 +911,12 @@ bool RouteServer::ServeDegraded(const RouteQuery& q,
       return true;
     }
   }
-  // Fallback 2: exact in-memory Dijkstra on the last-good snapshot. No
-  // storage I/O, so neither faults nor a quarantined replica can touch
+  // Fallback 2: exact in-memory Dijkstra on the pinned metric snapshot.
+  // No storage I/O, so neither faults nor a quarantined replica can touch
   // it; Dijkstra regardless of the requested algorithm because it is
   // optimal, estimator-free, and microseconds at ATIS map scale.
-  PathResult mem = DijkstraSearch(snapshot_, q.source, q.destination);
+  PathResult mem =
+      DijkstraSearch(*pinned.snapshot, q.source, q.destination);
   resp->result = std::move(mem);
   resp->degraded = true;
   resp->served_via = ServedVia::kSnapshot;
@@ -637,11 +926,11 @@ bool RouteServer::ServeDegraded(const RouteQuery& q,
   return true;
 }
 
-std::vector<int32_t> RouteServer::PathRegions(
-    const PathResult& result) const {
+std::vector<int32_t> RouteServer::PathRegions(const PathResult& result,
+                                              const OverlayIndex* overlay) {
   std::vector<int32_t> regions;
-  if (overlay_ == nullptr || !result.found) return regions;
-  const OverlayTopology& topo = *overlay_->topology;
+  if (overlay == nullptr || !result.found) return regions;
+  const OverlayTopology& topo = *overlay->topology;
   regions.reserve(8);
   for (const graph::NodeId n : result.path) {
     const int32_t c = topo.CellOf(n);
@@ -655,13 +944,45 @@ std::vector<int32_t> RouteServer::PathRegions(
 
 std::shared_ptr<const OverlayIndex> RouteServer::overlay_index() {
   std::lock_guard<std::mutex> lock(mu_);
-  return overlay_;
+  return head_ != nullptr ? head_->overlay : nullptr;
 }
 
 uint64_t RouteServer::overlay_metric_version() {
   std::lock_guard<std::mutex> lock(mu_);
-  return overlay_ != nullptr ? overlay_->customization->metric_version()
-                             : 0;
+  return head_ != nullptr && head_->overlay != nullptr
+             ? head_->overlay->customization->metric_version()
+             : 0;
+}
+
+std::shared_ptr<const graph::Graph> RouteServer::snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ != nullptr ? head_->snapshot : nullptr;
+}
+
+RouteServer::IngestStats RouteServer::ingest_stats() {
+  IngestStats s;
+  s.updates_applied =
+      traffic_updates_applied_.load(std::memory_order_relaxed);
+  s.update_batches =
+      traffic_update_batches_.load(std::memory_order_relaxed);
+  s.worker_catchups = worker_catchups_.load(std::memory_order_relaxed);
+  s.landmark_revalidations =
+      landmark_revalidations_.load(std::memory_order_relaxed);
+  s.append_failures = wal_append_failures_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_written_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> writer(update_mu_);
+  if (wal_ != nullptr) {
+    s.wal_enabled = true;
+    s.last_seq = last_committed_seq_;
+    s.appended_batches = wal_->appended_batches();
+    s.appended_records = wal_->appended_records();
+    s.bytes_appended = wal_->bytes_appended();
+    s.recovered_batches = recovery_.batches;
+    s.recovered_records = recovery_.records;
+    s.recovery_torn_tail = recovery_.torn_tail;
+    s.recovery_seconds = recovery_seconds_;
+  }
+  return s;
 }
 
 void RouteServer::RefreshObsGauges() {
@@ -752,11 +1073,7 @@ std::string RouteServer::StatuszJson() {
   }
 
   {
-    std::shared_ptr<const OverlayIndex> ov;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ov = overlay_;
-    }
+    std::shared_ptr<const OverlayIndex> ov = overlay_index();
     if (ov != nullptr) {
       out << ",\"overlay\":{\"cell_order\":" << options_.overlay_cell_order
           << ",\"cells\":" << ov->topology->num_cells()
@@ -770,6 +1087,30 @@ std::string RouteServer::StatuszJson() {
           << overlay_cells_recustomized_.load(std::memory_order_relaxed)
           << "}";
     }
+  }
+
+  {
+    const IngestStats is = ingest_stats();
+    out << ",\"ingestion\":{\"published_version\":" << published_version()
+        << ",\"update_batches\":" << is.update_batches
+        << ",\"updates_applied\":" << is.updates_applied
+        << ",\"worker_catchups\":" << is.worker_catchups
+        << ",\"landmark_revalidations\":" << is.landmark_revalidations
+        << ",\"wal\":{\"enabled\":" << (is.wal_enabled ? "true" : "false");
+    if (is.wal_enabled) {
+      out << ",\"last_seq\":" << is.last_seq
+          << ",\"appended_batches\":" << is.appended_batches
+          << ",\"appended_records\":" << is.appended_records
+          << ",\"bytes_appended\":" << is.bytes_appended
+          << ",\"append_failures\":" << is.append_failures
+          << ",\"checkpoints\":" << is.checkpoints
+          << ",\"recovery\":{\"batches\":" << is.recovered_batches
+          << ",\"records\":" << is.recovered_records
+          << ",\"torn_tail\":"
+          << (is.recovery_torn_tail ? "true" : "false")
+          << ",\"seconds\":" << is.recovery_seconds << "}";
+    }
+    out << "}}";
   }
 
   const storage::BufferPoolStats ps = pool_->stats();
@@ -825,11 +1166,14 @@ std::string RouteServer::StatuszJson() {
 
 RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
                                   const RouteQuery& q, BatchContext* batch,
-                                  uint64_t batch_id) {
+                                  uint64_t batch_id,
+                                  const MetricState& pinned,
+                                  const Status& replica_health) {
   RouteResponse resp;
   resp.query_index = query_index;
   resp.worker_id = static_cast<int>(worker_id);
   resp.batch_id = batch_id;
+  resp.metric_version = pinned.version;
 
   const auto started = std::chrono::steady_clock::now();
   const uint64_t deadline_ms =
@@ -869,7 +1213,24 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
   uint64_t observed_epoch = 0;
   uint64_t observed_seq = 0;
   bool answered_from_cache = false;
-  if (cache_) {
+  bool answered_stale_replica = false;
+  if (!replica_health.ok()) {
+    // The replica could not catch up to the pinned version; its stored
+    // metric is behind what this batch promised. Fall down the degraded
+    // ladder — a stale cached route first, else the exact answer on the
+    // pinned in-memory snapshot — but never an inconsistent metered run.
+    if (options_.enable_degraded) {
+      ServeDegraded(q, key, replica_health, pinned, &resp);
+    } else {
+      resp.result = DijkstraSearch(*pinned.snapshot, q.source, q.destination);
+      resp.degraded = true;
+      resp.served_via = ServedVia::kSnapshot;
+      resp.degraded_cause = replica_health;
+      degraded_snapshot_->Increment();
+    }
+    answered_stale_replica = true;
+  }
+  if (cache_ && !answered_stale_replica) {
     observed_epoch = cache_->epoch();
     observed_seq = cache_->invalidation_seq();
     // A degraded-capable server keeps stale entries around (miss, no
@@ -889,7 +1250,7 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
     }
   }
 
-  if (!answered_from_cache) {
+  if (!answered_from_cache && !answered_stale_replica) {
     CircuitBreaker& breaker = *breakers_[worker_id];
     const bool admitted = breaker.AllowRequest();
     Result<PathResult> r = [&]() -> Result<PathResult> {
@@ -925,13 +1286,18 @@ RouteResponse RouteServer::RunOne(size_t worker_id, size_t query_index,
       resp.result = std::move(r).value();
       // Cache successful answers (including proven "no route"); the insert
       // is dropped inside the cache when a traffic update — epoch bump or
-      // region invalidation — raced this query.
-      if (cache_) {
+      // region invalidation — raced this query, and skipped entirely when
+      // a newer metric version published mid-query: an answer computed at
+      // version N must never outlive version N+1's invalidation.
+      if (cache_ &&
+          pinned.version ==
+              published_version_.load(std::memory_order_acquire)) {
         cache_->Insert(key, observed_epoch, resp.result,
-                       PathRegions(resp.result), observed_seq);
+                       PathRegions(resp.result, pinned.overlay.get()),
+                       observed_seq);
       }
     } else if (!options_.enable_degraded ||
-               !ServeDegraded(q, key, r.status(), &resp)) {
+               !ServeDegraded(q, key, r.status(), pinned, &resp)) {
       resp.status = r.status();
       resp.served_via = ServedVia::kNone;
     }

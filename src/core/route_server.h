@@ -35,6 +35,24 @@
 // (source, destination, algorithm, version) members coalesce into a
 // single computation. Answers are bit-identical to serial execution; only
 // the block I/O per query shrinks.
+//
+// Traffic ingestion (ApplyUpdates / UpdateEdgeCost): the write path is
+// MVCC-lite. Every metric the server has ever served is an immutable
+// MetricState — version number, float-rounded graph snapshot, overlay
+// index, landmark estimator — and updates never quiesce the worker pool.
+// A writer builds version N+1 off to the side (WAL append + fsync first
+// when Options::wal.dir is set, then updater-replica apply, incremental
+// overlay re-customization deduplicated across the batch, and landmark
+// re-validation when any cost decreased), then publishes it by swapping
+// one shared_ptr under the queue mutex. Workers pin the head state when
+// they claim a batch and lazily catch their private store replica up to
+// it (applying only the per-edge dirty set they are behind on); every
+// query in the batch then runs against exactly one metric version, which
+// it reports in RouteResponse::metric_version. Cache inserts are dropped
+// when a newer version published mid-query, so a stale route can never be
+// cached past its invalidation. With a WAL directory configured the
+// server replays committed batches (and the newest checkpoint) at
+// construction, restoring the exact pre-crash metric.
 #pragma once
 
 #include <atomic>
@@ -44,15 +62,19 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/batch_engine.h"
 #include "core/circuit_breaker.h"
 #include "core/db_search.h"
+#include "core/landmarks.h"
 #include "core/overlay.h"
 #include "core/route_cache.h"
+#include "core/update_log.h"
 #include "graph/graph.h"
 #include "graph/relational_graph.h"
 #include "storage/buffer_pool.h"
@@ -112,6 +134,10 @@ struct RouteResponse {
   /// True when this answer was coalesced from an identical query in the
   /// same batch (singleflight): io is zero, the computation ran once.
   bool coalesced = false;
+  /// The metric version this answer was computed against (the version the
+  /// worker pinned at batch claim). Subtracting it from the currently
+  /// published version bounds the answer's staleness in update batches.
+  uint64_t metric_version = 0;
 };
 
 class RouteServer {
@@ -191,6 +217,24 @@ class RouteServer {
     /// bounding box. Read only when max_batch > 1.
     uint32_t batch_region_order = 3;
 
+    /// Durable traffic ingestion. All off by default (in-memory updates
+    /// only, exactly the pre-WAL behaviour).
+    struct WalOptions {
+      /// Directory for the write-ahead log (`wal.atisw`) and epoch
+      /// checkpoints (`checkpoint-<seq>.atisg`). Empty = durability off.
+      /// When set, construction replays the newest checkpoint plus every
+      /// committed WAL frame past it before loading the replicas, so the
+      /// served metric is exactly the last acknowledged state.
+      std::string dir;
+      /// fsync every committed batch (the durability guarantee). Off only
+      /// for throughput experiments that isolate fsync cost.
+      bool sync_on_commit = true;
+      /// Write a checkpoint (and reset the WAL) every N applied batches;
+      /// 0 = never checkpoint, the WAL grows until restart.
+      uint64_t checkpoint_every = 0;
+    };
+    WalOptions wal;
+
     /// Serving-path observability (tracing, slow-query log, SLO windows).
     /// All off by default; each knob is independent.
     struct ObsOptions {
@@ -247,20 +291,25 @@ class RouteServer {
   Result<std::vector<RouteResponse>> ServeBatch(
       const std::vector<RouteQuery>& queries);
 
-  /// Applies a traffic update — the new cost of edge u -> v — to every
-  /// store replica. Safe to call concurrently with ServeBatch: the update
-  /// quiesces the worker pool first (new batch claims stall, in-flight
-  /// batches finish), applies the cost to every replica, incrementally
-  /// re-customizes the overlay (only the touched cell) when Version 5 is
-  /// enabled, and republishes before workers resume — a search never sees
-  /// a half-applied update or a stale overlay. Cache invalidation is
-  /// scoped: a pure cost *increase* with the overlay on invalidates only
-  /// the cached routes whose paths touch the edge's cells
-  /// (RouteCache::InvalidateRegions); a decrease — which can improve
-  /// routes anywhere — bumps the global epoch. Congestion (cost
-  /// increases) keeps the landmark tables admissible; after a decrease
-  /// Version 4 results may lose their optimality guarantee until the
-  /// server is rebuilt.
+  /// Applies one batch of traffic updates as a single committed metric
+  /// version. Safe to call concurrently with ServeBatch — readers are
+  /// never blocked: the batch is WAL-committed first (when durability is
+  /// on; a failed commit applies nothing), built into an immutable
+  /// version-N+1 MetricState off to the side (updater-replica apply,
+  /// overlay re-customization deduplicated across the batch's cells,
+  /// landmark re-validation when any cost decreased — Version 4 stays
+  /// exact under live traffic), and published by one pointer swap.
+  /// In-flight queries keep serving their pinned version; workers catch
+  /// up at their next batch claim. Cache invalidation is scoped: a batch
+  /// of pure cost *increases* with the overlay on invalidates only the
+  /// cached routes whose paths touch the updated edges' cells
+  /// (RouteCache::InvalidateRegions); any decrease — which can improve
+  /// routes anywhere — bumps the global epoch. Concurrent writers
+  /// serialize among themselves. InvalidArgument (nothing applied, nothing
+  /// logged) if any edge is unknown or any cost negative.
+  Status ApplyUpdates(std::span<const EdgeCostUpdate> updates);
+
+  /// Single-edge convenience wrapper over ApplyUpdates.
   Status UpdateEdgeCost(graph::NodeId u, graph::NodeId v, double cost);
 
   size_t num_workers() const { return engines_.size(); }
@@ -281,9 +330,34 @@ class RouteServer {
   RouteCache* cache() { return cache_.get(); }
   /// The circuit breaker guarding worker `w`'s replica.
   const CircuitBreaker& breaker(size_t w) const { return *breakers_[w]; }
-  /// The last-good in-memory graph degraded answers are computed on
-  /// (tracks UpdateEdgeCost, float-rounded to the stored metric).
-  const graph::Graph& snapshot() const { return snapshot_; }
+  /// The currently published metric snapshot: the in-memory graph under
+  /// the store's float-rounded metric that degraded answers are computed
+  /// on. Immutable — updates publish a fresh one rather than mutating it.
+  std::shared_ptr<const graph::Graph> snapshot();
+  /// The currently published metric version (1 at construction; +1 per
+  /// applied update batch). Lock-free.
+  uint64_t published_version() const {
+    return published_version_.load(std::memory_order_acquire);
+  }
+  /// WAL / recovery accounting (all zero when Options::wal.dir is empty).
+  struct IngestStats {
+    bool wal_enabled = false;
+    uint64_t last_seq = 0;            ///< newest committed batch sequence
+    uint64_t appended_batches = 0;    ///< WAL frames committed this run
+    uint64_t appended_records = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t append_failures = 0;     ///< commits refused by the WAL
+    uint64_t checkpoints = 0;         ///< checkpoints written this run
+    uint64_t recovered_batches = 0;   ///< frames replayed at construction
+    uint64_t recovered_records = 0;
+    bool recovery_torn_tail = false;  ///< a torn tail was truncated
+    double recovery_seconds = 0.0;    ///< checkpoint load + WAL replay
+    uint64_t updates_applied = 0;     ///< edge updates applied this run
+    uint64_t update_batches = 0;      ///< ApplyUpdates calls that published
+    uint64_t worker_catchups = 0;     ///< replica catch-ups at batch claim
+    uint64_t landmark_revalidations = 0;
+  };
+  IngestStats ingest_stats();
 
   /// Null unless the corresponding Options::obs knob enabled them.
   obs::SloWindows* slo() { return slo_.get(); }
@@ -337,6 +411,26 @@ class RouteServer {
     ServeCall* call = nullptr;
   };
 
+  /// One immutable published metric: everything a query needs to serve a
+  /// consistent answer at one version. Swapped whole under mu_; readers
+  /// pin the shared_ptr and outlive any number of later publications.
+  struct MetricState {
+    uint64_t version = 1;
+    /// The served map under the store's float-rounded metric (degraded
+    /// answers, region index lookups).
+    std::shared_ptr<const graph::Graph> snapshot;
+    std::shared_ptr<const OverlayIndex> overlay;      // null = V5 off
+    std::shared_ptr<const Estimator> estimator;       // null = V4 off
+  };
+  /// Latest raw cost of an edge some replica has not yet applied, keyed
+  /// (u << 32 | v). Applying only the newest cost per edge is idempotent,
+  /// so the map is bounded by the edge count no matter how far a replica
+  /// falls behind. Guarded by mu_.
+  struct DirtyEdge {
+    double cost = 0.0;
+    uint64_t version = 0;  ///< the publication that wrote this cost
+  };
+
   void WorkerLoop(size_t worker_id);
   /// Claims a batch from the queue: a FIFO seed plus up to max_batch - 1
   /// pending queries sharing its region, optionally holding the batch
@@ -346,7 +440,8 @@ class RouteServer {
                   std::vector<WorkItem>* claimed, uint64_t* batch_id);
   RouteResponse RunOne(size_t worker_id, size_t query_index,
                        const RouteQuery& q, BatchContext* batch,
-                       uint64_t batch_id);
+                       uint64_t batch_id, const MetricState& pinned,
+                       const Status& replica_health);
   /// A singleflight follower's response: the leader's answer with the
   /// member's own accounting (zero I/O, ServedVia::kCoalesced).
   RouteResponse RunCoalesced(size_t worker_id, size_t query_index,
@@ -356,11 +451,25 @@ class RouteServer {
   /// Fills `resp` from a degraded source after primary failure `cause`.
   /// Returns false when no fallback produced an answer.
   bool ServeDegraded(const RouteQuery& q, const RouteCache::Key& key,
-                     Status cause, RouteResponse* resp);
+                     Status cause, const MetricState& pinned,
+                     RouteResponse* resp);
   /// The sorted set of overlay cells `result`'s path touches (empty when
-  /// the overlay is off) — the cache entry's region tag. Called only from
-  /// an active worker, where the overlay pointer is stable.
-  std::vector<int32_t> PathRegions(const PathResult& result) const;
+  /// `overlay` is null) — the cache entry's region tag.
+  static std::vector<int32_t> PathRegions(const PathResult& result,
+                                          const OverlayIndex* overlay);
+  /// Brings worker `worker_id`'s replica (store costs, overlay pointer,
+  /// estimator pointer) up to `pinned`, applying `todo`. Returns the
+  /// first failure; on failure the replica stays marked behind and the
+  /// batch serves degraded from the pinned snapshot.
+  Status CatchUpReplica(size_t worker_id, const MetricState& pinned,
+                        std::span<const EdgeCostUpdate> todo);
+  /// Durable-recovery half of construction: loads the newest checkpoint,
+  /// replays committed WAL frames past it into `base`, and opens the log
+  /// for appending. Fills wal_ and recovery stats.
+  Status RecoverFromWal(graph::Graph* base);
+  /// Writes `checkpoint-<seq>.atisg` atomically, resets the WAL, and
+  /// removes superseded checkpoints. Caller holds update_mu_.
+  Status WriteCheckpoint(uint64_t seq);
 
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -368,16 +477,37 @@ class RouteServer {
   std::vector<std::unique_ptr<DbSearchEngine>> engines_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::unique_ptr<RouteCache> cache_;
-  /// Served overlay index (null when overlay_cell_order == 0). Workers
-  /// read it only while counted active; UpdateEdgeCost replaces it under
-  /// mu_ with the pool quiesced, so reads never race the swap.
-  std::shared_ptr<const OverlayIndex> overlay_;
-  /// In-memory copy of the served map under the store's float-rounded
-  /// metric. Written only by UpdateEdgeCost (single dispatcher, workers
-  /// idle); read by workers for degraded answers — the mu_ handoff that
-  /// publishes each batch also publishes the snapshot.
-  graph::Graph snapshot_;
+  /// The published metric head. Guarded by mu_ (pointer reads/writes
+  /// only; the pointee is immutable). published_version_ mirrors
+  /// head_->version for lock-free staleness checks.
+  std::shared_ptr<const MetricState> head_;
+  std::atomic<uint64_t> published_version_{1};
   Options options_;
+
+  // ---- Write path (guarded by update_mu_; writers serialize among
+  // themselves and never block readers) ----
+  std::mutex update_mu_;
+  /// The writer's working copy of the served metric (float-rounded).
+  /// Each publication copies it into an immutable MetricState snapshot.
+  graph::Graph write_graph_;
+  /// Dedicated non-serving replica the writer keeps current so overlay
+  /// re-customization reads post-update adjacency (null when V5 is off).
+  std::unique_ptr<graph::RelationalGraphStore> updater_store_;
+  /// The served landmark table (ids reused by re-validation; null = off).
+  std::shared_ptr<const LandmarkSet> landmark_set_;
+  std::unique_ptr<UpdateLog> wal_;  // null when Options::wal.dir empty
+  uint64_t last_committed_seq_ = 0;
+  uint64_t batches_since_checkpoint_ = 0;
+  double recovery_seconds_ = 0.0;
+  UpdateLog::ReplayStats recovery_;
+
+  // Per-replica catch-up state. replica_version_ and dirty_edges_ are
+  // guarded by mu_; worker_overlay_/worker_estimator_ slots are touched
+  // only by their own worker thread after construction.
+  std::vector<uint64_t> replica_version_;
+  std::unordered_map<uint64_t, DirtyEdge> dirty_edges_;
+  std::vector<std::shared_ptr<const OverlayIndex>> worker_overlay_;
+  std::vector<std::shared_ptr<const Estimator>> worker_estimator_;
   // Metric series, resolved once at startup (cache ones null w/o cache).
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
@@ -415,22 +545,28 @@ class RouteServer {
 
   // Traffic-update accounting (relaxed; read by /statusz).
   std::atomic<uint64_t> traffic_updates_applied_{0};
+  std::atomic<uint64_t> traffic_update_batches_{0};
   std::atomic<uint64_t> overlay_cells_recustomized_{0};
+  std::atomic<uint64_t> wal_append_failures_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> worker_catchups_{0};
+  std::atomic<uint64_t> landmark_revalidations_{0};
+  // WAL / snapshot metric series, resolved once at startup.
+  obs::Counter* wal_appends_metric_ = nullptr;
+  obs::Counter* wal_records_metric_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
+  obs::Counter* wal_append_failures_metric_ = nullptr;
+  obs::Counter* wal_checkpoints_metric_ = nullptr;
+  obs::Counter* snapshot_published_metric_ = nullptr;
+  obs::Counter* snapshot_catchups_metric_ = nullptr;
+  obs::Counter* snapshot_revalidations_metric_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for queries / stop
   std::condition_variable done_cv_;   // dispatchers wait for completion
-  std::condition_variable update_cv_; // updaters wait for quiescence
   std::deque<WorkItem> pending_;      // guarded by mu_
   uint64_t next_batch_id_ = 0;        // guarded by mu_
   bool stop_ = false;                 // guarded by mu_
-  /// True while UpdateEdgeCost owns the pool: workers claim no new
-  /// batches until it clears. Guarded by mu_.
-  bool updating_ = false;
-  /// Workers holding a claimed batch (counted from seed claim to result
-  /// delivery, so a batch held open for its window still blocks
-  /// quiescence). Guarded by mu_.
-  size_t active_workers_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/atomic_file.h"
+
 namespace atis::graph {
 
 namespace {
@@ -96,16 +98,16 @@ Result<GraphFile> ReadGraphFileText(std::istream& in) {
 }
 
 Status SaveGraphFile(const Graph& g, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open " + path + " for writing");
-  return WriteGraphText(g, out);
+  std::ostringstream out;
+  ATIS_RETURN_NOT_OK(WriteGraphText(g, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 Status SaveGraphFile(const Graph& g, StoreLayout layout,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::NotFound("cannot open " + path + " for writing");
-  return WriteGraphText(g, layout, out);
+  std::ostringstream out;
+  ATIS_RETURN_NOT_OK(WriteGraphText(g, layout, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 Result<Graph> LoadGraphFile(const std::string& path) {

@@ -92,6 +92,64 @@ FaultProfile DiskManager::fault_profile() const {
   return profile_;
 }
 
+Status DiskManager::CheckDurableWrite(uint32_t* spike_micros) {
+  uint32_t spike = 0;
+  Status st;
+  {
+    std::shared_lock lock(mu_);
+    st = CheckDurableFault(/*is_sync=*/false, &spike);
+  }
+  if (spike_micros != nullptr) *spike_micros = spike;
+  return st;
+}
+
+Status DiskManager::CheckDurableSync() {
+  std::shared_lock lock(mu_);
+  uint32_t spike = 0;
+  return CheckDurableFault(/*is_sync=*/true, &spike);
+}
+
+Status DiskManager::CheckDurableFault(bool is_sync, uint32_t* spike_micros) {
+  // The deterministic countdowns and the permanent trip model the whole
+  // device, so they gate durable I/O exactly as they gate page I/O.
+  if (!ConsumeCountdown(fault_countdown_, kFaultDisarmed)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("injected disk fault");
+  }
+  uint64_t left = transient_countdown_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (transient_countdown_.compare_exchange_weak(
+            left, left - 1, std::memory_order_relaxed)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected transient disk fault");
+    }
+  }
+  if (!profile_enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  if (permanent_tripped_.load(std::memory_order_relaxed)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("disk failed permanently (injected)");
+  }
+  const double rate = is_sync ? profile_.sync_transient_rate
+                              : profile_.write_transient_rate;
+  if (rate <= 0.0 && profile_.spike_micros == 0) return Status::OK();
+  const uint64_t n = fault_draws_.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 sm(profile_.seed ^ (n * 0x9e3779b97f4a7c15ULL));
+  const auto uniform = [&] {
+    return static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  };
+  if (uniform() < rate) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return is_sync
+               ? Status::Unavailable("injected fsync fault")
+               : Status::Unavailable("injected durable-write fault");
+  }
+  if (!is_sync && profile_.spike_micros > 0 &&
+      uniform() < profile_.spike_rate) {
+    *spike_micros = profile_.spike_micros;
+  }
+  return Status::OK();
+}
+
 Status DiskManager::CheckFault(uint32_t* spike_micros) {
   // Deterministic countdowns first: they are armed explicitly by tests.
   if (!ConsumeCountdown(fault_countdown_, kFaultDisarmed)) {

@@ -55,10 +55,19 @@ struct FaultProfile {
   double permanent_rate = 0.0; ///< P(this access trips permanent failure)
   double spike_rate = 0.0;     ///< P(this access is a straggler)
   uint32_t spike_micros = 0;   ///< extra sleep charged to a straggler
+  /// Write-path chaos, drawn from the same seeded stream: durable-file
+  /// appends (WAL frames, checkpoint blocks, see storage/durable_file.h)
+  /// fail kUnavailable with `write_transient_rate`, and fsync commits
+  /// fail with `sync_transient_rate`. Failed writes are never metered,
+  /// mirroring the read-side rule, and a tripped permanent failure stops
+  /// durable I/O exactly as it stops page I/O.
+  double write_transient_rate = 0.0; ///< P(a durable append fails)
+  double sync_transient_rate = 0.0;  ///< P(an fsync commit fails)
 
   bool enabled() const {
     return transient_rate > 0.0 || permanent_rate > 0.0 ||
-           (spike_rate > 0.0 && spike_micros > 0);
+           (spike_rate > 0.0 && spike_micros > 0) ||
+           write_transient_rate > 0.0 || sync_transient_rate > 0.0;
   }
 };
 
@@ -143,6 +152,15 @@ class DiskManager {
     return faults_injected_.load(std::memory_order_relaxed);
   }
 
+  /// Fault gate for the durable write path (storage/durable_file.h): one
+  /// draw against FaultProfile::write_transient_rate (plus the permanent
+  /// trip and deterministic countdowns, which model the whole device). A
+  /// caller whose check fails must not meter the access. *spike_micros
+  /// (optional) carries a straggler sleep exactly like page I/O.
+  Status CheckDurableWrite(uint32_t* spike_micros = nullptr);
+  /// Same gate for fsync commits, drawn against sync_transient_rate.
+  Status CheckDurableSync();
+
  private:
   /// Sentinel countdown value meaning "not armed".
   static constexpr uint64_t kFaultDisarmed = ~uint64_t{0};
@@ -152,6 +170,10 @@ class DiskManager {
   /// On success *spike_micros carries any straggler sleep to add after the
   /// lock is released. Caller holds mu_ (any mode).
   Status CheckFault(uint32_t* spike_micros);
+  /// Durable-path twin of CheckFault: countdowns and the permanent trip
+  /// fire as usual, then one draw against the write/sync transient rate.
+  /// Caller holds mu_ (any mode).
+  Status CheckDurableFault(bool is_sync, uint32_t* spike_micros);
   void SimulateLatency(bool is_write, uint32_t spike_micros) const;
 
   mutable std::shared_mutex mu_;

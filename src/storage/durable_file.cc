@@ -1,0 +1,91 @@
+#include "storage/durable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace atis::storage {
+
+Result<std::unique_ptr<DurableFile>> DurableFile::Open(
+    const std::string& path, DiskManager* disk, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open " + path + ": " +
+                               std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Unavailable("cannot stat " + path + ": " +
+                               std::strerror(err));
+  }
+  return std::unique_ptr<DurableFile>(new DurableFile(
+      path, fd, static_cast<uint64_t>(st.st_size), disk));
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DurableFile::Append(const void* data, size_t n) {
+  if (n == 0) return Status::OK();
+  uint32_t spike_micros = 0;
+  if (disk_ != nullptr) {
+    ATIS_RETURN_NOT_OK(disk_->CheckDurableWrite(&spike_micros));
+  }
+  size_t written = 0;
+  const auto* p = static_cast<const char*>(data);
+  while (written < n) {
+    const ssize_t w = ::write(fd_, p + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      // Roll back any partial tail so the caller's framing stays whole;
+      // if even the rollback fails the torn-tail scan cleans up at the
+      // next open.
+      (void)::ftruncate(fd_, static_cast<off_t>(size_));
+      return Status::Unavailable(std::string("append to ") + path_ +
+                                 " failed: " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(w);
+  }
+  size_ += n;
+  if (disk_ != nullptr) {
+    const uint64_t blocks = (n + kBlockBytes - 1) / kBlockBytes;
+    disk_->meter().RecordWrite(blocks);
+    blocks_metered_ += blocks;
+  }
+  if (spike_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spike_micros));
+  }
+  return Status::OK();
+}
+
+Status DurableFile::Sync() {
+  if (disk_ != nullptr) {
+    ATIS_RETURN_NOT_OK(disk_->CheckDurableSync());
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("fsync of ") + path_ +
+                               " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status DurableFile::TruncateTo(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::Unavailable(std::string("truncate of ") + path_ +
+                               " failed: " + std::strerror(errno));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+}  // namespace atis::storage

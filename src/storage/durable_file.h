@@ -1,0 +1,68 @@
+// A real append-only file with metered, fault-injectable writes.
+//
+// The simulated DiskManager holds its pages in memory, which is exactly
+// right for the paper's I/O cost accounting but useless for durability: a
+// write-ahead log must survive the process. DurableFile bridges the two
+// worlds — bytes go to a POSIX file (append + fsync), while every
+// successful append is metered through the owning DiskManager's IoMeter
+// in 4 KiB block units and every append/sync first consults the
+// DiskManager's FaultProfile write/fsync gates (failed operations are
+// never metered, mirroring the page-I/O rule). With a null DiskManager
+// the file is unmetered and fault-free — plain durable I/O.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/disk_manager.h"
+#include "util/status.h"
+
+namespace atis::storage {
+
+class DurableFile {
+ public:
+  /// The block size appends are metered in (ceil(bytes / 4096) blocks per
+  /// Append) — PAGE_SIZE-shaped so WAL I/O lands in the same cost units
+  /// as page I/O.
+  static constexpr uint64_t kBlockBytes = 4096;
+
+  /// Opens (or creates) `path` for appending. `disk` may be null.
+  /// `truncate` starts the file empty.
+  static Result<std::unique_ptr<DurableFile>> Open(const std::string& path,
+                                                   DiskManager* disk,
+                                                   bool truncate = false);
+  ~DurableFile();
+
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+
+  /// Appends `n` bytes at the current end. Consults the fault gate first:
+  /// a failed append writes nothing and meters nothing. A short write
+  /// (disk full) is reported kUnavailable after truncating back to the
+  /// pre-append size, so the file never holds a half-frame the caller
+  /// believes committed.
+  Status Append(const void* data, size_t n);
+
+  /// fsync(): the commit point. Fault-gated via sync_transient_rate.
+  Status Sync();
+
+  /// Truncates to `size` bytes (used by torn-tail recovery).
+  Status TruncateTo(uint64_t size);
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  uint64_t blocks_metered() const { return blocks_metered_; }
+
+ private:
+  DurableFile(std::string path, int fd, uint64_t size, DiskManager* disk)
+      : path_(std::move(path)), fd_(fd), size_(size), disk_(disk) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t blocks_metered_ = 0;
+  DiskManager* disk_ = nullptr;  // null = unmetered, fault-free
+};
+
+}  // namespace atis::storage

@@ -1,0 +1,63 @@
+#include "util/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace atis {
+
+namespace {
+/// Process-wide injected failure stage (tests are single-threaded around
+/// save paths; a plain variable keeps the hot path free of atomics).
+ScopedAtomicWriteFailure::Stage g_fail_stage =
+    ScopedAtomicWriteFailure::kNone;
+}  // namespace
+
+ScopedAtomicWriteFailure::ScopedAtomicWriteFailure(Stage stage)
+    : previous_(g_fail_stage) {
+  g_fail_stage = stage;
+}
+
+ScopedAtomicWriteFailure::~ScopedAtomicWriteFailure() {
+  g_fail_stage = previous_;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open " + tmp + " for writing");
+    }
+    if (g_fail_stage == ScopedAtomicWriteFailure::kDuringWrite) {
+      // Simulated mid-write failure: some prefix may have reached the tmp
+      // file, exactly as a full disk or crash would leave it.
+      out.write(content.data(),
+                static_cast<std::streamsize>(content.size() / 2));
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Unavailable("short write to " + tmp + " (injected)");
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Unavailable("short write to " + tmp);
+    }
+  }
+  if (g_fail_stage == ScopedAtomicWriteFailure::kBeforeRename) {
+    // Simulated crash between write and rename: the complete tmp file
+    // stays behind (recovery ignores it) and the destination is intact.
+    return Status::Unavailable("crash before rename of " + tmp +
+                               " (injected)");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace atis

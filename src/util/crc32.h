@@ -1,0 +1,38 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every WAL frame. Table-driven, one byte per step; the table is
+// built once at static initialization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace atis {
+
+namespace internal {
+inline constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace internal
+
+/// CRC-32 of `n` bytes, continuing from `seed` (pass the previous return
+/// value to checksum discontiguous regions as one stream).
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace atis

@@ -352,6 +352,18 @@ constexpr const char* kDocumentedFamilies[] = {
     "atis_slo_latency_p95_seconds",
     "atis_slo_latency_p99_seconds",
     "atis_slo_qps",
+    "atis_snapshot_landmark_revalidations_total",
+    "atis_snapshot_published_total",
+    "atis_snapshot_version",
+    "atis_snapshot_worker_catchups_total",
+    "atis_wal_append_failures_total",
+    "atis_wal_appends_total",
+    "atis_wal_bytes_written_total",
+    "atis_wal_checkpoints_total",
+    "atis_wal_records_total",
+    "atis_wal_replayed_batches_total",
+    "atis_wal_replayed_records_total",
+    "atis_wal_torn_tail_truncations_total",
 };
 
 bool IsDocumented(const std::string& name) {

@@ -199,7 +199,7 @@ TEST(ResilientServerTest, SnapshotAnswersSurvivePermanentDiskFailure) {
     EXPECT_FALSE(resp.degraded_cause.ok());
     // The snapshot answer is the true shortest path on the stored metric.
     const PathResult expected = DijkstraSearch(
-        server.snapshot(), queries[resp.query_index].source,
+        *server.snapshot(), queries[resp.query_index].source,
         queries[resp.query_index].destination);
     EXPECT_TRUE(resp.result.found);
     EXPECT_DOUBLE_EQ(resp.result.cost, expected.cost);

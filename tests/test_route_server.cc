@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -585,6 +588,247 @@ TEST(RouteServerTest, DiskLatencyModelIsInstalled) {
   ASSERT_TRUE(server.init_status().ok());
   EXPECT_EQ(server.disk().latency_model().read_micros, 5u);
   EXPECT_EQ(server.disk().latency_model().write_micros, 7u);
+}
+
+TEST(RouteServerIngestTest, BatchedUpdatePublishesOneVersionAtomically) {
+  const graph::Graph g = MakeGrid(6);
+  RouteServer::Options opt;
+  opt.num_workers = 2;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_EQ(server.published_version(), 1u);
+
+  // Three edges change as one batch: one publish, one version bump.
+  const graph::Edge e0 = g.Neighbors(0)[0];
+  const graph::Edge e7 = g.Neighbors(7)[0];
+  const graph::Edge e20 = g.Neighbors(20)[0];
+  const std::vector<EdgeCostUpdate> batch{
+      {0, e0.to, e0.cost + 5.0},
+      {7, e7.to, e7.cost + 6.0},
+      {20, e20.to, e20.cost + 7.0},
+  };
+  ASSERT_TRUE(server.ApplyUpdates(batch).ok());
+  EXPECT_EQ(server.published_version(), 2u);
+  const RouteServer::IngestStats ing = server.ingest_stats();
+  EXPECT_EQ(ing.update_batches, 1u);
+  EXPECT_EQ(ing.updates_applied, 3u);
+
+  // A serve after the publish pins the new version and sees all three
+  // costs at once: bit-identical to a fresh server built from the
+  // updated graph (same engines, same stored metric).
+  const graph::Graph updated = WithEdgeCost(
+      WithEdgeCost(WithEdgeCost(g, 0, e0.to, e0.cost + 5.0), 7, e7.to,
+                   e7.cost + 6.0),
+      20, e20.to, e20.cost + 7.0);
+  RouteServer reference(updated, opt);
+  ASSERT_TRUE(reference.init_status().ok());
+  const std::vector<RouteQuery> q{RouteQuery{0, 35, Algorithm::kDijkstra}};
+  auto resp = server.ServeBatch(q);
+  auto want = reference.ServeBatch(q);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE((*resp)[0].status.ok());
+  ASSERT_TRUE((*want)[0].status.ok());
+  EXPECT_EQ((*resp)[0].metric_version, 2u);
+  EXPECT_EQ((*resp)[0].result.cost, (*want)[0].result.cost);
+  EXPECT_EQ((*resp)[0].result.path, (*want)[0].result.path);
+}
+
+TEST(RouteServerIngestTest, InvalidBatchesRejectWithoutPublishing) {
+  const graph::Graph g = MakeGrid(5);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  const graph::Edge e0 = g.Neighbors(0)[0];
+  const std::vector<EdgeCostUpdate> negative{
+      {0, e0.to, e0.cost + 1.0},
+      {0, e0.to, -2.0},
+  };
+  EXPECT_TRUE(server.ApplyUpdates(negative).IsInvalidArgument());
+  const std::vector<EdgeCostUpdate> unknown{{0, 24, 1.0}};  // no such edge
+  EXPECT_TRUE(server.ApplyUpdates(unknown).IsNotFound());
+  EXPECT_EQ(server.published_version(), 1u);
+  EXPECT_EQ(server.ingest_stats().update_batches, 0u);
+}
+
+// The MVCC-lite contract under fire: readers never block on the writer
+// and every response is exact for the metric version it reports. The
+// writer publishes versions 2..N while readers serve; afterwards each
+// response is checked bit-for-bit against a fresh reference server built
+// from the graph recorded at that version.
+TEST(RouteServerIngestTest, ConcurrentServesAreExactAtTheirPinnedVersion) {
+  const graph::Graph g = MakeGrid(8);
+  RouteServer::Options opt;
+  opt.num_workers = 3;
+  opt.enable_cache = true;  // the insert guard is part of the contract
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+
+  constexpr uint64_t kVersions = 9;  // base (1) + eight published batches
+  std::vector<graph::Graph> by_version;  // [v-1] = raw graph at version v
+  by_version.push_back(g);
+
+  const std::vector<RouteQuery> queries{
+      RouteQuery{0, 63, Algorithm::kDijkstra},
+      RouteQuery{5, 58, Algorithm::kAStar},
+      RouteQuery{16, 47, Algorithm::kDijkstra},
+  };
+
+  struct Observed {
+    uint64_t version;
+    size_t query;
+    double cost;
+    bool found;
+  };
+  std::mutex observed_mu;
+  std::vector<Observed> observed;
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    graph::Graph current = g;
+    for (uint64_t v = 2; v <= kVersions; ++v) {
+      // Two deterministic edge bumps per version.
+      const auto u1 = static_cast<graph::NodeId>((v * 13) % 64);
+      const auto u2 = static_cast<graph::NodeId>((v * 29 + 7) % 64);
+      const graph::Edge& a = current.Neighbors(u1)[0];
+      const graph::Edge& b = current.Neighbors(u2)[0];
+      const std::vector<EdgeCostUpdate> batch{
+          {u1, a.to, a.cost + 0.5},
+          {u2, b.to, b.cost + 0.25},
+      };
+      ASSERT_TRUE(current.SetEdgeCost(u1, a.to, batch[0].cost).ok());
+      ASSERT_TRUE(current.SetEdgeCost(u2, b.to, batch[1].cost).ok());
+      ASSERT_TRUE(server.ApplyUpdates(batch).ok());
+      ASSERT_EQ(server.published_version(), v);
+      by_version.push_back(current);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!writer_done.load()) {
+        auto batch = server.ServeBatch(queries);
+        ASSERT_TRUE(batch.ok());
+        std::lock_guard<std::mutex> lock(observed_mu);
+        for (const RouteResponse& resp : *batch) {
+          ASSERT_TRUE(resp.status.ok());
+          EXPECT_FALSE(resp.degraded);  // readers never fall back
+          observed.push_back(Observed{resp.metric_version,
+                                      static_cast<size_t>(resp.query_index),
+                                      resp.result.cost, resp.result.found});
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  ASSERT_EQ(by_version.size(), kVersions);
+
+  // Reference answers per version, from servers that never saw an update.
+  std::vector<std::vector<double>> want_cost(kVersions);
+  for (uint64_t v = 1; v <= kVersions; ++v) {
+    RouteServer::Options ref_opt;
+    ref_opt.num_workers = 1;
+    RouteServer ref(by_version[v - 1], ref_opt);
+    ASSERT_TRUE(ref.init_status().ok());
+    auto batch = ref.ServeBatch(queries);
+    ASSERT_TRUE(batch.ok());
+    for (const RouteResponse& resp : *batch) {
+      ASSERT_TRUE(resp.status.ok());
+      want_cost[v - 1].push_back(resp.result.cost);
+    }
+  }
+  ASSERT_FALSE(observed.empty());
+  for (const Observed& o : observed) {
+    ASSERT_GE(o.version, 1u);
+    ASSERT_LE(o.version, kVersions);
+    EXPECT_TRUE(o.found);
+    EXPECT_EQ(o.cost, want_cost[o.version - 1][o.query])
+        << "version " << o.version << " query " << o.query;
+  }
+}
+
+TEST(RouteServerIngestTest, WalPersistsTheMetricAcrossRestart) {
+  const graph::Graph g = MakeGrid(6);
+  const std::string dir = ::testing::TempDir() + "route_server_wal_restart";
+  std::filesystem::remove_all(dir);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.wal.dir = dir;
+
+  const std::vector<RouteQuery> q{RouteQuery{0, 35, Algorithm::kDijkstra}};
+  double final_cost = 0.0;
+  {
+    RouteServer server(g, opt);
+    ASSERT_TRUE(server.init_status().ok());
+    for (int i = 1; i <= 3; ++i) {
+      const graph::Edge e = g.Neighbors(0)[0];
+      const std::vector<EdgeCostUpdate> batch{
+          {0, e.to, e.cost + static_cast<double>(i)}};
+      ASSERT_TRUE(server.ApplyUpdates(batch).ok());
+    }
+    const RouteServer::IngestStats ing = server.ingest_stats();
+    EXPECT_TRUE(ing.wal_enabled);
+    EXPECT_EQ(ing.appended_batches, 3u);
+    EXPECT_EQ(ing.last_seq, 3u);
+    auto batch = server.ServeBatch(q);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE((*batch)[0].status.ok());
+    final_cost = (*batch)[0].result.cost;
+  }
+
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  const RouteServer::IngestStats ing = server.ingest_stats();
+  EXPECT_EQ(ing.recovered_batches, 3u);
+  EXPECT_EQ(ing.last_seq, 3u);
+  EXPECT_EQ(server.published_version(), 1u);  // versions are per-process
+  auto batch = server.ServeBatch(q);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE((*batch)[0].status.ok());
+  EXPECT_EQ((*batch)[0].result.cost, final_cost);
+}
+
+TEST(RouteServerIngestTest, CheckpointsRollTheLogAndKeepRecoveryExact) {
+  const graph::Graph g = MakeGrid(6);
+  const std::string dir = ::testing::TempDir() + "route_server_wal_ckpt";
+  std::filesystem::remove_all(dir);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.wal.dir = dir;
+  opt.wal.checkpoint_every = 2;
+
+  const std::vector<RouteQuery> q{RouteQuery{0, 35, Algorithm::kDijkstra}};
+  double final_cost = 0.0;
+  {
+    RouteServer server(g, opt);
+    ASSERT_TRUE(server.init_status().ok());
+    for (int i = 1; i <= 5; ++i) {
+      const graph::Edge e = g.Neighbors(7)[0];
+      const std::vector<EdgeCostUpdate> batch{
+          {7, e.to, e.cost + static_cast<double>(i)}};
+      ASSERT_TRUE(server.ApplyUpdates(batch).ok());
+    }
+    EXPECT_EQ(server.ingest_stats().checkpoints, 2u);
+    auto batch = server.ServeBatch(q);
+    ASSERT_TRUE(batch.ok());
+    final_cost = (*batch)[0].result.cost;
+  }
+
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  const RouteServer::IngestStats ing = server.ingest_stats();
+  // Batches 1-4 are folded into the checkpoint; only seq 5 replays.
+  EXPECT_EQ(ing.recovered_batches, 1u);
+  EXPECT_EQ(ing.last_seq, 5u);
+  auto batch = server.ServeBatch(q);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ((*batch)[0].result.cost, final_cost);
 }
 
 }  // namespace
