@@ -661,6 +661,7 @@ Status RouteServer::ApplyUpdates(std::span<const EdgeCostUpdate> updates) {
 
   // Writers serialize among themselves; readers are never touched.
   std::lock_guard<std::mutex> writer(update_mu_);
+  ATIS_RETURN_NOT_OK(write_path_status_);
 
   // Validate the whole batch against the writer's view before any
   // durable or in-memory effect: an invalid batch is refused whole.
@@ -696,6 +697,33 @@ Status RouteServer::ApplyUpdates(std::span<const EdgeCostUpdate> updates) {
   }
   last_committed_seq_ = seq;
 
+  // Past the commit point every fallible step mutates writer state
+  // (updater replica, write_graph_, overlay, landmarks). A failure
+  // partway leaves that state half-applied with no batch in the dirty
+  // set, and the NEXT successful publish would snapshot the half-applied
+  // graph while worker replicas never catch up — served answers would
+  // silently diverge from the published snapshot, overlay, and WAL. So a
+  // post-commit build failure poisons the write path instead: readers
+  // keep serving the last fully-published version (still internally
+  // consistent), further updates are refused with the poison status, and
+  // a restart replays the WAL into a consistent metric.
+  if (Status st = PublishBatchLocked(updates, any_decrease); !st.ok()) {
+    write_path_status_ = Status::Unavailable(
+        "write path poisoned by a post-commit build failure: " +
+        st.ToString());
+    return st;
+  }
+
+  if (wal_ != nullptr && options_.wal.checkpoint_every > 0 &&
+      ++batches_since_checkpoint_ >= options_.wal.checkpoint_every) {
+    ATIS_RETURN_NOT_OK(WriteCheckpoint(seq));
+    batches_since_checkpoint_ = 0;
+  }
+  return Status::OK();
+}
+
+Status RouteServer::PublishBatchLocked(
+    std::span<const EdgeCostUpdate> updates, bool any_decrease) {
   // Build version N+1 off to the side: updater replica first (overlay
   // re-customization reads adjacency from it), then the writer's graph,
   // then one immutable snapshot copy.
@@ -803,12 +831,6 @@ Status RouteServer::ApplyUpdates(std::span<const EdgeCostUpdate> updates) {
   traffic_updates_applied_.fetch_add(updates.size(),
                                      std::memory_order_relaxed);
   traffic_update_batches_.fetch_add(1, std::memory_order_relaxed);
-
-  if (wal_ != nullptr && options_.wal.checkpoint_every > 0 &&
-      ++batches_since_checkpoint_ >= options_.wal.checkpoint_every) {
-    ATIS_RETURN_NOT_OK(WriteCheckpoint(seq));
-    batches_since_checkpoint_ = 0;
-  }
   return Status::OK();
 }
 
@@ -822,14 +844,39 @@ Status RouteServer::RecoverFromWal(graph::Graph* base) {
                                options_.wal.dir + ": " + ec.message());
   }
 
-  // Newest checkpoint wins; older ones are superseded garbage.
+  // Newest checkpoint wins; older ones are superseded garbage. Only
+  // names matching checkpoint-<digits>.atisg exactly count — a crash
+  // between WriteFileAtomic's tmp write and its rename leaves a
+  // 'checkpoint-<seq>.atisg.tmp.<pid>' sibling behind, and trusting it
+  // would load a possibly-partial file over a valid older checkpoint.
+  // Stale tmp files are unlinked here so they cannot pile up.
+  const auto parse_checkpoint_seq =
+      [](const std::string& name) -> std::pair<bool, uint64_t> {
+    constexpr std::string_view kPrefix = "checkpoint-";
+    constexpr std::string_view kSuffix = ".atisg";
+    if (name.size() <= kPrefix.size() + kSuffix.size()) return {false, 0};
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) return {false, 0};
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      return {false, 0};
+    }
+    uint64_t seq = 0;
+    for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return {false, 0};
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    return {true, seq};
+  };
   uint64_t ckpt_seq = 0;
   std::string ckpt_path;
   for (const auto& entry : fs::directory_iterator(options_.wal.dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("checkpoint-", 0) != 0) continue;
-    const uint64_t seq =
-        std::strtoull(name.c_str() + sizeof("checkpoint-") - 1, nullptr, 10);
+    if (name.find(".tmp.") != std::string::npos) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    const auto [is_checkpoint, seq] = parse_checkpoint_seq(name);
+    if (!is_checkpoint) continue;
     if (seq > ckpt_seq) {
       ckpt_seq = seq;
       ckpt_path = entry.path().string();
@@ -983,6 +1030,11 @@ RouteServer::IngestStats RouteServer::ingest_stats() {
     s.recovery_seconds = recovery_seconds_;
   }
   return s;
+}
+
+Status RouteServer::write_path_status() {
+  std::lock_guard<std::mutex> writer(update_mu_);
+  return write_path_status_;
 }
 
 void RouteServer::RefreshObsGauges() {

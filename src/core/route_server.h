@@ -307,7 +307,21 @@ class RouteServer {
   /// routes anywhere — bumps the global epoch. Concurrent writers
   /// serialize among themselves. InvalidArgument (nothing applied, nothing
   /// logged) if any edge is unknown or any cost negative.
+  ///
+  /// Failure atomicity: any failure BEFORE the commit point (validation,
+  /// WAL append/fsync) applies nothing and may be retried. A failure
+  /// AFTER the commit point — while building version N+1 (updater-replica
+  /// apply, overlay re-customization, landmark revalidation) — leaves
+  /// writer-side state half-mutated, so the write path poisons itself:
+  /// nothing is published, readers keep serving the last fully-published
+  /// version, and every later ApplyUpdates is refused with the poison
+  /// status (see write_path_status()). A restart recovers by replaying
+  /// the WAL into a consistent metric.
   Status ApplyUpdates(std::span<const EdgeCostUpdate> updates);
+
+  /// OK normally; the permanent refusal reason after a post-commit build
+  /// failure poisoned the write path (readers are unaffected).
+  Status write_path_status();
 
   /// Single-edge convenience wrapper over ApplyUpdates.
   Status UpdateEdgeCost(graph::NodeId u, graph::NodeId v, double cost);
@@ -470,6 +484,13 @@ class RouteServer {
   /// Writes `checkpoint-<seq>.atisg` atomically, resets the WAL, and
   /// removes superseded checkpoints. Caller holds update_mu_.
   Status WriteCheckpoint(uint64_t seq);
+  /// The post-commit half of ApplyUpdates: mutates the updater replica
+  /// and write_graph_, builds the version-N+1 MetricState (overlay
+  /// re-customization, landmark revalidation), publishes it, and runs
+  /// scoped cache invalidation. Caller holds update_mu_ and must poison
+  /// the write path on failure (writer state may be half-mutated).
+  Status PublishBatchLocked(std::span<const EdgeCostUpdate> updates,
+                            bool any_decrease);
 
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -496,6 +517,10 @@ class RouteServer {
   /// The served landmark table (ids reused by re-validation; null = off).
   std::shared_ptr<const LandmarkSet> landmark_set_;
   std::unique_ptr<UpdateLog> wal_;  // null when Options::wal.dir empty
+  /// Non-OK after a post-commit build failure: writer-side state is
+  /// half-mutated, so further updates are refused (readers keep serving
+  /// the last published, fully-consistent version).
+  Status write_path_status_;
   uint64_t last_committed_seq_ = 0;
   uint64_t batches_since_checkpoint_ = 0;
   double recovery_seconds_ = 0.0;

@@ -176,6 +176,7 @@ Result<std::unique_ptr<UpdateLog>> UpdateLog::Open(Options options) {
 
 Status UpdateLog::Append(std::span<const EdgeCostUpdate> updates,
                          uint64_t seq) {
+  ATIS_RETURN_NOT_OK(poisoned_);
   if (seq <= last_seq_) {
     return Status::InvalidArgument("WAL sequence numbers must increase");
   }
@@ -185,7 +186,18 @@ Status UpdateLog::Append(std::span<const EdgeCostUpdate> updates,
     if (Status st = file_->Sync(); !st.ok()) {
       // An unsynced frame is not committed: take it back so a later
       // successful append is not preceded by a maybe-durable ghost.
-      (void)file_->TruncateTo(file_->size() - frame.size());
+      if (Status tr = file_->TruncateTo(file_->size() - frame.size());
+          !tr.ok()) {
+        // The ghost could not be taken back: a CRC-valid frame with this
+        // seq may still be in the file. If a retry reused the seq with
+        // different contents, replay would apply the never-acknowledged
+        // ghost first — so the log refuses every further append instead.
+        // (Reopening is safe: the scan counts the surviving ghost as
+        // committed and sequences continue past it, never through it.)
+        poisoned_ = Status::Unavailable(
+            "update log poisoned: unsynced frame could not be rolled "
+            "back (" + tr.ToString() + ")");
+      }
       return st;
     }
     ++sync_commits_;

@@ -85,8 +85,18 @@ class UpdateLog {
 
   /// Appends one committed batch frame (fsync'd when sync_on_commit).
   /// `seq` must increase across appends. On failure the log is unchanged
-  /// and unmetered — the caller must not apply the batch.
+  /// and unmetered — the caller must not apply the batch. One exception:
+  /// if a failed commit's rollback truncate ALSO fails, a maybe-durable
+  /// ghost frame may survive in the file, and the log poisons itself —
+  /// every further Append is refused (see poison_status()) so no retry
+  /// can reuse the ghost's sequence number with different contents.
+  /// Reopening the path recovers: the scan treats a surviving ghost as
+  /// committed and sequences continue past it.
   Status Append(std::span<const EdgeCostUpdate> updates, uint64_t seq);
+
+  /// OK normally; the permanent refusal reason after a failed-commit
+  /// rollback could not restore the log's tail.
+  const Status& poison_status() const { return poisoned_; }
 
   /// Truncates back to an empty log (header only) after a checkpoint has
   /// made the frames redundant. Sequence numbers keep counting — replay
@@ -112,6 +122,7 @@ class UpdateLog {
   Options options_;
   std::unique_ptr<storage::DurableFile> file_;
   ReplayStats recovery_;
+  Status poisoned_;  ///< non-OK: ghost frame on disk, appends refused
   uint64_t last_seq_ = 0;
   uint64_t appended_batches_ = 0;
   uint64_t appended_records_ = 0;

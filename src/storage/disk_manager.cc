@@ -97,7 +97,7 @@ Status DiskManager::CheckDurableWrite(uint32_t* spike_micros) {
   Status st;
   {
     std::shared_lock lock(mu_);
-    st = CheckDurableFault(/*is_sync=*/false, &spike);
+    st = CheckDurableFault(DurableOp::kWrite, &spike);
   }
   if (spike_micros != nullptr) *spike_micros = spike;
   return st;
@@ -106,10 +106,16 @@ Status DiskManager::CheckDurableWrite(uint32_t* spike_micros) {
 Status DiskManager::CheckDurableSync() {
   std::shared_lock lock(mu_);
   uint32_t spike = 0;
-  return CheckDurableFault(/*is_sync=*/true, &spike);
+  return CheckDurableFault(DurableOp::kSync, &spike);
 }
 
-Status DiskManager::CheckDurableFault(bool is_sync, uint32_t* spike_micros) {
+Status DiskManager::CheckDurableTruncate() {
+  std::shared_lock lock(mu_);
+  uint32_t spike = 0;
+  return CheckDurableFault(DurableOp::kTruncate, &spike);
+}
+
+Status DiskManager::CheckDurableFault(DurableOp op, uint32_t* spike_micros) {
   // The deterministic countdowns and the permanent trip model the whole
   // device, so they gate durable I/O exactly as they gate page I/O.
   if (!ConsumeCountdown(fault_countdown_, kFaultDisarmed)) {
@@ -129,8 +135,22 @@ Status DiskManager::CheckDurableFault(bool is_sync, uint32_t* spike_micros) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
     return Status::Internal("disk failed permanently (injected)");
   }
-  const double rate = is_sync ? profile_.sync_transient_rate
-                              : profile_.write_transient_rate;
+  double rate = 0.0;
+  const char* what = nullptr;
+  switch (op) {
+    case DurableOp::kWrite:
+      rate = profile_.write_transient_rate;
+      what = "injected durable-write fault";
+      break;
+    case DurableOp::kSync:
+      rate = profile_.sync_transient_rate;
+      what = "injected fsync fault";
+      break;
+    case DurableOp::kTruncate:
+      rate = profile_.truncate_transient_rate;
+      what = "injected truncate fault";
+      break;
+  }
   if (rate <= 0.0 && profile_.spike_micros == 0) return Status::OK();
   const uint64_t n = fault_draws_.fetch_add(1, std::memory_order_relaxed);
   SplitMix64 sm(profile_.seed ^ (n * 0x9e3779b97f4a7c15ULL));
@@ -139,11 +159,9 @@ Status DiskManager::CheckDurableFault(bool is_sync, uint32_t* spike_micros) {
   };
   if (uniform() < rate) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
-    return is_sync
-               ? Status::Unavailable("injected fsync fault")
-               : Status::Unavailable("injected durable-write fault");
+    return Status::Unavailable(what);
   }
-  if (!is_sync && profile_.spike_micros > 0 &&
+  if (op == DurableOp::kWrite && profile_.spike_micros > 0 &&
       uniform() < profile_.spike_rate) {
     *spike_micros = profile_.spike_micros;
   }

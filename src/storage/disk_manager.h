@@ -63,11 +63,17 @@ struct FaultProfile {
   /// durable I/O exactly as it stops page I/O.
   double write_transient_rate = 0.0; ///< P(a durable append fails)
   double sync_transient_rate = 0.0;  ///< P(an fsync commit fails)
+  /// P(a durable ftruncate fails) — torn-tail trims on open and the
+  /// rollback that takes back an unsynced WAL frame after a failed
+  /// commit. A failed rollback is the nastiest durable fault: the log
+  /// must poison itself rather than let a ghost frame's seq be reused.
+  double truncate_transient_rate = 0.0;
 
   bool enabled() const {
     return transient_rate > 0.0 || permanent_rate > 0.0 ||
            (spike_rate > 0.0 && spike_micros > 0) ||
-           write_transient_rate > 0.0 || sync_transient_rate > 0.0;
+           write_transient_rate > 0.0 || sync_transient_rate > 0.0 ||
+           truncate_transient_rate > 0.0;
   }
 };
 
@@ -160,6 +166,9 @@ class DiskManager {
   Status CheckDurableWrite(uint32_t* spike_micros = nullptr);
   /// Same gate for fsync commits, drawn against sync_transient_rate.
   Status CheckDurableSync();
+  /// Same gate for ftruncate (torn-tail trims, failed-commit rollbacks),
+  /// drawn against truncate_transient_rate.
+  Status CheckDurableTruncate();
 
  private:
   /// Sentinel countdown value meaning "not armed".
@@ -170,10 +179,13 @@ class DiskManager {
   /// On success *spike_micros carries any straggler sleep to add after the
   /// lock is released. Caller holds mu_ (any mode).
   Status CheckFault(uint32_t* spike_micros);
+  /// Which durable-path operation a fault check gates (selects the
+  /// FaultProfile rate it draws against).
+  enum class DurableOp { kWrite, kSync, kTruncate };
   /// Durable-path twin of CheckFault: countdowns and the permanent trip
-  /// fire as usual, then one draw against the write/sync transient rate.
+  /// fire as usual, then one draw against the op's transient rate.
   /// Caller holds mu_ (any mode).
-  Status CheckDurableFault(bool is_sync, uint32_t* spike_micros);
+  Status CheckDurableFault(DurableOp op, uint32_t* spike_micros);
   void SimulateLatency(bool is_write, uint32_t spike_micros) const;
 
   mutable std::shared_mutex mu_;

@@ -47,12 +47,15 @@ Status DurableFile::Append(const void* data, size_t n) {
     const ssize_t w = ::write(fd_, p + written, n - written);
     if (w < 0) {
       if (errno == EINTR) continue;
+      // Capture the write's errno before the rollback ftruncate can
+      // clobber it — the caller should see why the WRITE failed.
+      const int err = errno;
       // Roll back any partial tail so the caller's framing stays whole;
       // if even the rollback fails the torn-tail scan cleans up at the
       // next open.
       (void)::ftruncate(fd_, static_cast<off_t>(size_));
       return Status::Unavailable(std::string("append to ") + path_ +
-                                 " failed: " + std::strerror(errno));
+                                 " failed: " + std::strerror(err));
     }
     written += static_cast<size_t>(w);
   }
@@ -80,6 +83,9 @@ Status DurableFile::Sync() {
 }
 
 Status DurableFile::TruncateTo(uint64_t size) {
+  if (disk_ != nullptr) {
+    ATIS_RETURN_NOT_OK(disk_->CheckDurableTruncate());
+  }
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::Unavailable(std::string("truncate of ") + path_ +
                                " failed: " + std::strerror(errno));

@@ -1,9 +1,11 @@
 #include "util/atomic_file.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 
 namespace atis {
 
@@ -12,6 +14,46 @@ namespace {
 /// save paths; a plain variable keeps the hot path free of atomics).
 ScopedAtomicWriteFailure::Stage g_fail_stage =
     ScopedAtomicWriteFailure::kNone;
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& tmp) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t w = ::write(fd, data + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      return Status::Unavailable("short write to " + tmp + ": " +
+                                 std::strerror(err));
+    }
+    written += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// fsync the directory containing `path` so the rename (or create) of an
+/// entry inside it is itself durable — without this, a power loss after
+/// rename can roll the directory back to the old entry, or worse, to a
+/// state where the new entry exists but points at unsynced data.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::Unavailable("cannot open directory " + dir + ": " +
+                               std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    const int err = errno;
+    ::close(dfd);
+    return Status::Unavailable("fsync of directory " + dir + " failed: " +
+                               std::strerror(err));
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
 }  // namespace
 
 ScopedAtomicWriteFailure::ScopedAtomicWriteFailure(Stage stage)
@@ -26,38 +68,59 @@ ScopedAtomicWriteFailure::~ScopedAtomicWriteFailure() {
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Unavailable("cannot open " + tmp + " for writing");
-    }
-    if (g_fail_stage == ScopedAtomicWriteFailure::kDuringWrite) {
-      // Simulated mid-write failure: some prefix may have reached the tmp
-      // file, exactly as a full disk or crash would leave it.
-      out.write(content.data(),
-                static_cast<std::streamsize>(content.size() / 2));
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::Unavailable("short write to " + tmp + " (injected)");
-    }
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::Unavailable("short write to " + tmp);
-    }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open " + tmp + " for writing: " +
+                               std::strerror(errno));
+  }
+  if (g_fail_stage == ScopedAtomicWriteFailure::kDuringWrite) {
+    // Simulated mid-write failure: some prefix may have reached the tmp
+    // file, exactly as a full disk or crash would leave it.
+    (void)WriteAll(fd, content.data(), content.size() / 2, tmp);
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::Unavailable("short write to " + tmp + " (injected)");
+  }
+  if (Status st = WriteAll(fd, content.data(), content.size(), tmp);
+      !st.ok()) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return st;
+  }
+  // The rename below only makes the REPLACEMENT atomic; durability needs
+  // the payload on disk first. Without this fsync a power loss after the
+  // rename can leave `path` pointing at an empty or partial file — fatal
+  // for checkpoint writers that truncate a WAL right after a "successful"
+  // save.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::Unavailable("fsync of " + tmp + " failed: " +
+                               std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::Unavailable("close of " + tmp + " failed: " +
+                               std::strerror(err));
   }
   if (g_fail_stage == ScopedAtomicWriteFailure::kBeforeRename) {
     // Simulated crash between write and rename: the complete tmp file
-    // stays behind (recovery ignores it) and the destination is intact.
+    // stays behind (recovery rejects '.tmp.' names and unlinks them) and
+    // the destination is intact.
     return Status::Unavailable("crash before rename of " + tmp +
                                " (injected)");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
     std::remove(tmp.c_str());
-    return Status::Unavailable("cannot rename " + tmp + " to " + path);
+    return Status::Unavailable("cannot rename " + tmp + " to " + path +
+                               ": " + std::strerror(err));
   }
-  return Status::OK();
+  // And the directory entry itself: rename is only durable once the
+  // parent directory has been synced.
+  return SyncParentDir(path);
 }
 
 }  // namespace atis

@@ -1,9 +1,13 @@
-// Crash-safe whole-file replacement: write to a temporary sibling, flush,
-// then rename() over the destination. POSIX rename is atomic within a
-// filesystem, so a reader (or a crash at any instant) sees either the old
-// complete file or the new complete file — never a torn mixture. Every
-// persistent-format writer in the repo (ATISG1/ATISG2 graph files, ATISO1
-// overlay files, WAL checkpoints) funnels through here.
+// Crash-safe whole-file replacement: write to a temporary sibling,
+// fsync it, rename() over the destination, then fsync the parent
+// directory. POSIX rename is atomic within a filesystem, so a reader (or
+// a crash at any instant) sees either the old complete file or the new
+// complete file — never a torn mixture — and the two fsyncs make the
+// replacement durable: once WriteFileAtomic returns OK the new content
+// survives power loss, not just process death (checkpoint writers rely
+// on this before truncating the WAL frames a checkpoint supersedes).
+// Every persistent-format writer in the repo (ATISG1/ATISG2 graph files,
+// ATISO1 overlay files, WAL checkpoints) funnels through here.
 #pragma once
 
 #include <string>

@@ -320,6 +320,45 @@ TEST(UpdateLogTest, FailedCommitLeavesTheLogUnchanged) {
   EXPECT_EQ((*log)->last_seq(), 1u);
 }
 
+// The nastiest durable fault: a commit's fsync fails AND the rollback
+// truncate fails, leaving a CRC-valid never-acknowledged ghost frame in
+// the file. The log must poison itself — if a retry could reuse the
+// ghost's seq with different contents, replay would apply the ghost
+// batch before the real one.
+TEST(UpdateLogTest, FailedRollbackPoisonsTheLog) {
+  storage::DiskManager disk;
+  const std::string path = TempPath("wal_ghost_poison.atisw");
+  fs::remove(path);
+  auto log = UpdateLog::Open({.path = path, .disk = &disk});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(Batch(10, 2), 1).ok());
+  EXPECT_TRUE((*log)->poison_status().ok());
+
+  storage::FaultProfile chaos;
+  chaos.sync_transient_rate = 1.0;
+  chaos.truncate_transient_rate = 1.0;
+  disk.SetFaultProfile(chaos);
+  EXPECT_FALSE((*log)->Append(Batch(20, 2), 2).ok());
+  EXPECT_FALSE((*log)->poison_status().ok());
+
+  // Even with the device healthy again, appends are refused for good:
+  // seq 2 must never be reissued with different contents.
+  disk.ClearFaultInjection();
+  const Status refused = (*log)->Append(Batch(30, 2), 3);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.ToString().find("poisoned"), std::string::npos);
+  EXPECT_EQ((*log)->last_seq(), 1u);
+
+  // Reopening recovers: the surviving ghost scans as committed (it was
+  // maybe-durable; treating it as applied is the consistent reading) and
+  // sequencing continues past it, never through it.
+  auto reopened = UpdateLog::Open({.path = path, .disk = &disk});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery().batches, 2u);
+  EXPECT_EQ((*reopened)->last_seq(), 2u);
+  ASSERT_TRUE((*reopened)->Append(Batch(30, 2), 3).ok());
+}
+
 TEST(AtomicFileTest, ReplacesContentWholly) {
   const std::string path = TempPath("atomic_basic.txt");
   ASSERT_TRUE(WriteFileAtomic(path, "version one").ok());
@@ -518,6 +557,113 @@ TEST(CrashRecoveryTest, SigkillWithCheckpointsRecoversExactly) {
       EXPECT_DOUBLE_EQ(a[i].cost, b[i].cost) << "edge " << u << "->" << a[i].to;
     }
   }
+}
+
+// A crash between WriteFileAtomic's tmp write and its rename leaves a
+// 'checkpoint-<seq>.atisg.tmp.<pid>' file behind, possibly partial and
+// with a newer seq than any real checkpoint. Recovery must ignore it
+// (never treat it as the newest checkpoint), come up from the real
+// checkpoint + WAL tail, and unlink the stale tmp.
+TEST(CrashRecoveryTest, StaleCheckpointTmpIsIgnoredAndCleanedUp) {
+  const graph::Graph g = MakeGrid(6);
+  const std::string dir = TempPath("stale_ckpt_tmp_wal");
+  fs::remove_all(dir);
+
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.wal.dir = dir;
+  opt.wal.checkpoint_every = 2;
+  std::vector<std::vector<graph::Edge>> expected;
+  {
+    RouteServer server(g, opt);
+    ASSERT_TRUE(server.init_status().ok());
+    // Two batches roll a checkpoint; a third lands in the WAL tail.
+    int applied = 0;
+    for (graph::NodeId u = 0; applied < 3; ++u) {
+      const std::span<const graph::Edge> out = g.Neighbors(u);
+      if (out.empty()) continue;
+      ASSERT_TRUE(
+          server.UpdateEdgeCost(u, out[0].to, out[0].cost * 1.5).ok());
+      ++applied;
+    }
+    ASSERT_GE(server.ingest_stats().checkpoints, 1u);
+    auto snap = server.snapshot();
+    for (graph::NodeId u = 0;
+         u < static_cast<graph::NodeId>(snap->num_nodes()); ++u) {
+      const std::span<const graph::Edge> e = snap->Neighbors(u);
+      expected.emplace_back(e.begin(), e.end());
+    }
+  }
+
+  // Simulated crash debris: a partial checkpoint tmp whose seq would win
+  // any prefix-based "newest checkpoint" scan, plus a non-checkpoint
+  // name that must not be parsed as one.
+  const std::string stale_tmp = dir + "/checkpoint-999999.atisg.tmp.4242";
+  WriteAll(stale_tmp, "ATISG2 torn checkpoint prefix");
+  WriteAll(dir + "/checkpoint-abc.atisg", "not a checkpoint either");
+
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  EXPECT_FALSE(fs::exists(stale_tmp)) << "stale tmp not cleaned up";
+  auto snap = server.snapshot();
+  ASSERT_EQ(static_cast<size_t>(snap->num_nodes()), expected.size());
+  for (graph::NodeId u = 0;
+       u < static_cast<graph::NodeId>(snap->num_nodes()); ++u) {
+    const std::span<const graph::Edge> got = snap->Neighbors(u);
+    ASSERT_EQ(got.size(), expected[u].size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].to, expected[u][i].to);
+      EXPECT_EQ(got[i].cost, expected[u][i].cost)
+          << "edge " << u << "->" << got[i].to;
+    }
+  }
+}
+
+// A build failure AFTER the commit point (here: the updater replica and
+// overlay re-customization hitting disk faults) leaves writer-side state
+// half-mutated. The write path must poison itself — publishing anything
+// later would serve a metric diverging from the replicas — while readers
+// keep serving the last fully-published version.
+TEST(RouteServerWritePathTest, PostCommitBuildFailurePoisonsTheWritePath) {
+  const graph::Graph g = MakeGrid(16);
+  RouteServer::Options opt;
+  opt.num_workers = 1;
+  opt.overlay_cell_order = 1;  // updater replica + re-customization on
+  opt.pool_frames = 16;        // tiny pool: the build must touch disk
+  RouteServer server(g, opt);
+  ASSERT_TRUE(server.init_status().ok());
+  ASSERT_TRUE(server.write_path_status().ok());
+
+  const graph::Edge first = g.Neighbors(0)[0];
+  ASSERT_TRUE(server.UpdateEdgeCost(0, first.to, first.cost * 2.0).ok());
+  const uint64_t good_version = server.published_version();
+  EXPECT_EQ(good_version, 2u);
+
+  storage::FaultProfile chaos;
+  chaos.transient_rate = 1.0;  // every page access fails
+  server.disk().SetFaultProfile(chaos);
+  const graph::Edge second = g.Neighbors(1)[0];
+  EXPECT_FALSE(
+      server.UpdateEdgeCost(1, second.to, second.cost * 2.0).ok());
+  EXPECT_FALSE(server.write_path_status().ok());
+  EXPECT_EQ(server.published_version(), good_version);
+
+  // The device heals, but the writer state is still half-applied: further
+  // updates are refused with the poison status, nothing new publishes.
+  server.disk().ClearFaultInjection();
+  const Status refused =
+      server.UpdateEdgeCost(1, second.to, second.cost * 2.0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.ToString().find("poisoned"), std::string::npos);
+  EXPECT_EQ(server.published_version(), good_version);
+
+  // Readers are unaffected and still serve the last published version.
+  auto batch = server.ServeBatch(
+      {RouteQuery{0, static_cast<graph::NodeId>(g.num_nodes() - 1),
+                  Algorithm::kDijkstra}});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE((*batch)[0].status.ok());
+  EXPECT_EQ((*batch)[0].metric_version, good_version);
 }
 
 }  // namespace
