@@ -38,8 +38,11 @@
 #include "core/k_shortest.h"
 #include "core/memory_search.h"
 #include "core/route_service.h"
+#include "core/sharded_route_server.h"
 #include "core/sssp.h"
+#include "graph/continent_generator.h"
 #include "graph/graph_io.h"
+#include "graph/partitioned_store.h"
 #include "graph/grid_generator.h"
 #include "graph/relational_graph.h"
 #include "graph/road_map_generator.h"
@@ -81,6 +84,10 @@ int Usage(const char* argv0) {
       " [--json=FILE] [--metrics=FILE]\n"
       "  %s alternates <file> <src> <dst> <k>\n"
       "  %s svg <file> <src> <dst> <out.svg>\n"
+      "  %s continent generate <file> [--cities=N] [--city-k=K]"
+      " [--seed=S]\n"
+      "  %s continent route <file> <src> <dst>"
+      " [--max-partition-nodes=N] [--workers=N]\n"
       "dbroute runs the database-resident engine; astar4 uses the landmark\n"
       "(ALT) estimator over --landmarks=K precomputed landmarks (default\n"
       "8); astar5 searches the customizable partition-boundary overlay\n"
@@ -125,8 +132,16 @@ int Usage(const char* argv0) {
       "crash loses no acknowledged update; --checkpoint-every=N rolls the\n"
       "log into a checkpoint every N committed batches; --update-rate=R\n"
       "feeds R synthetic edge-cost updates/sec from a background writer\n"
-      "while the --repeat loop serves (queries never block on writers).\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      "while the --repeat loop serves (queries never block on writers).\n"
+      "continent generate streams a deterministic multi-city map to an\n"
+      "ATISG2 file without ever materialising it (--cities=N city\n"
+      "clusters of --city-k^2 nodes each, default 9 x 18^2); continent\n"
+      "route builds a Hilbert-range partitioned store from the file\n"
+      "(bounded memory; one 32767-node-capped region store per range)\n"
+      "and answers the query exactly through the partition-boundary\n"
+      "overlay on a sharded worker pool.\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+      argv0);
   return 2;
 }
 
@@ -919,14 +934,121 @@ int CmdAlternates(char** argv) {
   return 0;
 }
 
+int CmdContinent(int argc, char** argv, const char* argv0) {
+  if (argc < 2) return Usage(argv0);
+  const std::string verb = argv[0];
+  std::vector<std::string> positional;
+  long cities = 9, city_k = 18, seed = 1993;
+  long max_partition_nodes = 24000, workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&arg](const char* name, long* out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = std::atol(arg.c_str() + prefix.size());
+      return true;
+    };
+    if (flag_value("--cities", &cities) || flag_value("--city-k", &city_k) ||
+        flag_value("--seed", &seed) ||
+        flag_value("--max-partition-nodes", &max_partition_nodes) ||
+        flag_value("--workers", &workers)) {
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage(argv0);
+    }
+    positional.push_back(arg);
+  }
+
+  if (verb == "generate") {
+    if (positional.size() != 1) return Usage(argv0);
+    graph::ContinentOptions options;
+    options.num_cities = static_cast<int>(cities);
+    options.city_k = static_cast<int>(city_k);
+    options.seed = static_cast<uint64_t>(seed);
+    auto gen = graph::ContinentGenerator::Create(options);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = gen->WriteTo(positional[0]); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%llu nodes, %llu directed edges, %ld cities)\n",
+                positional[0].c_str(),
+                static_cast<unsigned long long>(gen->num_nodes()),
+                static_cast<unsigned long long>(gen->CountEdges()), cities);
+    return 0;
+  }
+
+  if (verb == "route") {
+    if (positional.size() != 3) return Usage(argv0);
+    storage::DiskManager disk;
+    storage::BufferPool pool(&disk, 4096, 8);
+    graph::PartitionedStoreOptions options;
+    options.max_partition_nodes = static_cast<size_t>(max_partition_nodes);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto store = graph::PartitionedGraphStore::Build(positional[0], &pool,
+                                                     options);
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    const double build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("built %zu partitions over %llu nodes (%zu boundary nodes, "
+                "%zu cross edges) in %.2fs\n",
+                (*store)->num_partitions(),
+                static_cast<unsigned long long>((*store)->num_nodes()),
+                (*store)->num_boundary_nodes(), (*store)->num_cross_edges(),
+                build_seconds);
+
+    core::ShardedRouteServer::Options server_options;
+    server_options.num_workers = static_cast<size_t>(workers);
+    core::ShardedRouteServer server(store->get(), server_options);
+    std::vector<core::ShardedRouteServer::Query> queries = {
+        {static_cast<graph::NodeId>(std::atoi(positional[1].c_str())),
+         static_cast<graph::NodeId>(std::atoi(positional[2].c_str()))}};
+    auto responses = server.ServeBatch(queries);
+    if (!responses.ok()) {
+      std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
+      return 1;
+    }
+    const auto& resp = (*responses)[0];
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "%s\n", resp.status.ToString().c_str());
+      return 1;
+    }
+    if (!resp.found) {
+      std::fprintf(stderr, "no route from %s to %s\n", positional[1].c_str(),
+                   positional[2].c_str());
+      return 1;
+    }
+    std::printf("route cost %.4f (%s, group %d, %llu blocks, %.1fms)\n",
+                resp.cost,
+                resp.cross_partition ? "cross-partition stitch"
+                                     : "single partition",
+                resp.group,
+                static_cast<unsigned long long>(resp.io.blocks_read),
+                resp.latency_seconds * 1e3);
+    return 0;
+  }
+
+  return Usage(argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string cmd = argv[1];
-  // dbroute and serve parse their own flags; every other subcommand is
-  // flag-free, so reject stray --options before positional dispatch.
-  if (cmd != "dbroute" && cmd != "serve" &&
+  // dbroute, serve, and continent parse their own flags; every other
+  // subcommand is flag-free, so reject stray --options before positional
+  // dispatch.
+  if (cmd != "dbroute" && cmd != "serve" && cmd != "continent" &&
       !RejectFlags(argc - 2, argv + 2)) {
     return Usage(argv[0]);
   }
@@ -940,6 +1062,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "serve" && argc >= 4) {
     return CmdServe(argc - 2, argv + 2, argv[0]);
+  }
+  if (cmd == "continent" && argc >= 4) {
+    return CmdContinent(argc - 2, argv + 2, argv[0]);
   }
   if (cmd == "alternates" && argc == 6) return CmdAlternates(argv + 2);
   if (cmd == "svg" && argc == 6) return CmdSvg(argv + 2);

@@ -3,7 +3,7 @@
 
 Usage: check_perf.py MEASURED.json BASELINE.json [--tolerance 0.30]
 
-Understands four BENCH_*.json shapes (all quick mode in CI):
+Understands five BENCH_*.json shapes (all quick mode in CI):
 
 - throughput: every (map, workers) configuration in the baseline must
   reach at least (1 - tolerance) x the baseline QPS.
@@ -24,6 +24,13 @@ Understands four BENCH_*.json shapes (all quick mode in CI):
   versions, and crash recovery <= 1000 ms. updates_per_sec is
   additionally held to (1 - tolerance) x the baseline to catch commit
   throughput eroding while still clearing the absolute floor.
+- continent: the "gates" object must show the partitioned store still
+  beating the flat single-pass baseline (stitched/flat QPS ratio >= 1.0
+  and >= (1 - tolerance) x baseline), stitched QPS and blocks/query
+  within tolerance of the baseline, the streaming build's peak RSS under
+  an absolute ceiling (quick runs only; the ~1M-node full run is gated
+  against its own baseline relatively), and the stitched-vs-flat
+  exactness spot check passing.
 
 Measured and baseline must be emissions of the same benchmark. The
 workloads are dominated by the benchmarks' simulated per-block device
@@ -56,7 +63,7 @@ def load(path):
                 configs[key] = {"qps": c["qps"],
                                 "blocks_per_query": c["blocks_per_query"]}
         return doc, configs
-    if bench in ("overlay", "ingest"):
+    if bench in ("overlay", "ingest", "continent"):
         return doc, doc.get("gates", {})
     sys.exit(f"{path}: unsupported benchmark ({bench!r})")
 
@@ -155,6 +162,90 @@ def check_ingest(measured, baseline, tolerance):
     return failed
 
 
+# Absolute gates for continent-scale serving. The QPS ratio is the
+# subsystem's reason to exist: stitched serving must never lose to the
+# flat single-store Dijkstra it replaces. The RSS ceiling bounds the
+# streaming build on the ~100k-node quick map (the full ~1M map is gated
+# relatively against its own baseline; most of the RSS is the RAM-backed
+# DiskManager holding the store's own pages, which scales with the map).
+CONTINENT_QPS_RATIO_FLOOR = 1.0
+CONTINENT_QUICK_PEAK_RSS_CEIL_MB = 256.0
+
+
+def check_continent(mdoc, measured, baseline, tolerance):
+    failed = False
+
+    got = measured.get("qps_ratio_stitched_over_flat")
+    if got is None:
+        print("FAIL qps_ratio_stitched_over_flat: missing from measured run")
+        failed = True
+    else:
+        floor = CONTINENT_QPS_RATIO_FLOOR
+        base = baseline.get("qps_ratio_stitched_over_flat")
+        if base is not None:
+            floor = max(floor, base * (1.0 - tolerance))
+        ok = got >= floor
+        print(f"{'ok' if ok else 'FAIL':4} qps_ratio_stitched_over_flat: "
+              f"{got:.2f}x (floor {floor:.2f}x, baseline "
+              f"{base if base is not None else float('nan'):.2f}x)")
+        failed = failed or not ok
+
+    got = measured.get("stitched_qps")
+    if got is None:
+        print("FAIL stitched_qps: missing from measured run")
+        failed = True
+    elif "stitched_qps" in baseline:
+        floor = baseline["stitched_qps"] * (1.0 - tolerance)
+        ok = got >= floor
+        print(f"{'ok' if ok else 'FAIL':4} stitched_qps: {got:.1f} "
+              f"(floor {floor:.1f}, baseline {baseline['stitched_qps']:.1f})")
+        failed = failed or not ok
+
+    got = measured.get("blocks_per_query")
+    if got is None:
+        print("FAIL blocks_per_query: missing from measured run")
+        failed = True
+    elif "blocks_per_query" in baseline:
+        ceil = baseline["blocks_per_query"] * (1.0 + tolerance)
+        ok = got <= ceil
+        print(f"{'ok' if ok else 'FAIL':4} blocks_per_query: {got:.1f} "
+              f"(ceiling {ceil:.1f}, baseline "
+              f"{baseline['blocks_per_query']:.1f})")
+        failed = failed or not ok
+
+    got = measured.get("peak_rss_mb")
+    if got is None:
+        print("FAIL peak_rss_mb: missing from measured run")
+        failed = True
+    elif got == 0.0:
+        # /proc/self/status unavailable (non-Linux host): nothing to gate.
+        print("ok   peak_rss_mb: unavailable on this host, skipped")
+    else:
+        ceil = None
+        if mdoc.get("quick"):
+            ceil = CONTINENT_QUICK_PEAK_RSS_CEIL_MB
+        if baseline.get("peak_rss_mb"):
+            base_ceil = baseline["peak_rss_mb"] * (1.0 + tolerance)
+            ceil = base_ceil if ceil is None else min(ceil, base_ceil)
+        if ceil is None:
+            print(f"ok   peak_rss_mb: {got:.1f}MB (no ceiling applicable)")
+        else:
+            ok = got <= ceil
+            print(f"{'ok' if ok else 'FAIL':4} peak_rss_mb: {got:.1f}MB "
+                  f"(ceiling {ceil:.1f}MB)")
+            failed = failed or not ok
+
+    got = measured.get("exact")
+    if got is not True:
+        print(f"FAIL exact: {got!r} — stitched answers diverged from the "
+              "flat reference")
+        failed = True
+    else:
+        print("ok   exact: stitched == flat on every spot-checked pair")
+
+    return failed
+
+
 def describe(key):
     if len(key) == 2:  # throughput
         return f"{key[0]} @ {key[1]}w"
@@ -197,6 +288,18 @@ def main():
                   "staleness and recovery-time acceptance; if the "
                   "workload changed intentionally, regenerate the "
                   "baseline with: bench_ingest <baseline-path> --quick")
+            return 1
+        print("\nperf smoke passed")
+        return 0
+
+    if mdoc.get("benchmark") == "continent":
+        failed = check_continent(mdoc, measured, baseline, args.tolerance)
+        if failed:
+            print("\ncontinent gate failed — stitched serving must stay "
+                  "exact, beat the flat baseline, and the streaming build "
+                  "must hold its memory envelope; if the map changed "
+                  "intentionally, regenerate the baseline with: "
+                  "bench_continent <baseline-path> --quick")
             return 1
         print("\nperf smoke passed")
         return 0

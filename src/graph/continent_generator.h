@@ -1,0 +1,86 @@
+// Deterministic multi-city ("continent") road network generator.
+//
+// The Minneapolis-like generator (road_map_generator.h) builds one city
+// and materialises it as a Graph — fine at 10^3..10^4 nodes, impossible
+// at the ~10^6 scale the partitioned store targets: a resident Graph of
+// that size is exactly what the streaming build pipeline exists to avoid.
+//
+// This generator therefore never materialises anything. It lays out
+// `num_cities` jittered-lattice city clusters on a coarse grid, assigns
+// each street row/column a tier (freeway / arterial / local — faster
+// tiers mean cheaper edges), threads a spanning comb through every city
+// and a spanning set of freeway corridors between cities (the map is
+// strongly connected by construction), and then *emits* nodes and edges
+// record-at-a-time through callbacks. All randomness is stateless —
+// hash(seed, city, row, col, salt) — so repeated emit passes, and the
+// dry pass that counts edges for the ATISG2 header, agree exactly and
+// the same seed produces a bit-identical file on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace atis::graph {
+
+struct ContinentOptions {
+  uint64_t seed = 1993;
+  /// City clusters, laid out on a ceil(sqrt(n))-wide grid. Zero is valid
+  /// and yields an empty map.
+  int num_cities = 9;
+  /// Per-city lattice side; each city holds city_k^2 nodes.
+  int city_k = 18;
+  /// Relative frequency of each street tier. Any weight may be zero but
+  /// the sum must be positive. Faster tiers divide edge cost more.
+  double freeway_weight = 1.0;
+  double arterial_weight = 3.0;
+  double local_weight = 6.0;
+  /// Max absolute coordinate jitter applied to each lattice point.
+  double jitter = 0.3;
+  /// Probability that a local-tier street segment beyond the spanning
+  /// comb exists (redundancy / detour richness).
+  double local_fill = 0.7;
+};
+
+class ContinentGenerator {
+ public:
+  /// Validates options (positive tier-weight sum, lattice size, and that
+  /// the full extent fits the relational store's int16 fixed-point
+  /// coordinate budget) without generating anything.
+  static Result<ContinentGenerator> Create(const ContinentOptions& options);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  /// Directed edge count, via a dry emit pass (the generator is
+  /// deterministic, so the real pass matches exactly).
+  uint64_t CountEdges() const;
+
+  /// Streams every node in id order: cb(id, x, y).
+  Status EmitNodes(
+      const std::function<void(NodeId, double, double)>& cb) const;
+  /// Streams every directed edge: cb(u, v, cost). Deterministic order.
+  Status EmitEdges(
+      const std::function<void(NodeId, NodeId, double)>& cb) const;
+
+  /// Writes the map to `path` as an ATISG2 file with the Hilbert layout,
+  /// through the streaming writer — O(1) memory at any scale.
+  Status WriteTo(const std::string& path) const;
+
+  /// Materialises a Graph. Test/convenience path for maps that fit in
+  /// memory; refuse the temptation at continent scale.
+  Result<Graph> Materialize() const;
+
+  /// City-grid geometry, exposed for tests and benchmarks.
+  int grid_cols() const { return grid_cols_; }
+  double city_slot_span() const;
+
+ private:
+  explicit ContinentGenerator(const ContinentOptions& options);
+
+  ContinentOptions options_;
+  int grid_cols_ = 0;
+  uint64_t num_nodes_ = 0;
+};
+
+}  // namespace atis::graph

@@ -1,5 +1,8 @@
 #include "graph/graph_io.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -14,6 +17,40 @@ namespace atis::graph {
 namespace {
 constexpr char kMagicV1[] = "ATISG1";
 constexpr char kMagicV2[] = "ATISG2";
+
+/// Where a parse is happening, for error messages: optional file path and
+/// size (stream-based entry points have neither), plus the 1-based line
+/// of the token being read.
+struct ParseContext {
+  std::string path;         // empty when parsing a raw stream
+  uint64_t file_size = 0;   // bytes; 0 when unknown
+  uint64_t line = 1;        // 1-based line of the next unread token
+};
+
+std::string Describe(const ParseContext& ctx, const std::string& what) {
+  std::ostringstream msg;
+  msg << what << " (line " << ctx.line;
+  if (!ctx.path.empty()) {
+    msg << " of '" << ctx.path << "', " << ctx.file_size << " bytes";
+  }
+  msg << ")";
+  return msg.str();
+}
+
+/// Skips whitespace counting newlines, then extracts one value with
+/// operator>>. On failure the context's line points at the offending (or
+/// missing) token.
+template <typename T>
+bool ReadToken(std::istream& in, ParseContext& ctx, T* out) {
+  int c = in.peek();
+  while (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+    if (c == '\n') ++ctx.line;
+    in.get();
+    c = in.peek();
+  }
+  in >> *out;
+  return static_cast<bool>(in);
+}
 
 Status WriteBody(const Graph& g, std::ostream& out) {
   out << g.num_nodes() << "\n";
@@ -32,31 +69,77 @@ Status WriteBody(const Graph& g, std::ostream& out) {
   return Status::OK();
 }
 
-Result<Graph> ReadBody(std::istream& in) {
+Result<Graph> ReadBody(std::istream& in, ParseContext& ctx) {
   size_t num_nodes = 0;
-  in >> num_nodes;
-  if (!in) return Status::Corruption("truncated node count");
+  if (!ReadToken(in, ctx, &num_nodes)) {
+    return Status::Corruption(Describe(ctx, "truncated node count"));
+  }
   Graph g;
   for (size_t i = 0; i < num_nodes; ++i) {
     double x = 0.0;
     double y = 0.0;
-    in >> x >> y;
-    if (!in) return Status::Corruption("truncated node list");
+    if (!ReadToken(in, ctx, &x) || !ReadToken(in, ctx, &y)) {
+      std::ostringstream what;
+      what << "truncated node list: node " << i << " of " << num_nodes;
+      return Status::Corruption(Describe(ctx, what.str()));
+    }
     g.AddNode(x, y);
   }
   size_t num_edges = 0;
-  in >> num_edges;
-  if (!in) return Status::Corruption("truncated edge count");
+  if (!ReadToken(in, ctx, &num_edges)) {
+    return Status::Corruption(Describe(ctx, "truncated edge count"));
+  }
   for (size_t i = 0; i < num_edges; ++i) {
     NodeId u = kInvalidNode;
     NodeId v = kInvalidNode;
     double cost = 0.0;
-    in >> u >> v >> cost;
-    if (!in) return Status::Corruption("truncated edge list");
-    ATIS_RETURN_NOT_OK(g.AddEdge(u, v, cost));
+    if (!ReadToken(in, ctx, &u) || !ReadToken(in, ctx, &v) ||
+        !ReadToken(in, ctx, &cost)) {
+      std::ostringstream what;
+      what << "truncated edge list: edge " << i << " of " << num_edges;
+      return Status::Corruption(Describe(ctx, what.str()));
+    }
+    Status added = g.AddEdge(u, v, cost);
+    if (!added.ok()) {
+      std::ostringstream what;
+      what << "bad edge " << u << " -> " << v << ": " << added.message();
+      return Status::Corruption(Describe(ctx, what.str()));
+    }
   }
   return g;
 }
+
+Result<GraphFile> ReadGraphFileInternal(std::istream& in, ParseContext ctx) {
+  std::string magic;
+  if (!ReadToken(in, ctx, &magic)) {
+    return Status::Corruption(Describe(ctx, "missing magic line"));
+  }
+  GraphFile file;
+  if (magic == kMagicV2) {
+    std::string key;
+    std::string name;
+    if (!ReadToken(in, ctx, &key) || !ReadToken(in, ctx, &name) ||
+        key != "layout") {
+      return Status::Corruption(
+          Describe(ctx, "ATISG2 header missing layout line"));
+    }
+    if (!StoreLayoutFromName(name, &file.layout)) {
+      return Status::Corruption(Describe(ctx, "unknown store layout: " + name));
+    }
+  } else if (magic != kMagicV1) {
+    return Status::Corruption(
+        Describe(ctx, "bad magic '" + magic + "': expected ATISG1 or ATISG2"));
+  }
+  ATIS_ASSIGN_OR_RETURN(file.graph, ReadBody(in, ctx));
+  return file;
+}
+
+Result<uint64_t> FileSizeOf(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  if (!probe) return Status::NotFound("cannot open " + path);
+  return static_cast<uint64_t>(probe.tellg());
+}
+
 }  // namespace
 
 Status WriteGraphText(const Graph& g, std::ostream& out) {
@@ -77,24 +160,7 @@ Result<Graph> ReadGraphText(std::istream& in) {
 }
 
 Result<GraphFile> ReadGraphFileText(std::istream& in) {
-  std::string magic;
-  in >> magic;
-  GraphFile file;
-  if (magic == kMagicV2) {
-    std::string key;
-    std::string name;
-    in >> key >> name;
-    if (!in || key != "layout") {
-      return Status::Corruption("ATISG2 header missing layout line");
-    }
-    if (!StoreLayoutFromName(name, &file.layout)) {
-      return Status::Corruption("unknown store layout: " + name);
-    }
-  } else if (magic != kMagicV1) {
-    return Status::Corruption("bad magic: expected ATISG1 or ATISG2");
-  }
-  ATIS_ASSIGN_OR_RETURN(file.graph, ReadBody(in));
-  return file;
+  return ReadGraphFileInternal(in, ParseContext{});
 }
 
 Status SaveGraphFile(const Graph& g, const std::string& path) {
@@ -111,15 +177,216 @@ Status SaveGraphFile(const Graph& g, StoreLayout layout,
 }
 
 Result<Graph> LoadGraphFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
-  return ReadGraphText(in);
+  ATIS_ASSIGN_OR_RETURN(GraphFile file, LoadGraphFileWithLayout(path));
+  return std::move(file.graph);
 }
 
 Result<GraphFile> LoadGraphFileWithLayout(const std::string& path) {
+  ATIS_ASSIGN_OR_RETURN(uint64_t size, FileSizeOf(path));
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
-  return ReadGraphFileText(in);
+  ParseContext ctx;
+  ctx.path = path;
+  ctx.file_size = size;
+  return ReadGraphFileInternal(in, std::move(ctx));
+}
+
+// ---------------------------------------------------------------------------
+// StreamingGraphWriter
+
+Result<StreamingGraphWriter> StreamingGraphWriter::Create(
+    const std::string& path, StoreLayout layout, uint64_t num_nodes,
+    uint64_t num_edges) {
+  if (num_nodes == 0 && num_edges > 0) {
+    return Status::InvalidArgument("graph with edges must have nodes");
+  }
+  StreamingGraphWriter w;
+  w.path_ = path;
+  w.tmp_path_ = path + ".tmp." + std::to_string(::getpid());
+  w.num_nodes_ = num_nodes;
+  w.num_edges_ = num_edges;
+  w.out_ = std::make_unique<std::ofstream>(w.tmp_path_,
+                                           std::ios::binary | std::ios::trunc);
+  if (!*w.out_) {
+    return Status::Internal("cannot create " + w.tmp_path_);
+  }
+  *w.out_ << kMagicV2 << "\n"
+          << "layout " << StoreLayoutName(layout) << "\n"
+          << num_nodes << "\n"
+          << std::setprecision(17);
+  return w;
+}
+
+StreamingGraphWriter::~StreamingGraphWriter() {
+  if (!finished_ && out_ != nullptr) {
+    out_->close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status StreamingGraphWriter::AddNode(double x, double y) {
+  if (finished_ || out_ == nullptr) {
+    return Status::InvalidArgument("writer already finished");
+  }
+  if (nodes_written_ >= num_nodes_) {
+    return Status::InvalidArgument("more nodes than declared (" +
+                                   std::to_string(num_nodes_) + ")");
+  }
+  *out_ << x << " " << y << "\n";
+  ++nodes_written_;
+  if (nodes_written_ == num_nodes_) *out_ << num_edges_ << "\n";
+  if (!*out_) return Status::Internal("write failed: " + tmp_path_);
+  return Status::OK();
+}
+
+Status StreamingGraphWriter::AddEdge(NodeId u, NodeId v, double cost) {
+  if (finished_ || out_ == nullptr) {
+    return Status::InvalidArgument("writer already finished");
+  }
+  if (nodes_written_ != num_nodes_) {
+    return Status::InvalidArgument("edges must follow all nodes");
+  }
+  if (edges_written_ >= num_edges_) {
+    return Status::InvalidArgument("more edges than declared (" +
+                                   std::to_string(num_edges_) + ")");
+  }
+  if (u < 0 || v < 0 || static_cast<uint64_t>(u) >= num_nodes_ ||
+      static_cast<uint64_t>(v) >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  *out_ << u << " " << v << " " << cost << "\n";
+  ++edges_written_;
+  if (!*out_) return Status::Internal("write failed: " + tmp_path_);
+  return Status::OK();
+}
+
+Status StreamingGraphWriter::Finish() {
+  if (finished_ || out_ == nullptr) {
+    return Status::InvalidArgument("writer already finished");
+  }
+  if (nodes_written_ != num_nodes_ || edges_written_ != num_edges_) {
+    out_->close();
+    std::remove(tmp_path_.c_str());
+    finished_ = true;
+    return Status::InvalidArgument(
+        "record counts do not match the declared header: wrote " +
+        std::to_string(nodes_written_) + "/" + std::to_string(num_nodes_) +
+        " nodes, " + std::to_string(edges_written_) + "/" +
+        std::to_string(num_edges_) + " edges");
+  }
+  // A zero-node graph never reaches the AddNode branch that emits the
+  // edge-count sentinel.
+  if (num_nodes_ == 0) *out_ << num_edges_ << "\n";
+  out_->flush();
+  if (!*out_) return Status::Internal("flush failed: " + tmp_path_);
+  out_->close();
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    finished_ = true;
+    return Status::Internal("rename " + tmp_path_ + " -> " + path_ +
+                            " failed");
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StreamingGraphReader
+
+Result<StreamingGraphReader> StreamingGraphReader::Open(
+    const std::string& path) {
+  StreamingGraphReader r;
+  r.path_ = path;
+  ATIS_ASSIGN_OR_RETURN(r.file_size_, FileSizeOf(path));
+  r.in_ = std::make_unique<std::ifstream>(path);
+  if (!*r.in_) return Status::NotFound("cannot open " + path);
+  ParseContext ctx;
+  ctx.path = path;
+  ctx.file_size = r.file_size_;
+  std::string magic;
+  if (!ReadToken(*r.in_, ctx, &magic)) {
+    return Status::Corruption(Describe(ctx, "missing magic line"));
+  }
+  if (magic == kMagicV2) {
+    std::string key;
+    std::string name;
+    if (!ReadToken(*r.in_, ctx, &key) || !ReadToken(*r.in_, ctx, &name) ||
+        key != "layout") {
+      return Status::Corruption(
+          Describe(ctx, "ATISG2 header missing layout line"));
+    }
+    if (!StoreLayoutFromName(name, &r.layout_)) {
+      return Status::Corruption(Describe(ctx, "unknown store layout: " + name));
+    }
+  } else if (magic != kMagicV1) {
+    return Status::Corruption(
+        Describe(ctx, "bad magic '" + magic + "': expected ATISG1 or ATISG2"));
+  }
+  if (!ReadToken(*r.in_, ctx, &r.num_nodes_)) {
+    return Status::Corruption(Describe(ctx, "truncated node count"));
+  }
+  r.line_ = ctx.line;
+  return r;
+}
+
+Status StreamingGraphReader::Fail(const std::string& what) const {
+  ParseContext ctx;
+  ctx.path = path_;
+  ctx.file_size = file_size_;
+  ctx.line = line_;
+  return Status::Corruption(Describe(ctx, what));
+}
+
+Status StreamingGraphReader::NextNode(NodeRecord* out) {
+  if (nodes_read_ >= num_nodes_) {
+    return Fail("read past the declared node count (" +
+                std::to_string(num_nodes_) + ")");
+  }
+  ParseContext ctx;
+  ctx.line = line_;
+  if (!ReadToken(*in_, ctx, &out->x) || !ReadToken(*in_, ctx, &out->y)) {
+    line_ = ctx.line;
+    return Fail("truncated node list: node " + std::to_string(nodes_read_) +
+                " of " + std::to_string(num_nodes_));
+  }
+  line_ = ctx.line;
+  ++nodes_read_;
+  return Status::OK();
+}
+
+Status StreamingGraphReader::BeginEdges() {
+  if (edge_section_open_) return Status::OK();
+  if (nodes_read_ != num_nodes_) {
+    return Fail("edge section entered before all nodes were read");
+  }
+  ParseContext ctx;
+  ctx.line = line_;
+  if (!ReadToken(*in_, ctx, &num_edges_)) {
+    line_ = ctx.line;
+    return Fail("truncated edge count");
+  }
+  line_ = ctx.line;
+  edge_section_open_ = true;
+  return Status::OK();
+}
+
+Status StreamingGraphReader::NextEdge(EdgeRecord* out) {
+  ATIS_RETURN_NOT_OK(BeginEdges());
+  if (edges_read_ >= num_edges_) {
+    return Fail("read past the declared edge count (" +
+                std::to_string(num_edges_) + ")");
+  }
+  ParseContext ctx;
+  ctx.line = line_;
+  if (!ReadToken(*in_, ctx, &out->u) || !ReadToken(*in_, ctx, &out->v) ||
+      !ReadToken(*in_, ctx, &out->cost)) {
+    line_ = ctx.line;
+    return Fail("truncated edge list: edge " + std::to_string(edges_read_) +
+                " of " + std::to_string(num_edges_));
+  }
+  line_ = ctx.line;
+  ++edges_read_;
+  return Status::OK();
 }
 
 }  // namespace atis::graph

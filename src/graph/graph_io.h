@@ -13,9 +13,22 @@
 //   layout <roworder|hilbert>
 //   ...same body as ATISG1...
 // Readers accept both; an ATISG1 file loads with layout = kRowOrder.
+//
+// Two access shapes:
+//   * whole-graph (WriteGraphText / ReadGraphFileText, Save/Load): the
+//     classic API — materialises a Graph, fine up to city scale;
+//   * streaming (StreamingGraphWriter / StreamingGraphReader): record-at-
+//     a-time, O(1) memory — the only way continent-scale (~1M node) maps
+//     move through the build pipeline without ever being resident.
+// Parse errors from either shape carry the 1-based line number (and the
+// file path + size for the file-based entry points), so a bad record in a
+// multi-GB input is actionable instead of a bare "truncated edge list".
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "graph/graph.h"
@@ -42,5 +55,103 @@ Status SaveGraphFile(const Graph& g, StoreLayout layout,
                      const std::string& path);
 Result<Graph> LoadGraphFile(const std::string& path);
 Result<GraphFile> LoadGraphFileWithLayout(const std::string& path);
+
+/// Record-at-a-time ATISG2 writer. Node and edge counts are declared up
+/// front (the header carries them before the record sections), then
+/// records stream through without any whole-graph buffering. The file is
+/// written to `<path>.tmp.<pid>` and renamed into place by Finish(), so a
+/// crashed or abandoned write never leaves a torn file at `path`.
+class StreamingGraphWriter {
+ public:
+  /// Creates `path` for writing. InvalidArgument on inconsistent counts
+  /// (num_edges with zero nodes), kInternal when the file cannot open.
+  static Result<StreamingGraphWriter> Create(const std::string& path,
+                                             StoreLayout layout,
+                                             uint64_t num_nodes,
+                                             uint64_t num_edges);
+
+  StreamingGraphWriter(StreamingGraphWriter&&) = default;
+  StreamingGraphWriter& operator=(StreamingGraphWriter&&) = default;
+  /// An unfinished writer removes its temporary file.
+  ~StreamingGraphWriter();
+
+  /// Appends the next node record; ids are implicit (call order). Must be
+  /// called exactly num_nodes times before the first AddEdge.
+  Status AddNode(double x, double y);
+
+  /// Appends one directed edge record. Must follow all AddNode calls and
+  /// be called exactly num_edges times before Finish.
+  Status AddEdge(NodeId u, NodeId v, double cost);
+
+  /// Validates the declared counts were met, flushes, and renames the
+  /// temporary into `path`. The writer is unusable afterwards.
+  Status Finish();
+
+ private:
+  StreamingGraphWriter() = default;
+
+  std::string path_;
+  std::string tmp_path_;
+  std::unique_ptr<std::ofstream> out_;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t nodes_written_ = 0;
+  uint64_t edges_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Record-at-a-time ATISG1/ATISG2 reader. Open() parses the header (and
+/// the node-count / edge-count sentinels lazily as the sections are
+/// entered); NextNode / NextEdge then step through the records with O(1)
+/// memory. Every parse error names the path, the 1-based line, and the
+/// file size.
+class StreamingGraphReader {
+ public:
+  struct NodeRecord {
+    double x = 0.0;
+    double y = 0.0;
+  };
+  struct EdgeRecord {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    double cost = 0.0;
+  };
+
+  static Result<StreamingGraphReader> Open(const std::string& path);
+
+  StreamingGraphReader(StreamingGraphReader&&) = default;
+  StreamingGraphReader& operator=(StreamingGraphReader&&) = default;
+
+  StoreLayout layout() const { return layout_; }
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t file_size_bytes() const { return file_size_; }
+
+  /// Reads the next node record. Call exactly num_nodes() times.
+  Status NextNode(NodeRecord* out);
+  /// Consumes the edge-count sentinel after the node section, making
+  /// num_edges() valid. Idempotent; NextEdge calls it implicitly.
+  Status BeginEdges();
+  /// Reads the next edge record; call exactly num_edges() times.
+  Status NextEdge(EdgeRecord* out);
+
+  uint64_t nodes_read() const { return nodes_read_; }
+  uint64_t edges_read() const { return edges_read_; }
+
+ private:
+  StreamingGraphReader() = default;
+  Status Fail(const std::string& what) const;
+
+  std::string path_;
+  std::unique_ptr<std::ifstream> in_;
+  uint64_t file_size_ = 0;
+  uint64_t line_ = 1;  ///< 1-based line of the next unread token
+  StoreLayout layout_ = StoreLayout::kRowOrder;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t nodes_read_ = 0;
+  uint64_t edges_read_ = 0;
+  bool edge_section_open_ = false;
+};
 
 }  // namespace atis::graph

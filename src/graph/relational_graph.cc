@@ -1,8 +1,12 @@
 #include "graph/relational_graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
+
+#include "graph/graph_io.h"
+#include "storage/spill_sort.h"
 
 namespace atis::graph {
 
@@ -27,6 +31,26 @@ int64_t FixedPoint(double coord) {
   return static_cast<int64_t>(
       std::llround(coord * RelationalGraphStore::kCoordScale));
 }
+
+// External-sort records for the streaming load (storage/spill_sort.h).
+// Node tuples sort by Hilbert key with ties broken by insertion (= id)
+// order via the sorter's stability — the same (key, id) order
+// ComputeNodeOrder produces. Edge tuples sort by the begin node's rank in
+// that order; stability preserves each node's file-order adjacency, which
+// is the Neighbors order the in-memory Load preserves.
+struct NodeSpillRecord {
+  uint64_t key;
+  NodeId id;
+  double x;
+  double y;
+};
+
+struct EdgeSpillRecord {
+  uint64_t key;  ///< rank of the begin node in the physical node order
+  NodeId u;
+  NodeId v;
+  double cost;
+};
 }  // namespace
 
 Schema RelationalGraphStore::EdgeSchema() {
@@ -133,6 +157,127 @@ Status RelationalGraphStore::Load(const Graph& g,
   }
   ATIS_RETURN_NOT_OK(s_.CreateHashIndex(
       kBeginField, std::max<size_t>(16, g.num_nodes() / 8)));
+  ATIS_RETURN_NOT_OK(r_.BuildIsamIndex(kNodeIdField));
+  layout_ = options.layout;
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status RelationalGraphStore::LoadStreaming(const std::string& path) {
+  ATIS_ASSIGN_OR_RETURN(StreamingGraphReader probe,
+                        StreamingGraphReader::Open(path));
+  LoadOptions options;
+  options.layout = probe.layout();
+  return LoadStreaming(path, options);
+}
+
+Status RelationalGraphStore::LoadStreaming(const std::string& path,
+                                           const LoadOptions& options) {
+  if (loaded_) {
+    return Status::FailedPrecondition("graph store already loaded");
+  }
+  storage::DiskManager* disk = s_.pool()->disk();
+  // Pass 1: stream the node section once for the bounding box — the
+  // Hilbert key function needs the global extent before the first key —
+  // and the coordinate-range check Load performs.
+  ATIS_ASSIGN_OR_RETURN(StreamingGraphReader pass1,
+                        StreamingGraphReader::Open(path));
+  if (pass1.num_nodes() > 32767) {
+    return Status::InvalidArgument(
+        "R's 16-bit node ids limit the store to 32767 nodes");
+  }
+  const NodeId n = static_cast<NodeId>(pass1.num_nodes());
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (NodeId u = 0; u < n; ++u) {
+    StreamingGraphReader::NodeRecord rec;
+    ATIS_RETURN_NOT_OK(pass1.NextNode(&rec));
+    if (std::abs(FixedPoint(rec.x)) > 32767 ||
+        std::abs(FixedPoint(rec.y)) > 32767) {
+      return Status::OutOfRange("coordinate exceeds fixed-point range");
+    }
+    min_x = std::min(min_x, rec.x);
+    min_y = std::min(min_y, rec.y);
+    max_x = std::max(max_x, rec.x);
+    max_y = std::max(max_y, rec.y);
+  }
+  // kRowOrder (and the degenerate-bbox fallback) leave every key 0, so
+  // the stable sort degenerates to file order — the identity permutation,
+  // exactly what ComputeNodeOrder returns for those cases.
+  HilbertKeyMapper mapper;
+  if (options.layout == StoreLayout::kHilbert && n > 0) {
+    mapper = HilbertKeyMapper::FromBounds(min_x, min_y, max_x, max_y);
+  }
+  // Pass 2: external-sort the node tuples and insert them in sorted
+  // order; the same handle then continues into the edge section.
+  ATIS_ASSIGN_OR_RETURN(StreamingGraphReader reader,
+                        StreamingGraphReader::Open(path));
+  storage::SpillSorter<NodeSpillRecord> node_sorter(
+      disk, options.sort_budget_bytes);
+  for (NodeId u = 0; u < n; ++u) {
+    StreamingGraphReader::NodeRecord rec;
+    ATIS_RETURN_NOT_OK(reader.NextNode(&rec));
+    ATIS_RETURN_NOT_OK(
+        node_sorter.Add(NodeSpillRecord{mapper.Key(rec.x, rec.y), u, rec.x,
+                                        rec.y}));
+  }
+  ATIS_RETURN_NOT_OK(node_sorter.Finish());
+  std::vector<NodeId> rank_of(static_cast<size_t>(n), kInvalidNode);
+  {
+    NodeSpillRecord rec{};
+    NodeId rank = 0;
+    while (true) {
+      ATIS_ASSIGN_OR_RETURN(bool more, node_sorter.Next(&rec));
+      if (!more) break;
+      rank_of[static_cast<size_t>(rec.id)] = rank++;
+      NodeRow row;
+      row.id = rec.id;
+      row.x = rec.x;
+      row.y = rec.y;
+      row.status = NodeStatus::kNull;
+      row.pred = kInvalidNode;
+      row.path_cost = std::numeric_limits<double>::infinity();
+      ATIS_RETURN_NOT_OK(r_.Insert(ToTuple(row)).status());
+    }
+  }
+  // Edge tuples, keyed by the begin node's rank.
+  ATIS_RETURN_NOT_OK(reader.BeginEdges());
+  storage::SpillSorter<EdgeSpillRecord> edge_sorter(
+      disk, options.sort_budget_bytes);
+  const uint64_t num_edges = reader.num_edges();
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    StreamingGraphReader::EdgeRecord e;
+    ATIS_RETURN_NOT_OK(reader.NextEdge(&e));
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+      return Status::Corruption("edge endpoint out of range in " + path);
+    }
+    ATIS_RETURN_NOT_OK(edge_sorter.Add(EdgeSpillRecord{
+        static_cast<uint64_t>(rank_of[static_cast<size_t>(e.u)]), e.u, e.v,
+        e.cost}));
+  }
+  ATIS_RETURN_NOT_OK(edge_sorter.Finish());
+  adjacency_pages_.assign(static_cast<size_t>(n), {});
+  adjacency_rids_.assign(static_cast<size_t>(n), {});
+  {
+    EdgeSpillRecord rec{};
+    while (true) {
+      ATIS_ASSIGN_OR_RETURN(bool more, edge_sorter.Next(&rec));
+      if (!more) break;
+      ATIS_ASSIGN_OR_RETURN(
+          storage::RecordId rid,
+          s_.Insert(ToTuple(EdgeRow{rec.u, rec.v, rec.cost})));
+      std::vector<storage::PageId>& pages =
+          adjacency_pages_[static_cast<size_t>(rec.u)];
+      if (pages.empty() || pages.back() != rid.page) {
+        pages.push_back(rid.page);
+      }
+      adjacency_rids_[static_cast<size_t>(rec.u)].push_back(rid);
+    }
+  }
+  ATIS_RETURN_NOT_OK(s_.CreateHashIndex(
+      kBeginField, std::max<size_t>(16, static_cast<size_t>(n) / 8)));
   ATIS_RETURN_NOT_OK(r_.BuildIsamIndex(kNodeIdField));
   layout_ = options.layout;
   loaded_ = true;

@@ -97,6 +97,9 @@ class RelationalGraphStore {
   /// preserved), only which tuples share a block changes.
   struct LoadOptions {
     StoreLayout layout = StoreLayout::kRowOrder;
+    /// Run-buffer budget for the external sorts a streaming load performs
+    /// (ignored by the in-memory Load path).
+    size_t sort_budget_bytes = 1 << 20;
   };
 
   explicit RelationalGraphStore(storage::BufferPool* pool);
@@ -106,6 +109,18 @@ class RelationalGraphStore {
   /// once per store. Node count is limited to 32767 by R's 16-bit node ids.
   Status Load(const Graph& g);
   Status Load(const Graph& g, const LoadOptions& options);
+
+  /// Out-of-core build: populates S and R straight from an ATISG1/ATISG2
+  /// file without ever materialising a Graph. Node tuples are external-
+  /// sorted by Hilbert key and edge tuples by the rank of their begin
+  /// node (bounded-memory run generation + k-way merge through the
+  /// metered DiskManager — see storage/spill_sort.h), then heap-inserted
+  /// exactly as Load would have inserted them, so the resulting store —
+  /// page assignments, per-node RecordId adjacency directory, indexes —
+  /// is identical to loading the materialised graph. The single-argument
+  /// form takes the layout from the file header.
+  Status LoadStreaming(const std::string& path);
+  Status LoadStreaming(const std::string& path, const LoadOptions& options);
 
   /// The physical layout this store was loaded with.
   StoreLayout layout() const { return layout_; }

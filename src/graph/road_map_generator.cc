@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "graph/spatial_grid.h"
 #include "util/random.h"
 
 namespace atis::graph {
@@ -224,21 +225,18 @@ Result<RoadMap> GenerateMinneapolisLike(const RoadMapOptions& options) {
     }
   }
 
-  // 7. Landmarks: nearest main-component intersection to each target spot.
-  auto nearest = [&](double x, double y) {
-    NodeId best = kInvalidNode;
-    double best_d = 0.0;
-    for (int i = 0; i < n; ++i) {
-      if (comp[static_cast<size_t>(i)] != main_comp) continue;
-      const Point& p = pts[static_cast<size_t>(i)];
-      const double d = std::hypot(p.x - x, p.y - y);
-      if (best == kInvalidNode || d < best_d) {
-        best = i;
-        best_d = d;
-      }
-    }
-    return best;
-  };
+  // 7. Landmarks: nearest main-component intersection to each target spot,
+  //    answered by a spatial hash grid (O(1) expected per query) instead of
+  //    a full scan — the same structure the continent generator relies on
+  //    at million-node scale.
+  SpatialHashGrid grid(/*cell_size=*/1.0);
+  grid.Reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (comp[static_cast<size_t>(i)] != main_comp) continue;
+    grid.Insert(i, pts[static_cast<size_t>(i)].x,
+                pts[static_cast<size_t>(i)].y);
+  }
+  auto nearest = [&grid](double x, double y) { return grid.Nearest(x, y); };
   const double m = k - 1;
   map.a = nearest(0.08 * m, 0.92 * m);  // northwest
   map.b = nearest(0.92 * m, 0.08 * m);  // southeast: A->B fights the core

@@ -1,0 +1,72 @@
+#include "graph/spatial_grid.h"
+
+#include <cmath>
+#include <limits>
+
+namespace atis::graph {
+
+NodeId SpatialHashGrid::Nearest(double x, double y) const {
+  if (size_ == 0) return kInvalidNode;
+  const int64_t cx0 = CellCoord(x);
+  const int64_t cy0 = CellCoord(y);
+  NodeId best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  // Expand square rings outward. Once a candidate is found, any point in a
+  // ring at Chebyshev cell distance r is at least (r - 1) * cell_size_
+  // away, so the search stops when that lower bound exceeds the best.
+  for (int64_t r = 0;; ++r) {
+    if (best != kInvalidNode) {
+      const double lower = static_cast<double>(r - 1) * cell_size_;
+      if (lower > 0.0 && lower * lower > best_d2) break;
+    }
+    bool any_cell = false;
+    auto visit = [&](int64_t cx, int64_t cy) {
+      const auto it = cells_.find(Pack(cx, cy));
+      if (it == cells_.end()) return;
+      any_cell = true;
+      for (const Entry& e : it->second) {
+        const double dx = e.x - x;
+        const double dy = e.y - y;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best_d2 || (d2 == best_d2 && e.id < best)) {
+          best = e.id;
+          best_d2 = d2;
+        }
+      }
+    };
+    if (r == 0) {
+      visit(cx0, cy0);
+    } else {
+      for (int64_t i = -r; i <= r; ++i) {
+        visit(cx0 + i, cy0 - r);
+        visit(cx0 + i, cy0 + r);
+      }
+      for (int64_t i = -r + 1; i <= r - 1; ++i) {
+        visit(cx0 - r, cy0 + i);
+        visit(cx0 + r, cy0 + i);
+      }
+    }
+    // Safety net for very sparse grids: if the ring radius has grown past
+    // the whole populated extent without touching a cell, fall back to
+    // scanning everything once (terminates regardless of geometry).
+    if (!any_cell && best == kInvalidNode &&
+        static_cast<size_t>(r) > cells_.size() + 2) {
+      for (const auto& [key, entries] : cells_) {
+        (void)key;
+        for (const Entry& e : entries) {
+          const double dx = e.x - x;
+          const double dy = e.y - y;
+          const double d2 = dx * dx + dy * dy;
+          if (d2 < best_d2 || (d2 == best_d2 && e.id < best)) {
+            best = e.id;
+            best_d2 = d2;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace atis::graph

@@ -47,6 +47,26 @@ uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y) {
   return d;
 }
 
+HilbertKeyMapper HilbertKeyMapper::FromBounds(double min_x, double min_y,
+                                              double max_x, double max_y) {
+  HilbertKeyMapper m;
+  const double ext_x = max_x - min_x;
+  const double ext_y = max_y - min_y;
+  if (!(ext_x > 0.0) && !(ext_y > 0.0)) return m;  // degenerate
+  m.min_x = min_x;
+  m.min_y = min_y;
+  const double side = static_cast<double>((1u << kHilbertOrder) - 1);
+  m.scale = side / std::max(ext_x, ext_y);
+  return m;
+}
+
+uint64_t HilbertKeyMapper::Key(double x, double y) const {
+  if (degenerate()) return 0;
+  const auto cx = static_cast<uint32_t>(std::llround((x - min_x) * scale));
+  const auto cy = static_cast<uint32_t>(std::llround((y - min_y) * scale));
+  return HilbertIndex(kHilbertOrder, cx, cy);
+}
+
 std::vector<NodeId> ComputeNodeOrder(const Graph& g, StoreLayout layout) {
   const NodeId n = static_cast<NodeId>(g.num_nodes());
   std::vector<NodeId> order(static_cast<size_t>(n));
@@ -64,24 +84,17 @@ std::vector<NodeId> ComputeNodeOrder(const Graph& g, StoreLayout layout) {
     max_x = std::max(max_x, p.x);
     max_y = std::max(max_y, p.y);
   }
-  const double ext_x = max_x - min_x;
-  const double ext_y = max_y - min_y;
-  if (!(ext_x > 0.0) && !(ext_y > 0.0)) {
+  const HilbertKeyMapper mapper =
+      HilbertKeyMapper::FromBounds(min_x, min_y, max_x, max_y);
+  if (mapper.degenerate()) {
     // Degenerate geometry: no spatial signal; id order is the grid-cell
     // fallback (consecutive ids already share cells for generated maps).
     return order;
   }
-
-  const double side = static_cast<double>((1u << kHilbertOrder) - 1);
-  const double scale = side / std::max(ext_x, ext_y);
   std::vector<uint64_t> key(static_cast<size_t>(n));
   for (NodeId u = 0; u < n; ++u) {
     const Point& p = g.point(u);
-    const auto cx = static_cast<uint32_t>(
-        std::llround((p.x - min_x) * scale));
-    const auto cy = static_cast<uint32_t>(
-        std::llround((p.y - min_y) * scale));
-    key[static_cast<size_t>(u)] = HilbertIndex(kHilbertOrder, cx, cy);
+    key[static_cast<size_t>(u)] = mapper.Key(p.x, p.y);
   }
   std::sort(order.begin(), order.end(), [&key](NodeId a, NodeId b) {
     const uint64_t ka = key[static_cast<size_t>(a)];

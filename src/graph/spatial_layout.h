@@ -45,6 +45,25 @@ uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y);
 /// so two nodes only share a curve cell if they share a stored coordinate.
 inline constexpr uint32_t kHilbertOrder = 16;
 
+/// Maps raw coordinates to Hilbert-curve keys over a fixed bounding box.
+/// This is the exact key function ComputeNodeOrder sorts by, factored out
+/// so streaming loads — which see one node at a time and sort externally —
+/// produce the same physical order as the in-memory path.
+struct HilbertKeyMapper {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double scale = 0.0;  ///< 0 = degenerate bbox: every key is 0 (id order)
+
+  /// Builds a mapper for the given bounding box; a box degenerate on both
+  /// axes yields the all-zero-key mapper (the id-order fallback).
+  static HilbertKeyMapper FromBounds(double min_x, double min_y,
+                                     double max_x, double max_y);
+
+  bool degenerate() const { return !(scale > 0.0); }
+
+  uint64_t Key(double x, double y) const;
+};
+
 /// The permutation of node ids giving the physical insertion order for
 /// `layout`:
 ///   kRowOrder — identity (node-id order).

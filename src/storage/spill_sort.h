@@ -1,0 +1,295 @@
+// Bounded-memory external sort over the metered simulated disk.
+//
+// Continent-scale graph builds must order millions of node/edge tuples by
+// Hilbert key without ever holding them all resident. SpillSorter is the
+// classic two-phase sort-merge: Add() fills a fixed-size run buffer; when
+// it overflows, the buffer is stable-sorted and spilled to DiskManager
+// pages (every block metered, like all storage traffic); Finish() sorts
+// the tail and opens a k-way merge whose Next() streams records back in
+// key order, reading one page per run at a time. Peak memory is the run
+// buffer during ingest and (runs x one page) during the merge — both set
+// by the caller's budget, independent of input size.
+//
+// Record requirements: trivially copyable, and exposing a public
+// `uint64_t key` member. The sort is stable: records with equal keys come
+// back in insertion order (in-run order via std::stable_sort, cross-run
+// order via a run-index tie-break in the merge heap).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <type_traits>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "util/status.h"
+
+namespace atis::storage {
+
+template <typename Record>
+class SpillSorter {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "spill records must be trivially copyable");
+  static_assert(sizeof(Record) <= kPageSize,
+                "a spill record must fit in one page");
+
+ public:
+  /// `memory_budget_bytes` bounds the ingest-phase run buffer. Runs are
+  /// spilled to `disk` (not owned), so the budget — not the input size —
+  /// sets peak memory.
+  SpillSorter(DiskManager* disk, size_t memory_budget_bytes)
+      : disk_(disk),
+        run_capacity_(std::max<size_t>(64, memory_budget_bytes /
+                                               sizeof(Record))) {
+    buffer_.reserve(run_capacity_);
+  }
+
+  SpillSorter(const SpillSorter&) = delete;
+  SpillSorter& operator=(const SpillSorter&) = delete;
+
+  ~SpillSorter() {
+    for (const SpilledRun& run : runs_) {
+      for (size_t i = run.next_page; i < run.pages.size(); ++i) {
+        (void)disk_->DeallocatePage(run.pages[i]);
+      }
+    }
+  }
+
+  static constexpr size_t kRecordsPerPage = kPageSize / sizeof(Record);
+
+  Status Add(const Record& rec) {
+    if (finished_) return Status::InvalidArgument("sorter already finished");
+    buffer_.push_back(rec);
+    ++num_records_;
+    if (buffer_.size() >= run_capacity_) {
+      ATIS_RETURN_NOT_OK(SpillBuffer());
+    }
+    return Status::OK();
+  }
+
+  /// Seals ingest and prepares the merge. After Finish, Next() streams
+  /// the records in (key, insertion-order) order.
+  Status Finish() {
+    if (finished_) return Status::InvalidArgument("sorter already finished");
+    finished_ = true;
+    if (runs_.empty()) {
+      // Everything fit in one buffer: sort in place, no disk round-trip.
+      std::stable_sort(
+          buffer_.begin(), buffer_.end(),
+          [](const Record& a, const Record& b) { return a.key < b.key; });
+      return Status::OK();
+    }
+    ATIS_RETURN_NOT_OK(SpillBuffer());
+    // Prime one page per run.
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      ATIS_RETURN_NOT_OK(FillRun(r));
+      if (runs_[r].cursor < runs_[r].loaded.size()) {
+        heap_.push(HeapItem{runs_[r].loaded[runs_[r].cursor].key, r});
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pops the next record in key order. Returns false at end-of-stream.
+  Result<bool> Next(Record* out) {
+    if (!finished_) return Status::InvalidArgument("call Finish() first");
+    if (runs_.empty()) {
+      if (buffer_cursor_ >= buffer_.size()) return false;
+      *out = buffer_[buffer_cursor_++];
+      return true;
+    }
+    if (heap_.empty()) return false;
+    const HeapItem top = heap_.top();
+    heap_.pop();
+    SpilledRun& run = runs_[top.run];
+    *out = run.loaded[run.cursor++];
+    if (run.cursor >= run.loaded.size()) {
+      ATIS_RETURN_NOT_OK(FillRun(top.run));
+    }
+    if (run.cursor < run.loaded.size()) {
+      heap_.push(HeapItem{run.loaded[run.cursor].key, top.run});
+    }
+    return true;
+  }
+
+  size_t num_records() const { return num_records_; }
+  /// Number of spilled runs (0 = the input fit in memory).
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  struct SpilledRun {
+    std::vector<PageId> pages;
+    size_t num_records = 0;
+    size_t next_page = 0;       ///< next page index to load
+    size_t records_left = 0;    ///< records not yet loaded
+    std::vector<Record> loaded; ///< current page's records
+    size_t cursor = 0;          ///< next unread record in `loaded`
+  };
+
+  struct HeapItem {
+    uint64_t key;
+    size_t run;
+    /// Min-heap on key; equal keys pop the earlier run first (stability).
+    bool operator>(const HeapItem& other) const {
+      if (key != other.key) return key > other.key;
+      return run > other.run;
+    }
+  };
+
+  Status SpillBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    std::stable_sort(
+        buffer_.begin(), buffer_.end(),
+        [](const Record& a, const Record& b) { return a.key < b.key; });
+    SpilledRun run;
+    run.num_records = buffer_.size();
+    run.records_left = buffer_.size();
+    Page page;
+    for (size_t i = 0; i < buffer_.size(); i += kRecordsPerPage) {
+      const size_t count = std::min(kRecordsPerPage, buffer_.size() - i);
+      page.WriteBytes(0, buffer_.data() + i, count * sizeof(Record));
+      const PageId pid = disk_->AllocatePage();
+      ATIS_RETURN_NOT_OK(disk_->WritePage(pid, page));
+      run.pages.push_back(pid);
+    }
+    runs_.push_back(std::move(run));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  /// Loads the run's next page into `loaded`, freeing the page as it is
+  /// consumed. Leaves `loaded` empty when the run is exhausted.
+  Status FillRun(size_t r) {
+    SpilledRun& run = runs_[r];
+    run.loaded.clear();
+    run.cursor = 0;
+    if (run.next_page >= run.pages.size()) return Status::OK();
+    const size_t count = std::min(kRecordsPerPage, run.records_left);
+    Page page;
+    const PageId pid = run.pages[run.next_page];
+    ATIS_RETURN_NOT_OK(disk_->ReadPage(pid, &page));
+    run.loaded.resize(count);
+    page.ReadBytes(0, run.loaded.data(), count * sizeof(Record));
+    ATIS_RETURN_NOT_OK(disk_->DeallocatePage(pid));
+    ++run.next_page;
+    run.records_left -= count;
+    return Status::OK();
+  }
+
+  DiskManager* disk_;
+  size_t run_capacity_;
+  std::vector<Record> buffer_;
+  size_t buffer_cursor_ = 0;
+  size_t num_records_ = 0;
+  std::vector<SpilledRun> runs_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap_;
+  bool finished_ = false;
+};
+
+/// Append-only record file on DiskManager pages, with random and ranged
+/// reads. The partitioned build pipeline spills its rank-ordered node and
+/// edge streams here so later per-partition passes re-read exactly the
+/// range they need (one partition at a time — bounded memory) instead of
+/// re-parsing the source file. Metered like all storage traffic.
+template <typename Record>
+class SpillFile {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "spill records must be trivially copyable");
+  static_assert(sizeof(Record) <= kPageSize,
+                "a spill record must fit in one page");
+
+ public:
+  explicit SpillFile(DiskManager* disk) : disk_(disk) {}
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  ~SpillFile() { Clear(); }
+
+  static constexpr size_t kRecordsPerPage = kPageSize / sizeof(Record);
+
+  Status Append(const Record& rec) {
+    if (finished_) return Status::InvalidArgument("spill file finished");
+    buffer_.push_back(rec);
+    ++count_;
+    if (buffer_.size() >= kRecordsPerPage) return FlushBuffer();
+    return Status::OK();
+  }
+
+  /// Seals the file; reads are valid afterwards.
+  Status Finish() {
+    if (finished_) return Status::InvalidArgument("spill file finished");
+    ATIS_RETURN_NOT_OK(FlushBuffer());
+    finished_ = true;
+    return Status::OK();
+  }
+
+  size_t size() const { return count_; }
+
+  /// Random access to one record (one page read).
+  Result<Record> Read(size_t index) const {
+    if (!finished_) return Status::InvalidArgument("call Finish() first");
+    if (index >= count_) return Status::InvalidArgument("record out of range");
+    Page page;
+    ATIS_RETURN_NOT_OK(disk_->ReadPage(pages_[index / kRecordsPerPage],
+                                       &page));
+    Record rec;
+    page.ReadBytes((index % kRecordsPerPage) * sizeof(Record), &rec,
+                   sizeof(Record));
+    return rec;
+  }
+
+  /// Sequential scan of records [begin, end): fn(index, record).
+  template <typename Fn>
+  Status ReadRange(size_t begin, size_t end, Fn&& fn) const {
+    if (!finished_) return Status::InvalidArgument("call Finish() first");
+    if (begin > end || end > count_) {
+      return Status::InvalidArgument("record range out of bounds");
+    }
+    Page page;
+    size_t loaded_page = static_cast<size_t>(-1);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t p = i / kRecordsPerPage;
+      if (p != loaded_page) {
+        ATIS_RETURN_NOT_OK(disk_->ReadPage(pages_[p], &page));
+        loaded_page = p;
+      }
+      Record rec;
+      page.ReadBytes((i % kRecordsPerPage) * sizeof(Record), &rec,
+                     sizeof(Record));
+      fn(i, rec);
+    }
+    return Status::OK();
+  }
+
+  /// Frees every page. The file is unusable afterwards.
+  void Clear() {
+    for (const PageId pid : pages_) (void)disk_->DeallocatePage(pid);
+    pages_.clear();
+    buffer_.clear();
+    count_ = 0;
+    finished_ = true;
+  }
+
+ private:
+  Status FlushBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    Page page;
+    page.WriteBytes(0, buffer_.data(), buffer_.size() * sizeof(Record));
+    const PageId pid = disk_->AllocatePage();
+    ATIS_RETURN_NOT_OK(disk_->WritePage(pid, page));
+    pages_.push_back(pid);
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  DiskManager* disk_;
+  std::vector<PageId> pages_;
+  std::vector<Record> buffer_;
+  size_t count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace atis::storage

@@ -1,0 +1,221 @@
+#include "graph/continent_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+
+namespace atis::graph {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Nodes reachable from 0 by forward BFS (the map is undirected by
+/// construction, so this is the connected component).
+size_t ReachableFromZero(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  size_t count = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Edge& e : g.Neighbors(u)) {
+      if (!seen[static_cast<size_t>(e.to)]) {
+        seen[static_cast<size_t>(e.to)] = true;
+        ++count;
+        q.push(e.to);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(ContinentGeneratorTest, ZeroCitiesYieldsEmptyMap) {
+  ContinentOptions options;
+  options.num_cities = 0;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok()) << gen.status().message();
+  EXPECT_EQ(gen->num_nodes(), 0u);
+  EXPECT_EQ(gen->CountEdges(), 0u);
+  auto g = gen->Materialize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+
+  const std::string path =
+      ::testing::TempDir() + "/atis_continent_empty.atisg";
+  ASSERT_TRUE(gen->WriteTo(path).ok());
+  auto reader = StreamingGraphReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->num_nodes(), 0u);
+  ASSERT_TRUE(reader->BeginEdges().ok());
+  EXPECT_EQ(reader->num_edges(), 0u);
+}
+
+TEST(ContinentGeneratorTest, OneCityIsConnectedAndCounted) {
+  ContinentOptions options;
+  options.num_cities = 1;
+  options.city_k = 5;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->num_nodes(), 25u);
+  auto g = gen->Materialize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 25u);
+  EXPECT_EQ(g->num_edges(), gen->CountEdges());
+  EXPECT_EQ(ReachableFromZero(*g), 25u);
+}
+
+TEST(ContinentGeneratorTest, MultiCityMapIsStronglyConnected) {
+  ContinentOptions options;
+  options.num_cities = 5;  // non-square count: a partially filled grid
+  options.city_k = 4;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok());
+  auto g = gen->Materialize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 80u);
+  // Every street is emitted in both directions, so reachability from one
+  // node means strong connectivity.
+  EXPECT_EQ(ReachableFromZero(*g), 80u);
+}
+
+TEST(ContinentGeneratorTest, ZeroTierWeightSumRejected) {
+  ContinentOptions options;
+  options.freeway_weight = 0.0;
+  options.arterial_weight = 0.0;
+  options.local_weight = 0.0;
+  auto gen = ContinentGenerator::Create(options);
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinentGeneratorTest, InvalidLatticeAndJitterRejected) {
+  {
+    ContinentOptions options;
+    options.city_k = 0;
+    EXPECT_EQ(ContinentGenerator::Create(options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ContinentOptions options;
+    options.num_cities = -1;
+    EXPECT_EQ(ContinentGenerator::Create(options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    ContinentOptions options;
+    options.jitter = -0.5;
+    EXPECT_EQ(ContinentGenerator::Create(options).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ContinentGeneratorTest, CoordinateBudgetEnforced) {
+  // Enough city slots to overflow the store's int16 fixed-point range.
+  ContinentOptions options;
+  options.num_cities = 40000;
+  options.city_k = 32;
+  auto gen = ContinentGenerator::Create(options);
+  EXPECT_EQ(gen.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContinentGeneratorTest, EmitPassesAgreeWithEachOther) {
+  ContinentOptions options;
+  options.num_cities = 3;
+  options.city_k = 6;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok());
+  uint64_t emitted = 0;
+  ASSERT_TRUE(gen->EmitEdges([&](NodeId u, NodeId v, double cost) {
+                   EXPECT_GE(u, 0);
+                   EXPECT_LT(static_cast<uint64_t>(u), gen->num_nodes());
+                   EXPECT_GE(v, 0);
+                   EXPECT_LT(static_cast<uint64_t>(v), gen->num_nodes());
+                   EXPECT_GT(cost, 0.0);
+                   ++emitted;
+                 })
+                  .ok());
+  EXPECT_EQ(emitted, gen->CountEdges());
+}
+
+TEST(ContinentGeneratorTest, SameSeedBitIdenticalFileDifferentSeedNot) {
+  ContinentOptions options;
+  options.num_cities = 4;
+  options.city_k = 5;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok());
+  const std::string path_a =
+      ::testing::TempDir() + "/atis_continent_seed_a.atisg";
+  const std::string path_b =
+      ::testing::TempDir() + "/atis_continent_seed_b.atisg";
+  ASSERT_TRUE(gen->WriteTo(path_a).ok());
+  ASSERT_TRUE(gen->WriteTo(path_b).ok());
+  const std::string a = ReadWholeFile(path_a);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, ReadWholeFile(path_b));
+
+  options.seed = 2024;
+  auto other = ContinentGenerator::Create(options);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(other->WriteTo(path_b).ok());
+  EXPECT_NE(a, ReadWholeFile(path_b));
+}
+
+TEST(ContinentGeneratorTest, WrittenFileRoundTripsTheMaterializedGraph) {
+  ContinentOptions options;
+  options.num_cities = 2;
+  options.city_k = 4;
+  auto gen = ContinentGenerator::Create(options);
+  ASSERT_TRUE(gen.ok());
+  const std::string path =
+      ::testing::TempDir() + "/atis_continent_roundtrip.atisg";
+  ASSERT_TRUE(gen->WriteTo(path).ok());
+  auto file = LoadGraphFileWithLayout(path);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  EXPECT_EQ(file->layout, StoreLayout::kHilbert);
+  auto g = gen->Materialize();
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(file->graph.num_nodes(), g->num_nodes());
+  ASSERT_EQ(file->graph.num_edges(), g->num_edges());
+  for (NodeId u = 0; u < static_cast<NodeId>(g->num_nodes()); ++u) {
+    EXPECT_DOUBLE_EQ(file->graph.point(u).x, g->point(u).x);
+    EXPECT_DOUBLE_EQ(file->graph.point(u).y, g->point(u).y);
+    ASSERT_EQ(file->graph.OutDegree(u), g->OutDegree(u));
+    for (size_t i = 0; i < g->OutDegree(u); ++i) {
+      EXPECT_EQ(file->graph.Neighbors(u)[i].to, g->Neighbors(u)[i].to);
+      EXPECT_DOUBLE_EQ(file->graph.Neighbors(u)[i].cost,
+                       g->Neighbors(u)[i].cost);
+    }
+  }
+}
+
+TEST(ContinentGeneratorTest, ParseErrorsCarryLineAndSizeContext) {
+  const std::string path =
+      ::testing::TempDir() + "/atis_continent_truncated.atisg";
+  {
+    std::ofstream out(path);
+    out << "ATISG2\nlayout hilbert\n2\n0 0\n";  // node 1 missing
+  }
+  auto g = LoadGraphFileWithLayout(path);
+  ASSERT_FALSE(g.ok());
+  const std::string msg(g.status().message());
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bytes"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace atis::graph

@@ -317,6 +317,12 @@ constexpr const char* kDocumentedFamilies[] = {
     "atis_overlay_preprocess_blocks_written_total",
     "atis_overlay_preprocess_seconds",
     "atis_overlay_shortcuts",
+    "atis_partition_boundary_nodes",
+    "atis_partition_cross_queries_total",
+    "atis_partition_partitions",
+    "atis_partition_queries_total",
+    "atis_partition_settled_overlay_total",
+    "atis_partition_settled_store_total",
     "atis_prefetch_dropped_total",
     "atis_prefetch_errors_total",
     "atis_prefetch_filled_total",

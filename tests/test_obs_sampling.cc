@@ -134,7 +134,9 @@ TEST(ObsSamplingTest, ConcurrentTracersKeepSpanTreesConsistent) {
             ++failures;
           }
         }
-        if ((*ring)->Append(tracer, "t" + std::to_string(t)).ok() == false) {
+        std::string trace_name = "t";
+        trace_name += std::to_string(t);
+        if ((*ring)->Append(tracer, trace_name).ok() == false) {
           ++failures;
         }
       }

@@ -42,8 +42,9 @@ TEST_P(SchemaFuzz, PackUnpackRoundTripsRandomSchemas) {
     const size_t nfields = 1 + rng.UniformInt(uint64_t{12});
     std::vector<relational::Field> fields;
     for (size_t i = 0; i < nfields; ++i) {
-      fields.push_back({"f" + std::to_string(i),
-                        kinds[rng.UniformInt(uint64_t{6})]});
+      std::string field_name = "f";
+      field_name += std::to_string(i);
+      fields.push_back({field_name, kinds[rng.UniformInt(uint64_t{6})]});
     }
     const Schema schema(std::move(fields));
     Tuple tuple;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <limits>
+#include <map>
 
 #include <string>
 #include <utility>
@@ -310,6 +312,105 @@ TEST_F(RelationalGraphTest, OutOfRangeCoordinateRejected) {
   Graph g;
   g.AddNode(1e9, 0);
   EXPECT_TRUE(store_.Load(g).IsOutOfRange());
+}
+
+/// The streaming (external-sort) load must reproduce the in-memory load
+/// bit for bit: same page assignments, same adjacency directory, same
+/// layout — it is the same store built without ever materialising the
+/// graph.
+TEST_F(RelationalGraphTest, StreamingLoadMatchesInMemoryLoad) {
+  for (const StoreLayout layout :
+       {StoreLayout::kRowOrder, StoreLayout::kHilbert}) {
+    const Graph g = LayoutGrid(10);
+    const std::string path =
+        ::testing::TempDir() + "/atis_streaming_load.atisg";
+    ASSERT_TRUE(SaveGraphFile(g, layout, path).ok());
+
+    DiskManager mem_disk;
+    BufferPool mem_pool(&mem_disk, 64);
+    RelationalGraphStore mem_store(&mem_pool);
+    ASSERT_TRUE(mem_store.Load(g, {layout}).ok());
+
+    DiskManager stream_disk;
+    BufferPool stream_pool(&stream_disk, 64);
+    RelationalGraphStore stream_store(&stream_pool);
+    RelationalGraphStore::LoadOptions options;
+    options.layout = layout;
+    options.sort_budget_bytes = 1 << 10;  // force spilled runs
+    ASSERT_TRUE(stream_store.LoadStreaming(path, options).ok());
+
+    EXPECT_EQ(stream_store.layout(), layout);
+    ASSERT_EQ(stream_store.num_nodes(), mem_store.num_nodes());
+    ASSERT_EQ(stream_store.num_edges(), mem_store.num_edges());
+    // Absolute PageIds differ (the streaming build allocates its spill
+    // pages from the same DiskManager first); the *structure* must match:
+    // a consistent bijection between the two stores' adjacency pages.
+    std::map<storage::PageId, storage::PageId> page_map;
+    for (NodeId u = 0; u < static_cast<NodeId>(g.num_nodes()); ++u) {
+      const auto& mem_pages = mem_store.AdjacencyPageIds(u);
+      const auto& stream_pages = stream_store.AdjacencyPageIds(u);
+      ASSERT_EQ(stream_pages.size(), mem_pages.size()) << "node " << u;
+      for (size_t i = 0; i < mem_pages.size(); ++i) {
+        auto [it, inserted] =
+            page_map.emplace(mem_pages[i], stream_pages[i]);
+        EXPECT_EQ(it->second, stream_pages[i]) << "node " << u;
+      }
+      auto a = stream_store.FetchAdjacency(u);
+      auto b = mem_store.FetchAdjacency(u);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].end, (*b)[i].end);
+        EXPECT_DOUBLE_EQ((*a)[i].cost, (*b)[i].cost);
+      }
+      auto na = stream_store.GetNode(u);
+      auto nb = mem_store.GetNode(u);
+      ASSERT_TRUE(na.ok());
+      ASSERT_TRUE(nb.ok());
+      EXPECT_EQ(na->second.x, nb->second.x);
+      EXPECT_EQ(na->second.y, nb->second.y);
+    }
+    EXPECT_EQ(stream_store.edge_relation().num_blocks(),
+              mem_store.edge_relation().num_blocks());
+    EXPECT_EQ(stream_store.node_relation().num_blocks(),
+              mem_store.node_relation().num_blocks());
+  }
+}
+
+/// Degenerate bounding box (every node at one point): the Hilbert order
+/// falls back to id order, streaming and in-memory alike.
+TEST_F(RelationalGraphTest, StreamingLoadDegenerateBbox) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(2.0, 3.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.AddUndirectedEdge(i, i + 1, 1.0).ok());
+  }
+  const std::string path =
+      ::testing::TempDir() + "/atis_streaming_degenerate.atisg";
+  ASSERT_TRUE(SaveGraphFile(g, StoreLayout::kHilbert, path).ok());
+  ASSERT_TRUE(store_.LoadStreaming(path).ok());
+  EXPECT_EQ(store_.layout(), StoreLayout::kHilbert);
+  EXPECT_EQ(store_.num_nodes(), 5u);
+  auto adj = store_.FetchAdjacency(2);
+  ASSERT_TRUE(adj.ok());
+  EXPECT_EQ(adj->size(), 2u);
+}
+
+TEST_F(RelationalGraphTest, StreamingLoadRejectsBadFiles) {
+  // Missing file.
+  EXPECT_FALSE(store_.LoadStreaming("/nonexistent/a.atisg").ok());
+  // Edge endpoint out of range.
+  const std::string path =
+      ::testing::TempDir() + "/atis_streaming_bad_edge.atisg";
+  {
+    std::ofstream out(path);
+    out << "ATISG1\n2\n0 0\n1 0\n1\n0 7 1.0\n";
+  }
+  DiskManager disk2;
+  BufferPool pool2(&disk2, 64);
+  RelationalGraphStore store2(&pool2);
+  EXPECT_TRUE(store2.LoadStreaming(path).IsCorruption());
 }
 
 }  // namespace
